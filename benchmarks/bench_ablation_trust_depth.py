@@ -1,0 +1,75 @@
+"""Ablation / §6.4: the acceptable-trust-chain-depth policy.
+
+"Checking its own security policy which might limit the depth of an
+acceptable trust chain, BB_C may accept the public key of cert_A ..."
+
+The depth knob trades reachability against exposure: a verifier at the
+end of a k-domain path sees the user at introduction depth k-1.  This
+ablation sweeps the destination's ``max_introduction_depth`` against the
+path length and records exactly where reservations start failing — plus
+the cost: stricter depth means shorter feasible paths, not slower
+verification (verification cost is set by the chain actually presented).
+"""
+
+import pytest
+
+from repro.core.testbed import build_linear_testbed
+from repro.crypto.truststore import TrustPolicy
+
+PATHS = [3, 5, 7]
+DEPTHS = [1, 2, 4, 8]
+
+
+def attempt(path_len, depth):
+    domains = [f"D{i}" for i in range(path_len)]
+    tb = build_linear_testbed(
+        domains,
+        hosts_per_domain=1,
+        trust_policy=TrustPolicy(
+            max_introduction_depth=depth, require_ca_issued_peers=False
+        ),
+    )
+    alice = tb.add_user(domains[0], "Alice")
+    outcome = tb.reserve(
+        alice, source=domains[0], destination=domains[-1], bandwidth_mbps=1.0
+    )
+    return outcome
+
+
+def run_matrix():
+    return {
+        (k, d): attempt(k, d).granted for k in PATHS for d in DEPTHS
+    }
+
+
+def test_ablation_trust_depth(benchmark, report):
+    matrix = benchmark.pedantic(run_matrix, rounds=1, iterations=1)
+    report.append("Trust-depth ablation: reservation feasible? "
+                  "(path length x max introduction depth)")
+    header = "  path\\depth " + "".join(f"{d:>6d}" for d in DEPTHS)
+    report.append(header)
+    for k in PATHS:
+        row = f"  {k:>10d} " + "".join(
+            f"{'  yes' if matrix[(k, d)] else '   no':>6s}" for d in DEPTHS
+        )
+        report.append(row)
+    # The verifier at hop i sees the user at depth i; the deepest check is
+    # at the destination: depth k-1.  Feasible iff depth >= k-1.
+    for k in PATHS:
+        for d in DEPTHS:
+            assert matrix[(k, d)] == (d >= k - 1)
+
+
+def test_ablation_depth_denial_location(benchmark, report):
+    """With depth policy 2, a 5-domain request dies exactly at the first
+    broker that would need depth 3 — the fourth domain."""
+    outcome = benchmark.pedantic(
+        attempt, args=(5, 2), rounds=1, iterations=1
+    )
+    assert not outcome.granted
+    assert outcome.denial_domain == "D3"
+    assert "depth" in outcome.denial_reason
+    report.append(
+        f"Depth-2 policy on a 5-domain path: denied at {outcome.denial_domain} "
+        f"({outcome.denial_reason.split(':')[-1].strip()})"
+    )

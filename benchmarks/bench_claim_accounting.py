@@ -1,0 +1,62 @@
+"""C5 / §6.4: the transitive billing scheme.
+
+"Whenever a domain actually bills the requesting entity for the use of
+the network service, SLAs are already used to set up a transitive billing
+relation in multi-domain networks."
+
+The benchmark generates the invoice cascade for reservations across
+2–8 domains and asserts the conservation properties: the user's single
+invoice equals the sum of every domain's own tariffed charge, and each
+transit domain nets exactly its own charge.
+"""
+
+import pytest
+
+from repro.accounting.billing import TransitiveBilling
+from repro.core.testbed import build_linear_testbed
+
+
+def run_billing(k):
+    domains = [f"D{i}" for i in range(k)]
+    tb = build_linear_testbed(domains, hosts_per_domain=1)
+    alice = tb.add_user("D0", "Alice")
+    # Heterogeneous tariffs per domain.
+    for i, d in enumerate(domains):
+        for sla in tb.brokers[d].slas_in.values():
+            sla.price_per_mbps_hour = 1.0 + i
+    outcome = tb.reserve(
+        alice, source=domains[0], destination=domains[-1], bandwidth_mbps=10.0,
+        duration=3600.0,
+    )
+    billing = TransitiveBilling(tb.brokers, user_tariff_per_mbps_hour=0.5)
+    return billing.bill(outcome)
+
+
+@pytest.mark.parametrize("k", [2, 4, 8])
+def test_c5_invoice_cascade(benchmark, report, k):
+    run = benchmark.pedantic(run_billing, args=(k,), rounds=2, iterations=1)
+    assert TransitiveBilling.conservation_holds(run, tol=1e-6)
+    assert len(run.invoices) == k  # one bill per SLA hop + the user's
+    user_invoice = run.invoice_to_user()
+    report.append(
+        f"C5 [{k} domains] user pays {user_invoice.amount:9.2f} = "
+        f"sum of own charges {sum(i.own_charge for i in run.invoices):9.2f} "
+        f"over {run.usage_mbps_hours:.1f} Mb/s-hours"
+    )
+    # Every transit domain nets exactly its own tariffed charge.
+    for inv in run.invoices:
+        net = TransitiveBilling.net_position(run, inv.issuer)
+        assert net == pytest.approx(inv.own_charge)
+
+
+def test_c5_billing_throughput(benchmark):
+    """Invoice generation itself must be negligible next to signalling."""
+    tb = build_linear_testbed(["A", "B", "C"])
+    alice = tb.add_user("A", "Alice")
+    outcome = tb.reserve(
+        alice, source="A", destination="C", bandwidth_mbps=10.0
+    )
+    billing = TransitiveBilling(tb.brokers)
+
+    run = benchmark(billing.bill, outcome)
+    assert TransitiveBilling.conservation_holds(run)

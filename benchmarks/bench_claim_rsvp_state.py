@@ -1,0 +1,107 @@
+"""C3 / §2: the RSVP scaling critique, measured.
+
+"There are some scaling problems with this approach, including the fact
+that each router normally has to recognize each packet belonging to a
+reserved flow and treat it specially."
+
+Sweep the number of concurrent flows and compare (a) per-router state
+entries and (b) signalling messages over a 5-minute hold time (RSVP
+refreshes its soft state every 30 s; the BB approach signals once) between
+RSVP/IntServ and the DiffServ bandwidth-broker architecture.
+"""
+
+import pytest
+
+from repro.baselines.rsvp import RSVPSimulator
+from repro.core.testbed import build_linear_testbed
+from repro.net.topology import linear_domain_chain
+
+DOMAINS = ["A", "B", "C"]
+FLOW_COUNTS = [1, 10, 50, 100]
+HOLD_TIME_S = 300.0
+
+
+def rsvp_world(n):
+    topo = linear_domain_chain(DOMAINS, hosts_per_domain=1,
+                               inter_capacity_mbps=10_000.0)
+    sim = RSVPSimulator(topo)
+    for i in range(n):
+        sim.reserve(f"f{i}", "h0.A", "h0.C", 1.0)
+    sim.advance(HOLD_TIME_S, refresh=True)
+    return sim.max_router_state(), sim.messages
+
+
+def bb_world(n):
+    tb = build_linear_testbed(DOMAINS, hosts_per_domain=1,
+                              inter_capacity_mbps=10_000.0)
+    alice = tb.add_user("A", "Alice")
+    messages = 0
+    for _ in range(n):
+        outcome = tb.reserve(
+            alice, source="A", destination="C", bandwidth_mbps=1.0
+        )
+        assert outcome.granted
+        tb.hop_by_hop.claim(outcome)
+        messages += outcome.messages
+    # Router "state": aggregate policers (per ingress x class) plus the
+    # source-edge per-flow classifiers GARA installs at claim time.
+    aggregate_entries = sum(
+        len(p) for p in tb.network._aggregate_policers.values()
+    )
+    core_router_entries = aggregate_entries  # interior state
+    return core_router_entries, messages
+
+
+def run_sweep():
+    rows = []
+    for n in FLOW_COUNTS:
+        rsvp_state, rsvp_msgs = rsvp_world(n)
+        bb_state, bb_msgs = bb_world(n)
+        rows.append(
+            {
+                "flows": n,
+                "rsvp_state": rsvp_state,
+                "bb_state": bb_state,
+                "rsvp_msgs": rsvp_msgs,
+                "bb_msgs": bb_msgs,
+            }
+        )
+    return rows
+
+
+def test_c3_rsvp_vs_bb(benchmark, report):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    report.append(
+        f"C3: per-router state and messages over a {HOLD_TIME_S:.0f}s hold"
+    )
+    report.append("  flows  rsvp-state  bb-state  rsvp-msgs  bb-msgs")
+    for row in rows:
+        report.append(
+            f"  {row['flows']:>5d}  {row['rsvp_state']:>10d}"
+            f"  {row['bb_state']:>8d}  {row['rsvp_msgs']:>9d}"
+            f"  {row['bb_msgs']:>7d}"
+        )
+    for row in rows:
+        # RSVP: 2 entries (path+resv) per flow in the busiest router.
+        assert row["rsvp_state"] == 2 * row["flows"]
+        # BB/DiffServ: interior state is per-aggregate, not per-flow —
+        # bounded by (domain ingresses x service classes): one policer per
+        # upstream peer per class, 4 on the A-B-C chain, independent of N.
+        assert row["bb_state"] <= 4
+        # Messages: RSVP pays refreshes forever; BB signals once per flow.
+        assert row["bb_msgs"] == 6 * row["flows"]
+        if row["flows"] >= 10:
+            assert row["rsvp_msgs"] > row["bb_msgs"]
+
+
+def test_c3_rsvp_reserve_wallclock(benchmark):
+    topo = linear_domain_chain(DOMAINS, hosts_per_domain=1,
+                               inter_capacity_mbps=10_000.0)
+    sim = RSVPSimulator(topo)
+    counter = [0]
+
+    def reserve():
+        counter[0] += 1
+        sim.reserve(f"f{counter[0]}", "h0.A", "h0.C", 0.001)
+
+    benchmark(reserve)

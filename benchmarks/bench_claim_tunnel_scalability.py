@@ -1,0 +1,116 @@
+"""C2 / §1 + §6.4: tunnels make many parallel flows scalable.
+
+"If a set of applications creates many parallel flows between the same
+two end-domains, it is infeasible to negotiate an end-to-end reservation
+for each one."
+
+Sweep the number of parallel flows N and compare total signalling
+messages and intermediate-broker work for (a) one hop-by-hop reservation
+per flow versus (b) one tunnel plus N end-domain-only allocations.
+Asserted shape: a crossover at small N (the tunnel amortizes its 2k-setup
+after k/(k-2) flows), then a widening win that approaches the k/2 per-flow
+message ratio.
+"""
+
+import pytest
+
+from repro.core.testbed import build_linear_testbed
+
+DOMAINS = ["A", "B", "C", "D", "E"]  # k = 5
+FLOW_COUNTS = [1, 2, 5, 10, 20, 50]
+
+
+def messages_per_flow_world(n):
+    tb = build_linear_testbed(DOMAINS, hosts_per_domain=1)
+    alice = tb.add_user("A", "Alice")
+    total = 0
+    for _ in range(n):
+        outcome = tb.reserve(
+            alice, source="A", destination="E", bandwidth_mbps=1.0
+        )
+        assert outcome.granted
+        total += outcome.messages
+    transit_work = sum(
+        len(tb.brokers[d].reservations.all()) for d in DOMAINS[1:-1]
+    )
+    return total, transit_work
+
+
+def messages_tunnel_world(n):
+    tb = build_linear_testbed(DOMAINS, hosts_per_domain=1)
+    alice = tb.add_user("A", "Alice")
+    request = tb.make_request(
+        source="A", destination="E", bandwidth_mbps=float(max(n, 1))
+    )
+    tunnel, outcome = tb.tunnels.establish(alice, request)
+    total = outcome.messages
+    for _ in range(n):
+        _, _, msgs = tb.tunnels.allocate_flow(tunnel.tunnel_id, alice, 1.0)
+        total += msgs
+    transit_work = sum(
+        len(tb.brokers[d].reservations.all()) for d in DOMAINS[1:-1]
+    )
+    return total, transit_work
+
+
+def run_sweep():
+    rows = []
+    for n in FLOW_COUNTS:
+        per_flow, per_flow_transit = messages_per_flow_world(n)
+        tunnel, tunnel_transit = messages_tunnel_world(n)
+        rows.append(
+            {
+                "flows": n,
+                "per_flow_msgs": per_flow,
+                "tunnel_msgs": tunnel,
+                "per_flow_transit": per_flow_transit,
+                "tunnel_transit": tunnel_transit,
+            }
+        )
+    return rows
+
+
+def test_c2_tunnel_scalability(benchmark, report):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    k = len(DOMAINS)
+    report.append(f"C2: N parallel flows over {k} domains — total messages")
+    report.append("  flows  per-flow  tunnel  transit-broker reservations "
+                  "(per-flow vs tunnel)")
+    for row in rows:
+        report.append(
+            f"  {row['flows']:>5d}  {row['per_flow_msgs']:>8d}"
+            f"  {row['tunnel_msgs']:>6d}"
+            f"        {row['per_flow_transit']:>4d} vs {row['tunnel_transit']}"
+        )
+    # Exact models: per-flow = 2kN; tunnel = 2k + 4N.
+    for row in rows:
+        assert row["per_flow_msgs"] == 2 * k * row["flows"]
+        assert row["tunnel_msgs"] == 2 * k + 4 * row["flows"]
+        # Intermediate brokers hold exactly one reservation in the tunnel
+        # world regardless of N.
+        assert row["tunnel_transit"] == k - 2
+        assert row["per_flow_transit"] == (k - 2) * row["flows"]
+    # Crossover: 2kN > 2k + 4N  <=>  N > k/(k-3)... for k=5: N >= 2.
+    assert rows[0]["tunnel_msgs"] > rows[0]["per_flow_msgs"]  # N=1: setup dominates
+    for row in rows[1:]:
+        assert row["tunnel_msgs"] < row["per_flow_msgs"]
+    # Asymptotic ratio approaches 2k/4 = k/2.
+    last = rows[-1]
+    assert last["per_flow_msgs"] / last["tunnel_msgs"] > 0.75 * (k / 2)
+
+
+def test_c2_allocation_wallclock(benchmark):
+    """Wall-clock cost of one intra-tunnel allocation (pure end-domain
+    bookkeeping — no crypto, no intermediate domains)."""
+    tb = build_linear_testbed(DOMAINS, hosts_per_domain=1)
+    alice = tb.add_user("A", "Alice")
+    tunnel, _ = tb.tunnels.establish(
+        alice, tb.make_request(source="A", destination="E",
+                               bandwidth_mbps=150.0)
+    )
+
+    def allocate_release():
+        alloc, _, _ = tb.tunnels.allocate_flow(tunnel.tunnel_id, alice, 1.0)
+        tb.tunnels.release_flow(tunnel.tunnel_id, alloc.allocation_id)
+
+    benchmark(allocate_release)

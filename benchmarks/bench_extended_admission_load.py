@@ -1,0 +1,74 @@
+"""Extended evaluation: acceptance ratio vs offered load.
+
+Not a paper figure — the quantitative admission-control sweep the paper's
+qualitative evaluation leaves open (its citations [21, 22] run exactly
+this kind of experiment for advance-reservation schedulers).  Poisson
+reservation arrivals with exponential holding times are offered to the
+A-B-C testbed at increasing load factors; the curve shows the classic
+loss-system shape: ~100% acceptance below capacity, graceful degradation
+past it, with the carried traffic saturating near the bottleneck rate.
+"""
+
+import random
+
+import pytest
+
+from repro.core.testbed import build_linear_testbed
+from repro.workloads.generator import ReservationWorkload, WorkloadSpec
+
+BOTTLENECK_MBPS = 100.0
+#: Offered load as a multiple of the bottleneck link.
+LOAD_FACTORS = [0.25, 0.5, 1.0, 2.0, 4.0]
+
+
+def run_point(load_factor: float, seed: int = 11):
+    tb = build_linear_testbed(
+        ["A", "B", "C"], hosts_per_domain=1,
+        inter_capacity_mbps=BOTTLENECK_MBPS,
+    )
+    mean_rate = 10.0
+    mean_hold = 300.0
+    arrival = load_factor * BOTTLENECK_MBPS / (mean_rate * mean_hold)
+    spec = WorkloadSpec(
+        arrival_rate_per_s=arrival,
+        mean_duration_s=mean_hold,
+        rate_choices_mbps=(5.0, 10.0, 15.0),
+        pairs=(("A", "C"),),
+        horizon_s=6000.0,
+    )
+    result = ReservationWorkload(tb, spec, rng=random.Random(seed)).run()
+    return result
+
+
+def run_sweep():
+    return {lf: run_point(lf) for lf in LOAD_FACTORS}
+
+
+def test_extended_acceptance_curve(benchmark, report):
+    from repro.workloads.analysis import predicted_acceptance
+
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    report.append("Extended: acceptance ratio vs offered load "
+                  f"(bottleneck {BOTTLENECK_MBPS:.0f} Mb/s)")
+    report.append("  load  offered  accepted  ratio   carried   Erlang-B")
+    for lf, r in results.items():
+        predicted = predicted_acceptance(
+            arrival_rate_per_s=lf * BOTTLENECK_MBPS / (10.0 * 300.0),
+            mean_duration_s=300.0,
+            mean_rate_mbps=10.0,
+            bottleneck_mbps=BOTTLENECK_MBPS,
+        )
+        report.append(
+            f"  {lf:>4.2f}  {r.offered:>7d}  {r.accepted:>8d}"
+            f"  {r.acceptance_ratio:5.2f}   {r.carried_fraction:5.2f}"
+            f"     {predicted:5.2f}"
+        )
+    # The loss-system shape:
+    assert results[0.25].acceptance_ratio > 0.95
+    assert results[0.5].acceptance_ratio > 0.85
+    assert results[4.0].acceptance_ratio < results[0.5].acceptance_ratio
+    # Carried volume is monotone non-increasing in relative terms...
+    ratios = [results[lf].acceptance_ratio for lf in LOAD_FACTORS]
+    assert all(a >= b - 0.05 for a, b in zip(ratios, ratios[1:]))
+    # ...and the carried fraction at 4x load is roughly 1/4 (saturation).
+    assert results[4.0].carried_fraction == pytest.approx(0.25, abs=0.15)

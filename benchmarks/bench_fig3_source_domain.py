@@ -1,0 +1,73 @@
+"""E3 / Figure 3: source-domain-based signalling (Approach 1).
+
+An end-to-end agent contacts every BB directly.  The benchmark reproduces
+both properties the paper attributes to this design: it *fails* wherever
+the user lacks a direct trust relationship, and — once universal trust is
+provisioned out of band — the concurrent variant is the latency winner
+(reservations "can be made in parallel", §3).
+"""
+
+import pytest
+
+from repro.core.testbed import build_linear_testbed
+
+
+@pytest.fixture(scope="module")
+def trusted_testbed():
+    tb = build_linear_testbed(["A", "B", "C"])
+    alice = tb.add_user("A", "Alice")
+    for domain in ("B", "C"):
+        tb.introduce_user_to(alice, domain)
+    return tb
+
+
+def test_fig3_requires_universal_trust(benchmark, report):
+    tb = build_linear_testbed(["A", "B", "C"])
+    alice = tb.add_user("A", "Alice")
+    request = tb.make_request(source="A", destination="C", bandwidth_mbps=10.0)
+
+    outcome = benchmark(tb.end_to_end_agent.reserve, alice, request)
+    assert not outcome.granted
+    assert "no trust relationship" in outcome.failures["B"]
+    report.append("Figure 3, flaw 1: without per-domain trust the agent fails")
+    report.append(f"  failures: {outcome.failures}")
+
+
+def test_fig3_sequential(benchmark, trusted_testbed, report):
+    tb = trusted_testbed
+    alice = tb.users["Alice"]
+    request = tb.make_request(source="A", destination="C", bandwidth_mbps=10.0)
+
+    def run():
+        outcome = tb.end_to_end_agent.reserve(alice, request)
+        tb.end_to_end_agent.release(outcome)
+        return outcome
+
+    outcome = benchmark(run)
+    assert outcome.complete
+    report.append(
+        f"Figure 3 sequential : latency model {outcome.latency_s * 1000:.1f} ms, "
+        f"{outcome.messages} messages"
+    )
+
+
+def test_fig3_concurrent_faster(benchmark, trusted_testbed, report):
+    tb = trusted_testbed
+    alice = tb.users["Alice"]
+    request = tb.make_request(source="A", destination="C", bandwidth_mbps=10.0)
+
+    def run():
+        outcome = tb.end_to_end_agent.reserve(alice, request, concurrent=True)
+        tb.end_to_end_agent.release(outcome)
+        return outcome
+
+    concurrent = benchmark(run)
+    sequential = tb.end_to_end_agent.reserve(alice, request)
+    tb.end_to_end_agent.release(sequential)
+    assert concurrent.complete
+    # §3: parallel contact beats sequential contact.
+    assert concurrent.latency_s < sequential.latency_s
+    report.append(
+        f"Figure 3 concurrent : latency model {concurrent.latency_s * 1000:.1f} ms "
+        f"(vs sequential {sequential.latency_s * 1000:.1f} ms)"
+    )

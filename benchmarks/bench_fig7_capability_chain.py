@@ -1,0 +1,105 @@
+"""E7 / Figure 7: capability-certificate propagation and verification.
+
+Regenerates the figure's content — the capability list held by each
+broker after each delegation step — and times the two cryptographic
+operations the scheme adds per hop: the delegation (one certificate
+signature) and the destination's full §6.5 chain verification including
+proof of possession.
+"""
+
+import random
+
+import pytest
+
+from repro.crypto.capability import (
+    ProxyCredential,
+    capability_set,
+    delegate,
+    issue_capability,
+    prove_possession,
+    restriction_set,
+    verify_delegation_chain,
+)
+from repro.crypto.dn import DN
+from repro.crypto.keys import RSAScheme, SimulatedScheme
+
+CAS_DN = DN.make("Grid", "ESnet", "CAS")
+USER = DN.make("Grid", "A", "Alice")
+BBS = [DN.make("Grid", d, f"BB-{d}") for d in "ABC"]
+
+
+def build_world(scheme):
+    rng = random.Random(7)
+    cas_keys = scheme.generate(rng)
+    bb_keys = [scheme.generate(rng) for _ in BBS]
+    cred = issue_capability(
+        issuer=CAS_DN,
+        issuer_signing_key=cas_keys.private,
+        subject=USER,
+        capabilities=["ESnet:member"],
+        serial=1,
+        rng=rng,
+        scheme=scheme.name,
+    )
+    return cas_keys, bb_keys, cred
+
+
+def build_chain(bb_keys, cred):
+    chain = [cred.certificate]
+    holder = cred
+    for i, (dn, keys) in enumerate(zip(BBS, bb_keys)):
+        cert = delegate(
+            holder,
+            delegate_subject=dn,
+            delegate_public_key=keys.public,
+            extra_restrictions=("valid-for:RAR",) if i == 0 else (),
+        )
+        chain.append(cert)
+        holder = ProxyCredential(cert, keys.private)
+    return chain
+
+
+@pytest.fixture(scope="module", params=["simulated", "rsa512"])
+def world(request):
+    scheme = (
+        SimulatedScheme() if request.param == "simulated" else RSAScheme(bits=512)
+    )
+    cas_keys, bb_keys, cred = build_world(scheme)
+    return request.param, scheme, cas_keys, bb_keys, cred
+
+
+def test_fig7_delegation_cost(benchmark, world, report):
+    name, scheme, cas_keys, bb_keys, cred = world
+    chain = benchmark(build_chain, bb_keys, cred)
+    assert len(chain) == 4
+    # Figure 7's columns: each BB holds one more certificate than the last.
+    for i, cert in enumerate(chain):
+        assert capability_set(cert) == {"ESnet:member"}
+        if i >= 1:
+            assert restriction_set(cert) == {"valid-for:RAR"}
+    report.append(
+        f"Figure 7 [{name}] chain of {len(chain)} capability certs built "
+        f"(capability list per hop: 1, 2, 3, 4 certificates)"
+    )
+
+
+def test_fig7_destination_verification(benchmark, world, report):
+    name, scheme, cas_keys, bb_keys, cred = world
+    chain = build_chain(bb_keys, cred)
+    final_keys = bb_keys[-1]
+
+    def verify():
+        return verify_delegation_chain(
+            chain,
+            trusted_issuers={CAS_DN: cas_keys.public},
+            possession_nonce=b"figure-7",
+            possession_prover=lambda n: prove_possession(final_keys.private, n),
+        )
+
+    result = benchmark(verify)
+    assert result.capabilities == {"ESnet:member"}
+    assert result.restrictions == {"valid-for:RAR"}
+    assert result.holders[-1] == BBS[-1]
+    report.append(
+        f"Figure 7 [{name}] full seven-check verification at the destination: OK"
+    )

@@ -1,0 +1,110 @@
+"""Substrate benchmark: the discrete-event DiffServ simulator itself.
+
+Not a paper experiment — a calibration of the reproduction's measurement
+instrument.  The Figure 4 traffic runs depend on the simulator processing
+hundreds of thousands of events quickly; this benchmark pins down event
+throughput and packet-forwarding cost so regressions in the substrate do
+not masquerade as protocol effects.
+"""
+
+import random
+
+import pytest
+
+from repro.net.diffserv import NetworkModel, TrafficProfile
+from repro.net.flows import FlowSpec
+from repro.net.packet import DSCP
+from repro.net.simulator import Simulator
+from repro.net.topology import linear_domain_chain
+from repro.net.trafficgen import CBRSource
+
+
+def test_event_loop_throughput(benchmark):
+    """Raw scheduler: schedule + dispatch of 10k no-op events."""
+
+    def run():
+        sim = Simulator()
+        for i in range(10_000):
+            sim.schedule(i * 1e-6, lambda: None)
+        sim.run()
+        return sim.events_processed
+
+    assert benchmark(run) == 10_000
+
+
+def test_packet_forwarding_throughput(benchmark, report):
+    """End-to-end packet cost across a 3-domain path with policing."""
+
+    def run():
+        topo = linear_domain_chain(["A", "B", "C"], hosts_per_domain=1)
+        model = NetworkModel(topo, Simulator())
+        model.install_flow_policer(
+            "core.A", "f", TrafficProfile(50.0), mark=DSCP.EF
+        )
+        model.set_aggregate_rate("edge.B.left", DSCP.EF, 50.0)
+        model.set_aggregate_rate("edge.C.left", DSCP.EF, 50.0)
+        CBRSource(
+            model,
+            FlowSpec("f", "h0.A", "h0.C", rate_mbps=50.0, dscp=DSCP.EF),
+            stop_time=0.5,
+        ).start()
+        model.sim.run()
+        stats = model.stats_for("f")
+        return stats, model.sim.events_processed
+
+    stats, events = benchmark(run)
+    assert stats.delivery_ratio == 1.0
+    report.append(
+        f"Substrate: {stats.sent_packets} packets / {events} events per "
+        f"0.5 s simulated across 3 domains"
+    )
+
+
+def test_poisson_heavy_load(benchmark):
+    """Congested scenario: offered load 2x an interdomain link."""
+
+    def run():
+        topo = linear_domain_chain(
+            ["A", "B"], hosts_per_domain=2, inter_capacity_mbps=20.0
+        )
+        model = NetworkModel(topo, Simulator())
+        from repro.net.trafficgen import PoissonSource
+
+        for i, host in enumerate(("h0.A", "h1.A")):
+            PoissonSource(
+                model,
+                FlowSpec(f"f{i}", host, f"h{i}.B", rate_mbps=20.0),
+                rng=random.Random(i),
+                stop_time=0.5,
+            ).start()
+        model.sim.run()
+        return model
+
+    model = benchmark(run)
+    total_sent = sum(s.sent_packets for s in model.stats.values())
+    total_ok = sum(s.delivered_packets for s in model.stats.values())
+    # Roughly half the offered load fits through the 20 Mb/s bottleneck
+    # (drop-tail queues absorb part of the excess).
+    assert 0.35 < total_ok / total_sent < 0.85
+    assert model.total_drops("queue-overflow") > 0
+
+
+def test_codec_roundtrip_throughput(benchmark, report):
+    """Wire-codec cost on a realistic nested RAR (3 layers, certs)."""
+    from repro.core.codec import from_wire, to_wire
+    from repro.core.testbed import build_linear_testbed
+
+    tb = build_linear_testbed(["A", "B", "C"])
+    alice = tb.add_user("A", "Alice")
+    outcome = tb.reserve(alice, source="A", destination="C",
+                         bandwidth_mbps=1.0)
+    rar = outcome.final_rar
+
+    def roundtrip():
+        return from_wire(to_wire(rar))
+
+    back = benchmark(roundtrip)
+    assert back == rar
+    report.append(
+        f"Substrate: codec round trip of a {rar.wire_size()} B nested RAR"
+    )

@@ -1,0 +1,23 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_*`` module regenerates one experiment from DESIGN.md §5
+(E1–E7 = Figures 1–7, C1–C5 = the paper's qualitative performance
+claims).  Benchmarks both *measure* (pytest-benchmark timings) and
+*assert the claimed shape* — who wins, by roughly what factor — so a
+benchmark run doubles as a reproduction check.  Human-readable rows are
+printed via the ``report`` fixture (visible with ``-s`` and in the
+captured output summary).
+"""
+
+import pytest
+
+
+@pytest.fixture()
+def report():
+    """Collects printable result rows and emits them at teardown."""
+    rows: list[str] = []
+    yield rows
+    if rows:
+        print()
+        for row in rows:
+            print(row)

@@ -1,0 +1,7 @@
+"""Shim for environments without the ``wheel`` package (legacy editable
+installs via ``pip install -e . --no-build-isolation --no-use-pep517``).
+All real metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,68 @@
+"""repro — reproduction of *End-to-End Provision of Policy Information for
+Network QoS* (Sander, Adamson, Foster, Roy; HPDC 2001).
+
+The package implements the paper's co-reservation architecture end to end:
+
+* :mod:`repro.crypto` — PKI substrate (RSA, X.509-style certificates,
+  capability certificates with proxy-key delegation, trust stores).
+* :mod:`repro.net` — a discrete-event Differentiated-Services network
+  simulator (token buckets, EF/AF/BE per-hop behaviours, edge policing).
+* :mod:`repro.policy` — policy decision points: a rule engine, a parser
+  for the paper's policy-file syntax, group servers, a CAS, and an
+  Akenti-style engine.
+* :mod:`repro.bb` — bandwidth brokers: SLAs/SLSs, time-slotted advance
+  admission control, reservations, the policy-server entity.
+* :mod:`repro.core` — the paper's contribution: signed RAR envelopes,
+  mutually authenticated channels, hop-by-hop signalling with transitive
+  trust, capability delegation flow, tunnels, and the source-domain
+  baselines (GARA end-to-end agent, STARS coordinator).
+* :mod:`repro.gara` — uniform reservation API over network/CPU/disk with
+  all-or-nothing co-reservation.
+* :mod:`repro.accounting` — transitive billing along the SLA chain.
+* :mod:`repro.baselines` — an RSVP/IntServ per-flow signalling baseline.
+
+Quickstart::
+
+    from repro import build_linear_testbed
+
+    testbed = build_linear_testbed(["A", "B", "C"])
+    alice = testbed.add_user("A", "Alice")
+    outcome = testbed.reserve(alice, source="A", destination="C",
+                              bandwidth_mbps=10.0, start=0.0, duration=3600.0)
+    assert outcome.granted
+"""
+
+from repro._version import __version__
+from repro.errors import ReproError
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "build_linear_testbed",
+    "build_star_testbed",
+    "build_mesh_testbed",
+]
+
+
+def build_linear_testbed(*args, **kwargs):
+    """Convenience re-export of :func:`repro.core.testbed.build_linear_testbed`.
+
+    Imported lazily so that ``import repro`` stays cheap.
+    """
+    from repro.core.testbed import build_linear_testbed as _impl
+
+    return _impl(*args, **kwargs)
+
+
+def build_star_testbed(*args, **kwargs):
+    """Convenience re-export of :func:`repro.core.testbed.build_star_testbed`."""
+    from repro.core.testbed import build_star_testbed as _impl
+
+    return _impl(*args, **kwargs)
+
+
+def build_mesh_testbed(*args, **kwargs):
+    """Convenience re-export of :func:`repro.core.testbed.build_mesh_testbed`."""
+    from repro.core.testbed import build_mesh_testbed as _impl
+
+    return _impl(*args, **kwargs)

@@ -1,0 +1,5 @@
+"""Transitive billing along the SLA chain (paper §6.4)."""
+
+from repro.accounting.billing import BillingRun, Invoice, TransitiveBilling
+
+__all__ = ["Invoice", "BillingRun", "TransitiveBilling"]

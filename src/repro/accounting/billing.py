@@ -1,0 +1,167 @@
+"""Transitive billing along the SLA chain (paper §6.4).
+
+"Whenever a domain actually bills the requesting entity for the use of
+the network service, SLAs are already used to set up a transitive billing
+relation in multi-domain networks.  When network traffic enters domain C
+through domain B, it is billed using the agreement between B and C.  B as
+a transient domain, however, would also bill traffic originating from a
+different domain using the related SLA.  Finally, the source domain would
+bill the traffic against the originator."
+
+Model: every domain on the path charges its *own* tariff (the ingress
+SLA's ``price_per_mbps_hour``; the source domain uses its user tariff)
+and passes through whatever it was billed from downstream.  Invoices
+therefore cascade upstream — C bills B, B bills A (B's own charge plus
+C's invoice), A bills the user — and the user's single invoice equals the
+sum of every domain's own charge.  :meth:`TransitiveBilling.net_position`
+checks the conservation property: each transit domain nets exactly its
+own charge, and the sum of all net positions equals the user's payment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.hopbyhop import SignallingOutcome
+from repro.crypto.dn import DistinguishedName
+from repro.errors import AccountingError
+
+__all__ = ["Invoice", "BillingRun", "TransitiveBilling"]
+
+
+@dataclass(frozen=True)
+class Invoice:
+    """One bill: *issuer* charges *payer* `amount` for `usage_mbps_hours`.
+
+    ``own_charge`` is the issuer's tariff portion; ``passed_through`` the
+    downstream invoices it forwards.  ``amount = own_charge +
+    passed_through``.
+    """
+
+    issuer: str
+    payer: str
+    usage_mbps_hours: float
+    own_charge: float
+    passed_through: float
+
+    @property
+    def amount(self) -> float:
+        return self.own_charge + self.passed_through
+
+
+@dataclass
+class BillingRun:
+    """All invoices produced for one reservation's usage."""
+
+    user: DistinguishedName
+    path: tuple[str, ...]
+    usage_mbps_hours: float
+    invoices: tuple[Invoice, ...] = ()
+
+    def invoice_to_user(self) -> Invoice:
+        for inv in self.invoices:
+            if inv.payer == str(self.user):
+                return inv
+        raise AccountingError("no invoice addressed to the user")
+
+    def invoice_between(self, issuer: str, payer: str) -> Invoice:
+        for inv in self.invoices:
+            if inv.issuer == issuer and inv.payer == payer:
+                return inv
+        raise AccountingError(f"no invoice {issuer} -> {payer}")
+
+
+class TransitiveBilling:
+    """Generates and ledgers transitive invoices for granted reservations."""
+
+    def __init__(self, brokers, *, user_tariff_per_mbps_hour: float = 2.0):
+        self.brokers = dict(brokers)
+        self.user_tariff = user_tariff_per_mbps_hour
+        self.ledger: list[BillingRun] = []
+
+    def _ingress_price(self, domain: str, upstream: str) -> float:
+        """The price of the SLA governing traffic entering *domain* from
+        *upstream* (what *domain* charges *upstream*)."""
+        broker = self.brokers[domain]
+        sla = broker.slas_in.get(upstream)
+        if sla is None:
+            raise AccountingError(f"no SLA {upstream} -> {domain}")
+        return sla.price_per_mbps_hour
+
+    def bill(
+        self,
+        outcome: SignallingOutcome,
+        *,
+        usage_mbps_hours: float | None = None,
+    ) -> BillingRun:
+        """Produce the invoice cascade for a granted reservation.
+
+        ``usage_mbps_hours`` defaults to the reserved rate times the
+        reservation duration (flat-rate billing of the reserved profile).
+        """
+        if not outcome.granted or outcome.verified is None:
+            raise AccountingError("can only bill granted reservations")
+        request = outcome.verified.request
+        if usage_mbps_hours is None:
+            usage_mbps_hours = request.rate_mbps * request.duration / 3600.0
+        path = outcome.path
+
+        invoices: list[Invoice] = []
+        passed = 0.0
+        # Walk from the destination towards the source: each domain bills
+        # its upstream neighbour its own tariff plus the pass-through.
+        for i in range(len(path) - 1, 0, -1):
+            domain, upstream = path[i], path[i - 1]
+            own = self._ingress_price(domain, upstream) * usage_mbps_hours
+            invoices.append(
+                Invoice(
+                    issuer=domain,
+                    payer=upstream,
+                    usage_mbps_hours=usage_mbps_hours,
+                    own_charge=own,
+                    passed_through=passed,
+                )
+            )
+            passed += own
+        # Finally the source domain bills the originator.
+        source = path[0]
+        invoices.append(
+            Invoice(
+                issuer=source,
+                payer=str(outcome.verified.user),
+                usage_mbps_hours=usage_mbps_hours,
+                own_charge=self.user_tariff * usage_mbps_hours,
+                passed_through=passed,
+            )
+        )
+        run = BillingRun(
+            user=outcome.verified.user,
+            path=path,
+            usage_mbps_hours=usage_mbps_hours,
+            invoices=tuple(invoices),
+        )
+        self.ledger.append(run)
+        return run
+
+    # -- settlement ------------------------------------------------------------------
+
+    @staticmethod
+    def net_position(run: BillingRun, party: str) -> float:
+        """Money received minus money paid by *party* in this run."""
+        received = sum(i.amount for i in run.invoices if i.issuer == party)
+        paid = sum(i.amount for i in run.invoices if i.payer == party)
+        return received - paid
+
+    @staticmethod
+    def conservation_holds(run: BillingRun, *, tol: float = 1e-9) -> bool:
+        """The user's payment equals the sum of all own charges, and every
+        party's net position equals its own charge (zero for the user)."""
+        user_paid = run.invoice_to_user().amount
+        total_own = sum(i.own_charge for i in run.invoices)
+        if abs(user_paid - total_own) > tol:
+            return False
+        for inv in run.invoices:
+            net = TransitiveBilling.net_position(run, inv.issuer)
+            if abs(net - inv.own_charge) > tol:
+                return False
+        return True

@@ -1,0 +1,6 @@
+"""Comparison baselines: the RSVP/IntServ per-flow signalling model whose
+scaling problems motivated Differentiated Services (paper §2)."""
+
+from repro.baselines.rsvp import RSVPRouterState, RSVPSimulator
+
+__all__ = ["RSVPSimulator", "RSVPRouterState"]

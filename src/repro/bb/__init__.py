@@ -1,0 +1,47 @@
+"""Bandwidth brokers: SLAs/SLSs, advance-reservation admission control,
+reservation lifecycle, the policy-server entity, and the broker itself.
+
+The inter-domain signalling that connects brokers lives in
+:mod:`repro.core`; this package is each domain's local machinery.
+"""
+
+from repro.bb.admission import AdmissionController, Booking, CapacitySchedule
+from repro.bb.broker import (
+    INTRA,
+    AdmitOutcome,
+    BandwidthBroker,
+    EdgeConfigurator,
+    egress_resource,
+    ingress_resource,
+)
+from repro.bb.policyserver import AkentiPolicyServer, PolicyServer, VerifiedInfo
+from repro.bb.reservations import (
+    Reservation,
+    ReservationRequest,
+    ReservationState,
+    ReservationTable,
+)
+from repro.bb.sla import SLA, SLS, ServiceLevelAgreement, ServiceLevelSpecification
+
+__all__ = [
+    "ServiceLevelAgreement",
+    "ServiceLevelSpecification",
+    "SLA",
+    "SLS",
+    "ReservationRequest",
+    "Reservation",
+    "ReservationState",
+    "ReservationTable",
+    "CapacitySchedule",
+    "AdmissionController",
+    "Booking",
+    "PolicyServer",
+    "AkentiPolicyServer",
+    "VerifiedInfo",
+    "BandwidthBroker",
+    "AdmitOutcome",
+    "EdgeConfigurator",
+    "INTRA",
+    "ingress_resource",
+    "egress_resource",
+]

@@ -1,0 +1,155 @@
+"""Advance-reservation admission control.
+
+A bandwidth broker must answer: *can I carry R Mb/s between t₀ and t₁ in
+addition to everything already admitted?*  A :class:`CapacitySchedule`
+tracks bookings over time for one capacity-constrained resource (an
+interdomain SLA, an intra-domain trunk); the check is a boundary sweep
+over overlapping bookings, exact for piecewise-constant demand.
+
+An :class:`AdmissionController` aggregates the schedules a broker cares
+about and books all-or-nothing across them.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.errors import AdmissionError, CapacityExceededError
+
+__all__ = ["Booking", "CapacitySchedule", "AdmissionController"]
+
+
+@dataclass(frozen=True)
+class Booking:
+    booking_id: int
+    start: float
+    end: float
+    rate_mbps: float
+    tag: str = ""
+
+
+class CapacitySchedule:
+    """Time-varying capacity bookkeeping for one resource."""
+
+    def __init__(self, name: str, capacity_mbps: float):
+        if capacity_mbps <= 0:
+            raise AdmissionError("capacity must be positive")
+        self.name = name
+        self.capacity_mbps = capacity_mbps
+        self._bookings: dict[int, Booking] = {}
+        self._ids = itertools.count(1)
+
+    # -- queries -------------------------------------------------------------------
+
+    def load_at(self, when: float) -> float:
+        """Total booked rate at instant *when* (bookings are [start, end))."""
+        return sum(
+            b.rate_mbps for b in self._bookings.values() if b.start <= when < b.end
+        )
+
+    def peak_load(self, start: float, end: float) -> float:
+        """Maximum total booked rate over [start, end)."""
+        peak = 0.0
+        # Load only changes at booking boundaries; sample each boundary
+        # inside the window plus the window start.
+        points = {start}
+        for b in self._bookings.values():
+            if b.end > start and b.start < end:
+                points.add(max(b.start, start))
+        for p in points:
+            peak = max(peak, self.load_at(p))
+        return peak
+
+    def available(self, start: float, end: float) -> float:
+        """Worst-case spare capacity over [start, end)."""
+        if end <= start:
+            raise AdmissionError("interval must have positive width")
+        return self.capacity_mbps - self.peak_load(start, end)
+
+    def utilization(self, when: float) -> float:
+        return self.load_at(when) / self.capacity_mbps
+
+    @property
+    def bookings(self) -> tuple[Booking, ...]:
+        return tuple(self._bookings.values())
+
+    # -- mutation --------------------------------------------------------------------
+
+    def book(
+        self, start: float, end: float, rate_mbps: float, *, tag: str = ""
+    ) -> Booking:
+        """Admit a booking or raise :class:`CapacityExceededError`."""
+        if rate_mbps <= 0:
+            raise AdmissionError("booked rate must be positive")
+        spare = self.available(start, end)
+        if rate_mbps > spare + 1e-9:
+            raise CapacityExceededError(
+                f"{self.name}: requested {rate_mbps} Mb/s over [{start}, {end}) "
+                f"but only {max(spare, 0.0):.3f} Mb/s available "
+                f"(capacity {self.capacity_mbps})"
+            )
+        booking = Booking(next(self._ids), start, end, rate_mbps, tag)
+        self._bookings[booking.booking_id] = booking
+        return booking
+
+    def release(self, booking_id: int) -> None:
+        if booking_id not in self._bookings:
+            raise AdmissionError(f"{self.name}: unknown booking {booking_id}")
+        del self._bookings[booking_id]
+
+
+class AdmissionController:
+    """All-or-nothing booking across several capacity schedules."""
+
+    def __init__(self) -> None:
+        self._schedules: dict[str, CapacitySchedule] = {}
+
+    def add_resource(self, name: str, capacity_mbps: float) -> CapacitySchedule:
+        if name in self._schedules:
+            raise AdmissionError(f"duplicate resource {name!r}")
+        schedule = CapacitySchedule(name, capacity_mbps)
+        self._schedules[name] = schedule
+        return schedule
+
+    def schedule(self, name: str) -> CapacitySchedule:
+        try:
+            return self._schedules[name]
+        except KeyError:
+            raise AdmissionError(f"unknown resource {name!r}") from None
+
+    def resources(self) -> tuple[str, ...]:
+        return tuple(self._schedules)
+
+    def available(self, names: list[str], start: float, end: float) -> float:
+        """Bottleneck spare capacity across the named resources."""
+        if not names:
+            raise AdmissionError("no resources named")
+        return min(self.schedule(n).available(start, end) for n in names)
+
+    def book_all(
+        self,
+        names: list[str],
+        start: float,
+        end: float,
+        rate_mbps: float,
+        *,
+        tag: str = "",
+    ) -> tuple[tuple[str, int], ...]:
+        """Book *rate_mbps* on every named resource, atomically: on any
+        failure, already-made bookings are rolled back and the error is
+        re-raised.  Returns ``((resource, booking_id), ...)``."""
+        made: list[tuple[str, int]] = []
+        try:
+            for name in names:
+                booking = self.schedule(name).book(start, end, rate_mbps, tag=tag)
+                made.append((name, booking.booking_id))
+        except AdmissionError:
+            for name, bid in made:
+                self.schedule(name).release(bid)
+            raise
+        return tuple(made)
+
+    def release_all(self, bookings: tuple[tuple[str, int], ...]) -> None:
+        for name, bid in bookings:
+            self.schedule(name).release(bid)

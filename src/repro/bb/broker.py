@@ -1,0 +1,386 @@
+"""The bandwidth broker (BB).
+
+Paper §2: "A BB provides admission control and configures the edge
+routers of a single administrative network domain."  This class is the
+*local* half of a BB — policy consultation, SLA conformance, capacity
+booking, reservation lifecycle, and edge-router (re)configuration.  The
+*inter-domain* half — signed envelopes, channels, forwarding — lives in
+:mod:`repro.core` and drives brokers through the methods here.
+
+The four source-domain steps of §6.1 map onto this class as:
+
+1. "contacts the policy server to verify [...] and that the user is
+   authorized" — :meth:`decide_policy` (via the policy server);
+2. "receives additional domain-wide information from the policy server"
+   — the modifications on the returned decision;
+3. "decides whether or not the request can be satisfied within the local
+   domain, based both on the traffic profile and the policy constraints"
+   — :meth:`admit`, which books capacity;
+4. "forwards the request to the next BB" — the protocol layer's job.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.bb.admission import AdmissionController
+from repro.bb.policyserver import PolicyServer, VerifiedInfo
+from repro.bb.reservations import (
+    Reservation,
+    ReservationRequest,
+    ReservationState,
+    ReservationTable,
+)
+from repro.bb.sla import ServiceLevelAgreement
+from repro.crypto.dn import DN, DistinguishedName
+from repro.crypto.keys import KeyPair, get_scheme
+from repro.crypto.truststore import TrustStore
+from repro.crypto.x509 import Certificate
+from repro.errors import AdmissionError, SLAError, SLAViolationError
+from repro.policy.engine import PolicyDecision
+
+__all__ = ["EdgeConfigurator", "BandwidthBroker", "AdmitOutcome", "AuditEntry"]
+
+#: Resource-name conventions inside a broker's admission controller.
+INTRA = "intra"
+
+
+def ingress_resource(upstream: str) -> str:
+    return f"ingress:{upstream}"
+
+
+def egress_resource(downstream: str) -> str:
+    return f"egress:{downstream}"
+
+
+class EdgeConfigurator(Protocol):
+    """How a broker touches its domain's edge routers.
+
+    The testbed implements this against the DiffServ
+    :class:`~repro.net.diffserv.NetworkModel`; unit tests use stubs.
+    """
+
+    def provision_flow(
+        self, domain: str, reservation: Reservation
+    ) -> None:  # pragma: no cover - protocol
+        """Install per-flow classification for a claimed source-domain
+        reservation."""
+        ...
+
+    def teardown_flow(
+        self, domain: str, reservation: Reservation
+    ) -> None:  # pragma: no cover - protocol
+        ...
+
+    def provision_ingress(
+        self, domain: str, upstream: str, service_class, total_rate_mbps: float
+    ) -> None:  # pragma: no cover - protocol
+        """Set the aggregate policer for traffic arriving from *upstream*."""
+        ...
+
+
+@dataclass(frozen=True)
+class AdmitOutcome:
+    """Result of a local admission attempt."""
+
+    granted: bool
+    reservation: Reservation
+    decision: PolicyDecision | None = None
+    reason: str = ""
+
+
+@dataclass(frozen=True)
+class AuditEntry:
+    """One line in a broker's decision trail.
+
+    Every admission attempt and every lifecycle transition leaves an
+    entry, giving domain operators the accountable record the paper's
+    accounting discussion presumes ("whenever a domain actually bills the
+    requesting entity ...").
+    """
+
+    at_time: float
+    event: str  # admit | claim | cancel
+    handle: str
+    user: str
+    granted: bool
+    reason: str = ""
+    rate_mbps: float = 0.0
+    window: tuple[float, float] = (0.0, 0.0)
+    upstream: str | None = None
+    downstream: str | None = None
+
+
+class BandwidthBroker:
+    """One domain's bandwidth broker (local decision logic)."""
+
+    def __init__(
+        self,
+        domain: str,
+        *,
+        policy_server: PolicyServer,
+        admission: AdmissionController,
+        dn: DistinguishedName | None = None,
+        keypair: KeyPair | None = None,
+        certificate: Certificate | None = None,
+        truststore: TrustStore | None = None,
+        configurator: EdgeConfigurator | None = None,
+        scheme: str = "rsa",
+        rng: random.Random | None = None,
+    ):
+        self.domain = domain
+        self.dn = dn if dn is not None else DN.make("Grid", domain, f"BB-{domain}")
+        if keypair is None:
+            keypair = get_scheme(scheme).generate(
+                rng if rng is not None else random.Random(hash(domain) & 0xFFFF)
+            )
+        self.keypair = keypair
+        self.certificate = certificate
+        self.truststore = truststore if truststore is not None else TrustStore()
+        self.policy_server = policy_server
+        self.admission = admission
+        self.reservations = ReservationTable(domain)
+        self.configurator = configurator
+        #: SLAs keyed by peer domain: traffic *from* peer (we are downstream).
+        self.slas_in: dict[str, ServiceLevelAgreement] = {}
+        #: SLAs keyed by peer domain: traffic *to* peer (we are upstream).
+        self.slas_out: dict[str, ServiceLevelAgreement] = {}
+        #: handle -> ((resource, booking_id), ...) backing each reservation.
+        self._booking_map: dict[str, tuple[tuple[str, int], ...]] = {}
+        #: Validators for linked reservations of other resource kinds.
+        self._linked_validators: dict[str, object] = {}
+        #: Operator-facing decision trail (admit/claim/cancel events).
+        self.audit_log: list[AuditEntry] = []
+
+    # -- peering -----------------------------------------------------------------
+
+    def register_sla(self, sla: ServiceLevelAgreement) -> None:
+        """Register a contract this domain participates in (either side)."""
+        if sla.downstream_domain == self.domain:
+            self.slas_in[sla.upstream_domain] = sla
+        elif sla.upstream_domain == self.domain:
+            self.slas_out[sla.downstream_domain] = sla
+        else:
+            raise SLAError(
+                f"SLA {sla.upstream_domain}->{sla.downstream_domain} does not "
+                f"involve domain {self.domain}"
+            )
+
+    def peer_domains(self) -> frozenset[str]:
+        return frozenset(self.slas_in) | frozenset(self.slas_out)
+
+    # -- the local decision pipeline -------------------------------------------------
+
+    def check_sla(
+        self,
+        request: ReservationRequest,
+        *,
+        upstream: str | None,
+        downstream: str | None,
+    ) -> None:
+        """Conformance of the traffic profile with the relevant SLAs.
+
+        An intermediate/destination BB "checks whether the requested
+        traffic profile conforms to the related SLA" (§6.2) — that is the
+        upstream contract; a forwarding BB must also hold an SLA toward
+        the downstream domain.
+        """
+        if upstream is not None:
+            sla = self.slas_in.get(upstream)
+            if sla is None:
+                raise SLAViolationError(
+                    f"{self.domain}: no SLA with upstream domain {upstream!r}"
+                )
+            sla.check_profile(request.service_class, request.rate_mbps,
+                              request.burst_bits)
+        if downstream is not None:
+            sla = self.slas_out.get(downstream)
+            if sla is None:
+                raise SLAViolationError(
+                    f"{self.domain}: no SLA with downstream domain {downstream!r}"
+                )
+            sla.check_profile(request.service_class, request.rate_mbps,
+                              request.burst_bits)
+
+    def _resources_for(
+        self, upstream: str | None, downstream: str | None
+    ) -> list[str]:
+        resources = []
+        if upstream is not None:
+            resources.append(ingress_resource(upstream))
+        resources.append(INTRA)
+        if downstream is not None:
+            resources.append(egress_resource(downstream))
+        return [r for r in resources if r in self.admission.resources()]
+
+    def available_bandwidth(
+        self,
+        request: ReservationRequest,
+        *,
+        upstream: str | None = None,
+        downstream: str | None = None,
+    ) -> float:
+        """Bottleneck spare capacity for this request's interval and path
+        (feeds the policy language's ``Avail_BW`` variable)."""
+        resources = self._resources_for(upstream, downstream)
+        if not resources:
+            return float("inf")
+        return self.admission.available(resources, request.start, request.end)
+
+    def decide_policy(
+        self,
+        request: ReservationRequest,
+        verified: VerifiedInfo,
+        *,
+        at_time: float = 0.0,
+        upstream: str | None = None,
+        downstream: str | None = None,
+    ) -> PolicyDecision:
+        return self.policy_server.decide(
+            request,
+            verified,
+            at_time=at_time,
+            available_bandwidth_mbps=self.available_bandwidth(
+                request, upstream=upstream, downstream=downstream
+            ),
+            linked_validator=self._linked_validator,
+        )
+
+    def _linked_validator(self, kind: str, handle: str) -> bool:
+        """Validate linked reservations.  Network handles are checked in
+        our own table; other resource kinds are delegated to registered
+        validators (the GARA layer wires these in)."""
+        validator = self._linked_validators.get(kind)
+        if validator is not None:
+            return bool(validator(handle))
+        return self.reservations.is_valid(handle)
+
+    def register_linked_validator(self, kind: str, fn) -> None:
+        self._linked_validators[kind] = fn
+
+    def _audit(self, event: str, resv: Reservation, *, granted: bool,
+               reason: str = "", at_time: float = 0.0) -> None:
+        self.audit_log.append(
+            AuditEntry(
+                at_time=at_time,
+                event=event,
+                handle=resv.handle,
+                user=str(resv.owner) if resv.owner else "",
+                granted=granted,
+                reason=reason,
+                rate_mbps=resv.request.rate_mbps,
+                window=(resv.request.start, resv.request.end),
+                upstream=resv.upstream,
+                downstream=resv.downstream,
+            )
+        )
+
+    def admit(
+        self,
+        request: ReservationRequest,
+        verified: VerifiedInfo,
+        *,
+        at_time: float = 0.0,
+        upstream: str | None = None,
+        downstream: str | None = None,
+    ) -> AdmitOutcome:
+        """The full local pipeline: SLA check, policy, capacity booking.
+
+        Returns an :class:`AdmitOutcome`; never raises for ordinary
+        denials (the signalling layer propagates the reason upstream,
+        §6.1: "the event is propagated upstream to inform the user of the
+        reason for the denial").
+        """
+        resv = self.reservations.create(request, verified.user, now=at_time)
+        resv.upstream = upstream
+        resv.downstream = downstream
+        try:
+            self.check_sla(request, upstream=upstream, downstream=downstream)
+        except SLAViolationError as exc:
+            resv.denial_reason = str(exc)
+            self.reservations.transition(resv.handle, ReservationState.DENIED)
+            self._audit("admit", resv, granted=False, reason=str(exc),
+                        at_time=at_time)
+            return AdmitOutcome(False, resv, reason=str(exc))
+
+        decision = self.decide_policy(
+            request, verified, at_time=at_time, upstream=upstream,
+            downstream=downstream,
+        )
+        if not decision.granted:
+            resv.denial_reason = decision.reason
+            self.reservations.transition(resv.handle, ReservationState.DENIED)
+            self._audit("admit", resv, granted=False, reason=decision.reason,
+                        at_time=at_time)
+            return AdmitOutcome(False, resv, decision=decision,
+                                reason=decision.reason)
+
+        resources = self._resources_for(upstream, downstream)
+        if resources:
+            try:
+                bookings = self.admission.book_all(
+                    resources, request.start, request.end, request.rate_mbps,
+                    tag=resv.handle,
+                )
+            except AdmissionError as exc:
+                resv.denial_reason = str(exc)
+                self.reservations.transition(resv.handle, ReservationState.DENIED)
+                self._audit("admit", resv, granted=False, reason=str(exc),
+                            at_time=at_time)
+                return AdmitOutcome(False, resv, decision=decision,
+                                    reason=str(exc))
+            resv.bookings = tuple(b for _, b in bookings)
+            self._booking_map[resv.handle] = bookings
+        self.reservations.transition(resv.handle, ReservationState.GRANTED)
+        self._audit("admit", resv, granted=True, reason=decision.reason,
+                    at_time=at_time)
+        return AdmitOutcome(True, resv, decision=decision, reason=decision.reason)
+
+    # -- lifecycle ----------------------------------------------------------------------
+
+    def claim(self, handle: str) -> Reservation:
+        """Bind a granted reservation to traffic: configure edge routers."""
+        resv = self.reservations.transition(handle, ReservationState.ACTIVE)
+        self._audit("claim", resv, granted=True)
+        if self.configurator is not None:
+            if resv.upstream is None:
+                # We are the source domain: per-flow classification.
+                self.configurator.provision_flow(self.domain, resv)
+            self._refresh_ingress(resv.request.service_class)
+        return resv
+
+    def cancel(self, handle: str) -> Reservation:
+        resv = self.reservations.get(handle)
+        was_active = resv.state is ReservationState.ACTIVE
+        resv = self.reservations.transition(handle, ReservationState.CANCELLED)
+        self._audit("cancel", resv, granted=True)
+        bookings = self._booking_map.pop(handle, ())
+        if bookings:
+            self.admission.release_all(bookings)
+        if self.configurator is not None:
+            if was_active and resv.upstream is None:
+                self.configurator.teardown_flow(self.domain, resv)
+            self._refresh_ingress(resv.request.service_class)
+        return resv
+
+    def _refresh_ingress(self, service_class) -> None:
+        """Recompute aggregate policer rates per upstream from the set of
+        currently ACTIVE reservations (the BB 'configures the edge
+        routers of a single administrative network domain')."""
+        if self.configurator is None:
+            return
+        totals: dict[str, float] = {}
+        for resv in self.reservations.in_state(ReservationState.ACTIVE):
+            if resv.upstream is not None and resv.request.service_class == service_class:
+                totals[resv.upstream] = totals.get(resv.upstream, 0.0) + resv.request.rate_mbps
+        for upstream in self.slas_in:
+            self.configurator.provision_ingress(
+                self.domain, upstream, service_class, totals.get(upstream, 0.0)
+            )
+
+    def validate_handle(self, handle: str, *, at_time: float | None = None) -> bool:
+        """Online reservation validity query (for downstream policies and
+        tunnel admission)."""
+        return self.reservations.is_valid(handle, at_time=at_time)

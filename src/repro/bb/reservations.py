@@ -1,0 +1,230 @@
+"""Reservation objects, handles, states, and the per-broker table.
+
+GARA-style reservations are *advance* reservations: a reservation is
+GRANTED for a future interval, must be CLAIMED (bound to actual traffic)
+to become ACTIVE, and can be MODIFIED or CANCELLED (paper references
+[12, 13]).  Each bandwidth broker keeps its own table; the handle is
+globally unique so a downstream policy can refer to an upstream
+reservation (``CPU_Reservation_ID=111`` in Figure 6).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from enum import Enum
+
+from repro.crypto.dn import DistinguishedName
+from repro.errors import (
+    ReservationStateError,
+    UnknownReservationError,
+)
+from repro.net.packet import DSCP
+
+__all__ = ["ReservationState", "ReservationRequest", "Reservation", "ReservationTable"]
+
+
+class ReservationState(Enum):
+    PENDING = "pending"
+    GRANTED = "granted"
+    ACTIVE = "active"
+    CANCELLED = "cancelled"
+    EXPIRED = "expired"
+    DENIED = "denied"
+
+
+#: Legal state transitions.
+_TRANSITIONS = {
+    ReservationState.PENDING: {
+        ReservationState.GRANTED,
+        ReservationState.DENIED,
+        ReservationState.CANCELLED,
+    },
+    ReservationState.GRANTED: {
+        ReservationState.ACTIVE,
+        ReservationState.CANCELLED,
+        ReservationState.EXPIRED,
+    },
+    ReservationState.ACTIVE: {
+        ReservationState.CANCELLED,
+        ReservationState.EXPIRED,
+    },
+    ReservationState.CANCELLED: set(),
+    ReservationState.EXPIRED: set(),
+    ReservationState.DENIED: set(),
+}
+
+
+@dataclass(frozen=True)
+class ReservationRequest:
+    """What a user asks for: the ``res_spec`` of the paper's notation.
+
+    ``linked_reservations`` carries references to reservations of other
+    resource types (the CPU reservation of Figures 5/6); ``cost_ceiling``
+    the "cost that the user is willing to accept" (§6.1).
+    """
+
+    source_host: str
+    destination_host: str
+    source_domain: str
+    destination_domain: str
+    rate_mbps: float
+    start: float
+    end: float
+    service_class: DSCP = DSCP.EF
+    burst_bits: float = 100_000.0
+    cost_ceiling: float = float("inf")
+    linked_reservations: tuple[tuple[str, str], ...] = ()
+    #: Free-form attributes added by the user or upstream domains.
+    attributes: tuple[tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.rate_mbps <= 0:
+            raise ReservationStateError("rate must be positive")
+        if self.end <= self.start:
+            raise ReservationStateError("end must be after start")
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def attribute(self, name: str, default: object = None) -> object:
+        for k, v in self.attributes:
+            if k == name:
+                return v
+        return default
+
+    def to_cbe(self) -> dict:
+        return {
+            "source_host": self.source_host,
+            "destination_host": self.destination_host,
+            "source_domain": self.source_domain,
+            "destination_domain": self.destination_domain,
+            "rate_mbps": self.rate_mbps,
+            "start": self.start,
+            "end": self.end,
+            "service_class": int(self.service_class),
+            "burst_bits": self.burst_bits,
+            "cost_ceiling": "any" if self.cost_ceiling == float("inf")
+            else self.cost_ceiling,
+            "linked_reservations": [list(p) for p in self.linked_reservations],
+            "attributes": {k: v for k, v in self.attributes},
+        }
+
+    def with_attributes(self, **extra: object) -> "ReservationRequest":
+        """A copy with additional attributes (a domain 'modifying the
+        request' before forwarding, §5)."""
+        merged = dict(self.attributes)
+        merged.update(extra)
+        return replace(self, attributes=tuple(sorted(merged.items())))
+
+
+_handle_counter = itertools.count(1)
+
+
+def _new_handle(domain: str) -> str:
+    return f"RES-{domain}-{next(_handle_counter):06d}"
+
+
+@dataclass
+class Reservation:
+    """One admitted (or pending) reservation in a broker's table."""
+
+    handle: str
+    request: ReservationRequest
+    owner: DistinguishedName | None
+    state: ReservationState = ReservationState.PENDING
+    #: Capacity bookings (admission-controller booking ids) backing this
+    #: reservation; released on cancel/expire.
+    bookings: tuple[int, ...] = ()
+    #: Why the reservation was denied, when it was.
+    denial_reason: str = ""
+    created_at: float = 0.0
+    #: Neighbouring domains on the reservation's path (None at the ends).
+    upstream: str | None = None
+    downstream: str | None = None
+
+    def active_at(self, when: float) -> bool:
+        return (
+            self.state in (ReservationState.GRANTED, ReservationState.ACTIVE)
+            and self.request.start <= when < self.request.end
+        )
+
+
+class ReservationTable:
+    """Handle-indexed reservation store with checked state transitions."""
+
+    def __init__(self, domain: str):
+        self.domain = domain
+        self._by_handle: dict[str, Reservation] = {}
+
+    def create(
+        self,
+        request: ReservationRequest,
+        owner: DistinguishedName | None,
+        *,
+        now: float = 0.0,
+        handle: str | None = None,
+    ) -> Reservation:
+        if handle is None:
+            handle = _new_handle(self.domain)
+        if handle in self._by_handle:
+            raise ReservationStateError(f"duplicate handle {handle!r}")
+        resv = Reservation(handle, request, owner, created_at=now)
+        self._by_handle[handle] = resv
+        return resv
+
+    def get(self, handle: str) -> Reservation:
+        try:
+            return self._by_handle[handle]
+        except KeyError:
+            raise UnknownReservationError(
+                f"no reservation {handle!r} in domain {self.domain}"
+            ) from None
+
+    def __contains__(self, handle: str) -> bool:
+        return handle in self._by_handle
+
+    def __len__(self) -> int:
+        return len(self._by_handle)
+
+    def transition(self, handle: str, new_state: ReservationState) -> Reservation:
+        resv = self.get(handle)
+        if new_state not in _TRANSITIONS[resv.state]:
+            raise ReservationStateError(
+                f"{handle}: illegal transition {resv.state.value} -> "
+                f"{new_state.value}"
+            )
+        resv.state = new_state
+        return resv
+
+    def all(self) -> tuple[Reservation, ...]:
+        return tuple(self._by_handle.values())
+
+    def in_state(self, *states: ReservationState) -> tuple[Reservation, ...]:
+        return tuple(r for r in self._by_handle.values() if r.state in states)
+
+    def active_at(self, when: float) -> tuple[Reservation, ...]:
+        return tuple(r for r in self._by_handle.values() if r.active_at(when))
+
+    def is_valid(self, handle: str, *, at_time: float | None = None) -> bool:
+        """Online validity check used by interdomain policy dependencies
+        (``HasValidCPUResv``): the handle exists and is granted/active."""
+        resv = self._by_handle.get(handle)
+        if resv is None:
+            return False
+        if at_time is not None:
+            return resv.active_at(at_time)
+        return resv.state in (ReservationState.GRANTED, ReservationState.ACTIVE)
+
+    def expire_passed(self, now: float) -> int:
+        """Expire reservations whose interval has passed; returns count."""
+        n = 0
+        for resv in self._by_handle.values():
+            if (
+                resv.state in (ReservationState.GRANTED, ReservationState.ACTIVE)
+                and resv.request.end <= now
+            ):
+                resv.state = ReservationState.EXPIRED
+                n += 1
+        return n

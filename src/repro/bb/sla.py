@@ -1,0 +1,126 @@
+"""Service level agreements (SLA) and service level specifications (SLS).
+
+Paper §2: "Whenever the network reservation end-points are in different
+domains, a specific contract between peered domains comes into place,
+used by BBs as input for their admission control procedures.  A service
+level agreement (SLA) regulates the acceptance and the constraints of a
+given traffic profile.  Service Level Specifications (SLS) are used to
+describe the appropriate QoS parameters that an SLA demands."
+
+Paper §6: "While SLAs are used to regulate the services between two
+domains, we extend this agreement by adding information to facilitate the
+trust relationship between two peered BBs.  This information includes the
+certificates of the peered BBs as well as the certificate of the issuing
+certificate authority, all used during the SSL handshake."  The
+``peer_certificate`` / ``peer_ca_certificate`` fields carry exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.x509 import Certificate
+from repro.errors import SLAError, SLAViolationError
+from repro.net.packet import DSCP
+
+__all__ = ["ServiceLevelSpecification", "ServiceLevelAgreement", "SLS", "SLA"]
+
+
+@dataclass(frozen=True)
+class ServiceLevelSpecification:
+    """QoS parameters of one service class under an SLA.
+
+    ``excess_treatment`` ("drop" or "downgrade") and ``availability`` are
+    the "parameters for treatment of excess traffic or reliability
+    parameters expected for this service" that §6.1 says a source BB may
+    attach for downstream domains.
+    """
+
+    service_class: DSCP = DSCP.EF
+    max_rate_mbps: float = 100.0
+    max_burst_bits: float = 200_000.0
+    max_delay_ms: float | None = None
+    excess_treatment: str = "drop"
+    availability: float = 0.999
+
+    def __post_init__(self) -> None:
+        if self.max_rate_mbps <= 0:
+            raise SLAError("SLS rate must be positive")
+        if self.excess_treatment not in ("drop", "downgrade"):
+            raise SLAError(
+                f"excess_treatment must be 'drop' or 'downgrade', "
+                f"got {self.excess_treatment!r}"
+            )
+        if not (0.0 < self.availability <= 1.0):
+            raise SLAError("availability must be in (0, 1]")
+
+    def to_cbe(self) -> dict:
+        return {
+            "service_class": int(self.service_class),
+            "max_rate_mbps": self.max_rate_mbps,
+            "max_burst_bits": self.max_burst_bits,
+            "max_delay_ms": self.max_delay_ms,
+            "excess_treatment": self.excess_treatment,
+            "availability": self.availability,
+        }
+
+
+@dataclass
+class ServiceLevelAgreement:
+    """A contract between an upstream and a downstream domain.
+
+    Directionality follows the traffic: ``upstream_domain`` injects
+    traffic into ``downstream_domain``.  ``slss`` maps service class to
+    its specification.  The certificate fields anchor the mutual
+    authentication of the two BBs' signalling channel.
+    """
+
+    upstream_domain: str
+    downstream_domain: str
+    slss: dict[DSCP, ServiceLevelSpecification] = field(default_factory=dict)
+    peer_certificate: Certificate | None = None
+    peer_ca_certificate: Certificate | None = None
+    #: Price per Mb/s-hour charged by the downstream domain (transitive
+    #: billing, §6.4).
+    price_per_mbps_hour: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.upstream_domain == self.downstream_domain:
+            raise SLAError("an SLA joins two distinct domains")
+        if not self.slss:
+            self.slss = {DSCP.EF: ServiceLevelSpecification()}
+
+    def sls_for(self, service_class: DSCP) -> ServiceLevelSpecification:
+        try:
+            return self.slss[service_class]
+        except KeyError:
+            raise SLAViolationError(
+                f"SLA {self.upstream_domain}->{self.downstream_domain} covers no "
+                f"{service_class.name} service"
+            ) from None
+
+    def check_profile(
+        self, service_class: DSCP, rate_mbps: float, burst_bits: float | None = None
+    ) -> ServiceLevelSpecification:
+        """Raise :class:`~repro.errors.SLAViolationError` unless the
+        requested traffic profile conforms; return the governing SLS."""
+        sls = self.sls_for(service_class)
+        if rate_mbps <= 0:
+            raise SLAViolationError("requested rate must be positive")
+        if rate_mbps > sls.max_rate_mbps:
+            raise SLAViolationError(
+                f"rate {rate_mbps} Mb/s exceeds SLA maximum "
+                f"{sls.max_rate_mbps} Mb/s "
+                f"({self.upstream_domain}->{self.downstream_domain}, "
+                f"{service_class.name})"
+            )
+        if burst_bits is not None and burst_bits > sls.max_burst_bits:
+            raise SLAViolationError(
+                f"burst {burst_bits} bits exceeds SLA maximum {sls.max_burst_bits}"
+            )
+        return sls
+
+
+#: Short aliases matching the paper's acronyms.
+SLS = ServiceLevelSpecification
+SLA = ServiceLevelAgreement

@@ -1,0 +1,289 @@
+"""Command-line interface: drive the testbed without writing Python.
+
+Subcommands:
+
+* ``reserve`` — build a linear testbed and make one end-to-end
+  reservation with any of the three signalling approaches;
+* ``policy-check`` — parse a policy file in the paper's syntax and
+  evaluate it against request parameters given as flags (a policy
+  linter/debugger for domain administrators);
+* ``attack`` — run the Figure 4 misreservation scenario on the DiffServ
+  simulator and print the damage report.
+
+Examples::
+
+    python -m repro reserve --domains A,B,C --source A --dest C --rate 10
+    python -m repro policy-check policy.txt --user Alice --bw 8 --time 14
+    python -m repro attack
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+
+from repro.core.testbed import build_linear_testbed
+from repro.errors import PolicySyntaxError, ReproError
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Multi-domain QoS reservations (HPDC 2001 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    reserve = sub.add_parser("reserve", help="make an end-to-end reservation")
+    reserve.add_argument("--domains", default="A,B,C",
+                         help="comma-separated chain of domains")
+    reserve.add_argument("--source", default=None,
+                         help="source domain (default: first)")
+    reserve.add_argument("--dest", default=None,
+                         help="destination domain (default: last)")
+    reserve.add_argument("--rate", type=float, default=10.0,
+                         help="bandwidth in Mb/s")
+    reserve.add_argument("--duration", type=float, default=3600.0,
+                         help="seconds")
+    reserve.add_argument("--user", default="Alice")
+    reserve.add_argument(
+        "--approach", choices=("hop", "agent", "agent-concurrent", "stars"),
+        default="hop", help="signalling approach",
+    )
+
+    check = sub.add_parser(
+        "policy-check",
+        help="evaluate a policy file (the paper's syntax) against a request",
+    )
+    check.add_argument("policy_file", help="path to the policy file, or '-'")
+    check.add_argument("--user", default="Alice")
+    check.add_argument("--bw", type=float, default=10.0, help="Mb/s")
+    check.add_argument("--time", type=float, default=12.0,
+                       help="time of day in hours (0-24)")
+    check.add_argument("--avail-bw", type=float, default=float("inf"))
+    check.add_argument("--group", action="append", default=[],
+                       help="verified group membership (repeatable)")
+    check.add_argument("--capability-issuer", action="append", default=[],
+                       help="verified capability community (repeatable)")
+    check.add_argument("--linked", action="append", default=[],
+                       help="linked reservation as kind=handle (repeatable)")
+    check.add_argument("--reservation-type", default="Network")
+
+    sub.add_parser("attack", help="run the Figure 4 misreservation scenario")
+
+    workload = sub.add_parser(
+        "workload",
+        help="offered-load sweep: Poisson reservation arrivals vs admission",
+    )
+    workload.add_argument("--load", type=float, default=1.0,
+                          help="offered load as a multiple of the bottleneck")
+    workload.add_argument("--bottleneck", type=float, default=100.0,
+                          help="interdomain capacity, Mb/s")
+    workload.add_argument("--horizon", type=float, default=6000.0,
+                          help="simulated seconds of arrivals")
+    workload.add_argument("--seed", type=int, default=11)
+
+    return parser
+
+
+def cmd_reserve(args: argparse.Namespace) -> int:
+    domains = [d.strip() for d in args.domains.split(",") if d.strip()]
+    if len(domains) < 1:
+        print("error: need at least one domain", file=sys.stderr)
+        return 2
+    source = args.source or domains[0]
+    dest = args.dest or domains[-1]
+    testbed = build_linear_testbed(domains)
+    user = testbed.add_user(source, args.user)
+
+    if args.approach == "hop":
+        outcome = testbed.reserve(
+            user, source=source, destination=dest,
+            bandwidth_mbps=args.rate, duration=args.duration,
+        )
+        granted, detail = outcome.granted, outcome
+    elif args.approach in ("agent", "agent-concurrent"):
+        for d in domains:
+            if d != source:
+                testbed.introduce_user_to(user, d)
+        request = testbed.make_request(
+            source=source, destination=dest, bandwidth_mbps=args.rate,
+            duration=args.duration,
+        )
+        outcome = testbed.end_to_end_agent.reserve(
+            user, request, concurrent=args.approach.endswith("concurrent")
+        )
+        granted, detail = outcome.complete, outcome
+    else:  # stars
+        rc = testbed.coordinator(source)
+        rc.enroll_user(user)
+        request = testbed.make_request(
+            source=source, destination=dest, bandwidth_mbps=args.rate,
+            duration=args.duration,
+        )
+        outcome = rc.reserve(user, request)
+        granted, detail = outcome.complete, outcome
+
+    print(f"approach : {args.approach}")
+    print(f"path     : {' -> '.join(detail.path)}")
+    print(f"granted  : {granted}")
+    if getattr(detail, "handles", None):
+        for domain in detail.path:
+            handle = detail.handles.get(domain)
+            if handle:
+                print(f"  {domain}: {handle}")
+    reason = getattr(detail, "denial_reason", "") or ""
+    failures = getattr(detail, "failures", None)
+    if not granted and reason:
+        print(f"denied by {detail.denial_domain}: {reason}")
+    if not granted and failures:
+        for domain, why in failures.items():
+            print(f"  {domain}: {why}")
+    print(f"messages : {detail.messages}")
+    print(f"latency  : {detail.latency_s * 1000:.1f} ms (model)")
+    return 0 if granted else 1
+
+
+def cmd_policy_check(args: argparse.Namespace) -> int:
+    from repro.crypto.dn import DN
+    from repro.policy.engine import RequestContext
+    from repro.policy.language import compile_policy
+
+    if args.policy_file == "-":
+        source = sys.stdin.read()
+    else:
+        try:
+            with open(args.policy_file, encoding="utf-8") as fh:
+                source = fh.read()
+        except OSError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    try:
+        engine = compile_policy(source, name=args.policy_file)
+    except PolicySyntaxError as exc:
+        print(f"syntax error: {exc}", file=sys.stderr)
+        return 2
+
+    linked = []
+    for item in args.linked:
+        kind, _, handle = item.partition("=")
+        if not handle:
+            print(f"error: --linked expects kind=handle, got {item!r}",
+                  file=sys.stderr)
+            return 2
+        linked.append((kind, handle))
+    ctx = RequestContext(
+        user=DN.make("Grid", "cli", args.user),
+        bandwidth_mbps=args.bw,
+        time_of_day_h=args.time,
+        available_bandwidth_mbps=args.avail_bw,
+        reservation_type=args.reservation_type,
+        groups=frozenset(args.group),
+        capability_issuers=frozenset(args.capability_issuer),
+        linked_reservations=tuple(linked),
+    )
+    decision = engine.evaluate(ctx)
+    print(f"decision : {'GRANT' if decision.granted else 'DENY'}")
+    print(f"reason   : {decision.reason}")
+    return 0 if decision.granted else 1
+
+
+def cmd_attack(_: argparse.Namespace) -> int:
+    from repro.net.flows import FlowSpec
+    from repro.net.packet import DSCP
+    from repro.net.trafficgen import PoissonSource
+
+    testbed = build_linear_testbed(["A", "B", "C"])
+    alice = testbed.add_user("A", "Alice")
+    david = testbed.add_user("A", "David")
+    for u, ds in ((alice, ("B", "C")), (david, ("B",))):
+        for d in ds:
+            testbed.introduce_user_to(u, d)
+    agent = testbed.end_to_end_agent
+    a = agent.reserve(alice, testbed.make_request(
+        source="A", destination="C", bandwidth_mbps=10.0,
+        attributes=(("flow_id", "alice"),)))
+    d = agent.reserve(david, testbed.make_request(
+        source="A", destination="C", bandwidth_mbps=10.0,
+        source_host="h1.A", destination_host="h1.C",
+        attributes=(("flow_id", "david"),)), skip_domains={"C"})
+    agent.claim(a)
+    agent.claim(d)
+    print(f"Alice reserved in {sorted(a.handles)} (complete={a.complete})")
+    print(f"David reserved in {sorted(d.handles)} (complete={d.complete})")
+    for seed, (fid, src, dst) in enumerate(
+        [("alice", "h0.A", "h0.C"), ("david", "h1.A", "h1.C")]
+    ):
+        PoissonSource(
+            testbed.network,
+            FlowSpec(fid, src, dst, 10.0, dscp=DSCP.EF),
+            rng=random.Random(seed), stop_time=1.0,
+        ).start()
+    testbed.sim.run()
+    for fid in ("alice", "david"):
+        st = testbed.network.stats_for(fid)
+        print(f"{fid:<6s} loss {st.loss_ratio * 100:5.1f}%  "
+              f"goodput {st.goodput_mbps(1.0):5.2f} Mb/s")
+    alice_stats = testbed.network.stats_for("alice")
+    print("Figure 4 reproduced: the victim with a complete reservation "
+          f"lost {alice_stats.loss_ratio * 100:.1f}% of her packets.")
+    return 0
+
+
+def cmd_workload(args: argparse.Namespace) -> int:
+    from repro.workloads.analysis import predicted_acceptance
+    from repro.workloads.generator import ReservationWorkload, WorkloadSpec
+
+    mean_rate, mean_hold = 10.0, 300.0
+    arrival = args.load * args.bottleneck / (mean_rate * mean_hold)
+    testbed = build_linear_testbed(
+        ["A", "B", "C"], hosts_per_domain=1,
+        inter_capacity_mbps=args.bottleneck,
+    )
+    spec = WorkloadSpec(
+        arrival_rate_per_s=arrival,
+        mean_duration_s=mean_hold,
+        rate_choices_mbps=(5.0, 10.0, 15.0),
+        pairs=(("A", "C"),),
+        horizon_s=args.horizon,
+    )
+    result = ReservationWorkload(
+        testbed, spec, rng=random.Random(args.seed)
+    ).run()
+    predicted = predicted_acceptance(
+        arrival_rate_per_s=arrival, mean_duration_s=mean_hold,
+        mean_rate_mbps=mean_rate, bottleneck_mbps=args.bottleneck,
+    )
+    print(f"offered load      : {args.load:.2f} x {args.bottleneck:.0f} Mb/s")
+    print(f"requests offered  : {result.offered}")
+    print(f"requests accepted : {result.accepted}")
+    print(f"acceptance ratio  : {result.acceptance_ratio:.2f} "
+          f"(Erlang-B predicts {predicted:.2f})")
+    print(f"carried fraction  : {result.carried_fraction:.2f}")
+    if result.rejected_by_domain:
+        print(f"rejections        : {dict(result.rejected_by_domain)}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "reserve":
+            return cmd_reserve(args)
+        if args.command == "policy-check":
+            return cmd_policy_check(args)
+        if args.command == "attack":
+            return cmd_attack(args)
+        if args.command == "workload":
+            return cmd_workload(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

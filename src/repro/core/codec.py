@@ -1,0 +1,213 @@
+"""Wire codec for protocol messages.
+
+The paper proposed carrying its policy-information model inside the
+Internet2 **SIBBS** BB-to-BB protocol (§7/§8): "the extension semantics,
+not the wire syntax, are the contribution" (DESIGN.md).  The engines in
+this package therefore pass Python objects; this module supplies the
+missing wire layer — a complete, self-describing serialization of every
+protocol object to bytes and back:
+
+* nested :class:`~repro.core.envelope.SignedEnvelope` RARs, approvals,
+  denials;
+* :class:`~repro.crypto.x509.Certificate` (incl. capability extensions),
+  :class:`~repro.policy.attributes.SignedAssertion`,
+  :class:`~repro.bb.reservations.ReservationRequest`,
+  :class:`~repro.crypto.dn.DistinguishedName`,
+  :class:`~repro.crypto.keys.PublicKey`.
+
+Signatures survive the round trip: objects are reconstructed
+field-for-field, so the canonical bytes they sign are identical and
+:meth:`SignedEnvelope.verify` still passes on the decoded copy.  That
+property is what makes it legitimate for the in-memory engines to skip
+the byte layer — and it is asserted by the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.bb.reservations import ReservationRequest
+from repro.core.envelope import SignedEnvelope
+from repro.crypto import canonical
+from repro.crypto.dn import DistinguishedName
+from repro.crypto.keys import PublicKey
+from repro.crypto.x509 import Certificate
+from repro.errors import EncodingError
+from repro.net.packet import DSCP
+from repro.policy.attributes import SignedAssertion
+
+__all__ = ["pack", "unpack", "to_wire", "from_wire"]
+
+_KIND = "__kind__"
+
+
+def pack(value: Any) -> Any:
+    """Render *value* as a plain, canonically encodable structure with
+    ``__kind__`` tags for protocol object types."""
+    if isinstance(value, DSCP):
+        # Before the scalar fast path: DSCP is an IntEnum and would
+        # otherwise decay to a bare int on the wire.
+        return {_KIND: "dscp", "value": int(value)}
+    if value is None or isinstance(value, (bool, int, str, bytes)):
+        return value
+    if isinstance(value, float):
+        if value == float("inf"):
+            return {_KIND: "+inf"}
+        if value == float("-inf"):
+            return {_KIND: "-inf"}
+        return value
+    if isinstance(value, (tuple, list)):
+        return {_KIND: "seq", "items": [pack(v) for v in value]}
+    if isinstance(value, dict):
+        return {_KIND: "map", "items": {k: pack(v) for k, v in value.items()}}
+    if isinstance(value, DistinguishedName):
+        return {_KIND: "dn", "rdns": [list(p) for p in value.rdns]}
+    if isinstance(value, PublicKey):
+        material = []
+        for m in value.material:
+            if isinstance(m, int):
+                material.append(["int", str(m)])
+            elif isinstance(m, str):
+                material.append(["str", m])
+            else:
+                raise EncodingError(
+                    f"unsupported key material type {type(m).__name__}"
+                )
+        return {_KIND: "pubkey", "scheme": value.scheme, "material": material}
+    if isinstance(value, Certificate):
+        return {
+            _KIND: "certificate",
+            "serial": value.serial,
+            "issuer": pack(value.issuer),
+            "subject": pack(value.subject),
+            "public_key": pack(value.public_key),
+            "not_before": value.not_before,
+            "not_after": value.not_after,
+            "extensions": [[k, pack(v)] for k, v in value.extensions],
+            "signature": value.signature,
+            "signature_scheme": value.signature_scheme,
+        }
+    if isinstance(value, SignedAssertion):
+        return {
+            _KIND: "assertion",
+            "issuer": pack(value.issuer),
+            "subject": pack(value.subject),
+            "attributes": [[k, pack(v)] for k, v in value.attributes],
+            "signature": value.signature,
+            "signature_scheme": value.signature_scheme,
+            "valid_from": value.valid_from,
+            "valid_until": pack(value.valid_until),
+        }
+    if isinstance(value, ReservationRequest):
+        return {
+            _KIND: "res_spec",
+            "source_host": value.source_host,
+            "destination_host": value.destination_host,
+            "source_domain": value.source_domain,
+            "destination_domain": value.destination_domain,
+            "rate_mbps": value.rate_mbps,
+            "start": value.start,
+            "end": value.end,
+            "service_class": int(value.service_class),
+            "burst_bits": value.burst_bits,
+            "cost_ceiling": pack(value.cost_ceiling),
+            "linked_reservations": [list(p) for p in value.linked_reservations],
+            "attributes": [[k, pack(v)] for k, v in value.attributes],
+        }
+    if isinstance(value, SignedEnvelope):
+        return {
+            _KIND: "envelope",
+            "payload": [[k, pack(v)] for k, v in value.payload],
+            "signer": pack(value.signer),
+            "signature": value.signature,
+            "scheme": value.scheme,
+        }
+    raise EncodingError(f"cannot pack values of type {type(value).__name__}")
+
+
+def unpack(data: Any) -> Any:
+    """Inverse of :func:`pack`."""
+    if data is None or isinstance(data, (bool, int, float, str, bytes)):
+        return data
+    if isinstance(data, list):
+        # Bare lists only appear inside known structures; treat as tuple.
+        return tuple(unpack(v) for v in data)
+    if not isinstance(data, dict):
+        raise EncodingError(f"cannot unpack {type(data).__name__}")
+    kind = data.get(_KIND)
+    if kind is None:
+        raise EncodingError("mapping without __kind__ tag")
+    if kind == "+inf":
+        return float("inf")
+    if kind == "-inf":
+        return float("-inf")
+    if kind == "seq":
+        return tuple(unpack(v) for v in data["items"])
+    if kind == "map":
+        return {k: unpack(v) for k, v in data["items"].items()}
+    if kind == "dn":
+        return DistinguishedName(tuple((a, v) for a, v in data["rdns"]))
+    if kind == "dscp":
+        return DSCP(data["value"])
+    if kind == "pubkey":
+        material = []
+        for t, v in data["material"]:
+            material.append(int(v) if t == "int" else v)
+        return PublicKey(data["scheme"], tuple(material))
+    if kind == "certificate":
+        return Certificate(
+            serial=data["serial"],
+            issuer=unpack(data["issuer"]),
+            subject=unpack(data["subject"]),
+            public_key=unpack(data["public_key"]),
+            not_before=data["not_before"],
+            not_after=data["not_after"],
+            extensions=tuple((k, unpack(v)) for k, v in data["extensions"]),
+            signature=data["signature"],
+            signature_scheme=data["signature_scheme"],
+        )
+    if kind == "assertion":
+        return SignedAssertion(
+            issuer=unpack(data["issuer"]),
+            subject=unpack(data["subject"]),
+            attributes=tuple((k, unpack(v)) for k, v in data["attributes"]),
+            signature=data["signature"],
+            signature_scheme=data["signature_scheme"],
+            valid_from=data["valid_from"],
+            valid_until=unpack(data["valid_until"]),
+        )
+    if kind == "res_spec":
+        return ReservationRequest(
+            source_host=data["source_host"],
+            destination_host=data["destination_host"],
+            source_domain=data["source_domain"],
+            destination_domain=data["destination_domain"],
+            rate_mbps=data["rate_mbps"],
+            start=data["start"],
+            end=data["end"],
+            service_class=DSCP(data["service_class"]),
+            burst_bits=data["burst_bits"],
+            cost_ceiling=unpack(data["cost_ceiling"]),
+            linked_reservations=tuple(
+                (k, v) for k, v in data["linked_reservations"]
+            ),
+            attributes=tuple((k, unpack(v)) for k, v in data["attributes"]),
+        )
+    if kind == "envelope":
+        return SignedEnvelope(
+            payload=tuple((k, unpack(v)) for k, v in data["payload"]),
+            signer=unpack(data["signer"]),
+            signature=data["signature"],
+            scheme=data["scheme"],
+        )
+    raise EncodingError(f"unknown __kind__ tag {kind!r}")
+
+
+def to_wire(value: Any) -> bytes:
+    """Serialize a protocol object (or nested message) to bytes."""
+    return canonical.encode(pack(value))
+
+
+def from_wire(data: bytes) -> Any:
+    """Parse bytes produced by :func:`to_wire` back into protocol objects."""
+    return unpack(canonical.decode(data))

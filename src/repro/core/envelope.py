@@ -1,0 +1,150 @@
+"""Signed envelopes: the ``sign_pkey(...)`` primitive of the paper's §6.4.
+
+"A complete request therefore is comprised of a collection of
+information, each signed by the entity that added it.  The signatures
+both assert the authenticity of the information and allows for the
+tracking the path taken by a request as it moves from BB to BB."
+
+A :class:`SignedEnvelope` is a mapping payload plus the signer's DN and a
+signature over the canonical encoding of both.  Payload values may be any
+canonically encodable object — including *nested envelopes*, which is how
+``RAR_B = sign_BBB({RAR_A, cert_A, DN_BBC, ...})`` is built.
+
+The library passes Python objects rather than bytes between simulated
+parties; the canonical encoding (DESIGN.md: our stand-in for DER) is what
+signatures cover, so any tampering with any nested field invalidates the
+enclosing signatures exactly as it would on the wire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Mapping
+
+from repro.crypto import canonical
+from repro.crypto.dn import DistinguishedName
+from repro.crypto.keys import PrivateKey, PublicKey, get_scheme
+from repro.errors import TamperedMessageError
+
+__all__ = ["SignedEnvelope", "seal"]
+
+
+def _to_cbe_value(value: Any) -> Any:
+    """Recursively render payload values canonically encodable."""
+    if hasattr(value, "to_cbe"):
+        return value.to_cbe()
+    if isinstance(value, (tuple, list)):
+        return [_to_cbe_value(v) for v in value]
+    if isinstance(value, dict):
+        return {k: _to_cbe_value(v) for k, v in value.items()}
+    return value
+
+
+@dataclass(frozen=True)
+class SignedEnvelope:
+    """An immutable signed collection of named fields."""
+
+    payload: tuple[tuple[str, Any], ...]
+    signer: DistinguishedName
+    signature: bytes
+    scheme: str
+
+    # -- payload access ---------------------------------------------------------
+
+    def __getitem__(self, key: str) -> Any:
+        for k, v in self.payload:
+            if k == key:
+                return v
+        raise KeyError(key)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        for k, v in self.payload:
+            if k == key:
+                return v
+        return default
+
+    def keys(self) -> tuple[str, ...]:
+        return tuple(k for k, _ in self.payload)
+
+    # -- encoding ------------------------------------------------------------------
+
+    def body_cbe(self) -> dict:
+        """The signed portion (payload + signer identity)."""
+        return {
+            "payload": {k: _to_cbe_value(v) for k, v in self.payload},
+            "signer": self.signer.to_cbe(),
+        }
+
+    def to_cbe(self) -> dict:
+        data = self.body_cbe()
+        data["signature"] = self.signature
+        data["scheme"] = self.scheme
+        return data
+
+    def body_bytes(self) -> bytes:
+        """Canonical bytes of the signed portion (memoized: the envelope is
+        immutable, and nested RARs re-verify inner layers at every hop)."""
+        cached = getattr(self, "_body_bytes_cache", None)
+        if cached is None:
+            cached = canonical.encode(self.body_cbe())
+            object.__setattr__(self, "_body_bytes_cache", cached)
+        return cached
+
+    def cbe_bytes(self) -> bytes:
+        """Canonical bytes of the full envelope (memoized; spliced directly
+        into enclosing encodings by :mod:`repro.crypto.canonical`)."""
+        cached = getattr(self, "_cbe_bytes_cache", None)
+        if cached is None:
+            cached = canonical.encode(self.to_cbe())
+            object.__setattr__(self, "_cbe_bytes_cache", cached)
+        return cached
+
+    def wire_size(self) -> int:
+        """Bytes this envelope would occupy on the wire."""
+        return len(self.cbe_bytes())
+
+    # -- verification ----------------------------------------------------------------
+
+    def verify(self, public_key: PublicKey) -> bool:
+        """True iff the signature verifies under *public_key*."""
+        scheme = get_scheme(self.scheme)
+        return scheme.verify(public_key, self.body_bytes(), self.signature)
+
+    def require_valid(self, public_key: PublicKey) -> None:
+        if not self.verify(public_key):
+            raise TamperedMessageError(
+                f"envelope signed by {self.signer} failed verification"
+            )
+
+    # -- test helpers -----------------------------------------------------------------
+
+    def with_tampered_field(self, key: str, value: Any) -> "SignedEnvelope":
+        """A copy with one payload field replaced but the old signature kept
+        (must always fail verification)."""
+        payload = tuple(
+            (k, value if k == key else v) for k, v in self.payload
+        )
+        if key not in self.keys():
+            payload = payload + ((key, value),)
+        return replace(self, payload=payload)
+
+
+def seal(
+    payload: Mapping[str, Any],
+    *,
+    signer: DistinguishedName,
+    key: PrivateKey,
+) -> SignedEnvelope:
+    """Sign *payload* as *signer*: the paper's ``sign_pkey(attributes)``."""
+    envelope = SignedEnvelope(
+        payload=tuple(sorted(payload.items())),
+        signer=signer,
+        signature=b"",
+        scheme=key.scheme,
+    )
+    scheme = get_scheme(key.scheme)
+    signature = scheme.sign(key, envelope.body_bytes())
+    signed = replace(envelope, signature=signature)
+    # The signed portion is identical; carry the memo across.
+    object.__setattr__(signed, "_body_bytes_cache", envelope.body_bytes())
+    return signed

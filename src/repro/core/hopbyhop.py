@@ -1,0 +1,476 @@
+"""Approach 2: hop-by-hop inter-BB signalling (the paper's contribution).
+
+"Alice only contacts BB_A, which then propagates the reservation request
+to BB_B only if the reservation was accepted by BB_A.  Similarly, BB_B
+contacts BB_C.  With this solution, each BB only needs to know about its
+neighboring BBs, and all BBs are always contacted." (§3)
+
+The engine drives each broker through the source / intermediate /
+destination behaviours of §§6.1–6.3:
+
+1. the user's agent signs ``RAR_U`` (delegating its capabilities to the
+   source BB) and submits it over the mutually authenticated user↔BB
+   channel;
+2. every BB verifies the nested envelope with transitive trust
+   (:func:`repro.core.trust.verify_rar`), runs its policy server and
+   admission control, and — if it grants and is not the destination —
+   re-delegates the capability, introduces the upstream certificate, and
+   forwards ``RAR_{N+1}`` downstream;
+3. a denial anywhere propagates back upstream with its reason; already
+   granted reservations along the partial path are released;
+4. the destination runs the full §6.5 capability-chain verification
+   (including its own proof of possession) and, on success, the approval
+   propagates back with each BB adding its signed policy information.
+
+Latency accounting (benchmark C1): every channel crossing contributes its
+one-way latency, and every BB decision contributes ``processing_delay_s``;
+the engine sums these along the actual message trajectory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+from repro.bb.broker import BandwidthBroker
+from repro.bb.reservations import ReservationRequest
+from repro.core.agent import UserAgent
+from repro.core.channel import ChannelRegistry, SecureChannel
+from repro.core.envelope import SignedEnvelope
+from repro.core.messages import (
+    F_DOMAIN,
+    F_REASON,
+    make_approval,
+    make_bb_rar,
+    make_denial,
+    make_user_rar,
+)
+from repro.core.trust import (
+    VerifiedRAR,
+    verify_rar,
+    verify_rar_with_repository,
+)
+from repro.crypto.capability import (
+    ProxyCredential,
+    delegate,
+    prove_possession,
+    split_capability_chains,
+    verify_delegation_chain,
+)
+from repro.crypto.x509 import Certificate
+from repro.errors import (
+    CertificateError,
+    DelegationError,
+    SignallingError,
+    TrustError,
+    TamperedMessageError,
+)
+from repro.policy.attributes import SignedAssertion, make_assertion
+
+__all__ = ["SignallingOutcome", "HopByHopProtocol"]
+
+
+@dataclass
+class SignallingOutcome:
+    """Result of one end-to-end signalling attempt."""
+
+    granted: bool
+    #: Per-domain reservation handles (complete on success; the domains
+    #: granted before a denial are released and still listed for tracing).
+    handles: dict[str, str] = field(default_factory=dict)
+    denial_domain: str | None = None
+    denial_reason: str = ""
+    #: End-to-end signalling latency (request leg + reply leg).
+    latency_s: float = 0.0
+    #: Messages exchanged during this attempt.
+    messages: int = 0
+    bytes: int = 0
+    #: The RAR as received by the destination (None when denied earlier).
+    final_rar: SignedEnvelope | None = None
+    #: Transitive-trust verification result at the destination.
+    verified: VerifiedRAR | None = None
+    #: §6.5 delegation-chain result at the destination (None if no
+    #: capabilities travelled); first of ``delegations`` when several
+    #: community chains travelled.
+    delegation: object | None = None
+    #: All verified delegation chains (one per community credential).
+    delegations: tuple = ()
+    #: The approval envelope as received back by the user.
+    approval: SignedEnvelope | None = None
+    #: Domain sequence the request traversed.
+    path: tuple[str, ...] = ()
+    #: Accumulated transit cost of the granted path (SLA tariffs x usage);
+    #: always within the user's ``cost_ceiling`` on success.
+    cost: float = 0.0
+    #: Certificate-repository lookups performed (repository mode only).
+    repository_lookups: int = 0
+
+
+class HopByHopProtocol:
+    """Drives hop-by-hop signalling across a set of peered brokers."""
+
+    def __init__(
+        self,
+        brokers: Mapping[str, BandwidthBroker],
+        channels: ChannelRegistry,
+        domain_path: Callable[[str, str], list[str]],
+        *,
+        processing_delay_s: float = 0.001,
+        clock: Callable[[], float] = lambda: 0.0,
+        repository=None,
+    ):
+        self.brokers = dict(brokers)
+        self.channels = channels
+        self.domain_path = domain_path
+        self.processing_delay_s = processing_delay_s
+        self.clock = clock
+        #: Optional trusted certificate repository (§6.4 alternative 2).
+        #: When set, BBs do NOT carry introduced certificates in the RAR;
+        #: every verifier resolves inner-signer keys by DN instead, paying
+        #: one repository lookup per unknown signer.
+        self.repository = repository
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _broker(self, domain: str) -> BandwidthBroker:
+        try:
+            return self.brokers[domain]
+        except KeyError:
+            raise SignallingError(f"no bandwidth broker for domain {domain!r}") from None
+
+    def _bb_credentials(
+        self, bb: BandwidthBroker, chains: Sequence[Sequence[Certificate]]
+    ) -> list[ProxyCredential]:
+        """The broker's proxy credentials: one per delegation chain whose
+        tip names this broker as subject (delegated by the upstream hop).
+        A user with several community credentials yields several chains."""
+        return [
+            ProxyCredential(chain[-1], bb.keypair.private)
+            for chain in chains
+            if chain and chain[-1].subject == bb.dn
+        ]
+
+    def _verified_path_assertions(
+        self, verified: VerifiedRAR, peer_certificate: Certificate,
+        at_time: float,
+    ) -> dict[str, object]:
+        """Merge attributes from assertions whose issuer's signature checks
+        out against a certificate we saw in the chain."""
+        certs: dict = {}
+        if verified.user_certificate is not None:
+            certs[verified.user_certificate.subject] = verified.user_certificate
+        for cert in verified.introduced:
+            certs[cert.subject] = cert
+        certs[peer_certificate.subject] = peer_certificate
+        merged: dict[str, object] = {}
+        for assertion in verified.assertions:
+            cert = certs.get(assertion.issuer)
+            if cert is None:
+                continue
+            if not assertion.verify(cert.public_key, at_time=at_time):
+                continue
+            for k, v in assertion.attributes:
+                merged[k] = v
+        return merged
+
+    # -- the protocol ----------------------------------------------------------------
+
+    def reserve(
+        self,
+        user: UserAgent,
+        request: ReservationRequest,
+        *,
+        assertions: Sequence[SignedAssertion] = (),
+        restrictions: tuple[str, ...] = (),
+    ) -> SignallingOutcome:
+        """Run the full hop-by-hop reservation for *request*."""
+        at_time = self.clock()
+        path = self.domain_path(request.source_domain, request.destination_domain)
+        outcome = SignallingOutcome(granted=False, path=tuple(path))
+
+        source_bb = self._broker(path[0])
+        user_channel = self.channels.connect(user, source_bb, at_time=at_time)
+        bb_public = user_channel.peer_certificate(user.dn).public_key
+
+        capability_certs = user.delegate_capabilities_to(
+            source_bb.dn, bb_public, restrictions=restrictions
+        )
+        all_assertions = tuple(assertions) + tuple(user.assertions)
+        rar = make_user_rar(
+            request=request,
+            source_bb=source_bb.dn,
+            capability_certs=capability_certs,
+            assertions=all_assertions,
+            user=user.dn,
+            user_key=user.keypair.private,
+        )
+
+        # --- request leg: hop by hop downstream --------------------------------
+        rar = user_channel.transmit(user.dn, rar)
+        outcome.latency_s += user_channel.latency_s
+        outcome.messages += 1
+        outcome.bytes += rar.wire_size()
+
+        channels_walked: list[SecureChannel] = [user_channel]
+        upstream_peer_cert = user_channel.peer_certificate(source_bb.dn)
+
+        denial: SignedEnvelope | None = None
+        granted_so_far: list[tuple[BandwidthBroker, str]] = []
+        #: Accumulated cost of the path so far (§6.1: the request carries
+        #: "a cost that the user is willing to accept"; each domain's
+        #: tariff is added as the request moves downstream).
+        accumulated_cost = 0.0
+        usage_mbps_hours = request.rate_mbps * request.duration / 3600.0
+
+        for index, domain in enumerate(path):
+            bb = self._broker(domain)
+            outcome.latency_s += self.processing_delay_s
+            upstream = path[index - 1] if index > 0 else None
+            downstream = path[index + 1] if index + 1 < len(path) else None
+
+            try:
+                if self.repository is not None:
+                    verified, lookups = verify_rar_with_repository(
+                        rar,
+                        verifier=bb.dn,
+                        peer_certificate=upstream_peer_cert,
+                        truststore=bb.truststore,
+                        repository=self.repository,
+                        at_time=at_time,
+                    )
+                    outcome.repository_lookups += lookups
+                    outcome.latency_s += (
+                        lookups * self.repository.lookup_latency_s
+                    )
+                else:
+                    verified = verify_rar(
+                        rar,
+                        verifier=bb.dn,
+                        peer_certificate=upstream_peer_cert,
+                        truststore=bb.truststore,
+                        at_time=at_time,
+                    )
+            except (TrustError, TamperedMessageError, SignallingError,
+                    CertificateError) as exc:
+                denial = make_denial(
+                    domain=domain, reason=f"trust verification failed: {exc}",
+                    bb=bb.dn, bb_key=bb.keypair.private,
+                )
+                break
+
+            chains = split_capability_chains(verified.capability_chain)
+            info = bb.policy_server.verify_credentials(
+                user=verified.user,
+                assertions=verified.assertions,
+                capability_chains=chains,
+                at_time=at_time,
+            )
+            path_attrs = self._verified_path_assertions(
+                verified, upstream_peer_cert, at_time
+            )
+            local_request = (
+                verified.request.with_attributes(**path_attrs)
+                if path_attrs
+                else verified.request
+            )
+            admit = bb.admit(
+                local_request,
+                info,
+                at_time=at_time,
+                upstream=upstream,
+                downstream=downstream,
+            )
+            outcome.handles[domain] = admit.reservation.handle
+            if not admit.granted:
+                denial = make_denial(
+                    domain=domain, reason=admit.reason,
+                    bb=bb.dn, bb_key=bb.keypair.private,
+                )
+                break
+            granted_so_far.append((bb, admit.reservation.handle))
+
+            # Cost negotiation: this domain's tariff (its ingress SLA price
+            # for transit/destination domains) joins the running total; the
+            # request dies where the user's ceiling is first exceeded.
+            if upstream is not None:
+                sla = bb.slas_in.get(upstream)
+                if sla is not None:
+                    accumulated_cost += sla.price_per_mbps_hour * usage_mbps_hours
+            if accumulated_cost > request.cost_ceiling:
+                bb.cancel(admit.reservation.handle)
+                granted_so_far.pop()
+                denial = make_denial(
+                    domain=domain,
+                    reason=(
+                        f"cost ceiling exceeded: path costs "
+                        f"{accumulated_cost:.2f} so far, user accepts at most "
+                        f"{request.cost_ceiling:.2f}"
+                    ),
+                    bb=bb.dn, bb_key=bb.keypair.private,
+                )
+                break
+            outcome.cost = accumulated_cost
+
+            if downstream is None:
+                # Destination domain: full §6.5 check — every chain, with
+                # proof of possession by this BB.
+                outcome.final_rar = rar
+                outcome.verified = verified
+                results = []
+                for chain in chains:
+                    try:
+                        results.append(
+                            verify_delegation_chain(
+                                list(chain),
+                                trusted_issuers=bb.policy_server._trusted_communities,
+                                at_time=at_time,
+                                possession_nonce=b"hop-by-hop-final",
+                                possession_prover=lambda nonce: prove_possession(
+                                    bb.keypair.private, nonce
+                                ),
+                            )
+                        )
+                    except DelegationError:
+                        continue
+                outcome.delegations = tuple(results)
+                outcome.delegation = results[0] if results else None
+                break
+
+            # Forward downstream: delegate every capability chain this BB
+            # holds, introduce the upstream certificate.
+            next_bb = self._broker(downstream)
+            channel = self.channels.connect(bb, next_bb, at_time=at_time)
+            forwarded_caps: tuple[Certificate, ...] = tuple(
+                delegate(
+                    cred,
+                    delegate_subject=next_bb.dn,
+                    delegate_public_key=channel.peer_certificate(bb.dn).public_key,
+                )
+                for cred in self._bb_credentials(bb, chains)
+            )
+            added_assertions: tuple[SignedAssertion, ...] = ()
+            if admit.decision is not None and admit.decision.modifications:
+                added_assertions = (
+                    make_assertion(
+                        issuer=bb.dn,
+                        issuer_key=bb.keypair.private,
+                        subject=verified.user,
+                        attributes=dict(admit.decision.modifications),
+                    ),
+                )
+            rar = make_bb_rar(
+                inner=rar,
+                introduced_cert=(
+                    None if self.repository is not None else upstream_peer_cert
+                ),
+                downstream=next_bb.dn,
+                capability_certs=forwarded_caps,
+                assertions=added_assertions,
+                bb=bb.dn,
+                bb_key=bb.keypair.private,
+            )
+            rar = channel.transmit(bb.dn, rar)
+            outcome.latency_s += channel.latency_s
+            outcome.messages += 1
+            outcome.bytes += rar.wire_size()
+            channels_walked.append(channel)
+            upstream_peer_cert = channel.peer_certificate(next_bb.dn)
+
+        # --- reply leg: approval or denial back upstream ------------------------
+        if denial is not None:
+            # Release what was granted on the partial path.
+            for bb, handle in granted_so_far:
+                bb.cancel(handle)
+            reply = denial
+            # The denial travels back over the channels already walked; on
+            # each channel the downstream endpoint is the sender.
+            for index in range(len(channels_walked) - 1, -1, -1):
+                channel = channels_walked[index]
+                sender = self._broker(path[index]).dn
+                reply = channel.transmit(sender, reply)
+                outcome.latency_s += channel.latency_s
+                outcome.messages += 1
+                outcome.bytes += reply.wire_size()
+            outcome.denial_domain = denial[F_DOMAIN]
+            outcome.denial_reason = denial[F_REASON]
+            outcome.approval = None
+            return outcome
+
+        # Approval chain: destination first, wrapped at each hop upstream.
+        reply = None
+        for index in range(len(path) - 1, -1, -1):
+            domain = path[index]
+            bb = self._broker(domain)
+            policy_info: tuple[SignedAssertion, ...] = ()
+            reply = make_approval(
+                handle=outcome.handles[domain],
+                domain=domain,
+                policy_info=policy_info,
+                inner=reply,
+                bb=bb.dn,
+                bb_key=bb.keypair.private,
+            )
+            channel = channels_walked[index]
+            reply = channel.transmit(bb.dn, reply)
+            outcome.latency_s += channel.latency_s
+            outcome.messages += 1
+            outcome.bytes += reply.wire_size()
+        outcome.approval = reply
+        outcome.granted = True
+        return outcome
+
+    # -- lifecycle helpers --------------------------------------------------------------
+
+    def claim(self, outcome: SignallingOutcome) -> None:
+        """Activate a granted end-to-end reservation in every domain (edge
+        routers get configured through each broker's configurator)."""
+        if not outcome.granted:
+            raise SignallingError("cannot claim a denied reservation")
+        for domain in outcome.path:
+            self._broker(domain).claim(outcome.handles[domain])
+
+    def cancel(self, outcome: SignallingOutcome) -> None:
+        for domain in outcome.path:
+            handle = outcome.handles.get(domain)
+            if handle is not None:
+                self._broker(domain).cancel(handle)
+
+    def modify(
+        self,
+        user: UserAgent,
+        outcome: SignallingOutcome,
+        *,
+        rate_mbps: float,
+    ) -> SignallingOutcome:
+        """Renegotiate a granted reservation's rate end to end.
+
+        GARA models a modification as a fresh admission decision; the
+        safe order is release-then-re-reserve with rollback: the old
+        reservation is cancelled in every domain, the new rate is
+        requested through the full protocol, and if any domain refuses,
+        the original reservation is restored (it must fit — its capacity
+        was just freed).  Returns the outcome of the *new* reservation
+        (granted or not); on denial, ``outcome`` remains valid.
+        """
+        if not outcome.granted or outcome.verified is None:
+            raise SignallingError("can only modify granted reservations")
+        from dataclasses import replace as _replace
+
+        old_request = outcome.verified.request
+        new_request = _replace(old_request, rate_mbps=rate_mbps)
+        self.cancel(outcome)
+        fresh = self.reserve(user, new_request)
+        if fresh.granted:
+            return fresh
+        restored = self.reserve(user, old_request)
+        if not restored.granted:  # pragma: no cover - defensive
+            raise SignallingError(
+                "failed to restore the original reservation after a denied "
+                f"modification: {restored.denial_reason}"
+            )
+        # Keep the caller's outcome object pointing at live handles.
+        outcome.handles = restored.handles
+        outcome.approval = restored.approval
+        outcome.final_rar = restored.final_rar
+        outcome.verified = restored.verified
+        return fresh

@@ -1,0 +1,200 @@
+"""RAR message construction — the exact composition rules of paper §6.4.
+
+The notation from the paper, and its realization here:
+
+* ``RAR_U = sign_pkeyU({res_spec, DN_BBA, Capability_Cert'_CAS,
+  Capability_Cert'_U})`` — :func:`make_user_rar`.
+* ``RAR_A = sign_pkeyBBA({RAR_U, cert_U, DN_BBB, Capability_Cert'_A})``
+  and the general step ``RAR_{N+1} = sign_pkeyBB_{N+1}({RAR_N, cert_N,
+  DN_BB_{N+2}, Capability_Cert'_{N+1}})`` — :func:`make_bb_rar`.
+* the approval that "propagates back to the source domain, with each
+  intermediate domain referring to local SLA and SLS information",
+  each BB "adds its own signed policy information" — :func:`make_approval`.
+* denial propagation upstream "to inform the user of the reason for the
+  denial" (§6.1) — :func:`make_denial`.
+
+Payload field names are constants so the trust-verification code and the
+tests share one vocabulary.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.bb.reservations import ReservationRequest
+from repro.crypto.dn import DistinguishedName
+from repro.crypto.keys import PrivateKey
+from repro.crypto.x509 import Certificate
+from repro.core.envelope import SignedEnvelope, seal
+from repro.errors import SignallingError
+from repro.policy.attributes import SignedAssertion
+
+__all__ = [
+    "F_TYPE",
+    "F_RES_SPEC",
+    "F_DOWNSTREAM",
+    "F_CAPABILITY_CERTS",
+    "F_ASSERTIONS",
+    "F_INNER",
+    "F_INTRODUCED_CERT",
+    "F_HANDLE",
+    "F_HANDLES",
+    "F_REASON",
+    "F_DOMAIN",
+    "F_POLICY_INFO",
+    "MSG_RAR",
+    "MSG_APPROVAL",
+    "MSG_DENIAL",
+    "make_user_rar",
+    "make_bb_rar",
+    "make_approval",
+    "make_denial",
+    "unwrap_rar_layers",
+]
+
+# Payload field names.
+F_TYPE = "type"
+F_RES_SPEC = "res_spec"
+F_DOWNSTREAM = "downstream_dn"
+F_CAPABILITY_CERTS = "capability_certs"
+F_ASSERTIONS = "assertions"
+F_INNER = "inner_rar"
+F_INTRODUCED_CERT = "introduced_cert"
+F_HANDLE = "handle"
+F_HANDLES = "handles"
+F_REASON = "reason"
+F_DOMAIN = "domain"
+F_POLICY_INFO = "policy_info"
+
+# Message types.
+MSG_RAR = "rar"
+MSG_APPROVAL = "approval"
+MSG_DENIAL = "denial"
+
+
+def make_user_rar(
+    *,
+    request: ReservationRequest,
+    source_bb: DistinguishedName,
+    capability_certs: Sequence[Certificate] = (),
+    assertions: Sequence[SignedAssertion] = (),
+    user: DistinguishedName,
+    user_key: PrivateKey,
+) -> SignedEnvelope:
+    """``RAR_U``: the user's signed request, naming the source-domain BB.
+
+    ``capability_certs`` normally holds the CAS-issued capability
+    certificate plus the user's delegation of it to the source BB
+    (``Capability_Cert'_CAS`` and ``Capability_Cert'_U``).
+    """
+    return seal(
+        {
+            F_TYPE: MSG_RAR,
+            F_RES_SPEC: request,
+            F_DOWNSTREAM: source_bb,
+            F_CAPABILITY_CERTS: tuple(capability_certs),
+            F_ASSERTIONS: tuple(assertions),
+        },
+        signer=user,
+        key=user_key,
+    )
+
+
+def make_bb_rar(
+    *,
+    inner: SignedEnvelope,
+    introduced_cert: Certificate | None,
+    downstream: DistinguishedName,
+    capability_certs: Sequence[Certificate] = (),
+    assertions: Sequence[SignedAssertion] = (),
+    bb: DistinguishedName,
+    bb_key: PrivateKey,
+) -> SignedEnvelope:
+    """``RAR_{N+1}``: a BB wraps the received RAR, introduces the upstream
+    signer's certificate (learned in the SSL handshake), names the next
+    downstream BB, and adds its own capability delegation / policy info.
+
+    ``introduced_cert=None`` builds the certificate-free variant used under
+    repository-based key distribution (§6.4 alternative 2) — verifiers then
+    resolve inner-signer keys by DN instead.
+    """
+    if inner.get(F_TYPE) != MSG_RAR:
+        raise SignallingError("inner message is not a RAR")
+    if introduced_cert is not None and introduced_cert.subject != inner.signer:
+        raise SignallingError(
+            f"introduced certificate names {introduced_cert.subject}, but the "
+            f"inner RAR was signed by {inner.signer}"
+        )
+    payload = {
+        F_TYPE: MSG_RAR,
+        F_INNER: inner,
+        F_DOWNSTREAM: downstream,
+        F_CAPABILITY_CERTS: tuple(capability_certs),
+        F_ASSERTIONS: tuple(assertions),
+    }
+    if introduced_cert is not None:
+        payload[F_INTRODUCED_CERT] = introduced_cert
+    return seal(payload, signer=bb, key=bb_key)
+
+
+def make_approval(
+    *,
+    handle: str,
+    domain: str,
+    policy_info: Sequence[SignedAssertion] = (),
+    inner: SignedEnvelope | None = None,
+    bb: DistinguishedName,
+    bb_key: PrivateKey,
+) -> SignedEnvelope:
+    """An approval propagating back upstream.  ``inner`` is the downstream
+    approval this BB is endorsing; the destination's approval has none."""
+    payload = {
+        F_TYPE: MSG_APPROVAL,
+        F_HANDLE: handle,
+        F_DOMAIN: domain,
+        F_POLICY_INFO: tuple(policy_info),
+    }
+    if inner is not None:
+        if inner.get(F_TYPE) != MSG_APPROVAL:
+            raise SignallingError("inner message is not an approval")
+        payload[F_INNER] = inner
+    return seal(payload, signer=bb, key=bb_key)
+
+
+def make_denial(
+    *,
+    domain: str,
+    reason: str,
+    inner: SignedEnvelope | None = None,
+    bb: DistinguishedName,
+    bb_key: PrivateKey,
+) -> SignedEnvelope:
+    """A denial propagating back upstream with its reason (§6.1)."""
+    payload = {
+        F_TYPE: MSG_DENIAL,
+        F_DOMAIN: domain,
+        F_REASON: reason,
+    }
+    if inner is not None:
+        payload[F_INNER] = inner
+    return seal(payload, signer=bb, key=bb_key)
+
+
+def unwrap_rar_layers(rar: SignedEnvelope) -> list[SignedEnvelope]:
+    """Return the layers of a nested RAR, outermost first (the user's
+    original request last)."""
+    layers = []
+    current: SignedEnvelope | None = rar
+    while current is not None:
+        if current.get(F_TYPE) != MSG_RAR:
+            raise SignallingError(
+                f"layer signed by {current.signer} is not a RAR"
+            )
+        layers.append(current)
+        inner = current.get(F_INNER)
+        if inner is not None and not isinstance(inner, SignedEnvelope):
+            raise SignallingError("inner RAR field holds a non-envelope")
+        current = inner
+        if len(layers) > 64:
+            raise SignallingError("RAR nesting exceeds maximum depth 64")
+    return layers

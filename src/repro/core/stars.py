@@ -1,0 +1,156 @@
+"""A STARS-style reservation coordinator (the paper's second baseline).
+
+"The STARS system adopts a variant of this approach, in which a separate
+source domain entity — the reservation coordinator (RC) — performs the
+end-to-end reservation.  This strategy alleviates the problems noted
+above, in two respects: first, in many situations it may be feasible for
+the RC to be 'trusted' to make all necessary reservations; second, all
+bandwidth-brokers need not be aware of all end-users.  However, we still
+require a direct trust relationship between all intermediate and possible
+end-domains." (§3)
+
+The coordinator authenticates the user itself, then contacts every BB
+over its *own* trust relationships, asserting the user's identity.  BBs
+that trust the RC accept the asserted identity; BBs with no channel to
+the RC still fail — the residual flaw the hop-by-hop protocol removes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from repro.bb.broker import BandwidthBroker
+from repro.bb.reservations import ReservationRequest
+from repro.core.agent import UserAgent
+from repro.core.channel import ChannelRegistry
+from repro.crypto.dn import DN, DistinguishedName
+from repro.crypto.keys import KeyPair, get_scheme
+from repro.crypto.truststore import TrustStore
+from repro.crypto.x509 import Certificate
+from repro.errors import HandshakeError
+from repro.policy.attributes import make_assertion
+
+__all__ = ["CoordinatorOutcome", "ReservationCoordinator"]
+
+
+@dataclass
+class CoordinatorOutcome:
+    granted: bool
+    complete: bool
+    handles: dict[str, str] = field(default_factory=dict)
+    failures: dict[str, str] = field(default_factory=dict)
+    latency_s: float = 0.0
+    messages: int = 0
+    path: tuple[str, ...] = ()
+
+
+class ReservationCoordinator:
+    """A trusted source-domain entity reserving on users' behalf."""
+
+    def __init__(
+        self,
+        domain: str,
+        brokers: Mapping[str, BandwidthBroker],
+        channels: ChannelRegistry,
+        domain_path: Callable[[str, str], list[str]],
+        *,
+        dn: DistinguishedName | None = None,
+        keypair: KeyPair | None = None,
+        certificate: Certificate | None = None,
+        truststore: TrustStore | None = None,
+        processing_delay_s: float = 0.001,
+        clock: Callable[[], float] = lambda: 0.0,
+    ):
+        self.domain = domain
+        self.dn = dn if dn is not None else DN.make("Grid", domain, f"RC-{domain}")
+        self.keypair = (
+            keypair
+            if keypair is not None
+            else get_scheme("simulated").generate(random.Random(0x57A5))
+        )
+        self.certificate = certificate
+        self.truststore = truststore if truststore is not None else TrustStore()
+        self.brokers = dict(brokers)
+        self.channels = channels
+        self.domain_path = domain_path
+        self.processing_delay_s = processing_delay_s
+        self.clock = clock
+        #: Users this coordinator has authenticated locally.
+        self._known_users: set[DistinguishedName] = set()
+
+    def enroll_user(self, user: UserAgent) -> None:
+        """Authenticate a local user (out of band) so the RC will assert
+        their identity to remote BBs."""
+        self._known_users.add(user.dn)
+
+    def reserve(
+        self,
+        user: UserAgent,
+        request: ReservationRequest,
+        *,
+        concurrent: bool = True,
+    ) -> CoordinatorOutcome:
+        """Reserve end-to-end on the user's behalf.
+
+        The RC signs an identity assertion ("this request is made for
+        user U") with its own key; BBs that trust the RC accept the
+        asserted user for policy purposes without knowing U themselves.
+        """
+        at_time = self.clock()
+        path = self.domain_path(request.source_domain, request.destination_domain)
+        outcome = CoordinatorOutcome(granted=False, complete=False, path=tuple(path))
+        if user.dn not in self._known_users:
+            outcome.failures[self.domain] = f"user {user.dn} not enrolled with RC"
+            return outcome
+
+        identity_assertion = make_assertion(
+            issuer=self.dn,
+            issuer_key=self.keypair.private,
+            subject=user.dn,
+            attributes={"authenticated_by": str(self.dn)},
+        )
+        latencies: list[float] = []
+        for index, domain in enumerate(path):
+            bb = self.brokers[domain]
+            try:
+                channel = self.channels.connect(self, bb, at_time=at_time)
+            except HandshakeError as exc:
+                outcome.failures[domain] = f"no trust relationship: {exc}"
+                continue
+            # Request + reply across the channel.
+            channel.transmit(self.dn, identity_assertion)
+            upstream = path[index - 1] if index > 0 else None
+            downstream = path[index + 1] if index + 1 < len(path) else None
+            # The BB trusts the RC contractually; it accepts the asserted
+            # user identity for its policy decision.
+            from repro.bb.policyserver import VerifiedInfo
+
+            info = VerifiedInfo(user=user.dn)
+            admit = bb.admit(
+                request, info, at_time=at_time,
+                upstream=upstream, downstream=downstream,
+            )
+            channel.transmit(bb.dn, admit.reservation.handle)
+            latencies.append(2 * channel.latency_s + self.processing_delay_s)
+            outcome.messages += 2
+            if admit.granted:
+                outcome.handles[domain] = admit.reservation.handle
+            else:
+                outcome.failures[domain] = admit.reason
+                if not concurrent:
+                    break
+
+        # user -> RC round trip plus the fan-out.
+        outcome.latency_s = (
+            max(latencies, default=0.0) if concurrent else sum(latencies)
+        ) + self.processing_delay_s
+        outcome.messages += 2  # user <-> RC
+        outcome.granted = bool(outcome.handles) and not outcome.failures
+        outcome.complete = outcome.granted and all(d in outcome.handles for d in path)
+        if outcome.failures:
+            for domain, handle in list(outcome.handles.items()):
+                self.brokers[domain].cancel(handle)
+                del outcome.handles[domain]
+        return outcome

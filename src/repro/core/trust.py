@@ -1,0 +1,274 @@
+"""Transitive-trust verification of nested RAR messages (paper §6.4).
+
+A bandwidth broker receiving ``RAR_N`` over a mutually authenticated
+channel can verify:
+
+* the outermost signature — the channel peer's certificate is known (SLA
+  + handshake), so this is direct trust;
+* every inner signature — each layer *introduces* the certificate of the
+  next-inner signer (``cert_N`` inside ``RAR_{N+1}``), forming a web of
+  trust: "this web of trust allows each domain to access a list of key
+  introducers when deciding whether to accept the public key stored in
+  the certificate";
+* path consistency — every layer names the DN of the BB it was sent to
+  (``DN_BB_{N+2}``), so the verifier can trace the exact path the request
+  took and confirm it terminates at itself;
+* its own security policy — "checking its own security policy which might
+  limit the depth of an acceptable trust chain" — via the verifier's
+  :class:`~repro.crypto.truststore.TrustPolicy`.
+
+The result of :func:`verify_rar` is everything the BB's policy server
+needs: the authenticated user, the original request, the collected
+capability chain (in delegation order, ready for the §6.5 checks), the
+assertions added along the path, and the traced path itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bb.reservations import ReservationRequest
+from repro.crypto.dn import DistinguishedName
+from repro.crypto.truststore import TrustStore
+from repro.crypto.x509 import Certificate
+from repro.core.envelope import SignedEnvelope
+from repro.core.messages import (
+    F_ASSERTIONS,
+    F_CAPABILITY_CERTS,
+    F_DOWNSTREAM,
+    F_INTRODUCED_CERT,
+    F_RES_SPEC,
+    unwrap_rar_layers,
+)
+from repro.errors import (
+    ChainTooDeepError,
+    IntroductionError,
+    SignallingError,
+    TamperedMessageError,
+)
+from repro.policy.attributes import SignedAssertion
+
+__all__ = ["VerifiedRAR", "verify_rar", "verify_rar_with_repository"]
+
+
+@dataclass(frozen=True)
+class VerifiedRAR:
+    """Outcome of successful transitive-trust verification."""
+
+    #: The authenticated originating user.
+    user: DistinguishedName
+    #: The user's identity certificate (introduced by the source BB), when
+    #: the chain is longer than the bare user RAR.
+    user_certificate: Certificate | None
+    #: The original reservation specification, exactly as the user signed it.
+    request: ReservationRequest
+    #: Signers from the user outward: (user, BB_source, ..., BB_previous).
+    path: tuple[DistinguishedName, ...]
+    #: Capability certificates in delegation order (CAS-issued first).
+    capability_chain: tuple[Certificate, ...]
+    #: All signed assertions collected along the path.
+    assertions: tuple[SignedAssertion, ...]
+    #: Introduction depth of the innermost (user) signature.
+    depth: int
+    #: Certificates introduced along the way, by subject (the "list of key
+    #: introducers" a later tunnel handshake can draw on).
+    introduced: tuple[Certificate, ...]
+
+
+def verify_rar(
+    rar: SignedEnvelope,
+    *,
+    verifier: DistinguishedName,
+    peer_certificate: Certificate,
+    truststore: TrustStore,
+    at_time: float = 0.0,
+) -> VerifiedRAR:
+    """Verify a (possibly nested) RAR received from the holder of
+    *peer_certificate* over a mutually authenticated channel.
+
+    Raises :class:`~repro.errors.TamperedMessageError` on any signature
+    failure, :class:`~repro.errors.IntroductionError` on broken
+    introductions or path inconsistencies, and
+    :class:`~repro.errors.ChainTooDeepError` when the verifier's trust
+    policy rejects the introduction depth.
+    """
+    layers = unwrap_rar_layers(rar)
+
+    # Layer 0 (outermost) must be signed by the channel peer: direct trust.
+    outer = layers[0]
+    if outer.signer != peer_certificate.subject:
+        raise IntroductionError(
+            f"outermost RAR signed by {outer.signer}, but the channel peer is "
+            f"{peer_certificate.subject}"
+        )
+    if not truststore.accepts_directly(peer_certificate, at_time=at_time):
+        raise IntroductionError(
+            f"channel peer certificate {peer_certificate.subject} is not "
+            f"directly trusted"
+        )
+    if outer.get(F_DOWNSTREAM) != verifier:
+        raise IntroductionError(
+            f"outermost RAR is addressed to {outer.get(F_DOWNSTREAM)}, "
+            f"not to verifier {verifier}"
+        )
+
+    signer_cert = peer_certificate
+    capability_chain: list[Certificate] = []
+    assertions: list[SignedAssertion] = []
+    introduced: list[Certificate] = []
+    user_certificate: Certificate | None = None
+
+    for depth, layer in enumerate(layers):
+        if not truststore.depth_acceptable(depth):
+            raise ChainTooDeepError(
+                f"introduction depth {depth} exceeds local trust policy "
+                f"(max {truststore.policy.max_introduction_depth})"
+            )
+        if not truststore.scheme_acceptable(signer_cert.public_key):
+            raise IntroductionError(
+                f"signature scheme of {signer_cert.subject} violates local policy"
+            )
+        if not signer_cert.valid_at(at_time):
+            raise IntroductionError(
+                f"certificate for {signer_cert.subject} not valid at t={at_time}"
+            )
+        layer.require_valid(signer_cert.public_key)
+
+        # Collect what this layer adds.  Capability certificates appear
+        # outermost-last in delegation order, so prepend.
+        capability_chain[:0] = list(layer.get(F_CAPABILITY_CERTS, ()))
+        assertions[:0] = list(layer.get(F_ASSERTIONS, ()))
+
+        inner = layers[depth + 1] if depth + 1 < len(layers) else None
+        if inner is None:
+            break
+        # Path consistency: the inner layer must name this layer's signer
+        # as the BB it was sent to.
+        if inner.get(F_DOWNSTREAM) != layer.signer:
+            raise IntroductionError(
+                f"path break: layer signed by {inner.signer} was addressed to "
+                f"{inner.get(F_DOWNSTREAM)}, not to {layer.signer} who "
+                f"forwarded it"
+            )
+        # Introduction: this layer carries the certificate of the inner
+        # signer, vouched for by this layer's (already verified) signature.
+        cert = layer.get(F_INTRODUCED_CERT)
+        if cert is None:
+            raise IntroductionError(
+                f"layer signed by {layer.signer} introduces no certificate for "
+                f"inner signer {inner.signer}"
+            )
+        if not isinstance(cert, Certificate):
+            raise IntroductionError("introduced certificate field is malformed")
+        if cert.subject != inner.signer:
+            raise IntroductionError(
+                f"introduced certificate names {cert.subject}, inner layer is "
+                f"signed by {inner.signer}"
+            )
+        introduced.append(cert)
+        user_certificate = cert  # the last introduction is the user's cert
+        signer_cert = cert
+
+    user_layer = layers[-1]
+    request = user_layer.get(F_RES_SPEC)
+    if not isinstance(request, ReservationRequest):
+        raise SignallingError("innermost RAR carries no reservation spec")
+
+    path = tuple(layer.signer for layer in reversed(layers))
+    return VerifiedRAR(
+        user=user_layer.signer,
+        user_certificate=user_certificate if len(layers) > 1 else None,
+        request=request,
+        path=path,
+        capability_chain=tuple(capability_chain),
+        assertions=tuple(assertions),
+        depth=len(layers) - 1,
+        introduced=tuple(introduced),
+    )
+
+
+def verify_rar_with_repository(
+    rar: SignedEnvelope,
+    *,
+    verifier: DistinguishedName,
+    peer_certificate: Certificate,
+    truststore: TrustStore,
+    repository,
+    at_time: float = 0.0,
+) -> tuple[VerifiedRAR, int]:
+    """Verify a nested RAR resolving inner-signer keys from a trusted
+    certificate *repository* instead of in-request introductions.
+
+    This is the paper's §6.4 alternative 2 ("secure LDAP"), implemented so
+    the key-distribution ablation compares real code paths.  The RAR may
+    omit introduced certificates entirely; each inner signer's key is
+    fetched by DN.  Requires "a strong trust relationship with the
+    repository" — here, the caller choosing to pass one.
+
+    Returns ``(verified, lookups)`` where *lookups* is the number of
+    repository queries this verification performed.
+    """
+    layers = unwrap_rar_layers(rar)
+
+    outer = layers[0]
+    if outer.signer != peer_certificate.subject:
+        raise IntroductionError(
+            f"outermost RAR signed by {outer.signer}, but the channel peer is "
+            f"{peer_certificate.subject}"
+        )
+    if not truststore.accepts_directly(peer_certificate, at_time=at_time):
+        raise IntroductionError(
+            f"channel peer certificate {peer_certificate.subject} is not "
+            f"directly trusted"
+        )
+    if outer.get(F_DOWNSTREAM) != verifier:
+        raise IntroductionError(
+            f"outermost RAR is addressed to {outer.get(F_DOWNSTREAM)}, "
+            f"not to verifier {verifier}"
+        )
+
+    queries_before = repository.queries
+    signer_cert = peer_certificate
+    capability_chain: list[Certificate] = []
+    assertions: list[SignedAssertion] = []
+    fetched: list[Certificate] = []
+    user_certificate: Certificate | None = None
+
+    for depth, layer in enumerate(layers):
+        if not signer_cert.valid_at(at_time):
+            raise IntroductionError(
+                f"certificate for {signer_cert.subject} not valid at t={at_time}"
+            )
+        layer.require_valid(signer_cert.public_key)
+        capability_chain[:0] = list(layer.get(F_CAPABILITY_CERTS, ()))
+        assertions[:0] = list(layer.get(F_ASSERTIONS, ()))
+
+        inner = layers[depth + 1] if depth + 1 < len(layers) else None
+        if inner is None:
+            break
+        if inner.get(F_DOWNSTREAM) != layer.signer:
+            raise IntroductionError(
+                f"path break: layer signed by {inner.signer} was addressed to "
+                f"{inner.get(F_DOWNSTREAM)}, not to {layer.signer} who "
+                f"forwarded it"
+            )
+        signer_cert = repository.lookup(inner.signer)
+        fetched.append(signer_cert)
+        user_certificate = signer_cert
+
+    user_layer = layers[-1]
+    request = user_layer.get(F_RES_SPEC)
+    if not isinstance(request, ReservationRequest):
+        raise SignallingError("innermost RAR carries no reservation spec")
+
+    verified = VerifiedRAR(
+        user=user_layer.signer,
+        user_certificate=user_certificate if len(layers) > 1 else None,
+        request=request,
+        path=tuple(layer.signer for layer in reversed(layers)),
+        capability_chain=tuple(capability_chain),
+        assertions=tuple(assertions),
+        depth=len(layers) - 1,
+        introduced=tuple(fetched),
+    )
+    return verified, repository.queries - queries_before

@@ -1,0 +1,240 @@
+"""Tunnels: aggregate reservations with end-domain-only flow signalling.
+
+"Support for tunnels allows an entity to request an aggregate end-to-end
+reservation.  Users authorized to use this tunnel can then request
+portions of this aggregate bandwidth by contacting just the two end
+domains — the intermediate domains do not need to be contacted as long
+[as] the total bandwidth remains less than the size of the tunnel." (§1)
+
+Establishment rides on the hop-by-hop protocol; what makes the *direct*
+source↔destination signalling channel possible afterwards is the identity
+information the protocol propagates: the destination BB traced the path
+and holds the source BB's certificate from the introduction chain
+("because of this direct connection, it must be possible for the
+end-domain to derive the identity of the source domain's BB", §6.4).
+
+Scalability claim (benchmark C2): N flows over a k-domain path cost
+``N * 2k`` messages per-flow but only ``2k + 4N`` with a tunnel.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.bb.reservations import ReservationRequest
+from repro.core.agent import UserAgent
+from repro.core.channel import ChannelRegistry, SecureChannel
+from repro.core.hopbyhop import HopByHopProtocol, SignallingOutcome
+from repro.crypto.dn import DistinguishedName
+from repro.errors import TunnelError
+
+__all__ = ["Tunnel", "FlowAllocation", "TunnelService"]
+
+
+@dataclass(frozen=True)
+class FlowAllocation:
+    """A slice of a tunnel granted to one flow."""
+
+    allocation_id: str
+    tunnel_id: str
+    owner: DistinguishedName
+    rate_mbps: float
+    start: float
+    end: float
+
+
+@dataclass
+class Tunnel:
+    """An established aggregate reservation between two end domains."""
+
+    tunnel_id: str
+    source_domain: str
+    destination_domain: str
+    capacity_mbps: float
+    start: float
+    end: float
+    owner: DistinguishedName
+    #: Per-domain reservation handles of the underlying aggregate.
+    handles: dict[str, str] = field(default_factory=dict)
+    #: DNs authorized to request slices (owner always is).
+    authorized: set[DistinguishedName] = field(default_factory=set)
+    allocations: dict[str, FlowAllocation] = field(default_factory=dict)
+    #: The direct end-to-end signalling channel (source BB <-> dest BB).
+    direct_channel: SecureChannel | None = None
+
+    def allocated_mbps(self, start: float, end: float) -> float:
+        """Peak allocation over [start, end).  Piecewise-constant sweep over
+        allocation boundaries, like the admission controller."""
+        points = {start}
+        for a in self.allocations.values():
+            if a.end > start and a.start < end:
+                points.add(max(a.start, start))
+        peak = 0.0
+        for p in points:
+            load = sum(
+                a.rate_mbps for a in self.allocations.values()
+                if a.start <= p < a.end
+            )
+            peak = max(peak, load)
+        return peak
+
+    def headroom(self, start: float, end: float) -> float:
+        return self.capacity_mbps - self.allocated_mbps(start, end)
+
+    def may_allocate(self, who: DistinguishedName) -> bool:
+        return who == self.owner or who in self.authorized
+
+
+class TunnelService:
+    """Tunnel establishment and intra-tunnel flow allocation."""
+
+    def __init__(self, protocol: HopByHopProtocol, channels: ChannelRegistry):
+        self.protocol = protocol
+        self.channels = channels
+        self._tunnels: dict[str, Tunnel] = {}
+        self._ids = itertools.count(1)
+        self._alloc_ids = itertools.count(1)
+
+    def get(self, tunnel_id: str) -> Tunnel:
+        try:
+            return self._tunnels[tunnel_id]
+        except KeyError:
+            raise TunnelError(f"unknown tunnel {tunnel_id!r}") from None
+
+    # -- establishment ---------------------------------------------------------------
+
+    def establish(
+        self,
+        user: UserAgent,
+        request: ReservationRequest,
+    ) -> tuple[Tunnel | None, SignallingOutcome]:
+        """Reserve the aggregate hop-by-hop and, on success, open the direct
+        source↔destination channel using the traced identity information."""
+        tagged = request.with_attributes(tunnel=True)
+        outcome = self.protocol.reserve(user, tagged)
+        if not outcome.granted:
+            return None, outcome
+        source_bb = self.protocol.brokers[request.source_domain]
+        dest_bb = self.protocol.brokers[request.destination_domain]
+
+        # The destination traced the path; the source BB's certificate is
+        # among the introduced certificates (or, for adjacent domains, is
+        # already the SLA peer certificate).
+        direct: SecureChannel
+        if self.channels.has(source_bb.dn, dest_bb.dn):
+            direct = self.channels.between(source_bb.dn, dest_bb.dn)
+        else:
+            assert outcome.verified is not None
+            introduced = {c.subject: c for c in outcome.verified.introduced}
+            source_cert = introduced.get(source_bb.dn)
+            if source_cert is None:
+                raise TunnelError(
+                    "destination could not derive the source BB identity from "
+                    "the signalling path"
+                )
+            dest_bb.truststore.add_introduced_peer(source_cert)
+            source_bb.truststore.add_introduced_peer(dest_bb.certificate)
+            direct = self.channels.connect(source_bb, dest_bb)
+
+        tunnel = Tunnel(
+            tunnel_id=f"TUN-{next(self._ids):04d}",
+            source_domain=request.source_domain,
+            destination_domain=request.destination_domain,
+            capacity_mbps=request.rate_mbps,
+            start=request.start,
+            end=request.end,
+            owner=user.dn,
+            handles=dict(outcome.handles),
+            direct_channel=direct,
+        )
+        self._tunnels[tunnel.tunnel_id] = tunnel
+        return tunnel, outcome
+
+    def authorize(self, tunnel_id: str, who: DistinguishedName) -> None:
+        self.get(tunnel_id).authorized.add(who)
+
+    # -- intra-tunnel flows -------------------------------------------------------------
+
+    def allocate_flow(
+        self,
+        tunnel_id: str,
+        user: UserAgent,
+        rate_mbps: float,
+        *,
+        start: float | None = None,
+        end: float | None = None,
+    ) -> tuple[FlowAllocation, float, int]:
+        """Allocate a slice by contacting ONLY the two end domains.
+
+        Returns ``(allocation, signalling_latency_s, messages)``.  Raises
+        :class:`~repro.errors.TunnelError` on authorization, window, or
+        headroom failure.
+        """
+        tunnel = self.get(tunnel_id)
+        start = tunnel.start if start is None else start
+        end = tunnel.end if end is None else end
+        if not tunnel.may_allocate(user.dn):
+            raise TunnelError(f"{user.dn} is not authorized for {tunnel_id}")
+        if start < tunnel.start or end > tunnel.end or end <= start:
+            raise TunnelError(
+                f"allocation window [{start}, {end}) outside tunnel window "
+                f"[{tunnel.start}, {tunnel.end})"
+            )
+        if rate_mbps <= 0:
+            raise TunnelError("allocation rate must be positive")
+        headroom = tunnel.headroom(start, end)
+        if rate_mbps > headroom + 1e-9:
+            raise TunnelError(
+                f"tunnel {tunnel_id} has {max(headroom, 0.0):.3f} Mb/s headroom, "
+                f"requested {rate_mbps}"
+            )
+        # Signalling: user -> source BB, source BB -> dest BB (direct), and
+        # the two replies.  Intermediate domains are never touched.
+        source_bb = self.protocol.brokers[tunnel.source_domain]
+        user_channel = self.channels.connect(user, source_bb)
+        direct = tunnel.direct_channel
+        assert direct is not None
+        messages = 0
+        latency = 0.0
+        for channel, sender in (
+            (user_channel, user.dn),
+            (direct, source_bb.dn),
+        ):
+            channel.transmit(sender, {"allocate": tunnel_id, "rate": rate_mbps})
+            messages += 1
+            latency += channel.latency_s
+        # Replies.
+        dest_bb = self.protocol.brokers[tunnel.destination_domain]
+        for channel, sender in (
+            (direct, dest_bb.dn),
+            (user_channel, source_bb.dn),
+        ):
+            channel.transmit(sender, {"ok": tunnel_id})
+            messages += 1
+            latency += channel.latency_s
+        latency += 2 * self.protocol.processing_delay_s
+
+        allocation = FlowAllocation(
+            allocation_id=f"ALC-{next(self._alloc_ids):05d}",
+            tunnel_id=tunnel_id,
+            owner=user.dn,
+            rate_mbps=rate_mbps,
+            start=start,
+            end=end,
+        )
+        tunnel.allocations[allocation.allocation_id] = allocation
+        return allocation, latency, messages
+
+    def release_flow(self, tunnel_id: str, allocation_id: str) -> None:
+        tunnel = self.get(tunnel_id)
+        if allocation_id not in tunnel.allocations:
+            raise TunnelError(f"unknown allocation {allocation_id!r}")
+        del tunnel.allocations[allocation_id]
+
+    def teardown(self, tunnel_id: str) -> None:
+        """Cancel the aggregate reservation in every domain."""
+        tunnel = self.get(tunnel_id)
+        for domain, handle in tunnel.handles.items():
+            self.protocol.brokers[domain].cancel(handle)
+        del self._tunnels[tunnel_id]

@@ -1,0 +1,61 @@
+"""Cryptographic substrate: canonical encoding, key pairs and signature
+schemes, distinguished names, X.509-style certificates and CAs, capability
+certificates with Neuman-style cascaded delegation, and trust stores.
+
+This package is the reproduction's stand-in for the OpenSSL/X.509v3 PKI
+the paper assumes.  See DESIGN.md §3 for the substitution rationale.
+"""
+
+from repro.crypto.canonical import digest, encode, fingerprint
+from repro.crypto.capability import (
+    DelegationResult,
+    ProxyCredential,
+    check_possession,
+    delegate,
+    issue_capability,
+    prove_possession,
+    verify_delegation_chain,
+)
+from repro.crypto.dn import DN, DistinguishedName
+from repro.crypto.keys import (
+    KeyPair,
+    PrivateKey,
+    PublicKey,
+    RSAScheme,
+    SignatureScheme,
+    SimulatedScheme,
+    get_scheme,
+    register_scheme,
+)
+from repro.crypto.repository import CertificateRepository
+from repro.crypto.truststore import TrustPolicy, TrustStore
+from repro.crypto.x509 import Certificate, CertificateAuthority, verify_chain
+
+__all__ = [
+    "encode",
+    "digest",
+    "fingerprint",
+    "DN",
+    "DistinguishedName",
+    "KeyPair",
+    "PrivateKey",
+    "PublicKey",
+    "SignatureScheme",
+    "RSAScheme",
+    "SimulatedScheme",
+    "get_scheme",
+    "register_scheme",
+    "Certificate",
+    "CertificateAuthority",
+    "verify_chain",
+    "ProxyCredential",
+    "DelegationResult",
+    "issue_capability",
+    "delegate",
+    "verify_delegation_chain",
+    "prove_possession",
+    "check_possession",
+    "TrustPolicy",
+    "TrustStore",
+    "CertificateRepository",
+]

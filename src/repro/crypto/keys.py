@@ -1,0 +1,284 @@
+"""Key pairs and signature schemes.
+
+The signalling protocol of the paper rests on one primitive: a party signs
+a structured value with its private key, and any holder of the matching
+public key can verify the signature.  This module provides two
+interchangeable implementations behind the :class:`SignatureScheme`
+protocol:
+
+* :class:`RSAScheme` — genuine textbook RSA with Miller–Rabin key
+  generation and hash-then-sign (``sig = H(m)^d mod n``).  Keys default to
+  1024 bits, adequate for a simulation substrate and fast enough to
+  generate in bulk.  This is the reproduction's stand-in for the OpenSSL
+  RSA keys the 2001 deployment would have used.
+* :class:`SimulatedScheme` — a *non-cryptographic* scheme for large-scale
+  benchmarks.  Signing hashes the private seed with the message; the
+  public key carries the seed so verification can recompute the hash.
+  It preserves the two properties the protocol logic depends on — any
+  message or key mismatch is detected, and only the correct key pair
+  produces accepting signatures inside an honest simulation — but offers
+  **no security against an adversary who inspects public keys**.  Its use
+  is flagged via :attr:`SignatureScheme.secure`.
+
+All randomness is drawn from an injected :class:`random.Random`, making
+key generation reproducible; no global RNG state is touched.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field
+from typing import Any, Protocol, runtime_checkable
+
+from repro.errors import CryptoError
+
+__all__ = [
+    "PublicKey",
+    "PrivateKey",
+    "KeyPair",
+    "SignatureScheme",
+    "RSAScheme",
+    "SimulatedScheme",
+    "get_scheme",
+    "register_scheme",
+]
+
+
+@dataclass(frozen=True)
+class PublicKey:
+    """A public key: a scheme name plus scheme-specific material."""
+
+    scheme: str
+    material: tuple
+    #: Short identifier derived from the key material; used for logging
+    #: and for matching certificates to keys.
+    key_id: str = field(init=False)
+
+    def __post_init__(self) -> None:
+        blob = repr((self.scheme, self.material)).encode()
+        object.__setattr__(self, "key_id", hashlib.sha256(blob).hexdigest()[:16])
+
+    def to_cbe(self) -> Any:
+        return {"scheme": self.scheme, "material": [str(m) for m in self.material]}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PublicKey({self.scheme}, id={self.key_id})"
+
+
+@dataclass(frozen=True)
+class PrivateKey:
+    """A private key.  Never placed inside messages or certificates."""
+
+    scheme: str
+    material: tuple
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PrivateKey({self.scheme}, <secret>)"
+
+
+@dataclass(frozen=True)
+class KeyPair:
+    """A matched (private, public) pair produced by a scheme's keygen."""
+
+    private: PrivateKey
+    public: PublicKey
+
+    @property
+    def scheme(self) -> str:
+        return self.public.scheme
+
+
+@runtime_checkable
+class SignatureScheme(Protocol):
+    """Interface all signature schemes implement."""
+
+    #: Registry name of the scheme ("rsa", "simulated").
+    name: str
+    #: True when the scheme offers actual cryptographic security.
+    secure: bool
+
+    def generate(self, rng: random.Random) -> KeyPair:  # pragma: no cover
+        """Generate a fresh key pair using *rng* as the entropy source."""
+        ...
+
+    def sign(self, private: PrivateKey, message: bytes) -> bytes:  # pragma: no cover
+        """Return a signature over *message*."""
+        ...
+
+    def verify(self, public: PublicKey, message: bytes, signature: bytes) -> bool:  # pragma: no cover
+        """Return True iff *signature* is valid for *message* under *public*."""
+        ...
+
+
+# ---------------------------------------------------------------------------
+# RSA
+# ---------------------------------------------------------------------------
+
+_SMALL_PRIMES = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
+    71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149,
+    151, 157, 163, 167, 173, 179, 181, 191, 193, 197, 199, 211, 223, 227, 229,
+]
+
+
+def _is_probable_prime(n: int, rng: random.Random, rounds: int = 24) -> bool:
+    """Miller–Rabin primality test with *rounds* random bases."""
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n % p == 0:
+            return n == p
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for _ in range(rounds):
+        a = rng.randrange(2, n - 1)
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = (x * x) % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def _random_prime(bits: int, rng: random.Random) -> int:
+    """Return a random probable prime of exactly *bits* bits."""
+    while True:
+        candidate = rng.getrandbits(bits) | (1 << (bits - 1)) | 1
+        if _is_probable_prime(candidate, rng):
+            return candidate
+
+
+class RSAScheme:
+    """Textbook RSA with hash-then-sign.
+
+    The signature is ``pow(int(SHA-256(message)), d, n)``.  Verification
+    recomputes the digest and checks ``pow(sig, e, n)`` against it.  No
+    padding is applied; for the threat model of a protocol simulation
+    (tamper evidence, key binding) this is sufficient and keeps the
+    implementation transparent.
+    """
+
+    name = "rsa"
+    secure = True
+
+    def __init__(self, bits: int = 1024, public_exponent: int = 65537):
+        if bits < 256:
+            raise CryptoError("RSA modulus must be at least 256 bits")
+        self.bits = bits
+        self.e = public_exponent
+
+    def generate(self, rng: random.Random) -> KeyPair:
+        half = self.bits // 2
+        while True:
+            p = _random_prime(half, rng)
+            q = _random_prime(self.bits - half, rng)
+            if p == q:
+                continue
+            n = p * q
+            phi = (p - 1) * (q - 1)
+            if phi % self.e == 0:
+                continue
+            try:
+                d = pow(self.e, -1, phi)
+            except ValueError:
+                continue
+            public = PublicKey(self.name, (n, self.e))
+            private = PrivateKey(self.name, (n, d))
+            return KeyPair(private, public)
+
+    @staticmethod
+    def _digest_int(message: bytes, n: int) -> int:
+        return int.from_bytes(hashlib.sha256(message).digest(), "big") % n
+
+    def sign(self, private: PrivateKey, message: bytes) -> bytes:
+        if private.scheme != self.name:
+            raise CryptoError(f"key scheme {private.scheme!r} != {self.name!r}")
+        n, d = private.material
+        h = self._digest_int(message, n)
+        sig = pow(h, d, n)
+        return sig.to_bytes((n.bit_length() + 7) // 8, "big")
+
+    def verify(self, public: PublicKey, message: bytes, signature: bytes) -> bool:
+        if public.scheme != self.name:
+            return False
+        n, e = public.material
+        try:
+            sig = int.from_bytes(signature, "big")
+        except (TypeError, ValueError):
+            return False
+        if not 0 < sig < n:
+            return False
+        return pow(sig, e, n) == self._digest_int(message, n)
+
+
+# ---------------------------------------------------------------------------
+# Simulated scheme
+# ---------------------------------------------------------------------------
+
+class SimulatedScheme:
+    """Fast hash-based stand-in for a signature scheme.
+
+    ``private = seed``; ``public = (seed,)`` (the seed is embedded so the
+    verifier can recompute); ``sign(m) = SHA-256(seed || m)``.  Integrity
+    and key-binding hold for honest participants; confidentiality of the
+    signing ability does **not** (``secure = False``).  Intended only for
+    benchmarks that would otherwise be dominated by RSA arithmetic.
+    """
+
+    name = "simulated"
+    secure = False
+
+    def generate(self, rng: random.Random) -> KeyPair:
+        seed = rng.getrandbits(128).to_bytes(16, "big").hex()
+        public = PublicKey(self.name, (seed,))
+        private = PrivateKey(self.name, (seed,))
+        return KeyPair(private, public)
+
+    @staticmethod
+    def _mac(seed: str, message: bytes) -> bytes:
+        return hashlib.sha256(seed.encode("ascii") + b"|" + message).digest()
+
+    def sign(self, private: PrivateKey, message: bytes) -> bytes:
+        if private.scheme != self.name:
+            raise CryptoError(f"key scheme {private.scheme!r} != {self.name!r}")
+        return self._mac(private.material[0], message)
+
+    def verify(self, public: PublicKey, message: bytes, signature: bytes) -> bool:
+        if public.scheme != self.name:
+            return False
+        return self._mac(public.material[0], message) == signature
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+_SCHEMES: dict[str, SignatureScheme] = {}
+
+
+def register_scheme(scheme: SignatureScheme) -> None:
+    """Register *scheme* so keys can find their implementation by name."""
+    _SCHEMES[scheme.name] = scheme
+
+
+def get_scheme(name: str) -> SignatureScheme:
+    """Return the registered scheme called *name*.
+
+    Raises :class:`~repro.errors.CryptoError` for unknown names.
+    """
+    try:
+        return _SCHEMES[name]
+    except KeyError:
+        raise CryptoError(f"unknown signature scheme {name!r}") from None
+
+
+register_scheme(RSAScheme())
+register_scheme(SimulatedScheme())

@@ -1,0 +1,75 @@
+"""A certificate repository — the paper's second key-distribution option.
+
+§6.4: "Maintain a certificate repository accessible through secure LDAP.
+Upon receipt of the reservation specification, C would extract the
+distinguished name (DN) of A from it, and would search in the certificate
+repository for the related public key.  It is important to note that
+there has to be a strong trust relationship with the repository."
+
+This module implements that alternative so the ablation benchmark can
+compare it against the paper's preferred in-request scheme with real
+code, not a model:
+
+* :class:`CertificateRepository` — DN-indexed certificate store with
+  query counting and simulated per-lookup latency;
+* :func:`repro.core.trust.verify_rar_with_repository` — a verification
+  path that resolves inner-signer keys from the repository instead of
+  from introduced certificates.
+
+The "strong trust relationship" requirement is explicit: a repository is
+constructed *by* a trusting party with a flag acknowledging the trust,
+and lookups of DNs the repository does not vouch for fail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.dn import DistinguishedName
+from repro.crypto.x509 import Certificate
+from repro.errors import CertificateError
+
+__all__ = ["CertificateRepository"]
+
+
+@dataclass
+class CertificateRepository:
+    """A trusted, DN-indexed certificate directory.
+
+    ``lookup_latency_s`` models the secure-LDAP round trip a verifier
+    pays per unknown signer — the quantity the paper's in-request scheme
+    eliminates.
+    """
+
+    name: str = "ldap.grid"
+    lookup_latency_s: float = 0.002
+    _store: dict[DistinguishedName, Certificate] = field(default_factory=dict)
+    #: Total lookups served (the ablation's cost metric).
+    queries: int = 0
+    #: Simulated time spent answering lookups.
+    total_latency_s: float = 0.0
+
+    def publish(self, certificate: Certificate) -> None:
+        """Publish (or replace) the certificate for its subject DN."""
+        self._store[certificate.subject] = certificate
+
+    def withdraw(self, dn: DistinguishedName) -> None:
+        if dn not in self._store:
+            raise CertificateError(f"{self.name}: no certificate for {dn}")
+        del self._store[dn]
+
+    def lookup(self, dn: DistinguishedName) -> Certificate:
+        """Resolve *dn* to a certificate; raises
+        :class:`~repro.errors.CertificateError` for unknown DNs."""
+        self.queries += 1
+        self.total_latency_s += self.lookup_latency_s
+        cert = self._store.get(dn)
+        if cert is None:
+            raise CertificateError(f"{self.name}: no certificate for {dn}")
+        return cert
+
+    def __contains__(self, dn: DistinguishedName) -> bool:
+        return dn in self._store
+
+    def __len__(self) -> int:
+        return len(self._store)

@@ -1,0 +1,152 @@
+"""Trust stores: anchors, directly trusted peers, and trust policy.
+
+Every principal (user agent, bandwidth broker, policy server) owns a
+:class:`TrustStore`.  It records:
+
+* **anchors** — CA certificates trusted outright (each domain's own CA and
+  the CA certificates exchanged in SLAs with peered domains);
+* **peers** — end-entity certificates trusted directly because a contract
+  (SLA) binds the two parties — the paper's "certificates of the peered
+  BBs … used during the SSL handshake";
+* a :class:`TrustPolicy` bounding how far web-of-trust *introductions* may
+  extend (the paper: "checking its own security policy which might limit
+  the depth of an acceptable trust chain").
+
+The store answers two questions: is this certificate acceptable on its own
+(anchored or peered), and what does my policy allow for introduced keys?
+The protocol-level walk over an introduction chain lives in
+:mod:`repro.core.trust`, which consumes this store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.dn import DistinguishedName
+from repro.crypto.keys import PublicKey
+from repro.crypto.x509 import Certificate, verify_chain
+from repro.errors import CertificateError, UntrustedIssuerError
+
+__all__ = ["TrustPolicy", "TrustStore"]
+
+
+@dataclass(frozen=True)
+class TrustPolicy:
+    """Local security policy applied when accepting introduced keys.
+
+    ``max_introduction_depth`` counts *introductions*, i.e. hops beyond a
+    directly trusted peer: depth 0 accepts only anchored/peered
+    certificates, depth 1 accepts keys introduced by a direct peer, and so
+    on.  ``require_secure_scheme`` rejects keys from non-cryptographic
+    signature schemes (:class:`~repro.crypto.keys.SimulatedScheme`).
+    """
+
+    max_introduction_depth: int = 4
+    require_secure_scheme: bool = False
+    require_ca_issued_peers: bool = True
+
+
+class TrustStore:
+    """Anchors + direct peers + policy for one principal."""
+
+    def __init__(self, policy: TrustPolicy | None = None):
+        self.policy = policy if policy is not None else TrustPolicy()
+        self._anchors: dict[str, Certificate] = {}
+        self._peers: dict[DistinguishedName, Certificate] = {}
+        #: Revocation oracles (e.g. each anchored CA's ``is_revoked``).
+        self._revocation_checkers: list = []
+
+    def add_revocation_checker(self, checker) -> None:
+        """Register a ``Certificate -> bool`` oracle (True = revoked).
+        Typically each anchored CA's ``is_revoked`` — the simulation's
+        stand-in for fetching that CA's CRL."""
+        self._revocation_checkers.append(checker)
+
+    def is_revoked(self, cert: Certificate) -> bool:
+        return any(check(cert) for check in self._revocation_checkers)
+
+    # -- population -----------------------------------------------------------
+
+    def add_anchor(self, cert: Certificate) -> None:
+        """Trust *cert* outright (typically a CA certificate)."""
+        self._anchors[cert.fingerprint] = cert
+
+    def add_peer(self, cert: Certificate) -> None:
+        """Trust the end-entity *cert* directly (contractual/SLA trust).
+
+        With ``require_ca_issued_peers`` the peer certificate must chain
+        to an anchor already in the store — this mirrors the SLA handing
+        over both the peer certificate *and* its issuing CA certificate.
+        """
+        if self.policy.require_ca_issued_peers:
+            issuers = [a for a in self._anchors.values() if a.subject == cert.issuer]
+            if not issuers:
+                raise UntrustedIssuerError(
+                    f"peer {cert.subject}: issuer {cert.issuer} is not an anchor"
+                )
+            if not any(cert.verify_signature(a.public_key) for a in issuers):
+                raise CertificateError(
+                    f"peer certificate for {cert.subject} does not verify under "
+                    f"any anchored issuer"
+                )
+        self._peers[cert.subject] = cert
+
+    def add_introduced_peer(self, cert: Certificate) -> None:
+        """Trust *cert* directly on the strength of a verified web-of-trust
+        introduction (paper §6.4: after tracing a signalling path, the end
+        domain may accept the source BB's key and open a direct channel).
+        Bypasses the CA-issuance requirement — callers must only use this
+        with certificates that arrived inside a verified envelope chain
+        within the local depth policy."""
+        self._peers[cert.subject] = cert
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def anchors(self) -> tuple[Certificate, ...]:
+        return tuple(self._anchors.values())
+
+    @property
+    def peers(self) -> tuple[Certificate, ...]:
+        return tuple(self._peers.values())
+
+    def is_anchor(self, cert: Certificate) -> bool:
+        return cert.fingerprint in self._anchors
+
+    def is_direct_peer(self, cert: Certificate) -> bool:
+        known = self._peers.get(cert.subject)
+        return known is not None and known.fingerprint == cert.fingerprint
+
+    def peer_certificate(self, dn: DistinguishedName) -> Certificate | None:
+        return self._peers.get(dn)
+
+    def accepts_directly(self, cert: Certificate, *, at_time: float = 0.0) -> bool:
+        """True when *cert* is acceptable without any introduction: it is an
+        anchor, a direct peer, or chains to an anchor."""
+        if not cert.valid_at(at_time):
+            return False
+        if self.is_revoked(cert):
+            return False
+        if self.is_anchor(cert) or self.is_direct_peer(cert):
+            return True
+        try:
+            verify_chain(
+                [cert], self._anchors.values(), at_time=at_time,
+                revocation_checker=self.is_revoked if self._revocation_checkers else None,
+            )
+            return True
+        except CertificateError:
+            return False
+
+    def scheme_acceptable(self, key: PublicKey) -> bool:
+        """Apply the ``require_secure_scheme`` policy knob to *key*."""
+        if not self.policy.require_secure_scheme:
+            return True
+        from repro.crypto.keys import get_scheme
+
+        return get_scheme(key.scheme).secure
+
+    def depth_acceptable(self, introduction_depth: int) -> bool:
+        """True when a key introduced through *introduction_depth* hops is
+        within policy (0 = direct)."""
+        return introduction_depth <= self.policy.max_introduction_depth

@@ -1,0 +1,203 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can install a single ``except ReproError`` guard around
+protocol operations.  Subsystems raise the most specific subclass that
+applies; the hierarchy mirrors the package layout (crypto, policy,
+admission, signalling, ...).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "CryptoError",
+    "SignatureError",
+    "CertificateError",
+    "CertificateExpiredError",
+    "CertificateRevokedError",
+    "UntrustedIssuerError",
+    "DelegationError",
+    "EncodingError",
+    "PolicyError",
+    "PolicySyntaxError",
+    "PolicyEvaluationError",
+    "AdmissionError",
+    "CapacityExceededError",
+    "UnknownReservationError",
+    "ReservationStateError",
+    "SLAError",
+    "SLAViolationError",
+    "SignallingError",
+    "ChannelError",
+    "HandshakeError",
+    "TamperedMessageError",
+    "RoutingError",
+    "NoRouteError",
+    "TrustError",
+    "ChainTooDeepError",
+    "IntroductionError",
+    "TunnelError",
+    "GaraError",
+    "CoReservationError",
+    "SimulationError",
+    "AccountingError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+# ---------------------------------------------------------------------------
+# crypto
+# ---------------------------------------------------------------------------
+
+class CryptoError(ReproError):
+    """Base class for cryptographic failures."""
+
+
+class SignatureError(CryptoError):
+    """A digital signature failed to verify."""
+
+
+class CertificateError(CryptoError):
+    """A certificate is malformed or fails validation."""
+
+
+class CertificateExpiredError(CertificateError):
+    """A certificate is outside its validity interval."""
+
+
+class CertificateRevokedError(CertificateError):
+    """A certificate appears on the issuer's revocation list."""
+
+
+class UntrustedIssuerError(CertificateError):
+    """No chain to a trust anchor could be built for a certificate."""
+
+
+class DelegationError(CryptoError):
+    """A capability delegation step is invalid (wrong key, widened rights, ...)."""
+
+
+class EncodingError(CryptoError):
+    """Canonical encoding failed (unsupported type, non-canonical input)."""
+
+
+# ---------------------------------------------------------------------------
+# policy
+# ---------------------------------------------------------------------------
+
+class PolicyError(ReproError):
+    """Base class for policy subsystem failures."""
+
+
+class PolicySyntaxError(PolicyError):
+    """The policy-file language parser rejected its input."""
+
+    def __init__(self, message: str, line: int | None = None):
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class PolicyEvaluationError(PolicyError):
+    """A rule raised during evaluation (missing attribute, bad predicate, ...)."""
+
+
+# ---------------------------------------------------------------------------
+# admission / reservations / SLA
+# ---------------------------------------------------------------------------
+
+class AdmissionError(ReproError):
+    """Base class for admission-control failures."""
+
+
+class CapacityExceededError(AdmissionError):
+    """Admitting the request would exceed capacity in some time slot."""
+
+
+class UnknownReservationError(AdmissionError):
+    """No reservation with the given handle exists."""
+
+
+class ReservationStateError(AdmissionError):
+    """The operation is invalid for the reservation's current state."""
+
+
+class SLAError(ReproError):
+    """Base class for service-level-agreement failures."""
+
+
+class SLAViolationError(SLAError):
+    """A request does not conform to the SLA with the peered domain."""
+
+
+# ---------------------------------------------------------------------------
+# signalling
+# ---------------------------------------------------------------------------
+
+class SignallingError(ReproError):
+    """Base class for inter-BB signalling failures."""
+
+
+class ChannelError(SignallingError):
+    """A secure channel could not be used (not open, unknown peer, ...)."""
+
+
+class HandshakeError(ChannelError):
+    """Mutual authentication failed while opening a channel."""
+
+
+class TamperedMessageError(SignallingError):
+    """A received message failed integrity verification."""
+
+
+class TrustError(SignallingError):
+    """Base class for transitive-trust failures."""
+
+
+class ChainTooDeepError(TrustError):
+    """The introduction chain exceeds the verifier's depth policy."""
+
+
+class IntroductionError(TrustError):
+    """A key introduction could not be validated."""
+
+
+class TunnelError(SignallingError):
+    """Tunnel establishment or intra-tunnel allocation failed."""
+
+
+# ---------------------------------------------------------------------------
+# network / routing / simulation
+# ---------------------------------------------------------------------------
+
+class RoutingError(ReproError):
+    """Base class for routing failures."""
+
+
+class NoRouteError(RoutingError):
+    """No path exists between the requested endpoints."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator was used incorrectly."""
+
+
+# ---------------------------------------------------------------------------
+# GARA / co-reservation / accounting
+# ---------------------------------------------------------------------------
+
+class GaraError(ReproError):
+    """Base class for GARA-style uniform reservation API failures."""
+
+
+class CoReservationError(GaraError):
+    """An all-or-nothing co-reservation could not be completed."""
+
+
+class AccountingError(ReproError):
+    """Billing/mediation failures."""

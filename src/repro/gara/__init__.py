@@ -1,0 +1,17 @@
+"""GARA-style uniform reservation API over network, CPU, and disk, with
+all-or-nothing co-reservation (paper §3, Figures 5/6)."""
+
+from repro.gara.api import GaraAPI, GaraReservation, ResourceSpec
+from repro.gara.coreservation import CoReservation, CoReservationAgent
+from repro.gara.resources import CPUManager, DiskManager, SlotReservation
+
+__all__ = [
+    "GaraAPI",
+    "GaraReservation",
+    "ResourceSpec",
+    "CoReservation",
+    "CoReservationAgent",
+    "CPUManager",
+    "DiskManager",
+    "SlotReservation",
+]

@@ -1,0 +1,228 @@
+"""The GARA-style uniform reservation API.
+
+"GARA ... defines APIs that allows users and applications to manipulate
+reservations of different resources in uniform ways" (§3).  One facade,
+:class:`GaraAPI`, exposes ``reserve`` / ``modify`` / ``claim`` /
+``cancel`` / ``status`` over three resource types:
+
+* ``network`` — delegated to the hop-by-hop inter-BB protocol;
+* ``cpu`` / ``disk`` — delegated to slot managers registered per domain.
+
+Registering a CPU/disk manager also wires an online *linked-reservation
+validator* into that domain's bandwidth broker, which is what lets a
+network policy say ``HasValidCPUResv(RAR)`` (Figure 6, Policy File C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.bb.reservations import ReservationRequest
+from repro.core.agent import UserAgent
+from repro.core.hopbyhop import HopByHopProtocol, SignallingOutcome
+from repro.errors import GaraError, UnknownReservationError
+from repro.gara.resources import CPUManager, DiskManager, _SlotManager
+
+__all__ = ["ResourceSpec", "GaraReservation", "GaraAPI"]
+
+_RESOURCE_TYPES = ("network", "cpu", "disk")
+
+
+@dataclass(frozen=True)
+class ResourceSpec:
+    """A uniform resource request.
+
+    ``network`` params: everything
+    :class:`~repro.bb.reservations.ReservationRequest` takes.
+    ``cpu`` params: ``domain``, ``cpus``, ``start``, ``end``.
+    ``disk`` params: ``domain``, ``bandwidth_mbs``, ``start``, ``end``.
+    """
+
+    resource_type: str
+    params: tuple[tuple[str, Any], ...]
+
+    @classmethod
+    def make(cls, resource_type: str, **params: Any) -> "ResourceSpec":
+        if resource_type not in _RESOURCE_TYPES:
+            raise GaraError(
+                f"unknown resource type {resource_type!r}; "
+                f"expected one of {_RESOURCE_TYPES}"
+            )
+        return cls(resource_type, tuple(sorted(params.items())))
+
+    def param(self, name: str, default: Any = None) -> Any:
+        for k, v in self.params:
+            if k == name:
+                return v
+        return default
+
+    def as_dict(self) -> dict[str, Any]:
+        return dict(self.params)
+
+
+@dataclass
+class GaraReservation:
+    """A uniform reservation record returned by :class:`GaraAPI`."""
+
+    handle: str
+    resource_type: str
+    spec: ResourceSpec
+    #: The network signalling outcome (network reservations only).
+    outcome: SignallingOutcome | None = None
+    #: Backend handle(s): per-domain for network, single for cpu/disk.
+    backend_handles: dict[str, str] = field(default_factory=dict)
+    state: str = "granted"
+
+
+class GaraAPI:
+    """Uniform reservations over network, CPU, and disk resources."""
+
+    def __init__(self, network_protocol: HopByHopProtocol):
+        self.network = network_protocol
+        self._cpu: dict[str, CPUManager] = {}
+        self._disk: dict[str, DiskManager] = {}
+        self._reservations: dict[str, GaraReservation] = {}
+        self._counter = 0
+
+    # -- backend registration ------------------------------------------------------
+
+    def _register_slots(self, registry: dict, manager: _SlotManager,
+                        kind: str) -> None:
+        if manager.domain in registry:
+            raise GaraError(f"domain {manager.domain!r} already has a {kind} manager")
+        registry[manager.domain] = manager
+        broker = self.network.brokers.get(manager.domain)
+        if broker is not None:
+            broker.register_linked_validator(kind, manager.is_valid)
+
+    def register_cpu_manager(self, manager: CPUManager) -> None:
+        self._register_slots(self._cpu, manager, "cpu")
+
+    def register_disk_manager(self, manager: DiskManager) -> None:
+        self._register_slots(self._disk, manager, "disk")
+
+    def cpu_manager(self, domain: str) -> CPUManager:
+        try:
+            return self._cpu[domain]
+        except KeyError:
+            raise GaraError(f"no CPU manager in domain {domain!r}") from None
+
+    def disk_manager(self, domain: str) -> DiskManager:
+        try:
+            return self._disk[domain]
+        except KeyError:
+            raise GaraError(f"no disk manager in domain {domain!r}") from None
+
+    # -- the uniform five operations --------------------------------------------------
+
+    def reserve(self, user: UserAgent, spec: ResourceSpec) -> GaraReservation:
+        """Reserve; raises :class:`GaraError` with the denial reason on
+        failure (uniform across resource types)."""
+        self._counter += 1
+        handle = f"GARA-{self._counter:05d}"
+        if spec.resource_type == "network":
+            request = ReservationRequest(**spec.as_dict())
+            outcome = self.network.reserve(user, request)
+            if not outcome.granted:
+                raise GaraError(
+                    f"network reservation denied by {outcome.denial_domain}: "
+                    f"{outcome.denial_reason}"
+                )
+            resv = GaraReservation(
+                handle, "network", spec, outcome=outcome,
+                backend_handles=dict(outcome.handles),
+            )
+        elif spec.resource_type == "cpu":
+            manager = self.cpu_manager(spec.param("domain"))
+            slot = manager.reserve(
+                spec.param("cpus"), spec.param("start"), spec.param("end"),
+                owner=user.dn,
+            )
+            resv = GaraReservation(
+                handle, "cpu", spec, backend_handles={manager.domain: slot.handle}
+            )
+        elif spec.resource_type == "disk":
+            manager = self.disk_manager(spec.param("domain"))
+            slot = manager.reserve(
+                spec.param("bandwidth_mbs"), spec.param("start"), spec.param("end"),
+                owner=user.dn,
+            )
+            resv = GaraReservation(
+                handle, "disk", spec, backend_handles={manager.domain: slot.handle}
+            )
+        else:  # pragma: no cover - ResourceSpec.make already guards
+            raise GaraError(f"unknown resource type {spec.resource_type!r}")
+        self._reservations[handle] = resv
+        return resv
+
+    def get(self, handle: str) -> GaraReservation:
+        try:
+            return self._reservations[handle]
+        except KeyError:
+            raise UnknownReservationError(f"no GARA reservation {handle!r}") from None
+
+    def status(self, handle: str) -> str:
+        return self.get(handle).state
+
+    def claim(self, handle: str) -> GaraReservation:
+        resv = self.get(handle)
+        if resv.state != "granted":
+            raise GaraError(f"{handle}: cannot claim from state {resv.state!r}")
+        if resv.resource_type == "network":
+            assert resv.outcome is not None
+            self.network.claim(resv.outcome)
+        elif resv.resource_type == "cpu":
+            domain, backend = next(iter(resv.backend_handles.items()))
+            self.cpu_manager(domain).claim(backend)
+        else:
+            domain, backend = next(iter(resv.backend_handles.items()))
+            self.disk_manager(domain).claim(backend)
+        resv.state = "active"
+        return resv
+
+    def cancel(self, handle: str) -> GaraReservation:
+        resv = self.get(handle)
+        if resv.state == "cancelled":
+            raise GaraError(f"{handle}: already cancelled")
+        if resv.resource_type == "network":
+            assert resv.outcome is not None
+            self.network.cancel(resv.outcome)
+        elif resv.resource_type == "cpu":
+            domain, backend = next(iter(resv.backend_handles.items()))
+            self.cpu_manager(domain).cancel(backend)
+        else:
+            domain, backend = next(iter(resv.backend_handles.items()))
+            self.disk_manager(domain).cancel(backend)
+        resv.state = "cancelled"
+        return resv
+
+    def modify(self, handle: str, **changes: Any) -> GaraReservation:
+        """Modify a cpu/disk reservation in place; network modifications are
+        cancel-and-re-reserve at this API level (as in GARA's bandwidth
+        broker, where a modify is a new admission decision)."""
+        resv = self.get(handle)
+        if resv.resource_type == "cpu":
+            domain, backend = next(iter(resv.backend_handles.items()))
+            self.cpu_manager(domain).modify(backend, amount=changes["cpus"])
+            return resv
+        if resv.resource_type == "disk":
+            domain, backend = next(iter(resv.backend_handles.items()))
+            self.disk_manager(domain).modify(
+                backend, amount=changes["bandwidth_mbs"]
+            )
+            return resv
+        raise GaraError(
+            "network reservations are modified by cancel + re-reserve"
+        )
+
+    def network_handle(self, handle: str, domain: str) -> str:
+        """The backend handle of a network reservation in *domain* — what a
+        linked-reservation reference ('CPU_Reservation_ID=111') points at."""
+        resv = self.get(handle)
+        try:
+            return resv.backend_handles[domain]
+        except KeyError:
+            raise GaraError(
+                f"{handle} has no backend reservation in domain {domain!r}"
+            ) from None

@@ -1,0 +1,157 @@
+"""Non-network resource managers: CPU and disk.
+
+GARA "provides advance reservations and end-to-end management for
+quality of service on different types of resources, including networks,
+CPUs, and disks" (§3).  The Figure 5/6 scenarios couple a network
+reservation with a CPU reservation in the destination domain; these
+managers supply that substrate with the same advance-reservation
+semantics as the network brokers (time-slotted capacity, claimed/active
+lifecycle), built on the shared admission machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bb.admission import CapacitySchedule
+from repro.crypto.dn import DistinguishedName
+from repro.errors import (
+    AdmissionError,
+    GaraError,
+    ReservationStateError,
+    UnknownReservationError,
+)
+
+__all__ = ["SlotReservation", "CPUManager", "DiskManager"]
+
+
+@dataclass
+class SlotReservation:
+    """A reservation of `amount` units over [start, end)."""
+
+    handle: str
+    owner: DistinguishedName | None
+    amount: float
+    start: float
+    end: float
+    state: str = "granted"  # granted | active | cancelled | expired
+    booking_id: int = 0
+
+    def active_at(self, when: float) -> bool:
+        return self.state in ("granted", "active") and self.start <= when < self.end
+
+
+class _SlotManager:
+    """Shared implementation: capacity over time + lifecycle."""
+
+    kind = "generic"
+    unit = "units"
+
+    def __init__(self, name: str, capacity: float, *, domain: str = ""):
+        self.name = name
+        self.domain = domain
+        self.schedule = CapacitySchedule(name, capacity)
+        self._by_handle: dict[str, SlotReservation] = {}
+        self._counter = 0
+
+    @property
+    def capacity(self) -> float:
+        return self.schedule.capacity_mbps
+
+    def available(self, start: float, end: float) -> float:
+        return self.schedule.available(start, end)
+
+    def reserve(
+        self,
+        amount: float,
+        start: float,
+        end: float,
+        *,
+        owner: DistinguishedName | None = None,
+    ) -> SlotReservation:
+        if amount <= 0:
+            raise GaraError(f"{self.kind} reservation amount must be positive")
+        if end <= start:
+            raise GaraError("end must follow start")
+        booking = self.schedule.book(start, end, amount, tag=self.kind)
+        self._counter += 1
+        handle = f"{self.kind.upper()}-{self.name}-{self._counter:05d}"
+        resv = SlotReservation(
+            handle, owner, amount, start, end, booking_id=booking.booking_id
+        )
+        self._by_handle[handle] = resv
+        return resv
+
+    def get(self, handle: str) -> SlotReservation:
+        try:
+            return self._by_handle[handle]
+        except KeyError:
+            raise UnknownReservationError(
+                f"no {self.kind} reservation {handle!r}"
+            ) from None
+
+    def claim(self, handle: str) -> SlotReservation:
+        resv = self.get(handle)
+        if resv.state != "granted":
+            raise ReservationStateError(
+                f"{handle}: cannot claim from state {resv.state!r}"
+            )
+        resv.state = "active"
+        return resv
+
+    def cancel(self, handle: str) -> SlotReservation:
+        resv = self.get(handle)
+        if resv.state in ("cancelled", "expired"):
+            raise ReservationStateError(f"{handle}: already {resv.state}")
+        try:
+            self.schedule.release(resv.booking_id)
+        except AdmissionError:
+            pass  # already released
+        resv.state = "cancelled"
+        return resv
+
+    def modify(self, handle: str, *, amount: float) -> SlotReservation:
+        """Change the reserved amount in place (GARA's modify operation):
+        re-book atomically, keep the old reservation on failure."""
+        resv = self.get(handle)
+        if resv.state not in ("granted", "active"):
+            raise ReservationStateError(
+                f"{handle}: cannot modify from state {resv.state!r}"
+            )
+        if amount <= 0:
+            raise GaraError("modified amount must be positive")
+        self.schedule.release(resv.booking_id)
+        try:
+            booking = self.schedule.book(resv.start, resv.end, amount, tag=self.kind)
+        except AdmissionError:
+            # Restore the original booking; it must fit since we just freed it.
+            restored = self.schedule.book(
+                resv.start, resv.end, resv.amount, tag=self.kind
+            )
+            resv.booking_id = restored.booking_id
+            raise
+        resv.amount = amount
+        resv.booking_id = booking.booking_id
+        return resv
+
+    def is_valid(self, handle: str, *, at_time: float | None = None) -> bool:
+        resv = self._by_handle.get(handle)
+        if resv is None:
+            return False
+        if at_time is not None:
+            return resv.active_at(at_time)
+        return resv.state in ("granted", "active")
+
+
+class CPUManager(_SlotManager):
+    """Advance reservation of CPUs on a compute resource."""
+
+    kind = "cpu"
+    unit = "cpus"
+
+
+class DiskManager(_SlotManager):
+    """Advance reservation of storage bandwidth (MB/s) on a disk system."""
+
+    kind = "disk"
+    unit = "MB/s"

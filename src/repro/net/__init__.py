@@ -1,0 +1,53 @@
+"""Network substrate: a discrete-event Differentiated-Services simulator.
+
+This package replaces the paper's physical WAN testbed (DESIGN.md §3):
+multi-domain topologies, DSCP marking, token-bucket policing at the edge,
+strict-priority per-hop behaviours in the core, and traffic generators —
+everything needed to demonstrate both working end-to-end reservations and
+the Figure 4 misreservation attack.
+"""
+
+from repro.net.diffserv import (
+    AggregatePolicer,
+    ExceedAction,
+    FlowPolicer,
+    NetworkModel,
+    TrafficProfile,
+)
+from repro.net.flows import FlowSpec, FlowStats
+from repro.net.packet import DSCP, PHB, Packet, phb_for_dscp
+from repro.net.queues import DropTailQueue, PriorityScheduler
+from repro.net.simulator import Simulator, Trace
+from repro.net.tokenbucket import TokenBucket
+from repro.net.topology import NodeKind, Topology, linear_domain_chain
+from repro.net.probes import BacklogProbe, DropProbe, GoodputProbe
+from repro.net.trafficgen import AIMDSource, CBRSource, OnOffSource, PoissonSource
+
+__all__ = [
+    "Simulator",
+    "Trace",
+    "Topology",
+    "NodeKind",
+    "linear_domain_chain",
+    "Packet",
+    "DSCP",
+    "PHB",
+    "phb_for_dscp",
+    "TokenBucket",
+    "DropTailQueue",
+    "PriorityScheduler",
+    "NetworkModel",
+    "TrafficProfile",
+    "FlowPolicer",
+    "AggregatePolicer",
+    "ExceedAction",
+    "FlowSpec",
+    "FlowStats",
+    "CBRSource",
+    "PoissonSource",
+    "OnOffSource",
+    "AIMDSource",
+    "GoodputProbe",
+    "BacklogProbe",
+    "DropProbe",
+]

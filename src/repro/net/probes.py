@@ -1,0 +1,99 @@
+"""Measurement probes: periodic time series over a running simulation.
+
+The benchmark harness mostly needs end-of-run aggregates
+(:class:`~repro.net.flows.FlowStats`), but regenerating *time series* —
+goodput ramping when a policer reconfigures, queue growth during a
+flood — needs periodic sampling.  A probe schedules itself on the shared
+simulator and records into a :class:`~repro.net.simulator.Trace`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.net.diffserv import NetworkModel
+from repro.net.simulator import Trace
+
+__all__ = ["GoodputProbe", "BacklogProbe", "DropProbe"]
+
+
+class _PeriodicProbe:
+    """Base: samples every ``interval_s`` until ``stop_time``."""
+
+    def __init__(
+        self,
+        model: NetworkModel,
+        *,
+        interval_s: float = 0.1,
+        stop_time: float = float("inf"),
+        name: str = "",
+    ):
+        if interval_s <= 0:
+            raise SimulationError("probe interval must be positive")
+        self.model = model
+        self.interval_s = interval_s
+        self.stop_time = stop_time
+        self.trace = Trace(name or type(self).__name__)
+        self._started = False
+
+    def start(self) -> "Trace":
+        if self._started:
+            raise SimulationError("probe already started")
+        self._started = True
+        self.model.sim.schedule(self.interval_s, self._tick)
+        return self.trace
+
+    def _tick(self) -> None:
+        now = self.model.sim.now
+        self.trace.record(now, self.sample())
+        if now + self.interval_s <= self.stop_time:
+            self.model.sim.schedule(self.interval_s, self._tick)
+
+    def sample(self) -> float:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class GoodputProbe(_PeriodicProbe):
+    """Per-interval goodput (Mb/s) of one flow."""
+
+    def __init__(self, model: NetworkModel, flow_id: str, **kwargs):
+        kwargs.setdefault("name", f"goodput:{flow_id}")
+        super().__init__(model, **kwargs)
+        self.flow_id = flow_id
+        self._last_bits = 0.0
+
+    def sample(self) -> float:
+        stats = self.model.stats_for(self.flow_id)
+        delta = stats.delivered_bits - self._last_bits
+        self._last_bits = stats.delivered_bits
+        return delta / self.interval_s / 1e6
+
+
+class BacklogProbe(_PeriodicProbe):
+    """Queue backlog (bits) of one directed link's output port."""
+
+    def __init__(self, model: NetworkModel, u: str, v: str, **kwargs):
+        kwargs.setdefault("name", f"backlog:{u}->{v}")
+        super().__init__(model, **kwargs)
+        if (u, v) not in model._ports:
+            raise SimulationError(f"no port {u!r}->{v!r}")
+        self._port = model._ports[(u, v)]
+
+    def sample(self) -> float:
+        return self._port.scheduler.backlog_bits
+
+
+class DropProbe(_PeriodicProbe):
+    """Per-interval drops across the whole model (optionally one reason)."""
+
+    def __init__(self, model: NetworkModel, *, reason: str | None = None,
+                 **kwargs):
+        kwargs.setdefault("name", f"drops:{reason or 'all'}")
+        super().__init__(model, **kwargs)
+        self.reason = reason
+        self._last = 0
+
+    def sample(self) -> float:
+        total = self.model.total_drops(self.reason)
+        delta = total - self._last
+        self._last = total
+        return float(delta)

@@ -1,0 +1,106 @@
+"""Output-port queueing: drop-tail FIFOs under a strict-priority scheduler.
+
+Each router output port owns one :class:`PriorityScheduler` with a
+drop-tail queue per :class:`~repro.net.packet.PHB`.  EF is served before
+AF before BE — the standard DiffServ core configuration for guaranteed-
+bandwidth service (cf. the authors' own DiffServ implementation for
+high-performance TCP flows [20]).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.net.packet import DSCP, PHB, Packet, phb_for_dscp
+
+__all__ = ["DropTailQueue", "PriorityScheduler"]
+
+
+@dataclass
+class DropTailQueue:
+    """A FIFO bounded in bits; arrivals that would overflow are dropped."""
+
+    capacity_bits: float
+    _items: deque = field(default_factory=deque)
+    occupancy_bits: float = 0.0
+    drops: int = 0
+    enqueued: int = 0
+
+    def offer(self, packet: Packet) -> bool:
+        """Enqueue *packet*; returns False (drop) when the queue is full."""
+        if self.occupancy_bits + packet.size_bits > self.capacity_bits:
+            self.drops += 1
+            return False
+        self._items.append(packet)
+        self.occupancy_bits += packet.size_bits
+        self.enqueued += 1
+        return True
+
+    def poll(self) -> Packet | None:
+        if not self._items:
+            return None
+        packet = self._items.popleft()
+        self.occupancy_bits -= packet.size_bits
+        return packet
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+#: Occupancy fractions above which assured-class arrivals of the given
+#: drop precedence are discarded early (RFC 2597 semantics: AF43 is the
+#: most droppable, AF41 survives until the queue is genuinely full).
+_AF_DROP_THRESHOLDS = {
+    DSCP.AF43: 0.50,
+    DSCP.AF42: 0.75,
+}
+
+
+class PriorityScheduler:
+    """Strict-priority service over per-PHB drop-tail queues.
+
+    Within the assured class the three AF4x drop precedences are honoured:
+    when the assured queue fills past a threshold, higher-precedence
+    arrivals are discarded before lower ones, so an AF41 flow degrades
+    last (the standard DiffServ AF PHB group behaviour).
+    """
+
+    def __init__(self, capacity_bits_per_class: float = 1_000_000.0):
+        self.queues: dict[PHB, DropTailQueue] = {
+            phb: DropTailQueue(capacity_bits_per_class) for phb in PHB
+        }
+        #: Early drops by drop-precedence policing (excludes tail drops).
+        self.precedence_drops = 0
+
+    def offer(self, packet: Packet) -> bool:
+        """Classify by DSCP and enqueue.  Returns False on any drop."""
+        queue = self.queues[phb_for_dscp(packet.dscp)]
+        threshold = _AF_DROP_THRESHOLDS.get(packet.dscp)
+        if (
+            threshold is not None
+            and queue.occupancy_bits >= threshold * queue.capacity_bits
+        ):
+            self.precedence_drops += 1
+            queue.drops += 1
+            return False
+        return queue.offer(packet)
+
+    def poll(self) -> Packet | None:
+        """Dequeue from the highest-priority non-empty class."""
+        for phb in PHB:  # ordered: EXPEDITED, ASSURED, DEFAULT
+            packet = self.queues[phb].poll()
+            if packet is not None:
+                return packet
+        return None
+
+    @property
+    def backlog_bits(self) -> float:
+        return sum(q.occupancy_bits for q in self.queues.values())
+
+    @property
+    def total_drops(self) -> int:
+        return sum(q.drops for q in self.queues.values())
+
+    def __len__(self) -> int:
+        return sum(len(q) for q in self.queues.values())

@@ -1,0 +1,92 @@
+"""Token buckets: the policing/shaping primitive of the DiffServ edge.
+
+A bucket of depth ``burst_bits`` fills at ``rate_bps``; a packet of
+``size_bits`` conforms when the bucket holds at least that many tokens.
+Edge routers use buckets in two roles:
+
+* **per-flow policer** at the first router, checking a flow against its
+  reserved traffic profile (paper §2: "only the first router recognizes
+  packets on a per flow base");
+* **aggregate policer** at a domain's ingress, checking the whole EF
+  aggregate against the sum of reservations the bandwidth broker has
+  admitted — the mechanism whose blindness to individual flows enables
+  the Figure 4 misreservation attack.
+
+Tokens are refilled lazily from the virtual clock, so no periodic refill
+events are needed (keeps the event loop small).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+
+__all__ = ["TokenBucket"]
+
+
+@dataclass
+class TokenBucket:
+    """Lazy-refill token bucket."""
+
+    rate_bps: float
+    burst_bits: float
+    tokens: float = -1.0  # sentinel: initialise full
+    last_refill: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.rate_bps < 0 or self.burst_bits <= 0:
+            raise SimulationError("token bucket needs rate >= 0 and burst > 0")
+        if self.tokens < 0:
+            self.tokens = self.burst_bits
+
+    def _refill(self, now: float) -> None:
+        if now < self.last_refill:
+            raise SimulationError(
+                f"token bucket time went backwards ({now} < {self.last_refill})"
+            )
+        self.tokens = min(self.burst_bits, self.tokens + (now - self.last_refill) * self.rate_bps)
+        self.last_refill = now
+
+    def conforms(self, size_bits: float, now: float) -> bool:
+        """Would a packet of *size_bits* conform right now?  (No state change.)"""
+        available = min(
+            self.burst_bits, self.tokens + (now - self.last_refill) * self.rate_bps
+        )
+        return available >= size_bits
+
+    def consume(self, size_bits: float, now: float) -> bool:
+        """Consume tokens for a conforming packet; return False (and leave
+        the bucket untouched) for a non-conforming one."""
+        self._refill(now)
+        if self.tokens >= size_bits:
+            self.tokens -= size_bits
+            return True
+        return False
+
+    def delay_until_conformant(self, size_bits: float, now: float) -> float:
+        """Seconds to wait until *size_bits* tokens are available (for
+        shaping rather than policing).  Infinite when the packet can never
+        conform (size exceeds the burst depth or rate is zero)."""
+        self._refill(now)
+        if self.tokens >= size_bits:
+            return 0.0
+        if size_bits > self.burst_bits or self.rate_bps == 0:
+            return float("inf")
+        return (size_bits - self.tokens) / self.rate_bps
+
+    def reconfigure(self, rate_bps: float | None = None, burst_bits: float | None = None,
+                    now: float | None = None) -> None:
+        """Adjust rate/burst in place (bandwidth broker re-provisioning an
+        edge router when reservations come and go)."""
+        if now is not None:
+            self._refill(now)
+        if rate_bps is not None:
+            if rate_bps < 0:
+                raise SimulationError("rate must be >= 0")
+            self.rate_bps = rate_bps
+        if burst_bits is not None:
+            if burst_bits <= 0:
+                raise SimulationError("burst must be > 0")
+            self.burst_bits = burst_bits
+            self.tokens = min(self.tokens, burst_bits)

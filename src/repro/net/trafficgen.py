@@ -1,0 +1,199 @@
+"""Traffic generators: simulator processes that inject packets for a flow.
+
+Three arrival models cover the paper's workloads:
+
+* :class:`CBRSource` — constant bit rate (the natural model for the
+  reserved high-end streams the paper's applications generate: distance
+  visualization, data streaming);
+* :class:`PoissonSource` — exponential inter-arrivals at a mean rate
+  (background/best-effort mixes);
+* :class:`OnOffSource` — bursty two-state traffic (stress-tests policer
+  burst tolerances).
+
+Each generator schedules itself on the shared simulator; call
+:meth:`start` once and it keeps emitting until ``stop_time``.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import SimulationError
+from repro.net.diffserv import NetworkModel
+from repro.net.flows import FlowSpec
+from repro.net.packet import Packet
+
+__all__ = ["CBRSource", "PoissonSource", "OnOffSource", "AIMDSource"]
+
+
+class _SourceBase:
+    def __init__(
+        self,
+        model: NetworkModel,
+        spec: FlowSpec,
+        *,
+        start_time: float = 0.0,
+        stop_time: float = float("inf"),
+    ):
+        if spec.rate_mbps <= 0:
+            raise SimulationError("source rate must be positive")
+        self.model = model
+        self.spec = spec
+        self.start_time = start_time
+        self.stop_time = stop_time
+        self._started = False
+
+    def start(self) -> None:
+        if self._started:
+            raise SimulationError("source already started")
+        self._started = True
+        delay = max(0.0, self.start_time - self.model.sim.now)
+        self.model.sim.schedule(delay, self._emit)
+
+    def _make_packet(self) -> Packet:
+        return Packet(
+            flow_id=self.spec.flow_id,
+            src=self.spec.src,
+            dst=self.spec.dst,
+            size_bits=self.spec.packet_size_bits,
+            dscp=self.spec.dscp,
+        )
+
+    def _emit(self) -> None:
+        now = self.model.sim.now
+        if now >= self.stop_time:
+            return
+        self.model.inject(self._make_packet())
+        gap = self._next_gap()
+        if now + gap < self.stop_time:
+            self.model.sim.schedule(gap, self._emit)
+
+    def _next_gap(self) -> float:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class CBRSource(_SourceBase):
+    """Constant bit rate: fixed inter-packet gap."""
+
+    def _next_gap(self) -> float:
+        return self.spec.packet_size_bits / self.spec.rate_bps
+
+
+class PoissonSource(_SourceBase):
+    """Poisson arrivals with the spec's mean rate."""
+
+    def __init__(self, model: NetworkModel, spec: FlowSpec, *, rng: random.Random,
+                 **kwargs):
+        super().__init__(model, spec, **kwargs)
+        self.rng = rng
+
+    def _next_gap(self) -> float:
+        mean_gap = self.spec.packet_size_bits / self.spec.rate_bps
+        return self.rng.expovariate(1.0 / mean_gap)
+
+
+class OnOffSource(_SourceBase):
+    """Exponential on/off bursts.  During ON periods packets are emitted
+    back-to-back at ``peak_multiplier`` times the mean rate; the mean rate
+    over time equals the spec rate when ``on_fraction`` matches."""
+
+    def __init__(
+        self,
+        model: NetworkModel,
+        spec: FlowSpec,
+        *,
+        rng: random.Random,
+        mean_on_s: float = 0.05,
+        mean_off_s: float = 0.05,
+        **kwargs,
+    ):
+        super().__init__(model, spec, **kwargs)
+        self.rng = rng
+        self.mean_on_s = mean_on_s
+        self.mean_off_s = mean_off_s
+        on_fraction = mean_on_s / (mean_on_s + mean_off_s)
+        # Peak rate chosen so the long-run average equals the spec rate.
+        self.peak_gap = self.spec.packet_size_bits / (self.spec.rate_bps / on_fraction)
+        self._on_until = 0.0
+
+    def _next_gap(self) -> float:
+        now = self.model.sim.now
+        if now >= self._on_until:
+            off = self.rng.expovariate(1.0 / self.mean_off_s)
+            on = self.rng.expovariate(1.0 / self.mean_on_s)
+            self._on_until = now + off + on
+            return off + self.peak_gap
+        return self.peak_gap
+
+
+class AIMDSource(_SourceBase):
+    """An adaptive, TCP-friendly source (additive increase /
+    multiplicative decrease on loss).
+
+    The paper's motivating applications run over TCP, and the authors'
+    own DiffServ work [20] studied exactly how adaptive flows share links
+    with reserved traffic.  This source sends at a controlled rate and
+    adjusts it once per ``control_interval_s``: if any of its packets
+    were dropped since the last check the rate halves; otherwise it grows
+    by ``increase_mbps``.  The spec's ``rate_mbps`` caps the rate (the
+    application-limited ceiling); ``floor_mbps`` bounds the backoff.
+
+    It converges to the spare capacity left by strict-priority EF traffic
+    — the behaviour the DiffServ value proposition depends on.
+    """
+
+    def __init__(
+        self,
+        model: NetworkModel,
+        spec: FlowSpec,
+        *,
+        start_rate_mbps: float | None = None,
+        increase_mbps: float = 1.0,
+        decrease_factor: float = 0.5,
+        floor_mbps: float = 0.1,
+        control_interval_s: float = 0.05,
+        **kwargs,
+    ):
+        super().__init__(model, spec, **kwargs)
+        if not (0.0 < decrease_factor < 1.0):
+            raise SimulationError("decrease factor must be in (0, 1)")
+        self.rate_mbps = (
+            start_rate_mbps if start_rate_mbps is not None else spec.rate_mbps / 2
+        )
+        self.increase_mbps = increase_mbps
+        self.decrease_factor = decrease_factor
+        self.floor_mbps = floor_mbps
+        self.control_interval_s = control_interval_s
+        self._seen_drops = 0
+        self._seen_downgrades = 0
+        #: (time, rate) samples, one per control decision.
+        self.rate_history: list[tuple[float, float]] = []
+
+    def start(self) -> None:
+        super().start()
+        self.model.sim.schedule(
+            max(0.0, self.start_time - self.model.sim.now)
+            + self.control_interval_s,
+            self._control,
+        )
+
+    def _next_gap(self) -> float:
+        return self.spec.packet_size_bits / (self.rate_mbps * 1e6)
+
+    def _control(self) -> None:
+        now = self.model.sim.now
+        if now >= self.stop_time:
+            return
+        stats = self.model.stats_for(self.spec.flow_id)
+        lost = stats.dropped_packets - self._seen_drops
+        self._seen_drops = stats.dropped_packets
+        if lost > 0:
+            self.rate_mbps = max(
+                self.floor_mbps, self.rate_mbps * self.decrease_factor
+            )
+        else:
+            self.rate_mbps = min(
+                self.spec.rate_mbps, self.rate_mbps + self.increase_mbps
+            )
+        self.rate_history.append((now, self.rate_mbps))
+        self.model.sim.schedule(self.control_interval_s, self._control)

@@ -1,0 +1,66 @@
+"""Policy subsystem: decision engine, the paper's policy-file language,
+signed assertions, group servers, a Community Authorization Server, and an
+Akenti-style certificate engine.
+
+The propagation protocol is policy-syntax independent (paper §4); this
+package supplies several interchangeable policy representations to
+demonstrate it.
+"""
+
+from repro.policy.akenti import (
+    AkentiEngine,
+    AkentiResourcePolicy,
+    UseCondition,
+    make_user_attribute_certificate,
+)
+from repro.policy.attributes import SignedAssertion, make_assertion
+from repro.policy.cas import CommunityAuthorizationServer
+from repro.policy.engine import (
+    Decision,
+    If,
+    PolicyDecision,
+    PolicyEngine,
+    PolicyNode,
+    RequestContext,
+    Return,
+)
+from repro.policy.groupserver import GroupServer
+from repro.policy.language import compile_policy, parse_policy
+from repro.policy.rules import (
+    And,
+    Call,
+    Comparison,
+    Literal,
+    Not,
+    Or,
+    PredicateCondition,
+    Variable,
+)
+
+__all__ = [
+    "Decision",
+    "RequestContext",
+    "PolicyDecision",
+    "PolicyEngine",
+    "PolicyNode",
+    "If",
+    "Return",
+    "And",
+    "Or",
+    "Not",
+    "Comparison",
+    "Call",
+    "Literal",
+    "Variable",
+    "PredicateCondition",
+    "parse_policy",
+    "compile_policy",
+    "SignedAssertion",
+    "make_assertion",
+    "GroupServer",
+    "CommunityAuthorizationServer",
+    "AkentiEngine",
+    "AkentiResourcePolicy",
+    "UseCondition",
+    "make_user_attribute_certificate",
+]

@@ -1,0 +1,164 @@
+"""An Akenti-style certificate-based authorization engine.
+
+Paper §7 (related work): "The Akenti project associates lists of
+Certificate Authorities and administrators with a resource's use policy,
+expressed in attribute value pairs in a use-condition certificate.  The
+administrators can then create user-attribute certificates each of which
+associates a user, an attribute and a resource.  In order for a user to
+be granted access to a resource, the Akenti policy engine needs to be
+presented with multiple user-attribute certificates signed by a CA on the
+resource CA list, and satisfying all rules in the resource use-condition
+certificate."
+
+This module implements exactly that shape, on top of
+:mod:`repro.policy.attributes`.  It demonstrates the paper's claim that
+the propagation protocol is policy-syntax independent: the hop-by-hop
+envelope can carry Akenti user-attribute certificates in place of (or in
+addition to) capability certificates, and an end domain can run this
+engine instead of the rule engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping
+
+from repro.crypto.dn import DistinguishedName
+from repro.crypto.keys import PrivateKey, PublicKey
+from repro.errors import PolicyError
+from repro.policy.attributes import SignedAssertion, make_assertion
+
+__all__ = [
+    "UseCondition",
+    "make_user_attribute_certificate",
+    "AkentiResourcePolicy",
+    "AkentiEngine",
+]
+
+#: Attribute key identifying the resource a user-attribute cert applies to.
+_RESOURCE_KEY = "akenti.resource"
+
+
+@dataclass(frozen=True)
+class UseCondition:
+    """One rule in a resource's use policy: the user must hold *all* the
+    listed attribute values (issued by an accepted CA)."""
+
+    required: tuple[tuple[str, Any], ...]
+
+    @classmethod
+    def make(cls, required: Mapping[str, Any]) -> "UseCondition":
+        if not required:
+            raise PolicyError("a use condition needs at least one requirement")
+        return cls(tuple(sorted(required.items())))
+
+
+def make_user_attribute_certificate(
+    *,
+    issuer: DistinguishedName,
+    issuer_key: PrivateKey,
+    user: DistinguishedName,
+    resource: str,
+    attribute: str,
+    value: Any,
+    valid_until: float = float("inf"),
+) -> SignedAssertion:
+    """An Akenti user-attribute certificate: (user, attribute, resource),
+    signed by an administrator."""
+    return make_assertion(
+        issuer=issuer,
+        issuer_key=issuer_key,
+        subject=user,
+        attributes={attribute: value, _RESOURCE_KEY: resource},
+        valid_until=valid_until,
+    )
+
+
+@dataclass
+class AkentiResourcePolicy:
+    """A resource's CA list plus its use conditions."""
+
+    resource: str
+    ca_list: dict[DistinguishedName, PublicKey]
+    use_conditions: list[UseCondition]
+
+    def add_ca(self, name: DistinguishedName, key: PublicKey) -> None:
+        self.ca_list[name] = key
+
+    def add_use_condition(self, required: Mapping[str, Any]) -> None:
+        self.use_conditions.append(UseCondition.make(required))
+
+
+class AkentiEngine:
+    """Evaluates user-attribute certificates against resource policies."""
+
+    def __init__(self) -> None:
+        self._policies: dict[str, AkentiResourcePolicy] = {}
+
+    def register_resource(
+        self,
+        resource: str,
+        *,
+        ca_list: Mapping[DistinguishedName, PublicKey] | None = None,
+        use_conditions: Iterable[Mapping[str, Any]] = (),
+    ) -> AkentiResourcePolicy:
+        policy = AkentiResourcePolicy(
+            resource,
+            dict(ca_list or {}),
+            [UseCondition.make(uc) for uc in use_conditions],
+        )
+        self._policies[resource] = policy
+        return policy
+
+    def policy_for(self, resource: str) -> AkentiResourcePolicy:
+        try:
+            return self._policies[resource]
+        except KeyError:
+            raise PolicyError(f"unknown resource {resource!r}") from None
+
+    def gathered_attributes(
+        self,
+        resource: str,
+        user: DistinguishedName,
+        certificates: Iterable[SignedAssertion],
+        *,
+        at_time: float = 0.0,
+    ) -> dict[str, Any]:
+        """Verify each certificate (issuer on the CA list, signature good,
+        subject is the user, resource matches) and pool the attributes."""
+        policy = self.policy_for(resource)
+        attrs: dict[str, Any] = {}
+        for cert in certificates:
+            key = policy.ca_list.get(cert.issuer)
+            if key is None:
+                continue  # issuer not on this resource's CA list
+            if cert.subject != user:
+                continue
+            if not cert.verify(key, at_time=at_time):
+                continue
+            cert_resource = cert.get(_RESOURCE_KEY)
+            if cert_resource is not None and cert_resource != resource:
+                continue
+            for k, v in cert.attributes:
+                if k != _RESOURCE_KEY:
+                    attrs[k] = v
+        return attrs
+
+    def authorize(
+        self,
+        resource: str,
+        user: DistinguishedName,
+        certificates: Iterable[SignedAssertion],
+        *,
+        at_time: float = 0.0,
+    ) -> bool:
+        """True iff every use condition is satisfied by verified attributes."""
+        policy = self.policy_for(resource)
+        attrs = self.gathered_attributes(
+            resource, user, certificates, at_time=at_time
+        )
+        for condition in policy.use_conditions:
+            for attr, value in condition.required:
+                if attrs.get(attr) != value:
+                    return False
+        return True

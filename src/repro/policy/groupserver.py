@@ -1,0 +1,115 @@
+"""Group servers: third parties that validate membership assertions.
+
+Paper §5: "the policy might say 'approved if group server P validates the
+user as a physicist'; if the user's request includes the assertion 'I am
+a physicist', then the policy server verifies that assertion by
+contacting that group server, passing the user's supplied identity
+certificate."
+
+A :class:`GroupServer` therefore supports both directions:
+
+* issuing :class:`~repro.policy.attributes.SignedAssertion` membership
+  statements a user can carry in a request, and
+* answering online validation queries from a policy server.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable
+
+from repro.crypto.dn import DN, DistinguishedName
+from repro.crypto.keys import KeyPair, get_scheme
+from repro.errors import PolicyError
+from repro.policy.attributes import SignedAssertion, make_assertion
+from repro.policy.engine import RequestContext
+
+__all__ = ["GroupServer"]
+
+
+class GroupServer:
+    """A membership authority for one or more named groups."""
+
+    def __init__(
+        self,
+        name: DistinguishedName | str,
+        *,
+        rng: random.Random | None = None,
+        scheme: str = "rsa",
+        keypair: KeyPair | None = None,
+    ):
+        self.name = DN.parse(name) if isinstance(name, str) else name
+        if keypair is None:
+            keypair = get_scheme(scheme).generate(
+                rng if rng is not None else random.Random(0x6B0)
+            )
+        self.keypair = keypair
+        self._members: dict[str, set[DistinguishedName]] = {}
+        #: Count of online validation queries served (benchmarks use this).
+        self.queries = 0
+
+    # -- administration ------------------------------------------------------------
+
+    def add_member(self, group: str, user: DistinguishedName) -> None:
+        self._members.setdefault(group, set()).add(user)
+
+    def remove_member(self, group: str, user: DistinguishedName) -> None:
+        try:
+            self._members[group].remove(user)
+        except KeyError:
+            raise PolicyError(f"{user} is not a member of {group!r}") from None
+
+    def groups(self) -> tuple[str, ...]:
+        return tuple(sorted(self._members))
+
+    # -- online validation -----------------------------------------------------------
+
+    def is_member(self, user: DistinguishedName, group: str) -> bool:
+        """Online membership check (a policy server contacting us)."""
+        self.queries += 1
+        return user in self._members.get(group, set())
+
+    def predicate(self, group: str) -> Callable[[RequestContext], bool]:
+        """An online predicate suitable for
+        :attr:`~repro.policy.engine.RequestContext.predicates` — e.g.
+        ``{"Accredited_Physicist": server.predicate("physicists")}``."""
+
+        def check(ctx: RequestContext) -> bool:
+            if ctx.user is None:
+                return False
+            return self.is_member(ctx.user, group)
+
+        return check
+
+    # -- assertion issuance ------------------------------------------------------------
+
+    def assert_membership(
+        self,
+        user: DistinguishedName,
+        group: str,
+        *,
+        valid_from: float = 0.0,
+        valid_until: float = float("inf"),
+    ) -> SignedAssertion:
+        """Issue a signed membership assertion the user can carry along."""
+        if user not in self._members.get(group, set()):
+            raise PolicyError(f"{user} is not a member of {group!r}")
+        return make_assertion(
+            issuer=self.name,
+            issuer_key=self.keypair.private,
+            subject=user,
+            attributes={"group": group},
+            valid_from=valid_from,
+            valid_until=valid_until,
+        )
+
+    def verify_assertion(
+        self, assertion: SignedAssertion, *, at_time: float = 0.0
+    ) -> bool:
+        """Check that *assertion* is ours, intact, and still accurate."""
+        if assertion.issuer != self.name:
+            return False
+        if not assertion.verify(self.keypair.public, at_time=at_time):
+            return False
+        group = assertion.get("group")
+        return group is not None and assertion.subject in self._members.get(group, set())

@@ -1,0 +1,393 @@
+"""Parser for the paper's policy-file syntax.
+
+Figures 1 and 6 of the paper express domain policies in a small
+``If``/``Return`` language::
+
+    If User = Alice
+        If Time > 8am and Time < 5pm
+            If BW <= 10Mb/s
+                Return GRANT
+            Else Return DENY
+        Else if BW <= Avail_BW
+            Return GRANT
+        Else Return DENY
+    Return DENY
+
+This module parses that syntax (indentation-significant, like the figures
+read) into the :class:`~repro.policy.engine.PolicyEngine` tree.  Supported
+constructs, all drawn from the paper's examples:
+
+* comparisons on request variables: ``User``, ``BW``, ``Time``,
+  ``Avail_BW``, ``Reservation_Type``, ``Source_Domain``,
+  ``Destination_Domain``, ``Cost``;
+* bandwidth literals with units (``10Mb/s``, ``5MB/s``, ``1Gb/s``) and
+  clock-time literals (``8am``, ``5pm``, ``8:30am``);
+* set-membership via ``Group = Atlas`` and
+  ``Issued_by(Capability) = ESnet``;
+* online predicates: ``Accredited_Physicist(requestor)`` and linked
+  reservation checks: ``HasValidCPUResv(RAR)``;
+* ``and`` / ``or`` / ``not`` with the usual precedence and parentheses;
+* ``Else`` / ``Else if`` chains, inline ``Else Return DENY`` included.
+
+The propagation protocol itself is *independent* of this syntax (paper
+§4) — the engine accepts trees from any front end; this parser is one
+example representation, as the paper says of its own figures.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import PolicySyntaxError
+from repro.policy.engine import Decision, If, PolicyEngine, PolicyNode, Return
+from repro.policy.rules import (
+    And,
+    Call,
+    Comparison,
+    Condition,
+    Literal,
+    Not,
+    Or,
+    PredicateCondition,
+    Variable,
+)
+
+__all__ = ["parse_policy", "compile_policy", "KNOWN_VARIABLES"]
+
+#: Names treated as request variables; any other bare name is a string literal.
+KNOWN_VARIABLES = frozenset(
+    {
+        "User",
+        "BW",
+        "Time",
+        "Avail_BW",
+        "Reservation_Type",
+        "Source_Domain",
+        "Destination_Domain",
+        "Cost",
+        "Group",
+        "Capability",
+    }
+)
+
+_BW_UNITS = {
+    "Kb/s": 1e-3,
+    "Mb/s": 1.0,
+    "Gb/s": 1e3,
+    "KB/s": 8e-3,
+    "MB/s": 8.0,
+    "GB/s": 8e3,
+}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<BW>\d+(?:\.\d+)?\s*(?:[KMG][Bb]/s))
+  | (?P<TIME>\d{1,2}(?::\d{2})?(?:am|pm))
+  | (?P<NUMBER>\d+(?:\.\d+)?)
+  | (?P<STRING>"[^"]*")
+  | (?P<NAME>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<OP><=|>=|!=|=|<|>)
+  | (?P<LPAREN>\()
+  | (?P<RPAREN>\))
+  | (?P<WS>\s+)
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    text: str
+    line: int
+
+
+def _parse_bandwidth(text: str) -> float:
+    m = re.match(r"(\d+(?:\.\d+)?)\s*([KMG][Bb]/s)", text)
+    assert m is not None
+    value = float(m.group(1))
+    unit = m.group(2)
+    # Normalise the case pattern: the regex admits e.g. "mb/s" never (first
+    # letter is upper from the char class), but "Mb/s" vs "MB/s" matter.
+    if unit not in _BW_UNITS:
+        raise PolicySyntaxError(f"unknown bandwidth unit {unit!r}")
+    return value * _BW_UNITS[unit]
+
+
+def _parse_time(text: str, line: int) -> float:
+    m = re.match(r"(\d{1,2})(?::(\d{2}))?(am|pm)", text)
+    assert m is not None
+    hour = int(m.group(1))
+    minute = int(m.group(2) or 0)
+    suffix = m.group(3)
+    if not (1 <= hour <= 12) or minute >= 60:
+        raise PolicySyntaxError(f"invalid clock time {text!r}", line)
+    if suffix == "am":
+        hour = 0 if hour == 12 else hour
+    else:
+        hour = 12 if hour == 12 else hour + 12
+    return hour + minute / 60.0
+
+
+def _tokenize(text: str, line: int) -> list[_Token]:
+    tokens = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if m is None:
+            raise PolicySyntaxError(f"unexpected character {text[pos]!r}", line)
+        kind = m.lastgroup
+        assert kind is not None
+        if kind != "WS":
+            tokens.append(_Token(kind, m.group(), line))
+        pos = m.end()
+    return tokens
+
+
+class _ConditionParser:
+    """Recursive-descent parser over one line's condition tokens."""
+
+    def __init__(self, tokens: list[_Token], line: int):
+        self.tokens = tokens
+        self.pos = 0
+        self.line = line
+
+    def peek(self) -> _Token | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def next(self) -> _Token:
+        tok = self.peek()
+        if tok is None:
+            raise PolicySyntaxError("unexpected end of condition", self.line)
+        self.pos += 1
+        return tok
+
+    def expect(self, kind: str) -> _Token:
+        tok = self.next()
+        if tok.kind != kind:
+            raise PolicySyntaxError(
+                f"expected {kind}, got {tok.text!r}", self.line
+            )
+        return tok
+
+    def at_keyword(self, word: str) -> bool:
+        tok = self.peek()
+        return tok is not None and tok.kind == "NAME" and tok.text.lower() == word
+
+    # condition := or_expr
+    def parse(self) -> Condition:
+        cond = self.parse_or()
+        return cond
+
+    def parse_or(self) -> Condition:
+        parts = [self.parse_and()]
+        while self.at_keyword("or"):
+            self.next()
+            parts.append(self.parse_and())
+        return parts[0] if len(parts) == 1 else Or(tuple(parts))
+
+    def parse_and(self) -> Condition:
+        parts = [self.parse_atom()]
+        while self.at_keyword("and"):
+            self.next()
+            parts.append(self.parse_atom())
+        return parts[0] if len(parts) == 1 else And(tuple(parts))
+
+    def parse_atom(self) -> Condition:
+        if self.at_keyword("not"):
+            self.next()
+            return Not(self.parse_atom())
+        tok = self.peek()
+        if tok is not None and tok.kind == "LPAREN":
+            # Could be a parenthesised condition; terms handle call parens.
+            self.next()
+            inner = self.parse_or()
+            self.expect("RPAREN")
+            return inner
+        lhs = self.parse_term()
+        tok = self.peek()
+        if tok is not None and tok.kind == "OP":
+            op = self.next().text
+            rhs = self.parse_term()
+            return Comparison(lhs, op, rhs)
+        if isinstance(lhs, Call):
+            return PredicateCondition(lhs)
+        raise PolicySyntaxError(
+            f"{lhs.describe()} is not a condition by itself", self.line
+        )
+
+    def parse_term(self):
+        tok = self.next()
+        if tok.kind == "BW":
+            return Literal(_parse_bandwidth(tok.text))
+        if tok.kind == "TIME":
+            return Literal(_parse_time(tok.text, self.line))
+        if tok.kind == "NUMBER":
+            return Literal(float(tok.text))
+        if tok.kind == "STRING":
+            return Literal(tok.text[1:-1])
+        if tok.kind == "NAME":
+            nxt = self.peek()
+            if nxt is not None and nxt.kind == "LPAREN":
+                self.next()
+                arg = self.expect("NAME").text
+                self.expect("RPAREN")
+                return Call(tok.text, arg)
+            if tok.text in KNOWN_VARIABLES:
+                return Variable(tok.text)
+            return Literal(tok.text)
+        raise PolicySyntaxError(f"unexpected token {tok.text!r}", self.line)
+
+    def done(self) -> bool:
+        return self.pos >= len(self.tokens)
+
+
+@dataclass
+class _Line:
+    number: int
+    indent: int
+    text: str
+
+
+def _logical_lines(source: str) -> list[_Line]:
+    lines = []
+    for number, raw in enumerate(source.splitlines(), start=1):
+        without_comment = raw.split("#", 1)[0]
+        expanded = without_comment.expandtabs(4)
+        stripped = expanded.strip()
+        if not stripped:
+            continue
+        indent = len(expanded) - len(expanded.lstrip(" "))
+        lines.append(_Line(number, indent, stripped))
+    return lines
+
+
+class _BlockParser:
+    def __init__(self, lines: list[_Line]):
+        self.lines = lines
+        self.pos = 0
+
+    def peek(self) -> _Line | None:
+        return self.lines[self.pos] if self.pos < len(self.lines) else None
+
+    def parse_block(self, indent: int) -> tuple[PolicyNode, ...]:
+        nodes: list[PolicyNode] = []
+        while True:
+            line = self.peek()
+            if line is None or line.indent < indent:
+                break
+            if line.indent > indent:
+                raise PolicySyntaxError(
+                    f"unexpected indentation (expected {indent} spaces)", line.number
+                )
+            first_word = line.text.split(None, 1)[0].lower()
+            if first_word == "else":
+                break  # handled by the enclosing If
+            nodes.append(self.parse_statement(indent))
+        return tuple(nodes)
+
+    def parse_statement(self, indent: int) -> PolicyNode:
+        line = self.peek()
+        assert line is not None
+        lowered = line.text.lower()
+        if lowered.startswith("return"):
+            self.pos += 1
+            return self._parse_return(line)
+        if lowered.startswith("if"):
+            self.pos += 1
+            return self._parse_if(line, indent, line.text[2:].strip())
+        raise PolicySyntaxError(
+            f"expected 'If' or 'Return', got {line.text!r}", line.number
+        )
+
+    def _parse_return(self, line: _Line) -> Return:
+        rest = line.text[len("return"):].strip()
+        verdict = rest.upper()
+        if verdict == "GRANT":
+            decision = Decision.GRANT
+        elif verdict == "DENY":
+            decision = Decision.DENY
+        else:
+            raise PolicySyntaxError(
+                f"Return expects GRANT or DENY, got {rest!r}", line.number
+            )
+        return Return(decision, reason=f"line {line.number}: Return {verdict}")
+
+    def _parse_if(self, line: _Line, indent: int, cond_text: str) -> If:
+        # An inline Return may follow the condition on the same line:
+        #   If BW <= 10Mb/s Return GRANT
+        inline: Return | None = None
+        m = re.search(r"\breturn\b", cond_text, flags=re.IGNORECASE)
+        if m is not None:
+            inline_text = cond_text[m.start():]
+            cond_text = cond_text[: m.start()].strip()
+            inline = self._parse_return(_Line(line.number, indent, inline_text))
+        parser = _ConditionParser(_tokenize(cond_text, line.number), line.number)
+        condition = parser.parse()
+        if not parser.done():
+            tok = parser.peek()
+            raise PolicySyntaxError(
+                f"trailing tokens after condition: {tok.text!r}", line.number
+            )
+        if inline is not None:
+            then: tuple[PolicyNode, ...] = (inline,)
+        else:
+            nxt = self.peek()
+            if nxt is None or nxt.indent <= indent:
+                raise PolicySyntaxError(
+                    "'If' without inline Return needs an indented block",
+                    line.number,
+                )
+            then = self.parse_block(nxt.indent)
+            if not then:
+                raise PolicySyntaxError("empty 'If' block", line.number)
+        orelse = self._parse_else(indent)
+        return If(condition, then=then, orelse=orelse)
+
+    def _parse_else(self, indent: int) -> tuple[PolicyNode, ...]:
+        line = self.peek()
+        if line is None or line.indent != indent:
+            return ()
+        lowered = line.text.lower()
+        if not lowered.startswith("else"):
+            return ()
+        self.pos += 1
+        rest = line.text[len("else"):].strip()
+        if rest.lower().startswith("if"):
+            return (self._parse_if(line, indent, rest[2:].strip()),)
+        if rest:
+            # Inline statement: "Else Return DENY".
+            if not rest.lower().startswith("return"):
+                raise PolicySyntaxError(
+                    f"'Else' supports inline Return only, got {rest!r}", line.number
+                )
+            return (self._parse_return(_Line(line.number, indent, rest)),)
+        nxt = self.peek()
+        if nxt is None or nxt.indent <= indent:
+            raise PolicySyntaxError("'Else' needs an indented block", line.number)
+        block = self.parse_block(nxt.indent)
+        if not block:
+            raise PolicySyntaxError("empty 'Else' block", line.number)
+        return block
+
+
+def parse_policy(source: str) -> tuple[PolicyNode, ...]:
+    """Parse policy-file *source* into a tree of policy nodes."""
+    lines = _logical_lines(source)
+    if not lines:
+        raise PolicySyntaxError("empty policy file")
+    base_indent = lines[0].indent
+    parser = _BlockParser(lines)
+    nodes = parser.parse_block(base_indent)
+    leftover = parser.peek()
+    if leftover is not None:
+        raise PolicySyntaxError(
+            f"could not parse {leftover.text!r}", leftover.number
+        )
+    return nodes
+
+
+def compile_policy(source: str, *, name: str = "policy") -> PolicyEngine:
+    """Parse *source* and wrap it in a (default-DENY) engine."""
+    return PolicyEngine(parse_policy(source), name=name)

@@ -1,0 +1,22 @@
+"""Synthetic reservation workloads: offered-load sweeps over a testbed
+(the quantitative admission-control evaluation the paper leaves open)."""
+
+from repro.workloads.analysis import (
+    erlang_b,
+    offered_erlangs,
+    predicted_acceptance,
+)
+from repro.workloads.generator import (
+    ReservationWorkload,
+    WorkloadResult,
+    WorkloadSpec,
+)
+
+__all__ = [
+    "WorkloadSpec",
+    "WorkloadResult",
+    "ReservationWorkload",
+    "erlang_b",
+    "offered_erlangs",
+    "predicted_acceptance",
+]

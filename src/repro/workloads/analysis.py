@@ -1,0 +1,59 @@
+"""Analytic companions to the workload sweeps.
+
+The offered-load experiment is, to first order, an Erlang loss system:
+requests arrive Poisson at rate λ, hold for exponential time 1/μ, and a
+request needs one "circuit" of ``mean_rate`` on a bottleneck of capacity
+``C`` (≈ ``m = C / mean_rate`` circuits).  The blocking probability is
+then Erlang B:
+
+    B(E, m) = (E^m / m!) / Σ_{k=0..m} E^k / k!,   E = λ/μ.
+
+These helpers compute the formula with the numerically stable recurrence
+and predict the acceptance curve, so the measured sweep can be validated
+against theory (within the slack introduced by heterogeneous rates and
+advance-reservation time structure).
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+__all__ = ["erlang_b", "predicted_acceptance", "offered_erlangs"]
+
+
+def erlang_b(offered_erlangs_: float, servers: int) -> float:
+    """Erlang B blocking probability, stable iterative form.
+
+    ``B(E, 0) = 1``; ``B(E, m) = E·B(E, m-1) / (m + E·B(E, m-1))``.
+    """
+    if offered_erlangs_ < 0:
+        raise SimulationError("offered load must be non-negative")
+    if servers < 0:
+        raise SimulationError("server count must be non-negative")
+    if offered_erlangs_ == 0:
+        return 0.0
+    b = 1.0
+    for m in range(1, servers + 1):
+        b = offered_erlangs_ * b / (m + offered_erlangs_ * b)
+    return b
+
+
+def offered_erlangs(arrival_rate_per_s: float, mean_duration_s: float) -> float:
+    """λ/μ for the loss-system analogy."""
+    return arrival_rate_per_s * mean_duration_s
+
+
+def predicted_acceptance(
+    *,
+    arrival_rate_per_s: float,
+    mean_duration_s: float,
+    mean_rate_mbps: float,
+    bottleneck_mbps: float,
+) -> float:
+    """Erlang-B prediction of the acceptance ratio for a workload sweep
+    point: ``1 - B(E, m)`` with ``m = bottleneck / mean_rate`` circuits."""
+    if mean_rate_mbps <= 0 or bottleneck_mbps <= 0:
+        raise SimulationError("rates must be positive")
+    servers = max(1, int(bottleneck_mbps / mean_rate_mbps))
+    energy = offered_erlangs(arrival_rate_per_s, mean_duration_s)
+    return 1.0 - erlang_b(energy, servers)

@@ -1,0 +1,129 @@
+"""Tests for transitive billing (paper §6.4 accounting model)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.accounting.billing import TransitiveBilling
+from repro.core.testbed import build_linear_testbed
+from repro.errors import AccountingError
+
+
+@pytest.fixture()
+def testbed():
+    return build_linear_testbed(["A", "B", "C"])
+
+
+@pytest.fixture()
+def granted(testbed):
+    alice = testbed.add_user("A", "Alice")
+    outcome = testbed.reserve(
+        alice, source="A", destination="C", bandwidth_mbps=10.0, duration=3600.0
+    )
+    assert outcome.granted
+    return alice, outcome
+
+
+class TestBilling:
+    def test_invoice_cascade_structure(self, testbed, granted):
+        alice, outcome = granted
+        billing = TransitiveBilling(testbed.brokers)
+        run = billing.bill(outcome)
+        # C bills B, B bills A, A bills Alice.
+        assert run.invoice_between("C", "B")
+        assert run.invoice_between("B", "A")
+        user_invoice = run.invoice_to_user()
+        assert user_invoice.issuer == "A"
+        assert run.usage_mbps_hours == pytest.approx(10.0)
+
+    def test_pass_through_accumulates(self, testbed, granted):
+        _, outcome = granted
+        billing = TransitiveBilling(testbed.brokers)
+        run = billing.bill(outcome)
+        c_to_b = run.invoice_between("C", "B")
+        b_to_a = run.invoice_between("B", "A")
+        user = run.invoice_to_user()
+        assert c_to_b.passed_through == 0.0
+        assert b_to_a.passed_through == pytest.approx(c_to_b.amount)
+        assert user.passed_through == pytest.approx(b_to_a.amount)
+
+    def test_user_pays_sum_of_own_charges(self, testbed, granted):
+        _, outcome = granted
+        billing = TransitiveBilling(testbed.brokers)
+        run = billing.bill(outcome)
+        total_own = sum(i.own_charge for i in run.invoices)
+        assert run.invoice_to_user().amount == pytest.approx(total_own)
+
+    def test_conservation(self, testbed, granted):
+        _, outcome = granted
+        billing = TransitiveBilling(testbed.brokers)
+        run = billing.bill(outcome)
+        assert TransitiveBilling.conservation_holds(run)
+        # Transit domain B nets exactly its own tariff.
+        b_own = run.invoice_between("B", "A").own_charge
+        assert TransitiveBilling.net_position(run, "B") == pytest.approx(b_own)
+        # The user nets a pure payment.
+        assert TransitiveBilling.net_position(
+            run, str(run.user)
+        ) == pytest.approx(-run.invoice_to_user().amount)
+
+    def test_explicit_usage(self, testbed, granted):
+        _, outcome = granted
+        billing = TransitiveBilling(testbed.brokers)
+        run = billing.bill(outcome, usage_mbps_hours=2.5)
+        assert run.usage_mbps_hours == 2.5
+
+    def test_custom_tariffs(self, testbed, granted):
+        _, outcome = granted
+        for sla in testbed.brokers["C"].slas_in.values():
+            sla.price_per_mbps_hour = 5.0
+        billing = TransitiveBilling(testbed.brokers, user_tariff_per_mbps_hour=1.0)
+        run = billing.bill(outcome, usage_mbps_hours=1.0)
+        assert run.invoice_between("C", "B").own_charge == pytest.approx(5.0)
+        assert run.invoice_to_user().own_charge == pytest.approx(1.0)
+
+    def test_denied_reservation_not_billable(self, testbed):
+        alice = testbed.add_user("A", "Alice")
+        testbed.set_policy("B", "Return DENY")
+        outcome = testbed.reserve(
+            alice, source="A", destination="C", bandwidth_mbps=10.0
+        )
+        billing = TransitiveBilling(testbed.brokers)
+        with pytest.raises(AccountingError):
+            billing.bill(outcome)
+
+    def test_single_domain_reservation_bills_user_only(self, testbed):
+        alice = testbed.add_user("A", "Alice")
+        outcome = testbed.reserve(
+            alice, source="A", destination="A", bandwidth_mbps=5.0
+        )
+        billing = TransitiveBilling(testbed.brokers)
+        run = billing.bill(outcome)
+        assert len(run.invoices) == 1
+        assert run.invoices[0].payer == str(alice.dn)
+
+    def test_ledger_accumulates(self, testbed, granted):
+        _, outcome = granted
+        billing = TransitiveBilling(testbed.brokers)
+        billing.bill(outcome)
+        billing.bill(outcome, usage_mbps_hours=1.0)
+        assert len(billing.ledger) == 2
+
+
+@given(
+    usage=st.floats(min_value=0.01, max_value=1e4),
+    tariff=st.floats(min_value=0.0, max_value=100.0),
+)
+def test_conservation_property(usage, tariff):
+    """Conservation holds for arbitrary usage volumes and tariffs."""
+    testbed = build_linear_testbed(["A", "B", "C"])
+    alice = testbed.add_user("A", "Alice")
+    outcome = testbed.reserve(
+        alice, source="A", destination="C", bandwidth_mbps=10.0
+    )
+    for broker in testbed.brokers.values():
+        for sla in broker.slas_in.values():
+            sla.price_per_mbps_hour = tariff
+    billing = TransitiveBilling(testbed.brokers, user_tariff_per_mbps_hour=tariff)
+    run = billing.bill(outcome, usage_mbps_hours=usage)
+    assert TransitiveBilling.conservation_holds(run, tol=1e-6 * max(1.0, usage * tariff))

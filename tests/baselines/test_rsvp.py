@@ -1,0 +1,116 @@
+"""Tests for the RSVP/IntServ per-flow baseline."""
+
+import pytest
+
+from repro.baselines.rsvp import RSVPSimulator
+from repro.errors import CapacityExceededError, SignallingError
+from repro.net.topology import linear_domain_chain
+
+
+@pytest.fixture()
+def sim():
+    topo = linear_domain_chain(
+        ["A", "B", "C"], hosts_per_domain=2, inter_capacity_mbps=100.0
+    )
+    return RSVPSimulator(topo)
+
+
+class TestPathResv:
+    def test_path_installs_state_in_every_router(self, sim):
+        route = sim.path("f1", "h0.A", "h0.C", 10.0)
+        routers = [n for n in route if sim.topology.node(n).is_router]
+        for r in routers:
+            assert "f1" in sim.routers[r].path
+        # 7 routers on the A-B-C chain route.
+        assert len(routers) == 7
+
+    def test_resv_installs_reservation_state(self, sim):
+        sim.reserve("f1", "h0.A", "h0.C", 10.0)
+        assert sim.total_state() == 14  # path + resv in 7 routers
+        assert sim.max_router_state() == 2
+
+    def test_duplicate_path_rejected(self, sim):
+        sim.path("f1", "h0.A", "h0.C", 10.0)
+        with pytest.raises(SignallingError):
+            sim.path("f1", "h0.A", "h0.C", 10.0)
+
+    def test_resv_without_path_rejected(self, sim):
+        with pytest.raises(SignallingError):
+            sim.resv("ghost")
+
+    def test_double_resv_rejected(self, sim):
+        sim.reserve("f1", "h0.A", "h0.C", 10.0)
+        with pytest.raises(SignallingError):
+            sim.resv("f1")
+
+    def test_admission_control(self, sim):
+        sim.reserve("f1", "h0.A", "h0.C", 60.0)
+        with pytest.raises(CapacityExceededError):
+            sim.reserve("f2", "h1.A", "h1.C", 60.0)
+        # Failure leaves no residual state or load.
+        assert sim.link_load("edge.A.right", "edge.B.left") == 60.0
+        assert not any("f2" in s.resv for s in sim.routers.values())
+
+    def test_per_flow_state_grows_linearly(self, sim):
+        for i in range(10):
+            sim.reserve(f"f{i}", "h0.A", "h0.C", 1.0)
+        assert sim.max_router_state() == 20  # 10 flows x (path + resv)
+
+    def test_invalid_rate(self, sim):
+        with pytest.raises(SignallingError):
+            sim.path("f1", "h0.A", "h0.C", 0.0)
+
+
+class TestSoftState:
+    def test_refresh_keeps_state_alive(self, sim):
+        sim.reserve("f1", "h0.A", "h0.C", 10.0)
+        sim.advance(300.0, refresh=True)
+        assert sim.total_state() == 14
+
+    def test_unrefreshed_state_expires(self, sim):
+        sim.reserve("f1", "h0.A", "h0.C", 10.0)
+        sim.advance(100.0, refresh=False)  # beyond the 90 s lifetime
+        assert sim.total_state() == 0
+        assert sim.link_load("edge.A.right", "edge.B.left") == 0.0
+
+    def test_refresh_messages_counted(self, sim):
+        sim.reserve("f1", "h0.A", "h0.C", 10.0)
+        before = sim.messages
+        sim.advance(60.0, refresh=True)  # two 30 s refresh rounds
+        # 7 routers x 2 (path+resv) x 2 rounds.
+        assert sim.messages - before == 28
+
+    def test_teardown(self, sim):
+        sim.reserve("f1", "h0.A", "h0.C", 10.0)
+        sim.teardown("f1")
+        assert sim.total_state() == 0
+        assert sim.link_load("edge.A.right", "edge.B.left") == 0.0
+        with pytest.raises(SignallingError):
+            sim.teardown("f1")
+
+
+class TestScalingComparison:
+    def test_rsvp_state_scales_with_flows_bb_does_not(self):
+        """The §2 critique, measured: RSVP keeps per-flow state in every
+        router; the BB/DiffServ approach keeps per-reservation state only
+        in the brokers (constant router state)."""
+        from repro.core.testbed import build_linear_testbed
+
+        topo = linear_domain_chain(["A", "B", "C"], inter_capacity_mbps=1000.0)
+        rsvp = RSVPSimulator(topo)
+        for i in range(50):
+            rsvp.reserve(f"f{i}", "h0.A", "h0.C", 1.0)
+        assert rsvp.max_router_state() == 100
+
+        testbed = build_linear_testbed(["A", "B", "C"])
+        alice = testbed.add_user("A", "Alice")
+        for _ in range(50):
+            assert testbed.reserve(
+                alice, source="A", destination="C", bandwidth_mbps=1.0
+            ).granted
+        # Router-level state: one aggregate policer per ingress, regardless
+        # of flow count (nothing installed until claim; even claimed flows
+        # add only source-edge classifiers).
+        assert len(testbed.network._aggregate_policers) == 0
+        # Broker state exists, but it lives off the fast path.
+        assert len(testbed.brokers["B"].reservations.all()) == 50

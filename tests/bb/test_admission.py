@@ -1,0 +1,134 @@
+"""Tests for advance-reservation admission control, including the
+capacity-never-exceeded property."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bb.admission import AdmissionController, CapacitySchedule
+from repro.errors import AdmissionError, CapacityExceededError
+
+
+class TestCapacitySchedule:
+    def test_simple_booking(self):
+        cs = CapacitySchedule("link", 100.0)
+        b = cs.book(0.0, 10.0, 40.0)
+        assert cs.load_at(5.0) == 40.0
+        assert cs.load_at(10.0) == 0.0  # half-open interval
+        assert cs.available(0.0, 10.0) == 60.0
+        cs.release(b.booking_id)
+        assert cs.load_at(5.0) == 0.0
+
+    def test_overlapping_bookings_sum(self):
+        cs = CapacitySchedule("link", 100.0)
+        cs.book(0.0, 10.0, 40.0)
+        cs.book(5.0, 15.0, 40.0)
+        assert cs.load_at(7.0) == 80.0
+        assert cs.peak_load(0.0, 20.0) == 80.0
+        assert cs.available(0.0, 20.0) == 20.0
+
+    def test_rejection_on_overflow(self):
+        cs = CapacitySchedule("link", 100.0)
+        cs.book(0.0, 10.0, 80.0)
+        with pytest.raises(CapacityExceededError):
+            cs.book(5.0, 6.0, 30.0)
+        # Non-overlapping interval still fits.
+        cs.book(10.0, 20.0, 30.0)
+
+    def test_back_to_back_intervals_do_not_conflict(self):
+        cs = CapacitySchedule("link", 100.0)
+        cs.book(0.0, 10.0, 100.0)
+        cs.book(10.0, 20.0, 100.0)  # starts exactly when the first ends
+
+    def test_advance_reservation_future_window(self):
+        cs = CapacitySchedule("link", 100.0)
+        cs.book(1000.0, 2000.0, 100.0)
+        assert cs.available(0.0, 1000.0) == 100.0
+        with pytest.raises(CapacityExceededError):
+            cs.book(1500.0, 1600.0, 1.0)
+
+    def test_utilization(self):
+        cs = CapacitySchedule("link", 100.0)
+        cs.book(0.0, 10.0, 25.0)
+        assert cs.utilization(5.0) == 0.25
+
+    def test_invalid_parameters(self):
+        with pytest.raises(AdmissionError):
+            CapacitySchedule("x", 0.0)
+        cs = CapacitySchedule("x", 10.0)
+        with pytest.raises(AdmissionError):
+            cs.book(0.0, 10.0, 0.0)
+        with pytest.raises(AdmissionError):
+            cs.available(5.0, 5.0)
+        with pytest.raises(AdmissionError):
+            cs.release(99)
+
+    def test_tag_recorded(self):
+        cs = CapacitySchedule("x", 10.0)
+        b = cs.book(0.0, 1.0, 1.0, tag="RES-1")
+        assert b.tag == "RES-1"
+        assert cs.bookings == (b,)
+
+
+class TestAdmissionController:
+    def make(self):
+        ac = AdmissionController()
+        ac.add_resource("intra", 1000.0)
+        ac.add_resource("egress:B", 155.0)
+        return ac
+
+    def test_resources(self):
+        ac = self.make()
+        assert set(ac.resources()) == {"intra", "egress:B"}
+        with pytest.raises(AdmissionError):
+            ac.add_resource("intra", 5.0)
+        with pytest.raises(AdmissionError):
+            ac.schedule("nope")
+
+    def test_bottleneck_available(self):
+        ac = self.make()
+        assert ac.available(["intra", "egress:B"], 0.0, 10.0) == 155.0
+        with pytest.raises(AdmissionError):
+            ac.available([], 0.0, 10.0)
+
+    def test_book_all_success(self):
+        ac = self.make()
+        bookings = ac.book_all(["intra", "egress:B"], 0.0, 10.0, 100.0, tag="r")
+        assert len(bookings) == 2
+        assert ac.schedule("intra").load_at(5.0) == 100.0
+        assert ac.schedule("egress:B").load_at(5.0) == 100.0
+        ac.release_all(bookings)
+        assert ac.schedule("intra").load_at(5.0) == 0.0
+
+    def test_book_all_rolls_back_on_failure(self):
+        ac = self.make()
+        ac.book_all(["egress:B"], 0.0, 10.0, 100.0)
+        with pytest.raises(CapacityExceededError):
+            ac.book_all(["intra", "egress:B"], 0.0, 10.0, 100.0)
+        # intra booking must have been rolled back.
+        assert ac.schedule("intra").load_at(5.0) == 0.0
+
+
+@settings(max_examples=120)
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=100.0),  # start
+            st.floats(min_value=0.1, max_value=50.0),  # duration
+            st.floats(min_value=0.1, max_value=60.0),  # rate
+        ),
+        max_size=25,
+    )
+)
+def test_capacity_never_exceeded_property(requests):
+    """Invariant: whatever mix of bookings is attempted, the admitted load
+    never exceeds capacity at any booking boundary."""
+    cs = CapacitySchedule("link", 100.0)
+    for start, duration, rate in requests:
+        try:
+            cs.book(start, start + duration, rate)
+        except CapacityExceededError:
+            pass
+    points = {b.start for b in cs.bookings} | {b.end - 1e-9 for b in cs.bookings}
+    for p in points:
+        assert cs.load_at(p) <= 100.0 + 1e-6

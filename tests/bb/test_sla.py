@@ -1,0 +1,82 @@
+"""Tests for SLAs and SLSs."""
+
+import pytest
+
+from repro.bb.sla import SLA, SLS
+from repro.errors import SLAError, SLAViolationError
+from repro.net.packet import DSCP
+
+
+class TestSLS:
+    def test_defaults(self):
+        sls = SLS()
+        assert sls.service_class is DSCP.EF
+        assert sls.excess_treatment == "drop"
+
+    def test_invalid_rate(self):
+        with pytest.raises(SLAError):
+            SLS(max_rate_mbps=0.0)
+
+    def test_invalid_excess_treatment(self):
+        with pytest.raises(SLAError):
+            SLS(excess_treatment="teleport")
+
+    def test_invalid_availability(self):
+        with pytest.raises(SLAError):
+            SLS(availability=0.0)
+        with pytest.raises(SLAError):
+            SLS(availability=1.5)
+
+    def test_cbe_encodable(self):
+        from repro.crypto import canonical
+
+        canonical.encode(SLS(max_delay_ms=20.0).to_cbe())
+        canonical.encode(SLS().to_cbe())
+
+
+class TestSLA:
+    def test_default_ef_sls(self):
+        sla = SLA("A", "B")
+        assert sla.sls_for(DSCP.EF).max_rate_mbps == 100.0
+
+    def test_same_domain_rejected(self):
+        with pytest.raises(SLAError):
+            SLA("A", "A")
+
+    def test_unknown_class_rejected(self):
+        sla = SLA("A", "B")
+        with pytest.raises(SLAViolationError, match="AF41"):
+            sla.sls_for(DSCP.AF41)
+
+    def test_profile_within(self):
+        sla = SLA("A", "B", slss={DSCP.EF: SLS(max_rate_mbps=50.0)})
+        sls = sla.check_profile(DSCP.EF, 50.0)
+        assert sls.max_rate_mbps == 50.0
+
+    def test_profile_rate_exceeded(self):
+        sla = SLA("A", "B", slss={DSCP.EF: SLS(max_rate_mbps=50.0)})
+        with pytest.raises(SLAViolationError, match="exceeds"):
+            sla.check_profile(DSCP.EF, 50.1)
+
+    def test_profile_burst_exceeded(self):
+        sla = SLA("A", "B", slss={DSCP.EF: SLS(max_burst_bits=1000.0)})
+        with pytest.raises(SLAViolationError, match="burst"):
+            sla.check_profile(DSCP.EF, 1.0, burst_bits=2000.0)
+
+    def test_profile_zero_rate(self):
+        sla = SLA("A", "B")
+        with pytest.raises(SLAViolationError):
+            sla.check_profile(DSCP.EF, 0.0)
+
+    def test_multiple_classes(self):
+        sla = SLA(
+            "A",
+            "B",
+            slss={
+                DSCP.EF: SLS(max_rate_mbps=10.0),
+                DSCP.AF41: SLS(service_class=DSCP.AF41, max_rate_mbps=100.0),
+            },
+        )
+        sla.check_profile(DSCP.AF41, 90.0)
+        with pytest.raises(SLAViolationError):
+            sla.check_profile(DSCP.EF, 90.0)

@@ -1,0 +1,35 @@
+"""Shared fixtures for the test suite.
+
+RSA key generation is the only genuinely expensive operation in the
+library, so session-scoped fixtures pre-generate a small pool of key pairs
+and most tests default to 512-bit keys (plenty for tamper-evidence tests,
+fast to mint).  All randomness is seeded for reproducibility.
+"""
+
+import random
+
+import pytest
+
+from repro.crypto.keys import RSAScheme, SimulatedScheme
+
+
+@pytest.fixture(scope="session")
+def rsa512():
+    return RSAScheme(bits=512)
+
+
+@pytest.fixture(scope="session")
+def simulated():
+    return SimulatedScheme()
+
+
+@pytest.fixture()
+def rng():
+    return random.Random(1234)
+
+
+@pytest.fixture(scope="session")
+def keypool(rsa512):
+    """Twelve pre-generated 512-bit RSA key pairs for reuse across tests."""
+    gen = random.Random(99)
+    return [rsa512.generate(gen) for _ in range(12)]

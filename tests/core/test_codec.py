@@ -1,0 +1,277 @@
+"""Tests for the wire codec: canonical decode + object round trips."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bb.reservations import ReservationRequest
+from repro.core.codec import from_wire, pack, to_wire, unpack
+from repro.core.messages import make_bb_rar, make_user_rar
+from repro.core.testbed import build_linear_testbed
+from repro.core.trust import verify_rar
+from repro.crypto import canonical
+from repro.crypto.dn import DN
+from repro.crypto.keys import RSAScheme, SimulatedScheme
+from repro.errors import EncodingError
+from repro.net.packet import DSCP
+from repro.policy.attributes import make_assertion
+
+
+class TestCanonicalDecode:
+    def test_scalar_roundtrips(self):
+        for value in [None, True, False, 0, -42, 10**40, 1.5, -0.0,
+                      "héllo", b"\x00\xff", "", b""]:
+            assert canonical.decode(canonical.encode(value)) == value
+
+    def test_container_roundtrips(self):
+        value = {"a": [1, "two", {"b": b"3"}], "c": [], "d": {}}
+        assert canonical.decode(canonical.encode(value)) == value
+
+    def test_tuple_becomes_list(self):
+        assert canonical.decode(canonical.encode((1, 2))) == [1, 2]
+
+    def test_trailing_bytes_rejected(self):
+        data = canonical.encode(1) + b"x"
+        with pytest.raises(EncodingError, match="trailing"):
+            canonical.decode(data)
+
+    def test_truncation_rejected(self):
+        data = canonical.encode("hello")
+        with pytest.raises(EncodingError):
+            canonical.decode(data[:-1])
+
+    def test_bad_tag_rejected(self):
+        with pytest.raises(EncodingError, match="tag"):
+            canonical.decode(b"Z" + (0).to_bytes(4, "big"))
+
+    def test_length_overrun_rejected(self):
+        with pytest.raises(EncodingError):
+            canonical.decode(b"S" + (10).to_bytes(4, "big") + b"abc")
+
+    def test_malformed_int_payload(self):
+        with pytest.raises(EncodingError):
+            canonical.decode(b"I" + (3).to_bytes(4, "big") + b"abc")
+
+    def test_non_string_map_key_rejected(self):
+        inner = canonical.encode(1) + canonical.encode(2)
+        data = b"M" + len(inner).to_bytes(4, "big") + inner
+        with pytest.raises(EncodingError, match="key"):
+            canonical.decode(data)
+
+    _scalar = st.one_of(
+        st.none(), st.booleans(),
+        st.integers(min_value=-(10**20), max_value=10**20),
+        st.floats(allow_nan=False, allow_infinity=False),
+        st.text(max_size=20), st.binary(max_size=20),
+    )
+    _value = st.recursive(
+        _scalar,
+        lambda ch: st.one_of(
+            st.lists(ch, max_size=4),
+            st.dictionaries(st.text(max_size=6), ch, max_size=4),
+        ),
+        max_leaves=20,
+    )
+
+    @settings(max_examples=150)
+    @given(_value)
+    def test_decode_encode_property(self, value):
+        decoded = canonical.decode(canonical.encode(value))
+        # Re-encoding the decoded value must reproduce the exact bytes.
+        assert canonical.encode(decoded) == canonical.encode(value)
+
+
+def request(**kwargs):
+    defaults = dict(
+        source_host="h0.A", destination_host="h0.C",
+        source_domain="A", destination_domain="C",
+        rate_mbps=10.0, start=0.0, end=3600.0,
+        linked_reservations=(("cpu", "CPU-1"),),
+        attributes=(("flow_id", "f1"), ("tunnel", True)),
+    )
+    defaults.update(kwargs)
+    return ReservationRequest(**defaults)
+
+
+class TestObjectRoundTrips:
+    def test_dn(self):
+        dn = DN.make("Grid", "A", "Alice")
+        assert from_wire(to_wire(dn)) == dn
+
+    def test_request(self):
+        req = request()
+        assert from_wire(to_wire(req)) == req
+
+    def test_request_with_infinite_cost(self):
+        req = request(cost_ceiling=float("inf"))
+        back = from_wire(to_wire(req))
+        assert back.cost_ceiling == float("inf")
+        assert back == req
+
+    def test_dscp_preserved(self):
+        req = request(service_class=DSCP.AF41)
+        assert from_wire(to_wire(req)).service_class is DSCP.AF41
+
+    def test_certificate_roundtrip_rsa(self, keypool):
+        from repro.crypto.x509 import CertificateAuthority
+
+        ca = CertificateAuthority(
+            DN.make("Grid", "A", "CA"), keypair=keypool[0], scheme="rsa"
+        )
+        _, cert = ca.issue_keypair(
+            DN.make("Grid", "A", "BB-A"), rng=random.Random(1),
+            extensions={"capabilities": ("x", "y")},
+        )
+        back = from_wire(to_wire(cert))
+        assert back == cert
+        # The signature still verifies on the decoded copy.
+        assert back.verify_signature(keypool[0].public)
+
+    def test_assertion_roundtrip(self, rng):
+        keys = SimulatedScheme().generate(rng)
+        a = make_assertion(
+            issuer=DN.make("Grid", "HEP", "GS"),
+            issuer_key=keys.private,
+            subject=DN.make("Grid", "A", "Alice"),
+            attributes={"group": "atlas", "level": 3},
+        )
+        back = from_wire(to_wire(a))
+        assert back == a
+        assert back.verify(keys.public)
+
+    def test_unpackable_type_rejected(self):
+        with pytest.raises(EncodingError):
+            to_wire(object())
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(EncodingError, match="unknown"):
+            unpack({"__kind__": "alien"})
+
+    def test_untagged_mapping_rejected(self):
+        with pytest.raises(EncodingError, match="__kind__"):
+            unpack({"a": 1})
+
+    def test_plain_container_roundtrip(self):
+        value = {"x": (1, "a"), "y": [True, None]}
+        back = from_wire(to_wire(value))
+        assert back == {"x": (1, "a"), "y": (True, None)}
+
+
+class TestNestedRAROverTheWire:
+    def test_nested_rar_survives_and_verifies(self, rng):
+        """The crucial property: a full nested RAR crosses the byte
+        boundary and every signature still verifies."""
+        scheme = SimulatedScheme()
+        alice_kp = scheme.generate(rng)
+        bb_a_kp = scheme.generate(rng)
+        alice = DN.make("Grid", "A", "Alice")
+        bb_a = DN.make("Grid", "A", "BB-A")
+        bb_b = DN.make("Grid", "B", "BB-B")
+        from repro.crypto.x509 import sign_certificate
+
+        alice_cert = sign_certificate(
+            serial=1, issuer=DN.make("Grid", "A", "CA"), subject=alice,
+            public_key=alice_kp.public, signing_key=bb_a_kp.private,
+        )
+        rar_u = make_user_rar(
+            request=request(), source_bb=bb_a, user=alice,
+            user_key=alice_kp.private,
+        )
+        rar_a = make_bb_rar(
+            inner=rar_u, introduced_cert=alice_cert, downstream=bb_b,
+            bb=bb_a, bb_key=bb_a_kp.private,
+        )
+        wire = to_wire(rar_a)
+        assert isinstance(wire, bytes) and len(wire) > 500
+        back = from_wire(wire)
+        assert back == rar_a
+        assert back.verify(bb_a_kp.public)
+        assert back["inner_rar"].verify(alice_kp.public)
+
+    def test_end_to_end_protocol_message_roundtrip(self):
+        """Take the final RAR from a real testbed run through the codec and
+        re-verify it with full transitive trust."""
+        tb = build_linear_testbed(["A", "B", "C"])
+        alice = tb.add_user("A", "Alice")
+        outcome = tb.reserve(
+            alice, source="A", destination="C", bandwidth_mbps=10.0
+        )
+        assert outcome.granted
+        wire = to_wire(outcome.final_rar)
+        back = from_wire(wire)
+        bb_c = tb.brokers["C"]
+        verified = verify_rar(
+            back,
+            verifier=bb_c.dn,
+            peer_certificate=tb.brokers["B"].certificate,
+            truststore=bb_c.truststore,
+        )
+        assert verified.user == alice.dn
+        assert verified.request.rate_mbps == 10.0
+
+    def test_tampered_wire_detected(self):
+        tb = build_linear_testbed(["A", "B", "C"])
+        alice = tb.add_user("A", "Alice")
+        outcome = tb.reserve(
+            alice, source="A", destination="C", bandwidth_mbps=10.0
+        )
+        wire = bytearray(to_wire(outcome.final_rar))
+        # Flip a byte in the middle (inside some payload field).
+        wire[len(wire) // 2] ^= 0x01
+        from repro.errors import ReproError
+
+        try:
+            back = from_wire(bytes(wire))
+        except ReproError:
+            return  # structurally broken: also an acceptable detection
+        # If it still parses, some signature must now fail.
+        bb_c = tb.brokers["C"]
+        with pytest.raises(ReproError):
+            verify_rar(
+                back,
+                verifier=bb_c.dn,
+                peer_certificate=tb.brokers["B"].certificate,
+                truststore=bb_c.truststore,
+            )
+
+
+_req_strategy = st.builds(
+    ReservationRequest,
+    source_host=st.text(min_size=1, max_size=10,
+                        alphabet="abcdefghij0123456789."),
+    destination_host=st.text(min_size=1, max_size=10,
+                             alphabet="abcdefghij0123456789."),
+    source_domain=st.sampled_from(["A", "B", "C"]),
+    destination_domain=st.sampled_from(["A", "B", "C"]),
+    rate_mbps=st.floats(min_value=0.001, max_value=1e4),
+    start=st.floats(min_value=0.0, max_value=1e6),
+    end=st.floats(min_value=1e6 + 1.0, max_value=2e6),
+    service_class=st.sampled_from(list(DSCP)),
+    burst_bits=st.floats(min_value=1.0, max_value=1e6),
+    cost_ceiling=st.one_of(
+        st.just(float("inf")),
+        st.floats(min_value=0.0, max_value=1e6),
+    ),
+    linked_reservations=st.lists(
+        st.tuples(st.sampled_from(["cpu", "disk"]),
+                  st.text(min_size=1, max_size=8)),
+        max_size=3,
+    ).map(tuple),
+    attributes=st.lists(
+        st.tuples(
+            st.text(min_size=1, max_size=8),
+            st.one_of(st.booleans(), st.text(max_size=8),
+                      st.floats(allow_nan=False, allow_infinity=False)),
+        ),
+        max_size=3,
+    ).map(tuple),
+)
+
+
+@settings(max_examples=60)
+@given(_req_strategy)
+def test_request_roundtrip_property(req):
+    """Property: any well-formed reservation request survives the wire."""
+    assert from_wire(to_wire(req)) == req

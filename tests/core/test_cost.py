@@ -1,0 +1,93 @@
+"""Tests for cost negotiation (paper §6.1: the request carries 'a cost
+that the user is willing to accept')."""
+
+import pytest
+
+from repro.core.testbed import build_linear_testbed
+
+
+@pytest.fixture()
+def testbed():
+    tb = build_linear_testbed(["A", "B", "C"])
+    # Tariffs: B charges 2, C charges 3 per Mb/s-hour of entering traffic.
+    for sla in tb.brokers["B"].slas_in.values():
+        sla.price_per_mbps_hour = 2.0
+    for sla in tb.brokers["C"].slas_in.values():
+        sla.price_per_mbps_hour = 3.0
+    return tb
+
+
+@pytest.fixture()
+def alice(testbed):
+    return testbed.add_user("A", "Alice")
+
+
+class TestCostCeiling:
+    def test_default_ceiling_is_unlimited(self, testbed, alice):
+        outcome = testbed.reserve(
+            alice, source="A", destination="C", bandwidth_mbps=10.0,
+            duration=3600.0,
+        )
+        assert outcome.granted
+        # 10 Mb/s-hours x (2 + 3).
+        assert outcome.cost == pytest.approx(50.0)
+
+    def test_sufficient_ceiling_granted(self, testbed, alice):
+        outcome = testbed.reserve(
+            alice, source="A", destination="C", bandwidth_mbps=10.0,
+            duration=3600.0, cost_ceiling=50.0,
+        )
+        assert outcome.granted
+        assert outcome.cost <= 50.0
+
+    def test_ceiling_exceeded_at_expensive_domain(self, testbed, alice):
+        outcome = testbed.reserve(
+            alice, source="A", destination="C", bandwidth_mbps=10.0,
+            duration=3600.0, cost_ceiling=30.0,
+        )
+        assert not outcome.granted
+        # B costs 20 (within), C pushes it to 50 (over): denied at C.
+        assert outcome.denial_domain == "C"
+        assert "cost ceiling exceeded" in outcome.denial_reason
+
+    def test_ceiling_exceeded_early(self, testbed, alice):
+        outcome = testbed.reserve(
+            alice, source="A", destination="C", bandwidth_mbps=10.0,
+            duration=3600.0, cost_ceiling=10.0,
+        )
+        assert not outcome.granted
+        assert outcome.denial_domain == "B"
+
+    def test_denial_releases_partial_path(self, testbed, alice):
+        outcome = testbed.reserve(
+            alice, source="A", destination="C", bandwidth_mbps=10.0,
+            duration=3600.0, cost_ceiling=30.0,
+        )
+        assert not outcome.granted
+        for domain in "ABC":
+            schedule = testbed.brokers[domain].admission.schedule("intra")
+            assert schedule.load_at(1.0) == 0.0
+
+    def test_cheaper_request_fits_same_ceiling(self, testbed, alice):
+        outcome = testbed.reserve(
+            alice, source="A", destination="C", bandwidth_mbps=5.0,
+            duration=3600.0, cost_ceiling=30.0,
+        )
+        assert outcome.granted
+        assert outcome.cost == pytest.approx(25.0)
+
+    def test_shorter_duration_cheaper(self, testbed, alice):
+        outcome = testbed.reserve(
+            alice, source="A", destination="C", bandwidth_mbps=10.0,
+            duration=1800.0, cost_ceiling=30.0,
+        )
+        assert outcome.granted
+        assert outcome.cost == pytest.approx(25.0)
+
+    def test_intradomain_reservation_free_of_transit_cost(self, testbed, alice):
+        outcome = testbed.reserve(
+            alice, source="A", destination="A", bandwidth_mbps=10.0,
+            cost_ceiling=0.0,
+        )
+        assert outcome.granted
+        assert outcome.cost == 0.0

@@ -1,0 +1,270 @@
+"""Tests for signed envelopes and RAR message construction."""
+
+import pytest
+
+from repro.bb.reservations import ReservationRequest
+from repro.core.envelope import seal
+from repro.core.messages import (
+    F_DOMAIN,
+    F_DOWNSTREAM,
+    F_INNER,
+    F_REASON,
+    F_RES_SPEC,
+    make_approval,
+    make_bb_rar,
+    make_denial,
+    make_user_rar,
+    unwrap_rar_layers,
+)
+from repro.crypto.dn import DN
+from repro.crypto.keys import SimulatedScheme
+from repro.crypto.x509 import sign_certificate
+from repro.errors import SignallingError, TamperedMessageError
+
+SCHEME = SimulatedScheme()
+ALICE = DN.make("Grid", "A", "Alice")
+BB_A = DN.make("Grid", "A", "BB-A")
+BB_B = DN.make("Grid", "B", "BB-B")
+BB_C = DN.make("Grid", "C", "BB-C")
+
+
+def request():
+    return ReservationRequest(
+        source_host="h0.A",
+        destination_host="h0.C",
+        source_domain="A",
+        destination_domain="C",
+        rate_mbps=10.0,
+        start=0.0,
+        end=3600.0,
+    )
+
+
+@pytest.fixture()
+def keys(rng):
+    return {name: SCHEME.generate(rng) for name in ("alice", "bb_a", "bb_b")}
+
+
+class TestSignedEnvelope:
+    def test_seal_and_verify(self, keys):
+        env = seal({"x": 1, "y": "two"}, signer=ALICE, key=keys["alice"].private)
+        assert env.verify(keys["alice"].public)
+        assert env["x"] == 1
+        assert env.get("z", "d") == "d"
+        assert set(env.keys()) == {"x", "y"}
+        with pytest.raises(KeyError):
+            env["z"]
+
+    def test_wrong_key_fails(self, keys):
+        env = seal({"x": 1}, signer=ALICE, key=keys["alice"].private)
+        assert not env.verify(keys["bb_a"].public)
+
+    def test_tampered_field_fails(self, keys):
+        env = seal({"x": 1}, signer=ALICE, key=keys["alice"].private)
+        forged = env.with_tampered_field("x", 2)
+        assert not forged.verify(keys["alice"].public)
+        with pytest.raises(TamperedMessageError):
+            forged.require_valid(keys["alice"].public)
+
+    def test_added_field_fails(self, keys):
+        env = seal({"x": 1}, signer=ALICE, key=keys["alice"].private)
+        forged = env.with_tampered_field("evil", True)
+        assert not forged.verify(keys["alice"].public)
+
+    def test_nested_envelope_signed(self, keys):
+        inner = seal({"x": 1}, signer=ALICE, key=keys["alice"].private)
+        outer = seal({"inner": inner}, signer=BB_A, key=keys["bb_a"].private)
+        assert outer.verify(keys["bb_a"].public)
+        # Tampering the inner invalidates the outer.
+        forged_inner = inner.with_tampered_field("x", 2)
+        forged_outer = outer.with_tampered_field("inner", forged_inner)
+        assert not forged_outer.verify(keys["bb_a"].public)
+
+    def test_wire_size_positive_and_monotone(self, keys):
+        small = seal({"x": 1}, signer=ALICE, key=keys["alice"].private)
+        big = seal({"x": "a" * 1000}, signer=ALICE, key=keys["alice"].private)
+        assert 0 < small.wire_size() < big.wire_size()
+
+    def test_complex_payload_values(self, keys):
+        env = seal(
+            {"req": request(), "names": (BB_A, BB_B)},
+            signer=ALICE,
+            key=keys["alice"].private,
+        )
+        assert env.verify(keys["alice"].public)
+
+
+class TestRARConstruction:
+    def test_user_rar_fields(self, keys):
+        rar = make_user_rar(
+            request=request(),
+            source_bb=BB_A,
+            user=ALICE,
+            user_key=keys["alice"].private,
+        )
+        assert rar.signer == ALICE
+        assert rar[F_DOWNSTREAM] == BB_A
+        assert rar[F_RES_SPEC].rate_mbps == 10.0
+        assert rar.verify(keys["alice"].public)
+
+    def test_bb_rar_wraps(self, keys):
+        rar_u = make_user_rar(
+            request=request(), source_bb=BB_A, user=ALICE,
+            user_key=keys["alice"].private,
+        )
+        alice_cert = sign_certificate(
+            serial=1, issuer=DN.make("Grid", "A", "CA"), subject=ALICE,
+            public_key=keys["alice"].public, signing_key=keys["bb_a"].private,
+        )
+        rar_a = make_bb_rar(
+            inner=rar_u,
+            introduced_cert=alice_cert,
+            downstream=BB_B,
+            bb=BB_A,
+            bb_key=keys["bb_a"].private,
+        )
+        assert rar_a.signer == BB_A
+        assert rar_a[F_INNER] is rar_u
+        assert rar_a.verify(keys["bb_a"].public)
+
+    def test_bb_rar_rejects_mismatched_introduction(self, keys):
+        rar_u = make_user_rar(
+            request=request(), source_bb=BB_A, user=ALICE,
+            user_key=keys["alice"].private,
+        )
+        wrong_cert = sign_certificate(
+            serial=1, issuer=DN.make("Grid", "A", "CA"), subject=BB_B,
+            public_key=keys["bb_b"].public, signing_key=keys["bb_a"].private,
+        )
+        with pytest.raises(SignallingError, match="introduced certificate"):
+            make_bb_rar(
+                inner=rar_u, introduced_cert=wrong_cert, downstream=BB_B,
+                bb=BB_A, bb_key=keys["bb_a"].private,
+            )
+
+    def test_bb_rar_rejects_non_rar_inner(self, keys):
+        denial = make_denial(
+            domain="B", reason="no", bb=BB_B, bb_key=keys["bb_b"].private
+        )
+        cert = sign_certificate(
+            serial=1, issuer=DN.make("Grid", "B", "CA"), subject=BB_B,
+            public_key=keys["bb_b"].public, signing_key=keys["bb_b"].private,
+        )
+        with pytest.raises(SignallingError, match="not a RAR"):
+            make_bb_rar(
+                inner=denial, introduced_cert=cert, downstream=BB_C,
+                bb=BB_B, bb_key=keys["bb_b"].private,
+            )
+
+    def test_unwrap_layers(self, keys):
+        rar_u = make_user_rar(
+            request=request(), source_bb=BB_A, user=ALICE,
+            user_key=keys["alice"].private,
+        )
+        alice_cert = sign_certificate(
+            serial=1, issuer=DN.make("Grid", "A", "CA"), subject=ALICE,
+            public_key=keys["alice"].public, signing_key=keys["bb_a"].private,
+        )
+        rar_a = make_bb_rar(
+            inner=rar_u, introduced_cert=alice_cert, downstream=BB_B,
+            bb=BB_A, bb_key=keys["bb_a"].private,
+        )
+        layers = unwrap_rar_layers(rar_a)
+        assert [l.signer for l in layers] == [BB_A, ALICE]
+
+    def test_unwrap_rejects_non_rar(self, keys):
+        approval = make_approval(
+            handle="H", domain="C", bb=BB_C, bb_key=keys["bb_b"].private
+        )
+        with pytest.raises(SignallingError):
+            unwrap_rar_layers(approval)
+
+
+class TestReplies:
+    def test_approval_nesting(self, keys):
+        inner = make_approval(
+            handle="H-C", domain="C", bb=BB_C, bb_key=keys["bb_b"].private
+        )
+        outer = make_approval(
+            handle="H-B", domain="B", inner=inner, bb=BB_B,
+            bb_key=keys["bb_b"].private,
+        )
+        assert outer[F_INNER] is inner
+        assert outer[F_DOMAIN] == "B"
+
+    def test_approval_rejects_non_approval_inner(self, keys):
+        denial = make_denial(
+            domain="C", reason="no", bb=BB_C, bb_key=keys["bb_b"].private
+        )
+        with pytest.raises(SignallingError):
+            make_approval(
+                handle="H", domain="B", inner=denial, bb=BB_B,
+                bb_key=keys["bb_b"].private,
+            )
+
+    def test_denial_reason(self, keys):
+        denial = make_denial(
+            domain="B", reason="SLA violated", bb=BB_B,
+            bb_key=keys["bb_b"].private,
+        )
+        assert denial[F_REASON] == "SLA violated"
+        assert denial.verify(keys["bb_b"].public)
+
+
+class TestEncodingCache:
+    """The canonical-bytes memoization must never leak across mutations
+    (immutables only mutate via dataclasses.replace, which starts fresh)."""
+
+    def test_body_bytes_stable(self, keys):
+        env = seal({"x": 1}, signer=ALICE, key=keys["alice"].private)
+        assert env.body_bytes() is env.body_bytes()  # memoized
+        assert env.cbe_bytes() is env.cbe_bytes()
+
+    def test_tampered_copy_has_fresh_bytes(self, keys):
+        env = seal({"x": 1}, signer=ALICE, key=keys["alice"].private)
+        env.cbe_bytes()  # prime the cache
+        forged = env.with_tampered_field("x", 2)
+        assert forged.cbe_bytes() != env.cbe_bytes()
+        assert not forged.verify(keys["alice"].public)
+
+    def test_nested_cache_composes(self, keys):
+        """An envelope nested inside another encodes to the same bytes
+        whether or not the inner cache was primed first."""
+        from repro.crypto import canonical
+
+        inner_a = seal({"x": 1}, signer=ALICE, key=keys["alice"].private)
+        inner_b = seal({"x": 1}, signer=ALICE, key=keys["alice"].private)
+        inner_a.cbe_bytes()  # primed
+        outer_a = seal({"inner": inner_a}, signer=BB_A, key=keys["bb_a"].private)
+        outer_b = seal({"inner": inner_b}, signer=BB_A, key=keys["bb_a"].private)
+        assert outer_a.body_bytes() == outer_b.body_bytes()
+        assert canonical.encode(outer_a.to_cbe()) == outer_a.cbe_bytes()
+
+    def test_certificate_cache_matches_fresh_encoding(self, keys):
+        from repro.crypto import canonical
+        from repro.crypto.x509 import sign_certificate
+
+        cert = sign_certificate(
+            serial=1, issuer=DN.make("Grid", "A", "CA"), subject=ALICE,
+            public_key=keys["alice"].public, signing_key=keys["bb_a"].private,
+        )
+        primed = cert.cbe_bytes()
+        assert primed == canonical.encode(
+            {  # recompute field-by-field, bypassing the cache
+                **cert.tbs(),
+                "signature": cert.signature,
+                "signature_scheme": cert.signature_scheme,
+            }
+        )
+
+    def test_tampered_certificate_fresh(self, keys):
+        from repro.crypto.x509 import sign_certificate
+
+        cert = sign_certificate(
+            serial=1, issuer=DN.make("Grid", "A", "CA"), subject=ALICE,
+            public_key=keys["alice"].public, signing_key=keys["bb_a"].private,
+        )
+        cert.tbs_bytes()
+        forged = cert.with_tampered_subject(BB_B)
+        assert forged.tbs_bytes() != cert.tbs_bytes()
+        assert not forged.verify_signature(keys["bb_a"].public)

@@ -1,0 +1,229 @@
+"""Full-stack integration: signalling -> claim -> packets -> billing.
+
+These tests exercise the entire layer cake in one scenario each, the way
+a downstream user of the library would."""
+
+import random
+
+import pytest
+
+from repro.accounting.billing import TransitiveBilling
+from repro.bb.sla import SLS
+from repro.core.testbed import build_linear_testbed
+from repro.net.flows import FlowSpec
+from repro.net.packet import DSCP
+from repro.net.trafficgen import CBRSource, PoissonSource
+
+
+@pytest.fixture()
+def testbed():
+    return build_linear_testbed(["A", "B", "C"], inter_capacity_mbps=50.0)
+
+
+@pytest.fixture()
+def alice(testbed):
+    return testbed.add_user("A", "Alice")
+
+
+class TestReserveClaimRun:
+    def test_reserved_flow_gets_its_bandwidth_under_congestion(
+        self, testbed, alice
+    ):
+        outcome = testbed.reserve(
+            alice, source="A", destination="C", bandwidth_mbps=20.0,
+            attributes=(("flow_id", "paid"),),
+        )
+        testbed.hop_by_hop.claim(outcome)
+        CBRSource(
+            testbed.network,
+            FlowSpec("paid", "h0.A", "h0.C", 19.0, dscp=DSCP.EF),
+            stop_time=1.0,
+        ).start()
+        PoissonSource(
+            testbed.network,
+            FlowSpec("noise", "h1.A", "h1.C", 60.0),
+            rng=random.Random(3),
+            stop_time=1.0,
+        ).start()
+        testbed.sim.run()
+        paid = testbed.network.stats_for("paid")
+        noise = testbed.network.stats_for("noise")
+        assert paid.delivery_ratio > 0.99
+        assert paid.goodput_mbps(1.0) == pytest.approx(19.0, rel=0.05)
+        assert noise.loss_ratio > 0.3  # the flood eats the loss
+
+    def test_unclaimed_reservation_gives_no_priority(self, testbed, alice):
+        outcome = testbed.reserve(
+            alice, source="A", destination="C", bandwidth_mbps=20.0,
+            attributes=(("flow_id", "paid"),),
+        )
+        # NOT claimed: the data plane knows nothing about it.
+        CBRSource(
+            testbed.network,
+            FlowSpec("paid", "h0.A", "h0.C", 19.0, dscp=DSCP.EF),
+            stop_time=1.0,
+        ).start()
+        testbed.sim.run()
+        paid = testbed.network.stats_for("paid")
+        # Marks are stripped at the first hop (no policer installed).
+        assert paid.downgraded_packets == paid.sent_packets
+
+    def test_cancel_withdraws_priority(self, testbed, alice):
+        outcome = testbed.reserve(
+            alice, source="A", destination="C", bandwidth_mbps=20.0,
+            attributes=(("flow_id", "paid"),),
+        )
+        testbed.hop_by_hop.claim(outcome)
+        testbed.hop_by_hop.cancel(outcome)
+        CBRSource(
+            testbed.network,
+            FlowSpec("paid", "h0.A", "h0.C", 19.0, dscp=DSCP.EF),
+            stop_time=0.5,
+        ).start()
+        testbed.sim.run()
+        paid = testbed.network.stats_for("paid")
+        assert paid.downgraded_packets == paid.sent_packets
+
+    def test_usage_based_billing_from_measured_traffic(self, testbed, alice):
+        outcome = testbed.reserve(
+            alice, source="A", destination="C", bandwidth_mbps=20.0,
+            attributes=(("flow_id", "paid"),),
+        )
+        testbed.hop_by_hop.claim(outcome)
+        CBRSource(
+            testbed.network,
+            FlowSpec("paid", "h0.A", "h0.C", 10.0, dscp=DSCP.EF),
+            stop_time=1.0,
+        ).start()
+        testbed.sim.run()
+        stats = testbed.network.stats_for("paid")
+        # Mediation: bill the *measured* usage, not the reserved profile.
+        usage_mbps_hours = stats.delivered_bits / 1e6 / 3600.0
+        billing = TransitiveBilling(testbed.brokers)
+        run = billing.bill(outcome, usage_mbps_hours=usage_mbps_hours)
+        assert TransitiveBilling.conservation_holds(run)
+        assert run.usage_mbps_hours == pytest.approx(10.0 / 3600.0, rel=0.05)
+
+
+class TestMultiClassService:
+    def test_af_request_without_af_sla_denied(self, testbed, alice):
+        outcome = testbed.reserve(
+            alice, source="A", destination="C", bandwidth_mbps=5.0,
+            service_class=DSCP.AF41,
+        )
+        assert not outcome.granted
+        assert "covers no AF41" in outcome.denial_reason
+
+    def test_af_class_end_to_end(self, testbed, alice):
+        # Extend every SLA with an AF41 specification.
+        for broker in testbed.brokers.values():
+            for sla in list(broker.slas_in.values()) + list(broker.slas_out.values()):
+                sla.slss[DSCP.AF41] = SLS(
+                    service_class=DSCP.AF41, max_rate_mbps=40.0,
+                    excess_treatment="downgrade",
+                )
+        outcome = testbed.reserve(
+            alice, source="A", destination="C", bandwidth_mbps=10.0,
+            service_class=DSCP.AF41,
+            attributes=(("flow_id", "af-flow"),),
+        )
+        assert outcome.granted, outcome.denial_reason
+        testbed.hop_by_hop.claim(outcome)
+        # The edge marks AF41 and the ingress aggregates are per class.
+        policer = testbed.network.flow_policer("core.A", "af-flow")
+        assert policer.mark is DSCP.AF41
+        agg = testbed.network.aggregate_policer("edge.B.left", DSCP.AF41)
+        assert agg is not None and agg.bucket.rate_bps == 10e6
+        # EF aggregate unchanged (zero).
+        ef_agg = testbed.network.aggregate_policer("edge.B.left", DSCP.EF)
+        assert ef_agg is None or ef_agg.bucket.rate_bps == 0.0
+
+    def test_ef_outranks_af_under_congestion(self, testbed, alice):
+        for broker in testbed.brokers.values():
+            for sla in list(broker.slas_in.values()) + list(broker.slas_out.values()):
+                sla.slss[DSCP.AF41] = SLS(
+                    service_class=DSCP.AF41, max_rate_mbps=45.0
+                )
+        ef = testbed.reserve(
+            alice, source="A", destination="C", bandwidth_mbps=30.0,
+            attributes=(("flow_id", "ef"),),
+        )
+        af = testbed.reserve(
+            alice, source="A", destination="C", bandwidth_mbps=19.0,
+            service_class=DSCP.AF41,
+            source_host="h1.A", destination_host="h1.C",
+            attributes=(("flow_id", "af"),),
+        )
+        testbed.hop_by_hop.claim(ef)
+        testbed.hop_by_hop.claim(af)
+        # Offered: 30 EF + 19 AF + 20 BE over a 50 Mb/s link.
+        CBRSource(testbed.network,
+                  FlowSpec("ef", "h0.A", "h0.C", 29.0, dscp=DSCP.EF),
+                  stop_time=1.0).start()
+        CBRSource(testbed.network,
+                  FlowSpec("af", "h1.A", "h1.C", 18.0, dscp=DSCP.AF41),
+                  stop_time=1.0).start()
+        PoissonSource(testbed.network,
+                      FlowSpec("be", "h0.A", "h1.C", 20.0),
+                      rng=random.Random(4), stop_time=1.0).start()
+        testbed.sim.run()
+        ef_stats = testbed.network.stats_for("ef")
+        af_stats = testbed.network.stats_for("af")
+        be_stats = testbed.network.stats_for("be")
+        assert ef_stats.delivery_ratio > 0.99
+        assert af_stats.delivery_ratio > 0.95
+        assert be_stats.delivery_ratio < 0.6
+        # Queueing delay ordering: EF <= AF (strict priority).
+        assert ef_stats.mean_delay_s <= af_stats.mean_delay_s + 1e-4
+
+
+class TestMultiCommunity:
+    def test_two_communities_verified_independently(self, testbed, alice):
+        """Alice holds capabilities from two CAS communities; a destination
+        policy requiring either one is satisfied, and the verified issuer
+        set contains both."""
+        esnet = testbed.add_cas("ESnet")
+        geant = testbed.add_cas("GEANT")
+        for cas in (esnet, geant):
+            cas.grant(alice.dn, ["member"])
+            alice.grid_login(cas, validity_s=10 * 24 * 3600.0)
+        testbed.set_policy(
+            "C",
+            "If Issued_by(Capability) = GEANT\n    Return GRANT\nReturn DENY",
+        )
+        outcome = testbed.reserve(
+            alice, source="A", destination="C", bandwidth_mbps=5.0
+        )
+        assert outcome.granted, outcome.denial_reason
+        # Both communities' chains travelled and verified.
+        chain_issuers = {c.issuer for c in outcome.verified.capability_chain}
+        assert esnet.name in chain_issuers
+        assert geant.name in chain_issuers
+
+
+class TestServiceQuality:
+    def test_ef_jitter_below_be_under_load(self, testbed, alice):
+        """EF's strict-priority service shows visibly lower delay jitter
+        than best effort on a congested path."""
+        outcome = testbed.reserve(
+            alice, source="A", destination="C", bandwidth_mbps=20.0,
+            attributes=(("flow_id", "ef"),),
+        )
+        testbed.hop_by_hop.claim(outcome)
+        CBRSource(
+            testbed.network,
+            FlowSpec("ef", "h0.A", "h0.C", 19.0, dscp=DSCP.EF),
+            stop_time=1.0,
+        ).start()
+        PoissonSource(
+            testbed.network,
+            FlowSpec("be", "h1.A", "h1.C", 45.0),
+            rng=random.Random(8),
+            stop_time=1.0,
+        ).start()
+        testbed.sim.run()
+        ef = testbed.network.stats_for("ef")
+        be = testbed.network.stats_for("be")
+        assert ef.jitter_s() < be.jitter_s()
+        assert ef.delay_percentiles((99.0,))[99.0] < \
+            be.delay_percentiles((99.0,))[99.0]

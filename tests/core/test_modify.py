@@ -1,0 +1,73 @@
+"""Tests for end-to-end reservation modification (renegotiation)."""
+
+import pytest
+
+from repro.core.testbed import build_linear_testbed
+from repro.errors import SignallingError
+
+
+@pytest.fixture()
+def testbed():
+    return build_linear_testbed(["A", "B", "C"])
+
+
+@pytest.fixture()
+def alice(testbed):
+    return testbed.add_user("A", "Alice")
+
+
+class TestModify:
+    def test_grow_within_capacity(self, testbed, alice):
+        outcome = testbed.reserve(
+            alice, source="A", destination="C", bandwidth_mbps=10.0
+        )
+        fresh = testbed.hop_by_hop.modify(alice, outcome, rate_mbps=50.0)
+        assert fresh.granted
+        load = testbed.brokers["B"].admission.schedule("ingress:A").load_at(1.0)
+        assert load == 50.0
+
+    def test_shrink(self, testbed, alice):
+        outcome = testbed.reserve(
+            alice, source="A", destination="C", bandwidth_mbps=50.0
+        )
+        fresh = testbed.hop_by_hop.modify(alice, outcome, rate_mbps=5.0)
+        assert fresh.granted
+        load = testbed.brokers["B"].admission.schedule("ingress:A").load_at(1.0)
+        assert load == 5.0
+
+    def test_denied_modification_restores_original(self, testbed, alice):
+        outcome = testbed.reserve(
+            alice, source="A", destination="C", bandwidth_mbps=100.0
+        )
+        other = testbed.reserve(
+            alice, source="A", destination="C", bandwidth_mbps=50.0
+        )
+        # Growing to 120 would need 170 total on 155 Mb/s links: denied.
+        fresh = testbed.hop_by_hop.modify(alice, outcome, rate_mbps=120.0)
+        assert not fresh.granted
+        # The original 100 Mb/s reservation is back in force.
+        load = testbed.brokers["B"].admission.schedule("ingress:A").load_at(1.0)
+        assert load == 150.0
+        # And the caller's outcome holds valid handles.
+        for domain, handle in outcome.handles.items():
+            assert testbed.brokers[domain].validate_handle(handle)
+
+    def test_modify_requires_granted(self, testbed, alice):
+        testbed.set_policy("B", "Return DENY")
+        outcome = testbed.reserve(
+            alice, source="A", destination="C", bandwidth_mbps=10.0
+        )
+        with pytest.raises(SignallingError):
+            testbed.hop_by_hop.modify(alice, outcome, rate_mbps=5.0)
+
+    def test_modify_subject_to_policy(self, testbed, alice):
+        testbed.set_policy("B", "If BW <= 20Mb/s\n    Return GRANT\nReturn DENY")
+        outcome = testbed.reserve(
+            alice, source="A", destination="C", bandwidth_mbps=10.0
+        )
+        fresh = testbed.hop_by_hop.modify(alice, outcome, rate_mbps=30.0)
+        assert not fresh.granted
+        assert fresh.denial_domain == "B"
+        # Original intact.
+        load = testbed.brokers["B"].admission.schedule("ingress:A").load_at(1.0)
+        assert load == 10.0

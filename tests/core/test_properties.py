@@ -1,0 +1,174 @@
+"""Cross-cutting property-based tests on system invariants."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.rsvp import RSVPSimulator
+from repro.core.testbed import build_linear_testbed
+from repro.errors import CapacityExceededError, TunnelError
+from repro.net.topology import linear_domain_chain
+
+
+# ---------------------------------------------------------------------------
+# Tunnel invariant: allocations never exceed the aggregate.
+# ---------------------------------------------------------------------------
+
+_tunnel_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("alloc"), st.floats(min_value=0.1, max_value=40.0)),
+        st.tuples(st.just("release"), st.integers(min_value=0, max_value=30)),
+    ),
+    max_size=40,
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(_tunnel_ops)
+def test_tunnel_never_oversubscribed(ops):
+    tb = build_linear_testbed(["A", "B", "C"], hosts_per_domain=1)
+    alice = tb.add_user("A", "Alice")
+    tunnel, outcome = tb.tunnels.establish(
+        alice, tb.make_request(source="A", destination="C",
+                               bandwidth_mbps=100.0)
+    )
+    assert outcome.granted
+    live: list[str] = []
+    for op, arg in ops:
+        if op == "alloc":
+            try:
+                alloc, _, _ = tb.tunnels.allocate_flow(
+                    tunnel.tunnel_id, alice, arg
+                )
+                live.append(alloc.allocation_id)
+            except TunnelError:
+                pass
+        elif live:
+            idx = arg % len(live)
+            tb.tunnels.release_flow(tunnel.tunnel_id, live.pop(idx))
+        # Invariant after every operation.
+        assert tunnel.allocated_mbps(tunnel.start, tunnel.end) <= 100.0 + 1e-9
+
+
+# ---------------------------------------------------------------------------
+# RSVP invariant: link loads never exceed capacity.
+# ---------------------------------------------------------------------------
+
+_rsvp_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("reserve"), st.floats(min_value=1.0, max_value=80.0)),
+        st.tuples(st.just("teardown"), st.integers(min_value=0, max_value=30)),
+        st.tuples(st.just("advance"), st.floats(min_value=1.0, max_value=120.0)),
+    ),
+    max_size=30,
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(_rsvp_ops)
+def test_rsvp_links_never_oversubscribed(ops):
+    topo = linear_domain_chain(["A", "B"], hosts_per_domain=1,
+                               inter_capacity_mbps=100.0)
+    sim = RSVPSimulator(topo)
+    live: list[str] = []
+    counter = 0
+    for op, arg in ops:
+        if op == "reserve":
+            counter += 1
+            fid = f"f{counter}"
+            try:
+                sim.reserve(fid, "h0.A", "h0.B", arg)
+                live.append(fid)
+            except CapacityExceededError:
+                pass
+        elif op == "teardown" and live:
+            idx = arg % len(live)
+            try:
+                sim.teardown(live.pop(idx))
+            except Exception:
+                pass
+        elif op == "advance":
+            sim.advance(arg, refresh=True)
+            live = [f for f in live if f in sim._flows]
+        for (a, b), load in sim._link_load.items():
+            assert load <= sim._link_capacity(a, b) + 1e-6
+
+
+# ---------------------------------------------------------------------------
+# Admission invariant across the whole chain under random reserve/cancel.
+# ---------------------------------------------------------------------------
+
+_chain_ops = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("reserve"),
+            st.floats(min_value=1.0, max_value=120.0),
+            st.floats(min_value=0.0, max_value=1000.0),
+            st.floats(min_value=1.0, max_value=500.0),
+        ),
+        st.tuples(
+            st.just("cancel"),
+            st.integers(min_value=0, max_value=20),
+            st.just(0.0),
+            st.just(0.0),
+        ),
+    ),
+    max_size=25,
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(_chain_ops)
+def test_chain_admission_never_oversubscribed(ops):
+    """Interdomain links are 155 Mb/s; whatever mix of reservations and
+    cancellations happens, the booked load never exceeds capacity in any
+    domain at any time."""
+    tb = build_linear_testbed(["A", "B", "C"], hosts_per_domain=1)
+    alice = tb.add_user("A", "Alice")
+    live = []
+    for op, rate, start, duration in ops:
+        if op == "reserve":
+            outcome = tb.reserve(
+                alice, source="A", destination="C", bandwidth_mbps=rate,
+                start=start, duration=duration,
+            )
+            if outcome.granted:
+                live.append(outcome)
+        elif live:
+            idx = int(rate) % len(live)
+            tb.hop_by_hop.cancel(live.pop(idx))
+    for broker in tb.brokers.values():
+        for name in broker.admission.resources():
+            schedule = broker.admission.schedule(name)
+            for booking in schedule.bookings:
+                assert schedule.load_at(booking.start) <= schedule.capacity_mbps + 1e-6
+
+
+# ---------------------------------------------------------------------------
+# Signalling outcome consistency under random rates.
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=30, deadline=None)
+@given(st.floats(min_value=0.1, max_value=400.0))
+def test_outcome_consistency_property(rate):
+    """Granted iff every domain holds a handle; denied iff a reason and a
+    denial domain are present; the two are mutually exclusive."""
+    tb = build_linear_testbed(["A", "B", "C"], hosts_per_domain=1)
+    alice = tb.add_user("A", "Alice")
+    outcome = tb.reserve(
+        alice, source="A", destination="C", bandwidth_mbps=rate
+    )
+    if outcome.granted:
+        assert set(outcome.handles) == {"A", "B", "C"}
+        assert outcome.denial_domain is None
+        for domain, handle in outcome.handles.items():
+            assert tb.brokers[domain].validate_handle(handle)
+    else:
+        assert outcome.denial_domain is not None
+        assert outcome.denial_reason
+        # No capacity left booked anywhere.
+        for broker in tb.brokers.values():
+            for name in broker.admission.resources():
+                assert broker.admission.schedule(name).load_at(1.0) == 0.0

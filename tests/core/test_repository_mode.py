@@ -1,0 +1,102 @@
+"""Protocol-level tests of repository-based key distribution
+(§6.4 alternative 2 driven through the full hop-by-hop engine)."""
+
+import pytest
+
+from repro.core.testbed import build_linear_testbed
+from repro.crypto.repository import CertificateRepository
+
+
+def make_repo_testbed(domains=("A", "B", "C"), *, publish=True):
+    tb = build_linear_testbed(list(domains))
+    repo = CertificateRepository(lookup_latency_s=0.002)
+    tb.hop_by_hop.repository = repo
+    if publish:
+        for bb in tb.brokers.values():
+            repo.publish(bb.certificate)
+    return tb, repo
+
+
+class TestRepositoryMode:
+    def test_reservation_via_repository(self):
+        tb, repo = make_repo_testbed()
+        alice = tb.add_user("A", "Alice")
+        repo.publish(alice.certificate)
+        outcome = tb.reserve(
+            alice, source="A", destination="C", bandwidth_mbps=10.0
+        )
+        assert outcome.granted, outcome.denial_reason
+        # B resolves Alice (1); C resolves BB-A and Alice (2).
+        assert outcome.repository_lookups == 3
+        assert repo.queries == 3
+
+    def test_no_certificates_on_the_wire(self):
+        tb, repo = make_repo_testbed()
+        alice = tb.add_user("A", "Alice")
+        repo.publish(alice.certificate)
+        outcome = tb.reserve(
+            alice, source="A", destination="C", bandwidth_mbps=10.0
+        )
+        layers = []
+        from repro.core.messages import F_INTRODUCED_CERT, unwrap_rar_layers
+
+        for layer in unwrap_rar_layers(outcome.final_rar):
+            layers.append(layer.get(F_INTRODUCED_CERT))
+        assert all(cert is None for cert in layers)
+
+    def test_smaller_messages_than_introduction_mode(self):
+        tb_repo, repo = make_repo_testbed()
+        alice_r = tb_repo.add_user("A", "Alice")
+        repo.publish(alice_r.certificate)
+        with_repo = tb_repo.reserve(
+            alice_r, source="A", destination="C", bandwidth_mbps=10.0
+        )
+
+        tb_intro = build_linear_testbed(["A", "B", "C"])
+        alice_i = tb_intro.add_user("A", "Alice")
+        with_intro = tb_intro.reserve(
+            alice_i, source="A", destination="C", bandwidth_mbps=10.0
+        )
+        assert with_repo.granted and with_intro.granted
+        assert with_repo.bytes < with_intro.bytes
+        # The paper's trade: smaller messages, but extra lookup latency.
+        assert with_repo.repository_lookups > 0
+        assert with_intro.repository_lookups == 0
+
+    def test_unpublished_user_denied(self):
+        tb, repo = make_repo_testbed()
+        alice = tb.add_user("A", "Alice")  # never published
+        outcome = tb.reserve(
+            alice, source="A", destination="C", bandwidth_mbps=10.0
+        )
+        assert not outcome.granted
+        # The first domain that must resolve Alice from the repository is B.
+        assert outcome.denial_domain == "B"
+        assert "no certificate" in outcome.denial_reason
+
+    def test_lookup_latency_accounted(self):
+        tb, repo = make_repo_testbed()
+        alice = tb.add_user("A", "Alice")
+        repo.publish(alice.certificate)
+        outcome = tb.reserve(
+            alice, source="A", destination="C", bandwidth_mbps=10.0
+        )
+        base = 0.022 + 0.003  # channel RTTs + processing (see C1 model)
+        assert outcome.latency_s == pytest.approx(base + 3 * 0.002)
+
+    def test_capabilities_still_work(self):
+        tb, repo = make_repo_testbed()
+        cas = tb.add_cas("ESnet")
+        alice = tb.add_user("A", "Alice")
+        repo.publish(alice.certificate)
+        cas.grant(alice.dn, ["member"])
+        alice.grid_login(cas, validity_s=10 * 24 * 3600.0)
+        tb.set_policy(
+            "C",
+            "If Issued_by(Capability) = ESnet\n    Return GRANT\nReturn DENY",
+        )
+        outcome = tb.reserve(
+            alice, source="A", destination="C", bandwidth_mbps=10.0
+        )
+        assert outcome.granted, outcome.denial_reason
+        assert outcome.delegation is not None

@@ -1,0 +1,113 @@
+"""Tests for distinguished names."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.dn import DN, DistinguishedName
+from repro.errors import CryptoError
+
+
+class TestParsing:
+    def test_parse_basic(self):
+        dn = DN.parse("/O=Grid/OU=DomainA/CN=BB-A")
+        assert dn.rdns == (("O", "Grid"), ("OU", "DomainA"), ("CN", "BB-A"))
+
+    def test_parse_lowercase_attrs_normalized(self):
+        assert DN.parse("/o=Grid/cn=Alice") == DN.parse("/O=Grid/CN=Alice")
+
+    def test_str_roundtrip(self):
+        text = "/O=Grid/OU=DomainB/CN=BB-B"
+        assert str(DN.parse(text)) == text
+
+    def test_parse_requires_leading_slash(self):
+        with pytest.raises(CryptoError):
+            DN.parse("O=Grid/CN=Alice")
+
+    def test_parse_rejects_missing_equals(self):
+        with pytest.raises(CryptoError):
+            DN.parse("/O=Grid/Alice")
+
+    def test_parse_rejects_empty(self):
+        with pytest.raises(CryptoError):
+            DN.parse("/")
+
+    def test_unknown_attribute_rejected(self):
+        with pytest.raises(CryptoError):
+            DN.parse("/XX=zap")
+
+    def test_value_with_slash_rejected(self):
+        with pytest.raises(CryptoError):
+            DistinguishedName((("CN", "a/b"),))
+
+    def test_empty_value_rejected(self):
+        with pytest.raises(CryptoError):
+            DistinguishedName((("CN", ""),))
+
+    def test_empty_rdns_rejected(self):
+        with pytest.raises(CryptoError):
+            DistinguishedName(())
+
+
+class TestAccessors:
+    def test_make(self):
+        dn = DN.make("Grid", "DomainA", "Alice")
+        assert dn.organization == "Grid"
+        assert dn.get("OU") == "DomainA"
+        assert dn.common_name == "Alice"
+
+    def test_make_partial(self):
+        dn = DN.make("Grid")
+        assert dn.common_name is None
+
+    def test_get_case_insensitive(self):
+        dn = DN.make("Grid", common_name="Alice")
+        assert dn.get("cn") == "Alice"
+
+    def test_get_missing(self):
+        assert DN.make("Grid").get("OU") is None
+
+    def test_with_cn_replaces(self):
+        dn = DN.make("Grid", "DomainA", "Alice")
+        tagged = dn.with_cn("Alice (capability)")
+        assert tagged.common_name == "Alice (capability)"
+        assert tagged.organization == "Grid"
+        assert dn.common_name == "Alice"  # original untouched
+
+    def test_with_cn_appends_when_absent(self):
+        dn = DN.make("Grid")
+        assert dn.with_cn("X").common_name == "X"
+
+    def test_descendant(self):
+        root = DN.parse("/O=Grid")
+        child = DN.parse("/O=Grid/OU=DomainA")
+        assert child.is_descendant_of(root)
+        assert not root.is_descendant_of(child)
+        assert not child.is_descendant_of(child)
+
+
+class TestEqualityOrdering:
+    def test_hashable(self):
+        assert len({DN.make("Grid", "A"), DN.make("Grid", "A")}) == 1
+
+    def test_ordering_total(self):
+        a = DN.make("Grid", "A")
+        b = DN.make("Grid", "B")
+        assert a < b or b < a
+
+    def test_cbe_stable(self):
+        dn = DN.make("Grid", "A", "Alice")
+        assert dn.to_cbe() == [["O", "Grid"], ["OU", "A"], ["CN", "Alice"]]
+
+
+_names = st.text(
+    alphabet=st.characters(whitelist_categories=("Lu", "Ll", "Nd"), max_codepoint=127),
+    min_size=1,
+    max_size=12,
+)
+
+
+@given(_names, _names, _names)
+def test_parse_format_roundtrip_property(org, unit, cn):
+    dn = DN.make(org, unit, cn)
+    assert DN.parse(str(dn)) == dn

@@ -1,0 +1,166 @@
+"""Tests for key pairs and signature schemes (RSA + simulated)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.keys import (
+    PrivateKey,
+    RSAScheme,
+    SimulatedScheme,
+    _is_probable_prime,
+    get_scheme,
+    register_scheme,
+)
+from repro.errors import CryptoError
+
+
+class TestMillerRabin:
+    def test_small_primes(self, rng):
+        for p in [2, 3, 5, 7, 11, 101, 7919]:
+            assert _is_probable_prime(p, rng)
+
+    def test_small_composites(self, rng):
+        for c in [0, 1, 4, 9, 100, 7917, 561, 1105]:  # incl. Carmichael numbers
+            assert not _is_probable_prime(c, rng)
+
+    def test_large_known_prime(self, rng):
+        # 2^89 - 1 is a Mersenne prime.
+        assert _is_probable_prime(2**89 - 1, rng)
+
+    def test_large_known_composite(self, rng):
+        assert not _is_probable_prime((2**89 - 1) * (2**61 - 1), rng)
+
+
+class TestRSA:
+    def test_sign_verify_roundtrip(self, rsa512, keypool):
+        kp = keypool[0]
+        sig = rsa512.sign(kp.private, b"hello world")
+        assert rsa512.verify(kp.public, b"hello world", sig)
+
+    def test_tampered_message_rejected(self, rsa512, keypool):
+        kp = keypool[0]
+        sig = rsa512.sign(kp.private, b"hello world")
+        assert not rsa512.verify(kp.public, b"hello worlD", sig)
+
+    def test_wrong_key_rejected(self, rsa512, keypool):
+        sig = rsa512.sign(keypool[0].private, b"msg")
+        assert not rsa512.verify(keypool[1].public, b"msg", sig)
+
+    def test_tampered_signature_rejected(self, rsa512, keypool):
+        kp = keypool[0]
+        sig = bytearray(rsa512.sign(kp.private, b"msg"))
+        sig[0] ^= 0xFF
+        assert not rsa512.verify(kp.public, b"msg", bytes(sig))
+
+    def test_empty_signature_rejected(self, rsa512, keypool):
+        assert not rsa512.verify(keypool[0].public, b"msg", b"")
+
+    def test_signature_out_of_range_rejected(self, rsa512, keypool):
+        n = keypool[0].public.material[0]
+        too_big = n.to_bytes((n.bit_length() + 7) // 8 + 1, "big")
+        assert not rsa512.verify(keypool[0].public, b"msg", too_big)
+
+    def test_keygen_deterministic_from_seed(self, rsa512):
+        a = rsa512.generate(random.Random(7))
+        b = rsa512.generate(random.Random(7))
+        assert a.public == b.public
+        assert a.private == b.private
+
+    def test_distinct_seeds_distinct_keys(self, rsa512):
+        a = rsa512.generate(random.Random(7))
+        b = rsa512.generate(random.Random(8))
+        assert a.public != b.public
+
+    def test_modulus_bit_length(self, rsa512, keypool):
+        n = keypool[0].public.material[0]
+        assert n.bit_length() in (511, 512)
+
+    def test_minimum_bits_enforced(self):
+        with pytest.raises(CryptoError):
+            RSAScheme(bits=128)
+
+    def test_scheme_mismatch_on_sign(self, rsa512):
+        fake = PrivateKey("simulated", ("seed",))
+        with pytest.raises(CryptoError):
+            rsa512.sign(fake, b"msg")
+
+    def test_scheme_mismatch_on_verify(self, rsa512, simulated, rng):
+        kp = simulated.generate(rng)
+        assert not rsa512.verify(kp.public, b"msg", b"sig")
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.binary(max_size=200))
+    def test_roundtrip_property(self, message):
+        scheme = RSAScheme(bits=512)
+        kp = scheme.generate(random.Random(42))
+        sig = scheme.sign(kp.private, message)
+        assert scheme.verify(kp.public, message, sig)
+        assert not scheme.verify(kp.public, message + b"x", sig)
+
+
+class TestSimulated:
+    def test_roundtrip(self, simulated, rng):
+        kp = simulated.generate(rng)
+        sig = simulated.sign(kp.private, b"payload")
+        assert simulated.verify(kp.public, b"payload", sig)
+
+    def test_tamper_detected(self, simulated, rng):
+        kp = simulated.generate(rng)
+        sig = simulated.sign(kp.private, b"payload")
+        assert not simulated.verify(kp.public, b"payloae", sig)
+
+    def test_wrong_key_detected(self, simulated, rng):
+        a = simulated.generate(rng)
+        b = simulated.generate(rng)
+        sig = simulated.sign(a.private, b"payload")
+        assert not simulated.verify(b.public, b"payload", sig)
+
+    def test_marked_insecure(self, simulated):
+        assert simulated.secure is False
+
+    def test_rsa_marked_secure(self, rsa512):
+        assert rsa512.secure is True
+
+
+class TestRegistry:
+    def test_builtin_schemes_present(self):
+        assert get_scheme("rsa").name == "rsa"
+        assert get_scheme("simulated").name == "simulated"
+
+    def test_unknown_scheme(self):
+        with pytest.raises(CryptoError):
+            get_scheme("dsa")
+
+    def test_register_custom(self):
+        class Null:
+            name = "null-test"
+            secure = False
+
+            def generate(self, rng):  # pragma: no cover
+                raise NotImplementedError
+
+            def sign(self, private, message):  # pragma: no cover
+                return b""
+
+            def verify(self, public, message, signature):  # pragma: no cover
+                return True
+
+        register_scheme(Null())
+        assert get_scheme("null-test").name == "null-test"
+
+
+class TestKeyIdentity:
+    def test_key_id_stable(self, keypool):
+        pub = keypool[0].public
+        assert pub.key_id == keypool[0].public.key_id
+        assert len(pub.key_id) == 16
+
+    def test_key_id_distinct(self, keypool):
+        assert keypool[0].public.key_id != keypool[1].public.key_id
+
+    def test_private_repr_hides_material(self, keypool):
+        assert "secret" in repr(keypool[0].private)
+        assert str(keypool[0].private.material[1]) not in repr(keypool[0].private)

@@ -1,0 +1,118 @@
+"""Tests for trust stores and trust policy."""
+
+import random
+
+import pytest
+
+from repro.crypto.dn import DN
+from repro.crypto.keys import SimulatedScheme
+from repro.crypto.truststore import TrustPolicy, TrustStore
+from repro.crypto.x509 import CertificateAuthority, sign_certificate
+from repro.errors import CertificateError, UntrustedIssuerError
+
+
+@pytest.fixture()
+def ca():
+    return CertificateAuthority(
+        DN.make("Grid", "DomainA", "CA"), rng=random.Random(3), scheme="simulated"
+    )
+
+
+@pytest.fixture()
+def foreign_ca():
+    return CertificateAuthority(
+        DN.make("Grid", "DomainZ", "CA"), rng=random.Random(4), scheme="simulated"
+    )
+
+
+class TestAnchorsAndPeers:
+    def test_anchor_accepted(self, ca):
+        store = TrustStore()
+        store.add_anchor(ca.certificate)
+        assert store.is_anchor(ca.certificate)
+        assert store.accepts_directly(ca.certificate)
+
+    def test_ca_issued_leaf_accepted(self, ca):
+        store = TrustStore()
+        store.add_anchor(ca.certificate)
+        _, cert = ca.issue_keypair(DN.make("Grid", "DomainA", "BB-A"))
+        assert store.accepts_directly(cert)
+
+    def test_foreign_leaf_rejected(self, ca, foreign_ca):
+        store = TrustStore()
+        store.add_anchor(ca.certificate)
+        _, cert = foreign_ca.issue_keypair(DN.make("Grid", "DomainZ", "BB-Z"))
+        assert not store.accepts_directly(cert)
+
+    def test_peer_requires_anchored_issuer(self, ca, foreign_ca):
+        store = TrustStore()
+        store.add_anchor(ca.certificate)
+        _, cert = foreign_ca.issue_keypair(DN.make("Grid", "DomainZ", "BB-Z"))
+        with pytest.raises(UntrustedIssuerError):
+            store.add_peer(cert)
+
+    def test_peer_with_bad_signature_rejected(self, ca, foreign_ca):
+        store = TrustStore()
+        store.add_anchor(ca.certificate)
+        # Claims ca as issuer but signed by the foreign CA's key.
+        forged = sign_certificate(
+            serial=1,
+            issuer=ca.name,
+            subject=DN.make("Grid", "DomainA", "forged"),
+            public_key=foreign_ca.keypair.public,
+            signing_key=foreign_ca.keypair.private,
+        )
+        with pytest.raises(CertificateError):
+            store.add_peer(forged)
+
+    def test_peer_without_ca_check(self, foreign_ca):
+        policy = TrustPolicy(require_ca_issued_peers=False)
+        store = TrustStore(policy)
+        _, cert = foreign_ca.issue_keypair(DN.make("Grid", "DomainZ", "BB-Z"))
+        store.add_peer(cert)
+        assert store.is_direct_peer(cert)
+        assert store.accepts_directly(cert)
+
+    def test_peer_lookup_by_dn(self, ca):
+        store = TrustStore()
+        store.add_anchor(ca.certificate)
+        _, cert = ca.issue_keypair(DN.make("Grid", "DomainA", "BB-A"))
+        store.add_peer(cert)
+        assert store.peer_certificate(cert.subject) is cert
+        assert store.peer_certificate(DN.make("Grid", "X", "nope")) is None
+
+    def test_different_cert_same_dn_not_direct_peer(self, ca):
+        store = TrustStore()
+        store.add_anchor(ca.certificate)
+        _, cert1 = ca.issue_keypair(DN.make("Grid", "DomainA", "BB-A"))
+        _, cert2 = ca.issue_keypair(DN.make("Grid", "DomainA", "BB-A"))
+        store.add_peer(cert1)
+        assert not store.is_direct_peer(cert2)
+
+    def test_expired_cert_not_accepted(self, ca):
+        store = TrustStore()
+        store.add_anchor(ca.certificate)
+        _, cert = ca.issue_keypair(
+            DN.make("Grid", "DomainA", "short"), not_before=0.0, not_after=10.0
+        )
+        assert store.accepts_directly(cert, at_time=5.0)
+        assert not store.accepts_directly(cert, at_time=50.0)
+
+
+class TestPolicy:
+    def test_depth_policy(self):
+        store = TrustStore(TrustPolicy(max_introduction_depth=2))
+        assert store.depth_acceptable(0)
+        assert store.depth_acceptable(2)
+        assert not store.depth_acceptable(3)
+
+    def test_scheme_policy_permissive(self, rng):
+        store = TrustStore(TrustPolicy(require_secure_scheme=False))
+        kp = SimulatedScheme().generate(rng)
+        assert store.scheme_acceptable(kp.public)
+
+    def test_scheme_policy_strict(self, rng, keypool):
+        store = TrustStore(TrustPolicy(require_secure_scheme=True))
+        sim = SimulatedScheme().generate(rng)
+        assert not store.scheme_acceptable(sim.public)
+        assert store.scheme_acceptable(keypool[0].public)

@@ -1,0 +1,224 @@
+"""Tests for X.509-style certificates, CAs, chains, and revocation."""
+
+import random
+
+import pytest
+
+from repro.crypto.dn import DN
+from repro.crypto.x509 import (
+    Certificate,
+    CertificateAuthority,
+    sign_certificate,
+    verify_chain,
+)
+from repro.errors import (
+    CertificateError,
+    CertificateExpiredError,
+    CertificateRevokedError,
+    SignatureError,
+    UntrustedIssuerError,
+)
+
+
+@pytest.fixture(scope="module")
+def ca():
+    return CertificateAuthority(
+        DN.make("Grid", "DomainA", "CA-A"), rng=random.Random(5), scheme="simulated"
+    )
+
+
+@pytest.fixture(scope="module")
+def other_ca():
+    return CertificateAuthority(
+        DN.make("Grid", "DomainB", "CA-B"), rng=random.Random(6), scheme="simulated"
+    )
+
+
+class TestIssuance:
+    def test_self_certificate_is_self_signed(self, ca):
+        cert = ca.certificate
+        assert cert.issuer == cert.subject == ca.name
+        assert cert.verify_signature(ca.keypair.public)
+        assert cert.is_ca
+
+    def test_issue_binds_subject_and_key(self, ca):
+        kp, cert = ca.issue_keypair(DN.make("Grid", "DomainA", "BB-A"))
+        assert cert.subject.common_name == "BB-A"
+        assert cert.public_key == kp.public
+        assert cert.issuer == ca.name
+        assert not cert.is_ca
+
+    def test_issue_string_subject(self, ca):
+        _, cert = ca.issue_keypair("/O=Grid/CN=Alice")
+        assert cert.subject == DN.parse("/O=Grid/CN=Alice")
+
+    def test_serials_unique(self, ca):
+        _, c1 = ca.issue_keypair(DN.make("Grid", "DomainA", "x1"))
+        _, c2 = ca.issue_keypair(DN.make("Grid", "DomainA", "x2"))
+        assert c1.serial != c2.serial
+
+    def test_signature_verifies_under_ca(self, ca):
+        _, cert = ca.issue_keypair(DN.make("Grid", "DomainA", "svc"))
+        assert cert.verify_signature(ca.keypair.public)
+
+    def test_signature_fails_under_other_ca(self, ca, other_ca):
+        _, cert = ca.issue_keypair(DN.make("Grid", "DomainA", "svc"))
+        assert not cert.verify_signature(other_ca.keypair.public)
+
+    def test_tampered_subject_fails(self, ca):
+        _, cert = ca.issue_keypair(DN.make("Grid", "DomainA", "victim"))
+        forged = cert.with_tampered_subject(DN.make("Grid", "DomainA", "mallory"))
+        assert not forged.verify_signature(ca.keypair.public)
+
+    def test_extension_lookup(self, ca):
+        _, cert = ca.issue_keypair(
+            DN.make("Grid", "DomainA", "e"), extensions={"color": "blue"}
+        )
+        assert cert.extension("color") == "blue"
+        assert cert.extension("missing", 42) == 42
+
+    def test_bad_validity_window_rejected(self, ca):
+        with pytest.raises(CertificateError):
+            sign_certificate(
+                serial=1,
+                issuer=ca.name,
+                subject=DN.make("Grid", "DomainA", "x"),
+                public_key=ca.keypair.public,
+                signing_key=ca.keypair.private,
+                not_before=10.0,
+                not_after=5.0,
+            )
+
+    def test_fingerprint_distinct(self, ca):
+        _, c1 = ca.issue_keypair(DN.make("Grid", "DomainA", "f1"))
+        _, c2 = ca.issue_keypair(DN.make("Grid", "DomainA", "f2"))
+        assert c1.fingerprint != c2.fingerprint
+
+
+class TestValidity:
+    def test_window(self, ca):
+        _, cert = ca.issue_keypair(
+            DN.make("Grid", "DomainA", "w"), not_before=100.0, not_after=200.0
+        )
+        assert not cert.valid_at(99.0)
+        assert cert.valid_at(100.0)
+        assert cert.valid_at(200.0)
+        assert not cert.valid_at(201.0)
+
+    def test_check_validity_raises(self, ca):
+        _, cert = ca.issue_keypair(
+            DN.make("Grid", "DomainA", "w2"), not_before=100.0, not_after=200.0
+        )
+        with pytest.raises(CertificateExpiredError):
+            cert.check_validity(250.0)
+
+
+class TestRevocation:
+    def test_revoke_and_check(self):
+        ca = CertificateAuthority(
+            DN.make("Grid", "DomainR", "CA"), rng=random.Random(9), scheme="simulated"
+        )
+        _, cert = ca.issue_keypair(DN.make("Grid", "DomainR", "r"))
+        assert not ca.is_revoked(cert)
+        ca.revoke(cert.serial)
+        assert ca.is_revoked(cert)
+        assert cert.serial in ca.crl
+
+    def test_revoke_unknown_serial(self, ca):
+        with pytest.raises(CertificateError):
+            ca.revoke(999999)
+
+    def test_foreign_cert_not_revoked(self, ca, other_ca):
+        _, cert = other_ca.issue_keypair(DN.make("Grid", "DomainB", "f"))
+        assert not ca.is_revoked(cert)
+
+
+class TestChains:
+    def test_direct_anchor(self, ca):
+        _, cert = ca.issue_keypair(DN.make("Grid", "DomainA", "leaf"))
+        assert verify_chain([cert], [ca.certificate]) is cert
+
+    def test_leaf_is_anchor(self, ca):
+        assert verify_chain([ca.certificate], [ca.certificate]) is ca.certificate
+
+    def test_intermediate_chain(self, ca):
+        # ca -> intermediate CA -> leaf
+        inter_kp, inter_cert = ca.issue_keypair(
+            DN.make("Grid", "DomainA", "Inter"), is_ca=True
+        )
+        leaf_cert = sign_certificate(
+            serial=77,
+            issuer=inter_cert.subject,
+            subject=DN.make("Grid", "DomainA", "deep-leaf"),
+            public_key=ca.keypair.public,  # any key will do for the test
+            signing_key=inter_kp.private,
+        )
+        assert verify_chain([leaf_cert, inter_cert], [ca.certificate])
+
+    def test_intermediate_without_ca_bit_rejected(self, ca):
+        inter_kp, inter_cert = ca.issue_keypair(DN.make("Grid", "DomainA", "NotCA"))
+        leaf_cert = sign_certificate(
+            serial=78,
+            issuer=inter_cert.subject,
+            subject=DN.make("Grid", "DomainA", "leaf2"),
+            public_key=ca.keypair.public,
+            signing_key=inter_kp.private,
+        )
+        with pytest.raises(CertificateError, match="CA bit"):
+            verify_chain([leaf_cert, inter_cert], [ca.certificate])
+
+    def test_untrusted_issuer(self, ca, other_ca):
+        _, cert = other_ca.issue_keypair(DN.make("Grid", "DomainB", "leaf"))
+        with pytest.raises(UntrustedIssuerError):
+            verify_chain([cert], [ca.certificate])
+
+    def test_chain_break_detected(self, ca, other_ca):
+        _, leaf = ca.issue_keypair(DN.make("Grid", "DomainA", "leafX"))
+        with pytest.raises(CertificateError, match="chain break"):
+            verify_chain([leaf, other_ca.certificate], [other_ca.certificate])
+
+    def test_bad_signature_in_chain(self, ca, other_ca):
+        # Certificate claims ca as issuer but is signed by other_ca's key.
+        forged = sign_certificate(
+            serial=80,
+            issuer=ca.name,
+            subject=DN.make("Grid", "DomainA", "forged"),
+            public_key=other_ca.keypair.public,
+            signing_key=other_ca.keypair.private,
+        )
+        with pytest.raises(SignatureError):
+            verify_chain([forged, ca.certificate], [ca.certificate])
+
+    def test_expired_leaf(self, ca):
+        _, cert = ca.issue_keypair(
+            DN.make("Grid", "DomainA", "exp"), not_before=0.0, not_after=10.0
+        )
+        with pytest.raises(CertificateExpiredError):
+            verify_chain([cert], [ca.certificate], at_time=11.0)
+
+    def test_revoked_leaf(self):
+        ca = CertificateAuthority(
+            DN.make("Grid", "DomainZ", "CA"), rng=random.Random(11), scheme="simulated"
+        )
+        _, cert = ca.issue_keypair(DN.make("Grid", "DomainZ", "rv"))
+        ca.revoke(cert.serial)
+        with pytest.raises(CertificateRevokedError):
+            verify_chain([cert], [ca.certificate], revocation_checker=ca.is_revoked)
+
+    def test_empty_chain(self, ca):
+        with pytest.raises(CertificateError):
+            verify_chain([], [ca.certificate])
+
+    def test_max_length(self, ca):
+        certs = [ca.certificate] * 9
+        with pytest.raises(CertificateError, match="length"):
+            verify_chain(certs, [ca.certificate])
+
+
+class TestRSACertificates:
+    def test_rsa_issue_and_verify(self, keypool):
+        ca_dn = DN.make("Grid", "DomainA", "CA-RSA")
+        ca = CertificateAuthority(ca_dn, keypair=keypool[0], scheme="rsa")
+        _, cert = ca.issue_keypair(DN.make("Grid", "DomainA", "svc"), rng=random.Random(1))
+        assert cert.verify_signature(keypool[0].public)
+        assert verify_chain([cert], [ca.certificate])

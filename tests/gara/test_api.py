@@ -1,0 +1,184 @@
+"""Tests for the uniform GARA API and co-reservation (Figures 5/6)."""
+
+import pytest
+
+from repro.core.testbed import build_linear_testbed
+from repro.errors import CoReservationError, GaraError, UnknownReservationError
+from repro.gara.api import GaraAPI, ResourceSpec
+from repro.gara.coreservation import CoReservationAgent
+from repro.gara.resources import CPUManager, DiskManager
+
+
+@pytest.fixture()
+def testbed():
+    return build_linear_testbed(["A", "B", "C"])
+
+
+@pytest.fixture()
+def api(testbed):
+    api = GaraAPI(testbed.hop_by_hop)
+    api.register_cpu_manager(CPUManager("cluster-C", 64.0, domain="C"))
+    api.register_disk_manager(DiskManager("raid-C", 400.0, domain="C"))
+    return api
+
+
+@pytest.fixture()
+def alice(testbed):
+    return testbed.add_user("A", "Alice")
+
+
+def network_spec(**kwargs):
+    defaults = dict(
+        source_host="h0.A",
+        destination_host="h0.C",
+        source_domain="A",
+        destination_domain="C",
+        rate_mbps=10.0,
+        start=0.0,
+        end=3600.0,
+    )
+    defaults.update(kwargs)
+    return ResourceSpec.make("network", **defaults)
+
+
+class TestResourceSpec:
+    def test_make_and_params(self):
+        spec = ResourceSpec.make("cpu", domain="C", cpus=8.0, start=0.0, end=10.0)
+        assert spec.param("cpus") == 8.0
+        assert spec.param("missing", 1) == 1
+        assert spec.as_dict()["domain"] == "C"
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(GaraError):
+            ResourceSpec.make("gpu", domain="C")
+
+
+class TestUniformAPI:
+    def test_network_reservation(self, api, alice):
+        resv = api.reserve(alice, network_spec())
+        assert resv.resource_type == "network"
+        assert set(resv.backend_handles) == {"A", "B", "C"}
+        assert api.status(resv.handle) == "granted"
+
+    def test_cpu_reservation(self, api, alice):
+        spec = ResourceSpec.make("cpu", domain="C", cpus=16.0, start=0.0, end=3600.0)
+        resv = api.reserve(alice, spec)
+        assert resv.resource_type == "cpu"
+        assert api.cpu_manager("C").available(0.0, 3600.0) == 48.0
+
+    def test_disk_reservation(self, api, alice):
+        spec = ResourceSpec.make(
+            "disk", domain="C", bandwidth_mbs=100.0, start=0.0, end=3600.0
+        )
+        resv = api.reserve(alice, spec)
+        assert resv.resource_type == "disk"
+
+    def test_network_denial_raises_with_reason(self, api, alice, testbed):
+        testbed.set_policy("B", "Return DENY")
+        with pytest.raises(GaraError, match="denied by B"):
+            api.reserve(alice, network_spec())
+
+    def test_claim_and_cancel_uniform(self, api, alice):
+        net = api.reserve(alice, network_spec())
+        cpu = api.reserve(
+            alice, ResourceSpec.make("cpu", domain="C", cpus=8.0, start=0.0, end=10.0)
+        )
+        for handle in (net.handle, cpu.handle):
+            api.claim(handle)
+            assert api.status(handle) == "active"
+            api.cancel(handle)
+            assert api.status(handle) == "cancelled"
+        with pytest.raises(GaraError):
+            api.cancel(net.handle)
+
+    def test_modify_cpu(self, api, alice):
+        cpu = api.reserve(
+            alice, ResourceSpec.make("cpu", domain="C", cpus=8.0, start=0.0, end=10.0)
+        )
+        api.modify(cpu.handle, cpus=16.0)
+        assert api.cpu_manager("C").available(0.0, 10.0) == 48.0
+
+    def test_modify_network_rejected(self, api, alice):
+        net = api.reserve(alice, network_spec())
+        with pytest.raises(GaraError, match="cancel"):
+            api.modify(net.handle, rate_mbps=20.0)
+
+    def test_unknown_handle(self, api):
+        with pytest.raises(UnknownReservationError):
+            api.get("GARA-99999")
+
+    def test_duplicate_manager_rejected(self, api):
+        with pytest.raises(GaraError):
+            api.register_cpu_manager(CPUManager("other", 4.0, domain="C"))
+
+    def test_network_handle_lookup(self, api, alice):
+        net = api.reserve(alice, network_spec())
+        assert api.network_handle(net.handle, "B").startswith("RES-B-")
+        with pytest.raises(GaraError):
+            api.network_handle(net.handle, "Z")
+
+
+class TestCoReservation:
+    """The Figure 5 scenario: network A->C coupled with CPUs in C."""
+
+    CPU_POLICY_C = (
+        "If HasValidCPUResv(RAR)\n    Return GRANT\nReturn DENY"
+    )
+
+    def test_coupled_reservation_with_policy(self, api, alice, testbed):
+        # C only grants network bandwidth to requests with a valid CPU resv.
+        testbed.set_policy("C", self.CPU_POLICY_C)
+        agent = CoReservationAgent(api)
+        bundle = agent.reserve_all(
+            alice,
+            [
+                ResourceSpec.make(
+                    "cpu", domain="C", cpus=16.0, start=0.0, end=3600.0
+                ),
+                network_spec(),
+            ],
+        )
+        assert len(bundle.reservations) == 2
+        net = bundle.by_type("network")[0]
+        assert net.outcome is not None and net.outcome.granted
+
+    def test_network_alone_denied_by_cpu_policy(self, api, alice, testbed):
+        testbed.set_policy("C", self.CPU_POLICY_C)
+        with pytest.raises(GaraError, match="denied by C"):
+            api.reserve(alice, network_spec())
+
+    def test_rollback_on_failure(self, api, alice, testbed):
+        testbed.set_policy("B", "Return DENY")
+        agent = CoReservationAgent(api)
+        with pytest.raises(CoReservationError):
+            agent.reserve_all(
+                alice,
+                [
+                    ResourceSpec.make(
+                        "cpu", domain="C", cpus=16.0, start=0.0, end=3600.0
+                    ),
+                    network_spec(),
+                ],
+            )
+        # The CPU reservation must have been rolled back.
+        assert api.cpu_manager("C").available(0.0, 3600.0) == 64.0
+
+    def test_claim_all(self, api, alice):
+        agent = CoReservationAgent(api)
+        bundle = agent.reserve_all(
+            alice,
+            [
+                ResourceSpec.make("cpu", domain="C", cpus=8.0, start=0.0, end=10.0),
+                network_spec(),
+            ],
+        )
+        agent.claim_all(bundle)
+        for resv in bundle.reservations:
+            assert api.status(resv.handle) == "active"
+        agent.release_all(bundle)
+        for resv in bundle.reservations:
+            assert api.status(resv.handle) == "cancelled"
+
+    def test_empty_specs_rejected(self, api, alice):
+        with pytest.raises(CoReservationError):
+            CoReservationAgent(api).reserve_all(alice, [])

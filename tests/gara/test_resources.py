@@ -1,0 +1,84 @@
+"""Tests for CPU/disk slot managers."""
+
+import pytest
+
+from repro.crypto.dn import DN
+from repro.errors import (
+    CapacityExceededError,
+    GaraError,
+    ReservationStateError,
+    UnknownReservationError,
+)
+from repro.gara.resources import CPUManager, DiskManager
+
+ALICE = DN.make("Grid", "C", "Alice")
+
+
+@pytest.fixture()
+def cpus():
+    return CPUManager("cluster-C", 64.0, domain="C")
+
+
+class TestSlotManager:
+    def test_reserve_and_query(self, cpus):
+        resv = cpus.reserve(16.0, 0.0, 3600.0, owner=ALICE)
+        assert resv.state == "granted"
+        assert resv.handle.startswith("CPU-cluster-C-")
+        assert cpus.available(0.0, 3600.0) == 48.0
+        assert cpus.get(resv.handle) is resv
+
+    def test_capacity_enforced(self, cpus):
+        cpus.reserve(60.0, 0.0, 100.0)
+        with pytest.raises(CapacityExceededError):
+            cpus.reserve(10.0, 50.0, 80.0)
+        cpus.reserve(10.0, 100.0, 200.0)  # disjoint window fits
+
+    def test_claim_lifecycle(self, cpus):
+        resv = cpus.reserve(8.0, 0.0, 100.0)
+        cpus.claim(resv.handle)
+        assert resv.state == "active"
+        with pytest.raises(ReservationStateError):
+            cpus.claim(resv.handle)
+
+    def test_cancel_releases(self, cpus):
+        resv = cpus.reserve(64.0, 0.0, 100.0)
+        cpus.cancel(resv.handle)
+        assert cpus.available(0.0, 100.0) == 64.0
+        with pytest.raises(ReservationStateError):
+            cpus.cancel(resv.handle)
+
+    def test_modify_grow(self, cpus):
+        resv = cpus.reserve(16.0, 0.0, 100.0)
+        cpus.modify(resv.handle, amount=32.0)
+        assert resv.amount == 32.0
+        assert cpus.available(0.0, 100.0) == 32.0
+
+    def test_modify_failure_restores(self, cpus):
+        resv = cpus.reserve(16.0, 0.0, 100.0)
+        cpus.reserve(40.0, 0.0, 100.0)
+        with pytest.raises(CapacityExceededError):
+            cpus.modify(resv.handle, amount=32.0)
+        assert resv.amount == 16.0
+        assert cpus.available(0.0, 100.0) == pytest.approx(8.0)
+
+    def test_validation(self, cpus):
+        with pytest.raises(GaraError):
+            cpus.reserve(0.0, 0.0, 100.0)
+        with pytest.raises(GaraError):
+            cpus.reserve(1.0, 100.0, 100.0)
+        with pytest.raises(UnknownReservationError):
+            cpus.get("ghost")
+
+    def test_is_valid(self, cpus):
+        resv = cpus.reserve(8.0, 100.0, 200.0)
+        assert cpus.is_valid(resv.handle)
+        assert not cpus.is_valid(resv.handle, at_time=50.0)
+        assert cpus.is_valid(resv.handle, at_time=150.0)
+        cpus.cancel(resv.handle)
+        assert not cpus.is_valid(resv.handle)
+        assert not cpus.is_valid("ghost")
+
+    def test_disk_manager_kind(self):
+        disks = DiskManager("raid-C", 400.0, domain="C")
+        resv = disks.reserve(100.0, 0.0, 10.0)
+        assert resv.handle.startswith("DISK-raid-C-")

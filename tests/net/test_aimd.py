@@ -1,0 +1,95 @@
+"""Tests for the AIMD adaptive source."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.net.diffserv import NetworkModel, TrafficProfile
+from repro.net.flows import FlowSpec
+from repro.net.packet import DSCP
+from repro.net.simulator import Simulator
+from repro.net.topology import linear_domain_chain
+from repro.net.trafficgen import AIMDSource, CBRSource
+
+
+def make_model(inter=20.0):
+    topo = linear_domain_chain(["A", "B"], hosts_per_domain=2,
+                               inter_capacity_mbps=inter)
+    return NetworkModel(topo, Simulator())
+
+
+class TestAIMD:
+    def test_unconstrained_ramps_to_ceiling(self):
+        model = make_model(inter=1000.0)
+        src = AIMDSource(
+            model, FlowSpec("a", "h0.A", "h0.B", rate_mbps=10.0),
+            start_rate_mbps=1.0, stop_time=2.0,
+        )
+        src.start()
+        model.sim.run()
+        # No drops anywhere: additive increase reaches the 10 Mb/s cap.
+        assert src.rate_mbps == pytest.approx(10.0)
+        stats = model.stats_for("a")
+        assert stats.dropped_packets == 0
+
+    def test_backs_off_under_congestion(self):
+        model = make_model(inter=20.0)
+        src = AIMDSource(
+            model, FlowSpec("a", "h0.A", "h0.B", rate_mbps=100.0),
+            start_rate_mbps=80.0, stop_time=2.0,
+        )
+        src.start()
+        model.sim.run()
+        # The 20 Mb/s bottleneck forces multiplicative decreases: the
+        # final rate ends far below the ceiling, and the rate history
+        # shows at least one halving.
+        assert src.rate_mbps < 50.0
+        halvings = sum(
+            1 for (t1, r1), (t2, r2) in zip(src.rate_history,
+                                            src.rate_history[1:])
+            if r2 < r1 * 0.75
+        )
+        assert halvings >= 1
+
+    def test_adaptive_yields_to_reserved_ef(self):
+        """The [20] scenario: an EF reservation keeps its bandwidth; the
+        adaptive best-effort flow converges to roughly the leftover."""
+        model = make_model(inter=20.0)
+        model.install_flow_policer(
+            "core.A", "ef", TrafficProfile(12.0), mark=DSCP.EF
+        )
+        model.set_aggregate_rate("edge.B.left", DSCP.EF, 12.0)
+        CBRSource(
+            model, FlowSpec("ef", "h0.A", "h0.B", 11.0, dscp=DSCP.EF),
+            stop_time=4.0,
+        ).start()
+        aimd = AIMDSource(
+            model, FlowSpec("tcp", "h1.A", "h1.B", rate_mbps=40.0),
+            start_rate_mbps=20.0, stop_time=4.0,
+        )
+        aimd.start()
+        model.sim.run()
+        ef = model.stats_for("ef")
+        tcp = model.stats_for("tcp")
+        assert ef.delivery_ratio > 0.99  # priority untouched by the probe
+        # The adaptive flow's goodput sits near the ~9 Mb/s leftover, far
+        # below its 40 Mb/s ceiling.
+        goodput = tcp.goodput_mbps(4.0)
+        assert 3.0 < goodput < 14.0
+
+    def test_invalid_decrease_factor(self):
+        model = make_model()
+        with pytest.raises(SimulationError):
+            AIMDSource(
+                model, FlowSpec("a", "h0.A", "h0.B", 10.0),
+                decrease_factor=1.5,
+            )
+
+    def test_floor_respected(self):
+        model = make_model(inter=1.0)
+        src = AIMDSource(
+            model, FlowSpec("a", "h0.A", "h0.B", rate_mbps=50.0),
+            start_rate_mbps=50.0, floor_mbps=2.0, stop_time=2.0,
+        )
+        src.start()
+        model.sim.run()
+        assert min(r for _, r in src.rate_history) >= 2.0

@@ -1,0 +1,228 @@
+"""Integration tests for the DiffServ data plane."""
+
+import random
+
+import pytest
+
+from repro.errors import RoutingError, SimulationError
+from repro.net.diffserv import ExceedAction, NetworkModel, TrafficProfile
+from repro.net.flows import FlowSpec
+from repro.net.packet import DSCP, Packet
+from repro.net.simulator import Simulator
+from repro.net.topology import linear_domain_chain
+from repro.net.trafficgen import CBRSource, OnOffSource, PoissonSource
+
+
+def make_model(**kwargs):
+    topo = linear_domain_chain(["A", "B", "C"], hosts_per_domain=2, **kwargs)
+    return NetworkModel(topo, Simulator())
+
+
+def run_cbr(model, spec, duration=1.0, start=0.0):
+    CBRSource(model, spec, start_time=start, stop_time=start + duration).start()
+    model.sim.run()
+    return model.stats_for(spec.flow_id)
+
+
+class TestDelivery:
+    def test_cbr_flow_delivered(self):
+        model = make_model()
+        spec = FlowSpec("f1", "h0.A", "h0.C", rate_mbps=10.0)
+        stats = run_cbr(model, spec, duration=1.0)
+        assert stats.sent_packets > 0
+        assert stats.delivered_packets == stats.sent_packets
+        assert stats.loss_ratio == 0.0
+        assert stats.goodput_mbps(1.0) == pytest.approx(10.0, rel=0.05)
+
+    def test_delay_includes_propagation(self):
+        model = make_model()
+        spec = FlowSpec("f1", "h0.A", "h0.C", rate_mbps=1.0)
+        stats = run_cbr(model, spec, duration=0.1)
+        # Path: h-core-edge | edge-core-edge | edge-core-h: 4 intra (0.5ms)
+        # hops... at minimum the 2 inter-domain 5ms links dominate: > 10ms.
+        assert stats.mean_delay_s > 0.010
+
+    def test_intradomain_flow(self):
+        model = make_model()
+        spec = FlowSpec("f1", "h0.A", "h1.A", rate_mbps=5.0)
+        stats = run_cbr(model, spec, duration=0.5)
+        assert stats.delivered_packets == stats.sent_packets
+
+    def test_inject_from_router_rejected(self):
+        model = make_model()
+        pkt = Packet("f", "core.A", "h0.C", 1000)
+        with pytest.raises(RoutingError):
+            model.inject(pkt)
+
+
+class TestFirstHopPolicing:
+    def test_unreserved_ef_remarked_to_be(self):
+        model = make_model()
+        spec = FlowSpec("cheat", "h0.A", "h0.C", rate_mbps=5.0, dscp=DSCP.EF)
+        stats = run_cbr(model, spec, duration=0.2)
+        # Every packet downgraded at the first router.
+        assert stats.downgraded_packets == stats.sent_packets
+
+    def test_reserved_flow_marked_ef(self):
+        model = make_model()
+        model.install_flow_policer(
+            "core.A", "good", TrafficProfile(rate_mbps=10.0), mark=DSCP.EF
+        )
+        # Provision ingress aggregates downstream so EF survives.
+        model.set_aggregate_rate("edge.B.left", DSCP.EF, 10.0)
+        model.set_aggregate_rate("edge.C.left", DSCP.EF, 10.0)
+        spec = FlowSpec("good", "h0.A", "h0.C", rate_mbps=8.0, dscp=DSCP.EF)
+        stats = run_cbr(model, spec, duration=0.5)
+        assert stats.downgraded_packets == 0
+        assert stats.delivered_packets == stats.sent_packets
+        policer = model.flow_policer("core.A", "good")
+        assert policer.conformed == stats.sent_packets
+
+    def test_flow_exceeding_profile_downgraded(self):
+        model = make_model()
+        model.install_flow_policer(
+            "core.A",
+            "greedy",
+            TrafficProfile(rate_mbps=5.0, burst_bits=24_000),
+            mark=DSCP.EF,
+            exceed=ExceedAction.DOWNGRADE,
+        )
+        spec = FlowSpec("greedy", "h0.A", "h0.C", rate_mbps=10.0, dscp=DSCP.EF)
+        stats = run_cbr(model, spec, duration=1.0)
+        # Roughly half the traffic exceeds the 5 Mb/s profile.
+        assert stats.downgraded_packets > 0.3 * stats.sent_packets
+        assert stats.delivered_packets == stats.sent_packets  # downgraded, not lost
+
+    def test_flow_exceeding_profile_dropped(self):
+        model = make_model()
+        model.install_flow_policer(
+            "core.A",
+            "greedy",
+            TrafficProfile(rate_mbps=5.0, burst_bits=24_000),
+            mark=DSCP.EF,
+            exceed=ExceedAction.DROP,
+        )
+        spec = FlowSpec("greedy", "h0.A", "h0.C", rate_mbps=10.0, dscp=DSCP.EF)
+        stats = run_cbr(model, spec, duration=1.0)
+        assert stats.dropped_packets > 0.3 * stats.sent_packets
+        assert model.total_drops("flow-policer") == stats.dropped_packets
+
+    def test_remove_flow_policer(self):
+        model = make_model()
+        model.install_flow_policer("core.A", "f", TrafficProfile(1.0))
+        model.remove_flow_policer("core.A", "f")
+        assert model.flow_policer("core.A", "f") is None
+        with pytest.raises(SimulationError):
+            model.remove_flow_policer("core.A", "f")
+
+    def test_policer_on_host_rejected(self):
+        model = make_model()
+        with pytest.raises(RoutingError):
+            model.install_flow_policer("h0.A", "f", TrafficProfile(1.0))
+
+
+class TestIngressAggregatePolicing:
+    def test_unprovisioned_ingress_strips_marks(self):
+        model = make_model()
+        model.install_flow_policer("core.A", "f", TrafficProfile(10.0), mark=DSCP.EF)
+        spec = FlowSpec("f", "h0.A", "h0.C", rate_mbps=5.0, dscp=DSCP.EF)
+        stats = run_cbr(model, spec, duration=0.2)
+        # Stripped at edge.B.left (no aggregate provisioned there).
+        assert stats.downgraded_packets == stats.sent_packets
+
+    def test_aggregate_admits_within_rate(self):
+        model = make_model()
+        model.install_flow_policer("core.A", "f", TrafficProfile(10.0), mark=DSCP.EF)
+        model.set_aggregate_rate("edge.B.left", DSCP.EF, 10.0)
+        model.set_aggregate_rate("edge.C.left", DSCP.EF, 10.0)
+        spec = FlowSpec("f", "h0.A", "h0.C", rate_mbps=9.0, dscp=DSCP.EF)
+        stats = run_cbr(model, spec, duration=1.0)
+        assert stats.dropped_packets == 0
+        assert stats.downgraded_packets == 0
+
+    def test_aggregate_drops_excess(self):
+        """Two 10 Mb/s EF flows hit an ingress provisioned for 10 Mb/s:
+        about half the aggregate is dropped — the Figure 4 mechanism."""
+        model = make_model()
+        model.install_flow_policer("core.A", "alice", TrafficProfile(10.0), mark=DSCP.EF)
+        model.install_flow_policer("core.A", "david", TrafficProfile(10.0), mark=DSCP.EF)
+        model.set_aggregate_rate("edge.B.left", DSCP.EF, 20.0)
+        model.set_aggregate_rate("edge.C.left", DSCP.EF, 10.0)  # C expects only Alice
+        for seed, (fid, host) in enumerate([("alice", "h0.A"), ("david", "h1.A")]):
+            PoissonSource(
+                model,
+                FlowSpec(fid, host, "h0.C", rate_mbps=10.0, dscp=DSCP.EF),
+                rng=random.Random(seed),
+                stop_time=1.0,
+            ).start()
+        model.sim.run()
+        alice = model.stats_for("alice")
+        david = model.stats_for("david")
+        total_sent = alice.sent_packets + david.sent_packets
+        total_dropped = alice.dropped_packets + david.dropped_packets
+        assert total_dropped == pytest.approx(total_sent / 2, rel=0.25)
+        # Crucially, Alice suffers even though SHE reserved correctly.
+        assert alice.dropped_packets > 0.2 * alice.sent_packets
+
+    def test_aggregate_reconfigure(self):
+        model = make_model()
+        p1 = model.set_aggregate_rate("edge.B.left", DSCP.EF, 10.0)
+        p2 = model.set_aggregate_rate("edge.B.left", DSCP.EF, 20.0)
+        assert p1 is p2
+        assert p1.bucket.rate_bps == 20e6
+
+    def test_aggregate_on_core_router_rejected(self):
+        model = make_model()
+        with pytest.raises(RoutingError):
+            model.set_aggregate_rate("core.A", DSCP.EF, 10.0)
+
+
+class TestPriorityUnderCongestion:
+    def test_ef_protected_from_be_flood(self):
+        """An EF flow keeps its goodput across a congested interdomain link
+        while best-effort traffic starves — the DiffServ value proposition."""
+        model = make_model(inter_capacity_mbps=20.0)
+        model.install_flow_policer("core.A", "ef", TrafficProfile(10.0), mark=DSCP.EF)
+        model.set_aggregate_rate("edge.B.left", DSCP.EF, 10.0)
+        model.set_aggregate_rate("edge.C.left", DSCP.EF, 10.0)
+        CBRSource(
+            model, FlowSpec("ef", "h0.A", "h0.C", 9.0, dscp=DSCP.EF), stop_time=1.0
+        ).start()
+        # 30 Mb/s of BE over a 20 Mb/s link.
+        CBRSource(model, FlowSpec("be", "h1.A", "h1.C", 30.0), stop_time=1.0).start()
+        model.sim.run()
+        ef = model.stats_for("ef")
+        be = model.stats_for("be")
+        assert ef.delivery_ratio > 0.99
+        assert be.delivery_ratio < 0.75
+        assert model.total_drops("queue-overflow") > 0
+
+
+class TestGenerators:
+    def test_poisson_mean_rate(self):
+        model = make_model()
+        spec = FlowSpec("p", "h0.A", "h0.C", rate_mbps=10.0)
+        PoissonSource(model, spec, rng=random.Random(7), stop_time=2.0).start()
+        model.sim.run()
+        stats = model.stats_for("p")
+        assert stats.goodput_mbps(2.0) == pytest.approx(10.0, rel=0.15)
+
+    def test_onoff_long_run_rate(self):
+        model = make_model()
+        spec = FlowSpec("o", "h0.A", "h0.C", rate_mbps=10.0)
+        OnOffSource(model, spec, rng=random.Random(7), stop_time=4.0).start()
+        model.sim.run()
+        stats = model.stats_for("o")
+        assert stats.goodput_mbps(4.0) == pytest.approx(10.0, rel=0.35)
+
+    def test_source_cannot_start_twice(self):
+        model = make_model()
+        src = CBRSource(model, FlowSpec("f", "h0.A", "h0.C", 1.0), stop_time=0.1)
+        src.start()
+        with pytest.raises(SimulationError):
+            src.start()
+
+    def test_zero_rate_rejected(self):
+        model = make_model()
+        with pytest.raises(SimulationError):
+            CBRSource(model, FlowSpec("f", "h0.A", "h0.C", 0.0))

@@ -1,0 +1,71 @@
+"""Tests for flow specs and statistics."""
+
+import pytest
+
+from repro.net.flows import FlowSpec, FlowStats
+from repro.net.packet import DSCP
+
+
+class TestFlowSpec:
+    def test_derived_rates(self):
+        spec = FlowSpec("f", "a", "b", rate_mbps=12.0)
+        assert spec.rate_bps == 12e6
+        assert spec.packets_per_second == pytest.approx(1000.0)
+
+    def test_dscp_default_be(self):
+        assert FlowSpec("f", "a", "b", 1.0).dscp is DSCP.BE
+
+
+class TestFlowStats:
+    def make(self):
+        st = FlowStats("f")
+        for i in range(10):
+            st.on_send(12_000, now=float(i))
+            st.on_deliver(12_000, created=float(i), now=float(i) + 0.01 * (i + 1))
+        return st
+
+    def test_counters(self):
+        st = self.make()
+        assert st.sent_packets == st.delivered_packets == 10
+        assert st.delivery_ratio == 1.0
+        assert st.loss_ratio == 0.0
+        assert st.first_send == 0.0
+        assert st.last_delivery == pytest.approx(9.1)
+
+    def test_drops_and_downgrades(self):
+        st = FlowStats("f")
+        st.on_send(1000, 0.0)
+        st.on_drop()
+        st.on_downgrade()
+        assert st.loss_ratio == 1.0
+        assert st.downgraded_packets == 1
+
+    def test_mean_delay(self):
+        st = self.make()
+        # delays are 0.01, 0.02, ..., 0.10 -> mean 0.055.
+        assert st.mean_delay_s == pytest.approx(0.055)
+
+    def test_goodput(self):
+        st = self.make()
+        assert st.goodput_mbps(10.0) == pytest.approx(0.012)
+        assert st.goodput_mbps(0.0) == 0.0
+
+    def test_delay_percentiles(self):
+        st = self.make()
+        pcts = st.delay_percentiles((50.0, 100.0))
+        assert pcts[50.0] == pytest.approx(0.055)
+        assert pcts[100.0] == pytest.approx(0.10)
+
+    def test_delay_percentiles_empty(self):
+        assert FlowStats("f").delay_percentiles() == {}
+
+    def test_jitter(self):
+        st = self.make()
+        assert st.jitter_s() > 0.0
+        assert FlowStats("f").jitter_s() == 0.0
+
+    def test_zero_sent_ratios(self):
+        st = FlowStats("f")
+        assert st.loss_ratio == 0.0
+        assert st.delivery_ratio == 0.0
+        assert st.mean_delay_s == 0.0

@@ -1,0 +1,79 @@
+"""Tests for periodic measurement probes."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.net.diffserv import NetworkModel
+from repro.net.flows import FlowSpec
+from repro.net.probes import BacklogProbe, DropProbe, GoodputProbe
+from repro.net.simulator import Simulator
+from repro.net.topology import linear_domain_chain
+from repro.net.trafficgen import CBRSource
+
+
+@pytest.fixture()
+def model():
+    topo = linear_domain_chain(["A", "B"], hosts_per_domain=2,
+                               inter_capacity_mbps=20.0)
+    return NetworkModel(topo, Simulator())
+
+
+class TestGoodputProbe:
+    def test_tracks_cbr_rate(self, model):
+        CBRSource(model, FlowSpec("f", "h0.A", "h0.B", 10.0),
+                  stop_time=1.0).start()
+        probe = GoodputProbe(model, "f", interval_s=0.1, stop_time=1.0)
+        trace = probe.start()
+        model.sim.run()
+        assert len(trace) >= 9
+        # Steady-state samples sit near 10 Mb/s.
+        steady = trace.values[2:-1]
+        assert sum(steady) / len(steady) == pytest.approx(10.0, rel=0.1)
+
+    def test_zero_before_traffic(self, model):
+        probe = GoodputProbe(model, "quiet", interval_s=0.1, stop_time=0.5)
+        trace = probe.start()
+        model.sim.run()
+        assert all(v == 0.0 for v in trace.values)
+
+    def test_cannot_start_twice(self, model):
+        probe = GoodputProbe(model, "f", interval_s=0.1, stop_time=0.2)
+        probe.start()
+        with pytest.raises(SimulationError):
+            probe.start()
+
+    def test_invalid_interval(self, model):
+        with pytest.raises(SimulationError):
+            GoodputProbe(model, "f", interval_s=0.0)
+
+
+class TestBacklogProbe:
+    def test_backlog_grows_under_overload(self, model):
+        # 40 Mb/s offered over a 20 Mb/s link: queue builds then drops.
+        CBRSource(model, FlowSpec("f1", "h0.A", "h0.B", 20.0),
+                  stop_time=0.5).start()
+        CBRSource(model, FlowSpec("f2", "h1.A", "h1.B", 20.0),
+                  stop_time=0.5).start()
+        probe = BacklogProbe(model, "edge.A.right", "edge.B.left",
+                             interval_s=0.05, stop_time=0.5)
+        trace = probe.start()
+        model.sim.run()
+        assert max(trace.values) > 0.0
+
+    def test_unknown_port_rejected(self, model):
+        with pytest.raises(SimulationError):
+            BacklogProbe(model, "nope", "h0.B")
+
+
+class TestDropProbe:
+    def test_counts_drops_per_interval(self, model):
+        CBRSource(model, FlowSpec("f1", "h0.A", "h0.B", 30.0),
+                  stop_time=0.5).start()
+        CBRSource(model, FlowSpec("f2", "h1.A", "h1.B", 30.0),
+                  stop_time=0.5).start()
+        probe = DropProbe(model, reason="queue-overflow",
+                          interval_s=0.1, stop_time=0.6)
+        trace = probe.start()
+        model.sim.run()
+        assert trace.total() == model.total_drops("queue-overflow")
+        assert trace.total() > 0

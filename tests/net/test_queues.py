@@ -1,0 +1,126 @@
+"""Tests for drop-tail queues and the strict-priority scheduler."""
+
+from repro.net.packet import DSCP, PHB, Packet, phb_for_dscp
+from repro.net.queues import DropTailQueue, PriorityScheduler
+
+
+def mk(dscp=DSCP.BE, size=1000, flow="f"):
+    return Packet(flow_id=flow, src="a", dst="b", size_bits=size, dscp=dscp)
+
+
+class TestDropTail:
+    def test_fifo_order(self):
+        q = DropTailQueue(10_000)
+        p1, p2 = mk(), mk()
+        assert q.offer(p1) and q.offer(p2)
+        assert q.poll() is p1
+        assert q.poll() is p2
+        assert q.poll() is None
+
+    def test_occupancy_tracking(self):
+        q = DropTailQueue(10_000)
+        q.offer(mk(size=4000))
+        assert q.occupancy_bits == 4000
+        q.poll()
+        assert q.occupancy_bits == 0
+
+    def test_overflow_drops(self):
+        q = DropTailQueue(5000)
+        assert q.offer(mk(size=4000))
+        assert not q.offer(mk(size=2000))
+        assert q.drops == 1
+        assert q.enqueued == 1
+
+    def test_len(self):
+        q = DropTailQueue(10_000)
+        q.offer(mk())
+        assert len(q) == 1
+
+
+class TestPhbMapping:
+    def test_ef_is_expedited(self):
+        assert phb_for_dscp(DSCP.EF) is PHB.EXPEDITED
+
+    def test_af_classes_assured(self):
+        for d in (DSCP.AF41, DSCP.AF42, DSCP.AF43):
+            assert phb_for_dscp(d) is PHB.ASSURED
+
+    def test_be_default(self):
+        assert phb_for_dscp(DSCP.BE) is PHB.DEFAULT
+
+
+class TestPriorityScheduler:
+    def test_ef_served_first(self):
+        s = PriorityScheduler()
+        be = mk(DSCP.BE)
+        ef = mk(DSCP.EF)
+        af = mk(DSCP.AF41)
+        s.offer(be)
+        s.offer(af)
+        s.offer(ef)
+        assert s.poll() is ef
+        assert s.poll() is af
+        assert s.poll() is be
+        assert s.poll() is None
+
+    def test_fifo_within_class(self):
+        s = PriorityScheduler()
+        a, b = mk(DSCP.EF, flow="a"), mk(DSCP.EF, flow="b")
+        s.offer(a)
+        s.offer(b)
+        assert s.poll() is a
+        assert s.poll() is b
+
+    def test_per_class_capacity(self):
+        s = PriorityScheduler(capacity_bits_per_class=1500)
+        assert s.offer(mk(DSCP.EF, size=1000))
+        assert not s.offer(mk(DSCP.EF, size=1000))  # EF queue full
+        assert s.offer(mk(DSCP.BE, size=1000))  # BE queue independent
+        assert s.total_drops == 1
+
+    def test_backlog_and_len(self):
+        s = PriorityScheduler()
+        s.offer(mk(DSCP.EF, size=1000))
+        s.offer(mk(DSCP.BE, size=2000))
+        assert s.backlog_bits == 3000
+        assert len(s) == 2
+        s.poll()
+        assert s.backlog_bits == 2000
+
+
+class TestAFDropPrecedence:
+    """RFC 2597 semantics inside the assured class."""
+
+    def test_af43_dropped_first(self):
+        s = PriorityScheduler(capacity_bits_per_class=10_000)
+        # Fill the assured queue to 50% with AF41.
+        for _ in range(5):
+            assert s.offer(mk(DSCP.AF41, size=1000))
+        # AF43 arrivals now hit the 50% threshold...
+        assert not s.offer(mk(DSCP.AF43, size=1000))
+        # ...while AF42 and AF41 still get in.
+        assert s.offer(mk(DSCP.AF42, size=1000))
+        assert s.offer(mk(DSCP.AF41, size=1000))
+        assert s.precedence_drops == 1
+
+    def test_af42_dropped_at_higher_threshold(self):
+        s = PriorityScheduler(capacity_bits_per_class=10_000)
+        for _ in range(8):
+            assert s.offer(mk(DSCP.AF41, size=1000))
+        assert not s.offer(mk(DSCP.AF42, size=1000))
+        assert s.offer(mk(DSCP.AF41, size=1000))
+
+    def test_af41_survives_to_tail_drop(self):
+        s = PriorityScheduler(capacity_bits_per_class=10_000)
+        for _ in range(10):
+            assert s.offer(mk(DSCP.AF41, size=1000))
+        assert not s.offer(mk(DSCP.AF41, size=1000))  # genuine tail drop
+        assert s.precedence_drops == 0
+
+    def test_ef_and_be_unaffected_by_thresholds(self):
+        s = PriorityScheduler(capacity_bits_per_class=10_000)
+        for _ in range(9):
+            s.offer(mk(DSCP.EF, size=1000))
+            s.offer(mk(DSCP.BE, size=1000))
+        assert s.offer(mk(DSCP.EF, size=1000))
+        assert s.offer(mk(DSCP.BE, size=1000))

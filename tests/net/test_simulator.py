@@ -1,0 +1,155 @@
+"""Tests for the discrete-event simulation engine."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.net.simulator import Simulator, Trace
+
+
+class TestScheduling:
+    def test_runs_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(3.0, lambda: order.append("c"))
+        sim.schedule(1.0, lambda: order.append("a"))
+        sim.schedule(2.0, lambda: order.append("b"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_preserve_scheduling_order(self):
+        sim = Simulator()
+        order = []
+        for tag in "abc":
+            sim.schedule(1.0, lambda t=tag: order.append(t))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_clock_advances(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(2.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [2.5]
+        assert sim.now == 2.5
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_at_in_past_rejected(self):
+        sim = Simulator(start_time=10.0)
+        with pytest.raises(SimulationError):
+            sim.at(5.0, lambda: None)
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        result = []
+
+        def outer():
+            sim.schedule(1.0, lambda: result.append(sim.now))
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert result == [2.0]
+
+    def test_cancel(self):
+        sim = Simulator()
+        hits = []
+        event = sim.schedule(1.0, lambda: hits.append(1))
+        event.cancel()
+        sim.run()
+        assert hits == []
+        assert sim.pending == 0
+
+    def test_run_until(self):
+        sim = Simulator()
+        hits = []
+        sim.schedule(1.0, lambda: hits.append(1))
+        sim.schedule(5.0, lambda: hits.append(5))
+        sim.run(until=3.0)
+        assert hits == [1]
+        assert sim.now == 3.0
+        sim.run()
+        assert hits == [1, 5]
+
+    def test_run_until_advances_clock_when_idle(self):
+        sim = Simulator()
+        sim.run(until=7.0)
+        assert sim.now == 7.0
+
+    def test_max_events(self):
+        sim = Simulator()
+        hits = []
+        for i in range(10):
+            sim.schedule(float(i + 1), lambda i=i: hits.append(i))
+        sim.run(max_events=4)
+        assert hits == [0, 1, 2, 3]
+
+    def test_step(self):
+        sim = Simulator()
+        hits = []
+        sim.schedule(1.0, lambda: hits.append(1))
+        assert sim.step() is True
+        assert sim.step() is False
+        assert hits == [1]
+
+    def test_not_reentrant(self):
+        sim = Simulator()
+        caught = []
+
+        def reenter():
+            try:
+                sim.run()
+            except SimulationError as exc:
+                caught.append(exc)
+
+        sim.schedule(1.0, reenter)
+        sim.run()
+        assert len(caught) == 1
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.schedule(float(i), lambda: None)
+        sim.run()
+        assert sim.events_processed == 5
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1000.0), min_size=1, max_size=40))
+def test_monotonic_time_property(delays):
+    sim = Simulator()
+    seen = []
+    for d in delays:
+        sim.schedule(d, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == sorted(seen)
+    assert len(seen) == len(delays)
+
+
+class TestTrace:
+    def test_record_and_total(self):
+        tr = Trace("bits")
+        tr.record(0.0, 10.0)
+        tr.record(1.0, 20.0)
+        assert tr.total() == 30.0
+        assert len(tr) == 2
+        assert tr.samples() == [(0.0, 10.0), (1.0, 20.0)]
+
+    def test_time_monotonicity_enforced(self):
+        tr = Trace()
+        tr.record(5.0, 1.0)
+        with pytest.raises(SimulationError):
+            tr.record(4.0, 1.0)
+
+    def test_rate_over(self):
+        tr = Trace()
+        for t in range(10):
+            tr.record(float(t), 100.0)
+        assert tr.rate_over(0.0, 10.0) == pytest.approx(100.0)
+        assert tr.rate_over(0.0, 5.0) == pytest.approx(100.0)
+
+    def test_rate_window_validation(self):
+        with pytest.raises(SimulationError):
+            Trace().rate_over(1.0, 1.0)

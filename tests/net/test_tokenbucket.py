@@ -1,0 +1,116 @@
+"""Tests for token buckets."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.net.tokenbucket import TokenBucket
+
+
+class TestBasics:
+    def test_starts_full(self):
+        tb = TokenBucket(rate_bps=1e6, burst_bits=10_000)
+        assert tb.tokens == 10_000
+
+    def test_consume_within_burst(self):
+        tb = TokenBucket(1e6, 10_000)
+        assert tb.consume(8_000, now=0.0)
+        assert tb.tokens == pytest.approx(2_000)
+
+    def test_consume_beyond_burst_fails(self):
+        tb = TokenBucket(1e6, 10_000)
+        assert not tb.consume(20_000, now=0.0)
+        assert tb.tokens == 10_000  # untouched
+
+    def test_refill_at_rate(self):
+        tb = TokenBucket(1e6, 10_000)
+        assert tb.consume(10_000, now=0.0)
+        assert not tb.consume(6_000, now=0.005)  # only 5000 refilled
+        assert tb.consume(6_000, now=0.006)
+
+    def test_refill_capped_at_burst(self):
+        tb = TokenBucket(1e6, 10_000)
+        tb.consume(10_000, now=0.0)
+        tb._refill(now=100.0)
+        assert tb.tokens == 10_000
+
+    def test_conforms_is_pure(self):
+        tb = TokenBucket(1e6, 10_000)
+        before = tb.tokens
+        assert tb.conforms(5_000, now=0.0)
+        assert tb.tokens == before
+
+    def test_time_backwards_rejected(self):
+        tb = TokenBucket(1e6, 10_000)
+        tb.consume(1_000, now=5.0)
+        with pytest.raises(SimulationError):
+            tb.consume(1_000, now=4.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(SimulationError):
+            TokenBucket(-1.0, 100)
+        with pytest.raises(SimulationError):
+            TokenBucket(1e6, 0)
+
+    def test_zero_rate_never_refills(self):
+        tb = TokenBucket(0.0, 10_000)
+        assert tb.consume(10_000, now=0.0)
+        assert not tb.consume(1, now=1e9)
+
+
+class TestDelayUntilConformant:
+    def test_zero_when_available(self):
+        tb = TokenBucket(1e6, 10_000)
+        assert tb.delay_until_conformant(5_000, now=0.0) == 0.0
+
+    def test_positive_when_draining(self):
+        tb = TokenBucket(1e6, 10_000)
+        tb.consume(10_000, now=0.0)
+        assert tb.delay_until_conformant(5_000, now=0.0) == pytest.approx(0.005)
+
+    def test_infinite_for_oversized(self):
+        tb = TokenBucket(1e6, 10_000)
+        assert tb.delay_until_conformant(20_000, now=0.0) == float("inf")
+
+    def test_infinite_for_zero_rate(self):
+        tb = TokenBucket(0.0, 10_000)
+        tb.consume(10_000, now=0.0)
+        assert tb.delay_until_conformant(1, now=0.0) == float("inf")
+
+
+class TestReconfigure:
+    def test_rate_change(self):
+        tb = TokenBucket(1e6, 10_000)
+        tb.consume(10_000, now=0.0)
+        tb.reconfigure(rate_bps=2e6, now=0.0)
+        assert tb.consume(2_000, now=0.001)  # 2 Mb/s * 1 ms = 2000 bits
+
+    def test_burst_shrink_clamps_tokens(self):
+        tb = TokenBucket(1e6, 10_000)
+        tb.reconfigure(burst_bits=4_000)
+        assert tb.tokens == 4_000
+
+    def test_invalid_reconfigure(self):
+        tb = TokenBucket(1e6, 10_000)
+        with pytest.raises(SimulationError):
+            tb.reconfigure(rate_bps=-5)
+        with pytest.raises(SimulationError):
+            tb.reconfigure(burst_bits=0)
+
+
+@given(
+    rate=st.floats(min_value=1e3, max_value=1e9),
+    burst=st.floats(min_value=1e3, max_value=1e6),
+    sizes=st.lists(st.floats(min_value=1.0, max_value=2e4), max_size=50),
+)
+def test_long_run_rate_never_exceeded(rate, burst, sizes):
+    """Property: accepted traffic over [0, T] never exceeds burst + rate*T."""
+    tb = TokenBucket(rate, burst)
+    now = 0.0
+    accepted = 0.0
+    for i, size in enumerate(sizes):
+        now += 0.001
+        if tb.consume(size, now):
+            accepted += size
+    assert accepted <= burst + rate * now + 1e-6

@@ -1,0 +1,113 @@
+"""Tests for star and mesh domain topologies + signalling across them."""
+
+import pytest
+
+from repro.core.testbed import build_mesh_testbed, build_star_testbed
+from repro.errors import RoutingError
+from repro.net.topology import mesh_domains, star_domains
+
+
+class TestStarTopology:
+    def test_structure(self):
+        topo = star_domains("ISP", ["A", "B", "C"], hosts_per_domain=2)
+        assert set(topo.domains()) == {"ISP", "A", "B", "C"}
+        g = topo.domain_graph()
+        assert g.degree["ISP"] == 3
+        for leaf in "ABC":
+            assert g.degree[leaf] == 1
+        assert len(topo.hosts_in_domain("A")) == 2
+
+    def test_leaf_to_leaf_path_via_hub(self):
+        topo = star_domains("ISP", ["A", "B"])
+        assert topo.domain_path("A", "B") == ["A", "ISP", "B"]
+
+    def test_border_routers_named_per_peer(self):
+        topo = star_domains("ISP", ["A", "B"])
+        assert topo.border_routers("ISP", "A") == ("edge.ISP.to-A",)
+        assert topo.border_routers("A", "ISP") == ("edge.A.to-ISP",)
+
+    def test_validation(self):
+        with pytest.raises(RoutingError):
+            star_domains("ISP", [])
+        with pytest.raises(RoutingError):
+            star_domains("ISP", ["ISP"])
+
+
+class TestMeshTopology:
+    def test_structure(self):
+        topo = mesh_domains(["A", "B", "C", "D"])
+        g = topo.domain_graph()
+        for d in "ABCD":
+            assert g.degree[d] == 3
+
+    def test_all_paths_direct(self):
+        topo = mesh_domains(["A", "B", "C"])
+        assert topo.domain_path("A", "C") == ["A", "C"]
+        assert topo.domain_path("B", "C") == ["B", "C"]
+
+    def test_validation(self):
+        with pytest.raises(RoutingError):
+            mesh_domains(["A"])
+        with pytest.raises(RoutingError):
+            mesh_domains(["A", "A"])
+
+
+class TestStarTestbed:
+    def test_leaf_to_leaf_reservation(self):
+        tb = build_star_testbed("ISP", ["A", "B", "C"])
+        alice = tb.add_user("A", "Alice")
+        outcome = tb.reserve(
+            alice, source="A", destination="B", bandwidth_mbps=10.0
+        )
+        assert outcome.granted
+        assert outcome.path == ("A", "ISP", "B")
+        assert set(outcome.handles) == {"A", "ISP", "B"}
+
+    def test_hub_capacity_shared_across_leaf_pairs(self):
+        tb = build_star_testbed("ISP", ["A", "B", "C"],
+                                inter_capacity_mbps=100.0)
+        alice = tb.add_user("A", "Alice")
+        carol = tb.add_user("C", "Carol")
+        # Both reservations transit the hub but use different hub links:
+        # A->ISP->B and C->ISP->B share only ISP's intra capacity.
+        o1 = tb.reserve(alice, source="A", destination="B",
+                        bandwidth_mbps=90.0)
+        o2 = tb.reserve(carol, source="C", destination="B",
+                        bandwidth_mbps=90.0)
+        assert o1.granted
+        # The second exceeds ISP->B egress (100 Mb/s shared).
+        assert not o2.granted
+        assert o2.denial_domain == "ISP"
+
+    def test_tunnel_across_star(self):
+        tb = build_star_testbed("ISP", ["A", "B"])
+        alice = tb.add_user("A", "Alice")
+        request = tb.make_request(
+            source="A", destination="B", bandwidth_mbps=50.0
+        )
+        tunnel, outcome = tb.tunnels.establish(alice, request)
+        assert outcome.granted
+        assert tunnel.direct_channel is not None
+        _, _, msgs = tb.tunnels.allocate_flow(tunnel.tunnel_id, alice, 1.0)
+        assert msgs == 4
+
+
+class TestMeshTestbed:
+    def test_every_pair_two_domains(self):
+        tb = build_mesh_testbed(["A", "B", "C"])
+        alice = tb.add_user("A", "Alice")
+        for dst in ("B", "C"):
+            outcome = tb.reserve(
+                alice, source="A", destination=dst, bandwidth_mbps=5.0
+            )
+            assert outcome.granted
+            assert len(outcome.path) == 2
+
+    def test_mesh_channels_pairwise(self):
+        tb = build_mesh_testbed(["A", "B", "C"])
+        for a in "ABC":
+            for b in "ABC":
+                if a < b:
+                    assert tb.channels.has(
+                        tb.brokers[a].dn, tb.brokers[b].dn
+                    )

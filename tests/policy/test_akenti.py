@@ -1,0 +1,129 @@
+"""Tests for the Akenti-style authorization engine."""
+
+import pytest
+
+from repro.crypto.dn import DN
+from repro.crypto.keys import SimulatedScheme
+from repro.errors import PolicyError
+from repro.policy.akenti import (
+    AkentiEngine,
+    UseCondition,
+    make_user_attribute_certificate,
+)
+
+ADMIN = DN.make("Grid", "LBNL", "Admin")
+ROGUE = DN.make("Grid", "Evil", "Admin")
+ALICE = DN.make("Grid", "DomainA", "Alice")
+BOB = DN.make("Grid", "DomainA", "Bob")
+
+SCHEME = SimulatedScheme()
+
+
+@pytest.fixture()
+def admin_keys(rng):
+    return SCHEME.generate(rng)
+
+
+@pytest.fixture()
+def engine(admin_keys):
+    eng = AkentiEngine()
+    eng.register_resource(
+        "network/DomainB",
+        ca_list={ADMIN: admin_keys.public},
+        use_conditions=[{"group": "atlas"}, {"clearance": "standard"}],
+    )
+    return eng
+
+
+def attr_cert(admin_keys, user=ALICE, attribute="group", value="atlas",
+              resource="network/DomainB", issuer=ADMIN):
+    return make_user_attribute_certificate(
+        issuer=issuer,
+        issuer_key=admin_keys.private,
+        user=user,
+        resource=resource,
+        attribute=attribute,
+        value=value,
+    )
+
+
+class TestAkenti:
+    def test_all_conditions_met(self, engine, admin_keys):
+        certs = [
+            attr_cert(admin_keys),
+            attr_cert(admin_keys, attribute="clearance", value="standard"),
+        ]
+        assert engine.authorize("network/DomainB", ALICE, certs)
+
+    def test_missing_condition(self, engine, admin_keys):
+        certs = [attr_cert(admin_keys)]  # no clearance cert
+        assert not engine.authorize("network/DomainB", ALICE, certs)
+
+    def test_wrong_value(self, engine, admin_keys):
+        certs = [
+            attr_cert(admin_keys, value="cms"),
+            attr_cert(admin_keys, attribute="clearance", value="standard"),
+        ]
+        assert not engine.authorize("network/DomainB", ALICE, certs)
+
+    def test_issuer_not_on_ca_list_ignored(self, engine, rng):
+        rogue_keys = SCHEME.generate(rng)
+        certs = [
+            attr_cert(rogue_keys, issuer=ROGUE),
+            attr_cert(rogue_keys, issuer=ROGUE, attribute="clearance",
+                      value="standard"),
+        ]
+        assert not engine.authorize("network/DomainB", ALICE, certs)
+
+    def test_cert_for_other_user_ignored(self, engine, admin_keys):
+        certs = [
+            attr_cert(admin_keys, user=BOB),
+            attr_cert(admin_keys, attribute="clearance", value="standard"),
+        ]
+        assert not engine.authorize("network/DomainB", ALICE, certs)
+
+    def test_cert_for_other_resource_ignored(self, engine, admin_keys):
+        certs = [
+            attr_cert(admin_keys, resource="network/DomainZ"),
+            attr_cert(admin_keys, attribute="clearance", value="standard"),
+        ]
+        assert not engine.authorize("network/DomainB", ALICE, certs)
+
+    def test_tampered_cert_ignored(self, engine, admin_keys):
+        good = attr_cert(admin_keys)
+        forged = good.with_tampered_attribute("group", "atlas-forged")
+        certs = [
+            forged,
+            attr_cert(admin_keys, attribute="clearance", value="standard"),
+        ]
+        assert not engine.authorize("network/DomainB", ALICE, certs)
+
+    def test_unknown_resource(self, engine):
+        with pytest.raises(PolicyError):
+            engine.authorize("ghost", ALICE, [])
+
+    def test_no_conditions_means_open(self, admin_keys):
+        eng = AkentiEngine()
+        eng.register_resource("open", ca_list={ADMIN: admin_keys.public})
+        assert eng.authorize("open", ALICE, [])
+
+    def test_gathered_attributes(self, engine, admin_keys):
+        certs = [
+            attr_cert(admin_keys),
+            attr_cert(admin_keys, attribute="clearance", value="standard"),
+        ]
+        attrs = engine.gathered_attributes("network/DomainB", ALICE, certs)
+        assert attrs == {"group": "atlas", "clearance": "standard"}
+
+    def test_empty_use_condition_rejected(self):
+        with pytest.raises(PolicyError):
+            UseCondition.make({})
+
+    def test_add_ca_and_condition_later(self, admin_keys, rng):
+        eng = AkentiEngine()
+        policy = eng.register_resource("r")
+        other = SCHEME.generate(rng)
+        policy.add_ca(ADMIN, admin_keys.public)
+        policy.add_use_condition({"group": "atlas"})
+        assert not eng.authorize("r", ALICE, [])
+        assert eng.authorize("r", ALICE, [attr_cert(admin_keys, resource="r")])

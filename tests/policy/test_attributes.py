@@ -1,0 +1,95 @@
+"""Tests for signed assertions."""
+
+import pytest
+
+from repro.crypto.dn import DN
+from repro.crypto.keys import SimulatedScheme
+from repro.errors import PolicyError
+from repro.policy.attributes import make_assertion
+
+ISSUER = DN.make("Grid", "ESnet", "GroupServer")
+ALICE = DN.make("Grid", "DomainA", "Alice")
+
+SCHEME = SimulatedScheme()
+
+
+@pytest.fixture()
+def keys(rng):
+    return SCHEME.generate(rng)
+
+
+class TestSignedAssertion:
+    def test_roundtrip(self, keys):
+        a = make_assertion(
+            issuer=ISSUER,
+            issuer_key=keys.private,
+            subject=ALICE,
+            attributes={"group": "physicists"},
+        )
+        assert a.verify(keys.public)
+        assert a.get("group") == "physicists"
+        assert a.get("missing") is None
+        assert a.get("missing", 1) == 1
+
+    def test_tamper_detected(self, keys):
+        a = make_assertion(
+            issuer=ISSUER,
+            issuer_key=keys.private,
+            subject=ALICE,
+            attributes={"group": "physicists"},
+        )
+        forged = a.with_tampered_attribute("group", "administrators")
+        assert not forged.verify(keys.public)
+
+    def test_wrong_key_rejected(self, keys, rng):
+        other = SCHEME.generate(rng)
+        a = make_assertion(
+            issuer=ISSUER,
+            issuer_key=keys.private,
+            subject=ALICE,
+            attributes={"x": 1},
+        )
+        assert not a.verify(other.public)
+
+    def test_validity_window(self, keys):
+        a = make_assertion(
+            issuer=ISSUER,
+            issuer_key=keys.private,
+            subject=ALICE,
+            attributes={"x": 1},
+            valid_from=10.0,
+            valid_until=20.0,
+        )
+        assert not a.verify(keys.public, at_time=5.0)
+        assert a.verify(keys.public, at_time=15.0)
+        assert not a.verify(keys.public, at_time=25.0)
+
+    def test_infinite_validity_encodable(self, keys):
+        a = make_assertion(
+            issuer=ISSUER,
+            issuer_key=keys.private,
+            subject=ALICE,
+            attributes={"x": 1},
+        )
+        assert a.verify(keys.public, at_time=1e12)
+        # to_cbe must not raise on the infinite bound.
+        from repro.crypto import canonical
+
+        canonical.encode(a.to_cbe())
+
+    def test_empty_attributes_rejected(self, keys):
+        with pytest.raises(PolicyError):
+            make_assertion(
+                issuer=ISSUER, issuer_key=keys.private, subject=ALICE, attributes={}
+            )
+
+    def test_multiple_attributes(self, keys):
+        a = make_assertion(
+            issuer=ISSUER,
+            issuer_key=keys.private,
+            subject=ALICE,
+            attributes={"group": "atlas", "role": "analyst"},
+        )
+        assert a.get("group") == "atlas"
+        assert a.get("role") == "analyst"
+        assert a.verify(keys.public)

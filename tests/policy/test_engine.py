@@ -1,0 +1,225 @@
+"""Tests for the policy engine, contexts, and hand-built trees."""
+
+import pytest
+
+from repro.crypto.dn import DN
+from repro.errors import PolicyEvaluationError
+from repro.policy.engine import (
+    Decision,
+    If,
+    PolicyDecision,
+    PolicyEngine,
+    RequestContext,
+    Return,
+)
+from repro.policy.rules import (
+    And,
+    Call,
+    Comparison,
+    Literal,
+    Not,
+    Or,
+    PredicateCondition,
+    TrueCondition,
+    Variable,
+)
+
+ALICE = DN.make("Grid", "DomainA", "Alice")
+
+
+def ctx(**kwargs):
+    return RequestContext(user=ALICE, **kwargs)
+
+
+class TestRequestContext:
+    def test_builtin_variables(self):
+        c = ctx(bandwidth_mbps=10.0, time_of_day_h=9.0, source_domain="A")
+        assert c.variable("User") == "Alice"
+        assert c.variable("BW") == 10.0
+        assert c.variable("Time") == 9.0
+        assert c.variable("Source_Domain") == "A"
+        assert c.variable("Avail_BW") == float("inf")
+
+    def test_no_user(self):
+        c = RequestContext()
+        assert c.variable("User") is None
+
+    def test_attribute_fallback(self):
+        c = ctx(attributes=(("custom", 42),))
+        assert c.variable("custom") == 42
+        assert c.attribute("custom") == 42
+        assert c.attribute("missing", "d") == "d"
+
+    def test_unknown_variable_raises(self):
+        with pytest.raises(PolicyEvaluationError):
+            ctx().variable("Nonsense")
+
+    def test_linked_reservation(self):
+        c = ctx(linked_reservations=(("cpu", "RES-111"),))
+        assert c.linked_reservation("cpu") == "RES-111"
+        assert c.linked_reservation("disk") is None
+        assert c.has_valid_linked_reservation("cpu")  # no validator: presence
+        assert not c.has_valid_linked_reservation("disk")
+
+    def test_linked_validator(self):
+        c = ctx(
+            linked_reservations=(("cpu", "RES-111"),),
+            linked_validator=lambda kind, handle: handle == "RES-999",
+        )
+        assert not c.has_valid_linked_reservation("cpu")
+
+    def test_predicates(self):
+        c = ctx(predicates={"IsVip": lambda ctx: True})
+        assert c.call_predicate("IsVip")
+        with pytest.raises(PolicyEvaluationError):
+            c.call_predicate("Unknown")
+
+    def test_with_updates(self):
+        c = ctx(bandwidth_mbps=1.0)
+        c2 = c.with_updates(bandwidth_mbps=2.0)
+        assert c.bandwidth_mbps == 1.0
+        assert c2.bandwidth_mbps == 2.0
+
+    def test_decision_not_truth_testable(self):
+        with pytest.raises(TypeError):
+            bool(Decision.GRANT)
+
+
+class TestConditions:
+    def test_comparison_operators(self):
+        c = ctx(bandwidth_mbps=10.0)
+        bw = Variable("BW")
+        assert Comparison(bw, "=", Literal(10.0)).holds(c)
+        assert Comparison(bw, "!=", Literal(5.0)).holds(c)
+        assert Comparison(bw, "<=", Literal(10.0)).holds(c)
+        assert Comparison(bw, ">=", Literal(10.0)).holds(c)
+        assert not Comparison(bw, "<", Literal(10.0)).holds(c)
+        assert Comparison(bw, ">", Literal(5.0)).holds(c)
+
+    def test_invalid_operator(self):
+        with pytest.raises(PolicyEvaluationError):
+            Comparison(Variable("BW"), "~", Literal(1.0))
+
+    def test_group_membership_semantics(self):
+        c = ctx(groups=frozenset({"Atlas"}))
+        cond = Comparison(Variable("Group"), "=", Literal("Atlas"))
+        assert cond.holds(c)
+        assert not cond.holds(ctx(groups=frozenset()))
+
+    def test_group_not_membership(self):
+        c = ctx(groups=frozenset({"Atlas"}))
+        assert Comparison(Variable("Group"), "!=", Literal("CMS")).holds(c)
+
+    def test_set_ordering_undefined(self):
+        c = ctx(groups=frozenset({"Atlas"}))
+        with pytest.raises(PolicyEvaluationError):
+            Comparison(Variable("Group"), "<", Literal("Atlas")).holds(c)
+
+    def test_issued_by_capability(self):
+        c = ctx(capability_issuers=frozenset({"ESnet"}))
+        cond = Comparison(Call("Issued_by", "Capability"), "=", Literal("ESnet"))
+        assert cond.holds(c)
+        assert not cond.holds(ctx())
+
+    def test_issued_by_wrong_arg(self):
+        with pytest.raises(PolicyEvaluationError):
+            Call("Issued_by", "Group").evaluate(ctx())
+
+    def test_has_valid_resv_calls(self):
+        c = ctx(linked_reservations=(("cpu", "R1"),))
+        assert PredicateCondition(Call("HasValidCPUResv", "RAR")).holds(c)
+        assert not PredicateCondition(Call("HasValidDiskResv", "RAR")).holds(c)
+
+    def test_custom_predicate_via_call(self):
+        c = ctx(predicates={"Accredited_Physicist": lambda ctx: True})
+        assert PredicateCondition(Call("Accredited_Physicist", "requestor")).holds(c)
+
+    def test_and_or_not(self):
+        t, f = TrueCondition(), Not(TrueCondition())
+        c = ctx()
+        assert And((t, t)).holds(c)
+        assert not And((t, f)).holds(c)
+        assert Or((f, t)).holds(c)
+        assert not Or((f, f)).holds(c)
+        assert Not(f).holds(c)
+
+    def test_incomparable_types(self):
+        c = ctx()
+        with pytest.raises(PolicyEvaluationError):
+            Comparison(Variable("User"), "<", Literal(3.0)).holds(c)
+
+
+class TestEngine:
+    def test_first_return_wins(self):
+        engine = PolicyEngine(
+            [Return(Decision.GRANT, "first"), Return(Decision.DENY, "second")]
+        )
+        decision = engine.evaluate(ctx())
+        assert decision.granted
+        assert decision.reason == "first"
+
+    def test_default_deny(self):
+        engine = PolicyEngine([])
+        decision = engine.evaluate(ctx())
+        assert decision.decision is Decision.DENY
+        assert "default" in decision.reason
+
+    def test_default_override(self):
+        engine = PolicyEngine([], default=Decision.GRANT)
+        assert engine.evaluate(ctx()).granted
+
+    def test_if_branches(self):
+        engine = PolicyEngine(
+            [
+                If(
+                    Comparison(Variable("BW"), "<=", Literal(10.0)),
+                    then=(Return(Decision.GRANT),),
+                    orelse=(Return(Decision.DENY, "too big"),),
+                )
+            ]
+        )
+        assert engine.evaluate(ctx(bandwidth_mbps=5.0)).granted
+        denied = engine.evaluate(ctx(bandwidth_mbps=50.0))
+        assert not denied.granted
+        assert denied.reason == "too big"
+
+    def test_fallthrough_after_if(self):
+        engine = PolicyEngine(
+            [
+                If(Not(TrueCondition()), then=(Return(Decision.GRANT),)),
+                Return(Decision.DENY, "fell through"),
+            ]
+        )
+        assert engine.evaluate(ctx()).reason == "fell through"
+
+    def test_nested_if(self):
+        engine = PolicyEngine(
+            [
+                If(
+                    Comparison(Variable("User"), "=", Literal("Alice")),
+                    then=(
+                        If(
+                            Comparison(Variable("BW"), "<=", Literal(10.0)),
+                            then=(Return(Decision.GRANT),),
+                        ),
+                    ),
+                ),
+                Return(Decision.DENY),
+            ]
+        )
+        assert engine.evaluate(ctx(bandwidth_mbps=5.0)).granted
+        assert not engine.evaluate(ctx(bandwidth_mbps=20.0)).granted
+
+    def test_condition_error_wrapped(self):
+        class Boom(TrueCondition):
+            def holds(self, ctx):
+                raise ValueError("boom")
+
+        engine = PolicyEngine([If(Boom(), then=(Return(Decision.GRANT),))])
+        with pytest.raises(PolicyEvaluationError, match="boom"):
+            engine.evaluate(ctx())
+
+    def test_policy_decision_modifications(self):
+        d = PolicyDecision(Decision.GRANT, modifications=(("cost", 5),))
+        assert d.granted
+        assert d.modifications == (("cost", 5),)

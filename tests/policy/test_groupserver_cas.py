@@ -1,0 +1,127 @@
+"""Tests for group servers and the Community Authorization Server."""
+
+import pytest
+
+from repro.crypto.capability import capability_set, is_capability_certificate
+from repro.crypto.dn import DN
+from repro.errors import PolicyError
+from repro.policy.cas import CommunityAuthorizationServer
+from repro.policy.engine import RequestContext
+from repro.policy.groupserver import GroupServer
+
+ALICE = DN.make("Grid", "DomainA", "Alice")
+BOB = DN.make("Grid", "DomainA", "Bob")
+
+
+@pytest.fixture()
+def server(rng):
+    gs = GroupServer(
+        DN.make("Grid", "HEP", "GroupServer"), rng=rng, scheme="simulated"
+    )
+    gs.add_member("physicists", ALICE)
+    gs.add_member("ATLAS experiment", ALICE)
+    return gs
+
+
+class TestGroupServer:
+    def test_membership_queries(self, server):
+        assert server.is_member(ALICE, "physicists")
+        assert not server.is_member(BOB, "physicists")
+        assert not server.is_member(ALICE, "chemists")
+        assert server.queries == 3
+
+    def test_groups_listing(self, server):
+        assert server.groups() == ("ATLAS experiment", "physicists")
+
+    def test_remove_member(self, server):
+        server.remove_member("physicists", ALICE)
+        assert not server.is_member(ALICE, "physicists")
+        with pytest.raises(PolicyError):
+            server.remove_member("physicists", ALICE)
+
+    def test_predicate_integration(self, server):
+        pred = server.predicate("physicists")
+        assert pred(RequestContext(user=ALICE))
+        assert not pred(RequestContext(user=BOB))
+        assert not pred(RequestContext(user=None))
+
+    def test_assertion_roundtrip(self, server):
+        a = server.assert_membership(ALICE, "physicists")
+        assert server.verify_assertion(a)
+        assert a.get("group") == "physicists"
+
+    def test_assertion_for_non_member_rejected(self, server):
+        with pytest.raises(PolicyError):
+            server.assert_membership(BOB, "physicists")
+
+    def test_assertion_stale_after_removal(self, server):
+        a = server.assert_membership(ALICE, "physicists")
+        server.remove_member("physicists", ALICE)
+        assert not server.verify_assertion(a)
+
+    def test_foreign_assertion_rejected(self, server, rng):
+        other = GroupServer(
+            DN.make("Grid", "Other", "GS"), rng=rng, scheme="simulated"
+        )
+        other.add_member("physicists", ALICE)
+        a = other.assert_membership(ALICE, "physicists")
+        assert not server.verify_assertion(a)
+
+    def test_tampered_assertion_rejected(self, server):
+        a = server.assert_membership(ALICE, "ATLAS experiment")
+        forged = a.with_tampered_attribute("group", "physicists")
+        assert not server.verify_assertion(forged)
+
+
+@pytest.fixture()
+def cas(rng):
+    c = CommunityAuthorizationServer("ESnet", rng=rng, scheme="simulated")
+    c.grant(ALICE, ["member", "premium-bandwidth"])
+    return c
+
+
+class TestCAS:
+    def test_default_name(self, cas):
+        assert cas.name == DN.make("Grid", "ESnet", "CAS")
+
+    def test_capabilities_qualified(self, cas):
+        assert cas.capabilities_of(ALICE) == {
+            "ESnet:member",
+            "ESnet:premium-bandwidth",
+        }
+
+    def test_prequalified_capability_not_requalified(self, cas):
+        cas.grant(ALICE, ["Other:thing"])
+        assert "Other:thing" in cas.capabilities_of(ALICE)
+
+    def test_grid_login_issues_capability_cert(self, cas):
+        cred = cas.grid_login(ALICE)
+        cert = cred.certificate
+        assert is_capability_certificate(cert)
+        assert cert.issuer == cas.name
+        assert capability_set(cert) == {"ESnet:member", "ESnet:premium-bandwidth"}
+        assert cas.logins == 1
+
+    def test_grid_login_validity(self, cas):
+        cred = cas.grid_login(ALICE, at_time=100.0, validity_s=3600.0)
+        assert cred.certificate.valid_at(100.0)
+        assert cred.certificate.valid_at(3700.0)
+        assert not cred.certificate.valid_at(3701.0)
+
+    def test_grid_login_without_grants_rejected(self, cas):
+        with pytest.raises(PolicyError):
+            cas.grid_login(BOB)
+
+    def test_revoke_user(self, cas):
+        cas.revoke_user(ALICE)
+        with pytest.raises(PolicyError):
+            cas.grid_login(ALICE)
+
+    def test_fresh_proxy_key_per_login(self, cas):
+        a = cas.grid_login(ALICE)
+        b = cas.grid_login(ALICE)
+        assert a.certificate.public_key != b.certificate.public_key
+
+    def test_login_signature_verifies(self, cas):
+        cred = cas.grid_login(ALICE)
+        assert cred.certificate.verify_signature(cas.public_key)

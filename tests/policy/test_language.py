@@ -1,0 +1,416 @@
+"""Tests for the policy-file language parser, including the paper's
+verbatim Figure 1 and Figure 6 policies."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.dn import DN
+from repro.errors import PolicySyntaxError
+from repro.policy.engine import Decision, RequestContext
+from repro.policy.language import compile_policy, parse_policy
+
+ALICE = DN.make("Grid", "DomainA", "Alice")
+BOB = DN.make("Grid", "DomainA", "Bob")
+
+
+def ctx(user=ALICE, **kwargs):
+    return RequestContext(user=user, **kwargs)
+
+
+# -- the paper's policy files --------------------------------------------------
+
+POLICY_FILE_A_FIG1 = """
+If User = Alice
+    If Reservation_Type = Network
+        Return GRANT
+If User = Bob
+    Return DENY
+Return DENY
+"""
+
+POLICY_FILE_B_FIG1 = """
+If Reservation_Type = Network
+    If Accredited_Physicist(requestor)
+        Return GRANT
+    Else Return DENY
+Return DENY
+"""
+
+POLICY_FILE_A_FIG6 = """
+If User = Alice
+    If Time > 8am and Time < 5pm
+        If BW <= 10Mb/s
+            Return GRANT
+        Else Return DENY
+    Else if BW <= Avail_BW
+        Return GRANT
+    Else Return DENY
+Return DENY
+"""
+
+POLICY_FILE_B_FIG6 = """
+If Group = Atlas
+    If BW <= 10Mb/s
+        Return GRANT
+If Issued_by(Capability) = ESnet
+    If BW <= 10Mb/s
+        Return GRANT
+Return DENY
+"""
+
+POLICY_FILE_C_FIG6 = """
+If BW >= 5Mb/s
+    If Issued_by(Capability) = ESnet and HasValidCPUResv(RAR)
+        Return GRANT
+    Else Return DENY
+Return GRANT
+"""
+
+
+class TestFigure1:
+    def test_domain_a(self):
+        engine = compile_policy(POLICY_FILE_A_FIG1)
+        assert engine.evaluate(ctx(user=ALICE, reservation_type="Network")).granted
+        assert not engine.evaluate(ctx(user=BOB, reservation_type="Network")).granted
+        charlie = DN.make("Grid", "DomainC", "Charlie")
+        assert not engine.evaluate(ctx(user=charlie, reservation_type="Network")).granted
+
+    def test_domain_a_non_network(self):
+        engine = compile_policy(POLICY_FILE_A_FIG1)
+        assert not engine.evaluate(ctx(user=ALICE, reservation_type="CPU")).granted
+
+    def test_domain_b_physicist_predicate(self):
+        engine = compile_policy(POLICY_FILE_B_FIG1)
+        physicists = {ALICE}
+        predicates = {
+            "Accredited_Physicist": lambda c: c.user in physicists
+        }
+        granted = engine.evaluate(
+            ctx(user=ALICE, reservation_type="Network", predicates=predicates)
+        )
+        denied = engine.evaluate(
+            ctx(user=BOB, reservation_type="Network", predicates=predicates)
+        )
+        assert granted.granted
+        assert not denied.granted
+
+
+class TestFigure6PolicyA:
+    """BB-A: Alice unrestricted off-hours, capped at 10 Mb/s 8am-5pm."""
+
+    def engine(self):
+        return compile_policy(POLICY_FILE_A_FIG6, name="BB-A")
+
+    def test_business_hours_within_cap(self):
+        d = self.engine().evaluate(ctx(bandwidth_mbps=10.0, time_of_day_h=12.0))
+        assert d.granted
+
+    def test_business_hours_over_cap(self):
+        d = self.engine().evaluate(ctx(bandwidth_mbps=20.0, time_of_day_h=12.0))
+        assert not d.granted
+
+    def test_evening_up_to_available(self):
+        d = self.engine().evaluate(
+            ctx(bandwidth_mbps=200.0, time_of_day_h=20.0,
+                available_bandwidth_mbps=622.0)
+        )
+        assert d.granted
+
+    def test_evening_over_available(self):
+        d = self.engine().evaluate(
+            ctx(bandwidth_mbps=700.0, time_of_day_h=20.0,
+                available_bandwidth_mbps=622.0)
+        )
+        assert not d.granted
+
+    def test_boundary_8am_is_not_business(self):
+        # "Time > 8am" is strict: at exactly 8am the off-hours branch applies.
+        d = self.engine().evaluate(
+            ctx(bandwidth_mbps=100.0, time_of_day_h=8.0,
+                available_bandwidth_mbps=622.0)
+        )
+        assert d.granted
+
+    def test_other_user_denied(self):
+        d = self.engine().evaluate(ctx(user=BOB, bandwidth_mbps=1.0))
+        assert not d.granted
+
+
+class TestFigure6PolicyB:
+    """BB-B: 10 Mb/s for ATLAS members or ESnet capability holders."""
+
+    def engine(self):
+        return compile_policy(POLICY_FILE_B_FIG6, name="BB-B")
+
+    def test_atlas_member(self):
+        d = self.engine().evaluate(
+            ctx(groups=frozenset({"Atlas"}), bandwidth_mbps=10.0)
+        )
+        assert d.granted
+
+    def test_atlas_member_over_cap(self):
+        d = self.engine().evaluate(
+            ctx(groups=frozenset({"Atlas"}), bandwidth_mbps=11.0)
+        )
+        assert not d.granted
+
+    def test_esnet_capability(self):
+        d = self.engine().evaluate(
+            ctx(capability_issuers=frozenset({"ESnet"}), bandwidth_mbps=10.0)
+        )
+        assert d.granted
+
+    def test_atlas_over_cap_falls_through_to_esnet(self):
+        # Member of Atlas AND holder of ESnet capability, 10 Mb/s: the Atlas
+        # branch grants; over 10 both branches fail.
+        d = self.engine().evaluate(
+            ctx(
+                groups=frozenset({"Atlas"}),
+                capability_issuers=frozenset({"ESnet"}),
+                bandwidth_mbps=12.0,
+            )
+        )
+        assert not d.granted
+
+    def test_nobody(self):
+        assert not self.engine().evaluate(ctx(bandwidth_mbps=1.0)).granted
+
+
+class TestFigure6PolicyC:
+    """BB-C: >= 5 Mb/s only with ESnet capability AND a valid CPU
+    reservation; below 5 Mb/s anyone."""
+
+    def engine(self):
+        return compile_policy(POLICY_FILE_C_FIG6, name="BB-C")
+
+    def test_big_request_with_both(self):
+        d = self.engine().evaluate(
+            ctx(
+                bandwidth_mbps=10.0,
+                capability_issuers=frozenset({"ESnet"}),
+                linked_reservations=(("cpu", "RES-111"),),
+            )
+        )
+        assert d.granted
+
+    def test_big_request_without_cpu_resv(self):
+        d = self.engine().evaluate(
+            ctx(bandwidth_mbps=10.0, capability_issuers=frozenset({"ESnet"}))
+        )
+        assert not d.granted
+
+    def test_big_request_without_capability(self):
+        d = self.engine().evaluate(
+            ctx(bandwidth_mbps=10.0, linked_reservations=(("cpu", "RES-111"),))
+        )
+        assert not d.granted
+
+    def test_big_request_with_invalid_cpu_resv(self):
+        d = self.engine().evaluate(
+            ctx(
+                bandwidth_mbps=10.0,
+                capability_issuers=frozenset({"ESnet"}),
+                linked_reservations=(("cpu", "RES-111"),),
+                linked_validator=lambda kind, handle: False,
+            )
+        )
+        assert not d.granted
+
+    def test_small_request_granted(self):
+        assert self.engine().evaluate(ctx(bandwidth_mbps=4.9)).granted
+
+
+class TestLiteralsAndOperators:
+    def test_bandwidth_units(self):
+        engine = compile_policy("If BW <= 1Gb/s\n    Return GRANT\nReturn DENY")
+        assert engine.evaluate(ctx(bandwidth_mbps=999.0)).granted
+        assert not engine.evaluate(ctx(bandwidth_mbps=1001.0)).granted
+
+    def test_bytes_per_second_units(self):
+        # 5MB/s = 40 Mb/s.
+        engine = compile_policy("If BW <= 5MB/s\n    Return GRANT\nReturn DENY")
+        assert engine.evaluate(ctx(bandwidth_mbps=40.0)).granted
+        assert not engine.evaluate(ctx(bandwidth_mbps=41.0)).granted
+
+    def test_kb_units(self):
+        engine = compile_policy("If BW >= 500Kb/s\n    Return GRANT\nReturn DENY")
+        assert engine.evaluate(ctx(bandwidth_mbps=0.5)).granted
+        assert not engine.evaluate(ctx(bandwidth_mbps=0.4)).granted
+
+    def test_clock_times(self):
+        engine = compile_policy(
+            "If Time >= 8:30am and Time < 5pm\n    Return GRANT\nReturn DENY"
+        )
+        assert engine.evaluate(ctx(time_of_day_h=8.5)).granted
+        assert not engine.evaluate(ctx(time_of_day_h=8.0)).granted
+        assert not engine.evaluate(ctx(time_of_day_h=17.0)).granted
+
+    def test_midnight_noon(self):
+        engine = compile_policy("If Time < 12pm\n    Return GRANT\nReturn DENY")
+        assert engine.evaluate(ctx(time_of_day_h=0.0)).granted  # 12am == 0
+        assert not engine.evaluate(ctx(time_of_day_h=12.0)).granted
+
+    def test_quoted_strings(self):
+        engine = compile_policy(
+            'If Group = "ATLAS experiment"\n    Return GRANT\nReturn DENY'
+        )
+        assert engine.evaluate(ctx(groups=frozenset({"ATLAS experiment"}))).granted
+
+    def test_or_operator(self):
+        engine = compile_policy(
+            "If User = Alice or User = Bob\n    Return GRANT\nReturn DENY"
+        )
+        assert engine.evaluate(ctx(user=ALICE)).granted
+        assert engine.evaluate(ctx(user=BOB)).granted
+        assert not engine.evaluate(ctx(user=DN.make("G", "D", "Eve"))).granted
+
+    def test_not_operator(self):
+        engine = compile_policy("If not User = Bob\n    Return GRANT\nReturn DENY")
+        assert engine.evaluate(ctx(user=ALICE)).granted
+        assert not engine.evaluate(ctx(user=BOB)).granted
+
+    def test_parentheses(self):
+        engine = compile_policy(
+            "If (User = Alice or User = Bob) and BW <= 10Mb/s\n"
+            "    Return GRANT\nReturn DENY"
+        )
+        assert engine.evaluate(ctx(user=BOB, bandwidth_mbps=5.0)).granted
+        assert not engine.evaluate(ctx(user=BOB, bandwidth_mbps=15.0)).granted
+
+    def test_inline_return(self):
+        engine = compile_policy("If User = Alice Return GRANT\nReturn DENY")
+        assert engine.evaluate(ctx(user=ALICE)).granted
+        assert not engine.evaluate(ctx(user=BOB)).granted
+
+    def test_comments_and_blank_lines(self):
+        engine = compile_policy(
+            "# domain A policy\n\nIf User = Alice  # the boss\n"
+            "    Return GRANT\nReturn DENY"
+        )
+        assert engine.evaluate(ctx(user=ALICE)).granted
+
+    def test_case_insensitive_keywords(self):
+        engine = compile_policy("if User = Alice\n    return GRANT\nRETURN DENY")
+        assert engine.evaluate(ctx(user=ALICE)).granted
+
+
+class TestSyntaxErrors:
+    def test_empty(self):
+        with pytest.raises(PolicySyntaxError):
+            parse_policy("")
+
+    def test_bad_return(self):
+        with pytest.raises(PolicySyntaxError, match="GRANT or DENY"):
+            parse_policy("Return MAYBE")
+
+    def test_if_without_block(self):
+        with pytest.raises(PolicySyntaxError, match="indented block"):
+            parse_policy("If User = Alice\nReturn DENY")
+
+    def test_unknown_statement(self):
+        with pytest.raises(PolicySyntaxError):
+            parse_policy("While User = Alice\n    Return GRANT")
+
+    def test_dangling_else(self):
+        with pytest.raises(PolicySyntaxError):
+            parse_policy("Else Return DENY")
+
+    def test_bad_condition(self):
+        with pytest.raises(PolicySyntaxError):
+            parse_policy("If User =\n    Return GRANT")
+
+    def test_bare_variable_condition(self):
+        with pytest.raises(PolicySyntaxError, match="not a condition"):
+            parse_policy("If User\n    Return GRANT")
+
+    def test_trailing_tokens(self):
+        with pytest.raises(PolicySyntaxError, match="trailing"):
+            parse_policy("If User = Alice Bob\n    Return GRANT")
+
+    def test_bad_character(self):
+        with pytest.raises(PolicySyntaxError):
+            parse_policy("If User = @lice\n    Return GRANT")
+
+    def test_bad_indent_jump(self):
+        with pytest.raises(PolicySyntaxError):
+            parse_policy(
+                "If User = Alice\n    Return GRANT\n        Return DENY"
+            )
+
+    def test_else_with_non_return_inline(self):
+        with pytest.raises(PolicySyntaxError, match="inline Return"):
+            parse_policy(
+                "If User = Alice\n    Return GRANT\nElse While x\nReturn DENY"
+            )
+
+    def test_line_number_in_error(self):
+        with pytest.raises(PolicySyntaxError, match="line 2"):
+            parse_policy("Return DENY\nbogus line here")
+
+    def test_invalid_time(self):
+        with pytest.raises(PolicySyntaxError):
+            parse_policy("If Time > 13pm\n    Return GRANT")
+
+
+@given(st.floats(min_value=0.0, max_value=1000.0))
+def test_threshold_property(bw):
+    """Property: the parsed 10Mb/s threshold behaves exactly like <= 10.0."""
+    engine = compile_policy("If BW <= 10Mb/s\n    Return GRANT\nReturn DENY")
+    decision = engine.evaluate(RequestContext(bandwidth_mbps=bw))
+    assert decision.granted == (bw <= 10.0)
+
+
+class TestAttributeAccessor:
+    def test_attribute_present(self):
+        engine = compile_policy(
+            "If Attribute(te_class) = gold\n    Return GRANT\nReturn DENY"
+        )
+        granted = engine.evaluate(ctx(attributes=(("te_class", "gold"),)))
+        assert granted.granted
+
+    def test_attribute_absent_is_none(self):
+        engine = compile_policy(
+            "If Attribute(te_class) = gold\n    Return GRANT\nReturn DENY"
+        )
+        assert not engine.evaluate(ctx()).granted
+
+    def test_attribute_numeric_comparison(self):
+        engine = compile_policy(
+            "If Attribute(priority) >= 5\n    Return GRANT\nReturn DENY"
+        )
+        assert engine.evaluate(ctx(attributes=(("priority", 7.0),))).granted
+        assert not engine.evaluate(ctx(attributes=(("priority", 3.0),))).granted
+
+    def test_attribute_bare_condition_truthiness(self):
+        engine = compile_policy(
+            "If Attribute(vip)\n    Return GRANT\nReturn DENY"
+        )
+        assert engine.evaluate(ctx(attributes=(("vip", True),))).granted
+        assert not engine.evaluate(ctx(attributes=(("vip", False),))).granted
+        assert not engine.evaluate(ctx()).granted
+
+
+@given(st.integers(min_value=1, max_value=12))
+def test_indent_width_insensitive_property(width):
+    """Any consistent indent width parses to the same decision function."""
+    pad = " " * width
+    source = (
+        "If User = Alice\n"
+        f"{pad}If BW <= 10Mb/s\n"
+        f"{pad}{pad}Return GRANT\n"
+        f"{pad}Else Return DENY\n"
+        "Return DENY"
+    )
+    engine = compile_policy(source)
+    assert engine.evaluate(ctx(user=ALICE, bandwidth_mbps=5.0)).granted
+    assert not engine.evaluate(ctx(user=ALICE, bandwidth_mbps=15.0)).granted
+    assert not engine.evaluate(ctx(user=BOB, bandwidth_mbps=5.0)).granted
+
+
+def test_tab_indentation_equivalent():
+    tabbed = (
+        "If User = Alice\n\tIf BW <= 10Mb/s\n\t\tReturn GRANT\nReturn DENY"
+    )
+    engine = compile_policy(tabbed)
+    assert engine.evaluate(ctx(user=ALICE, bandwidth_mbps=5.0)).granted

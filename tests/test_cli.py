@@ -1,0 +1,140 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestReserve:
+    def test_hop_by_hop_grant(self, capsys):
+        rc = main(["reserve", "--domains", "A,B,C", "--rate", "10"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "granted  : True" in out
+        assert "A -> B -> C" in out
+
+    def test_denial_exit_code(self, capsys):
+        rc = main(["reserve", "--rate", "500"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "denied by A" in out
+
+    def test_agent_without_trust_denied_then_stars_ok(self, capsys):
+        rc = main(["reserve", "--approach", "stars"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "approach : stars" in out
+
+    def test_agent_concurrent(self, capsys):
+        rc = main(["reserve", "--approach", "agent-concurrent"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "granted  : True" in out
+
+    def test_explicit_endpoints(self, capsys):
+        rc = main([
+            "reserve", "--domains", "X,Y,Z", "--source", "Y", "--dest", "Z",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Y -> Z" in out
+
+    def test_empty_domains(self, capsys):
+        rc = main(["reserve", "--domains", ","])
+        assert rc == 2
+
+
+class TestPolicyCheck:
+    POLICY = (
+        "If User = Alice\n"
+        "    If BW <= 10Mb/s\n"
+        "        Return GRANT\n"
+        "Return DENY\n"
+    )
+
+    def write(self, tmp_path, text=None):
+        path = tmp_path / "policy.txt"
+        path.write_text(text if text is not None else self.POLICY)
+        return str(path)
+
+    def test_grant(self, tmp_path, capsys):
+        rc = main(["policy-check", self.write(tmp_path),
+                   "--user", "Alice", "--bw", "8"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "GRANT" in out
+
+    def test_deny(self, tmp_path, capsys):
+        rc = main(["policy-check", self.write(tmp_path),
+                   "--user", "Bob", "--bw", "8"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "DENY" in out
+
+    def test_groups_and_issuers(self, tmp_path, capsys):
+        policy = (
+            "If Group = Atlas and Issued_by(Capability) = ESnet\n"
+            "    Return GRANT\nReturn DENY"
+        )
+        rc = main([
+            "policy-check", self.write(tmp_path, policy),
+            "--group", "Atlas", "--capability-issuer", "ESnet",
+        ])
+        assert rc == 0
+
+    def test_linked_reservations(self, tmp_path):
+        policy = "If HasValidCPUResv(RAR)\n    Return GRANT\nReturn DENY"
+        rc = main([
+            "policy-check", self.write(tmp_path, policy),
+            "--linked", "cpu=CPU-1",
+        ])
+        assert rc == 0
+        rc = main(["policy-check", self.write(tmp_path, policy)])
+        assert rc == 1
+
+    def test_bad_linked_syntax(self, tmp_path, capsys):
+        rc = main([
+            "policy-check", self.write(tmp_path), "--linked", "nonsense",
+        ])
+        assert rc == 2
+        assert "kind=handle" in capsys.readouterr().err
+
+    def test_syntax_error_reported(self, tmp_path, capsys):
+        rc = main(["policy-check", self.write(tmp_path, "Gibberish here")])
+        assert rc == 2
+        assert "syntax error" in capsys.readouterr().err
+
+    def test_missing_file(self, capsys):
+        rc = main(["policy-check", "/nonexistent/policy.txt"])
+        assert rc == 2
+
+    def test_stdin(self, tmp_path, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO("Return GRANT"))
+        rc = main(["policy-check", "-"])
+        assert rc == 0
+
+
+class TestAttack:
+    def test_attack_report(self, capsys):
+        rc = main(["attack"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "complete=False" in out
+        assert "Figure 4 reproduced" in out
+
+
+class TestWorkload:
+    def test_light_load(self, capsys):
+        rc = main(["workload", "--load", "0.25", "--horizon", "2000"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "acceptance ratio  : 1.00" in out
+
+    def test_heavy_load_reports_rejections(self, capsys):
+        rc = main(["workload", "--load", "3.0", "--horizon", "3000"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Erlang-B predicts" in out
+        assert "rejections" in out

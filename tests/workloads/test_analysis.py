@@ -1,0 +1,88 @@
+"""Tests for the Erlang-B analytic companion, including validation of the
+measured workload sweep against theory."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.testbed import build_linear_testbed
+from repro.errors import SimulationError
+from repro.workloads.analysis import (
+    erlang_b,
+    offered_erlangs,
+    predicted_acceptance,
+)
+from repro.workloads.generator import ReservationWorkload, WorkloadSpec
+
+
+class TestErlangB:
+    def test_known_values(self):
+        # Classic reference points (traffic-engineering tables).
+        assert erlang_b(1.0, 1) == pytest.approx(0.5)
+        assert erlang_b(2.0, 2) == pytest.approx(0.4)
+        assert erlang_b(10.0, 10) == pytest.approx(0.2146, abs=1e-3)
+        assert erlang_b(5.0, 10) == pytest.approx(0.0184, abs=1e-3)
+
+    def test_zero_load(self):
+        assert erlang_b(0.0, 5) == 0.0
+
+    def test_zero_servers_blocks_everything(self):
+        assert erlang_b(3.0, 0) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            erlang_b(-1.0, 5)
+        with pytest.raises(SimulationError):
+            erlang_b(1.0, -1)
+        with pytest.raises(SimulationError):
+            predicted_acceptance(
+                arrival_rate_per_s=1.0, mean_duration_s=1.0,
+                mean_rate_mbps=0.0, bottleneck_mbps=10.0,
+            )
+
+    @given(
+        st.floats(min_value=0.01, max_value=50.0),
+        st.integers(min_value=1, max_value=60),
+    )
+    def test_monotonic_in_load_property(self, load, servers):
+        """More offered load -> more blocking; more servers -> less."""
+        assert erlang_b(load, servers) <= erlang_b(load * 1.5, servers) + 1e-12
+        assert erlang_b(load, servers + 1) <= erlang_b(load, servers) + 1e-12
+
+    def test_offered_erlangs(self):
+        assert offered_erlangs(0.1, 300.0) == pytest.approx(30.0)
+
+
+class TestTheoryVsMeasurement:
+    def test_sweep_matches_erlang_prediction(self):
+        """The measured acceptance ratio tracks the Erlang-B prediction
+        within loose tolerance (heterogeneous rates and advance windows
+        perturb the pure loss-system assumptions)."""
+        bottleneck = 100.0
+        mean_rate = 10.0
+        mean_hold = 300.0
+        for load_factor in (0.5, 2.0):
+            arrival = load_factor * bottleneck / (mean_rate * mean_hold)
+            tb = build_linear_testbed(
+                ["A", "B"], hosts_per_domain=1,
+                inter_capacity_mbps=bottleneck,
+            )
+            spec = WorkloadSpec(
+                arrival_rate_per_s=arrival,
+                mean_duration_s=mean_hold,
+                rate_choices_mbps=(mean_rate,),
+                pairs=(("A", "B"),),
+                horizon_s=20_000.0,
+            )
+            result = ReservationWorkload(tb, spec, rng=random.Random(5)).run()
+            predicted = predicted_acceptance(
+                arrival_rate_per_s=arrival,
+                mean_duration_s=mean_hold,
+                mean_rate_mbps=mean_rate,
+                bottleneck_mbps=bottleneck,
+            )
+            assert result.acceptance_ratio == pytest.approx(
+                predicted, abs=0.12
+            ), (load_factor, result.acceptance_ratio, predicted)
