@@ -9,7 +9,15 @@ printed via the ``report`` fixture (visible with ``-s`` and in the
 captured output summary).
 """
 
+import json
+import pathlib
+
 import pytest
+
+from repro.obs import export, metrics
+
+#: Where per-benchmark metrics snapshots land (git-ignored).
+SNAPSHOT_DIR = pathlib.Path(__file__).parent / ".metrics"
 
 
 @pytest.fixture()
@@ -21,3 +29,27 @@ def report():
         print()
         for row in rows:
             print(row)
+
+
+@pytest.fixture(autouse=True)
+def metrics_snapshot(request):
+    """Run every benchmark under a fresh metrics registry and snapshot it.
+
+    The JSON snapshot (one file per test, under ``benchmarks/.metrics/``)
+    lets a run be diffed against an earlier one — e.g. "did the message
+    count per reservation change?" — without touching the benchmark code.
+    Timing-sensitive benchmarks that must measure the *disabled* path can
+    opt out with ``@pytest.mark.no_metrics``.
+    """
+    if request.node.get_closest_marker("no_metrics"):
+        yield
+        return
+    with metrics.use_registry() as registry:
+        yield
+    snapshot = export.json_snapshot(registry)
+    if not snapshot:
+        return
+    SNAPSHOT_DIR.mkdir(exist_ok=True)
+    safe = request.node.name.replace("/", "_").replace("::", "-")
+    path = SNAPSHOT_DIR / f"{safe}.json"
+    path.write_text(json.dumps(snapshot, indent=2, sort_keys=True))

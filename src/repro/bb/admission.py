@@ -13,11 +13,15 @@ about and books all-or-nothing across them.
 from __future__ import annotations
 
 import itertools
+import logging
 from dataclasses import dataclass
 
 from repro.errors import AdmissionError, CapacityExceededError
+from repro.obs import metrics as obs_metrics
 
 __all__ = ["Booking", "CapacitySchedule", "AdmissionController"]
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -83,7 +87,17 @@ class CapacitySchedule:
         if rate_mbps <= 0:
             raise AdmissionError("booked rate must be positive")
         spare = self.available(start, end)
+        registry = obs_metrics.get_registry()
         if rate_mbps > spare + 1e-9:
+            if registry is not None:
+                registry.counter(
+                    "booking_failures_total",
+                    "Capacity bookings refused for lack of spare capacity",
+                ).inc(resource=self.name)
+            logger.debug(
+                "%s: booking of %.1f Mb/s refused (%.3f spare)",
+                self.name, rate_mbps, max(spare, 0.0),
+            )
             raise CapacityExceededError(
                 f"{self.name}: requested {rate_mbps} Mb/s over [{start}, {end}) "
                 f"but only {max(spare, 0.0):.3f} Mb/s available "
@@ -91,6 +105,14 @@ class CapacitySchedule:
             )
         booking = Booking(next(self._ids), start, end, rate_mbps, tag)
         self._bookings[booking.booking_id] = booking
+        if registry is not None:
+            registry.counter(
+                "bookings_total", "Capacity bookings admitted, by resource",
+            ).inc(resource=self.name)
+            registry.gauge(
+                "booked_load_mbps",
+                "Total booked rate at the start of the latest booking",
+            ).set(self.load_at(start), resource=self.name)
         return booking
 
     def release(self, booking_id: int) -> None:

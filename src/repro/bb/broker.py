@@ -21,6 +21,7 @@ The four source-domain steps of §6.1 map onto this class as:
 
 from __future__ import annotations
 
+import logging
 import random
 from dataclasses import dataclass
 from typing import Protocol
@@ -39,9 +40,14 @@ from repro.crypto.keys import KeyPair, get_scheme
 from repro.crypto.truststore import TrustStore
 from repro.crypto.x509 import Certificate
 from repro.errors import AdmissionError, SLAError, SLAViolationError
+from repro.obs import events as obs_events
+from repro.obs import metrics as obs_metrics
+from repro.obs.events import EventKind
 from repro.policy.engine import PolicyDecision
 
 __all__ = ["EdgeConfigurator", "BandwidthBroker", "AdmitOutcome", "AuditEntry"]
+
+logger = logging.getLogger(__name__)
 
 #: Resource-name conventions inside a broker's admission controller.
 INTRA = "intra"
@@ -260,6 +266,12 @@ class BandwidthBroker:
     def register_linked_validator(self, kind: str, fn) -> None:
         self._linked_validators[kind] = fn
 
+    #: Audit events → structured-event kinds ("admit" splits on *granted*).
+    _EVENT_KINDS = {
+        "claim": EventKind.CLAIM,
+        "cancel": EventKind.CANCEL,
+    }
+
     def _audit(self, event: str, resv: Reservation, *, granted: bool,
                reason: str = "", at_time: float = 0.0) -> None:
         self.audit_log.append(
@@ -276,6 +288,39 @@ class BandwidthBroker:
                 downstream=resv.downstream,
             )
         )
+        registry = obs_metrics.get_registry()
+        if registry is not None:
+            if event == "admit":
+                registry.counter(
+                    "admissions_total",
+                    "Local admission attempts, by domain and outcome",
+                ).inc(domain=self.domain, granted=str(granted).lower())
+            elif event == "claim":
+                registry.counter(
+                    "claims_total", "Reservations claimed (activated)",
+                ).inc(domain=self.domain)
+            elif event == "cancel":
+                registry.counter(
+                    "cancellations_total", "Reservations cancelled",
+                ).inc(domain=self.domain)
+        event_log = obs_events.get_event_log()
+        if event_log is not None:
+            if event == "admit":
+                kind = EventKind.ADMIT if granted else EventKind.DENY
+            else:
+                kind = self._EVENT_KINDS.get(event)
+            if kind is not None:
+                event_log.emit(
+                    kind, at_time=at_time, domain=self.domain,
+                    user=str(resv.owner) if resv.owner else "",
+                    handle=resv.handle, reason=reason,
+                    rate_mbps=resv.request.rate_mbps,
+                )
+        if event == "admit" and not granted:
+            logger.info("%s: denied %s: %s", self.domain, resv.handle, reason)
+        else:
+            logger.debug("%s: %s %s (granted=%s)", self.domain, event,
+                         resv.handle, granted)
 
     def admit(
         self,

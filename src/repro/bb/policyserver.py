@@ -20,6 +20,7 @@ The policy server owns:
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
@@ -28,6 +29,7 @@ from repro.crypto.dn import DistinguishedName
 from repro.crypto.keys import PublicKey
 from repro.crypto.x509 import Certificate
 from repro.errors import DelegationError
+from repro.obs import metrics as obs_metrics
 from repro.policy.engine import (
     Decision,
     PolicyDecision,
@@ -39,6 +41,20 @@ from repro.policy.attributes import SignedAssertion
 from repro.bb.reservations import ReservationRequest
 
 __all__ = ["VerifiedInfo", "PolicyServer", "AkentiPolicyServer"]
+
+logger = logging.getLogger(__name__)
+
+
+def _record_decision(domain: str, decision: PolicyDecision) -> None:
+    """Shared decision telemetry for every policy-server flavour."""
+    registry = obs_metrics.get_registry()
+    if registry is not None:
+        registry.counter(
+            "policy_decisions_total",
+            "Policy-engine decisions, by domain and outcome",
+        ).inc(domain=domain, decision=decision.decision.name.lower())
+    logger.debug("%s: policy %s (%s)", domain, decision.decision.name,
+                 decision.reason)
 
 
 @dataclass(frozen=True)
@@ -154,6 +170,15 @@ class PolicyServer:
             restrictions |= result.restrictions
             issuers.add(_community_of(result.issuer))
 
+        if rejected:
+            registry = obs_metrics.get_registry()
+            if registry is not None:
+                registry.counter(
+                    "credential_rejections_total",
+                    "Claimed credentials that failed verification",
+                ).inc(len(rejected), domain=self.domain)
+            for why in rejected:
+                logger.info("%s: rejected credential: %s", self.domain, why)
         return VerifiedInfo(
             user=user,
             groups=frozenset(groups),
@@ -214,11 +239,12 @@ class PolicyServer:
         )
         decision = self.engine.evaluate(ctx)
         if decision.decision is Decision.GRANT and self.domain_attributes:
-            return PolicyDecision(
+            decision = PolicyDecision(
                 decision.decision,
                 reason=decision.reason,
                 modifications=tuple(sorted(self.domain_attributes.items())),
             )
+        _record_decision(self.domain, decision)
         return decision
 
 
@@ -260,20 +286,22 @@ class AkentiPolicyServer(PolicyServer):
     ) -> PolicyDecision:
         self.decisions += 1
         if verified.user is None:
-            return PolicyDecision(Decision.DENY, reason="akenti: no user")
-        granted = self.akenti.authorize(
+            decision = PolicyDecision(Decision.DENY, reason="akenti: no user")
+        elif self.akenti.authorize(
             self.resource,
             verified.user,
             verified.raw_assertions,
             at_time=at_time,
-        )
-        if granted:
-            return PolicyDecision(
+        ):
+            decision = PolicyDecision(
                 Decision.GRANT,
                 reason=f"akenti: use conditions on {self.resource!r} satisfied",
                 modifications=tuple(sorted(self.domain_attributes.items())),
             )
-        return PolicyDecision(
-            Decision.DENY,
-            reason=f"akenti: use conditions on {self.resource!r} not satisfied",
-        )
+        else:
+            decision = PolicyDecision(
+                Decision.DENY,
+                reason=f"akenti: use conditions on {self.resource!r} not satisfied",
+            )
+        _record_decision(self.domain, decision)
+        return decision

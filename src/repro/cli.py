@@ -8,13 +8,21 @@ Subcommands:
   evaluate it against request parameters given as flags (a policy
   linter/debugger for domain administrators);
 * ``attack`` — run the Figure 4 misreservation scenario on the DiffServ
-  simulator and print the damage report.
+  simulator and print the damage report;
+* ``metrics`` — run reservations with the observability substrate
+  enabled and dump the metrics registry (Prometheus text or JSON);
+* ``trace`` — run one reservation with span tracing enabled, print the
+  span tree, and cross-check it against the envelope-derived path.
+
+``-v`` / ``-vv`` (before the subcommand) raises logging to INFO / DEBUG.
 
 Examples::
 
     python -m repro reserve --domains A,B,C --source A --dest C --rate 10
     python -m repro policy-check policy.txt --user Alice --bw 8 --time 14
     python -m repro attack
+    python -m repro metrics --domains A,B,C --runs 5 --format prom
+    python -m repro -v trace --domains A,B,C,D
 """
 
 from __future__ import annotations
@@ -33,6 +41,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Multi-domain QoS reservations (HPDC 2001 reproduction)",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="log more (-v: INFO, -vv: DEBUG); logs go to stderr",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -84,6 +96,30 @@ def build_parser() -> argparse.ArgumentParser:
     workload.add_argument("--horizon", type=float, default=6000.0,
                           help="simulated seconds of arrivals")
     workload.add_argument("--seed", type=int, default=11)
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="run reservations with observability on and dump the registry",
+    )
+    metrics.add_argument("--domains", default="A,B,C")
+    metrics.add_argument("--rate", type=float, default=10.0)
+    metrics.add_argument("--duration", type=float, default=3600.0)
+    metrics.add_argument("--user", default="Alice")
+    metrics.add_argument("--runs", type=int, default=3,
+                         help="how many reservations to signal")
+    metrics.add_argument("--format", choices=("prom", "json"),
+                         default="prom", help="exposition format")
+
+    trace = sub.add_parser(
+        "trace",
+        help="trace one reservation and print its span tree",
+    )
+    trace.add_argument("--domains", default="A,B,C")
+    trace.add_argument("--source", default=None)
+    trace.add_argument("--dest", default=None)
+    trace.add_argument("--rate", type=float, default=10.0)
+    trace.add_argument("--duration", type=float, default=3600.0)
+    trace.add_argument("--user", default="Alice")
 
     return parser
 
@@ -267,9 +303,79 @@ def cmd_workload(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_metrics(args: argparse.Namespace) -> int:
+    from repro import obs
+
+    domains = [d.strip() for d in args.domains.split(",") if d.strip()]
+    if not domains:
+        print("error: need at least one domain", file=sys.stderr)
+        return 2
+    source, dest = domains[0], domains[-1]
+    granted = 0
+    with obs.observed() as (registry, _tracer, _events):
+        testbed = build_linear_testbed(domains)
+        user = testbed.add_user(source, args.user)
+        for _ in range(max(args.runs, 1)):
+            outcome = testbed.reserve(
+                user, source=source, destination=dest,
+                bandwidth_mbps=args.rate, duration=args.duration,
+            )
+            granted += int(outcome.granted)
+    if args.format == "json":
+        print(obs.export.json_text(registry))
+    else:
+        print(obs.export.prometheus_text(registry), end="")
+    print(f"# {granted}/{max(args.runs, 1)} reservations granted",
+          file=sys.stderr)
+    return 0 if granted else 1
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro import obs
+    from repro.core.tracing import trace_request_path
+
+    domains = [d.strip() for d in args.domains.split(",") if d.strip()]
+    if not domains:
+        print("error: need at least one domain", file=sys.stderr)
+        return 2
+    source = args.source or domains[0]
+    dest = args.dest or domains[-1]
+    with obs.observed() as (_registry, tracer, _events):
+        testbed = build_linear_testbed(domains)
+        user = testbed.add_user(source, args.user)
+        outcome = testbed.reserve(
+            user, source=source, destination=dest,
+            bandwidth_mbps=args.rate, duration=args.duration,
+        )
+    trace_id = outcome.correlation_id or tracer.latest_trace()
+    if not trace_id:
+        print("error: no spans were recorded", file=sys.stderr)
+        return 2
+    print(tracer.render(trace_id))
+    hops = tracer.hop_chain(trace_id)
+    print(f"hop order : {' -> '.join(str(s.attributes['domain']) for s in hops)}")
+    if outcome.final_rar is not None:
+        # The RAR at the destination is signed by the user and every BB
+        # before the destination; the span chain must name the same BBs
+        # in the same order (the destination hop adds no wrapper).
+        envelope = trace_request_path(outcome.final_rar)
+        signers = [str(dn) for dn in envelope.signers]
+        span_bbs = [str(s.attributes["bb"]) for s in hops]
+        matches = envelope.consistent and span_bbs[: len(signers) - 1] == signers[1:]
+        print(f"envelope  : {' -> '.join(signers)}")
+        print(f"span tree matches envelope path: {matches}")
+        if not matches:
+            return 1
+    return 0 if outcome.granted else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.verbose:
+        from repro.obs import configure_logging
+
+        configure_logging(args.verbose)
     try:
         if args.command == "reserve":
             return cmd_reserve(args)
@@ -279,6 +385,10 @@ def main(argv: list[str] | None = None) -> int:
             return cmd_attack(args)
         if args.command == "workload":
             return cmd_workload(args)
+        if args.command == "metrics":
+            return cmd_metrics(args)
+        if args.command == "trace":
+            return cmd_trace(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -29,6 +29,8 @@ the engine sums these along the actual message trajectory.
 
 from __future__ import annotations
 
+import logging
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Mapping, Sequence
 
@@ -65,9 +67,15 @@ from repro.errors import (
     TrustError,
     TamperedMessageError,
 )
+from repro.obs import events as obs_events
+from repro.obs import metrics as obs_metrics
+from repro.obs import spans as obs_spans
+from repro.obs.events import EventKind
 from repro.policy.attributes import SignedAssertion, make_assertion
 
 __all__ = ["SignallingOutcome", "HopByHopProtocol"]
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -104,6 +112,9 @@ class SignallingOutcome:
     cost: float = 0.0
     #: Certificate-repository lookups performed (repository mode only).
     repository_lookups: int = 0
+    #: Correlation ID minted when the user agent signed ``RAR_U``; ties
+    #: this outcome to its spans and structured events.
+    correlation_id: str = ""
 
 
 class HopByHopProtocol:
@@ -183,10 +194,97 @@ class HopByHopProtocol:
         assertions: Sequence[SignedAssertion] = (),
         restrictions: tuple[str, ...] = (),
     ) -> SignallingOutcome:
-        """Run the full hop-by-hop reservation for *request*."""
+        """Run the full hop-by-hop reservation for *request*.
+
+        Observability: a per-request correlation ID is minted here (the
+        moment the user agent signs ``RAR_U``), every event emitted while
+        the request is in flight carries it, and — when tracing is
+        enabled — a ``reserve`` root span plus one nested ``hop`` span
+        per BB record the trajectory exactly as the signature envelopes
+        nest it.
+        """
+        correlation_id = obs_spans.mint_correlation_id()
+        tracer = obs_spans.get_tracer()
+        root = None
+        if tracer is not None:
+            root = tracer.begin(
+                "reserve",
+                trace_id=correlation_id,
+                user=str(user.dn),
+                source=request.source_domain,
+                destination=request.destination_domain,
+                rate_mbps=request.rate_mbps,
+            )
+        logger.info(
+            "%s: reserve %s -> %s rate=%.1f Mb/s user=%s",
+            correlation_id, request.source_domain,
+            request.destination_domain, request.rate_mbps, user.dn,
+        )
+        with obs_events.correlation_scope(correlation_id):
+            outcome = self._signal(
+                user, request, assertions=assertions,
+                restrictions=restrictions, tracer=tracer, root=root,
+            )
+        outcome.correlation_id = correlation_id
+        if tracer is not None and root is not None:
+            tracer.end(
+                root,
+                status="ok" if outcome.granted else "denied",
+                granted=outcome.granted,
+                sim_latency_s=outcome.latency_s,
+                messages=outcome.messages,
+            )
+        registry = obs_metrics.get_registry()
+        if registry is not None:
+            registry.counter(
+                "reservations_total",
+                "End-to-end hop-by-hop reservation attempts",
+            ).inc(result="granted" if outcome.granted else "denied")
+            registry.counter(
+                "signalling_messages_total",
+                "Signalling messages exchanged by the hop-by-hop protocol",
+            ).inc(outcome.messages)
+            registry.counter(
+                "signalling_bytes_total",
+                "Signalling bytes exchanged by the hop-by-hop protocol",
+            ).inc(outcome.bytes)
+            registry.histogram(
+                "signalling_latency_seconds",
+                "Modelled end-to-end signalling latency per reservation",
+            ).observe(outcome.latency_s)
+            if not outcome.granted:
+                registry.counter(
+                    "denials_total", "Reservations denied, by denying domain",
+                ).inc(domain=outcome.denial_domain or "")
+        if outcome.granted:
+            logger.info(
+                "%s: granted along %s (latency %.1f ms, %d messages)",
+                correlation_id, " -> ".join(outcome.path),
+                outcome.latency_s * 1e3, outcome.messages,
+            )
+        else:
+            logger.warning(
+                "%s: denied by %s: %s", correlation_id,
+                outcome.denial_domain, outcome.denial_reason,
+            )
+        return outcome
+
+    def _signal(
+        self,
+        user: UserAgent,
+        request: ReservationRequest,
+        *,
+        assertions: Sequence[SignedAssertion],
+        restrictions: tuple[str, ...],
+        tracer,
+        root,
+    ) -> SignallingOutcome:
+        """The protocol body (request leg, reply leg); see :meth:`reserve`."""
         at_time = self.clock()
         path = self.domain_path(request.source_domain, request.destination_domain)
         outcome = SignallingOutcome(granted=False, path=tuple(path))
+        registry = obs_metrics.get_registry()
+        event_log = obs_events.get_event_log()
 
         source_bb = self._broker(path[0])
         user_channel = self.channels.connect(user, source_bb, at_time=at_time)
@@ -214,6 +312,13 @@ class HopByHopProtocol:
         channels_walked: list[SecureChannel] = [user_channel]
         upstream_peer_cert = user_channel.peer_certificate(source_bb.dn)
 
+        #: Open ``hop`` spans in travel order; each closes when the reply
+        #: passes back through that hop (denials close them early).
+        hop_spans: list = []
+        span_parent = root
+        #: Latency the request paid to reach the hop being processed.
+        inbound_latency_s = user_channel.latency_s
+
         denial: SignedEnvelope | None = None
         granted_so_far: list[tuple[BandwidthBroker, str]] = []
         #: Accumulated cost of the path so far (§6.1: the request carries
@@ -225,9 +330,23 @@ class HopByHopProtocol:
         for index, domain in enumerate(path):
             bb = self._broker(domain)
             outcome.latency_s += self.processing_delay_s
+            hop_sim_latency_s = inbound_latency_s + self.processing_delay_s
             upstream = path[index - 1] if index > 0 else None
             downstream = path[index + 1] if index + 1 < len(path) else None
 
+            hop_span = None
+            if tracer is not None:
+                hop_span = tracer.begin(
+                    "hop",
+                    trace_id=root.trace_id,
+                    parent=span_parent,
+                    domain=domain,
+                    bb=str(bb.dn),
+                )
+                hop_spans.append(hop_span)
+                span_parent = hop_span
+
+            phase_t0 = time.perf_counter()
             try:
                 if self.repository is not None:
                     verified, lookups = verify_rar_with_repository(
@@ -239,9 +358,9 @@ class HopByHopProtocol:
                         at_time=at_time,
                     )
                     outcome.repository_lookups += lookups
-                    outcome.latency_s += (
-                        lookups * self.repository.lookup_latency_s
-                    )
+                    lookup_latency_s = lookups * self.repository.lookup_latency_s
+                    outcome.latency_s += lookup_latency_s
+                    hop_sim_latency_s += lookup_latency_s
                 else:
                     verified = verify_rar(
                         rar,
@@ -252,12 +371,29 @@ class HopByHopProtocol:
                     )
             except (TrustError, TamperedMessageError, SignallingError,
                     CertificateError) as exc:
+                logger.warning("%s: trust verification failed: %s", domain, exc)
+                if tracer is not None:
+                    tracer.record(
+                        "verify", parent=hop_span, start_wall=phase_t0,
+                        status="error", error=str(exc),
+                    )
+                if event_log is not None:
+                    event_log.emit(
+                        EventKind.TRUST_FAILURE, at_time=at_time,
+                        domain=domain, reason=str(exc),
+                    )
                 denial = make_denial(
                     domain=domain, reason=f"trust verification failed: {exc}",
                     bb=bb.dn, bb_key=bb.keypair.private,
                 )
                 break
+            if tracer is not None:
+                tracer.record(
+                    "verify", parent=hop_span, start_wall=phase_t0,
+                    depth=verified.depth, signer=str(verified.user),
+                )
 
+            phase_t0 = time.perf_counter()
             chains = split_capability_chains(verified.capability_chain)
             info = bb.policy_server.verify_credentials(
                 user=verified.user,
@@ -273,6 +409,13 @@ class HopByHopProtocol:
                 if path_attrs
                 else verified.request
             )
+            if tracer is not None:
+                tracer.record(
+                    "policy", parent=hop_span, start_wall=phase_t0,
+                    chains=len(chains), rejected=len(info.rejected),
+                )
+
+            phase_t0 = time.perf_counter()
             admit = bb.admit(
                 local_request,
                 info,
@@ -280,7 +423,18 @@ class HopByHopProtocol:
                 upstream=upstream,
                 downstream=downstream,
             )
+            if tracer is not None:
+                tracer.record(
+                    "admission", parent=hop_span, start_wall=phase_t0,
+                    granted=admit.granted, handle=admit.reservation.handle,
+                )
             outcome.handles[domain] = admit.reservation.handle
+            if registry is not None:
+                registry.histogram(
+                    "hop_latency_seconds",
+                    "Modelled per-hop signalling latency (inbound channel "
+                    "crossing + processing + repository lookups)",
+                ).observe(hop_sim_latency_s, domain=domain)
             if not admit.granted:
                 denial = make_denial(
                     domain=domain, reason=admit.reason,
@@ -314,6 +468,7 @@ class HopByHopProtocol:
             if downstream is None:
                 # Destination domain: full §6.5 check — every chain, with
                 # proof of possession by this BB.
+                phase_t0 = time.perf_counter()
                 outcome.final_rar = rar
                 outcome.verified = verified
                 results = []
@@ -334,10 +489,16 @@ class HopByHopProtocol:
                         continue
                 outcome.delegations = tuple(results)
                 outcome.delegation = results[0] if results else None
+                if tracer is not None:
+                    tracer.record(
+                        "delegation", parent=hop_span, start_wall=phase_t0,
+                        chains=len(chains), verified=len(results),
+                    )
                 break
 
             # Forward downstream: delegate every capability chain this BB
             # holds, introduce the upstream certificate.
+            phase_t0 = time.perf_counter()
             next_bb = self._broker(downstream)
             channel = self.channels.connect(bb, next_bb, at_time=at_time)
             forwarded_caps: tuple[Certificate, ...] = tuple(
@@ -373,14 +534,37 @@ class HopByHopProtocol:
             outcome.latency_s += channel.latency_s
             outcome.messages += 1
             outcome.bytes += rar.wire_size()
+            if tracer is not None:
+                tracer.record(
+                    "forward", parent=hop_span, start_wall=phase_t0,
+                    downstream=downstream,
+                    sim_latency_s=channel.latency_s,
+                )
+            inbound_latency_s = channel.latency_s
             channels_walked.append(channel)
             upstream_peer_cert = channel.peer_certificate(next_bb.dn)
 
         # --- reply leg: approval or denial back upstream ------------------------
         if denial is not None:
+            denial_domain = denial[F_DOMAIN]
             # Release what was granted on the partial path.
             for bb, handle in granted_so_far:
                 bb.cancel(handle)
+                logger.info(
+                    "%s: released %s after denial by %s",
+                    bb.domain, handle, denial_domain,
+                )
+                if registry is not None:
+                    registry.counter(
+                        "releases_total",
+                        "Partial-path reservations released after a "
+                        "downstream denial",
+                    ).inc(domain=bb.domain)
+                if event_log is not None:
+                    event_log.emit(
+                        EventKind.RELEASE, at_time=at_time, domain=bb.domain,
+                        handle=handle, reason=f"denied by {denial_domain}",
+                    )
             reply = denial
             # The denial travels back over the channels already walked; on
             # each channel the downstream endpoint is the sender.
@@ -391,7 +575,17 @@ class HopByHopProtocol:
                 outcome.latency_s += channel.latency_s
                 outcome.messages += 1
                 outcome.bytes += reply.wire_size()
-            outcome.denial_domain = denial[F_DOMAIN]
+                if tracer is not None and index < len(hop_spans):
+                    hop = hop_spans[index]
+                    tracer.end(
+                        hop,
+                        status=(
+                            "denied"
+                            if hop.attributes.get("domain") == denial_domain
+                            else "released"
+                        ),
+                    )
+            outcome.denial_domain = denial_domain
             outcome.denial_reason = denial[F_REASON]
             outcome.approval = None
             return outcome
@@ -415,6 +609,11 @@ class HopByHopProtocol:
             outcome.latency_s += channel.latency_s
             outcome.messages += 1
             outcome.bytes += reply.wire_size()
+            if tracer is not None and index < len(hop_spans):
+                tracer.end(
+                    hop_spans[index],
+                    handle=outcome.handles[domain],
+                )
         outcome.approval = reply
         outcome.granted = True
         return outcome
@@ -426,14 +625,20 @@ class HopByHopProtocol:
         routers get configured through each broker's configurator)."""
         if not outcome.granted:
             raise SignallingError("cannot claim a denied reservation")
-        for domain in outcome.path:
-            self._broker(domain).claim(outcome.handles[domain])
+        logger.info("%s: claiming along %s", outcome.correlation_id,
+                    " -> ".join(outcome.path))
+        with obs_events.correlation_scope(outcome.correlation_id):
+            for domain in outcome.path:
+                self._broker(domain).claim(outcome.handles[domain])
 
     def cancel(self, outcome: SignallingOutcome) -> None:
-        for domain in outcome.path:
-            handle = outcome.handles.get(domain)
-            if handle is not None:
-                self._broker(domain).cancel(handle)
+        logger.info("%s: cancelling along %s", outcome.correlation_id,
+                    " -> ".join(outcome.path))
+        with obs_events.correlation_scope(outcome.correlation_id):
+            for domain in outcome.path:
+                handle = outcome.handles.get(domain)
+                if handle is not None:
+                    self._broker(domain).cancel(handle)
 
     def modify(
         self,

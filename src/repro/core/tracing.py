@@ -22,7 +22,7 @@ from repro.core.messages import (
     F_INNER,
     F_TYPE,
     MSG_APPROVAL,
-    unwrap_rar_layers,
+    MSG_RAR,
 )
 from repro.errors import SignallingError
 
@@ -42,8 +42,27 @@ class PathTrace:
 
 
 def trace_request_path(rar: SignedEnvelope) -> PathTrace:
-    """Trace the hops of a (possibly nested) RAR, user first."""
-    layers = unwrap_rar_layers(rar)  # outermost first
+    """Trace the hops of a (possibly nested) RAR, user first.
+
+    Walks the nesting itself with the same depth guard as
+    :func:`trace_approval_chain`, so a maliciously deep (or cyclic)
+    envelope raises :class:`~repro.errors.SignallingError` instead of
+    relying on downstream helpers to bound the walk.
+    """
+    layers: list[SignedEnvelope] = []
+    current: SignedEnvelope | None = rar
+    while current is not None:
+        if current.get(F_TYPE) != MSG_RAR:
+            raise SignallingError(
+                f"layer signed by {current.signer} is not a RAR"
+            )
+        layers.append(current)
+        inner = current.get(F_INNER)
+        if inner is not None and not isinstance(inner, SignedEnvelope):
+            raise SignallingError("inner RAR field holds a non-envelope")
+        current = inner
+        if len(layers) > 64:
+            raise SignallingError("RAR nesting exceeds maximum depth")
     in_travel_order = list(reversed(layers))
     signers = tuple(layer.signer for layer in in_travel_order)
     addressed = tuple(layer.get(F_DOWNSTREAM) for layer in in_travel_order)

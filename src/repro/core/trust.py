@@ -25,6 +25,8 @@ assertions added along the path, and the traced path itself.
 
 from __future__ import annotations
 
+import logging
+import time
 from dataclasses import dataclass
 
 from repro.bb.reservations import ReservationRequest
@@ -43,12 +45,62 @@ from repro.core.messages import (
 from repro.errors import (
     ChainTooDeepError,
     IntroductionError,
+    ReproError,
     SignallingError,
     TamperedMessageError,
 )
+from repro.obs import metrics as obs_metrics
 from repro.policy.attributes import SignedAssertion
 
 __all__ = ["VerifiedRAR", "verify_rar", "verify_rar_with_repository"]
+
+logger = logging.getLogger(__name__)
+
+#: Buckets for the introduction-depth histogram (layers below the outer).
+_DEPTH_BUCKETS = (0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
+
+
+def _meter_verification(fn, mode: str):
+    """Wrap a RAR verifier with signature/depth/timing telemetry.
+
+    Counts every verification attempt (``rar_verifications_total`` with a
+    ``result`` label), the individual signature checks it implied (one
+    per envelope layer), the introduction depth distribution, and the
+    wall-clock cost — all skipped entirely when no registry is active.
+    """
+    registry = obs_metrics.get_registry()
+    if registry is None:
+        return fn()
+    t0 = time.perf_counter()
+    try:
+        result = fn()
+    except ReproError as exc:
+        registry.counter(
+            "rar_verifications_total",
+            "Transitive-trust RAR verifications, by result",
+        ).inc(result="fail", mode=mode)
+        logger.debug("RAR verification failed (%s): %s", mode, exc)
+        raise
+    elapsed = time.perf_counter() - t0
+    verified = result[0] if mode == "repository" else result
+    registry.counter(
+        "rar_verifications_total",
+        "Transitive-trust RAR verifications, by result",
+    ).inc(result="ok", mode=mode)
+    registry.counter(
+        "signature_verifications_total",
+        "Individual envelope-signature checks performed",
+    ).inc(verified.depth + 1)
+    registry.histogram(
+        "rar_verification_depth",
+        "Introduction depth of verified RARs",
+        buckets=_DEPTH_BUCKETS,
+    ).observe(verified.depth)
+    registry.histogram(
+        "rar_verification_seconds",
+        "Wall-clock cost of one transitive-trust verification",
+    ).observe(elapsed)
+    return result
 
 
 @dataclass(frozen=True)
@@ -92,6 +144,26 @@ def verify_rar(
     :class:`~repro.errors.ChainTooDeepError` when the verifier's trust
     policy rejects the introduction depth.
     """
+    return _meter_verification(
+        lambda: _verify_rar_impl(
+            rar,
+            verifier=verifier,
+            peer_certificate=peer_certificate,
+            truststore=truststore,
+            at_time=at_time,
+        ),
+        "introduction",
+    )
+
+
+def _verify_rar_impl(
+    rar: SignedEnvelope,
+    *,
+    verifier: DistinguishedName,
+    peer_certificate: Certificate,
+    truststore: TrustStore,
+    at_time: float = 0.0,
+) -> VerifiedRAR:
     layers = unwrap_rar_layers(rar)
 
     # Layer 0 (outermost) must be signed by the channel peer: direct trust.
@@ -208,6 +280,28 @@ def verify_rar_with_repository(
     Returns ``(verified, lookups)`` where *lookups* is the number of
     repository queries this verification performed.
     """
+    return _meter_verification(
+        lambda: _verify_rar_with_repository_impl(
+            rar,
+            verifier=verifier,
+            peer_certificate=peer_certificate,
+            truststore=truststore,
+            repository=repository,
+            at_time=at_time,
+        ),
+        "repository",
+    )
+
+
+def _verify_rar_with_repository_impl(
+    rar: SignedEnvelope,
+    *,
+    verifier: DistinguishedName,
+    peer_certificate: Certificate,
+    truststore: TrustStore,
+    repository,
+    at_time: float = 0.0,
+) -> tuple[VerifiedRAR, int]:
     layers = unwrap_rar_layers(rar)
 
     outer = layers[0]

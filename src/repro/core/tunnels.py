@@ -20,6 +20,7 @@ Scalability claim (benchmark C2): N flows over a k-domain path cost
 from __future__ import annotations
 
 import itertools
+import logging
 from dataclasses import dataclass, field
 
 from repro.bb.reservations import ReservationRequest
@@ -28,8 +29,11 @@ from repro.core.channel import ChannelRegistry, SecureChannel
 from repro.core.hopbyhop import HopByHopProtocol, SignallingOutcome
 from repro.crypto.dn import DistinguishedName
 from repro.errors import TunnelError
+from repro.obs import metrics as obs_metrics
 
 __all__ = ["Tunnel", "FlowAllocation", "TunnelService"]
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -113,7 +117,18 @@ class TunnelService:
         source↔destination channel using the traced identity information."""
         tagged = request.with_attributes(tunnel=True)
         outcome = self.protocol.reserve(user, tagged)
+        registry = obs_metrics.get_registry()
         if not outcome.granted:
+            if registry is not None:
+                registry.counter(
+                    "tunnels_established_total",
+                    "Tunnel establishment attempts, by result",
+                ).inc(result="denied")
+            logger.info(
+                "tunnel %s->%s denied: %s",
+                request.source_domain, request.destination_domain,
+                outcome.denial_reason,
+            )
             return None, outcome
         source_bb = self.protocol.brokers[request.source_domain]
         dest_bb = self.protocol.brokers[request.destination_domain]
@@ -149,6 +164,16 @@ class TunnelService:
             direct_channel=direct,
         )
         self._tunnels[tunnel.tunnel_id] = tunnel
+        if registry is not None:
+            registry.counter(
+                "tunnels_established_total",
+                "Tunnel establishment attempts, by result",
+            ).inc(result="ok")
+        logger.info(
+            "established %s: %.1f Mb/s %s->%s",
+            tunnel.tunnel_id, tunnel.capacity_mbps,
+            tunnel.source_domain, tunnel.destination_domain,
+        )
         return tunnel, outcome
 
     def authorize(self, tunnel_id: str, who: DistinguishedName) -> None:
@@ -171,6 +196,43 @@ class TunnelService:
         :class:`~repro.errors.TunnelError` on authorization, window, or
         headroom failure.
         """
+        registry = obs_metrics.get_registry()
+        try:
+            allocation, latency, messages = self._allocate_flow(
+                tunnel_id, user, rate_mbps, start=start, end=end
+            )
+        except TunnelError as exc:
+            if registry is not None:
+                registry.counter(
+                    "tunnel_flow_allocations_total",
+                    "Intra-tunnel flow allocations, by result",
+                ).inc(result="rejected")
+            logger.info("flow allocation on %s rejected: %s", tunnel_id, exc)
+            raise
+        if registry is not None:
+            registry.counter(
+                "tunnel_flow_allocations_total",
+                "Intra-tunnel flow allocations, by result",
+            ).inc(result="ok")
+            registry.gauge(
+                "tunnel_allocations_active",
+                "Live flow allocations per tunnel",
+            ).set(len(self.get(tunnel_id).allocations), tunnel=tunnel_id)
+        logger.debug(
+            "allocated %s: %.1f Mb/s on %s (%d msgs)",
+            allocation.allocation_id, rate_mbps, tunnel_id, messages,
+        )
+        return allocation, latency, messages
+
+    def _allocate_flow(
+        self,
+        tunnel_id: str,
+        user: UserAgent,
+        rate_mbps: float,
+        *,
+        start: float | None = None,
+        end: float | None = None,
+    ) -> tuple[FlowAllocation, float, int]:
         tunnel = self.get(tunnel_id)
         start = tunnel.start if start is None else start
         end = tunnel.end if end is None else end
@@ -231,6 +293,16 @@ class TunnelService:
         if allocation_id not in tunnel.allocations:
             raise TunnelError(f"unknown allocation {allocation_id!r}")
         del tunnel.allocations[allocation_id]
+        registry = obs_metrics.get_registry()
+        if registry is not None:
+            registry.counter(
+                "tunnel_flow_releases_total", "Flow allocations released",
+            ).inc()
+            registry.gauge(
+                "tunnel_allocations_active",
+                "Live flow allocations per tunnel",
+            ).set(len(tunnel.allocations), tunnel=tunnel_id)
+        logger.debug("released %s from %s", allocation_id, tunnel_id)
 
     def teardown(self, tunnel_id: str) -> None:
         """Cancel the aggregate reservation in every domain."""

@@ -25,7 +25,9 @@ Authorization Server (CAS) travels hop-by-hop to the end domain:
 
 from __future__ import annotations
 
+import logging
 import random
+import time
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
@@ -34,6 +36,7 @@ from repro.crypto.dn import DistinguishedName
 from repro.crypto.keys import KeyPair, PrivateKey, PublicKey, get_scheme
 from repro.crypto.x509 import Certificate, sign_certificate
 from repro.errors import DelegationError
+from repro.obs import metrics as obs_metrics
 
 __all__ = [
     "EXT_CAPABILITY_FLAG",
@@ -61,6 +64,11 @@ EXT_RESTRICTIONS = "restrictions"
 #: CN suffix marking a subject DN as a capability subject ("potentially
 #: modified to indicate that this is a capability certificate").
 CAPABILITY_CN_TAG = " (capability)"
+
+logger = logging.getLogger(__name__)
+
+#: Buckets for delegation-chain lengths (certificates per chain).
+_CHAIN_LENGTH_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0)
 
 
 @dataclass(frozen=True)
@@ -179,6 +187,15 @@ def delegate(
             EXT_RESTRICTIONS: tuple(sorted(restrictions)),
         },
     )
+    registry = obs_metrics.get_registry()
+    if registry is not None:
+        registry.counter(
+            "delegations_total", "Capability delegations minted",
+        ).inc()
+    logger.debug(
+        "delegated %d capabilities from %s to %s",
+        len(caps), parent.subject, delegate_subject,
+    )
     return cert
 
 
@@ -251,6 +268,55 @@ def verify_delegation_chain(
 
     Raises :class:`~repro.errors.DelegationError` on any violation.
     """
+    registry = obs_metrics.get_registry()
+    if registry is None:
+        return _verify_delegation_chain_impl(
+            chain,
+            trusted_issuers=trusted_issuers,
+            at_time=at_time,
+            possession_nonce=possession_nonce,
+            possession_prover=possession_prover,
+        )
+    t0 = time.perf_counter()
+    try:
+        result = _verify_delegation_chain_impl(
+            chain,
+            trusted_issuers=trusted_issuers,
+            at_time=at_time,
+            possession_nonce=possession_nonce,
+            possession_prover=possession_prover,
+        )
+    except DelegationError as exc:
+        registry.counter(
+            "delegation_chain_verifications_total",
+            "Capability delegation-chain verifications, by result",
+        ).inc(result="fail")
+        logger.debug("delegation chain rejected: %s", exc)
+        raise
+    registry.counter(
+        "delegation_chain_verifications_total",
+        "Capability delegation-chain verifications, by result",
+    ).inc(result="ok")
+    registry.histogram(
+        "delegation_chain_length",
+        "Certificates per verified delegation chain",
+        buckets=_CHAIN_LENGTH_BUCKETS,
+    ).observe(len(chain))
+    registry.histogram(
+        "delegation_chain_verify_seconds",
+        "Wall-clock cost of one delegation-chain verification",
+    ).observe(time.perf_counter() - t0)
+    return result
+
+
+def _verify_delegation_chain_impl(
+    chain: Sequence[Certificate],
+    *,
+    trusted_issuers: dict[DistinguishedName, PublicKey],
+    at_time: float = 0.0,
+    possession_nonce: bytes | None = None,
+    possession_prover: PossessionProver | None = None,
+) -> DelegationResult:
     if not chain:
         raise DelegationError("empty delegation chain")
 

@@ -1,0 +1,107 @@
+"""repro.obs — the fabric's observability substrate (ISSUE 1).
+
+Three pillars, each individually switchable and all off by default:
+
+* :mod:`repro.obs.metrics` — counters, gauges, fixed-bucket histograms
+  in a thread-safe registry, exported by :mod:`repro.obs.export` as
+  Prometheus text or JSON;
+* :mod:`repro.obs.spans` — span-based tracing with a per-request
+  correlation ID minted when the user agent signs ``RAR_U``; the span
+  tree nests exactly like the signature envelopes;
+* :mod:`repro.obs.events` — a structured log of typed lifecycle records
+  (admit / deny / claim / cancel / release / trust failure).
+
+Instrumented modules pay a single ``None`` check when observability is
+disabled, so the substrate adds no measurable overhead to the signalling
+hot paths (benchmark C1 guards this).
+
+Turn everything on at once::
+
+    from repro import obs
+
+    with obs.observed() as (registry, tracer, event_log):
+        outcome = testbed.reserve(...)
+    print(obs.export.prometheus_text(registry))
+
+See ``docs/OBSERVABILITY.md`` for the metric-name catalogue and span
+taxonomy.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import logging
+import sys
+from typing import IO, Iterator
+
+from repro.obs import events, export, metrics, spans
+from repro.obs.events import EventLog
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import Tracer
+
+__all__ = [
+    "metrics",
+    "spans",
+    "events",
+    "export",
+    "enable_all",
+    "disable_all",
+    "observed",
+    "configure_logging",
+]
+
+
+def enable_all() -> tuple[MetricsRegistry, Tracer, EventLog]:
+    """Enable metrics, tracing, and the event log with fresh instances."""
+    return metrics.enable(), spans.enable(), events.enable()
+
+
+def disable_all() -> None:
+    metrics.disable()
+    spans.disable()
+    events.disable()
+
+
+@contextlib.contextmanager
+def observed() -> Iterator[tuple[MetricsRegistry, Tracer, EventLog]]:
+    """Enable all three pillars for a ``with`` block, restoring the
+    previous global state afterwards."""
+    with metrics.use_registry() as registry:
+        with spans.use_tracer() as tracer:
+            with events.use_event_log() as event_log:
+                yield registry, tracer, event_log
+
+
+_LOG_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+_handler: logging.Handler | None = None
+
+
+def configure_logging(
+    verbosity: int = 0,
+    *,
+    stream: IO[str] | None = None,
+    fmt: str = _LOG_FORMAT,
+) -> logging.Logger:
+    """Configure stdlib logging for the ``repro`` package tree.
+
+    *verbosity* follows the CLI convention: 0 → WARNING, 1 (``-v``) →
+    INFO, 2+ (``-vv``) → DEBUG.  Only the ``repro`` logger is touched —
+    host applications embedding the library keep their own root-logger
+    configuration.  Idempotent: repeated calls swap the single managed
+    handler instead of stacking duplicates.
+    """
+    global _handler
+    level = (
+        logging.WARNING if verbosity <= 0
+        else logging.INFO if verbosity == 1
+        else logging.DEBUG
+    )
+    logger = logging.getLogger("repro")
+    if _handler is not None:
+        logger.removeHandler(_handler)
+    _handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    _handler.setFormatter(logging.Formatter(fmt))
+    logger.addHandler(_handler)
+    logger.setLevel(level)
+    logger.propagate = False
+    return logger

@@ -1,0 +1,217 @@
+"""Structured event log: typed records for reservation-lifecycle events.
+
+Where metrics aggregate and spans time, events *narrate*: every admit,
+deny, claim, cancel, release, and trust failure in the fabric appends one
+typed record, correlated back to the originating request through the
+correlation ID minted when the user agent signed ``RAR_U``.
+
+The correlation ID travels implicitly: the signalling engine scopes it
+with :func:`correlation_scope`, and deeper layers (the broker's audit
+hook, the trust verifier) pick it up via :func:`current_correlation_id`
+without threading an argument through every call signature.  The scope
+uses :mod:`contextvars`, so concurrent requests on different threads (or
+tasks) never cross-tag each other's events.
+
+Disabled by default; free when off (the usual ``None`` check).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import enum
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from contextvars import ContextVar
+from typing import Iterator
+
+__all__ = [
+    "EventKind",
+    "Event",
+    "EventLog",
+    "enable",
+    "disable",
+    "get_event_log",
+    "use_event_log",
+    "correlation_scope",
+    "current_correlation_id",
+]
+
+
+class EventKind(str, enum.Enum):
+    """The typed vocabulary of fabric events."""
+
+    ADMIT = "admit"
+    DENY = "deny"
+    CLAIM = "claim"
+    CANCEL = "cancel"
+    #: A granted partial-path reservation torn down after a downstream denial.
+    RELEASE = "release"
+    TRUST_FAILURE = "trust_failure"
+
+
+@dataclass(frozen=True)
+class Event:
+    """One structured record."""
+
+    kind: EventKind
+    at_time: float
+    domain: str = ""
+    correlation_id: str = ""
+    user: str = ""
+    handle: str = ""
+    reason: str = ""
+    attributes: tuple[tuple[str, str], ...] = ()
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "kind": self.kind.value,
+            "at_time": self.at_time,
+            "domain": self.domain,
+            "correlation_id": self.correlation_id,
+            "user": self.user,
+            "handle": self.handle,
+            "reason": self.reason,
+            "attributes": dict(self.attributes),
+        }
+
+
+class EventLog:
+    """Bounded, thread-safe, append-only event store.
+
+    *max_events* bounds memory on long scenario runs; the oldest records
+    are evicted first (operators wanting full retention can raise it).
+    """
+
+    def __init__(self, max_events: int = 100_000):
+        self._lock = threading.RLock()
+        self._events: deque[Event] = deque(maxlen=max_events)
+        self.emitted = 0  # total ever emitted, survives eviction
+
+    def emit(
+        self,
+        kind: EventKind,
+        *,
+        at_time: float = 0.0,
+        domain: str = "",
+        user: str = "",
+        handle: str = "",
+        reason: str = "",
+        correlation_id: str | None = None,
+        **attributes: object,
+    ) -> Event:
+        if correlation_id is None:
+            correlation_id = current_correlation_id() or ""
+        event = Event(
+            kind=kind,
+            at_time=at_time,
+            domain=domain,
+            correlation_id=correlation_id,
+            user=user,
+            handle=handle,
+            reason=reason,
+            attributes=tuple(sorted((k, str(v)) for k, v in attributes.items())),
+        )
+        with self._lock:
+            self._events.append(event)
+            self.emitted += 1
+        return event
+
+    def events(
+        self,
+        kind: EventKind | None = None,
+        *,
+        domain: str | None = None,
+        correlation_id: str | None = None,
+    ) -> tuple[Event, ...]:
+        with self._lock:
+            snapshot = tuple(self._events)
+        return tuple(
+            e for e in snapshot
+            if (kind is None or e.kind is kind)
+            and (domain is None or e.domain == domain)
+            and (correlation_id is None or e.correlation_id == correlation_id)
+        )
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        with self._lock:
+            return iter(tuple(self._events))
+
+    def reset(self) -> None:
+        with self._lock:
+            self._events.clear()
+            self.emitted = 0
+
+
+# ---------------------------------------------------------------------------
+# Correlation-ID propagation
+# ---------------------------------------------------------------------------
+
+_correlation: ContextVar[str | None] = ContextVar("repro_correlation_id",
+                                                  default=None)
+
+
+def current_correlation_id() -> str | None:
+    """The correlation ID of the request currently being processed (set
+    by the signalling engine), or ``None`` outside any request scope."""
+    return _correlation.get()
+
+
+@contextlib.contextmanager
+def correlation_scope(correlation_id: str):
+    """Tag every event emitted inside the block with *correlation_id*."""
+    token = _correlation.set(correlation_id)
+    try:
+        yield
+    finally:
+        _correlation.reset(token)
+
+
+# ---------------------------------------------------------------------------
+# Process-global event log (disabled by default)
+# ---------------------------------------------------------------------------
+
+_active: EventLog | None = None
+_global_lock = threading.Lock()
+
+
+def enable(log: EventLog | None = None) -> EventLog:
+    """Install *log* (or a fresh one) as the process-global event log."""
+    global _active
+    with _global_lock:
+        _active = log if log is not None else EventLog()
+        return _active
+
+
+def disable() -> None:
+    global _active
+    with _global_lock:
+        _active = None
+
+
+def get_event_log() -> EventLog | None:
+    """The active global event log, or ``None`` when off."""
+    return _active
+
+
+class use_event_log:
+    """Scoped event-log installation (mirror of ``metrics.use_registry``)."""
+
+    def __init__(self, log: EventLog | None = None):
+        self.log = log if log is not None else EventLog()
+        self._previous: EventLog | None = None
+
+    def __enter__(self) -> EventLog:
+        self._previous = get_event_log()
+        enable(self.log)
+        return self.log
+
+    def __exit__(self, *exc: object) -> None:
+        if self._previous is None:
+            disable()
+        else:
+            enable(self._previous)

@@ -1,0 +1,123 @@
+"""Exporters: render a metrics registry as Prometheus text or JSON.
+
+Two formats, both dependency-free:
+
+* :func:`prometheus_text` — the Prometheus text exposition format
+  (``# HELP`` / ``# TYPE`` headers, cumulative ``_bucket{le=...}``
+  histogram series with the implicit ``+Inf`` bucket, ``_sum`` and
+  ``_count``), suitable for a scrape endpoint or eyeballing;
+* :func:`json_snapshot` / :func:`json_text` — a plain-dict snapshot for
+  programmatic diffing (the benchmark harness stores one per run).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+__all__ = ["prometheus_text", "json_snapshot", "json_text"]
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", r"\\").replace("\n", r"\n").replace('"', r'\"')
+
+
+def _format_labels(items: tuple[tuple[str, str], ...]) -> str:
+    if not items:
+        return ""
+    body = ",".join(
+        f'{k}="{_escape_label_value(v)}"' for k, v in items
+    )
+    return "{" + body + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Render *registry* in the Prometheus text exposition format."""
+    lines: list[str] = []
+    for metric in registry.collect():
+        if metric.help:
+            lines.append(f"# HELP {metric.name} {metric.help}")
+        lines.append(f"# TYPE {metric.name} {metric.kind}")
+        if isinstance(metric, (Counter, Gauge)):
+            series = metric.series()
+            if not series:
+                lines.append(f"{metric.name} 0")
+                continue
+            for labels, value in sorted(series.items()):
+                lines.append(
+                    f"{metric.name}{_format_labels(labels)} "
+                    f"{_format_value(value)}"
+                )
+        elif isinstance(metric, Histogram):
+            series = metric.series()
+            if not series:
+                series = {(): None}
+            for labels in sorted(series):
+                label_dict = dict(labels)
+                running = 0
+                for bound, cumulative in metric.cumulative_buckets(**label_dict):
+                    running = cumulative
+                    bucket_labels = labels + (("le", _format_value(bound)),)
+                    lines.append(
+                        f"{metric.name}_bucket"
+                        f"{_format_labels(tuple(sorted(bucket_labels)))} "
+                        f"{cumulative}"
+                    )
+                count = metric.count(**label_dict)
+                inf_labels = labels + (("le", "+Inf"),)
+                lines.append(
+                    f"{metric.name}_bucket"
+                    f"{_format_labels(tuple(sorted(inf_labels)))} {count}"
+                )
+                lines.append(
+                    f"{metric.name}_sum{_format_labels(labels)} "
+                    f"{_format_value(metric.sum(**label_dict))}"
+                )
+                lines.append(
+                    f"{metric.name}_count{_format_labels(labels)} {count}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def json_snapshot(registry: MetricsRegistry) -> dict[str, object]:
+    """A plain-dict snapshot of every series in *registry*."""
+    out: dict[str, object] = {}
+    for metric in registry.collect():
+        if isinstance(metric, (Counter, Gauge)):
+            out[metric.name] = {
+                "kind": metric.kind,
+                "help": metric.help,
+                "series": [
+                    {"labels": dict(labels), "value": value}
+                    for labels, value in sorted(metric.series().items())
+                ],
+            }
+        elif isinstance(metric, Histogram):
+            out[metric.name] = {
+                "kind": metric.kind,
+                "help": metric.help,
+                "buckets": list(metric.buckets),
+                "series": [
+                    {
+                        "labels": dict(labels),
+                        "bucket_counts": list(series.bucket_counts),
+                        "sum": series.sum,
+                        "count": series.count,
+                    }
+                    for labels, series in sorted(metric.series().items())
+                ],
+            }
+    return out
+
+
+def json_text(registry: MetricsRegistry, *, indent: int = 2) -> str:
+    return json.dumps(json_snapshot(registry), indent=indent, sort_keys=True)

@@ -1,0 +1,327 @@
+"""Metrics registry: counters, gauges, and fixed-bucket histograms.
+
+The fabric's quantitative telemetry lives here.  Three instrument kinds
+cover everything the reproduction needs to observe about itself:
+
+* :class:`Counter` — monotonically increasing totals (verifications,
+  admissions, messages, bytes);
+* :class:`Gauge` — point-in-time values that move both ways (simulator
+  queue depth, active tunnel allocations);
+* :class:`Histogram` — fixed-bucket distributions (per-hop signalling
+  latency, delegation-chain verification wall time).
+
+Every instrument supports label dimensions given as keyword arguments
+(``counter.inc(domain="A", granted="true")``); each distinct label set is
+an independent series, Prometheus-style.
+
+Design constraints (ISSUE 1): zero third-party dependencies, thread-safe
+(one registry lock shared by its instruments — operations are tiny
+dictionary updates, so a single lock is cheaper than per-series locks),
+and free when disabled — instrumented code asks :func:`get_registry`
+first, and a ``None`` check is the entire disabled-path cost.
+
+Usage::
+
+    registry = enable()                     # install a process-global registry
+    ...
+    reg = get_registry()
+    if reg is not None:
+        reg.counter("admissions_total").inc(domain="A", granted="true")
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterator, Mapping, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+    "enable",
+    "disable",
+    "get_registry",
+    "use_registry",
+]
+
+#: Default histogram buckets, tuned for signalling latencies in seconds:
+#: sub-millisecond crypto up through multi-second pathological paths.
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0,
+)
+
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: Mapping[str, object]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class _Instrument:
+    """Shared plumbing: name, help text, and the registry's lock."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str, lock: threading.RLock):
+        self.name = name
+        self.help = help
+        self._lock = lock
+
+    def _check_name(self) -> None:  # pragma: no cover - trivial
+        pass
+
+
+class Counter(_Instrument):
+    """A monotonically increasing total, per label set."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str, lock: threading.RLock):
+        super().__init__(name, help, lock)
+        self._series: dict[LabelKey, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        if amount < 0:
+            raise ValueError(
+                f"counter {self.name!r} cannot decrease (inc by {amount})"
+            )
+        key = _label_key(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + amount
+
+    def value(self, **labels: object) -> float:
+        with self._lock:
+            return self._series.get(_label_key(labels), 0.0)
+
+    def total(self) -> float:
+        """Sum over every label set."""
+        with self._lock:
+            return sum(self._series.values())
+
+    def series(self) -> dict[LabelKey, float]:
+        with self._lock:
+            return dict(self._series)
+
+
+class Gauge(_Instrument):
+    """A value that can move in both directions, per label set."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str, lock: threading.RLock):
+        super().__init__(name, help, lock)
+        self._series: dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels: object) -> None:
+        with self._lock:
+            self._series[_label_key(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: object) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: object) -> float:
+        with self._lock:
+            return self._series.get(_label_key(labels), 0.0)
+
+    def series(self) -> dict[LabelKey, float]:
+        with self._lock:
+            return dict(self._series)
+
+
+class _HistogramSeries:
+    __slots__ = ("bucket_counts", "sum", "count")
+
+    def __init__(self, n_buckets: int):
+        self.bucket_counts = [0] * n_buckets  # one per finite upper bound
+        self.sum = 0.0
+        self.count = 0
+
+
+class Histogram(_Instrument):
+    """Fixed-bucket distribution.  Buckets are cumulative at export time
+    (Prometheus ``le`` semantics); internally each finite bound holds the
+    observations that fell at or below it and above the previous bound,
+    with overflow tracked by ``count`` (the implicit ``+Inf`` bucket)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        lock: threading.RLock,
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ):
+        super().__init__(name, help, lock)
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError(f"histogram {self.name!r} needs at least one bucket")
+        if len(set(bounds)) != len(bounds):
+            raise ValueError(f"histogram {self.name!r} has duplicate buckets")
+        self.buckets = bounds
+        self._series: dict[LabelKey, _HistogramSeries] = {}
+
+    def observe(self, value: float, **labels: object) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = self._series[key] = _HistogramSeries(len(self.buckets))
+            series.sum += value
+            series.count += 1
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    series.bucket_counts[i] += 1
+                    break
+
+    def cumulative_buckets(self, **labels: object) -> list[tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` per finite bucket; the
+        ``+Inf`` bucket equals :meth:`count`."""
+        with self._lock:
+            series = self._series.get(_label_key(labels))
+            if series is None:
+                return [(b, 0) for b in self.buckets]
+            out, running = [], 0
+            for bound, n in zip(self.buckets, series.bucket_counts):
+                running += n
+                out.append((bound, running))
+            return out
+
+    def count(self, **labels: object) -> int:
+        with self._lock:
+            series = self._series.get(_label_key(labels))
+            return 0 if series is None else series.count
+
+    def sum(self, **labels: object) -> float:
+        with self._lock:
+            series = self._series.get(_label_key(labels))
+            return 0.0 if series is None else series.sum
+
+    def series(self) -> dict[LabelKey, _HistogramSeries]:
+        with self._lock:
+            return dict(self._series)
+
+
+class MetricsRegistry:
+    """A named collection of instruments.
+
+    ``counter`` / ``gauge`` / ``histogram`` are get-or-create: the first
+    call fixes the kind (and, for histograms, the buckets); later calls
+    with the same name return the same instrument, and a kind mismatch
+    raises ``ValueError`` — a misspelled registration should fail loudly,
+    not silently fork a second metric.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._metrics: dict[str, _Instrument] = {}
+
+    def _get_or_create(self, cls, name: str, help: str, **kwargs) -> _Instrument:
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}, not {cls.kind}"
+                    )
+                return existing
+            instrument = cls(name, help, self._lock, **kwargs)
+            self._metrics[name] = instrument
+            return instrument
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(Histogram, name, help, buckets=buckets)
+
+    def get(self, name: str) -> _Instrument | None:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def collect(self) -> Iterator[_Instrument]:
+        """Instruments in name order (stable export output)."""
+        with self._lock:
+            items = sorted(self._metrics.items())
+        for _, instrument in items:
+            yield instrument
+
+    def reset(self) -> None:
+        with self._lock:
+            self._metrics.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._metrics)
+
+
+# ---------------------------------------------------------------------------
+# Process-global registry (disabled by default)
+# ---------------------------------------------------------------------------
+
+_active: MetricsRegistry | None = None
+_global_lock = threading.Lock()
+
+
+def enable(registry: MetricsRegistry | None = None) -> MetricsRegistry:
+    """Install *registry* (or a fresh one) as the process-global registry
+    and return it.  Instrumented code starts recording immediately."""
+    global _active
+    with _global_lock:
+        _active = registry if registry is not None else MetricsRegistry()
+        return _active
+
+
+def disable() -> None:
+    """Remove the global registry; instrumentation reverts to no-ops."""
+    global _active
+    with _global_lock:
+        _active = None
+
+
+def get_registry() -> MetricsRegistry | None:
+    """The active global registry, or ``None`` when observability is off.
+    Instrumented call sites must treat ``None`` as "record nothing"."""
+    return _active
+
+
+class use_registry:
+    """Context manager installing a registry for the dynamic extent of a
+    ``with`` block (tests, CLI commands, benchmark fixtures)::
+
+        with use_registry() as reg:
+            ...
+        # previous global state restored
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._previous: MetricsRegistry | None = None
+
+    def __enter__(self) -> MetricsRegistry:
+        self._previous = get_registry()
+        enable(self.registry)
+        return self.registry
+
+    def __exit__(self, *exc: object) -> None:
+        if self._previous is None:
+            disable()
+        else:
+            enable(self._previous)

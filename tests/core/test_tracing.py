@@ -84,6 +84,23 @@ class TestRequestTrace:
         with pytest.raises(SignallingError):
             trace_request_path(not_rar)
 
+    def test_depth_bounded(self, rng):
+        """Regression: a maliciously deep RAR must raise, not walk forever.
+        The tracer bounds the walk itself, like trace_approval_chain."""
+        alice_kp = SCHEME.generate(rng)
+        rar = make_user_rar(
+            request=request(), source_bb=BB_A, user=ALICE,
+            user_key=alice_kp.private,
+        )
+        bb_kp = SCHEME.generate(rng)
+        for _ in range(70):
+            rar = make_bb_rar(
+                inner=rar, introduced_cert=None, downstream=BB_B,
+                bb=BB_A, bb_key=bb_kp.private,
+            )
+        with pytest.raises(SignallingError, match="maximum depth"):
+            trace_request_path(rar)
+
 
 class TestApprovalTrace:
     def test_unwind_order(self, rng):

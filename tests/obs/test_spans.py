@@ -1,0 +1,135 @@
+"""Span tracing: the span tree must nest exactly like the signature
+envelopes — the root-to-leaf chain of hop spans is the signer order
+``trace_request_path`` recovers from the RAR the destination received."""
+
+import pytest
+
+from repro.core.testbed import build_linear_testbed
+from repro.core.tracing import trace_request_path
+from repro.obs import spans
+from repro.obs.spans import Tracer, mint_correlation_id
+
+
+class TestTracerPrimitives:
+    def test_begin_end_records_duration(self):
+        tracer = Tracer()
+        span = tracer.begin("op", trace_id="t1")
+        assert not span.finished
+        tracer.end(span, status="ok", extra=1)
+        assert span.finished
+        assert span.wall_duration_s >= 0.0
+        assert span.attributes["extra"] == 1
+
+    def test_open_span_has_no_duration(self):
+        tracer = Tracer()
+        span = tracer.begin("op", trace_id="t1")
+        with pytest.raises(ValueError):
+            _ = span.wall_duration_s
+
+    def test_parenting_and_queries(self):
+        tracer = Tracer()
+        root = tracer.begin("root", trace_id="t")
+        child = tracer.begin("child", trace_id="t", parent=root)
+        grandchild = tracer.begin("leaf", trace_id="t", parent=child)
+        assert tracer.root("t") is root
+        assert tracer.children_of(root) == (child,)
+        assert tracer.children_of(child) == (grandchild,)
+
+    def test_correlation_ids_unique(self):
+        a, b = mint_correlation_id(), mint_correlation_id()
+        assert a != b
+        assert a.startswith("req-")
+
+    def test_disabled_by_default(self):
+        assert spans.get_tracer() is None
+
+
+class TestFourDomainPath:
+    """The acceptance scenario: A,B,C,D with hop spans mirroring envelopes."""
+
+    @pytest.fixture()
+    def traced(self):
+        with spans.use_tracer() as tracer:
+            testbed = build_linear_testbed(["A", "B", "C", "D"])
+            user = testbed.add_user("A", "Alice")
+            outcome = testbed.reserve(
+                user, source="A", destination="D", bandwidth_mbps=10.0,
+            )
+        assert outcome.granted
+        return tracer, outcome
+
+    def test_hop_spans_nest_in_travel_order(self, traced):
+        tracer, outcome = traced
+        chain = tracer.hop_chain(outcome.correlation_id)
+        assert [s.attributes["domain"] for s in chain] == ["A", "B", "C", "D"]
+        # Each hop span parents the next — the envelope-nesting shape.
+        for parent, child in zip(chain, chain[1:]):
+            assert child.parent_id == parent.span_id
+
+    def test_chain_matches_envelope_signers(self, traced):
+        tracer, outcome = traced
+        chain = tracer.hop_chain(outcome.correlation_id)
+        envelope = trace_request_path(outcome.final_rar)
+        assert envelope.consistent
+        # The destination's RAR is signed by the user and every BB before
+        # the destination, in travel order.
+        bbs_in_spans = [str(s.attributes["bb"]) for s in chain[:-1]]
+        assert bbs_in_spans == [str(dn) for dn in envelope.signers[1:]]
+        assert str(envelope.signers[0]) == str(outcome.verified.user)
+
+    def test_every_hop_has_phase_children(self, traced):
+        tracer, outcome = traced
+        chain = tracer.hop_chain(outcome.correlation_id)
+        for i, hop in enumerate(chain):
+            phases = {
+                s.name for s in tracer.children_of(hop) if s.name != "hop"
+            }
+            assert {"verify", "policy", "admission"} <= phases
+            if i < len(chain) - 1:
+                assert "forward" in phases
+            else:
+                assert "delegation" in phases
+
+    def test_verify_depth_grows_along_path(self, traced):
+        tracer, outcome = traced
+        chain = tracer.hop_chain(outcome.correlation_id)
+        depths = [
+            next(s for s in tracer.children_of(hop) if s.name == "verify")
+            .attributes["depth"]
+            for hop in chain
+        ]
+        assert depths == [0, 1, 2, 3]
+
+    def test_hop_spans_closed_by_reply_leg(self, traced):
+        tracer, outcome = traced
+        for span in tracer.spans_for(outcome.correlation_id):
+            assert span.finished, f"span {span.name} left open"
+        root = tracer.root(outcome.correlation_id)
+        assert root.name == "reserve"
+        assert root.attributes["granted"] is True
+
+    def test_render_shows_the_tree(self, traced):
+        tracer, outcome = traced
+        text = tracer.render(outcome.correlation_id)
+        assert f"trace {outcome.correlation_id}" in text
+        assert text.count("hop") >= 4
+        assert "verify" in text and "admission" in text
+
+
+class TestDeniedPath:
+    def test_denied_hops_marked(self):
+        with spans.use_tracer() as tracer:
+            testbed = build_linear_testbed(["A", "B", "C"])
+            testbed.set_policy("C", "Return DENY")
+            user = testbed.add_user("A", "Alice")
+            outcome = testbed.reserve(
+                user, source="A", destination="C", bandwidth_mbps=10.0,
+            )
+        assert not outcome.granted
+        chain = tracer.hop_chain(outcome.correlation_id)
+        statuses = {s.attributes["domain"]: s.status for s in chain}
+        assert statuses["C"] == "denied"
+        assert statuses["A"] == "released"
+        assert statuses["B"] == "released"
+        root = tracer.root(outcome.correlation_id)
+        assert root.status == "denied"

@@ -125,6 +125,49 @@ class TestAttack:
         assert "Figure 4 reproduced" in out
 
 
+class TestMetrics:
+    def test_prometheus_dump(self, capsys):
+        rc = main(["metrics", "--domains", "A,B,C", "--runs", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert 'rar_verifications_total{mode="introduction",result="ok"} 6' in out
+        assert 'admissions_total{domain="C",granted="true"} 2' in out
+        assert "hop_latency_seconds_bucket" in out
+
+    def test_json_dump(self, capsys):
+        import json
+
+        rc = main(["metrics", "--runs", "1", "--format", "json"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        snapshot = json.loads(out)
+        assert snapshot["reservations_total"]["kind"] == "counter"
+
+    def test_denied_run_exit_code(self, capsys):
+        rc = main(["metrics", "--rate", "500", "--runs", "1"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert 'reservations_total{result="denied"} 1' in out
+
+
+class TestTrace:
+    def test_span_tree_and_cross_check(self, capsys):
+        rc = main(["trace", "--domains", "A,B,C,D"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "trace req-" in out
+        assert "hop order : A -> B -> C -> D" in out
+        assert "span tree matches envelope path: True" in out
+        # One verify phase per hop, depth increasing along the path.
+        assert out.count("verify wall=") == 4
+
+    def test_verbose_flag_enables_info_logging(self, capsys):
+        rc = main(["-v", "trace", "--domains", "A,B"])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "granted" in captured.err  # INFO line from the protocol
+
+
 class TestWorkload:
     def test_light_load(self, capsys):
         rc = main(["workload", "--load", "0.25", "--horizon", "2000"])
