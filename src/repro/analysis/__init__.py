@@ -1,0 +1,48 @@
+"""Static analysis for the reproduction itself.
+
+Three layers, mirroring the paper's "verify before you commit bandwidth"
+discipline applied to our own artifacts:
+
+* :mod:`repro.analysis.framework` + :mod:`repro.analysis.rules` — a
+  custom AST lint framework with repo-specific rules (``repro lint``);
+* :mod:`repro.analysis.policycheck` — a static verifier for policy-file
+  trees (``repro lint-policy``), also run when a
+  :class:`~repro.bb.policyserver.PolicyServer` loads an engine;
+* the strict-typing gate — ``REP107`` locally plus ``mypy --strict`` in
+  CI over ``repro.core``, ``repro.crypto``, ``repro.policy``.
+
+See ``docs/STATIC_ANALYSIS.md`` for the rule catalog and how to add a
+rule.
+"""
+
+from repro.analysis.framework import (
+    Finding,
+    Rule,
+    Severity,
+    check_source,
+    register,
+    registered_rules,
+    suppressed_lines,
+)
+from repro.analysis.policycheck import (
+    PolicyFinding,
+    verify_policy,
+    verify_policy_source,
+)
+from repro.analysis.runner import default_root, lint_paths, render_findings
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "Severity",
+    "check_source",
+    "register",
+    "registered_rules",
+    "suppressed_lines",
+    "PolicyFinding",
+    "verify_policy",
+    "verify_policy_source",
+    "default_root",
+    "lint_paths",
+    "render_findings",
+]

@@ -1,0 +1,225 @@
+"""Core machinery of the repo's custom AST lint framework.
+
+The paper's architecture only works because every hop can *verify* the
+policy and trust material it receives; this package applies the same
+discipline to the codebase itself.  A :class:`Rule` is an
+``ast.NodeVisitor`` registered under a stable identifier (``REP101``,
+``REP102``, ...) with a severity and a package scope; the framework
+parses each source file once, runs every applicable rule over the tree,
+and filters the resulting :class:`Finding` list through per-line
+``# repro: noqa[RULE]`` suppressions.
+
+Adding a rule is three steps: subclass :class:`Rule`, set the class
+attributes (``id``, ``title``, ``severity``, optionally ``packages``),
+and decorate with :func:`register`.  See ``docs/STATIC_ANALYSIS.md``.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable, Mapping, Sequence
+
+from repro.errors import AnalysisError
+
+__all__ = [
+    "Severity",
+    "Finding",
+    "Rule",
+    "register",
+    "registered_rules",
+    "check_source",
+    "suppressed_lines",
+]
+
+
+class Severity(Enum):
+    """How seriously a finding should be taken.
+
+    ``ERROR`` findings fail ``repro lint``; ``WARNING`` findings are
+    reported (and fail the run too — the gate is "clean at merge") but
+    signal style/robustness rather than correctness.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint diagnostic, pointing at a file position."""
+
+    path: str
+    line: int
+    column: int
+    rule: str
+    severity: Severity
+    message: str
+
+    def format(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.column}: "
+            f"{self.rule} {self.severity.value}: {self.message}"
+        )
+
+    def to_json(self) -> dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "message": self.message,
+        }
+
+
+def findings_to_json(findings: Sequence[Finding]) -> str:
+    """Serialize findings as a stable JSON document (machine output)."""
+    return json.dumps(
+        {
+            "findings": [f.to_json() for f in findings],
+            "count": len(findings),
+        },
+        indent=2,
+        sort_keys=True,
+    )
+
+
+class Rule(ast.NodeVisitor):
+    """Base class for lint rules.
+
+    Subclasses set:
+
+    * ``id`` — stable identifier used in output and ``noqa`` pragmas;
+    * ``title`` — one-line description (shown by ``repro lint --list``);
+    * ``severity`` — default :class:`Severity` for reports;
+    * ``packages`` — dotted module prefixes the rule applies to, or
+      ``None`` for every module.
+    """
+
+    id: str = ""
+    title: str = ""
+    severity: Severity = Severity.ERROR
+    packages: tuple[str, ...] | None = None
+
+    def __init__(self, path: str, module: str) -> None:
+        self.path = path
+        self.module = module
+        self.findings: list[Finding] = []
+
+    @classmethod
+    def applies_to(cls, module: str) -> bool:
+        if cls.packages is None:
+            return True
+        return any(
+            module == pkg or module.startswith(pkg + ".")
+            for pkg in cls.packages
+        )
+
+    def report(
+        self,
+        node: ast.AST,
+        message: str,
+        *,
+        severity: Severity | None = None,
+    ) -> None:
+        self.findings.append(
+            Finding(
+                path=self.path,
+                line=getattr(node, "lineno", 0),
+                column=getattr(node, "col_offset", 0),
+                rule=self.id,
+                severity=severity if severity is not None else self.severity,
+                message=message,
+            )
+        )
+
+
+_REGISTRY: dict[str, type[Rule]] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator: add a rule to the global registry."""
+    if not cls.id or not re.fullmatch(r"REP\d{3}", cls.id):
+        raise AnalysisError(
+            f"rule {cls.__name__} needs an id of the form REPnnn"
+        )
+    if cls.id in _REGISTRY:
+        raise AnalysisError(f"duplicate rule id {cls.id}")
+    _REGISTRY[cls.id] = cls
+    return cls
+
+
+def registered_rules() -> Mapping[str, type[Rule]]:
+    """The rule registry, keyed by rule id (importing
+    :mod:`repro.analysis.rules` populates it)."""
+    return dict(_REGISTRY)
+
+
+#: ``# repro: noqa[REP101]`` or ``# repro: noqa[REP101,REP105] why...``.
+#: A trailing free-text justification is encouraged (and what the repo's
+#: own gate requires); ``noqa[*]`` suppresses every rule on the line.
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa\[(?P<rules>\*|[A-Z0-9]+(?:\s*,\s*[A-Z0-9]+)*)\]"
+)
+
+
+def suppressed_lines(source: str) -> dict[int, frozenset[str]]:
+    """Map line number -> rule ids suppressed there (``{"*"}`` = all)."""
+    out: dict[int, frozenset[str]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        m = _NOQA_RE.search(text)
+        if m is None:
+            continue
+        spec = m.group("rules")
+        if spec == "*":
+            out[lineno] = frozenset({"*"})
+        else:
+            out[lineno] = frozenset(
+                part.strip() for part in spec.split(",") if part.strip()
+            )
+    return out
+
+
+def _is_suppressed(
+    finding: Finding, suppressions: Mapping[int, frozenset[str]]
+) -> bool:
+    rules = suppressions.get(finding.line)
+    if rules is None:
+        return False
+    return "*" in rules or finding.rule in rules
+
+
+def check_source(
+    source: str,
+    *,
+    path: str = "<string>",
+    module: str = "",
+    rules: Iterable[type[Rule]] | None = None,
+) -> list[Finding]:
+    """Run *rules* (default: every registered rule) over one source file.
+
+    Returns findings sorted by position, with ``noqa``-suppressed lines
+    removed.  Raises :class:`AnalysisError` if the source does not parse.
+    """
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        raise AnalysisError(f"{path}: cannot parse: {exc}") from exc
+    if rules is None:
+        rules = _REGISTRY.values()
+    suppressions = suppressed_lines(source)
+    findings: list[Finding] = []
+    for rule_cls in rules:
+        if not rule_cls.applies_to(module):
+            continue
+        rule = rule_cls(path, module)
+        rule.visit(tree)
+        findings.extend(
+            f for f in rule.findings if not _is_suppressed(f, suppressions)
+        )
+    findings.sort(key=lambda f: (f.path, f.line, f.column, f.rule))
+    return findings

@@ -1,0 +1,399 @@
+"""The repo-specific lint rules.
+
+Each rule encodes an invariant the reproduction depends on:
+
+* ``REP101`` — simulator-driven code must not read the wall clock;
+  certificate windows, token buckets, and reservation intervals are all
+  driven by the discrete-event clock, and one ``time.time()`` makes a
+  run unreproducible.
+* ``REP102`` — stochastic behaviour must come from an injected, seeded
+  ``random.Random``; module-level ``random.*`` calls share hidden global
+  state across flows and break replay.
+* ``REP103`` — ``raise Exception/ValueError/RuntimeError`` hides faults
+  from the ``except ReproError`` guards the library promises; use the
+  :mod:`repro.errors` hierarchy.
+* ``REP104`` — key material must never reach logs or f-strings.
+* ``REP105`` — mutable default arguments alias state across calls.
+* ``REP106`` — observability is optional by design: metric/tracer
+  handles must be fetched once, None-checked, then used, so the
+  uninstrumented path stays cheap (the "one-None-check guard").
+* ``REP107`` — the strict-typing gate's local proxy: every function in
+  ``repro.core``/``repro.crypto``/``repro.policy`` carries complete
+  annotations (parameters and return), matching what ``mypy --strict``
+  enforces in CI.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.framework import Rule, Severity, register
+
+__all__ = [
+    "WallClockRule",
+    "GlobalRandomRule",
+    "BareExceptionRule",
+    "SecretExposureRule",
+    "MutableDefaultRule",
+    "ObsGuardRule",
+    "SaltedHashSeedRule",
+    "StrictAnnotationsRule",
+]
+
+#: Packages whose behaviour must be driven by the simulation clock.
+SIMULATION_PACKAGES = ("repro.net", "repro.core", "repro.bb")
+
+
+def _collect_aliases(tree: ast.AST) -> tuple[dict[str, str], dict[str, str]]:
+    """Resolve import aliases: local name -> module, and local name ->
+    dotted member ("from time import time" makes ``time`` -> ``time.time``)."""
+    modules: dict[str, str] = {}
+    members: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                modules[alias.asname or alias.name.split(".")[0]] = alias.name
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                members[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return modules, members
+
+
+class _ImportAwareRule(Rule):
+    """A rule that resolves call targets through import aliases."""
+
+    def __init__(self, path: str, module: str) -> None:
+        super().__init__(path, module)
+        self._modules: dict[str, str] = {}
+        self._members: dict[str, str] = {}
+
+    def visit_Module(self, node: ast.Module) -> None:
+        self._modules, self._members = _collect_aliases(node)
+        self.generic_visit(node)
+
+    def resolve(self, func: ast.expr) -> str | None:
+        """Dotted path of a call target, through import aliases."""
+        parts: list[str] = []
+        while isinstance(func, ast.Attribute):
+            parts.append(func.attr)
+            func = func.value
+        if not isinstance(func, ast.Name):
+            return None
+        root = func.id
+        base = self._members.get(root) or self._modules.get(root) or root
+        return ".".join([base, *reversed(parts)])
+
+
+#: Calendar-clock reads.  Monotonic duration timers (``time.monotonic``,
+#: ``time.perf_counter``) are deliberately NOT banned: they cannot express
+#: a time of day, and the observability layer uses them — behind the
+#: one-None-check guard — to meter real elapsed cost without ever feeding
+#: simulation state.
+_WALL_CLOCK = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+
+@register
+class WallClockRule(_ImportAwareRule):
+    id = "REP101"
+    title = "no wall-clock reads in simulator-driven code"
+    severity = Severity.ERROR
+    packages = SIMULATION_PACKAGES
+
+    def visit_Call(self, node: ast.Call) -> None:
+        target = self.resolve(node.func)
+        if target in _WALL_CLOCK:
+            self.report(
+                node,
+                f"{target}() reads the wall clock; simulator-driven code "
+                "must take the current time from the simulation clock "
+                "(sim.now / at_time parameters)",
+            )
+        self.generic_visit(node)
+
+
+#: Functions on the shared module-level random state.
+_GLOBAL_RANDOM = frozenset(
+    {
+        "betavariate", "choice", "choices", "expovariate", "gammavariate",
+        "gauss", "getrandbits", "lognormvariate", "normalvariate",
+        "paretovariate", "randbytes", "randint", "random", "randrange",
+        "sample", "seed", "shuffle", "triangular", "uniform",
+        "vonmisesvariate", "weibullvariate",
+    }
+)
+
+
+@register
+class GlobalRandomRule(_ImportAwareRule):
+    id = "REP102"
+    title = "no module-level random.* calls; inject a seeded random.Random"
+    severity = Severity.ERROR
+    # The issue scope is the simulator-driven packages, but module-level
+    # random state is never acceptable in library code: one call anywhere
+    # perturbs every other consumer's stream.  Lint the whole package.
+    packages = ("repro",)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        target = self.resolve(node.func)
+        if target is not None and "." in target:
+            mod, _, name = target.rpartition(".")
+            if mod == "random" and name in _GLOBAL_RANDOM:
+                self.report(
+                    node,
+                    f"random.{name}() draws from hidden global state; "
+                    "thread an injected, seeded random.Random through "
+                    "the caller instead",
+                )
+        self.generic_visit(node)
+
+
+_GENERIC_EXCEPTIONS = frozenset({"Exception", "ValueError", "RuntimeError"})
+
+
+@register
+class BareExceptionRule(Rule):
+    id = "REP103"
+    title = "raise repro.errors subclasses, not bare builtin exceptions"
+    severity = Severity.ERROR
+    packages = ("repro",)
+
+    def visit_Raise(self, node: ast.Raise) -> None:
+        exc = node.exc
+        name: str | None = None
+        if isinstance(exc, ast.Call) and isinstance(exc.func, ast.Name):
+            name = exc.func.id
+        elif isinstance(exc, ast.Name):
+            name = exc.id
+        if name in _GENERIC_EXCEPTIONS:
+            self.report(
+                node,
+                f"raise {name} escapes the 'except ReproError' guards; "
+                "raise the most specific repro.errors subclass instead "
+                "(add one if none fits)",
+            )
+        self.generic_visit(node)
+
+
+#: Identifier substrings that indicate key material.
+_SECRET_MARKERS = ("private", "secret", "passphrase", "password", "signing_key")
+
+_LOG_METHODS = frozenset(
+    {"debug", "info", "warning", "error", "exception", "critical", "log"}
+)
+
+
+def _is_secret_name(ident: str) -> bool:
+    lowered = ident.lower()
+    return any(marker in lowered for marker in _SECRET_MARKERS)
+
+
+def _secret_identifiers(node: ast.expr) -> list[str]:
+    """Identifiers in *node* whose **rendered value** looks like key
+    material.  For an attribute chain only the leaf attribute is the
+    rendered value (``private.scheme`` prints a scheme name,
+    ``key.private_key`` prints the key), so intermediate names along a
+    chain do not count."""
+    hits: list[str] = []
+
+    def visit(sub: ast.expr) -> None:
+        if isinstance(sub, ast.Attribute):
+            if _is_secret_name(sub.attr):
+                hits.append(sub.attr)
+            base = sub.value
+            while isinstance(base, ast.Attribute):
+                base = base.value
+            if not isinstance(base, ast.Name):
+                visit(base)
+            return
+        if isinstance(sub, ast.Name):
+            if _is_secret_name(sub.id):
+                hits.append(sub.id)
+            return
+        for child in ast.iter_child_nodes(sub):
+            if isinstance(child, ast.expr):
+                visit(child)
+
+    visit(node)
+    return hits
+
+
+@register
+class SecretExposureRule(Rule):
+    id = "REP104"
+    title = "no key material in f-strings or log calls"
+    severity = Severity.ERROR
+    packages = ("repro",)
+
+    def visit_JoinedStr(self, node: ast.JoinedStr) -> None:
+        for value in node.values:
+            if isinstance(value, ast.FormattedValue):
+                for ident in _secret_identifiers(value.value):
+                    self.report(
+                        value,
+                        f"f-string interpolates {ident!r}, which looks like "
+                        "key material; never format secrets into strings",
+                    )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in _LOG_METHODS:
+            for arg in [*node.args, *(kw.value for kw in node.keywords)]:
+                if isinstance(arg, ast.JoinedStr):
+                    continue  # handled by visit_JoinedStr
+                for ident in _secret_identifiers(arg):
+                    self.report(
+                        node,
+                        f"log call passes {ident!r}, which looks like key "
+                        "material; log key ids or fingerprints instead",
+                    )
+        self.generic_visit(node)
+
+
+@register
+class MutableDefaultRule(Rule):
+    id = "REP105"
+    title = "no mutable default arguments"
+    severity = Severity.ERROR
+    packages = ("repro",)
+
+    def _check(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        defaults = [
+            *node.args.defaults,
+            *(d for d in node.args.kw_defaults if d is not None),
+        ]
+        for default in defaults:
+            bad = isinstance(default, (ast.List, ast.Dict, ast.Set)) or (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in {"list", "dict", "set", "bytearray"}
+            )
+            if bad:
+                self.report(
+                    default,
+                    f"mutable default argument in {node.name}() is shared "
+                    "across calls; default to None (or a frozen type) and "
+                    "construct inside the body",
+                )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check(node)
+        self.generic_visit(node)
+
+
+_OBS_ACCESSORS = frozenset({"get_registry", "get_tracer", "get_event_log"})
+
+
+@register
+class ObsGuardRule(Rule):
+    id = "REP106"
+    title = "obs handles: fetch once, None-check, then use"
+    severity = Severity.ERROR
+    packages = ("repro",)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        value = node.value
+        if isinstance(value, ast.Call):
+            func = value.func
+            name = None
+            if isinstance(func, ast.Name):
+                name = func.id
+            elif isinstance(func, ast.Attribute):
+                name = func.attr
+            if name in _OBS_ACCESSORS:
+                self.report(
+                    node,
+                    f"chained use of {name}() bypasses the one-None-check "
+                    "guard; assign the handle to a local, test it against "
+                    "None once, then use it",
+                )
+        self.generic_visit(node)
+
+
+@register
+class SaltedHashSeedRule(_ImportAwareRule):
+    id = "REP108"
+    title = "no builtin hash() in RNG seeds (salted per process)"
+    severity = Severity.ERROR
+    packages = ("repro",)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        target = self.resolve(node.func)
+        is_seed_sink = target == "random.Random" or (
+            target is not None and target.rpartition(".")[2] == "seed"
+        )
+        if is_seed_sink:
+            for arg in [*node.args, *(kw.value for kw in node.keywords)]:
+                for sub in ast.walk(arg):
+                    if (
+                        isinstance(sub, ast.Call)
+                        and isinstance(sub.func, ast.Name)
+                        and sub.func.id == "hash"
+                    ):
+                        self.report(
+                            sub,
+                            "seeding an RNG with builtin hash(): str/bytes "
+                            "hashes are salted per process (PYTHONHASHSEED), "
+                            "so the seed differs across runs; use "
+                            "zlib.crc32/hashlib over the encoded text",
+                        )
+        self.generic_visit(node)
+
+
+#: Packages under the ``mypy --strict`` gate (mirrored in pyproject.toml).
+STRICT_PACKAGES = ("repro.core", "repro.crypto", "repro.policy")
+
+
+@register
+class StrictAnnotationsRule(Rule):
+    id = "REP107"
+    title = "strict packages: every def fully annotated"
+    severity = Severity.ERROR
+    packages = STRICT_PACKAGES
+
+    def _check(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        args = node.args
+        ordered = [*args.posonlyargs, *args.args]
+        missing: list[str] = []
+        for index, arg in enumerate(ordered):
+            if index == 0 and arg.arg in {"self", "cls"}:
+                continue
+            if arg.annotation is None:
+                missing.append(arg.arg)
+        missing.extend(
+            a.arg for a in args.kwonlyargs if a.annotation is None
+        )
+        if args.vararg is not None and args.vararg.annotation is None:
+            missing.append(f"*{args.vararg.arg}")
+        if args.kwarg is not None and args.kwarg.annotation is None:
+            missing.append(f"**{args.kwarg.arg}")
+        if node.returns is None:
+            missing.append("return")
+        if missing:
+            self.report(
+                node,
+                f"{node.name}() is missing annotations for "
+                f"{', '.join(missing)}; this package is under the "
+                "mypy --strict gate",
+            )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check(node)
+        self.generic_visit(node)

@@ -1,0 +1,109 @@
+"""File discovery and reporting for ``repro lint``.
+
+The runner maps files on disk to dotted module names (rule scoping works
+on module paths, not filesystem paths, so results do not depend on where
+the repo is checked out), runs every registered rule, and renders the
+findings for humans or machines.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+import repro
+from repro.analysis import rules as _rules  # noqa: F401  (populates the registry)
+from repro.analysis.framework import (
+    Finding,
+    Rule,
+    check_source,
+    findings_to_json,
+    registered_rules,
+)
+from repro.errors import AnalysisError
+
+__all__ = ["default_root", "iter_sources", "lint_paths", "render_findings"]
+
+
+def default_root() -> Path:
+    """The installed ``repro`` package directory — the default lint target."""
+    return Path(repro.__file__).resolve().parent
+
+
+def _module_name(path: Path, root: Path) -> str:
+    """Dotted module name of *path*, assuming *root* is the ``repro``
+    package directory (or a directory containing it)."""
+    try:
+        rel = path.resolve().relative_to(root.resolve())
+    except ValueError:
+        rel = Path(path.name)
+    parts = list(rel.with_suffix("").parts)
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    if root.resolve().name == "repro":
+        parts = ["repro", *parts]
+    return ".".join(parts)
+
+
+def iter_sources(paths: Sequence[Path]) -> Iterator[tuple[Path, str]]:
+    """Yield (file, module-name) pairs for every ``.py`` under *paths*."""
+    for target in paths:
+        if target.is_file():
+            root = target.parent
+            while root.name and root.name != "repro":
+                root = root.parent
+            yield target, _module_name(target, root if root.name else target.parent)
+        elif target.is_dir():
+            root = target
+            for file in sorted(target.rglob("*.py")):
+                yield file, _module_name(file, root)
+        else:
+            raise AnalysisError(f"no such file or directory: {target}")
+
+
+def lint_paths(
+    paths: Sequence[Path] | None = None,
+    *,
+    rules: Iterable[type[Rule]] | None = None,
+) -> list[Finding]:
+    """Lint every Python file under *paths* (default: the repro package)."""
+    targets = list(paths) if paths else [default_root()]
+    findings: list[Finding] = []
+    for file, module in iter_sources(targets):
+        source = file.read_text(encoding="utf-8")
+        findings.extend(
+            check_source(source, path=str(file), module=module, rules=rules)
+        )
+    return findings
+
+
+def render_findings(
+    findings: Sequence[Finding], *, output_format: str = "human"
+) -> str:
+    """Render findings as a human report or a JSON document."""
+    if output_format == "json":
+        return findings_to_json(findings)
+    if not findings:
+        return "repro lint: no findings"
+    lines = [f.format() for f in findings]
+    errors = sum(1 for f in findings if f.severity.value == "error")
+    warnings = len(findings) - errors
+    lines.append(
+        f"repro lint: {len(findings)} finding(s) "
+        f"({errors} error(s), {warnings} warning(s))"
+    )
+    return "\n".join(lines)
+
+
+def describe_rules() -> str:
+    """One line per registered rule, for ``repro lint --list-rules``."""
+    lines = []
+    for rule_id, rule_cls in sorted(registered_rules().items()):
+        scope = (
+            ", ".join(rule_cls.packages) if rule_cls.packages else "all modules"
+        )
+        lines.append(
+            f"{rule_id}  [{rule_cls.severity.value:<7s}] {rule_cls.title} "
+            f"(scope: {scope})"
+        )
+    return "\n".join(lines)

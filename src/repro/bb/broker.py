@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import logging
 import random
+import zlib
 from dataclasses import dataclass
 from typing import Protocol
 
@@ -140,7 +141,9 @@ class BandwidthBroker:
         self.dn = dn if dn is not None else DN.make("Grid", domain, f"BB-{domain}")
         if keypair is None:
             keypair = get_scheme(scheme).generate(
-                rng if rng is not None else random.Random(hash(domain) & 0xFFFF)
+                # crc32, not hash(): str hashing is salted per process and would
+                # make default keygen nondeterministic across runs (REP108).
+                rng if rng is not None else random.Random(zlib.crc32(domain.encode()))
             )
         self.keypair = keypair
         self.certificate = certificate

@@ -24,6 +24,7 @@ import logging
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
+from repro.analysis.policycheck import verify_policy
 from repro.crypto.capability import verify_delegation_chain
 from repro.crypto.dn import DistinguishedName
 from repro.crypto.keys import PublicKey
@@ -97,6 +98,26 @@ class PolicyServer:
     ):
         self.domain = domain
         self.engine = engine
+        #: Static-verifier findings for the loaded policy (warn-only: a
+        #: questionable policy still loads, but the operator hears about
+        #: it).  An engine with no nodes is pure-default by construction
+        #: (e.g. the Akenti adapter) and is not checked.
+        self.policy_findings = (
+            verify_policy(engine.nodes, name=engine.name)
+            if engine.nodes
+            else []
+        )
+        if self.policy_findings:
+            registry = obs_metrics.get_registry()
+            if registry is not None:
+                registry.counter(
+                    "policy_lint_findings_total",
+                    "Static-verifier findings on loaded policies",
+                ).inc(len(self.policy_findings), domain=domain)
+            for finding in self.policy_findings:
+                logger.warning(
+                    "%s: policy verifier: %s", domain, finding.format()
+                )
         self._group_servers = {gs.name: gs for gs in group_servers}
         self._trusted_communities = dict(trusted_communities or {})
         self._predicates = dict(predicates or {})

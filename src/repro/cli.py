@@ -12,7 +12,12 @@ Subcommands:
 * ``metrics`` — run reservations with the observability substrate
   enabled and dump the metrics registry (Prometheus text or JSON);
 * ``trace`` — run one reservation with span tracing enabled, print the
-  span tree, and cross-check it against the envelope-derived path.
+  span tree, and cross-check it against the envelope-derived path;
+* ``lint`` — run the repo's custom AST lint rules (REP101..REP107) over
+  the ``repro`` package (or given paths); exits nonzero on findings;
+* ``lint-policy`` — statically verify policy files in the paper's
+  syntax: unreachable branches, contradictory conditions, non-exhaustive
+  chains, always-DENY subtrees.
 
 ``-v`` / ``-vv`` (before the subcommand) raises logging to INFO / DEBUG.
 
@@ -23,6 +28,8 @@ Examples::
     python -m repro attack
     python -m repro metrics --domains A,B,C --runs 5 --format prom
     python -m repro -v trace --domains A,B,C,D
+    python -m repro lint --format json
+    python -m repro lint-policy examples/policies/*.policy
 """
 
 from __future__ import annotations
@@ -120,6 +127,30 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--rate", type=float, default=10.0)
     trace.add_argument("--duration", type=float, default=3600.0)
     trace.add_argument("--user", default="Alice")
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the repo's AST lint rules; nonzero exit on findings",
+    )
+    lint.add_argument("paths", nargs="*",
+                      help="files/directories to lint (default: the "
+                           "installed repro package)")
+    lint.add_argument("--format", choices=("human", "json"), default="human",
+                      help="output format")
+    lint.add_argument("--rule", action="append", default=[],
+                      help="only run this rule id (repeatable)")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule catalog and exit")
+
+    lint_policy = sub.add_parser(
+        "lint-policy",
+        help="statically verify policy files (unreachable/contradictory/"
+             "non-exhaustive/always-DENY)",
+    )
+    lint_policy.add_argument("policy_files", nargs="+",
+                             help="policy files in the paper's syntax")
+    lint_policy.add_argument("--format", choices=("human", "json"),
+                             default="human", help="output format")
 
     return parser
 
@@ -369,6 +400,64 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0 if outcome.granted else 1
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis import lint_paths, registered_rules, render_findings
+    from repro.analysis.runner import describe_rules
+
+    if args.list_rules:
+        print(describe_rules())
+        return 0
+    registry = registered_rules()
+    rules = None
+    if args.rule:
+        unknown = [r for r in args.rule if r not in registry]
+        if unknown:
+            print(f"error: unknown rule(s): {', '.join(unknown)}",
+                  file=sys.stderr)
+            return 2
+        rules = [registry[r] for r in args.rule]
+    paths = [Path(p) for p in args.paths] or None
+    findings = lint_paths(paths, rules=rules)
+    print(render_findings(findings, output_format=args.format))
+    return 1 if findings else 0
+
+
+def cmd_lint_policy(args: argparse.Namespace) -> int:
+    from repro.analysis.policycheck import (
+        policy_findings_to_json,
+        verify_policy_source,
+    )
+
+    all_findings = []
+    status = 0
+    for path in args.policy_files:
+        try:
+            with open(path, encoding="utf-8") as fh:
+                source = fh.read()
+        except OSError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        try:
+            findings = verify_policy_source(source, name=path)
+        except PolicySyntaxError as exc:
+            print(f"{path}: syntax error: {exc}", file=sys.stderr)
+            return 2
+        all_findings.extend(findings)
+        if findings:
+            status = 1
+    if args.format == "json":
+        print(policy_findings_to_json(all_findings))
+    else:
+        for finding in all_findings:
+            print(finding.format())
+        checked = len(args.policy_files)
+        print(f"repro lint-policy: {len(all_findings)} finding(s) in "
+              f"{checked} file(s)")
+    return status
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -389,6 +478,10 @@ def main(argv: list[str] | None = None) -> int:
             return cmd_metrics(args)
         if args.command == "trace":
             return cmd_trace(args)
+        if args.command == "lint":
+            return cmd_lint(args)
+        if args.command == "lint-policy":
+            return cmd_lint_policy(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

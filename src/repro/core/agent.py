@@ -10,6 +10,7 @@ from group servers.
 from __future__ import annotations
 
 import random
+import zlib
 
 from repro.crypto.capability import ProxyCredential, delegate
 from repro.crypto.dn import DN, DistinguishedName
@@ -36,12 +37,13 @@ class UserAgent:
         truststore: TrustStore | None = None,
         scheme: str = "rsa",
         rng: random.Random | None = None,
-    ):
+    ) -> None:
         self.dn = DN.parse(dn) if isinstance(dn, str) else dn
         self.domain = domain
         if keypair is None:
             keypair = get_scheme(scheme).generate(
-                rng if rng is not None else random.Random(hash(str(dn)) & 0xFFFF)
+                # crc32, not hash(): str hashing is salted per process (REP108).
+                rng if rng is not None else random.Random(zlib.crc32(str(dn).encode()))
             )
         self.keypair = keypair
         self.certificate = certificate

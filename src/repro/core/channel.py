@@ -28,6 +28,7 @@ from __future__ import annotations
 from typing import Any, Callable, Protocol
 
 from repro.crypto.dn import DistinguishedName
+from repro.crypto.truststore import TrustStore
 from repro.crypto.x509 import Certificate
 from repro.errors import ChannelError, HandshakeError
 
@@ -39,7 +40,7 @@ class ChannelEndpoint(Protocol):  # pragma: no cover - typing only
     certificate: Certificate
 
     @property
-    def truststore(self): ...
+    def truststore(self) -> TrustStore: ...
 
 
 class SecureChannel:
@@ -52,7 +53,7 @@ class SecureChannel:
         *,
         latency_s: float = 0.005,
         at_time: float = 0.0,
-    ):
+    ) -> None:
         if a.certificate is None or b.certificate is None:
             raise HandshakeError("both endpoints need certificates")
         for us, them in ((a, b), (b, a)):

@@ -59,6 +59,7 @@ from repro.crypto.capability import (
     split_capability_chains,
     verify_delegation_chain,
 )
+from repro.crypto.repository import CertificateRepository
 from repro.crypto.x509 import Certificate
 from repro.errors import (
     CertificateError,
@@ -128,8 +129,8 @@ class HopByHopProtocol:
         *,
         processing_delay_s: float = 0.001,
         clock: Callable[[], float] = lambda: 0.0,
-        repository=None,
-    ):
+        repository: CertificateRepository | None = None,
+    ) -> None:
         self.brokers = dict(brokers)
         self.channels = channels
         self.domain_path = domain_path
@@ -276,8 +277,8 @@ class HopByHopProtocol:
         *,
         assertions: Sequence[SignedAssertion],
         restrictions: tuple[str, ...],
-        tracer,
-        root,
+        tracer: obs_spans.Tracer | None,
+        root: obs_spans.Span | None,
     ) -> SignallingOutcome:
         """The protocol body (request leg, reply leg); see :meth:`reserve`."""
         at_time = self.clock()

@@ -67,7 +67,7 @@ class EndToEndAgent:
         *,
         processing_delay_s: float = 0.001,
         clock: Callable[[], float] = lambda: 0.0,
-    ):
+    ) -> None:
         self.brokers = dict(brokers)
         self.channels = channels
         self.domain_path = domain_path

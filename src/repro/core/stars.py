@@ -62,7 +62,7 @@ class ReservationCoordinator:
         truststore: TrustStore | None = None,
         processing_delay_s: float = 0.001,
         clock: Callable[[], float] = lambda: 0.0,
-    ):
+    ) -> None:
         self.domain = domain
         self.dn = dn if dn is not None else DN.make("Grid", domain, f"RC-{domain}")
         self.keypair = (

@@ -71,7 +71,7 @@ class NetworkEdgeConfigurator:
     """Broker-to-data-plane glue: implements
     :class:`repro.bb.broker.EdgeConfigurator` against the DiffServ model."""
 
-    def __init__(self, network: NetworkModel):
+    def __init__(self, network: NetworkModel) -> None:
         self.network = network
 
     def _first_router(self, host: str) -> str:
@@ -127,7 +127,7 @@ class Testbed:
         trust_policy: TrustPolicy | None = None,
         default_policy: str | PolicyEngine | None = None,
         seed: int = 2001,
-    ):
+    ) -> None:
         self.topology = topology
         self.sim = Simulator()
         self.network = NetworkModel(topology, self.sim)
@@ -170,7 +170,9 @@ class Testbed:
 
     # -- construction ------------------------------------------------------------
 
-    def _build_domain(self, domain: str, default_policy) -> None:
+    def _build_domain(
+        self, domain: str, default_policy: str | PolicyEngine | None
+    ) -> None:
         ca = CertificateAuthority(
             DN.make("Grid", domain, f"CA-{domain}"),
             rng=self.rng,
@@ -362,7 +364,7 @@ class Testbed:
         duration: float = 3600.0,
         source_host: str | None = None,
         destination_host: str | None = None,
-        **kwargs,
+        **kwargs: Any,
     ) -> ReservationRequest:
         if source_host is None:
             hosts = self.topology.hosts_in_domain(source)
@@ -390,7 +392,7 @@ class Testbed:
         bandwidth_mbps: float,
         start: float = 0.0,
         duration: float = 3600.0,
-        **kwargs,
+        **kwargs: Any,
     ) -> SignallingOutcome:
         """Hop-by-hop end-to-end reservation (the paper's protocol)."""
         request = self.make_request(
@@ -444,7 +446,7 @@ def build_linear_testbed(
     hosts_per_domain: int = 2,
     inter_capacity_mbps: float = 155.0,
     intra_capacity_mbps: float = 1000.0,
-    **kwargs,
+    **kwargs: Any,
 ) -> Testbed:
     """Build the paper's standard chain testbed.
 
@@ -471,7 +473,7 @@ def build_star_testbed(
     *,
     hosts_per_domain: int = 1,
     inter_capacity_mbps: float = 155.0,
-    **kwargs,
+    **kwargs: Any,
 ) -> Testbed:
     """An ISP-hub testbed: stub domains peering only with *hub* (the
     common 2001 deployment shape — every leaf-to-leaf reservation crosses
@@ -489,7 +491,7 @@ def build_mesh_testbed(
     *,
     hosts_per_domain: int = 1,
     inter_capacity_mbps: float = 155.0,
-    **kwargs,
+    **kwargs: Any,
 ) -> Testbed:
     """A full-mesh testbed: every domain pair peers directly."""
     topo = mesh_domains(

@@ -28,9 +28,11 @@ from __future__ import annotations
 import logging
 import time
 from dataclasses import dataclass
+from typing import Callable, TypeVar
 
 from repro.bb.reservations import ReservationRequest
 from repro.crypto.dn import DistinguishedName
+from repro.crypto.repository import CertificateRepository
 from repro.crypto.truststore import TrustStore
 from repro.crypto.x509 import Certificate
 from repro.core.envelope import SignedEnvelope
@@ -59,8 +61,10 @@ logger = logging.getLogger(__name__)
 #: Buckets for the introduction-depth histogram (layers below the outer).
 _DEPTH_BUCKETS = (0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
 
+_V = TypeVar("_V")
 
-def _meter_verification(fn, mode: str):
+
+def _meter_verification(fn: Callable[[], _V], mode: str) -> _V:
     """Wrap a RAR verifier with signature/depth/timing telemetry.
 
     Counts every verification attempt (``rar_verifications_total`` with a
@@ -265,7 +269,7 @@ def verify_rar_with_repository(
     verifier: DistinguishedName,
     peer_certificate: Certificate,
     truststore: TrustStore,
-    repository,
+    repository: CertificateRepository,
     at_time: float = 0.0,
 ) -> tuple[VerifiedRAR, int]:
     """Verify a nested RAR resolving inner-signer keys from a trusted
@@ -299,7 +303,7 @@ def _verify_rar_with_repository_impl(
     verifier: DistinguishedName,
     peer_certificate: Certificate,
     truststore: TrustStore,
-    repository,
+    repository: CertificateRepository,
     at_time: float = 0.0,
 ) -> tuple[VerifiedRAR, int]:
     layers = unwrap_rar_layers(rar)

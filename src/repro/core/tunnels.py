@@ -93,7 +93,9 @@ class Tunnel:
 class TunnelService:
     """Tunnel establishment and intra-tunnel flow allocation."""
 
-    def __init__(self, protocol: HopByHopProtocol, channels: ChannelRegistry):
+    def __init__(
+        self, protocol: HopByHopProtocol, channels: ChannelRegistry
+    ) -> None:
         self.protocol = protocol
         self.channels = channels
         self._tunnels: dict[str, Tunnel] = {}

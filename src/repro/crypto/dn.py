@@ -122,7 +122,7 @@ class DistinguishedName:
 
     # -- encoding / formatting ----------------------------------------------
 
-    def to_cbe(self):
+    def to_cbe(self) -> list[list[str]]:
         return [list(pair) for pair in self.rdns]
 
     def __str__(self) -> str:

@@ -169,7 +169,7 @@ class RSAScheme:
     name = "rsa"
     secure = True
 
-    def __init__(self, bits: int = 1024, public_exponent: int = 65537):
+    def __init__(self, bits: int = 1024, public_exponent: int = 65537) -> None:
         if bits < 256:
             raise CryptoError("RSA modulus must be at least 256 bits")
         self.bits = bits

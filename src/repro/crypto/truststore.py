@@ -21,6 +21,7 @@ The protocol-level walk over an introduction chain lives in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.crypto.dn import DistinguishedName
 from repro.crypto.keys import PublicKey
@@ -49,14 +50,16 @@ class TrustPolicy:
 class TrustStore:
     """Anchors + direct peers + policy for one principal."""
 
-    def __init__(self, policy: TrustPolicy | None = None):
+    def __init__(self, policy: TrustPolicy | None = None) -> None:
         self.policy = policy if policy is not None else TrustPolicy()
         self._anchors: dict[str, Certificate] = {}
         self._peers: dict[DistinguishedName, Certificate] = {}
         #: Revocation oracles (e.g. each anchored CA's ``is_revoked``).
-        self._revocation_checkers: list = []
+        self._revocation_checkers: list[Callable[[Certificate], bool]] = []
 
-    def add_revocation_checker(self, checker) -> None:
+    def add_revocation_checker(
+        self, checker: Callable[[Certificate], bool]
+    ) -> None:
         """Register a ``Certificate -> bool`` oracle (True = revoked).
         Typically each anchored CA's ``is_revoked`` — the simulation's
         stand-in for fetching that CA's CRL."""

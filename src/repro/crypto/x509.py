@@ -214,7 +214,7 @@ class CertificateAuthority:
         scheme: str = "rsa",
         keypair: KeyPair | None = None,
         validity: float = DEFAULT_VALIDITY,
-    ):
+    ) -> None:
         self.name = DN.parse(name) if isinstance(name, str) else name
         self._rng = rng if rng is not None else random.Random(0xCA)
         self._scheme = get_scheme(scheme)

@@ -42,6 +42,8 @@ __all__ = [
     "CoReservationError",
     "SimulationError",
     "AccountingError",
+    "ObservabilityError",
+    "AnalysisError",
 ]
 
 
@@ -201,3 +203,15 @@ class CoReservationError(GaraError):
 
 class AccountingError(ReproError):
     """Billing/mediation failures."""
+
+
+# ---------------------------------------------------------------------------
+# observability / static analysis
+# ---------------------------------------------------------------------------
+
+class ObservabilityError(ReproError):
+    """The metrics/tracing substrate was used incorrectly."""
+
+
+class AnalysisError(ReproError):
+    """The static-analysis tooling was misconfigured or fed bad input."""

@@ -34,6 +34,8 @@ from __future__ import annotations
 import threading
 from typing import Iterator, Mapping, Sequence
 
+from repro.errors import ObservabilityError
+
 __all__ = [
     "Counter",
     "Gauge",
@@ -85,7 +87,7 @@ class Counter(_Instrument):
 
     def inc(self, amount: float = 1.0, **labels: object) -> None:
         if amount < 0:
-            raise ValueError(
+            raise ObservabilityError(
                 f"counter {self.name!r} cannot decrease (inc by {amount})"
             )
         key = _label_key(labels)
@@ -163,9 +165,9 @@ class Histogram(_Instrument):
         super().__init__(name, help, lock)
         bounds = tuple(sorted(float(b) for b in buckets))
         if not bounds:
-            raise ValueError(f"histogram {self.name!r} needs at least one bucket")
+            raise ObservabilityError(f"histogram {self.name!r} needs at least one bucket")
         if len(set(bounds)) != len(bounds):
-            raise ValueError(f"histogram {self.name!r} has duplicate buckets")
+            raise ObservabilityError(f"histogram {self.name!r} has duplicate buckets")
         self.buckets = bounds
         self._series: dict[LabelKey, _HistogramSeries] = {}
 
@@ -229,7 +231,7 @@ class MetricsRegistry:
             existing = self._metrics.get(name)
             if existing is not None:
                 if not isinstance(existing, cls):
-                    raise ValueError(
+                    raise ObservabilityError(
                         f"metric {name!r} already registered as "
                         f"{existing.kind}, not {cls.kind}"
                     )

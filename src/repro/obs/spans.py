@@ -30,6 +30,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Iterator
 
+from repro.errors import ObservabilityError
+
 __all__ = [
     "Span",
     "Tracer",
@@ -70,7 +72,7 @@ class Span:
     @property
     def wall_duration_s(self) -> float:
         if self.end_wall is None:
-            raise ValueError(f"span {self.name!r} is still open")
+            raise ObservabilityError(f"span {self.name!r} is still open")
         return self.end_wall - self.start_wall
 
     @property

@@ -33,7 +33,7 @@ class CommunityAuthorizationServer:
         rng: random.Random | None = None,
         scheme: str = "rsa",
         keypair: KeyPair | None = None,
-    ):
+    ) -> None:
         self.community = community
         if name is None:
             name = DN.make("Grid", community, "CAS")

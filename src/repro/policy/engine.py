@@ -192,7 +192,7 @@ class PolicyEngine:
         *,
         default: Decision = Decision.DENY,
         name: str = "policy",
-    ):
+    ) -> None:
         self.nodes = tuple(nodes)
         self.default = default
         self.name = name

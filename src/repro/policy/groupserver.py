@@ -37,7 +37,7 @@ class GroupServer:
         rng: random.Random | None = None,
         scheme: str = "rsa",
         keypair: KeyPair | None = None,
-    ):
+    ) -> None:
         self.name = DN.parse(name) if isinstance(name, str) else name
         if keypair is None:
             keypair = get_scheme(scheme).generate(

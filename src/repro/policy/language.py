@@ -46,6 +46,7 @@ from repro.policy.rules import (
     Call,
     Comparison,
     Condition,
+    Expr,
     Literal,
     Not,
     Or,
@@ -148,7 +149,7 @@ def _tokenize(text: str, line: int) -> list[_Token]:
 class _ConditionParser:
     """Recursive-descent parser over one line's condition tokens."""
 
-    def __init__(self, tokens: list[_Token], line: int):
+    def __init__(self, tokens: list[_Token], line: int) -> None:
         self.tokens = tokens
         self.pos = 0
         self.line = line
@@ -217,7 +218,7 @@ class _ConditionParser:
             f"{lhs.describe()} is not a condition by itself", self.line
         )
 
-    def parse_term(self):
+    def parse_term(self) -> Expr:
         tok = self.next()
         if tok.kind == "BW":
             return Literal(_parse_bandwidth(tok.text))
@@ -264,7 +265,7 @@ def _logical_lines(source: str) -> list[_Line]:
 
 
 class _BlockParser:
-    def __init__(self, lines: list[_Line]):
+    def __init__(self, lines: list[_Line]) -> None:
         self.lines = lines
         self.pos = 0
 

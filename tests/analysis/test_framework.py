@@ -1,0 +1,141 @@
+"""Tests for the lint framework: registry, noqa, output, scoping."""
+
+import json
+
+import pytest
+
+from repro.analysis.framework import (
+    Finding,
+    Rule,
+    Severity,
+    check_source,
+    findings_to_json,
+    register,
+    registered_rules,
+    suppressed_lines,
+)
+from repro.errors import AnalysisError
+
+# Importing the rules module populates the registry.
+import repro.analysis.rules  # noqa: F401
+
+
+class TestRegistry:
+    def test_all_repo_rules_registered(self):
+        ids = set(registered_rules())
+        assert {
+            "REP101", "REP102", "REP103", "REP104",
+            "REP105", "REP106", "REP107", "REP108",
+        } <= ids
+
+    def test_register_rejects_bad_id(self):
+        class Nameless(Rule):
+            id = "LINT1"
+
+        with pytest.raises(AnalysisError, match="REPnnn"):
+            register(Nameless)
+
+    def test_register_rejects_duplicate_id(self):
+        class Clone(Rule):
+            id = "REP101"
+            title = "impostor"
+
+        with pytest.raises(AnalysisError, match="duplicate"):
+            register(Clone)
+
+
+class TestScoping:
+    def test_packages_none_applies_everywhere(self):
+        class Everywhere(Rule):
+            id = "REP900"
+
+        assert Everywhere.applies_to("repro.net.link")
+        assert Everywhere.applies_to("anything.at.all")
+
+    def test_package_prefix_matches_whole_components(self):
+        class Scoped(Rule):
+            id = "REP901"
+            packages = ("repro.net",)
+
+        assert Scoped.applies_to("repro.net")
+        assert Scoped.applies_to("repro.net.link")
+        assert not Scoped.applies_to("repro.network")
+        assert not Scoped.applies_to("repro.policy.engine")
+
+
+class _AlwaysFlagCalls(Rule):
+    """Test helper: flags every function call."""
+
+    id = "REP999"
+    title = "no calls at all"
+    severity = Severity.WARNING
+
+    def visit_Call(self, node):
+        self.report(node, "call flagged")
+        self.generic_visit(node)
+
+
+class TestCheckSource:
+    def test_findings_sorted_and_positioned(self):
+        src = "b()\na()\n"
+        findings = check_source(src, path="x.py", rules=[_AlwaysFlagCalls])
+        assert [f.line for f in findings] == [1, 2]
+        assert findings[0].rule == "REP999"
+        assert findings[0].severity is Severity.WARNING
+        assert "x.py:1:0: REP999 warning:" in findings[0].format()
+
+    def test_syntax_error_raises_analysis_error(self):
+        with pytest.raises(AnalysisError, match="cannot parse"):
+            check_source("def f(:\n", path="broken.py")
+
+    def test_out_of_scope_module_skipped(self):
+        class Scoped(_AlwaysFlagCalls):
+            id = "REP998"
+            packages = ("repro.net",)
+
+        assert check_source("f()\n", module="repro.policy.x", rules=[Scoped]) == []
+        assert check_source("f()\n", module="repro.net.x", rules=[Scoped]) != []
+
+
+class TestNoqa:
+    def test_suppressed_lines_parses_specs(self):
+        src = (
+            "a()  # repro: noqa[REP999]\n"
+            "b()  # repro: noqa[REP101, REP999] deliberate, see docs\n"
+            "c()  # repro: noqa[*]\n"
+            "d()\n"
+        )
+        sup = suppressed_lines(src)
+        assert sup[1] == frozenset({"REP999"})
+        assert sup[2] == frozenset({"REP101", "REP999"})
+        assert sup[3] == frozenset({"*"})
+        assert 4 not in sup
+
+    def test_noqa_suppresses_matching_rule_only(self):
+        src = (
+            "a()  # repro: noqa[REP999] justified\n"
+            "b()  # repro: noqa[REP101] wrong rule id\n"
+        )
+        findings = check_source(src, rules=[_AlwaysFlagCalls])
+        assert [f.line for f in findings] == [2]
+
+    def test_noqa_star_suppresses_everything(self):
+        src = "a()  # repro: noqa[*] test scaffolding\n"
+        assert check_source(src, rules=[_AlwaysFlagCalls]) == []
+
+
+class TestJsonOutput:
+    def test_round_trips_through_json(self):
+        findings = [
+            Finding("f.py", 3, 1, "REP103", Severity.ERROR, "boom"),
+        ]
+        doc = json.loads(findings_to_json(findings))
+        assert doc["count"] == 1
+        assert doc["findings"][0] == {
+            "path": "f.py",
+            "line": 3,
+            "column": 1,
+            "rule": "REP103",
+            "severity": "error",
+            "message": "boom",
+        }

@@ -1,0 +1,326 @@
+"""Each repo-specific rule: fires on the violation, quiet on the idiom."""
+
+import textwrap
+
+from repro.analysis.framework import check_source
+from repro.analysis.rules import (
+    BareExceptionRule,
+    GlobalRandomRule,
+    MutableDefaultRule,
+    ObsGuardRule,
+    SaltedHashSeedRule,
+    SecretExposureRule,
+    StrictAnnotationsRule,
+    WallClockRule,
+)
+
+
+def lint(source, rule, module="repro.net.test"):
+    return check_source(
+        textwrap.dedent(source), module=module, rules=[rule]
+    )
+
+
+class TestWallClock:
+    def test_flags_time_time(self):
+        findings = lint(
+            """
+            import time
+            def f():
+                return time.time()
+            """,
+            WallClockRule,
+        )
+        assert len(findings) == 1
+        assert "time.time()" in findings[0].message
+
+    def test_resolves_from_import_alias(self):
+        findings = lint(
+            """
+            from time import time as wall
+            stamp = wall()
+            """,
+            WallClockRule,
+        )
+        assert len(findings) == 1
+
+    def test_flags_datetime_now(self):
+        findings = lint(
+            """
+            import datetime
+            t = datetime.datetime.now()
+            """,
+            WallClockRule,
+        )
+        assert len(findings) == 1
+
+    def test_monotonic_timers_allowed(self):
+        # perf_counter cannot express a time of day; the obs layer uses it
+        # to meter elapsed cost.
+        findings = lint(
+            """
+            import time
+            start = time.perf_counter()
+            tick = time.monotonic()
+            """,
+            WallClockRule,
+        )
+        assert findings == []
+
+    def test_scoped_to_simulation_packages(self):
+        src = """
+        import time
+        t = time.time()
+        """
+        assert lint(src, WallClockRule, module="repro.analysis.x") == []
+        assert lint(src, WallClockRule, module="repro.bb.x") != []
+
+
+class TestGlobalRandom:
+    def test_flags_module_level_calls(self):
+        findings = lint(
+            """
+            import random
+            x = random.random()
+            y = random.choice([1, 2])
+            """,
+            GlobalRandomRule,
+        )
+        assert len(findings) == 2
+
+    def test_injected_rng_is_fine(self):
+        findings = lint(
+            """
+            import random
+            def f(rng: random.Random) -> float:
+                return rng.random()
+            r = random.Random(42)
+            """,
+            GlobalRandomRule,
+        )
+        assert findings == []
+
+
+class TestBareException:
+    def test_flags_generic_raises(self):
+        findings = lint(
+            """
+            def f():
+                raise ValueError("bad")
+            def g():
+                raise Exception
+            """,
+            BareExceptionRule,
+        )
+        assert [f.line for f in findings] == [3, 5]
+
+    def test_repro_errors_are_fine(self):
+        findings = lint(
+            """
+            from repro.errors import PolicySyntaxError
+            def f():
+                raise PolicySyntaxError("bad token")
+            """,
+            BareExceptionRule,
+        )
+        assert findings == []
+
+    def test_reraise_without_exc_is_fine(self):
+        findings = lint(
+            """
+            def f():
+                try:
+                    g()
+                except KeyError:
+                    raise
+            """,
+            BareExceptionRule,
+        )
+        assert findings == []
+
+
+class TestSecretExposure:
+    def test_flags_secret_in_fstring(self):
+        findings = lint(
+            """
+            msg = f"key is {private_key}"
+            """,
+            SecretExposureRule,
+        )
+        assert len(findings) == 1
+        assert "private_key" in findings[0].message
+
+    def test_flags_secret_attribute_in_log_call(self):
+        findings = lint(
+            """
+            logger.info("loaded %s", self.signing_key)
+            """,
+            SecretExposureRule,
+        )
+        assert len(findings) == 1
+
+    def test_attribute_chain_checks_rendered_leaf_only(self):
+        # `private.scheme` renders a scheme name, not the key.
+        findings = lint(
+            """
+            msg = f"scheme {private.scheme!r} unsupported"
+            """,
+            SecretExposureRule,
+        )
+        assert findings == []
+
+    def test_leaf_attribute_still_caught(self):
+        findings = lint(
+            """
+            logger.debug("%s", bundle.private_key)
+            """,
+            SecretExposureRule,
+        )
+        assert len(findings) == 1
+
+
+class TestMutableDefault:
+    def test_flags_literal_and_constructor_defaults(self):
+        findings = lint(
+            """
+            def f(xs=[], mapping=dict()):
+                pass
+            """,
+            MutableDefaultRule,
+        )
+        assert len(findings) == 2
+
+    def test_none_and_tuple_defaults_are_fine(self):
+        findings = lint(
+            """
+            def f(xs=None, pair=(), *, flags=frozenset()):
+                pass
+            """,
+            MutableDefaultRule,
+        )
+        assert findings == []
+
+
+class TestObsGuard:
+    def test_flags_chained_accessor_use(self):
+        findings = lint(
+            """
+            from repro.obs import metrics as obs_metrics
+            obs_metrics.get_registry().counter("x", "y").inc()
+            """,
+            ObsGuardRule,
+        )
+        assert len(findings) == 1
+        assert "one-None-check" in findings[0].message
+
+    def test_guarded_use_is_fine(self):
+        findings = lint(
+            """
+            from repro.obs import metrics as obs_metrics
+            registry = obs_metrics.get_registry()
+            if registry is not None:
+                registry.counter("x", "y").inc()
+            """,
+            ObsGuardRule,
+        )
+        assert findings == []
+
+
+class TestSaltedHashSeed:
+    def test_flags_hash_in_random_constructor(self):
+        findings = lint(
+            """
+            import random
+            rng = random.Random(hash(name) & 0xFFFF)
+            """,
+            SaltedHashSeedRule,
+        )
+        assert len(findings) == 1
+        assert "PYTHONHASHSEED" in findings[0].message
+
+    def test_flags_hash_in_seed_call(self):
+        findings = lint(
+            """
+            def f(rng, label):
+                rng.seed(hash(label))
+            """,
+            SaltedHashSeedRule,
+        )
+        assert len(findings) == 1
+
+    def test_crc32_seed_is_fine(self):
+        findings = lint(
+            """
+            import random
+            import zlib
+            rng = random.Random(zlib.crc32(name.encode()))
+            """,
+            SaltedHashSeedRule,
+        )
+        assert findings == []
+
+
+class TestStrictAnnotations:
+    def test_flags_missing_annotations_in_strict_packages(self):
+        findings = lint(
+            """
+            def f(x, y=1):
+                return x + y
+            """,
+            StrictAnnotationsRule,
+            module="repro.core.test",
+        )
+        assert len(findings) == 1
+        assert "x, y, return" in findings[0].message
+
+    def test_self_and_cls_exempt(self):
+        findings = lint(
+            """
+            class C:
+                def method(self, x: int) -> int:
+                    return x
+                @classmethod
+                def make(cls) -> "C":
+                    return cls()
+            """,
+            StrictAnnotationsRule,
+            module="repro.policy.test",
+        )
+        assert findings == []
+
+    def test_varargs_need_annotations_too(self):
+        findings = lint(
+            """
+            def f(*args, **kwargs) -> None:
+                pass
+            """,
+            StrictAnnotationsRule,
+            module="repro.crypto.test",
+        )
+        assert len(findings) == 1
+        assert "*args" in findings[0].message
+        assert "**kwargs" in findings[0].message
+
+    def test_not_enforced_outside_strict_packages(self):
+        findings = lint(
+            """
+            def f(x):
+                return x
+            """,
+            StrictAnnotationsRule,
+            module="repro.net.test",
+        )
+        assert findings == []
+
+
+class TestNoqaIntegration:
+    def test_justified_suppression_silences_one_rule(self):
+        findings = lint(
+            """
+            import time
+            t = time.time()  # repro: noqa[REP101] boot banner only
+            u = time.time()
+            """,
+            WallClockRule,
+        )
+        assert [f.line for f in findings] == [4]

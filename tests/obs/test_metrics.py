@@ -5,6 +5,7 @@ import threading
 
 import pytest
 
+from repro.errors import ObservabilityError
 from repro.obs import export, metrics
 from repro.obs.metrics import MetricsRegistry
 
@@ -20,7 +21,7 @@ class TestCounter:
         c.inc()
         c.inc(2.5)
         assert c.value() == 3.5
-        with pytest.raises(ValueError):
+        with pytest.raises(ObservabilityError):
             c.inc(-1)
         assert c.value() == 3.5
 
@@ -74,9 +75,9 @@ class TestHistogram:
     def test_buckets_sorted_and_deduplicated(self, registry):
         h = registry.histogram("s", buckets=(5.0, 1.0, 2.0))
         assert h.buckets == (1.0, 2.0, 5.0)
-        with pytest.raises(ValueError):
+        with pytest.raises(ObservabilityError):
             registry.histogram("dup", buckets=(1.0, 1.0))
-        with pytest.raises(ValueError):
+        with pytest.raises(ObservabilityError):
             registry.histogram("empty", buckets=())
 
 
@@ -86,7 +87,7 @@ class TestRegistry:
 
     def test_kind_mismatch_raises(self, registry):
         registry.counter("thing")
-        with pytest.raises(ValueError, match="already registered"):
+        with pytest.raises(ObservabilityError, match="already registered"):
             registry.gauge("thing")
 
     def test_collect_is_name_sorted(self, registry):

@@ -6,6 +6,7 @@ import pytest
 
 from repro.core.testbed import build_linear_testbed
 from repro.core.tracing import trace_request_path
+from repro.errors import ObservabilityError
 from repro.obs import spans
 from repro.obs.spans import Tracer, mint_correlation_id
 
@@ -23,7 +24,7 @@ class TestTracerPrimitives:
     def test_open_span_has_no_duration(self):
         tracer = Tracer()
         span = tracer.begin("op", trace_id="t1")
-        with pytest.raises(ValueError):
+        with pytest.raises(ObservabilityError):
             _ = span.wall_duration_s
 
     def test_parenting_and_queries(self):
