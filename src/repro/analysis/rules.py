@@ -21,6 +21,11 @@ Each rule encodes an invariant the reproduction depends on:
   ``repro.core``/``repro.crypto``/``repro.policy`` carries complete
   annotations (parameters and return), matching what ``mypy --strict``
   enforces in CI.
+* ``REP109`` — every retry loop around channel/broker/policy calls must
+  be bounded: a ``while True`` that transmits or re-admits with no
+  attempt counter, backoff, or deadline in sight retries a dead peer
+  forever (the failure-recovery design is bounded attempts + backoff +
+  circuit breaker; see :mod:`repro.core.recovery`).
 """
 
 from __future__ import annotations
@@ -38,6 +43,7 @@ __all__ = [
     "ObsGuardRule",
     "SaltedHashSeedRule",
     "StrictAnnotationsRule",
+    "UnboundedRetryRule",
 ]
 
 #: Packages whose behaviour must be driven by the simulation clock.
@@ -396,4 +402,73 @@ class StrictAnnotationsRule(Rule):
 
     def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
         self._check(node)
+        self.generic_visit(node)
+
+
+#: Method names whose failure typically means "the peer/service did not
+#: answer" — the calls retry machinery wraps.
+RETRYABLE_CALLS = frozenset(
+    {"transmit", "admit", "reserve", "lookup", "decide",
+     "verify_credentials"}
+)
+
+#: Identifier substrings that signal the loop is actually bounded (an
+#: attempt counter, a backoff computation, a deadline budget).
+_BOUND_MARKERS = (
+    "attempt", "retry", "retries", "tries", "backoff", "max",
+    "deadline", "remaining", "budget",
+)
+
+
+@register
+class UnboundedRetryRule(Rule):
+    id = "REP109"
+    title = "retry loops around channel/broker calls must be bounded"
+    severity = Severity.ERROR
+    packages = ("repro",)
+
+    @staticmethod
+    def _is_constant_true(test: ast.expr) -> bool:
+        return isinstance(test, ast.Constant) and bool(test.value)
+
+    @staticmethod
+    def _retryable_calls(node: ast.While) -> list[str]:
+        names = []
+        for sub in ast.walk(node):
+            if (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Attribute)
+                and sub.func.attr in RETRYABLE_CALLS
+            ):
+                names.append(sub.func.attr)
+        return names
+
+    @staticmethod
+    def _has_bound_marker(node: ast.While) -> bool:
+        for sub in ast.walk(node):
+            idents: list[str] = []
+            if isinstance(sub, ast.Name):
+                idents.append(sub.id)
+            elif isinstance(sub, ast.Attribute):
+                idents.append(sub.attr)
+            elif isinstance(sub, ast.arg):
+                idents.append(sub.arg)
+            for ident in idents:
+                lowered = ident.lower()
+                if any(marker in lowered for marker in _BOUND_MARKERS):
+                    return True
+        return False
+
+    def visit_While(self, node: ast.While) -> None:
+        if self._is_constant_true(node.test):
+            calls = self._retryable_calls(node)
+            if calls and not self._has_bound_marker(node):
+                self.report(
+                    node,
+                    f"unbounded retry: 'while True' around "
+                    f"{', '.join(sorted(set(calls)))}() with no attempt "
+                    "counter, backoff, or deadline; bound it with "
+                    "repro.core.recovery.RetryPolicy (or an explicit "
+                    "attempt limit)",
+                )
         self.generic_visit(node)

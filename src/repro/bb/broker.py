@@ -25,7 +25,10 @@ import logging
 import random
 import zlib
 from dataclasses import dataclass
-from typing import Protocol
+from typing import TYPE_CHECKING, Protocol
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults.injector import FaultInjector
 
 from repro.bb.admission import AdmissionController
 from repro.bb.policyserver import PolicyServer, VerifiedInfo
@@ -136,6 +139,7 @@ class BandwidthBroker:
         configurator: EdgeConfigurator | None = None,
         scheme: str = "rsa",
         rng: random.Random | None = None,
+        soft_state_ttl_s: float | None = None,
     ):
         self.domain = domain
         self.dn = dn if dn is not None else DN.make("Grid", domain, f"BB-{domain}")
@@ -162,6 +166,12 @@ class BandwidthBroker:
         self._linked_validators: dict[str, object] = {}
         #: Operator-facing decision trail (admit/claim/cancel events).
         self.audit_log: list[AuditEntry] = []
+        #: RSVP-style soft-state lease length.  When set, every grant
+        #: carries an ``expires_at`` and must be refreshed (claim and
+        #: :meth:`refresh` do) or :meth:`sweep_soft_state` reclaims it.
+        self.soft_state_ttl_s = soft_state_ttl_s
+        #: Optional deterministic fault injector (crash windows).
+        self.injector: FaultInjector | None = None
 
     # -- peering -----------------------------------------------------------------
 
@@ -273,7 +283,14 @@ class BandwidthBroker:
     _EVENT_KINDS = {
         "claim": EventKind.CLAIM,
         "cancel": EventKind.CANCEL,
+        "expire": EventKind.EXPIRE,
     }
+
+    def _check_up(self) -> None:
+        """Deliver a pending injected crash before touching state — a
+        crashed BB answers nothing, so no operation may proceed."""
+        if self.injector is not None:
+            self.injector.broker_op(self.domain)
 
     def _audit(self, event: str, resv: Reservation, *, granted: bool,
                reason: str = "", at_time: float = 0.0) -> None:
@@ -339,11 +356,37 @@ class BandwidthBroker:
         Returns an :class:`AdmitOutcome`; never raises for ordinary
         denials (the signalling layer propagates the reason upstream,
         §6.1: "the event is propagated upstream to inform the user of the
-        reason for the denial").
+        reason for the denial").  A *transient* failure mid-admission
+        (policy server down, injected crash) does raise — after first
+        cancelling the PENDING record, so a retried admission never
+        leaves a stuck reservation behind.
         """
+        self._check_up()
         resv = self.reservations.create(request, verified.user, now=at_time)
         resv.upstream = upstream
         resv.downstream = downstream
+        try:
+            return self._admit_pipeline(
+                resv, request, verified, at_time=at_time,
+                upstream=upstream, downstream=downstream,
+            )
+        except Exception:
+            if resv.state is ReservationState.PENDING:
+                self.reservations.transition(
+                    resv.handle, ReservationState.CANCELLED
+                )
+            raise
+
+    def _admit_pipeline(
+        self,
+        resv: Reservation,
+        request: ReservationRequest,
+        verified: VerifiedInfo,
+        *,
+        at_time: float,
+        upstream: str | None,
+        downstream: str | None,
+    ) -> AdmitOutcome:
         try:
             self.check_sla(request, upstream=upstream, downstream=downstream)
         except SLAViolationError as exc:
@@ -381,6 +424,8 @@ class BandwidthBroker:
                                     reason=str(exc))
             resv.bookings = tuple(b for _, b in bookings)
             self._booking_map[resv.handle] = bookings
+        if self.soft_state_ttl_s is not None:
+            resv.expires_at = at_time + self.soft_state_ttl_s
         self.reservations.transition(resv.handle, ReservationState.GRANTED)
         self._audit("admit", resv, granted=True, reason=decision.reason,
                     at_time=at_time)
@@ -388,10 +433,15 @@ class BandwidthBroker:
 
     # -- lifecycle ----------------------------------------------------------------------
 
-    def claim(self, handle: str) -> Reservation:
+    def claim(self, handle: str, *, at_time: float = 0.0) -> Reservation:
         """Bind a granted reservation to traffic: configure edge routers."""
+        self._check_up()
         resv = self.reservations.transition(handle, ReservationState.ACTIVE)
-        self._audit("claim", resv, granted=True)
+        if self.soft_state_ttl_s is not None:
+            self.reservations.refresh(
+                handle, now=at_time, ttl_s=self.soft_state_ttl_s
+            )
+        self._audit("claim", resv, granted=True, at_time=at_time)
         if self.configurator is not None:
             if resv.upstream is None:
                 # We are the source domain: per-flow classification.
@@ -400,6 +450,7 @@ class BandwidthBroker:
         return resv
 
     def cancel(self, handle: str) -> Reservation:
+        self._check_up()
         resv = self.reservations.get(handle)
         was_active = resv.state is ReservationState.ACTIVE
         resv = self.reservations.transition(handle, ReservationState.CANCELLED)
@@ -412,6 +463,43 @@ class BandwidthBroker:
                 self.configurator.teardown_flow(self.domain, resv)
             self._refresh_ingress(resv.request.service_class)
         return resv
+
+    def refresh(self, handle: str, *, at_time: float = 0.0) -> Reservation:
+        """Renew a reservation's soft-state lease (RSVP-style refresh).
+        A no-op lease-wise when the broker runs hard state."""
+        self._check_up()
+        if self.soft_state_ttl_s is None:
+            return self.reservations.get(handle)
+        return self.reservations.refresh(
+            handle, now=at_time, ttl_s=self.soft_state_ttl_s
+        )
+
+    def sweep_soft_state(self, now: float) -> tuple[Reservation, ...]:
+        """Reclaim reservations whose soft-state lease lapsed: release
+        their capacity bookings and deprovision.  This is the safety net
+        that frees upstream admissions when a failed hop prevented the
+        explicit unwind from reaching this domain.
+        """
+        lapsed = self.reservations.sweep_expired(now)
+        registry = obs_metrics.get_registry()
+        for resv in lapsed:
+            bookings = self._booking_map.pop(resv.handle, ())
+            if bookings:
+                self.admission.release_all(bookings)
+            if self.configurator is not None:
+                if resv.upstream is None:
+                    self.configurator.teardown_flow(self.domain, resv)
+                self._refresh_ingress(resv.request.service_class)
+            if registry is not None:
+                registry.counter(
+                    "soft_state_expirations_total",
+                    "Reservations reclaimed by soft-state expiry",
+                ).inc(domain=self.domain)
+            self._audit(
+                "expire", resv, granted=True,
+                reason="soft-state lease expired", at_time=now,
+            )
+        return lapsed
 
     def _refresh_ingress(self, service_class) -> None:
         """Recompute aggregate policer rates per upstream from the set of

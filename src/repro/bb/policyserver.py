@@ -124,6 +124,13 @@ class PolicyServer:
         self.domain_attributes = dict(domain_attributes or {})
         #: Counters for the benchmark harness.
         self.decisions = 0
+        #: Optional deterministic fault injector (timeout/unavailable).
+        self.injector: Any = None
+
+    def _check_up(self) -> None:
+        """Deliver a pending injected outage before answering a query."""
+        if self.injector is not None:
+            self.injector.policy_op(self.domain)
 
     # -- configuration -----------------------------------------------------------
 
@@ -157,6 +164,7 @@ class PolicyServer:
         1–6 of §6.5).  Bad credentials are recorded in ``rejected``, not
         fatal — policy simply sees fewer verified facts.
         """
+        self._check_up()
         groups: set[str] = set()
         rejected: list[str] = []
         for assertion in assertions:
@@ -250,6 +258,7 @@ class PolicyServer:
     ) -> PolicyDecision:
         """Run local policy; on GRANT, attach the domain-wide additions as
         request modifications (the 'modified request' of §5)."""
+        self._check_up()
         self.decisions += 1
         ctx = self.build_context(
             request,
@@ -305,6 +314,7 @@ class AkentiPolicyServer(PolicyServer):
         available_bandwidth_mbps: float = float("inf"),
         linked_validator=None,
     ) -> PolicyDecision:
+        self._check_up()
         self.decisions += 1
         if verified.user is None:
             decision = PolicyDecision(Decision.DENY, reason="akenti: no user")

@@ -143,6 +143,11 @@ class Reservation:
     #: Neighbouring domains on the reservation's path (None at the ends).
     upstream: str | None = None
     downstream: str | None = None
+    #: RSVP-style soft-state lease: when set, the reservation must be
+    #: refreshed before this instant or the sweep reclaims it — the
+    #: backstop that frees capacity even when an explicit unwind after a
+    #: failed hop never arrives.  ``None`` = hard state (no lease).
+    expires_at: float | None = None
 
     def active_at(self, when: float) -> bool:
         return (
@@ -216,6 +221,30 @@ class ReservationTable:
         if at_time is not None:
             return resv.active_at(at_time)
         return resv.state in (ReservationState.GRANTED, ReservationState.ACTIVE)
+
+    def refresh(self, handle: str, *, now: float, ttl_s: float) -> Reservation:
+        """Renew the soft-state lease of a live reservation (the periodic
+        refresh of RSVP-style soft state)."""
+        resv = self.get(handle)
+        if resv.state not in (ReservationState.GRANTED, ReservationState.ACTIVE):
+            raise ReservationStateError(
+                f"{handle}: cannot refresh a {resv.state.value} reservation"
+            )
+        resv.expires_at = now + ttl_s
+        return resv
+
+    def sweep_expired(self, now: float) -> tuple[Reservation, ...]:
+        """Expire live reservations whose soft-state lease has lapsed;
+        returns them so the broker can release their capacity bookings."""
+        lapsed = tuple(
+            resv for resv in self._by_handle.values()
+            if resv.state in (ReservationState.GRANTED, ReservationState.ACTIVE)
+            and resv.expires_at is not None
+            and resv.expires_at <= now
+        )
+        for resv in lapsed:
+            resv.state = ReservationState.EXPIRED
+        return lapsed
 
     def expire_passed(self, now: float) -> int:
         """Expire reservations whose interval has passed; returns count."""

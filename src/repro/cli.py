@@ -13,11 +13,14 @@ Subcommands:
   enabled and dump the metrics registry (Prometheus text or JSON);
 * ``trace`` — run one reservation with span tracing enabled, print the
   span tree, and cross-check it against the envelope-derived path;
-* ``lint`` — run the repo's custom AST lint rules (REP101..REP107) over
+* ``lint`` — run the repo's custom AST lint rules (REP101..REP109) over
   the ``repro`` package (or given paths); exits nonzero on findings;
 * ``lint-policy`` — statically verify policy files in the paper's
   syntax: unreachable branches, contradictory conditions, non-exhaustive
-  chains, always-DENY subtrees.
+  chains, always-DENY subtrees;
+* ``chaos`` — run the seeded single-fault chaos matrix against fresh
+  testbeds and report invariant violations (capacity leaks, stuck
+  reservations, unreleased channels); exits nonzero on any violation.
 
 ``-v`` / ``-vv`` (before the subcommand) raises logging to INFO / DEBUG.
 
@@ -30,6 +33,7 @@ Examples::
     python -m repro -v trace --domains A,B,C,D
     python -m repro lint --format json
     python -m repro lint-policy examples/policies/*.policy
+    python -m repro chaos --seed 7 --trials 200
 """
 
 from __future__ import annotations
@@ -151,6 +155,26 @@ def build_parser() -> argparse.ArgumentParser:
                              help="policy files in the paper's syntax")
     lint_policy.add_argument("--format", choices=("human", "json"),
                              default="human", help="output format")
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="seeded fault-injection matrix; nonzero exit on invariant "
+             "violations",
+    )
+    chaos.add_argument("--seed", type=int, default=7,
+                       help="schedule seed (same seed = same faults)")
+    chaos.add_argument("--trials", type=int, default=200,
+                       help="number of single-fault trials")
+    chaos.add_argument("--domains", default="A,B,C,D",
+                       help="comma-separated chain of domains")
+    chaos.add_argument("--rate", type=float, default=10.0,
+                       help="bandwidth per trial, Mb/s")
+    chaos.add_argument("--deadline", type=float, default=30.0,
+                       help="end-to-end signalling deadline, seconds")
+    chaos.add_argument("--ttl", type=float, default=60.0,
+                       help="soft-state lease length, seconds")
+    chaos.add_argument("--show-trials", action="store_true",
+                       help="print one line per trial")
 
     return parser
 
@@ -458,6 +482,34 @@ def cmd_lint_policy(args: argparse.Namespace) -> int:
     return status
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.faults import run_chaos
+
+    domains = [d.strip() for d in args.domains.split(",") if d.strip()]
+    if len(domains) < 2:
+        print("error: chaos needs at least two domains", file=sys.stderr)
+        return 2
+    if args.trials < 1:
+        print("error: --trials must be >= 1", file=sys.stderr)
+        return 2
+    report = run_chaos(
+        seed=args.seed,
+        trials=args.trials,
+        domains=domains,
+        rate_mbps=args.rate,
+        deadline_s=args.deadline,
+        soft_state_ttl_s=args.ttl,
+    )
+    if args.show_trials:
+        for trial in report.trials:
+            verdict = "granted" if trial.granted else "denied "
+            health = "ok" if not trial.violations else "VIOLATION"
+            print(f"  [{trial.index:4d}] {verdict} inj={trial.injected} "
+                  f"retry={trial.retries} {health}  {trial.spec.describe()}")
+    print(report.summary())
+    return 1 if report.violations else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -482,6 +534,8 @@ def main(argv: list[str] | None = None) -> int:
             return cmd_lint(args)
         if args.command == "lint-policy":
             return cmd_lint_policy(args)
+        if args.command == "chaos":
+            return cmd_chaos(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

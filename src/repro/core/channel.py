@@ -25,14 +25,36 @@ Endpoints are duck-typed: anything with ``dn``, ``certificate`` and
 
 from __future__ import annotations
 
-from typing import Any, Callable, Protocol
+from typing import TYPE_CHECKING, Any, Callable, Protocol
 
 from repro.crypto.dn import DistinguishedName
 from repro.crypto.truststore import TrustStore
 from repro.crypto.x509 import Certificate
-from repro.errors import ChannelError, HandshakeError
+from repro.errors import ChannelError, HandshakeError, MessageDroppedError
 
-__all__ = ["ChannelEndpoint", "SecureChannel", "ChannelRegistry"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults.injector import FaultInjector
+
+__all__ = ["ChannelEndpoint", "SecureChannel", "ChannelRegistry", "link_label"]
+
+
+def _endpoint_label(endpoint: Any) -> str:
+    """A short, stable label for one channel endpoint.
+
+    Brokers (anything with a reservation table) are labelled by domain —
+    that is how operators and fault plans name peer links; other
+    principals (user agents, coordinators) by certificate common name,
+    which the testbed keeps unique.
+    """
+    if hasattr(endpoint, "reservations"):
+        return str(getattr(endpoint, "domain", endpoint.dn))
+    cn = endpoint.dn.common_name
+    return cn if cn else str(endpoint.dn)
+
+
+def link_label(a: Any, b: Any) -> str:
+    """The canonical (order-independent) label of the a<->b link."""
+    return "|".join(sorted((_endpoint_label(a), _endpoint_label(b))))
 
 
 class ChannelEndpoint(Protocol):  # pragma: no cover - typing only
@@ -65,10 +87,20 @@ class SecureChannel:
         self._ends = {a.dn: a, b.dn: b}
         self._certs = {a.dn: a.certificate, b.dn: b.certificate}
         self.latency_s = latency_s
+        #: Stable operator-facing name of this link (fault plans and the
+        #: per-link circuit breakers key on it).
+        self.link = link_label(a, b)
         self.messages = 0
         self.bytes = 0
+        #: Messages lost on the wire (tamper hooks or injected faults).
+        self.drops = 0
+        #: Extra one-way delay the most recent delivery suffered from an
+        #: injected DELAY fault; senders compare it to their hop timeout.
+        self.last_delay_s = 0.0
         #: Optional message transformer simulating an on-path attacker.
         self.tamper_hook: Callable[[Any], Any] | None = None
+        #: Optional deterministic fault injector (set registry-wide).
+        self.injector: FaultInjector | None = None
 
     @property
     def endpoints(self) -> tuple[DistinguishedName, ...]:
@@ -89,15 +121,38 @@ class SecureChannel:
         return self._ends[others[0]]
 
     def transmit(self, sender: DistinguishedName, message: Any) -> Any:
-        """Account for one message crossing the channel and return what the
-        receiver sees (possibly tampered)."""
+        """One message crossing the channel; returns what the receiver
+        sees (possibly tampered or delayed).
+
+        A dropped message (a tamper hook returning ``None``, or an
+        injected DROP fault) never reaches the receiver: it is NOT
+        counted in ``messages``/``bytes`` and raises
+        :class:`~repro.errors.MessageDroppedError` so the sender's
+        timeout/retry machinery sees the loss instead of a silent
+        ``None`` flowing downstream.
+        """
         if sender not in self._ends:
             raise ChannelError(f"{sender} is not an endpoint of this channel")
+        self.last_delay_s = 0.0
+        if self.tamper_hook is not None:
+            message = self.tamper_hook(message)
+            if message is None:
+                self.drops += 1
+                raise MessageDroppedError(
+                    f"message from {sender} dropped on link {self.link} "
+                    "by the tamper hook"
+                )
+        if self.injector is not None:
+            try:
+                message, self.last_delay_s = self.injector.channel_transmit(
+                    self.link, message
+                )
+            except MessageDroppedError:
+                self.drops += 1
+                raise
         self.messages += 1
         size = getattr(message, "wire_size", None)
         self.bytes += size() if callable(size) else 0
-        if self.tamper_hook is not None:
-            message = self.tamper_hook(message)
         return message
 
 
@@ -106,9 +161,20 @@ class ChannelRegistry:
 
     def __init__(self) -> None:
         self._channels: dict[frozenset[DistinguishedName], SecureChannel] = {}
+        #: Registry-wide fault injector; seeded into every channel (also
+        #: channels opened after it is set).
+        self.injector: FaultInjector | None = None
+
+    def set_injector(self, injector: FaultInjector | None) -> None:
+        """Attach (or with ``None`` detach) a fault injector to every
+        channel, present and future."""
+        self.injector = injector
+        for channel in self._channels.values():
+            channel.injector = injector
 
     def add(self, channel: SecureChannel) -> None:
         key = frozenset(channel.endpoints)
+        channel.injector = self.injector
         self._channels[key] = channel
 
     def connect(self, a: Any, b: Any, *, latency_s: float = 0.005,
@@ -119,6 +185,7 @@ class ChannelRegistry:
         if existing is not None:
             return existing
         channel = SecureChannel(a, b, latency_s=latency_s, at_time=at_time)
+        channel.injector = self.injector
         self._channels[key] = channel
         return channel
 
@@ -146,3 +213,4 @@ class ChannelRegistry:
         for c in self._channels.values():
             c.messages = 0
             c.bytes = 0
+            c.drops = 0

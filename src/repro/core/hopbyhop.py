@@ -22,30 +22,52 @@ destination behaviours of §§6.1–6.3:
    (including its own proof of possession) and, on success, the approval
    propagates back with each BB adding its signed policy information.
 
+Failure recovery (the part the paper leaves implicit): every channel
+crossing runs under a per-hop timeout with bounded retries, exponential
+backoff + seeded jitter, and a per-peer-link circuit breaker
+(:mod:`repro.core.recovery`); an optional end-to-end deadline travels in
+the RAR itself (``F_DEADLINE``) so retries at an early hop shrink every
+later hop's budget; a hop whose broker, policy server, or repository
+stays down after retries turns into an upstream-signed denial; and
+partial-path admissions are *always* released — explicitly where
+reachable, tolerantly skipped (``UNWIND_FAILED``) where not, with the
+brokers' soft-state expiry as the backstop.
+
 Latency accounting (benchmark C1): every channel crossing contributes its
-one-way latency, and every BB decision contributes ``processing_delay_s``;
-the engine sums these along the actual message trajectory.
+one-way latency, every BB decision contributes ``processing_delay_s``,
+and every timeout/backoff contributes its modelled wait; the engine sums
+these along the actual message trajectory.
 """
 
 from __future__ import annotations
 
 import logging
+import random
 import time
+import zlib
 from dataclasses import dataclass, field
-from typing import Callable, Mapping, Sequence
+from typing import Callable, Mapping, Sequence, TypeVar
 
 from repro.bb.broker import BandwidthBroker
 from repro.bb.reservations import ReservationRequest
 from repro.core.agent import UserAgent
 from repro.core.channel import ChannelRegistry, SecureChannel
+from repro.crypto.dn import DistinguishedName
 from repro.core.envelope import SignedEnvelope
 from repro.core.messages import (
+    F_DEADLINE,
     F_DOMAIN,
     F_REASON,
     make_approval,
     make_bb_rar,
     make_denial,
     make_user_rar,
+)
+from repro.core.recovery import (
+    BreakerPolicy,
+    CircuitBreaker,
+    Deadline,
+    RetryPolicy,
 )
 from repro.core.trust import (
     VerifiedRAR,
@@ -62,8 +84,17 @@ from repro.crypto.capability import (
 from repro.crypto.repository import CertificateRepository
 from repro.crypto.x509 import Certificate
 from repro.errors import (
+    BrokerUnavailableError,
     CertificateError,
+    ChannelTimeoutError,
+    CircuitOpenError,
+    DeadlineExceededError,
     DelegationError,
+    MessageDroppedError,
+    PolicyUnavailableError,
+    RepositoryUnavailableError,
+    ReproError,
+    RetryExhaustedError,
     SignallingError,
     TrustError,
     TamperedMessageError,
@@ -78,6 +109,23 @@ __all__ = ["SignallingOutcome", "HopByHopProtocol"]
 
 logger = logging.getLogger(__name__)
 
+_T = TypeVar("_T")
+
+#: Transient faults a hop may retry through (a crashed-and-restarting
+#: broker, a policy server or repository that times out).
+_TRANSIENT_ERRORS = (
+    BrokerUnavailableError,
+    PolicyUnavailableError,
+    RepositoryUnavailableError,
+)
+
+#: Delivery failures that end a leg after the retry budget is spent.
+_DELIVERY_FAILURES = (
+    RetryExhaustedError,
+    CircuitOpenError,
+    DeadlineExceededError,
+)
+
 
 @dataclass
 class SignallingOutcome:
@@ -89,11 +137,14 @@ class SignallingOutcome:
     handles: dict[str, str] = field(default_factory=dict)
     denial_domain: str | None = None
     denial_reason: str = ""
-    #: End-to-end signalling latency (request leg + reply leg).
+    #: End-to-end signalling latency (request leg + reply leg, including
+    #: modelled timeouts and retry backoff).
     latency_s: float = 0.0
     #: Messages exchanged during this attempt.
     messages: int = 0
     bytes: int = 0
+    #: Transient-failure retries performed while signalling.
+    retries: int = 0
     #: The RAR as received by the destination (None when denied earlier).
     final_rar: SignedEnvelope | None = None
     #: Transitive-trust verification result at the destination.
@@ -130,6 +181,10 @@ class HopByHopProtocol:
         processing_delay_s: float = 0.001,
         clock: Callable[[], float] = lambda: 0.0,
         repository: CertificateRepository | None = None,
+        retry_policy: RetryPolicy | None = None,
+        breaker_policy: BreakerPolicy | None = None,
+        hop_timeout_s: float = 0.25,
+        rng: random.Random | None = None,
     ) -> None:
         self.brokers = dict(brokers)
         self.channels = channels
@@ -141,6 +196,23 @@ class HopByHopProtocol:
         #: every verifier resolves inner-signer keys by DN instead, paying
         #: one repository lookup per unknown signer.
         self.repository = repository
+        self.retry_policy = (
+            retry_policy if retry_policy is not None else RetryPolicy()
+        )
+        self.breaker_policy = (
+            breaker_policy if breaker_policy is not None else BreakerPolicy()
+        )
+        #: How long a sender waits for a channel delivery before declaring
+        #: the message lost and retrying (modelled seconds).
+        self.hop_timeout_s = hop_timeout_s
+        # crc32 seed, not hash(): deterministic across processes (REP108).
+        self.rng = (
+            rng if rng is not None
+            else random.Random(zlib.crc32(b"hopbyhop-recovery"))
+        )
+        #: One circuit breaker per channel link, persisting across
+        #: requests so a proven-dead link fails fast.
+        self._breakers: dict[str, CircuitBreaker] = {}
 
     # -- helpers -----------------------------------------------------------------
 
@@ -149,6 +221,178 @@ class HopByHopProtocol:
             return self.brokers[domain]
         except KeyError:
             raise SignallingError(f"no bandwidth broker for domain {domain!r}") from None
+
+    def _breaker_for(self, link: str) -> CircuitBreaker:
+        breaker = self._breakers.get(link)
+        if breaker is None:
+            breaker = CircuitBreaker(link, self.breaker_policy)
+            self._breakers[link] = breaker
+        return breaker
+
+    def _note_retry(
+        self, *, outcome: SignallingOutcome, what: str, target: str,
+        attempt: int, at_time: float, reason: str,
+    ) -> None:
+        outcome.retries += 1
+        logger.info("retry %d of %s (%s): %s", attempt, what, target, reason)
+        registry = obs_metrics.get_registry()
+        if registry is not None:
+            registry.counter(
+                "signalling_retries_total",
+                "Transient-failure retries during hop-by-hop signalling",
+            ).inc(target=target)
+        event_log = obs_events.get_event_log()
+        if event_log is not None:
+            event_log.emit(
+                EventKind.RETRY, at_time=at_time, reason=reason,
+                target=target, what=what, attempt=attempt,
+            )
+
+    def _deliver(
+        self,
+        channel: SecureChannel,
+        sender: DistinguishedName,
+        message: SignedEnvelope,
+        *,
+        outcome: SignallingOutcome,
+        at_time: float,
+        deadline: Deadline | None,
+        what: str,
+    ) -> SignedEnvelope:
+        """One reliable-ish delivery: per-hop timeout, bounded retries
+        with backoff + jitter, and the link's circuit breaker.
+
+        Modelled latency for every attempt — successful crossing, timed
+        out wait, and backoff alike — accrues to *outcome*; message and
+        byte counters only count copies that actually arrived, matching
+        the channel's own accounting.
+        """
+        breaker = self._breaker_for(channel.link)
+        policy = self.retry_policy
+        last_exc: ReproError | None = None
+        for attempt in range(1, policy.max_attempts + 1):
+            now = at_time + outcome.latency_s
+            if deadline is not None:
+                deadline.check(now, what=what)
+            breaker.check(now)
+            try:
+                received = channel.transmit(sender, message)
+            except MessageDroppedError as exc:
+                last_exc = exc
+            else:
+                extra = channel.last_delay_s
+                if extra > 0.0 and extra >= self.hop_timeout_s:
+                    # Delivered, but after the sender's timeout fired; the
+                    # receiver discards the stale copy as a duplicate.
+                    last_exc = ChannelTimeoutError(
+                        f"{what}: delivery on {channel.link} took "
+                        f"{extra:.3f}s, over the {self.hop_timeout_s:.3f}s "
+                        "hop timeout"
+                    )
+                else:
+                    outcome.latency_s += channel.latency_s + extra
+                    outcome.messages += 1
+                    outcome.bytes += received.wire_size()
+                    breaker.record_success(at_time + outcome.latency_s)
+                    return received
+            # The sender waited out its timeout without an acknowledgement.
+            outcome.latency_s += self.hop_timeout_s
+            breaker.record_failure(at_time + outcome.latency_s)
+            if attempt < policy.max_attempts:
+                outcome.latency_s += policy.backoff_s(attempt, self.rng)
+                self._note_retry(
+                    outcome=outcome, what=what, target=channel.link,
+                    attempt=attempt, at_time=at_time + outcome.latency_s,
+                    reason=str(last_exc),
+                )
+        raise RetryExhaustedError(
+            f"{what}: no delivery on link {channel.link} after "
+            f"{policy.max_attempts} attempts: {last_exc}"
+        ) from last_exc
+
+    def _call_with_retries(
+        self,
+        op: Callable[[], _T],
+        *,
+        outcome: SignallingOutcome,
+        at_time: float,
+        deadline: Deadline | None,
+        what: str,
+        target: str,
+    ) -> _T:
+        """Run *op* with bounded retries over transient service outages
+        (crashed broker, policy server / repository timeout)."""
+        policy = self.retry_policy
+        last_exc: ReproError | None = None
+        for attempt in range(1, policy.max_attempts + 1):
+            now = at_time + outcome.latency_s
+            if deadline is not None:
+                deadline.check(now, what=what)
+            try:
+                return op()
+            except _TRANSIENT_ERRORS as exc:
+                last_exc = exc
+                if attempt < policy.max_attempts:
+                    outcome.latency_s += policy.backoff_s(attempt, self.rng)
+                    self._note_retry(
+                        outcome=outcome, what=what, target=target,
+                        attempt=attempt, at_time=at_time + outcome.latency_s,
+                        reason=str(exc),
+                    )
+        raise RetryExhaustedError(
+            f"{what} failed after {policy.max_attempts} attempts: {last_exc}"
+        ) from last_exc
+
+    def _release_granted(
+        self,
+        granted: list[tuple[BandwidthBroker, str]],
+        *,
+        at_time: float,
+        reason: str,
+    ) -> None:
+        """Release partial-path admissions, tolerating broker failures.
+
+        An unreachable broker cannot release explicitly; the failure is
+        recorded (``UNWIND_FAILED``) and its soft-state lease — when the
+        broker runs soft state — reclaims the capacity on expiry.
+        Consumes *granted* so callers (and the enclosing ``finally``)
+        never release twice.
+        """
+        registry = obs_metrics.get_registry()
+        event_log = obs_events.get_event_log()
+        while granted:
+            bb, handle = granted.pop()
+            try:
+                bb.cancel(handle)
+            except ReproError as exc:
+                logger.warning(
+                    "%s: unwind of %s failed (%s); soft state must reclaim",
+                    bb.domain, handle, exc,
+                )
+                if registry is not None:
+                    registry.counter(
+                        "unwind_failures_total",
+                        "Partial-path releases that failed (left to "
+                        "soft-state expiry)",
+                    ).inc(domain=bb.domain)
+                if event_log is not None:
+                    event_log.emit(
+                        EventKind.UNWIND_FAILED, at_time=at_time,
+                        domain=bb.domain, handle=handle, reason=str(exc),
+                    )
+                continue
+            logger.info("%s: released %s (%s)", bb.domain, handle, reason)
+            if registry is not None:
+                registry.counter(
+                    "releases_total",
+                    "Partial-path reservations released after a "
+                    "downstream denial",
+                ).inc(domain=bb.domain)
+            if event_log is not None:
+                event_log.emit(
+                    EventKind.RELEASE, at_time=at_time, domain=bb.domain,
+                    handle=handle, reason=reason,
+                )
 
     def _bb_credentials(
         self, bb: BandwidthBroker, chains: Sequence[Sequence[Certificate]]
@@ -194,8 +438,13 @@ class HopByHopProtocol:
         *,
         assertions: Sequence[SignedAssertion] = (),
         restrictions: tuple[str, ...] = (),
+        deadline_s: float | None = None,
     ) -> SignallingOutcome:
         """Run the full hop-by-hop reservation for *request*.
+
+        ``deadline_s`` bounds the whole signalling attempt in modelled
+        seconds; the absolute deadline travels in the RAR so every hop
+        bounds its retries by the remaining end-to-end budget.
 
         Observability: a per-request correlation ID is minted here (the
         moment the user agent signs ``RAR_U``), every event emitted while
@@ -225,6 +474,7 @@ class HopByHopProtocol:
             outcome = self._signal(
                 user, request, assertions=assertions,
                 restrictions=restrictions, tracer=tracer, root=root,
+                deadline_s=deadline_s,
             )
         outcome.correlation_id = correlation_id
         if tracer is not None and root is not None:
@@ -279,13 +529,12 @@ class HopByHopProtocol:
         restrictions: tuple[str, ...],
         tracer: obs_spans.Tracer | None,
         root: obs_spans.Span | None,
+        deadline_s: float | None,
     ) -> SignallingOutcome:
         """The protocol body (request leg, reply leg); see :meth:`reserve`."""
         at_time = self.clock()
         path = self.domain_path(request.source_domain, request.destination_domain)
         outcome = SignallingOutcome(granted=False, path=tuple(path))
-        registry = obs_metrics.get_registry()
-        event_log = obs_events.get_event_log()
 
         source_bb = self._broker(path[0])
         user_channel = self.channels.connect(user, source_bb, at_time=at_time)
@@ -295,6 +544,10 @@ class HopByHopProtocol:
             source_bb.dn, bb_public, restrictions=restrictions
         )
         all_assertions = tuple(assertions) + tuple(user.assertions)
+        deadline_at = (
+            at_time + deadline_s if deadline_s is not None else None
+        )
+        deadline = Deadline(deadline_at) if deadline_at is not None else None
         rar = make_user_rar(
             request=request,
             source_bb=source_bb.dn,
@@ -302,13 +555,61 @@ class HopByHopProtocol:
             assertions=all_assertions,
             user=user.dn,
             user_key=user.keypair.private,
+            deadline=deadline_at,
         )
 
+        granted_so_far: list[tuple[BandwidthBroker, str]] = []
+        try:
+            return self._signal_inner(
+                user=user, request=request, path=path, outcome=outcome,
+                rar=rar, user_channel=user_channel, deadline=deadline,
+                granted_so_far=granted_so_far, tracer=tracer, root=root,
+                at_time=at_time,
+            )
+        finally:
+            # Whatever aborted the legs above — an injected crash between
+            # two admissions, an unexpected bug — admitted capacity on the
+            # partial path must never leak.  The normal denial/approval
+            # paths consume ``granted_so_far`` themselves, so this only
+            # fires on abnormal exits.
+            if granted_so_far:
+                self._release_granted(
+                    granted_so_far, at_time=at_time,
+                    reason="signalling aborted",
+                )
+
+    def _signal_inner(
+        self,
+        *,
+        user: UserAgent,
+        request: ReservationRequest,
+        path: list[str],
+        outcome: SignallingOutcome,
+        rar: SignedEnvelope,
+        user_channel: SecureChannel,
+        deadline: Deadline | None,
+        granted_so_far: list[tuple[BandwidthBroker, str]],
+        tracer: obs_spans.Tracer | None,
+        root: obs_spans.Span | None,
+        at_time: float,
+    ) -> SignallingOutcome:
+        registry = obs_metrics.get_registry()
+        event_log = obs_events.get_event_log()
+        source_bb = self._broker(path[0])
+
         # --- request leg: hop by hop downstream --------------------------------
-        rar = user_channel.transmit(user.dn, rar)
-        outcome.latency_s += user_channel.latency_s
-        outcome.messages += 1
-        outcome.bytes += rar.wire_size()
+        sent_rar = rar
+        inbound_channel = user_channel
+        inbound_sender: DistinguishedName = user.dn
+        try:
+            rar = self._deliver(
+                user_channel, user.dn, rar, outcome=outcome,
+                at_time=at_time, deadline=deadline, what="submit RAR_U",
+            )
+        except _DELIVERY_FAILURES as exc:
+            outcome.denial_domain = path[0]
+            outcome.denial_reason = f"source broker unreachable: {exc}"
+            return outcome
 
         channels_walked: list[SecureChannel] = [user_channel]
         upstream_peer_cert = user_channel.peer_certificate(source_bb.dn)
@@ -321,7 +622,6 @@ class HopByHopProtocol:
         inbound_latency_s = user_channel.latency_s
 
         denial: SignedEnvelope | None = None
-        granted_so_far: list[tuple[BandwidthBroker, str]] = []
         #: Accumulated cost of the path so far (§6.1: the request carries
         #: "a cost that the user is willing to accept"; each domain's
         #: tariff is added as the request moves downstream).
@@ -330,6 +630,12 @@ class HopByHopProtocol:
 
         for index, domain in enumerate(path):
             bb = self._broker(domain)
+            # Honor the end-to-end deadline as *carried in the RAR* —
+            # each hop bounds its work by the budget the envelope states,
+            # not by out-of-band knowledge.
+            carried_deadline = rar.get(F_DEADLINE)
+            if carried_deadline is not None:
+                deadline = Deadline(float(carried_deadline))
             outcome.latency_s += self.processing_delay_s
             hop_sim_latency_s = inbound_latency_s + self.processing_delay_s
             upstream = path[index - 1] if index > 0 else None
@@ -347,31 +653,96 @@ class HopByHopProtocol:
                 hop_spans.append(hop_span)
                 span_parent = hop_span
 
+            # Verification, with recovery: a tampered copy triggers a
+            # bounded retransmission request upstream; a repository
+            # outage triggers backoff-and-retry; genuine trust failures
+            # deny immediately.
             phase_t0 = time.perf_counter()
-            try:
-                if self.repository is not None:
-                    verified, lookups = verify_rar_with_repository(
-                        rar,
-                        verifier=bb.dn,
-                        peer_certificate=upstream_peer_cert,
-                        truststore=bb.truststore,
-                        repository=self.repository,
-                        at_time=at_time,
+            verified: VerifiedRAR | None = None
+            verify_exc: Exception | None = None
+            for attempt in range(1, self.retry_policy.max_attempts + 1):
+                try:
+                    if deadline is not None:
+                        deadline.check(
+                            at_time + outcome.latency_s,
+                            what=f"verification at {domain}",
+                        )
+                    if self.repository is not None:
+                        verified, lookups = verify_rar_with_repository(
+                            rar,
+                            verifier=bb.dn,
+                            peer_certificate=upstream_peer_cert,
+                            truststore=bb.truststore,
+                            repository=self.repository,
+                            at_time=at_time,
+                        )
+                        outcome.repository_lookups += lookups
+                        lookup_latency_s = (
+                            lookups * self.repository.lookup_latency_s
+                        )
+                        outcome.latency_s += lookup_latency_s
+                        hop_sim_latency_s += lookup_latency_s
+                    else:
+                        verified = verify_rar(
+                            rar,
+                            verifier=bb.dn,
+                            peer_certificate=upstream_peer_cert,
+                            truststore=bb.truststore,
+                            at_time=at_time,
+                        )
+                    break
+                except TamperedMessageError as exc:
+                    # Integrity failure on the received copy: ask the
+                    # upstream sender to retransmit the original.
+                    verify_exc = exc
+                    if attempt >= self.retry_policy.max_attempts:
+                        break
+                    outcome.latency_s += self.retry_policy.backoff_s(
+                        attempt, self.rng
                     )
-                    outcome.repository_lookups += lookups
-                    lookup_latency_s = lookups * self.repository.lookup_latency_s
-                    outcome.latency_s += lookup_latency_s
-                    hop_sim_latency_s += lookup_latency_s
+                    self._note_retry(
+                        outcome=outcome, what=f"verification at {domain}",
+                        target=inbound_channel.link, attempt=attempt,
+                        at_time=at_time + outcome.latency_s, reason=str(exc),
+                    )
+                    try:
+                        rar = self._deliver(
+                            inbound_channel, inbound_sender, sent_rar,
+                            outcome=outcome, at_time=at_time,
+                            deadline=deadline,
+                            what=f"retransmission to {domain}",
+                        )
+                    except _DELIVERY_FAILURES as exc2:
+                        verify_exc = exc2
+                        break
+                except RepositoryUnavailableError as exc:
+                    verify_exc = exc
+                    if attempt >= self.retry_policy.max_attempts:
+                        break
+                    outcome.latency_s += self.retry_policy.backoff_s(
+                        attempt, self.rng
+                    )
+                    self._note_retry(
+                        outcome=outcome, what=f"verification at {domain}",
+                        target=str(
+                            self.repository.name if self.repository else ""
+                        ),
+                        attempt=attempt,
+                        at_time=at_time + outcome.latency_s, reason=str(exc),
+                    )
+                except DeadlineExceededError as exc:
+                    verify_exc = exc
+                    break
+                except (TrustError, SignallingError, CertificateError) as exc:
+                    verify_exc = exc
+                    break
+            if verified is None:
+                exc = verify_exc
+                if isinstance(exc, (DeadlineExceededError, RetryExhaustedError,
+                                    CircuitOpenError)):
+                    reason = str(exc)
                 else:
-                    verified = verify_rar(
-                        rar,
-                        verifier=bb.dn,
-                        peer_certificate=upstream_peer_cert,
-                        truststore=bb.truststore,
-                        at_time=at_time,
-                    )
-            except (TrustError, TamperedMessageError, SignallingError,
-                    CertificateError) as exc:
+                    reason = f"trust verification failed: {exc}"
                 logger.warning("%s: trust verification failed: %s", domain, exc)
                 if tracer is not None:
                     tracer.record(
@@ -384,7 +755,7 @@ class HopByHopProtocol:
                         domain=domain, reason=str(exc),
                     )
                 denial = make_denial(
-                    domain=domain, reason=f"trust verification failed: {exc}",
+                    domain=domain, reason=reason,
                     bb=bb.dn, bb_key=bb.keypair.private,
                 )
                 break
@@ -394,36 +765,81 @@ class HopByHopProtocol:
                     depth=verified.depth, signer=str(verified.user),
                 )
 
-            phase_t0 = time.perf_counter()
-            chains = split_capability_chains(verified.capability_chain)
-            info = bb.policy_server.verify_credentials(
-                user=verified.user,
-                assertions=verified.assertions,
-                capability_chains=chains,
-                at_time=at_time,
-            )
-            path_attrs = self._verified_path_assertions(
-                verified, upstream_peer_cert, at_time
-            )
-            local_request = (
-                verified.request.with_attributes(**path_attrs)
-                if path_attrs
-                else verified.request
-            )
-            if tracer is not None:
-                tracer.record(
-                    "policy", parent=hop_span, start_wall=phase_t0,
-                    chains=len(chains), rejected=len(info.rejected),
+            # Local decision pipeline, with recovery: the policy server
+            # and this hop's own broker may be down transiently; a hop
+            # whose broker stays down cannot even sign a denial, so the
+            # upstream hop synthesizes one.
+            try:
+                phase_t0 = time.perf_counter()
+                chains = split_capability_chains(verified.capability_chain)
+                info = self._call_with_retries(
+                    lambda: bb.policy_server.verify_credentials(
+                        user=verified.user,
+                        assertions=verified.assertions,
+                        capability_chains=chains,
+                        at_time=at_time,
+                    ),
+                    outcome=outcome, at_time=at_time, deadline=deadline,
+                    what=f"credential verification at {domain}", target=domain,
                 )
+                path_attrs = self._verified_path_assertions(
+                    verified, upstream_peer_cert, at_time
+                )
+                local_request = (
+                    verified.request.with_attributes(**path_attrs)
+                    if path_attrs
+                    else verified.request
+                )
+                if tracer is not None:
+                    tracer.record(
+                        "policy", parent=hop_span, start_wall=phase_t0,
+                        chains=len(chains), rejected=len(info.rejected),
+                    )
 
-            phase_t0 = time.perf_counter()
-            admit = bb.admit(
-                local_request,
-                info,
-                at_time=at_time,
-                upstream=upstream,
-                downstream=downstream,
-            )
+                phase_t0 = time.perf_counter()
+                admit = self._call_with_retries(
+                    lambda: bb.admit(
+                        local_request,
+                        info,
+                        at_time=at_time,
+                        upstream=upstream,
+                        downstream=downstream,
+                    ),
+                    outcome=outcome, at_time=at_time, deadline=deadline,
+                    what=f"admission at {domain}", target=domain,
+                )
+            except _DELIVERY_FAILURES as exc:
+                cause = exc.__cause__
+                if isinstance(exc, RetryExhaustedError) and isinstance(
+                    cause, BrokerUnavailableError
+                ):
+                    # This hop's BB is gone: it cannot sign anything.  The
+                    # upstream hop detects the silence and synthesizes the
+                    # denial (the user-facing report when it IS the source).
+                    logger.warning(
+                        "%s: broker unavailable, upstream reports: %s",
+                        domain, exc,
+                    )
+                    if tracer is not None and hop_span is not None:
+                        tracer.end(hop_span, status="failed", error=str(exc))
+                    channels_walked.pop()
+                    if index == 0:
+                        outcome.denial_domain = domain
+                        outcome.denial_reason = str(exc)
+                        return outcome
+                    prev_bb = self._broker(path[index - 1])
+                    denial = make_denial(
+                        domain=domain, reason=str(exc),
+                        bb=prev_bb.dn, bb_key=prev_bb.keypair.private,
+                    )
+                else:
+                    # Policy server / repository stayed down, or the
+                    # deadline passed: this hop is alive and denies.
+                    denial = make_denial(
+                        domain=domain, reason=str(exc),
+                        bb=bb.dn, bb_key=bb.keypair.private,
+                    )
+                break
             if tracer is not None:
                 tracer.record(
                     "admission", parent=hop_span, start_wall=phase_t0,
@@ -520,7 +936,7 @@ class HopByHopProtocol:
                         attributes=dict(admit.decision.modifications),
                     ),
                 )
-            rar = make_bb_rar(
+            forward_rar = make_bb_rar(
                 inner=rar,
                 introduced_cert=(
                     None if self.repository is not None else upstream_peer_cert
@@ -531,10 +947,19 @@ class HopByHopProtocol:
                 bb=bb.dn,
                 bb_key=bb.keypair.private,
             )
-            rar = channel.transmit(bb.dn, rar)
-            outcome.latency_s += channel.latency_s
-            outcome.messages += 1
-            outcome.bytes += rar.wire_size()
+            try:
+                rar = self._deliver(
+                    channel, bb.dn, forward_rar, outcome=outcome,
+                    at_time=at_time, deadline=deadline,
+                    what=f"forward to {downstream}",
+                )
+            except _DELIVERY_FAILURES as exc:
+                denial = make_denial(
+                    domain=downstream,
+                    reason=f"domain {downstream} unreachable: {exc}",
+                    bb=bb.dn, bb_key=bb.keypair.private,
+                )
+                break
             if tracer is not None:
                 tracer.record(
                     "forward", parent=hop_span, start_wall=phase_t0,
@@ -543,39 +968,43 @@ class HopByHopProtocol:
                 )
             inbound_latency_s = channel.latency_s
             channels_walked.append(channel)
+            sent_rar = forward_rar
+            inbound_channel = channel
+            inbound_sender = bb.dn
             upstream_peer_cert = channel.peer_certificate(next_bb.dn)
 
         # --- reply leg: approval or denial back upstream ------------------------
         if denial is not None:
             denial_domain = denial[F_DOMAIN]
+            denial_reason = denial[F_REASON]
             # Release what was granted on the partial path.
-            for bb, handle in granted_so_far:
-                bb.cancel(handle)
-                logger.info(
-                    "%s: released %s after denial by %s",
-                    bb.domain, handle, denial_domain,
-                )
-                if registry is not None:
-                    registry.counter(
-                        "releases_total",
-                        "Partial-path reservations released after a "
-                        "downstream denial",
-                    ).inc(domain=bb.domain)
-                if event_log is not None:
-                    event_log.emit(
-                        EventKind.RELEASE, at_time=at_time, domain=bb.domain,
-                        handle=handle, reason=f"denied by {denial_domain}",
-                    )
+            self._release_granted(
+                granted_so_far, at_time=at_time,
+                reason=f"denied by {denial_domain}",
+            )
             reply = denial
             # The denial travels back over the channels already walked; on
-            # each channel the downstream endpoint is the sender.
+            # each channel the downstream endpoint is the sender.  A reply
+            # hop that stays unreachable after retries loses the denial —
+            # capacity is already safe, the user sees a timeout.
             for index in range(len(channels_walked) - 1, -1, -1):
                 channel = channels_walked[index]
                 sender = self._broker(path[index]).dn
-                reply = channel.transmit(sender, reply)
-                outcome.latency_s += channel.latency_s
-                outcome.messages += 1
-                outcome.bytes += reply.wire_size()
+                try:
+                    reply = self._deliver(
+                        channel, sender, reply, outcome=outcome,
+                        at_time=at_time, deadline=None, what="denial reply",
+                    )
+                except SignallingError as exc:
+                    logger.warning(
+                        "denial by %s lost on link %s: %s",
+                        denial_domain, channel.link, exc,
+                    )
+                    if tracer is not None:
+                        for j in range(index, -1, -1):
+                            if j < len(hop_spans):
+                                tracer.end(hop_spans[j], status="released")
+                    break
                 if tracer is not None and index < len(hop_spans):
                     hop = hop_spans[index]
                     tracer.end(
@@ -587,7 +1016,7 @@ class HopByHopProtocol:
                         ),
                     )
             outcome.denial_domain = denial_domain
-            outcome.denial_reason = denial[F_REASON]
+            outcome.denial_reason = denial_reason
             outcome.approval = None
             return outcome
 
@@ -597,7 +1026,7 @@ class HopByHopProtocol:
             domain = path[index]
             bb = self._broker(domain)
             policy_info: tuple[SignedAssertion, ...] = ()
-            reply = make_approval(
+            approval = make_approval(
                 handle=outcome.handles[domain],
                 domain=domain,
                 policy_info=policy_info,
@@ -606,10 +1035,28 @@ class HopByHopProtocol:
                 bb_key=bb.keypair.private,
             )
             channel = channels_walked[index]
-            reply = channel.transmit(bb.dn, reply)
-            outcome.latency_s += channel.latency_s
-            outcome.messages += 1
-            outcome.bytes += reply.wire_size()
+            try:
+                reply = self._deliver(
+                    channel, bb.dn, approval, outcome=outcome,
+                    at_time=at_time, deadline=deadline, what="approval reply",
+                )
+            except SignallingError as exc:
+                # Without the approval the user holds no proof and no
+                # handles: treat the reservation as failed, release every
+                # admission (graceful degradation: deny, don't leak).
+                self._release_granted(
+                    granted_so_far, at_time=at_time,
+                    reason=f"approval undeliverable at {domain}",
+                )
+                outcome.granted = False
+                outcome.denial_domain = domain
+                outcome.denial_reason = f"approval could not be delivered: {exc}"
+                outcome.approval = None
+                if tracer is not None:
+                    for j in range(index, -1, -1):
+                        if j < len(hop_spans):
+                            tracer.end(hop_spans[j], status="released")
+                return outcome
             if tracer is not None and index < len(hop_spans):
                 tracer.end(
                     hop_spans[index],
@@ -617,6 +1064,7 @@ class HopByHopProtocol:
                 )
         outcome.approval = reply
         outcome.granted = True
+        granted_so_far.clear()
         return outcome
 
     # -- lifecycle helpers --------------------------------------------------------------
@@ -628,9 +1076,12 @@ class HopByHopProtocol:
             raise SignallingError("cannot claim a denied reservation")
         logger.info("%s: claiming along %s", outcome.correlation_id,
                     " -> ".join(outcome.path))
+        now = self.clock()
         with obs_events.correlation_scope(outcome.correlation_id):
             for domain in outcome.path:
-                self._broker(domain).claim(outcome.handles[domain])
+                self._broker(domain).claim(
+                    outcome.handles[domain], at_time=now
+                )
 
     def cancel(self, outcome: SignallingOutcome) -> None:
         logger.info("%s: cancelling along %s", outcome.correlation_id,
@@ -640,6 +1091,19 @@ class HopByHopProtocol:
                 handle = outcome.handles.get(domain)
                 if handle is not None:
                     self._broker(domain).cancel(handle)
+
+    def refresh(self, outcome: SignallingOutcome) -> None:
+        """RSVP-style soft-state refresh: renew the lease of a granted
+        reservation in every domain on its path (a no-op for hard-state
+        brokers)."""
+        if not outcome.granted:
+            raise SignallingError("cannot refresh a denied reservation")
+        now = self.clock()
+        with obs_events.correlation_scope(outcome.correlation_id):
+            for domain in outcome.path:
+                handle = outcome.handles.get(domain)
+                if handle is not None:
+                    self._broker(domain).refresh(handle, at_time=now)
 
     def modify(
         self,
@@ -653,10 +1117,11 @@ class HopByHopProtocol:
         GARA models a modification as a fresh admission decision; the
         safe order is release-then-re-reserve with rollback: the old
         reservation is cancelled in every domain, the new rate is
-        requested through the full protocol, and if any domain refuses,
-        the original reservation is restored (it must fit — its capacity
-        was just freed).  Returns the outcome of the *new* reservation
-        (granted or not); on denial, ``outcome`` remains valid.
+        requested through the full protocol, and if any domain refuses —
+        or the new attempt aborts outright — the original reservation is
+        restored (it must fit — its capacity was just freed).  Returns
+        the outcome of the *new* reservation (granted or not); on denial,
+        ``outcome`` remains valid.
         """
         if not outcome.granted or outcome.verified is None:
             raise SignallingError("can only modify granted reservations")
@@ -665,9 +1130,25 @@ class HopByHopProtocol:
         old_request = outcome.verified.request
         new_request = _replace(old_request, rate_mbps=rate_mbps)
         self.cancel(outcome)
-        fresh = self.reserve(user, new_request)
+        try:
+            fresh = self.reserve(user, new_request)
+        except Exception:
+            # The re-reserve aborted mid-flight; its own unwind released
+            # any partial grants, so the old reservation must be restored
+            # before the exception reaches the caller.
+            self._restore_after_modify(user, old_request, outcome)
+            raise
         if fresh.granted:
             return fresh
+        self._restore_after_modify(user, old_request, outcome)
+        return fresh
+
+    def _restore_after_modify(
+        self,
+        user: UserAgent,
+        old_request: ReservationRequest,
+        outcome: SignallingOutcome,
+    ) -> None:
         restored = self.reserve(user, old_request)
         if not restored.granted:  # pragma: no cover - defensive
             raise SignallingError(
@@ -679,4 +1160,3 @@ class HopByHopProtocol:
         outcome.approval = restored.approval
         outcome.final_rar = restored.final_rar
         outcome.verified = restored.verified
-        return fresh

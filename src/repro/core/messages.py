@@ -42,6 +42,7 @@ __all__ = [
     "F_REASON",
     "F_DOMAIN",
     "F_POLICY_INFO",
+    "F_DEADLINE",
     "MSG_RAR",
     "MSG_APPROVAL",
     "MSG_DENIAL",
@@ -65,6 +66,10 @@ F_HANDLES = "handles"
 F_REASON = "reason"
 F_DOMAIN = "domain"
 F_POLICY_INFO = "policy_info"
+#: Absolute end-to-end signalling deadline (modelled seconds).  Set by
+#: the user in ``RAR_U`` and copied outward by every BB wrapper, so each
+#: hop can bound its own retries by the remaining end-to-end budget.
+F_DEADLINE = "deadline"
 
 # Message types.
 MSG_RAR = "rar"
@@ -80,24 +85,26 @@ def make_user_rar(
     assertions: Sequence[SignedAssertion] = (),
     user: DistinguishedName,
     user_key: PrivateKey,
+    deadline: float | None = None,
 ) -> SignedEnvelope:
     """``RAR_U``: the user's signed request, naming the source-domain BB.
 
     ``capability_certs`` normally holds the CAS-issued capability
     certificate plus the user's delegation of it to the source BB
-    (``Capability_Cert'_CAS`` and ``Capability_Cert'_U``).
+    (``Capability_Cert'_CAS`` and ``Capability_Cert'_U``).  ``deadline``
+    (absolute, modelled seconds) bounds the whole signalling attempt;
+    every wrapping BB propagates it outward.
     """
-    return seal(
-        {
-            F_TYPE: MSG_RAR,
-            F_RES_SPEC: request,
-            F_DOWNSTREAM: source_bb,
-            F_CAPABILITY_CERTS: tuple(capability_certs),
-            F_ASSERTIONS: tuple(assertions),
-        },
-        signer=user,
-        key=user_key,
-    )
+    payload = {
+        F_TYPE: MSG_RAR,
+        F_RES_SPEC: request,
+        F_DOWNSTREAM: source_bb,
+        F_CAPABILITY_CERTS: tuple(capability_certs),
+        F_ASSERTIONS: tuple(assertions),
+    }
+    if deadline is not None:
+        payload[F_DEADLINE] = deadline
+    return seal(payload, signer=user, key=user_key)
 
 
 def make_bb_rar(
@@ -132,6 +139,9 @@ def make_bb_rar(
         F_CAPABILITY_CERTS: tuple(capability_certs),
         F_ASSERTIONS: tuple(assertions),
     }
+    deadline = inner.get(F_DEADLINE)
+    if deadline is not None:
+        payload[F_DEADLINE] = deadline
     if introduced_cert is not None:
         payload[F_INTRODUCED_CERT] = introduced_cert
     return seal(payload, signer=bb, key=bb_key)

@@ -18,7 +18,7 @@ approaches side by side:
 from __future__ import annotations
 
 import random
-from typing import Iterable, Mapping
+from typing import TYPE_CHECKING, Any, Iterable, Mapping
 
 from repro.bb.admission import AdmissionController
 from repro.bb.broker import (
@@ -53,6 +53,9 @@ from repro.policy.cas import CommunityAuthorizationServer
 from repro.policy.engine import Decision, PolicyEngine, Return
 from repro.policy.groupserver import GroupServer
 from repro.policy.language import compile_policy
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults.injector import FaultInjector
 
 __all__ = [
     "Testbed",
@@ -127,6 +130,7 @@ class Testbed:
         trust_policy: TrustPolicy | None = None,
         default_policy: str | PolicyEngine | None = None,
         seed: int = 2001,
+        soft_state_ttl_s: float | None = None,
     ) -> None:
         self.topology = topology
         self.sim = Simulator()
@@ -142,6 +146,9 @@ class Testbed:
         self._trust_policy = trust_policy if trust_policy is not None else TrustPolicy(
             max_introduction_depth=16, require_ca_issued_peers=False
         )
+        #: RSVP-style soft-state lease length for every broker (None =
+        #: hard state, the pre-robustness default).
+        self.soft_state_ttl_s = soft_state_ttl_s
         self._configurator = NetworkEdgeConfigurator(self.network)
 
         self.domain_cas: dict[str, CertificateAuthority] = {}
@@ -207,6 +214,7 @@ class Testbed:
             certificate=cert,
             truststore=store,
             configurator=self._configurator,
+            soft_state_ttl_s=self.soft_state_ttl_s,
         )
         self.brokers[domain] = broker
 
@@ -258,6 +266,34 @@ class Testbed:
                 self.brokers[da], self.brokers[db],
                 latency_s=self.channel_latency_s,
             )
+
+    # -- fault injection ---------------------------------------------------------
+
+    def attach_injector(self, injector: "FaultInjector | None") -> None:
+        """Wire a deterministic fault injector into every instrumented
+        subsystem: all signalling channels (present and future), every
+        broker and its policy server, and the certificate repository when
+        the protocol runs in repository mode."""
+        self.channels.set_injector(injector)
+        for broker in self.brokers.values():
+            broker.injector = injector
+            broker.policy_server.injector = injector
+        if self.hop_by_hop.repository is not None:
+            self.hop_by_hop.repository.injector = injector
+
+    def detach_injector(self) -> None:
+        """Remove the fault injector everywhere (back to a clean fabric)."""
+        self.attach_injector(None)
+
+    def sweep_soft_state(self, now: float | None = None) -> int:
+        """Run every broker's soft-state sweep; returns reservations
+        reclaimed.  A no-op unless the testbed was built with
+        ``soft_state_ttl_s``."""
+        when = self.sim.now if now is None else now
+        return sum(
+            len(broker.sweep_soft_state(when))
+            for broker in self.brokers.values()
+        )
 
     # -- population -----------------------------------------------------------------
 
@@ -392,9 +428,13 @@ class Testbed:
         bandwidth_mbps: float,
         start: float = 0.0,
         duration: float = 3600.0,
+        deadline_s: float | None = None,
         **kwargs: Any,
     ) -> SignallingOutcome:
-        """Hop-by-hop end-to-end reservation (the paper's protocol)."""
+        """Hop-by-hop end-to-end reservation (the paper's protocol).
+
+        ``deadline_s`` bounds the signalling attempt end to end (it rides
+        in the RAR, not in the reservation spec)."""
         request = self.make_request(
             source=source,
             destination=destination,
@@ -403,7 +443,7 @@ class Testbed:
             duration=duration,
             **kwargs,
         )
-        return self.hop_by_hop.reserve(user, request)
+        return self.hop_by_hop.reserve(user, request, deadline_s=deadline_s)
 
     def schedule_activation(self, outcome: SignallingOutcome) -> None:
         """Automate an advance reservation's lifecycle on the simulation

@@ -28,8 +28,10 @@ from repro.core.agent import UserAgent
 from repro.core.channel import ChannelRegistry, SecureChannel
 from repro.core.hopbyhop import HopByHopProtocol, SignallingOutcome
 from repro.crypto.dn import DistinguishedName
-from repro.errors import TunnelError
+from repro.errors import ChannelError, TunnelError
+from repro.obs import events as obs_events
 from repro.obs import metrics as obs_metrics
+from repro.obs.events import EventKind
 
 __all__ = ["Tunnel", "FlowAllocation", "TunnelService"]
 
@@ -46,6 +48,10 @@ class FlowAllocation:
     rate_mbps: float
     start: float
     end: float
+    #: ``"tunnel"`` for a slice of the aggregate; ``"per-flow"`` when the
+    #: direct end-domain signalling failed and the flow fell back to an
+    #: ordinary hop-by-hop reservation (graceful degradation).
+    via: str = "tunnel"
 
 
 @dataclass
@@ -69,15 +75,20 @@ class Tunnel:
 
     def allocated_mbps(self, start: float, end: float) -> float:
         """Peak allocation over [start, end).  Piecewise-constant sweep over
-        allocation boundaries, like the admission controller."""
+        allocation boundaries, like the admission controller.  Fallback
+        (per-flow) allocations hold their own hop-by-hop reservations and
+        do not consume tunnel capacity."""
+        slices = [
+            a for a in self.allocations.values() if a.via == "tunnel"
+        ]
         points = {start}
-        for a in self.allocations.values():
+        for a in slices:
             if a.end > start and a.start < end:
                 points.add(max(a.start, start))
         peak = 0.0
         for p in points:
             load = sum(
-                a.rate_mbps for a in self.allocations.values()
+                a.rate_mbps for a in slices
                 if a.start <= p < a.end
             )
             peak = max(peak, load)
@@ -101,6 +112,9 @@ class TunnelService:
         self._tunnels: dict[str, Tunnel] = {}
         self._ids = itertools.count(1)
         self._alloc_ids = itertools.count(1)
+        #: Hop-by-hop outcomes backing fallback (per-flow) allocations,
+        #: keyed by allocation id — released with the allocation.
+        self._fallbacks: dict[str, SignallingOutcome] = {}
 
     def get(self, tunnel_id: str) -> Tunnel:
         try:
@@ -256,27 +270,33 @@ class TunnelService:
         # Signalling: user -> source BB, source BB -> dest BB (direct), and
         # the two replies.  Intermediate domains are never touched.
         source_bb = self.protocol.brokers[tunnel.source_domain]
+        dest_bb = self.protocol.brokers[tunnel.destination_domain]
         user_channel = self.channels.connect(user, source_bb)
         direct = tunnel.direct_channel
         assert direct is not None
         messages = 0
         latency = 0.0
-        for channel, sender in (
-            (user_channel, user.dn),
-            (direct, source_bb.dn),
-        ):
-            channel.transmit(sender, {"allocate": tunnel_id, "rate": rate_mbps})
-            messages += 1
-            latency += channel.latency_s
-        # Replies.
-        dest_bb = self.protocol.brokers[tunnel.destination_domain]
-        for channel, sender in (
-            (direct, dest_bb.dn),
-            (user_channel, source_bb.dn),
-        ):
-            channel.transmit(sender, {"ok": tunnel_id})
-            messages += 1
-            latency += channel.latency_s
+        legs = (
+            (user_channel, user.dn, {"allocate": tunnel_id, "rate": rate_mbps}),
+            (direct, source_bb.dn, {"allocate": tunnel_id, "rate": rate_mbps}),
+            (direct, dest_bb.dn, {"ok": tunnel_id}),
+            (user_channel, source_bb.dn, {"ok": tunnel_id}),
+        )
+        try:
+            for channel, sender, payload in legs:
+                channel.transmit(sender, payload)
+                messages += 1
+                latency += channel.latency_s + channel.last_delay_s
+        except ChannelError as exc:
+            # Graceful degradation (§1): when the direct end-domain
+            # exchange fails — a tunnel end-domain unreachable — the flow
+            # falls back to ordinary per-flow hop-by-hop signalling
+            # through the intermediate domains, which brings retries and
+            # its own admission along.
+            return self._fallback_per_flow(
+                tunnel, user, rate_mbps, start=start, end=end,
+                cause=exc, spent_latency_s=latency, spent_messages=messages,
+            )
         latency += 2 * self.protocol.processing_delay_s
 
         allocation = FlowAllocation(
@@ -290,11 +310,80 @@ class TunnelService:
         tunnel.allocations[allocation.allocation_id] = allocation
         return allocation, latency, messages
 
+    def _fallback_per_flow(
+        self,
+        tunnel: Tunnel,
+        user: UserAgent,
+        rate_mbps: float,
+        *,
+        start: float,
+        end: float,
+        cause: ChannelError,
+        spent_latency_s: float,
+        spent_messages: int,
+    ) -> tuple[FlowAllocation, float, int]:
+        """Degrade gracefully: reserve the flow hop by hop instead.
+
+        The per-flow reservation crosses every intermediate domain (losing
+        the tunnel's message savings for this flow, keeping its service),
+        is tracked against the allocation id, and is released with it."""
+        logger.warning(
+            "%s: direct end-domain signalling failed (%s); falling back to "
+            "per-flow hop-by-hop", tunnel.tunnel_id, cause,
+        )
+        registry = obs_metrics.get_registry()
+        if registry is not None:
+            registry.counter(
+                "tunnel_fallbacks_total",
+                "Intra-tunnel flows degraded to per-flow signalling",
+            ).inc(tunnel=tunnel.tunnel_id)
+        event_log = obs_events.get_event_log()
+        if event_log is not None:
+            event_log.emit(
+                EventKind.FALLBACK, reason=str(cause),
+                target=tunnel.tunnel_id,
+            )
+        request = ReservationRequest(
+            source_host=f"h0.{tunnel.source_domain}",
+            destination_host=f"h0.{tunnel.destination_domain}",
+            source_domain=tunnel.source_domain,
+            destination_domain=tunnel.destination_domain,
+            rate_mbps=rate_mbps,
+            start=start,
+            end=end,
+        )
+        outcome = self.protocol.reserve(user, request)
+        if not outcome.granted:
+            raise TunnelError(
+                f"tunnel {tunnel.tunnel_id} direct signalling failed "
+                f"({cause}) and the per-flow fallback was denied by "
+                f"{outcome.denial_domain}: {outcome.denial_reason}"
+            ) from cause
+        allocation = FlowAllocation(
+            allocation_id=f"ALC-{next(self._alloc_ids):05d}",
+            tunnel_id=tunnel.tunnel_id,
+            owner=user.dn,
+            rate_mbps=rate_mbps,
+            start=start,
+            end=end,
+            via="per-flow",
+        )
+        tunnel.allocations[allocation.allocation_id] = allocation
+        self._fallbacks[allocation.allocation_id] = outcome
+        return (
+            allocation,
+            spent_latency_s + outcome.latency_s,
+            spent_messages + outcome.messages,
+        )
+
     def release_flow(self, tunnel_id: str, allocation_id: str) -> None:
         tunnel = self.get(tunnel_id)
         if allocation_id not in tunnel.allocations:
             raise TunnelError(f"unknown allocation {allocation_id!r}")
         del tunnel.allocations[allocation_id]
+        fallback = self._fallbacks.pop(allocation_id, None)
+        if fallback is not None:
+            self.protocol.cancel(fallback)
         registry = obs_metrics.get_registry()
         if registry is not None:
             registry.counter(
@@ -307,8 +396,13 @@ class TunnelService:
         logger.debug("released %s from %s", allocation_id, tunnel_id)
 
     def teardown(self, tunnel_id: str) -> None:
-        """Cancel the aggregate reservation in every domain."""
+        """Cancel the aggregate reservation in every domain (plus any
+        fallback per-flow reservations still alive)."""
         tunnel = self.get(tunnel_id)
+        for allocation_id in list(tunnel.allocations):
+            fallback = self._fallbacks.pop(allocation_id, None)
+            if fallback is not None:
+                self.protocol.cancel(fallback)
         for domain, handle in tunnel.handles.items():
             self.protocol.brokers[domain].cancel(handle)
         del self._tunnels[tunnel_id]

@@ -24,10 +24,14 @@ and lookups of DNs the repository does not vouch for fail.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.crypto.dn import DistinguishedName
 from repro.crypto.x509 import Certificate
 from repro.errors import CertificateError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults.injector import FaultInjector
 
 __all__ = ["CertificateRepository"]
 
@@ -48,6 +52,8 @@ class CertificateRepository:
     queries: int = 0
     #: Simulated time spent answering lookups.
     total_latency_s: float = 0.0
+    #: Optional deterministic fault injector (timeout/unavailable).
+    injector: "FaultInjector | None" = None
 
     def publish(self, certificate: Certificate) -> None:
         """Publish (or replace) the certificate for its subject DN."""
@@ -60,7 +66,11 @@ class CertificateRepository:
 
     def lookup(self, dn: DistinguishedName) -> Certificate:
         """Resolve *dn* to a certificate; raises
-        :class:`~repro.errors.CertificateError` for unknown DNs."""
+        :class:`~repro.errors.CertificateError` for unknown DNs (or
+        :class:`~repro.errors.RepositoryUnavailableError` under an
+        injected outage)."""
+        if self.injector is not None:
+            self.injector.repository_op(self.name)
         self.queries += 1
         self.total_latency_s += self.lookup_latency_s
         cert = self._store.get(dn)

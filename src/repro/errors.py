@@ -31,7 +31,16 @@ __all__ = [
     "SignallingError",
     "ChannelError",
     "HandshakeError",
+    "MessageDroppedError",
+    "ChannelTimeoutError",
     "TamperedMessageError",
+    "BrokerUnavailableError",
+    "DeadlineExceededError",
+    "CircuitOpenError",
+    "RetryExhaustedError",
+    "PolicyUnavailableError",
+    "RepositoryUnavailableError",
+    "FaultPlanError",
     "RoutingError",
     "NoRouteError",
     "TrustError",
@@ -79,6 +88,10 @@ class UntrustedIssuerError(CertificateError):
     """No chain to a trust anchor could be built for a certificate."""
 
 
+class RepositoryUnavailableError(CertificateError):
+    """The certificate repository timed out or is unreachable (transient)."""
+
+
 class DelegationError(CryptoError):
     """A capability delegation step is invalid (wrong key, widened rights, ...)."""
 
@@ -107,6 +120,10 @@ class PolicySyntaxError(PolicyError):
 
 class PolicyEvaluationError(PolicyError):
     """A rule raised during evaluation (missing attribute, bad predicate, ...)."""
+
+
+class PolicyUnavailableError(PolicyError):
+    """The policy server timed out or is unreachable (transient)."""
 
 
 # ---------------------------------------------------------------------------
@@ -153,8 +170,32 @@ class HandshakeError(ChannelError):
     """Mutual authentication failed while opening a channel."""
 
 
+class MessageDroppedError(ChannelError):
+    """A transmitted message was lost on the wire (never delivered)."""
+
+
+class ChannelTimeoutError(ChannelError):
+    """A channel crossing exceeded the sender's per-hop timeout."""
+
+
 class TamperedMessageError(SignallingError):
     """A received message failed integrity verification."""
+
+
+class BrokerUnavailableError(SignallingError):
+    """A bandwidth broker crashed or is not answering."""
+
+
+class DeadlineExceededError(SignallingError):
+    """The request's end-to-end signalling deadline passed."""
+
+
+class CircuitOpenError(SignallingError):
+    """The circuit breaker for a peer link is open (failing fast)."""
+
+
+class RetryExhaustedError(SignallingError):
+    """A bounded retry loop used up its attempt budget."""
 
 
 class TrustError(SignallingError):
@@ -215,3 +256,11 @@ class ObservabilityError(ReproError):
 
 class AnalysisError(ReproError):
     """The static-analysis tooling was misconfigured or fed bad input."""
+
+
+# ---------------------------------------------------------------------------
+# fault injection
+# ---------------------------------------------------------------------------
+
+class FaultPlanError(ReproError):
+    """A fault plan is malformed (unknown target kind, bad window, ...)."""

@@ -1,0 +1,46 @@
+"""Deterministic, seed-driven fault injection for the signalling fabric.
+
+The reproduction's north star ("heavy traffic from millions of users")
+is unreachable without proof that the hop-by-hop protocol degrades
+gracefully when a hop fails — so this package makes hops fail, exactly
+and repeatably:
+
+* :mod:`repro.faults.plan` — the declarative fault vocabulary: a
+  :class:`~repro.faults.plan.FaultSpec` names a target (a peer link, a
+  broker, a policy server, the certificate repository), a fault kind
+  (drop/delay/corrupt, crash/restart, timeout/unavailable), and an
+  occurrence window in per-target operation counts;
+* :mod:`repro.faults.injector` — the runtime hook the instrumented
+  subsystems consult on every operation;
+* :mod:`repro.faults.chaos` — the seeded chaos harness behind
+  ``repro chaos``: one fresh testbed per trial, one fault per trial
+  drawn from the full single-fault matrix, invariant checks after
+  recovery (no capacity leaks, no stuck reservations, no leftover
+  hooks).
+
+Determinism is the design constraint throughout: the same seed must
+reproduce the identical fault schedule, injection points, and backoff
+jitter, or a chaos failure could never be debugged.
+"""
+
+from repro.faults.chaos import ChaosReport, TrialResult, run_chaos
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    TargetKind,
+    single_fault_matrix,
+)
+
+__all__ = [
+    "TargetKind",
+    "FaultKind",
+    "FaultSpec",
+    "FaultPlan",
+    "single_fault_matrix",
+    "FaultInjector",
+    "ChaosReport",
+    "TrialResult",
+    "run_chaos",
+]

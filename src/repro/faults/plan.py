@@ -1,0 +1,200 @@
+"""Declarative fault plans: what breaks, where, and for how long.
+
+A :class:`FaultSpec` is pure data, so a schedule of specs is trivially
+serializable, diffable, and — crucially — hashable into a digest that
+proves two runs injected the very same faults.  Activation windows are
+counted in *operations against the target*, not wall time: "the third
+message on link A|B" replays identically however long verification or
+backoff took, which timestamp-based triggering never would.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import FaultPlanError
+
+__all__ = [
+    "TargetKind",
+    "FaultKind",
+    "FaultSpec",
+    "FaultPlan",
+    "single_fault_matrix",
+]
+
+
+class TargetKind(str, enum.Enum):
+    """What kind of component a fault targets."""
+
+    CHANNEL = "channel"
+    BROKER = "broker"
+    POLICY = "policy"
+    REPOSITORY = "repository"
+
+
+class FaultKind(str, enum.Enum):
+    """The fault vocabulary, per target kind (see ``_VALID``)."""
+
+    #: Channel: the message is lost on the wire.
+    DROP = "drop"
+    #: Channel: the message arrives ``delay_s`` late.
+    DELAY = "delay"
+    #: Channel: one payload field is flipped; the signature no longer
+    #: verifies (an on-path modification, §6.4's threat).
+    CORRUPT = "corrupt"
+    #: Broker: the BB process is down for the window.  A finite window
+    #: models crash + restart; ``ops=None`` a permanent outage.
+    CRASH = "crash"
+    #: Policy server / repository: the query times out.
+    TIMEOUT = "timeout"
+    #: Policy server / repository: the service refuses to answer.
+    UNAVAILABLE = "unavailable"
+
+
+_VALID: dict[TargetKind, frozenset[FaultKind]] = {
+    TargetKind.CHANNEL: frozenset(
+        {FaultKind.DROP, FaultKind.DELAY, FaultKind.CORRUPT}
+    ),
+    TargetKind.BROKER: frozenset({FaultKind.CRASH}),
+    TargetKind.POLICY: frozenset({FaultKind.TIMEOUT, FaultKind.UNAVAILABLE}),
+    TargetKind.REPOSITORY: frozenset(
+        {FaultKind.TIMEOUT, FaultKind.UNAVAILABLE}
+    ),
+}
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault: target, kind, and an occurrence window.
+
+    The window covers per-target operation indices
+    ``[start_op, start_op + ops)``; ``ops=None`` makes the fault
+    persistent from ``start_op`` on.  ``target`` is a channel link label
+    (``"A|B"``, see :func:`repro.core.channel.link_label`), a broker or
+    policy-server domain, or a repository name.
+    """
+
+    target_kind: TargetKind
+    target: str
+    kind: FaultKind
+    start_op: int = 0
+    ops: int | None = 1
+    #: Extra one-way latency for DELAY faults (seconds, modelled).
+    delay_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _VALID[self.target_kind]:
+            raise FaultPlanError(
+                f"fault kind {self.kind.value!r} is not valid for "
+                f"{self.target_kind.value} targets"
+            )
+        if not self.target:
+            raise FaultPlanError("fault target must be non-empty")
+        if self.start_op < 0:
+            raise FaultPlanError("start_op must be >= 0")
+        if self.ops is not None and self.ops < 1:
+            raise FaultPlanError("ops must be >= 1 (or None for persistent)")
+        if self.kind is FaultKind.DELAY and self.delay_s <= 0.0:
+            raise FaultPlanError("DELAY faults need a positive delay_s")
+
+    def window_contains(self, op_index: int) -> bool:
+        if op_index < self.start_op:
+            return False
+        if self.ops is None:
+            return True
+        return op_index < self.start_op + self.ops
+
+    def describe(self) -> str:
+        window = (
+            f"op>={self.start_op}" if self.ops is None
+            else f"ops[{self.start_op},{self.start_op + self.ops})"
+        )
+        extra = f" delay={self.delay_s:g}s" if self.kind is FaultKind.DELAY else ""
+        return (
+            f"{self.target_kind.value}:{self.target} "
+            f"{self.kind.value} {window}{extra}"
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable set of fault specs plus the seed that selected it."""
+
+    specs: tuple[FaultSpec, ...] = ()
+    seed: int = 0
+
+    def for_target(
+        self, target_kind: TargetKind, target: str
+    ) -> tuple[FaultSpec, ...]:
+        return tuple(
+            s for s in self.specs
+            if s.target_kind is target_kind and s.target == target
+        )
+
+    def describe(self) -> str:
+        lines = [f"seed={self.seed}"]
+        lines.extend(spec.describe() for spec in self.specs)
+        return "\n".join(lines)
+
+    def digest(self) -> str:
+        """A stable fingerprint of this plan (same seed + same specs →
+        same digest; the chaos CLI prints it as the reproducibility
+        receipt)."""
+        return hashlib.sha256(self.describe().encode()).hexdigest()[:16]
+
+
+def single_fault_matrix(
+    *,
+    channel_links: Iterable[str] = (),
+    broker_domains: Iterable[str] = (),
+    policy_domains: Iterable[str] = (),
+    repository_names: Iterable[str] = (),
+    start_ops: Sequence[int] = (0, 1, 2),
+    delay_s: float = 1.0,
+) -> list[FaultSpec]:
+    """Enumerate every single-fault case over the given targets.
+
+    For each target, every valid fault kind is crossed with every start
+    offset in *start_ops* — so a chaos run covers "the first message is
+    lost", "the second is corrupted", "the broker crashes on its second
+    admission", and so on.  Offsets past what a trial actually exercises
+    simply never fire; the invariants must hold regardless.
+    """
+    matrix: list[FaultSpec] = []
+    for link in channel_links:
+        for kind in (FaultKind.DROP, FaultKind.DELAY, FaultKind.CORRUPT):
+            for start in start_ops:
+                matrix.append(
+                    FaultSpec(
+                        TargetKind.CHANNEL, link, kind,
+                        start_op=start,
+                        delay_s=delay_s if kind is FaultKind.DELAY else 0.0,
+                    )
+                )
+    for domain in broker_domains:
+        for start in start_ops:
+            for ops in (1, 2):
+                matrix.append(
+                    FaultSpec(
+                        TargetKind.BROKER, domain, FaultKind.CRASH,
+                        start_op=start, ops=ops,
+                    )
+                )
+    for domain in policy_domains:
+        for kind in (FaultKind.TIMEOUT, FaultKind.UNAVAILABLE):
+            for start in start_ops:
+                matrix.append(
+                    FaultSpec(TargetKind.POLICY, domain, kind, start_op=start)
+                )
+    for name in repository_names:
+        for kind in (FaultKind.TIMEOUT, FaultKind.UNAVAILABLE):
+            for start in start_ops:
+                matrix.append(
+                    FaultSpec(
+                        TargetKind.REPOSITORY, name, kind, start_op=start
+                    )
+                )
+    return matrix

@@ -48,6 +48,18 @@ class EventKind(str, enum.Enum):
     #: A granted partial-path reservation torn down after a downstream denial.
     RELEASE = "release"
     TRUST_FAILURE = "trust_failure"
+    #: The fault injector delivered a fault.
+    FAULT = "fault"
+    #: A signalling operation failed transiently and will be retried.
+    RETRY = "retry"
+    #: A per-link circuit breaker changed state.
+    BREAKER = "breaker"
+    #: A soft-state lease lapsed and the reservation was reclaimed.
+    EXPIRE = "expire"
+    #: An explicit release during unwind failed (soft state will reclaim).
+    UNWIND_FAILED = "unwind_failed"
+    #: Graceful degradation engaged (e.g. tunnel -> per-flow signalling).
+    FALLBACK = "fallback"
 
 
 @dataclass(frozen=True)

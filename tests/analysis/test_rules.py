@@ -11,6 +11,7 @@ from repro.analysis.rules import (
     SaltedHashSeedRule,
     SecretExposureRule,
     StrictAnnotationsRule,
+    UnboundedRetryRule,
     WallClockRule,
 )
 
@@ -324,3 +325,115 @@ class TestNoqaIntegration:
             WallClockRule,
         )
         assert [f.line for f in findings] == [4]
+
+
+class TestUnboundedRetry:
+    def test_flags_while_true_around_transmit(self):
+        findings = lint(
+            """
+            def send(channel, dn, message):
+                while True:
+                    try:
+                        return channel.transmit(dn, message)
+                    except Exception:
+                        pass
+            """,
+            UnboundedRetryRule,
+        )
+        assert len(findings) == 1
+        assert "unbounded retry" in findings[0].message
+        assert "transmit" in findings[0].message
+        assert "RetryPolicy" in findings[0].message
+
+    def test_flags_while_true_around_admit(self):
+        findings = lint(
+            """
+            def push(bb, request):
+                while 1:
+                    bb.admit(request)
+            """,
+            UnboundedRetryRule,
+        )
+        assert len(findings) == 1
+
+    def test_attempt_counter_counts_as_a_bound(self):
+        findings = lint(
+            """
+            def send(channel, dn, message, policy):
+                attempt = 0
+                while True:
+                    attempt += 1
+                    if attempt > policy.max_attempts:
+                        raise RuntimeError("gave up")
+                    try:
+                        return channel.transmit(dn, message)
+                    except Exception:
+                        continue
+            """,
+            UnboundedRetryRule,
+        )
+        assert findings == []
+
+    def test_deadline_check_counts_as_a_bound(self):
+        findings = lint(
+            """
+            def send(channel, dn, message, deadline, clock):
+                while True:
+                    deadline.check(clock(), what="send")
+                    try:
+                        return channel.transmit(dn, message)
+                    except Exception:
+                        continue
+            """,
+            UnboundedRetryRule,
+        )
+        assert findings == []
+
+    def test_non_retryable_loops_are_fine(self):
+        findings = lint(
+            """
+            def pump(queue):
+                while True:
+                    item = queue.pop()
+                    if item is None:
+                        break
+            """,
+            UnboundedRetryRule,
+        )
+        assert findings == []
+
+    def test_bounded_for_loop_is_fine(self):
+        findings = lint(
+            """
+            def send(channel, dn, message, n):
+                for _ in range(n):
+                    try:
+                        return channel.transmit(dn, message)
+                    except Exception:
+                        continue
+            """,
+            UnboundedRetryRule,
+        )
+        assert findings == []
+
+    def test_conditional_while_is_fine(self):
+        findings = lint(
+            """
+            def send(channel, dn, message, healthy):
+                while healthy():
+                    channel.transmit(dn, message)
+            """,
+            UnboundedRetryRule,
+        )
+        assert findings == []
+
+    def test_noqa_suppression(self):
+        findings = lint(
+            """
+            def send(channel, dn, message):
+                while True:  # repro: noqa[REP109] bounded by the caller
+                    channel.transmit(dn, message)
+            """,
+            UnboundedRetryRule,
+        )
+        assert findings == []

@@ -1,0 +1,126 @@
+"""Graceful degradation: tunnel flows fall back to per-flow signalling.
+
+When the direct end-domain channel of an aggregate tunnel fails, the
+flow must still get service — via an ordinary hop-by-hop reservation
+through the intermediate domains — and that fallback must be tracked
+and torn down exactly like a tunnel slice.
+"""
+
+import pytest
+
+from repro.bb.reservations import ReservationState
+from repro.core.testbed import build_linear_testbed
+from repro.errors import TunnelError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultKind, FaultPlan, FaultSpec, TargetKind
+
+
+@pytest.fixture()
+def testbed():
+    return build_linear_testbed(["A", "B", "C", "D"])
+
+
+@pytest.fixture()
+def alice(testbed):
+    return testbed.add_user("A", "Alice")
+
+
+@pytest.fixture()
+def tunnel(testbed, alice):
+    request = testbed.make_request(
+        source="A", destination="D", bandwidth_mbps=50.0, duration=7200.0
+    )
+    tunnel, outcome = testbed.tunnels.establish(alice, request)
+    assert outcome.granted
+    return tunnel
+
+
+def break_direct_link(testbed):
+    """Persistently drop everything on the A<->D direct channel."""
+    testbed.attach_injector(
+        FaultInjector(
+            FaultPlan(
+                (
+                    FaultSpec(
+                        TargetKind.CHANNEL, "A|D", FaultKind.DROP, ops=None
+                    ),
+                ),
+                seed=1,
+            )
+        )
+    )
+
+
+class TestTunnelFallback:
+    def test_flow_degrades_to_per_flow_reservation(
+        self, testbed, alice, tunnel
+    ):
+        break_direct_link(testbed)
+        alloc, latency, messages = testbed.tunnels.allocate_flow(
+            tunnel.tunnel_id, alice, 10.0
+        )
+        assert alloc.via == "per-flow"
+        assert alloc.tunnel_id == tunnel.tunnel_id
+        # The fallback crossed the intermediate domains: B now carries a
+        # 10 Mb/s per-flow booking on top of the 50 Mb/s aggregate.
+        assert (
+            testbed.brokers["B"].admission.schedule("ingress:A").load_at(1.0)
+            == 60.0
+        )
+
+    def test_fallback_does_not_consume_tunnel_headroom(
+        self, testbed, alice, tunnel
+    ):
+        break_direct_link(testbed)
+        testbed.tunnels.allocate_flow(tunnel.tunnel_id, alice, 10.0)
+        # The flow went around the tunnel, so the aggregate is untouched.
+        assert tunnel.allocated_mbps(tunnel.start, tunnel.end) == 0.0
+        assert tunnel.headroom(tunnel.start, tunnel.end) == 50.0
+
+    def test_healthy_tunnel_never_falls_back(self, testbed, alice, tunnel):
+        alloc, _, _ = testbed.tunnels.allocate_flow(
+            tunnel.tunnel_id, alice, 10.0
+        )
+        assert alloc.via == "tunnel"
+
+    def test_release_cancels_the_fallback_reservation(
+        self, testbed, alice, tunnel
+    ):
+        break_direct_link(testbed)
+        alloc, _, _ = testbed.tunnels.allocate_flow(
+            tunnel.tunnel_id, alice, 10.0
+        )
+        testbed.detach_injector()
+        testbed.tunnels.release_flow(tunnel.tunnel_id, alloc.allocation_id)
+        # Only the tunnel aggregate remains booked through B.
+        assert (
+            testbed.brokers["B"].admission.schedule("ingress:A").load_at(1.0)
+            == 50.0
+        )
+        assert not testbed.brokers["B"].reservations.in_state(
+            ReservationState.GRANTED, ReservationState.ACTIVE
+        ) or all(
+            r.request.rate_mbps == 50.0
+            for r in testbed.brokers["B"].reservations.in_state(
+                ReservationState.GRANTED, ReservationState.ACTIVE
+            )
+        )
+
+    def test_teardown_cancels_fallbacks_too(self, testbed, alice, tunnel):
+        break_direct_link(testbed)
+        testbed.tunnels.allocate_flow(tunnel.tunnel_id, alice, 10.0)
+        testbed.detach_injector()
+        testbed.tunnels.teardown(tunnel.tunnel_id)
+        broker_b = testbed.brokers["B"]
+        for name in broker_b.admission.resources():
+            assert broker_b.admission.schedule(name).load_at(1.0) == 0.0
+
+    def test_fallback_denial_surfaces_as_tunnel_error(
+        self, testbed, alice, tunnel
+    ):
+        # Break the direct link AND have an intermediate domain refuse:
+        # degradation has nowhere to go and must say so.
+        testbed.set_policy("B", "Return DENY")
+        break_direct_link(testbed)
+        with pytest.raises(TunnelError, match="fallback"):
+            testbed.tunnels.allocate_flow(tunnel.tunnel_id, alice, 10.0)

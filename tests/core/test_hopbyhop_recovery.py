@@ -1,0 +1,280 @@
+"""Failure recovery in hop-by-hop signalling.
+
+These tests drive the protocol through injected faults and assert both
+the *liveness* half (transient faults are survived by retries) and the
+*safety* half (any abort — expected or not — releases every admission
+made so far, so a failed attempt never strands capacity).
+"""
+
+import pytest
+
+from repro.bb.reservations import ReservationState
+from repro.core.recovery import CircuitBreaker
+from repro.core.testbed import build_linear_testbed
+from repro.errors import SignallingError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultKind, FaultPlan, FaultSpec, TargetKind
+
+
+def inject(testbed, *specs):
+    injector = FaultInjector(FaultPlan(tuple(specs), seed=1))
+    testbed.attach_injector(injector)
+    return injector
+
+
+def assert_no_capacity_booked(testbed, at=1.0):
+    for domain, broker in testbed.brokers.items():
+        for name in broker.admission.resources():
+            load = broker.admission.schedule(name).load_at(at)
+            assert load == 0.0, f"{domain}/{name} still carries {load} Mb/s"
+        assert not broker._booking_map
+        assert not broker.reservations.in_state(
+            ReservationState.PENDING,
+            ReservationState.GRANTED,
+            ReservationState.ACTIVE,
+        )
+
+
+@pytest.fixture()
+def testbed():
+    return build_linear_testbed(["A", "B", "C"])
+
+
+@pytest.fixture()
+def alice(testbed):
+    return testbed.add_user("A", "Alice")
+
+
+class TestTransientRecovery:
+    def test_single_drop_survived_by_retry(self, testbed, alice):
+        inject(
+            testbed,
+            FaultSpec(TargetKind.CHANNEL, "A|B", FaultKind.DROP, ops=1),
+        )
+        outcome = testbed.reserve(
+            alice, source="A", destination="C", bandwidth_mbps=10.0
+        )
+        assert outcome.granted
+        assert outcome.retries >= 1
+
+    def test_corruption_survived_by_retransmission(self, testbed, alice):
+        inject(
+            testbed,
+            FaultSpec(TargetKind.CHANNEL, "A|B", FaultKind.CORRUPT, ops=1),
+        )
+        outcome = testbed.reserve(
+            alice, source="A", destination="C", bandwidth_mbps=10.0
+        )
+        assert outcome.granted
+        assert outcome.retries >= 1
+
+    def test_brief_broker_crash_survived(self, testbed, alice):
+        inject(
+            testbed,
+            FaultSpec(TargetKind.BROKER, "B", FaultKind.CRASH, ops=1),
+        )
+        outcome = testbed.reserve(
+            alice, source="A", destination="C", bandwidth_mbps=10.0
+        )
+        assert outcome.granted
+        assert outcome.retries >= 1
+
+    def test_retry_backoff_shows_up_in_latency(self, testbed, alice):
+        clean = testbed.reserve(
+            alice, source="A", destination="C", bandwidth_mbps=1.0
+        )
+        inject(
+            testbed,
+            FaultSpec(TargetKind.CHANNEL, "A|B", FaultKind.DROP, ops=1),
+        )
+        retried = testbed.reserve(
+            alice, source="A", destination="C", bandwidth_mbps=1.0
+        )
+        assert retried.latency_s > clean.latency_s
+
+
+class TestPermanentFailures:
+    def test_dead_intermediate_broker_denies_and_releases(
+        self, testbed, alice
+    ):
+        inject(
+            testbed,
+            FaultSpec(TargetKind.BROKER, "B", FaultKind.CRASH, ops=None),
+        )
+        outcome = testbed.reserve(
+            alice, source="A", destination="C", bandwidth_mbps=10.0
+        )
+        assert not outcome.granted
+        assert "down" in outcome.denial_reason
+        assert_no_capacity_booked(testbed)
+
+    def test_unreachable_downstream_link_denies_and_releases(
+        self, testbed, alice
+    ):
+        inject(
+            testbed,
+            FaultSpec(TargetKind.CHANNEL, "B|C", FaultKind.DROP, ops=None),
+        )
+        outcome = testbed.reserve(
+            alice, source="A", destination="C", bandwidth_mbps=10.0
+        )
+        assert not outcome.granted
+        assert outcome.denial_domain == "C"
+        assert "unreachable" in outcome.denial_reason
+        assert_no_capacity_booked(testbed)
+
+    def test_policy_outage_denies_and_releases(self, testbed, alice):
+        inject(
+            testbed,
+            FaultSpec(
+                TargetKind.POLICY, "C", FaultKind.UNAVAILABLE, ops=None
+            ),
+        )
+        outcome = testbed.reserve(
+            alice, source="A", destination="C", bandwidth_mbps=10.0
+        )
+        assert not outcome.granted
+        assert_no_capacity_booked(testbed)
+
+    def test_deadline_exceeded_denies_and_releases(self, testbed, alice):
+        # A persistent one-second delay dwarfs the 0.25 s hop timeout, so
+        # every attempt on A|B is declared lost and the retry budget burns
+        # straight through the 0.4 s end-to-end deadline.
+        inject(
+            testbed,
+            FaultSpec(
+                TargetKind.CHANNEL, "A|B", FaultKind.DELAY,
+                ops=None, delay_s=1.0,
+            ),
+        )
+        outcome = testbed.reserve(
+            alice, source="A", destination="C", bandwidth_mbps=10.0,
+            deadline_s=0.4,
+        )
+        assert not outcome.granted
+        assert "deadline" in outcome.denial_reason
+        assert_no_capacity_booked(testbed)
+
+    def test_breaker_opens_on_proven_dead_link(self, testbed, alice):
+        inject(
+            testbed,
+            FaultSpec(TargetKind.CHANNEL, "B|C", FaultKind.DROP, ops=None),
+        )
+        outcome = testbed.reserve(
+            alice, source="A", destination="C", bandwidth_mbps=10.0
+        )
+        assert not outcome.granted
+        breaker = testbed.hop_by_hop._breakers["B|C"]
+        assert breaker.state == CircuitBreaker.OPEN
+
+
+class TestAbortReleasesPartialPath:
+    def test_unexpected_crash_between_admissions_releases_upstream(
+        self, testbed, alice, monkeypatch
+    ):
+        """Regression: an exception thrown after some hops admitted must
+        not strand their capacity (the ``finally`` unwind in ``_signal``)."""
+        broker_c = testbed.brokers["C"]
+
+        def explode(*args, **kwargs):
+            raise RuntimeError("simulated crash between admissions")
+
+        monkeypatch.setattr(broker_c, "admit", explode)
+        with pytest.raises(RuntimeError, match="between admissions"):
+            testbed.reserve(
+                alice, source="A", destination="C", bandwidth_mbps=10.0
+            )
+        # A and B admitted before C exploded; both must be clean again.
+        assert_no_capacity_booked(testbed)
+
+    def test_modify_restores_old_reservation_on_abort(
+        self, testbed, alice, monkeypatch
+    ):
+        outcome = testbed.reserve(
+            alice, source="A", destination="C", bandwidth_mbps=10.0
+        )
+        assert outcome.granted
+        broker_c = testbed.brokers["C"]
+        real_admit = broker_c.admit
+        calls = []
+
+        def explode_once(*args, **kwargs):
+            if not calls:
+                calls.append(1)
+                raise RuntimeError("modify dies mid-flight")
+            return real_admit(*args, **kwargs)
+
+        monkeypatch.setattr(broker_c, "admit", explode_once)
+        with pytest.raises(RuntimeError, match="mid-flight"):
+            testbed.hop_by_hop.modify(alice, outcome, rate_mbps=20.0)
+        # The abort's unwind released the partial 20 Mb/s grants and the
+        # original 10 Mb/s reservation was re-established on every hop
+        # (under fresh handles, written back into the outcome).
+        for domain in "ABC":
+            broker = testbed.brokers[domain]
+            resv = broker.reservations.get(outcome.handles[domain])
+            assert resv.state is ReservationState.GRANTED
+            assert resv.request.rate_mbps == 10.0
+        assert (
+            testbed.brokers["B"].admission.schedule("ingress:A").load_at(1.0)
+            == 10.0
+        )
+
+
+class TestSoftState:
+    @pytest.fixture()
+    def testbed(self):
+        return build_linear_testbed(["A", "B", "C"], soft_state_ttl_s=60.0)
+
+    def test_unrefreshed_reservation_expires_everywhere(
+        self, testbed, alice
+    ):
+        outcome = testbed.reserve(
+            alice, source="A", destination="C", bandwidth_mbps=10.0
+        )
+        assert outcome.granted
+        assert testbed.sweep_soft_state(59.0) == 0
+        assert testbed.sweep_soft_state(61.0) == 3
+        for domain in "ABC":
+            resv = testbed.brokers[domain].reservations.get(
+                outcome.handles[domain]
+            )
+            assert resv.state is ReservationState.EXPIRED
+        assert_no_capacity_booked(testbed)
+
+    def test_refresh_extends_the_lease(self, testbed, alice):
+        outcome = testbed.reserve(
+            alice, source="A", destination="C", bandwidth_mbps=10.0
+        )
+        testbed.sim.run(until=50.0)
+        testbed.hop_by_hop.refresh(outcome)
+        # Without the refresh every lease would have lapsed at t=60.
+        assert testbed.sweep_soft_state(100.0) == 0
+        assert testbed.sweep_soft_state(200.0) == 3
+
+    def test_refresh_requires_granted_outcome(self, testbed, alice):
+        testbed.set_policy("B", "Return DENY")
+        outcome = testbed.reserve(
+            alice, source="A", destination="C", bandwidth_mbps=10.0
+        )
+        assert not outcome.granted
+        with pytest.raises(SignallingError):
+            testbed.hop_by_hop.refresh(outcome)
+
+    def test_sweep_reclaims_when_cancel_cannot_reach_a_dead_broker(
+        self, testbed, alice
+    ):
+        outcome = testbed.reserve(
+            alice, source="A", destination="C", bandwidth_mbps=10.0
+        )
+        assert outcome.granted
+        inject(
+            testbed,
+            FaultSpec(TargetKind.BROKER, "B", FaultKind.CRASH, ops=None),
+        )
+        with pytest.raises(Exception):
+            testbed.hop_by_hop.cancel(outcome)
+        testbed.detach_injector()
+        # Explicit unwind could not finish; the soft-state backstop can.
+        testbed.sweep_soft_state(1e9)
+        assert_no_capacity_booked(testbed)

@@ -1,0 +1,98 @@
+"""Unit tests for the recovery primitives (retry, deadline, breaker)."""
+
+import random
+
+import pytest
+
+from repro.core.recovery import (
+    BreakerPolicy,
+    CircuitBreaker,
+    Deadline,
+    RetryPolicy,
+)
+from repro.errors import CircuitOpenError, DeadlineExceededError
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_exponentially_without_jitter(self):
+        policy = RetryPolicy(base_backoff_s=0.1, multiplier=2.0, jitter=0.0)
+        assert policy.backoff_s(1) == pytest.approx(0.1)
+        assert policy.backoff_s(2) == pytest.approx(0.2)
+        assert policy.backoff_s(3) == pytest.approx(0.4)
+
+    def test_non_positive_attempt_is_free(self):
+        assert RetryPolicy().backoff_s(0) == 0.0
+
+    def test_jitter_is_bounded_and_seed_deterministic(self):
+        policy = RetryPolicy(base_backoff_s=0.1, multiplier=2.0, jitter=0.5)
+        first = [policy.backoff_s(n, random.Random(42)) for n in (1, 2, 3)]
+        second = [policy.backoff_s(n, random.Random(42)) for n in (1, 2, 3)]
+        assert first == second
+        for attempt, value in enumerate(first, start=1):
+            base = 0.1 * 2.0 ** (attempt - 1)
+            assert base <= value <= base * 1.5
+
+    def test_no_rng_means_no_jitter(self):
+        policy = RetryPolicy(base_backoff_s=0.1, jitter=0.5)
+        assert policy.backoff_s(1) == pytest.approx(0.1)
+
+
+class TestDeadline:
+    def test_remaining_and_expired(self):
+        deadline = Deadline(10.0)
+        assert deadline.remaining(4.0) == pytest.approx(6.0)
+        assert not deadline.expired(9.999)
+        assert deadline.expired(10.0)
+
+    def test_check_raises_with_context(self):
+        with pytest.raises(DeadlineExceededError, match="before hop B"):
+            Deadline(1.0).check(2.0, what="hop B")
+        Deadline(1.0).check(0.5, what="hop B")  # within budget: silent
+
+
+class TestCircuitBreaker:
+    def make(self, threshold=3, reset=10.0):
+        return CircuitBreaker(
+            "A|B", BreakerPolicy(failure_threshold=threshold,
+                                 reset_timeout_s=reset)
+        )
+
+    def test_opens_after_threshold_failures(self):
+        breaker = self.make(threshold=3)
+        breaker.record_failure(1.0)
+        breaker.record_failure(2.0)
+        assert breaker.state == CircuitBreaker.CLOSED
+        breaker.record_failure(3.0)
+        assert breaker.state == CircuitBreaker.OPEN
+        with pytest.raises(CircuitOpenError, match="A|B"):
+            breaker.check(4.0)
+
+    def test_half_open_probe_after_reset_timeout(self):
+        breaker = self.make(threshold=1, reset=10.0)
+        breaker.record_failure(0.0)
+        assert not breaker.allow(5.0)
+        assert breaker.allow(10.0)
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+
+    def test_success_closes_failure_reopens_from_half_open(self):
+        breaker = self.make(threshold=1, reset=10.0)
+        breaker.record_failure(0.0)
+        breaker.allow(10.0)  # -> half-open
+        breaker.record_failure(10.5)  # one failure reopens immediately
+        assert breaker.state == CircuitBreaker.OPEN
+
+        breaker.allow(25.0)  # -> half-open again
+        breaker.record_success(25.5)
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.failures == 0
+
+    def test_transitions_recorded(self):
+        breaker = self.make(threshold=1, reset=10.0)
+        breaker.record_failure(1.0)
+        breaker.allow(11.0)
+        breaker.record_success(12.0)
+        assert [(a, b) for a, b, _ in breaker.transitions] == [
+            ("closed", "open"),
+            ("open", "half_open"),
+            ("half_open", "closed"),
+        ]

@@ -1,0 +1,74 @@
+"""Single-fault exhaustiveness (satellite of the robustness tentpole).
+
+One test per cell of the full single-fault matrix over a four-domain
+path: every channel (user link and each inter-BB link), every broker,
+every policy server, and the certificate repository, each broken in
+every valid way at every early operation offset — plus the persistent
+variant of every one-shot fault, which forces retry exhaustion and the
+denial/unwind paths.  Whatever the protocol decides (grant after
+retries, or a clean denial), the safety invariants must hold afterwards:
+no capacity leak, no reservation stuck in a live state.
+"""
+
+import pytest
+
+from repro.faults.chaos import _run_trial
+from repro.faults.plan import FaultSpec, single_fault_matrix
+
+DOMAINS = ("A", "B", "C", "D")
+REPOSITORY = "ldap.grid"
+
+
+def _full_matrix():
+    user_link = "|".join(sorted((DOMAINS[0], "Alice")))
+    inter_links = [
+        "|".join(sorted((a, b))) for a, b in zip(DOMAINS, DOMAINS[1:])
+    ]
+    matrix = single_fault_matrix(
+        channel_links=[user_link, *inter_links],
+        broker_domains=DOMAINS,
+        policy_domains=DOMAINS,
+        repository_names=[REPOSITORY],
+    )
+    matrix.extend(
+        FaultSpec(
+            s.target_kind, s.target, s.kind,
+            start_op=s.start_op, ops=None, delay_s=s.delay_s,
+        )
+        for s in list(matrix)
+        if s.ops == 1
+    )
+    return matrix
+
+
+MATRIX = _full_matrix()
+
+
+@pytest.mark.parametrize(
+    "spec", MATRIX, ids=[s.describe().replace(" ", "_") for s in MATRIX]
+)
+def test_single_fault_leaves_no_leak_or_stuck_state(spec):
+    result = _run_trial(
+        0,
+        spec,
+        seed=7,
+        domains=DOMAINS,
+        rate_mbps=10.0,
+        deadline_s=30.0,
+        soft_state_ttl_s=60.0,
+        repository_name=REPOSITORY,
+    )
+    assert result.violations == ()
+
+
+def test_matrix_is_exhaustive_over_hops_and_phases():
+    """Guard against the matrix silently shrinking: every hop's channel,
+    broker, and policy server appears, as does the repository."""
+    targets = {(s.target_kind.value, s.target) for s in MATRIX}
+    assert ("channel", "A|Alice") in targets
+    for a, b in zip(DOMAINS, DOMAINS[1:]):
+        assert ("channel", "|".join(sorted((a, b)))) in targets
+    for domain in DOMAINS:
+        assert ("broker", domain) in targets
+        assert ("policy", domain) in targets
+    assert ("repository", REPOSITORY) in targets

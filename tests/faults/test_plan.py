@@ -1,0 +1,122 @@
+"""Fault-plan data model: validation, windows, digests, the matrix."""
+
+import pytest
+
+from repro.errors import FaultPlanError
+from repro.faults.plan import (
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    TargetKind,
+    single_fault_matrix,
+)
+
+
+class TestSpecValidation:
+    def test_kind_must_match_target_kind(self):
+        with pytest.raises(FaultPlanError, match="not valid"):
+            FaultSpec(TargetKind.BROKER, "A", FaultKind.DROP)
+        with pytest.raises(FaultPlanError, match="not valid"):
+            FaultSpec(TargetKind.CHANNEL, "A|B", FaultKind.CRASH)
+        with pytest.raises(FaultPlanError, match="not valid"):
+            FaultSpec(TargetKind.POLICY, "A", FaultKind.CORRUPT)
+
+    def test_target_must_be_non_empty(self):
+        with pytest.raises(FaultPlanError, match="non-empty"):
+            FaultSpec(TargetKind.BROKER, "", FaultKind.CRASH)
+
+    def test_window_bounds_validated(self):
+        with pytest.raises(FaultPlanError, match="start_op"):
+            FaultSpec(TargetKind.BROKER, "A", FaultKind.CRASH, start_op=-1)
+        with pytest.raises(FaultPlanError, match="ops"):
+            FaultSpec(TargetKind.BROKER, "A", FaultKind.CRASH, ops=0)
+
+    def test_delay_needs_positive_delay_s(self):
+        with pytest.raises(FaultPlanError, match="delay_s"):
+            FaultSpec(TargetKind.CHANNEL, "A|B", FaultKind.DELAY)
+        spec = FaultSpec(
+            TargetKind.CHANNEL, "A|B", FaultKind.DELAY, delay_s=0.5
+        )
+        assert spec.delay_s == 0.5
+
+
+class TestWindow:
+    def test_finite_window(self):
+        spec = FaultSpec(
+            TargetKind.BROKER, "A", FaultKind.CRASH, start_op=2, ops=2
+        )
+        hits = [op for op in range(6) if spec.window_contains(op)]
+        assert hits == [2, 3]
+
+    def test_persistent_window(self):
+        spec = FaultSpec(
+            TargetKind.BROKER, "A", FaultKind.CRASH, start_op=3, ops=None
+        )
+        assert not spec.window_contains(2)
+        assert spec.window_contains(3)
+        assert spec.window_contains(10_000)
+
+    def test_describe_distinguishes_windows(self):
+        finite = FaultSpec(TargetKind.BROKER, "A", FaultKind.CRASH, ops=2)
+        forever = FaultSpec(TargetKind.BROKER, "A", FaultKind.CRASH, ops=None)
+        assert "ops[0,2)" in finite.describe()
+        assert "op>=0" in forever.describe()
+
+
+class TestPlan:
+    def test_for_target_filters(self):
+        a = FaultSpec(TargetKind.BROKER, "A", FaultKind.CRASH)
+        b = FaultSpec(TargetKind.BROKER, "B", FaultKind.CRASH)
+        c = FaultSpec(TargetKind.CHANNEL, "A|B", FaultKind.DROP)
+        plan = FaultPlan((a, b, c), seed=1)
+        assert plan.for_target(TargetKind.BROKER, "A") == (a,)
+        assert plan.for_target(TargetKind.CHANNEL, "A|B") == (c,)
+        assert plan.for_target(TargetKind.POLICY, "A") == ()
+
+    def test_digest_is_deterministic(self):
+        spec = FaultSpec(TargetKind.BROKER, "A", FaultKind.CRASH)
+        assert (
+            FaultPlan((spec,), seed=7).digest()
+            == FaultPlan((spec,), seed=7).digest()
+        )
+
+    def test_digest_sensitive_to_seed_and_specs(self):
+        spec = FaultSpec(TargetKind.BROKER, "A", FaultKind.CRASH)
+        other = FaultSpec(TargetKind.BROKER, "B", FaultKind.CRASH)
+        base = FaultPlan((spec,), seed=7).digest()
+        assert FaultPlan((spec,), seed=8).digest() != base
+        assert FaultPlan((other,), seed=7).digest() != base
+
+
+class TestMatrix:
+    def test_covers_every_target_kind_and_fault_kind(self):
+        matrix = single_fault_matrix(
+            channel_links=["A|B"],
+            broker_domains=["A"],
+            policy_domains=["A"],
+            repository_names=["ldap"],
+            start_ops=(0, 1),
+        )
+        seen = {(s.target_kind, s.kind) for s in matrix}
+        assert seen == {
+            (TargetKind.CHANNEL, FaultKind.DROP),
+            (TargetKind.CHANNEL, FaultKind.DELAY),
+            (TargetKind.CHANNEL, FaultKind.CORRUPT),
+            (TargetKind.BROKER, FaultKind.CRASH),
+            (TargetKind.POLICY, FaultKind.TIMEOUT),
+            (TargetKind.POLICY, FaultKind.UNAVAILABLE),
+            (TargetKind.REPOSITORY, FaultKind.TIMEOUT),
+            (TargetKind.REPOSITORY, FaultKind.UNAVAILABLE),
+        }
+        # Every start offset appears for every (target, kind) pair.
+        for spec in matrix:
+            assert spec.start_op in (0, 1)
+
+    def test_matrix_sizes(self):
+        matrix = single_fault_matrix(
+            channel_links=["A|B", "B|C"],
+            broker_domains=["A", "B"],
+            start_ops=(0, 1, 2),
+        )
+        # channels: 2 links x 3 kinds x 3 offsets; brokers: 2 x 3 x 2 window lengths
+        assert len(matrix) == 2 * 3 * 3 + 2 * 3 * 2
