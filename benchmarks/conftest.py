@@ -37,7 +37,8 @@ def metrics_snapshot(request):
 
     The JSON snapshot (one file per test, under ``benchmarks/.metrics/``)
     lets a run be diffed against an earlier one — e.g. "did the message
-    count per reservation change?" — without touching the benchmark code.
+    count per reservation change?" — without touching the benchmark code;
+    ``repro metrics --diff old.json new.json`` prints the delta.
     Timing-sensitive benchmarks that must measure the *disabled* path can
     opt out with ``@pytest.mark.no_metrics``.
     """

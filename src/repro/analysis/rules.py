@@ -26,6 +26,11 @@ Each rule encodes an invariant the reproduction depends on:
   attempt counter, backoff, or deadline in sight retries a dead peer
   forever (the failure-recovery design is bounded attempts + backoff +
   circuit breaker; see :mod:`repro.core.recovery`).
+* ``REP110`` — no raw monotonic timers (``time.perf_counter`` and
+  friends) outside :mod:`repro.obs`: hand-rolled ``t0``/``t1`` pairs
+  bypass the timing helpers (``Histogram.time()``, spans,
+  ``obs_spans.phase_clock()``), so the cost they measure never reaches
+  the metrics registry or a trace.
 """
 
 from __future__ import annotations
@@ -44,6 +49,7 @@ __all__ = [
     "SaltedHashSeedRule",
     "StrictAnnotationsRule",
     "UnboundedRetryRule",
+    "RawTimerRule",
 ]
 
 #: Packages whose behaviour must be driven by the simulation clock.
@@ -91,10 +97,10 @@ class _ImportAwareRule(Rule):
 
 
 #: Calendar-clock reads.  Monotonic duration timers (``time.monotonic``,
-#: ``time.perf_counter``) are deliberately NOT banned: they cannot express
-#: a time of day, and the observability layer uses them — behind the
-#: one-None-check guard — to meter real elapsed cost without ever feeding
-#: simulation state.
+#: ``time.perf_counter``) are not *this* rule's concern — they cannot
+#: express a time of day, so they never feed simulation state — but they
+#: are no longer a free-for-all either: REP110 below confines them to
+#: :mod:`repro.obs`, where the blessed timing helpers live.
 _WALL_CLOCK = frozenset(
     {
         "time.time",
@@ -471,4 +477,52 @@ class UnboundedRetryRule(Rule):
                     "repro.core.recovery.RetryPolicy (or an explicit "
                     "attempt limit)",
                 )
+        self.generic_visit(node)
+
+
+#: Raw monotonic clock reads: legitimate inside repro.obs (the helpers
+#: are built on them), a smell everywhere else.
+_RAW_TIMERS = frozenset(
+    {
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+    }
+)
+
+
+@register
+class RawTimerRule(_ImportAwareRule):
+    id = "REP110"
+    title = "no raw monotonic timers outside repro.obs; use the helpers"
+    severity = Severity.ERROR
+    packages = ("repro",)
+
+    #: The observability layer implements the blessed timing surfaces
+    #: (``Histogram.time()``, ``Tracer``/``phase_clock``), so the raw
+    #: clocks are its building material — exempt.
+    EXEMPT_PACKAGES = ("repro.obs",)
+
+    @classmethod
+    def applies_to(cls, module: str) -> bool:
+        if any(
+            module == pkg or module.startswith(pkg + ".")
+            for pkg in cls.EXEMPT_PACKAGES
+        ):
+            return False
+        return super().applies_to(module)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        target = self.resolve(node.func)
+        if target in _RAW_TIMERS:
+            self.report(
+                node,
+                f"{target}() hand-rolls a timer that bypasses the "
+                "observability helpers; time histogram observations with "
+                "Histogram.time(), phases with Tracer spans or "
+                "repro.obs.spans.phase_clock()",
+            )
         self.generic_visit(node)

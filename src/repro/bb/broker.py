@@ -46,6 +46,7 @@ from repro.crypto.x509 import Certificate
 from repro.errors import AdmissionError, SLAError, SLAViolationError
 from repro.obs import events as obs_events
 from repro.obs import metrics as obs_metrics
+from repro.obs import spans as obs_spans
 from repro.obs.events import EventKind
 from repro.policy.engine import PolicyDecision
 
@@ -334,6 +335,13 @@ class BandwidthBroker:
                     kind, at_time=at_time, domain=self.domain,
                     user=str(resv.owner) if resv.owner else "",
                     handle=resv.handle, reason=reason,
+                    # Fall back to the stashed admission-time ID so events
+                    # emitted outside the request scope (the soft-state
+                    # sweep) still join the originating trace.
+                    correlation_id=(
+                        obs_events.current_correlation_id()
+                        or resv.correlation_id
+                    ),
                     rate_mbps=resv.request.rate_mbps,
                 )
         if event == "admit" and not granted:
@@ -365,6 +373,7 @@ class BandwidthBroker:
         resv = self.reservations.create(request, verified.user, now=at_time)
         resv.upstream = upstream
         resv.downstream = downstream
+        resv.correlation_id = obs_events.current_correlation_id() or ""
         try:
             return self._admit_pipeline(
                 resv, request, verified, at_time=at_time,
@@ -480,6 +489,17 @@ class BandwidthBroker:
         that frees upstream admissions when a failed hop prevented the
         explicit unwind from reaching this domain.
         """
+        tracer = obs_spans.get_tracer()
+        sweep_span = None
+        if tracer is not None:
+            # The sweep runs outside any request, so it gets a trace of
+            # its own; each reclaimed reservation's EXPIRE event links
+            # back to the originating trace via its stashed ID.
+            sweep_span = tracer.begin(
+                "sweep",
+                trace_id=obs_spans.mint_correlation_id(),
+                domain=self.domain,
+            )
         lapsed = self.reservations.sweep_expired(now)
         registry = obs_metrics.get_registry()
         for resv in lapsed:
@@ -499,6 +519,8 @@ class BandwidthBroker:
                 "expire", resv, granted=True,
                 reason="soft-state lease expired", at_time=now,
             )
+        if tracer is not None and sweep_span is not None:
+            tracer.end(sweep_span, reclaimed=len(lapsed))
         return lapsed
 
     def _refresh_ingress(self, service_class) -> None:

@@ -148,6 +148,11 @@ class Reservation:
     #: backstop that frees capacity even when an explicit unwind after a
     #: failed hop never arrives.  ``None`` = hard state (no lease).
     expires_at: float | None = None
+    #: Correlation ID of the signalling request that admitted this
+    #: reservation, stashed so lifecycle events emitted outside the
+    #: request scope (the soft-state sweep above all) still join the
+    #: originating trace.  Empty when admitted with observability off.
+    correlation_id: str = ""
 
     def active_at(self, when: float) -> bool:
         return (

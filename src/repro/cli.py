@@ -11,9 +11,17 @@ Subcommands:
   simulator and print the damage report;
 * ``metrics`` — run reservations with the observability substrate
   enabled and dump the metrics registry (Prometheus text or JSON);
+  ``--diff A.json B.json`` instead diffs two saved JSON snapshots;
 * ``trace`` — run one reservation with span tracing enabled, print the
   span tree, and cross-check it against the envelope-derived path;
-* ``lint`` — run the repo's custom AST lint rules (REP101..REP109) over
+  ``--critical-path`` prints the latency attribution table instead;
+* ``bench`` — run the ``benchmarks/`` suite headlessly and append a
+  ``BENCH_<n>.json`` trajectory entry at the repo root; ``--compare``
+  gates on regressions versus the last committed entry;
+* ``slo`` — run reservations under observability and evaluate the
+  declarative SLOs (latency quantiles, denial rate, breaker opens),
+  printing per-objective burn rates;
+* ``lint`` — run the repo's custom AST lint rules (REP101..REP110) over
   the ``repro`` package (or given paths); exits nonzero on findings;
 * ``lint-policy`` — statically verify policy files in the paper's
   syntax: unreachable branches, contradictory conditions, non-exhaustive
@@ -30,7 +38,11 @@ Examples::
     python -m repro policy-check policy.txt --user Alice --bw 8 --time 14
     python -m repro attack
     python -m repro metrics --domains A,B,C --runs 5 --format prom
+    python -m repro metrics --diff before.json after.json
     python -m repro -v trace --domains A,B,C,D
+    python -m repro trace --domains A,B,C,D --critical-path
+    python -m repro bench --quick --compare
+    python -m repro slo --runs 20 --spec objectives.json
     python -m repro lint --format json
     python -m repro lint-policy examples/policies/*.policy
     python -m repro chaos --seed 7 --trials 200
@@ -120,6 +132,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="how many reservations to signal")
     metrics.add_argument("--format", choices=("prom", "json"),
                          default="prom", help="exposition format")
+    metrics.add_argument("--diff", nargs=2, metavar=("A.json", "B.json"),
+                         default=None,
+                         help="diff two saved JSON snapshots and exit "
+                              "(runs no reservations; exit 1 when they "
+                              "differ)")
 
     trace = sub.add_parser(
         "trace",
@@ -131,6 +148,49 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--rate", type=float, default=10.0)
     trace.add_argument("--duration", type=float, default=3600.0)
     trace.add_argument("--user", default="Alice")
+    trace.add_argument("--critical-path", action="store_true",
+                       help="attribute end-to-end wall time to named "
+                            "hop/phase segments instead of printing the "
+                            "span tree")
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the benchmark suite and append a BENCH_<n>.json "
+             "trajectory entry at the repo root",
+    )
+    bench.add_argument("--quick", action="store_true",
+                       help="only the two end-to-end signalling benchmarks "
+                            "with minimal rounds (the CI gate)")
+    bench.add_argument("--compare", action="store_true",
+                       help="compare the fresh run against the latest "
+                            "committed entry; exit 1 on regressions beyond "
+                            "--threshold")
+    bench.add_argument("--entry", type=int, default=None,
+                       help="entry number to write (default: next in the "
+                            "trajectory)")
+    bench.add_argument("--threshold", type=float, default=2.0,
+                       help="mean-slowdown ratio that counts as a "
+                            "regression (default: 2.0)")
+    bench.add_argument("--repo-root", default=".",
+                       help="checkout containing benchmarks/ and the "
+                            "BENCH_<n>.json trajectory")
+    bench.add_argument("--keep-json", default=None, metavar="PATH",
+                       help="also keep the raw pytest-benchmark JSON here")
+
+    slo = sub.add_parser(
+        "slo",
+        help="run reservations under observability and evaluate the "
+             "declarative SLOs; exit 1 when an objective is violated",
+    )
+    slo.add_argument("--spec", default=None,
+                     help="JSON SLO spec file (default: the built-in "
+                          "objectives)")
+    slo.add_argument("--domains", default="A,B,C")
+    slo.add_argument("--rate", type=float, default=10.0)
+    slo.add_argument("--duration", type=float, default=3600.0)
+    slo.add_argument("--user", default="Alice")
+    slo.add_argument("--runs", type=int, default=5,
+                     help="how many reservations to signal")
 
     lint = sub.add_parser(
         "lint",
@@ -358,9 +418,33 @@ def cmd_workload(args: argparse.Namespace) -> int:
     return 0
 
 
+def _diff_metric_snapshots(path_a: str, path_b: str) -> int:
+    import json
+
+    from repro.obs.export import diff_snapshots
+
+    snapshots = []
+    for path in (path_a, path_b):
+        try:
+            with open(path, encoding="utf-8") as fh:
+                snapshots.append(json.load(fh))
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: {path}: {exc}", file=sys.stderr)
+            return 2
+    lines = diff_snapshots(snapshots[0], snapshots[1])
+    if not lines:
+        print("no differences")
+        return 0
+    for line in lines:
+        print(line)
+    return 1
+
+
 def cmd_metrics(args: argparse.Namespace) -> int:
     from repro import obs
 
+    if args.diff is not None:
+        return _diff_metric_snapshots(*args.diff)
     domains = [d.strip() for d in args.domains.split(",") if d.strip()]
     if not domains:
         print("error: need at least one domain", file=sys.stderr)
@@ -406,6 +490,11 @@ def cmd_trace(args: argparse.Namespace) -> int:
     if not trace_id:
         print("error: no spans were recorded", file=sys.stderr)
         return 2
+    if args.critical_path:
+        from repro.obs.perf import analyze_critical_path, render_critical_path
+
+        print(render_critical_path(analyze_critical_path(tracer, trace_id)))
+        return 0 if outcome.granted else 1
     print(tracer.render(trace_id))
     hops = tracer.hop_chain(trace_id)
     print(f"hop order : {' -> '.join(str(s.attributes['domain']) for s in hops)}")
@@ -482,6 +571,100 @@ def cmd_lint_policy(args: argparse.Namespace) -> int:
     return status
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    import json
+    import tempfile
+    from pathlib import Path
+
+    from repro.obs.perf import bench as perf_bench
+
+    repo_root = Path(args.repo_root).resolve()
+    baseline = None
+    if args.compare:
+        entries = perf_bench.trajectory_entries(repo_root)
+        if entries:
+            baseline_path = entries[-1][1]
+            try:
+                baseline = json.loads(baseline_path.read_text())
+            except (OSError, json.JSONDecodeError) as exc:
+                print(f"error: {baseline_path}: {exc}", file=sys.stderr)
+                return 2
+        else:
+            print("note: no committed BENCH_<n>.json to compare against",
+                  file=sys.stderr)
+    entry_number = (
+        args.entry if args.entry is not None
+        else perf_bench.next_entry_number(repo_root)
+    )
+    mode = "quick benchmarks" if args.quick else "full benchmark suite"
+    print(f"running the {mode} (pytest subprocess)...", file=sys.stderr)
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+        json_path = (
+            Path(args.keep_json) if args.keep_json
+            else Path(tmp) / "benchmark.json"
+        )
+        doc = perf_bench.run_benchmarks(
+            repo_root, quick=args.quick, json_path=json_path
+        )
+    entry = perf_bench.build_entry(
+        repo_root=repo_root,
+        benchmark_json=doc,
+        entry_number=entry_number,
+        quick=args.quick,
+    )
+    path = perf_bench.write_entry(repo_root, entry)
+    benchmarks = entry["benchmarks"]
+    assert isinstance(benchmarks, dict)
+    print(f"wrote {path} ({len(benchmarks)} benchmark(s), "
+          f"git {str(entry['git_sha'])[:12]})")
+    if baseline is None:
+        return 0
+    regressions, notes = perf_bench.compare_entries(
+        baseline, entry, threshold=args.threshold
+    )
+    for note in notes:
+        print(f"  {note}")
+    for regression in regressions:
+        print(f"  REGRESSION {regression}")
+    if regressions:
+        print(f"{len(regressions)} regression(s) beyond "
+              f"{args.threshold:.2f}x vs entry {baseline.get('entry')}")
+        return 1
+    print(f"no regressions beyond {args.threshold:.2f}x vs entry "
+          f"{baseline.get('entry')}")
+    return 0
+
+
+def cmd_slo(args: argparse.Namespace) -> int:
+    from repro import obs
+    from repro.obs.slo import default_slos, evaluate_slos, parse_slo_spec
+
+    if args.spec is not None:
+        try:
+            with open(args.spec, encoding="utf-8") as fh:
+                slos = parse_slo_spec(fh.read())
+        except OSError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    else:
+        slos = default_slos()
+    domains = [d.strip() for d in args.domains.split(",") if d.strip()]
+    if not domains:
+        print("error: need at least one domain", file=sys.stderr)
+        return 2
+    with obs.observed() as (registry, _tracer, event_log):
+        testbed = build_linear_testbed(domains)
+        user = testbed.add_user(domains[0], args.user)
+        for _ in range(max(args.runs, 1)):
+            testbed.reserve(
+                user, source=domains[0], destination=domains[-1],
+                bandwidth_mbps=args.rate, duration=args.duration,
+            )
+    report = evaluate_slos(slos, registry=registry, event_log=event_log)
+    print(report.render())
+    return 0 if report.ok else 1
+
+
 def cmd_chaos(args: argparse.Namespace) -> int:
     from repro.faults import run_chaos
 
@@ -530,6 +713,10 @@ def main(argv: list[str] | None = None) -> int:
             return cmd_metrics(args)
         if args.command == "trace":
             return cmd_trace(args)
+        if args.command == "bench":
+            return cmd_bench(args)
+        if args.command == "slo":
+            return cmd_slo(args)
         if args.command == "lint":
             return cmd_lint(args)
         if args.command == "lint-policy":

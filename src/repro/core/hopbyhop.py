@@ -43,7 +43,6 @@ from __future__ import annotations
 
 import logging
 import random
-import time
 import zlib
 from dataclasses import dataclass, field
 from typing import Callable, Mapping, Sequence, TypeVar
@@ -58,6 +57,7 @@ from repro.core.messages import (
     F_DEADLINE,
     F_DOMAIN,
     F_REASON,
+    F_TRACEPARENT,
     make_approval,
     make_bb_rar,
     make_denial,
@@ -91,6 +91,7 @@ from repro.errors import (
     DeadlineExceededError,
     DelegationError,
     MessageDroppedError,
+    ObservabilityError,
     PolicyUnavailableError,
     RepositoryUnavailableError,
     ReproError,
@@ -103,6 +104,11 @@ from repro.obs import events as obs_events
 from repro.obs import metrics as obs_metrics
 from repro.obs import spans as obs_spans
 from repro.obs.events import EventKind
+from repro.obs.propagation import (
+    TraceContext,
+    format_traceparent,
+    parse_traceparent,
+)
 from repro.policy.attributes import SignedAssertion, make_assertion
 
 __all__ = ["SignallingOutcome", "HopByHopProtocol"]
@@ -125,6 +131,20 @@ _DELIVERY_FAILURES = (
     CircuitOpenError,
     DeadlineExceededError,
 )
+
+
+def _carried_parent_span_id(rar: SignedEnvelope) -> int | None:
+    """The parent span id named by the received envelope's trace context
+    (:data:`~repro.core.messages.F_TRACEPARENT`), or ``None`` when the
+    field is absent or malformed — the hop then parents under the local
+    in-process chain instead of guessing."""
+    carried = rar.get(F_TRACEPARENT)
+    if not isinstance(carried, str):
+        return None
+    try:
+        return parse_traceparent(carried).span_id
+    except ObservabilityError:
+        return None
 
 
 @dataclass
@@ -532,10 +552,18 @@ class HopByHopProtocol:
         deadline_s: float | None,
     ) -> SignallingOutcome:
         """The protocol body (request leg, reply leg); see :meth:`reserve`."""
+        route_t0 = obs_spans.phase_clock()
         at_time = self.clock()
         path = self.domain_path(request.source_domain, request.destination_domain)
         outcome = SignallingOutcome(granted=False, path=tuple(path))
+        if tracer is not None and root is not None:
+            tracer.record(
+                "route", parent=root, start_wall=route_t0, hops=len(path),
+            )
 
+        # User-side preparation: channel setup, capability delegation to
+        # the source BB, and the signing of RAR_U itself.
+        prepare_t0 = obs_spans.phase_clock()
         source_bb = self._broker(path[0])
         user_channel = self.channels.connect(user, source_bb, at_time=at_time)
         bb_public = user_channel.peer_certificate(user.dn).public_key
@@ -548,6 +576,13 @@ class HopByHopProtocol:
             at_time + deadline_s if deadline_s is not None else None
         )
         deadline = Deadline(deadline_at) if deadline_at is not None else None
+        traceparent = (
+            format_traceparent(
+                TraceContext(trace_id=root.trace_id, span_id=root.span_id)
+            )
+            if root is not None
+            else None
+        )
         rar = make_user_rar(
             request=request,
             source_bb=source_bb.dn,
@@ -556,7 +591,13 @@ class HopByHopProtocol:
             user=user.dn,
             user_key=user.keypair.private,
             deadline=deadline_at,
+            traceparent=traceparent,
         )
+        if tracer is not None and root is not None:
+            tracer.record(
+                "prepare", parent=root, start_wall=prepare_t0,
+                delegations=len(capability_certs),
+            )
 
         granted_so_far: list[tuple[BandwidthBroker, str]] = []
         try:
@@ -601,15 +642,31 @@ class HopByHopProtocol:
         sent_rar = rar
         inbound_channel = user_channel
         inbound_sender: DistinguishedName = user.dn
+        phase_t0 = obs_spans.phase_clock()
         try:
             rar = self._deliver(
                 user_channel, user.dn, rar, outcome=outcome,
                 at_time=at_time, deadline=deadline, what="submit RAR_U",
             )
         except _DELIVERY_FAILURES as exc:
+            if tracer is not None and root is not None:
+                tracer.record(
+                    "submit", parent=root, start_wall=phase_t0,
+                    status="error", error=str(exc),
+                )
             outcome.denial_domain = path[0]
             outcome.denial_reason = f"source broker unreachable: {exc}"
             return outcome
+        if tracer is not None and root is not None:
+            tracer.record(
+                "submit", parent=root, start_wall=phase_t0,
+                sim_latency_s=user_channel.latency_s,
+            )
+        #: Where the current hop's accounting starts: taken the moment the
+        #: previous instrumented stretch ended, so channel/certificate
+        #: bookkeeping between hops lands in a named segment instead of
+        #: pooling as untracked self-time.
+        hop_t0 = obs_spans.phase_clock()
 
         channels_walked: list[SecureChannel] = [user_channel]
         upstream_peer_cert = user_channel.peer_certificate(source_bb.dn)
@@ -643,21 +700,40 @@ class HopByHopProtocol:
 
             hop_span = None
             if tracer is not None:
-                hop_span = tracer.begin(
-                    "hop",
-                    trace_id=root.trace_id,
-                    parent=span_parent,
-                    domain=domain,
-                    bb=str(bb.dn),
-                )
+                # Parent under the span id the *envelope* names (the
+                # upstream hop's span, carried in F_TRACEPARENT), exactly
+                # as each signature layer wraps the upstream RAR; the
+                # in-process chain is only a fallback for envelopes built
+                # while tracing was off.
+                carried_parent = _carried_parent_span_id(rar)
+                if carried_parent is not None:
+                    hop_span = tracer.begin(
+                        "hop",
+                        trace_id=root.trace_id,
+                        parent_span_id=carried_parent,
+                        start_wall=hop_t0,
+                        domain=domain,
+                        bb=str(bb.dn),
+                    )
+                else:
+                    hop_span = tracer.begin(
+                        "hop",
+                        trace_id=root.trace_id,
+                        parent=span_parent,
+                        start_wall=hop_t0,
+                        domain=domain,
+                        bb=str(bb.dn),
+                    )
                 hop_spans.append(hop_span)
                 span_parent = hop_span
 
             # Verification, with recovery: a tampered copy triggers a
             # bounded retransmission request upstream; a repository
             # outage triggers backoff-and-retry; genuine trust failures
-            # deny immediately.
-            phase_t0 = time.perf_counter()
+            # deny immediately.  The phase opens at ``hop_t0`` so it
+            # also owns the channel/certificate bookkeeping since the
+            # previous hop's ``forward``.
+            phase_t0 = hop_t0
             verified: VerifiedRAR | None = None
             verify_exc: Exception | None = None
             for attempt in range(1, self.retry_policy.max_attempts + 1):
@@ -770,7 +846,7 @@ class HopByHopProtocol:
             # whose broker stays down cannot even sign a denial, so the
             # upstream hop synthesizes one.
             try:
-                phase_t0 = time.perf_counter()
+                phase_t0 = obs_spans.phase_clock()
                 chains = split_capability_chains(verified.capability_chain)
                 info = self._call_with_retries(
                     lambda: bb.policy_server.verify_credentials(
@@ -796,7 +872,7 @@ class HopByHopProtocol:
                         chains=len(chains), rejected=len(info.rejected),
                     )
 
-                phase_t0 = time.perf_counter()
+                phase_t0 = obs_spans.phase_clock()
                 admit = self._call_with_retries(
                     lambda: bb.admit(
                         local_request,
@@ -845,6 +921,10 @@ class HopByHopProtocol:
                     "admission", parent=hop_span, start_wall=phase_t0,
                     granted=admit.granted, handle=admit.reservation.handle,
                 )
+            # The next phase (delegation at the destination, forward
+            # everywhere else) opens here so that metering and cost
+            # negotiation are attributed to it.
+            phase_t0 = obs_spans.phase_clock()
             outcome.handles[domain] = admit.reservation.handle
             if registry is not None:
                 registry.histogram(
@@ -885,7 +965,6 @@ class HopByHopProtocol:
             if downstream is None:
                 # Destination domain: full §6.5 check — every chain, with
                 # proof of possession by this BB.
-                phase_t0 = time.perf_counter()
                 outcome.final_rar = rar
                 outcome.verified = verified
                 results = []
@@ -915,7 +994,6 @@ class HopByHopProtocol:
 
             # Forward downstream: delegate every capability chain this BB
             # holds, introduce the upstream certificate.
-            phase_t0 = time.perf_counter()
             next_bb = self._broker(downstream)
             channel = self.channels.connect(bb, next_bb, at_time=at_time)
             forwarded_caps: tuple[Certificate, ...] = tuple(
@@ -946,6 +1024,19 @@ class HopByHopProtocol:
                 assertions=added_assertions,
                 bb=bb.dn,
                 bb_key=bb.keypair.private,
+                # Rewrite the trace context: the downstream hop's spans
+                # hang under THIS hop's span, mirroring how this layer
+                # wraps the upstream RAR.
+                traceparent=(
+                    format_traceparent(
+                        TraceContext(
+                            trace_id=hop_span.trace_id,
+                            span_id=hop_span.span_id,
+                        )
+                    )
+                    if hop_span is not None
+                    else None
+                ),
             )
             try:
                 rar = self._deliver(
@@ -966,6 +1057,7 @@ class HopByHopProtocol:
                     downstream=downstream,
                     sim_latency_s=channel.latency_s,
                 )
+            hop_t0 = obs_spans.phase_clock()
             inbound_latency_s = channel.latency_s
             channels_walked.append(channel)
             sent_rar = forward_rar
@@ -990,6 +1082,10 @@ class HopByHopProtocol:
             for index in range(len(channels_walked) - 1, -1, -1):
                 channel = channels_walked[index]
                 sender = self._broker(path[index]).dn
+                phase_t0 = obs_spans.phase_clock()
+                reply_parent = (
+                    hop_spans[index] if index < len(hop_spans) else root
+                )
                 try:
                     reply = self._deliver(
                         channel, sender, reply, outcome=outcome,
@@ -1001,10 +1097,21 @@ class HopByHopProtocol:
                         denial_domain, channel.link, exc,
                     )
                     if tracer is not None:
+                        if reply_parent is not None:
+                            tracer.record(
+                                "reply", parent=reply_parent,
+                                start_wall=phase_t0, status="error",
+                                error=str(exc),
+                            )
                         for j in range(index, -1, -1):
                             if j < len(hop_spans):
                                 tracer.end(hop_spans[j], status="released")
                     break
+                if tracer is not None and reply_parent is not None:
+                    tracer.record(
+                        "reply", parent=reply_parent, start_wall=phase_t0,
+                        sim_latency_s=channel.latency_s,
+                    )
                 if tracer is not None and index < len(hop_spans):
                     hop = hop_spans[index]
                     tracer.end(
@@ -1025,6 +1132,8 @@ class HopByHopProtocol:
         for index in range(len(path) - 1, -1, -1):
             domain = path[index]
             bb = self._broker(domain)
+            phase_t0 = obs_spans.phase_clock()
+            reply_parent = hop_spans[index] if index < len(hop_spans) else root
             policy_info: tuple[SignedAssertion, ...] = ()
             approval = make_approval(
                 handle=outcome.handles[domain],
@@ -1053,10 +1162,20 @@ class HopByHopProtocol:
                 outcome.denial_reason = f"approval could not be delivered: {exc}"
                 outcome.approval = None
                 if tracer is not None:
+                    if reply_parent is not None:
+                        tracer.record(
+                            "reply", parent=reply_parent, start_wall=phase_t0,
+                            status="error", error=str(exc),
+                        )
                     for j in range(index, -1, -1):
                         if j < len(hop_spans):
                             tracer.end(hop_spans[j], status="released")
                 return outcome
+            if tracer is not None and reply_parent is not None:
+                tracer.record(
+                    "reply", parent=reply_parent, start_wall=phase_t0,
+                    sim_latency_s=channel.latency_s,
+                )
             if tracer is not None and index < len(hop_spans):
                 tracer.end(
                     hop_spans[index],

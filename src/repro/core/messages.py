@@ -43,6 +43,7 @@ __all__ = [
     "F_DOMAIN",
     "F_POLICY_INFO",
     "F_DEADLINE",
+    "F_TRACEPARENT",
     "MSG_RAR",
     "MSG_APPROVAL",
     "MSG_DENIAL",
@@ -70,6 +71,13 @@ F_POLICY_INFO = "policy_info"
 #: the user in ``RAR_U`` and copied outward by every BB wrapper, so each
 #: hop can bound its own retries by the remaining end-to-end budget.
 F_DEADLINE = "deadline"
+#: W3C-style trace context (``00-<trace>-<span>-01``, see
+#: :mod:`repro.obs.propagation`).  Unlike :data:`F_DEADLINE` it is NOT
+#: copied verbatim: each wrapping BB writes its *own* hop span id, so the
+#: downstream hop's spans parent under this hop — the trace tree nests
+#: exactly like the signature envelopes.  Signed like every other field,
+#: so tampering with the trace context voids the envelope.
+F_TRACEPARENT = "traceparent"
 
 # Message types.
 MSG_RAR = "rar"
@@ -86,6 +94,7 @@ def make_user_rar(
     user: DistinguishedName,
     user_key: PrivateKey,
     deadline: float | None = None,
+    traceparent: str | None = None,
 ) -> SignedEnvelope:
     """``RAR_U``: the user's signed request, naming the source-domain BB.
 
@@ -93,7 +102,9 @@ def make_user_rar(
     certificate plus the user's delegation of it to the source BB
     (``Capability_Cert'_CAS`` and ``Capability_Cert'_U``).  ``deadline``
     (absolute, modelled seconds) bounds the whole signalling attempt;
-    every wrapping BB propagates it outward.
+    every wrapping BB propagates it outward.  ``traceparent`` carries
+    the root span's trace context so the source BB's spans stitch into
+    the user agent's trace (:data:`F_TRACEPARENT`).
     """
     payload = {
         F_TYPE: MSG_RAR,
@@ -104,6 +115,8 @@ def make_user_rar(
     }
     if deadline is not None:
         payload[F_DEADLINE] = deadline
+    if traceparent is not None:
+        payload[F_TRACEPARENT] = traceparent
     return seal(payload, signer=user, key=user_key)
 
 
@@ -116,6 +129,7 @@ def make_bb_rar(
     assertions: Sequence[SignedAssertion] = (),
     bb: DistinguishedName,
     bb_key: PrivateKey,
+    traceparent: str | None = None,
 ) -> SignedEnvelope:
     """``RAR_{N+1}``: a BB wraps the received RAR, introduces the upstream
     signer's certificate (learned in the SSL handshake), names the next
@@ -124,6 +138,10 @@ def make_bb_rar(
     ``introduced_cert=None`` builds the certificate-free variant used under
     repository-based key distribution (§6.4 alternative 2) — verifiers then
     resolve inner-signer keys by DN instead.
+
+    ``traceparent`` names *this* hop's span (not the upstream one — the
+    trace context is rewritten at every hop, unlike the deadline, which
+    is copied verbatim from the inner layer).
     """
     if inner.get(F_TYPE) != MSG_RAR:
         raise SignallingError("inner message is not a RAR")
@@ -142,6 +160,8 @@ def make_bb_rar(
     deadline = inner.get(F_DEADLINE)
     if deadline is not None:
         payload[F_DEADLINE] = deadline
+    if traceparent is not None:
+        payload[F_TRACEPARENT] = traceparent
     if introduced_cert is not None:
         payload[F_INTRODUCED_CERT] = introduced_cert
     return seal(payload, signer=bb, key=bb_key)

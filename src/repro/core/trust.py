@@ -26,7 +26,6 @@ assertions added along the path, and the traced path itself.
 from __future__ import annotations
 
 import logging
-import time
 from dataclasses import dataclass
 from typing import Callable, TypeVar
 
@@ -75,9 +74,13 @@ def _meter_verification(fn: Callable[[], _V], mode: str) -> _V:
     registry = obs_metrics.get_registry()
     if registry is None:
         return fn()
-    t0 = time.perf_counter()
+    timer = registry.histogram(
+        "rar_verification_seconds",
+        "Wall-clock cost of one transitive-trust verification",
+    )
     try:
-        result = fn()
+        with timer.time():
+            result = fn()
     except ReproError as exc:
         registry.counter(
             "rar_verifications_total",
@@ -85,7 +88,6 @@ def _meter_verification(fn: Callable[[], _V], mode: str) -> _V:
         ).inc(result="fail", mode=mode)
         logger.debug("RAR verification failed (%s): %s", mode, exc)
         raise
-    elapsed = time.perf_counter() - t0
     verified = result[0] if mode == "repository" else result
     registry.counter(
         "rar_verifications_total",
@@ -100,10 +102,6 @@ def _meter_verification(fn: Callable[[], _V], mode: str) -> _V:
         "Introduction depth of verified RARs",
         buckets=_DEPTH_BUCKETS,
     ).observe(verified.depth)
-    registry.histogram(
-        "rar_verification_seconds",
-        "Wall-clock cost of one transitive-trust verification",
-    ).observe(elapsed)
     return result
 
 

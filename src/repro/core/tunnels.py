@@ -31,6 +31,7 @@ from repro.crypto.dn import DistinguishedName
 from repro.errors import ChannelError, TunnelError
 from repro.obs import events as obs_events
 from repro.obs import metrics as obs_metrics
+from repro.obs import spans as obs_spans
 from repro.obs.events import EventKind
 
 __all__ = ["Tunnel", "FlowAllocation", "TunnelService"]
@@ -337,11 +338,18 @@ class TunnelService:
                 "tunnel_fallbacks_total",
                 "Intra-tunnel flows degraded to per-flow signalling",
             ).inc(tunnel=tunnel.tunnel_id)
-        event_log = obs_events.get_event_log()
-        if event_log is not None:
-            event_log.emit(
-                EventKind.FALLBACK, reason=str(cause),
-                target=tunnel.tunnel_id,
+        # The degradation gets a correlation ID and a span of its own: the
+        # FALLBACK event carries the ID, and the span links to the
+        # per-flow reservation's trace once that has run.
+        fallback_cid = obs_spans.mint_correlation_id()
+        tracer = obs_spans.get_tracer()
+        fallback_span = None
+        if tracer is not None:
+            fallback_span = tracer.begin(
+                "tunnel_fallback",
+                trace_id=fallback_cid,
+                tunnel=tunnel.tunnel_id,
+                cause=str(cause),
             )
         request = ReservationRequest(
             source_host=f"h0.{tunnel.source_domain}",
@@ -352,13 +360,28 @@ class TunnelService:
             start=start,
             end=end,
         )
-        outcome = self.protocol.reserve(user, request)
+        with obs_events.correlation_scope(fallback_cid):
+            event_log = obs_events.get_event_log()
+            if event_log is not None:
+                event_log.emit(
+                    EventKind.FALLBACK, reason=str(cause),
+                    target=tunnel.tunnel_id,
+                )
+            outcome = self.protocol.reserve(user, request)
         if not outcome.granted:
+            if tracer is not None and fallback_span is not None:
+                tracer.end(
+                    fallback_span, status="error",
+                    error=outcome.denial_reason,
+                    link=outcome.correlation_id,
+                )
             raise TunnelError(
                 f"tunnel {tunnel.tunnel_id} direct signalling failed "
                 f"({cause}) and the per-flow fallback was denied by "
                 f"{outcome.denial_domain}: {outcome.denial_reason}"
             ) from cause
+        if tracer is not None and fallback_span is not None:
+            tracer.end(fallback_span, link=outcome.correlation_id)
         allocation = FlowAllocation(
             allocation_id=f"ALC-{next(self._alloc_ids):05d}",
             tunnel_id=tunnel.tunnel_id,

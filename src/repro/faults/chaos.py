@@ -34,6 +34,9 @@ from repro.faults.plan import (
     TargetKind,
     single_fault_matrix,
 )
+from repro.obs import events as obs_events
+from repro.obs import metrics as obs_metrics
+from repro.obs.slo import SLO, SLOReport, default_slos, evaluate_slos
 
 __all__ = ["TrialResult", "ChaosReport", "run_chaos"]
 
@@ -74,6 +77,9 @@ class ChaosReport:
     seed: int
     schedule_digest: str
     trials: list[TrialResult] = field(default_factory=list)
+    #: SLO verdicts over the whole campaign's metrics + events (the
+    #: harness runs every trial under a scoped registry and event log).
+    slo_report: SLOReport | None = None
 
     @property
     def violations(self) -> list[str]:
@@ -110,6 +116,11 @@ class ChaosReport:
         lines.extend(f"    {v}" for v in self.violations[:20])
         if len(self.violations) > 20:
             lines.append(f"    ... and {len(self.violations) - 20} more")
+        if self.slo_report is not None:
+            lines.append("  SLO verdicts:")
+            lines.extend(
+                f"    {line}" for line in self.slo_report.render().splitlines()
+            )
         return "\n".join(lines)
 
 
@@ -222,9 +233,17 @@ def run_chaos(
     soft_state_ttl_s: float = 60.0,
     repository_name: str = "ldap.grid",
     progress: Callable[[int, int], None] | None = None,
+    slos: Sequence[SLO] | None = None,
 ) -> ChaosReport:
     """Run *trials* single-fault chaos trials; the schedule (and every
-    backoff-jitter draw downstream of it) is determined by *seed*."""
+    backoff-jitter draw downstream of it) is determined by *seed*.
+
+    The whole campaign runs under a scoped metrics registry and event
+    log, and the report carries SLO verdicts over them (*slos*, or
+    :func:`~repro.obs.slo.default_slos`) — so a run answers "did
+    recovery keep us inside the objectives?" as well as "did the
+    invariants hold?".
+    """
     user_link = "|".join(sorted((domains[0], "Alice")))
     inter_links = [
         "|".join(sorted((a, b))) for a, b in zip(domains, domains[1:])
@@ -256,18 +275,25 @@ def run_chaos(
         "chaos: %d trials over %d matrix cases (digest %s)",
         trials, len(matrix), report.schedule_digest,
     )
-    for index, spec in enumerate(schedule):
-        report.trials.append(
-            _run_trial(
-                index, spec,
-                seed=seed,
-                domains=domains,
-                rate_mbps=rate_mbps,
-                deadline_s=deadline_s,
-                soft_state_ttl_s=soft_state_ttl_s,
-                repository_name=repository_name,
+    with obs_metrics.use_registry() as registry, \
+            obs_events.use_event_log() as event_log:
+        for index, spec in enumerate(schedule):
+            report.trials.append(
+                _run_trial(
+                    index, spec,
+                    seed=seed,
+                    domains=domains,
+                    rate_mbps=rate_mbps,
+                    deadline_s=deadline_s,
+                    soft_state_ttl_s=soft_state_ttl_s,
+                    repository_name=repository_name,
+                )
             )
-        )
-        if progress is not None:
-            progress(index + 1, trials)
+            if progress is not None:
+                progress(index + 1, trials)
+    report.slo_report = evaluate_slos(
+        tuple(slos) if slos is not None else default_slos(),
+        registry=registry,
+        event_log=event_log,
+    )
     return report

@@ -11,6 +11,17 @@ Three pillars, each individually switchable and all off by default:
 * :mod:`repro.obs.events` — a structured log of typed lifecycle records
   (admit / deny / claim / cancel / release / trust failure).
 
+Layered on top of the pillars (ISSUE 4):
+
+* :mod:`repro.obs.propagation` — W3C-traceparent-style trace context
+  carried *inside* the signed RAR envelopes, so every domain's spans
+  stitch into one end-to-end trace;
+* :mod:`repro.obs.perf` — critical-path attribution of a trace and the
+  ``BENCH_<n>.json`` benchmark-trajectory harness;
+* :mod:`repro.obs.slo` — declarative latency/denial/breaker objectives
+  evaluated over the registry and event log (``repro slo``; the chaos
+  harness attaches verdicts to every run).
+
 Instrumented modules pay a single ``None`` check when observability is
 disabled, so the substrate adds no measurable overhead to the signalling
 hot paths (benchmark C1 guards this).
@@ -34,7 +45,7 @@ import logging
 import sys
 from typing import IO, Iterator
 
-from repro.obs import events, export, metrics, spans
+from repro.obs import events, export, metrics, perf, propagation, slo, spans
 from repro.obs.events import EventLog
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.spans import Tracer
@@ -44,6 +55,9 @@ __all__ = [
     "spans",
     "events",
     "export",
+    "perf",
+    "propagation",
+    "slo",
     "enable_all",
     "disable_all",
     "observed",

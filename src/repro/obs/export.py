@@ -16,7 +16,16 @@ import json
 
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 
-__all__ = ["prometheus_text", "json_snapshot", "json_text"]
+__all__ = [
+    "prometheus_text",
+    "json_snapshot",
+    "json_text",
+    "diff_snapshots",
+    "EXPORTED_QUANTILES",
+]
+
+#: Quantiles exported for every histogram series, in both formats.
+EXPORTED_QUANTILES: tuple[float, ...] = (0.5, 0.95, 0.99)
 
 
 def _escape_label_value(value: str) -> str:
@@ -85,6 +94,13 @@ def prometheus_text(registry: MetricsRegistry) -> str:
                 lines.append(
                     f"{metric.name}_count{_format_labels(labels)} {count}"
                 )
+                for q in EXPORTED_QUANTILES:
+                    q_labels = labels + (("quantile", _format_value(q)),)
+                    lines.append(
+                        f"{metric.name}"
+                        f"{_format_labels(tuple(sorted(q_labels)))} "
+                        f"{_format_value(metric.quantile(q, **label_dict))}"
+                    )
     return "\n".join(lines) + ("\n" if lines else "")
 
 
@@ -112,6 +128,12 @@ def json_snapshot(registry: MetricsRegistry) -> dict[str, object]:
                         "bucket_counts": list(series.bucket_counts),
                         "sum": series.sum,
                         "count": series.count,
+                        "quantiles": {
+                            f"p{int(q * 100)}": metric.quantile(
+                                q, **dict(labels)
+                            )
+                            for q in EXPORTED_QUANTILES
+                        },
                     }
                     for labels, series in sorted(metric.series().items())
                 ],
@@ -121,3 +143,63 @@ def json_snapshot(registry: MetricsRegistry) -> dict[str, object]:
 
 def json_text(registry: MetricsRegistry, *, indent: int = 2) -> str:
     return json.dumps(json_snapshot(registry), indent=indent, sort_keys=True)
+
+
+# ---------------------------------------------------------------------------
+# Snapshot diffing (``repro metrics --diff A.json B.json``)
+# ---------------------------------------------------------------------------
+
+
+def _series_values(metric: dict[str, object]) -> dict[str, float]:
+    """Flatten one snapshot metric into ``label-string -> scalar``.
+
+    Counters and gauges contribute their value; histograms contribute
+    their ``count`` (the scalar most useful for "did this run do more or
+    less work" comparisons).
+    """
+    out: dict[str, float] = {}
+    for entry in metric.get("series", []):  # type: ignore[union-attr]
+        labels = entry.get("labels", {})
+        key = ",".join(f"{k}={v}" for k, v in sorted(labels.items())) or "-"
+        if "value" in entry:
+            out[key] = float(entry["value"])
+        else:
+            out[key] = float(entry.get("count", 0))
+    return out
+
+
+def diff_snapshots(
+    before: dict[str, object], after: dict[str, object]
+) -> list[str]:
+    """Human-readable diff of two :func:`json_snapshot` documents.
+
+    Reports metrics and series present on only one side, and value
+    deltas for series present on both; an empty list means the
+    snapshots agree.  This replaces the "diff the JSON by hand"
+    workflow the benchmark fixtures used to suggest.
+    """
+    lines: list[str] = []
+    names = sorted(set(before) | set(after))
+    for name in names:
+        a = before.get(name)
+        b = after.get(name)
+        if a is None:
+            lines.append(f"+ metric {name} (only in B)")
+            continue
+        if b is None:
+            lines.append(f"- metric {name} (only in A)")
+            continue
+        series_a = _series_values(a)  # type: ignore[arg-type]
+        series_b = _series_values(b)  # type: ignore[arg-type]
+        for key in sorted(set(series_a) | set(series_b)):
+            va, vb = series_a.get(key), series_b.get(key)
+            if va is None:
+                lines.append(f"+ {name}{{{key}}} = {vb:g} (only in B)")
+            elif vb is None:
+                lines.append(f"- {name}{{{key}}} = {va:g} (only in A)")
+            elif va != vb:
+                delta = vb - va
+                lines.append(
+                    f"~ {name}{{{key}}}: {va:g} -> {vb:g} ({delta:+g})"
+                )
+    return lines

@@ -32,6 +32,7 @@ Usage::
 from __future__ import annotations
 
 import threading
+import time
 from typing import Iterator, Mapping, Sequence
 
 from repro.errors import ObservabilityError
@@ -42,6 +43,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "DEFAULT_LATENCY_BUCKETS",
+    "interpolate_quantile",
     "enable",
     "disable",
     "get_registry",
@@ -60,6 +62,34 @@ LabelKey = tuple[tuple[str, str], ...]
 
 def _label_key(labels: Mapping[str, object]) -> LabelKey:
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def interpolate_quantile(
+    bounds: Sequence[float], counts: Sequence[int], q: float
+) -> float:
+    """The *q*-quantile of a bucketed distribution, by linear
+    interpolation within the bucket the rank falls in (Prometheus
+    ``histogram_quantile`` semantics).  *counts* are per-bucket (not
+    cumulative) observation counts aligned with the finite upper
+    *bounds*; observations beyond the last bound clamp to it.  An empty
+    distribution estimates ``0.0``.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ObservabilityError(f"quantile {q} outside [0, 1]")
+    total = sum(counts)
+    if total == 0:
+        return 0.0
+    rank = q * total
+    running = 0.0
+    lower = 0.0
+    for bound, n in zip(bounds, counts):
+        if running + n >= rank and n > 0:
+            # Assume the bucket's observations spread uniformly.
+            return lower + (bound - lower) * ((rank - running) / n)
+        running += n
+        lower = bound
+    # The rank falls in the implicit +Inf bucket: clamp.
+    return float(bounds[-1])
 
 
 class _Instrument:
@@ -197,6 +227,31 @@ class Histogram(_Instrument):
                 out.append((bound, running))
             return out
 
+    def quantile(self, q: float, **labels: object) -> float:
+        """Estimate the *q*-quantile (``0 <= q <= 1``) of one series via
+        :func:`interpolate_quantile`.  An absent series estimates
+        ``0.0``; a quantile falling in the implicit ``+Inf`` bucket
+        clamps to the largest finite bound."""
+        with self._lock:
+            series = self._series.get(_label_key(labels))
+            counts = (
+                [0] * len(self.buckets)
+                if series is None
+                else list(series.bucket_counts)
+            )
+        return interpolate_quantile(self.buckets, counts, q)
+
+    def aggregate_quantile(self, q: float) -> float:
+        """The *q*-quantile over ALL label sets of this histogram merged
+        into one distribution (sound: every series shares the bucket
+        bounds)."""
+        with self._lock:
+            summed = [0] * len(self.buckets)
+            for series in self._series.values():
+                for i, n in enumerate(series.bucket_counts):
+                    summed[i] += n
+        return interpolate_quantile(self.buckets, summed, q)
+
     def count(self, **labels: object) -> int:
         with self._lock:
             series = self._series.get(_label_key(labels))
@@ -207,9 +262,38 @@ class Histogram(_Instrument):
             series = self._series.get(_label_key(labels))
             return 0.0 if series is None else series.sum
 
+    def time(self, **labels: object) -> _HistogramTimer:
+        """Context manager observing the block's wall-clock duration
+        (``time.perf_counter``) into this histogram on clean exit; a
+        block that raises records nothing.  The blessed way to meter a
+        code section — manual ``perf_counter()`` pairs outside the obs
+        layer trip lint rule REP110."""
+        return _HistogramTimer(self, labels)
+
     def series(self) -> dict[LabelKey, _HistogramSeries]:
         with self._lock:
             return dict(self._series)
+
+
+class _HistogramTimer:
+    """See :meth:`Histogram.time`."""
+
+    __slots__ = ("_histogram", "_labels", "_t0")
+
+    def __init__(self, histogram: Histogram, labels: Mapping[str, object]):
+        self._histogram = histogram
+        self._labels = dict(labels)
+        self._t0 = 0.0
+
+    def __enter__(self) -> _HistogramTimer:
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type: object, *exc: object) -> None:
+        if exc_type is None:
+            self._histogram.observe(
+                time.perf_counter() - self._t0, **self._labels
+            )
 
 
 class MetricsRegistry:

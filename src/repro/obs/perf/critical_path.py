@@ -1,0 +1,184 @@
+"""Critical-path analysis of a reservation's span tree.
+
+The hop-by-hop protocol is strictly sequential — every span in the trace
+lies on the critical path — so "critical-path analysis" here means
+*attribution*: take the root span's end-to-end wall time and split it
+into named segments, one per leaf phase span (``A/verify``,
+``B/admission``, ``user/prepare``, ...), with whatever the phase spans do
+not cover reported as per-span *untracked* self-time.  The interesting
+outputs are the ranked segment table (where did the milliseconds go?)
+and the coverage ratio (how much of the end-to-end time the
+instrumentation can actually name — the acceptance gate keeps this at
+≥95% for a multi-domain reservation).
+
+Both time axes are attributed: real wall clock (crypto and engine cost
+on this machine) and the modelled network latency the simulator accounts
+for (``sim_latency_s`` span attributes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ObservabilityError
+from repro.obs.spans import Span, Tracer
+
+__all__ = [
+    "Segment",
+    "CriticalPathReport",
+    "analyze_critical_path",
+    "render_critical_path",
+]
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One named slice of the end-to-end wall time."""
+
+    #: ``<domain>/<phase>`` — e.g. ``B/verify``; user-side phases (the
+    #: spans parented directly under ``reserve``) use domain ``user``.
+    name: str
+    domain: str
+    phase: str
+    wall_s: float
+    #: Fraction of the root span's wall time (0..1).
+    share: float
+    #: Modelled latency the phase accounted for (0 for pure-CPU phases).
+    sim_latency_s: float
+    status: str
+
+
+@dataclass(frozen=True)
+class CriticalPathReport:
+    """Attribution of one trace's end-to-end time to named segments."""
+
+    trace_id: str
+    total_wall_s: float
+    #: Named segments, largest wall share first.
+    segments: tuple[Segment, ...]
+    #: Wall time no phase span claims (span self-times: loop overhead,
+    #: envelope bookkeeping, instrumentation cost).
+    untracked_wall_s: float
+    #: Modelled end-to-end latency summed over the segments.
+    total_sim_latency_s: float
+    #: ``sum(segment wall) / total wall`` — the share of end-to-end time
+    #: the instrumentation can attribute to a named hop/phase.
+    coverage: float
+
+    def top(self, n: int = 5) -> tuple[Segment, ...]:
+        return self.segments[:n]
+
+
+def _finished_duration(span: Span, fallback_end: float) -> float:
+    """Wall duration, treating a still-open span as ending with the
+    trace (a denial leg can leave downstream hop spans unclosed)."""
+    end = span.end_wall if span.end_wall is not None else fallback_end
+    return max(0.0, end - span.start_wall)
+
+
+def analyze_critical_path(
+    tracer: Tracer, trace_id: str | None = None
+) -> CriticalPathReport:
+    """Attribute *trace_id*'s end-to-end wall time to hop/phase segments.
+
+    Defaults to the tracer's latest trace.  Leaf spans (phases) become
+    named ``<domain>/<phase>`` segments; the self-time of every interior
+    span (root, hops) is pooled as *untracked*.  Raises
+    :class:`~repro.errors.ObservabilityError` when the trace is missing
+    or has no finished root span.
+    """
+    if trace_id is None:
+        trace_id = tracer.latest_trace()
+        if trace_id is None:
+            raise ObservabilityError("tracer holds no traces")
+    spans = tracer.spans_for(trace_id)
+    if not spans:
+        raise ObservabilityError(f"no spans recorded for trace {trace_id!r}")
+    root = tracer.root(trace_id)
+    if root is None:
+        raise ObservabilityError(f"trace {trace_id!r} has no root span")
+    if root.end_wall is None:
+        raise ObservabilityError(
+            f"trace {trace_id!r}: root span {root.name!r} is still open"
+        )
+    total_wall = root.wall_duration_s
+    root_end = root.end_wall
+
+    children: dict[int, list[Span]] = {}
+    for span in spans:
+        if span.parent_id is not None:
+            children.setdefault(span.parent_id, []).append(span)
+
+    def domain_of(span: Span, inherited: str) -> str:
+        value = span.attributes.get("domain")
+        return str(value) if value is not None else inherited
+
+    segments: list[Segment] = []
+    untracked = 0.0
+
+    def walk(span: Span, inherited_domain: str) -> None:
+        nonlocal untracked
+        domain = domain_of(span, inherited_domain)
+        kids = children.get(span.span_id, ())
+        duration = _finished_duration(span, root_end)
+        if not kids:
+            segments.append(
+                Segment(
+                    name=f"{domain}/{span.name}",
+                    domain=domain,
+                    phase=span.name,
+                    wall_s=duration,
+                    share=duration / total_wall if total_wall > 0 else 0.0,
+                    sim_latency_s=span.sim_latency_s,
+                    status=span.status,
+                )
+            )
+            return
+        untracked += max(
+            0.0,
+            duration - sum(_finished_duration(k, root_end) for k in kids),
+        )
+        for kid in kids:
+            walk(kid, domain)
+
+    # The root span itself carries no domain: its direct phase children
+    # (prepare, submit) are user-side work.
+    walk(root, "user")
+
+    segments.sort(key=lambda s: s.wall_s, reverse=True)
+    named_wall = sum(s.wall_s for s in segments)
+    return CriticalPathReport(
+        trace_id=trace_id,
+        total_wall_s=total_wall,
+        segments=tuple(segments),
+        untracked_wall_s=untracked,
+        total_sim_latency_s=sum(s.sim_latency_s for s in segments),
+        coverage=named_wall / total_wall if total_wall > 0 else 0.0,
+    )
+
+
+def render_critical_path(report: CriticalPathReport) -> str:
+    """A ranked, human-readable attribution table."""
+    lines = [
+        f"critical path for trace {report.trace_id}",
+        f"end-to-end wall time: {report.total_wall_s * 1e3:.3f} ms "
+        f"(modelled latency: {report.total_sim_latency_s * 1e3:.3f} ms)",
+        "",
+        f"{'segment':<24} {'wall ms':>10} {'share':>7} {'sim ms':>10}",
+    ]
+    for seg in report.segments:
+        flag = "" if seg.status == "ok" else f"  [{seg.status}]"
+        lines.append(
+            f"{seg.name:<24} {seg.wall_s * 1e3:>10.3f} "
+            f"{seg.share * 100:>6.1f}% {seg.sim_latency_s * 1e3:>10.3f}{flag}"
+        )
+    lines.append(
+        f"{'(untracked)':<24} {report.untracked_wall_s * 1e3:>10.3f} "
+        f"{(1 - report.coverage) * 100:>6.1f}% {'':>10}"
+    )
+    lines.append("")
+    lines.append(
+        f"coverage: {report.coverage * 100:.1f}% of end-to-end wall time "
+        f"attributed to {len(report.segments)} named segments"
+    )
+    return "\n".join(lines)

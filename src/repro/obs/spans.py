@@ -40,7 +40,18 @@ __all__ = [
     "get_tracer",
     "use_tracer",
     "mint_correlation_id",
+    "phase_clock",
 ]
+
+
+def phase_clock() -> float:
+    """The monotonic clock reading used for span timing.
+
+    Instrumented code that needs a raw "phase started here" timestamp
+    (to later hand to :meth:`Tracer.record`) must take it from this
+    helper rather than calling ``time.perf_counter()`` directly, so all
+    timing flows through the obs layer (lint rule REP110)."""
+    return time.perf_counter()
 
 #: Correlation IDs stay unique across tracers (and when tracing is off),
 #: so event logs from different runs never collide within one process.
@@ -102,15 +113,24 @@ class Tracer:
         *,
         trace_id: str,
         parent: Span | None = None,
+        parent_span_id: int | None = None,
+        start_wall: float | None = None,
         **attributes: object,
     ) -> Span:
+        if parent is not None:
+            parent_span_id = parent.span_id
         span = Span(
             name=name,
             trace_id=trace_id,
             span_id=next(self._ids),
-            parent_id=parent.span_id if parent is not None else None,
+            parent_id=parent_span_id,
             attributes=dict(attributes),
-            start_wall=time.perf_counter(),
+            # A caller that already holds a phase_clock() reading backdates
+            # the span to it, so cheap bookkeeping between two instrumented
+            # stretches is attributed instead of pooling as self-time.
+            start_wall=(
+                start_wall if start_wall is not None else time.perf_counter()
+            ),
         )
         with self._lock:
             self._spans.setdefault(trace_id, []).append(span)

@@ -8,6 +8,7 @@ from repro.analysis.rules import (
     GlobalRandomRule,
     MutableDefaultRule,
     ObsGuardRule,
+    RawTimerRule,
     SaltedHashSeedRule,
     SecretExposureRule,
     StrictAnnotationsRule,
@@ -435,5 +436,72 @@ class TestUnboundedRetry:
                     channel.transmit(dn, message)
             """,
             UnboundedRetryRule,
+        )
+        assert findings == []
+
+
+class TestRawTimer:
+    def test_flags_perf_counter_outside_obs(self):
+        findings = lint(
+            """
+            import time
+            def f():
+                t0 = time.perf_counter()
+                return time.perf_counter() - t0
+            """,
+            RawTimerRule,
+            module="repro.core.hopbyhop",
+        )
+        assert len(findings) == 2
+        assert findings[0].rule == "REP110"
+        assert "Histogram.time()" in findings[0].message
+
+    def test_resolves_from_import(self):
+        findings = lint(
+            """
+            from time import monotonic
+            def f():
+                return monotonic()
+            """,
+            RawTimerRule,
+            module="repro.bb.broker",
+        )
+        assert len(findings) == 1
+
+    def test_obs_package_is_exempt(self):
+        source = """
+        import time
+        def phase_clock():
+            return time.perf_counter()
+        """
+        assert lint(source, RawTimerRule, module="repro.obs.spans") == []
+        assert lint(source, RawTimerRule, module="repro.obs.perf.bench") == []
+        # The same code outside repro.obs trips the rule.
+        assert len(lint(source, RawTimerRule, module="repro.core.x")) == 1
+
+    def test_noqa_escape(self):
+        findings = lint(
+            """
+            import time
+            def f():
+                return time.perf_counter()  # repro: noqa[REP110] calibration
+            """,
+            RawTimerRule,
+            module="repro.core.hopbyhop",
+        )
+        assert findings == []
+
+    def test_obs_helpers_are_the_idiom(self):
+        findings = lint(
+            """
+            from repro.obs import spans as obs_spans
+            def f(hist):
+                t0 = obs_spans.phase_clock()
+                with hist.time(op="x"):
+                    pass
+                return t0
+            """,
+            RawTimerRule,
+            module="repro.core.hopbyhop",
         )
         assert findings == []

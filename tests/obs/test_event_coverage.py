@@ -1,0 +1,275 @@
+"""Correlation coverage: EVERY event kind the fabric can emit must carry
+a correlation ID that joins it to its originating trace.  The test is
+parametrized over the full ``EventKind`` enum via a scenario table, so
+adding a new kind without teaching this test how to produce it fails
+loudly instead of silently shipping uncorrelated events."""
+
+import pytest
+
+from repro.core.testbed import build_linear_testbed
+from repro.errors import ReproError, TunnelError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultKind, FaultPlan, FaultSpec, TargetKind
+from repro.obs import events, spans
+from repro.obs.events import EventKind
+
+
+def inject(testbed, *specs):
+    testbed.attach_injector(FaultInjector(FaultPlan(tuple(specs), seed=1)))
+
+
+# ---------------------------------------------------------------------------
+# One scenario per EventKind: run under an event log, return that log.
+# ---------------------------------------------------------------------------
+
+
+def scenario_grant_lifecycle():
+    """ADMIT at every hop, then CLAIM and CANCEL everywhere."""
+    testbed = build_linear_testbed(["A", "B", "C"])
+    user = testbed.add_user("A", "Alice")
+    outcome = testbed.reserve(
+        user, source="A", destination="C", bandwidth_mbps=10.0,
+    )
+    assert outcome.granted
+    testbed.hop_by_hop.claim(outcome)
+    testbed.hop_by_hop.cancel(outcome)
+
+
+def scenario_deny_and_release():
+    """DENY at the refusing hop, RELEASE of the partial path."""
+    testbed = build_linear_testbed(["A", "B", "C"])
+    testbed.set_policy("C", "Return DENY")
+    user = testbed.add_user("A", "Alice")
+    outcome = testbed.reserve(
+        user, source="A", destination="C", bandwidth_mbps=10.0,
+    )
+    assert not outcome.granted
+
+
+def scenario_trust_failure():
+    """On-path tampering makes downstream verification fail."""
+    from repro.core.messages import F_RES_SPEC
+
+    testbed = build_linear_testbed(["A", "B", "C"])
+    user = testbed.add_user("A", "Alice")
+    channel = testbed.channels.between(
+        testbed.brokers["B"].dn, testbed.brokers["C"].dn
+    )
+
+    def inflate(message):
+        spec = message.get(F_RES_SPEC)
+        if spec is None:
+            inner = message.get("inner_rar")
+            if inner is not None:
+                return message.with_tampered_field("inner_rar", inflate(inner))
+            return message
+        return message.with_tampered_field(
+            F_RES_SPEC, spec.with_attributes(injected=True)
+        )
+
+    channel.tamper_hook = inflate
+    outcome = testbed.reserve(
+        user, source="A", destination="C", bandwidth_mbps=10.0,
+    )
+    assert not outcome.granted
+
+
+def scenario_transient_fault_and_retry():
+    """One dropped message: FAULT from the injector, RETRY from the
+    signalling engine, grant survives."""
+    testbed = build_linear_testbed(["A", "B", "C"])
+    user = testbed.add_user("A", "Alice")
+    inject(
+        testbed,
+        FaultSpec(TargetKind.CHANNEL, "A|B", FaultKind.DROP, ops=1),
+    )
+    outcome = testbed.reserve(
+        user, source="A", destination="C", bandwidth_mbps=10.0,
+    )
+    assert outcome.granted and outcome.retries >= 1
+
+
+def scenario_breaker_opens():
+    """A persistently dead link burns the retry budget until the
+    circuit breaker opens (BREAKER transition events)."""
+    testbed = build_linear_testbed(["A", "B", "C"])
+    user = testbed.add_user("A", "Alice")
+    inject(
+        testbed,
+        FaultSpec(TargetKind.CHANNEL, "B|C", FaultKind.DROP, ops=None),
+    )
+    outcome = testbed.reserve(
+        user, source="A", destination="C", bandwidth_mbps=10.0,
+    )
+    assert not outcome.granted
+
+
+def scenario_unwind_failure():
+    """A denial unwinds the partial path, but one broker's cancel
+    fails: UNWIND_FAILED, with soft state left to reclaim."""
+    testbed = build_linear_testbed(["A", "B", "C"], soft_state_ttl_s=60.0)
+    testbed.set_policy("C", "Return DENY")
+    user = testbed.add_user("A", "Alice")
+    broker_b = testbed.brokers["B"]
+    real_cancel = broker_b.cancel
+
+    def refuse(handle, **kwargs):
+        raise ReproError("simulated dead broker during unwind")
+
+    broker_b.cancel = refuse
+    try:
+        outcome = testbed.reserve(
+            user, source="A", destination="C", bandwidth_mbps=10.0,
+        )
+    finally:
+        broker_b.cancel = real_cancel
+    assert not outcome.granted
+
+
+def scenario_soft_state_expiry():
+    """An unrefreshed lease lapses; the sweep emits EXPIRE events."""
+    testbed = build_linear_testbed(["A", "B"], soft_state_ttl_s=60.0)
+    user = testbed.add_user("A", "Alice")
+    outcome = testbed.reserve(
+        user, source="A", destination="B", bandwidth_mbps=10.0,
+    )
+    assert outcome.granted
+    assert testbed.sweep_soft_state(61.0) == 2
+
+
+def scenario_tunnel_fallback():
+    """A broken direct channel degrades a tunnel flow to per-flow
+    signalling (FALLBACK)."""
+    testbed = build_linear_testbed(["A", "B", "C", "D"])
+    user = testbed.add_user("A", "Alice")
+    request = testbed.make_request(
+        source="A", destination="D", bandwidth_mbps=50.0, duration=7200.0,
+    )
+    tunnel, outcome = testbed.tunnels.establish(user, request)
+    assert outcome.granted
+    inject(
+        testbed,
+        FaultSpec(TargetKind.CHANNEL, "A|D", FaultKind.DROP, ops=None),
+    )
+    alloc, _, _ = testbed.tunnels.allocate_flow(tunnel.tunnel_id, user, 10.0)
+    assert alloc.via == "per-flow"
+
+
+#: Which scenario produces each kind.  A kind missing here makes the
+#: parametrized test fail with a KeyError — the desired tripwire.
+SCENARIOS = {
+    EventKind.ADMIT: scenario_grant_lifecycle,
+    EventKind.CLAIM: scenario_grant_lifecycle,
+    EventKind.CANCEL: scenario_grant_lifecycle,
+    EventKind.DENY: scenario_deny_and_release,
+    EventKind.RELEASE: scenario_deny_and_release,
+    EventKind.TRUST_FAILURE: scenario_trust_failure,
+    EventKind.FAULT: scenario_transient_fault_and_retry,
+    EventKind.RETRY: scenario_transient_fault_and_retry,
+    EventKind.BREAKER: scenario_breaker_opens,
+    EventKind.UNWIND_FAILED: scenario_unwind_failure,
+    EventKind.EXPIRE: scenario_soft_state_expiry,
+    EventKind.FALLBACK: scenario_tunnel_fallback,
+}
+
+
+class TestEveryKindCarriesACorrelationId:
+    @pytest.mark.parametrize("kind", list(EventKind), ids=lambda k: k.value)
+    def test_kind_emitted_and_correlated(self, kind):
+        scenario = SCENARIOS[kind]  # KeyError = untestable new kind
+        with events.use_event_log() as log:
+            scenario()
+        emitted = log.events(kind)
+        assert emitted, f"scenario produced no {kind.value} events"
+        for event in emitted:
+            assert event.correlation_id, (
+                f"{kind.value} event has no correlation id: {event}"
+            )
+
+    def test_scenario_table_covers_the_enum(self):
+        assert set(SCENARIOS) == set(EventKind)
+
+
+class TestExpireJoinsTheOriginatingTrace:
+    def test_expire_carries_the_admission_correlation_id(self):
+        """The sweep runs outside any request scope; EXPIRE must still
+        carry the ID minted when the reservation was admitted."""
+        with events.use_event_log() as log, spans.use_tracer():
+            testbed = build_linear_testbed(["A", "B"], soft_state_ttl_s=60.0)
+            user = testbed.add_user("A", "Alice")
+            outcome = testbed.reserve(
+                user, source="A", destination="B", bandwidth_mbps=10.0,
+            )
+            assert outcome.granted
+            testbed.sweep_soft_state(61.0)
+        expires = log.events(EventKind.EXPIRE)
+        assert len(expires) == 2
+        assert {e.correlation_id for e in expires} == {outcome.correlation_id}
+
+    def test_reservation_stashes_the_correlation_id(self):
+        with events.use_event_log():
+            testbed = build_linear_testbed(["A", "B"])
+            user = testbed.add_user("A", "Alice")
+            outcome = testbed.reserve(
+                user, source="A", destination="B", bandwidth_mbps=10.0,
+            )
+        for domain in "AB":
+            resv = testbed.brokers[domain].reservations.get(
+                outcome.handles[domain]
+            )
+            assert resv.correlation_id == outcome.correlation_id
+
+
+class TestBackgroundWorkOpensSpans:
+    def test_soft_state_sweep_is_traced(self):
+        with spans.use_tracer() as tracer:
+            testbed = build_linear_testbed(["A", "B"], soft_state_ttl_s=60.0)
+            user = testbed.add_user("A", "Alice")
+            outcome = testbed.reserve(
+                user, source="A", destination="B", bandwidth_mbps=10.0,
+            )
+            assert outcome.granted
+            testbed.sweep_soft_state(61.0)
+        sweeps = [s for s in tracer if s.name == "sweep"]
+        # One sweep span per broker, each in a trace of its own.
+        assert {s.attributes["domain"] for s in sweeps} == {"A", "B"}
+        for sweep in sweeps:
+            assert sweep.finished
+            assert sweep.attributes["reclaimed"] == 1
+            assert sweep.trace_id != outcome.correlation_id
+
+    def test_tunnel_fallback_is_traced_and_linked(self):
+        with spans.use_tracer() as tracer, events.use_event_log() as log:
+            scenario_tunnel_fallback()
+        fallbacks = [s for s in tracer if s.name == "tunnel_fallback"]
+        assert len(fallbacks) == 1
+        span = fallbacks[0]
+        assert span.finished and span.status == "ok"
+        # The degradation span links to the per-flow reservation's own
+        # trace, and the FALLBACK event shares the degradation's ID.
+        assert span.attributes["link"].startswith("req-")
+        fallback_events = log.events(EventKind.FALLBACK)
+        assert len(fallback_events) == 1
+        assert fallback_events[0].correlation_id == span.trace_id
+
+    def test_denied_fallback_span_marks_error(self):
+        with spans.use_tracer() as tracer:
+            testbed = build_linear_testbed(["A", "B", "C", "D"])
+            user = testbed.add_user("A", "Alice")
+            request = testbed.make_request(
+                source="A", destination="D", bandwidth_mbps=50.0,
+                duration=7200.0,
+            )
+            tunnel, outcome = testbed.tunnels.establish(user, request)
+            assert outcome.granted
+            testbed.set_policy("B", "Return DENY")
+            inject(
+                testbed,
+                FaultSpec(TargetKind.CHANNEL, "A|D", FaultKind.DROP,
+                          ops=None),
+            )
+            with pytest.raises(TunnelError, match="fallback"):
+                testbed.tunnels.allocate_flow(tunnel.tunnel_id, user, 10.0)
+        span = next(s for s in tracer if s.name == "tunnel_fallback")
+        assert span.status == "error"
+        assert span.attributes["error"]

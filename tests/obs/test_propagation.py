@@ -1,0 +1,153 @@
+"""Trace context propagation: the W3C-style ``traceparent`` wire format
+and its end-to-end journey inside the signed RAR envelopes — every hop
+rewrites the field with its OWN span id, so the span tree a downstream
+domain builds nests exactly like the signature envelopes."""
+
+import pytest
+
+from repro.core.messages import F_TRACEPARENT
+from repro.core.testbed import build_linear_testbed
+from repro.errors import ObservabilityError
+from repro.obs import spans
+from repro.obs.propagation import (
+    TraceContext,
+    decode_trace_id,
+    encode_trace_id,
+    format_traceparent,
+    parse_traceparent,
+)
+
+
+class TestWireFormat:
+    def test_round_trip(self):
+        ctx = TraceContext(trace_id="req-000042", span_id=0xDEADBEEF)
+        assert parse_traceparent(format_traceparent(ctx)) == ctx
+
+    def test_shape(self):
+        text = format_traceparent(TraceContext(trace_id="req-000001", span_id=7))
+        version, trace_field, span_field, flags = text.split("-")
+        assert version == "00" and flags == "01"
+        assert len(trace_field) == 32 and len(span_field) == 16
+        assert span_field == f"{7:016x}"
+
+    def test_correlation_id_is_reversible(self):
+        field = encode_trace_id("req-000317")
+        assert decode_trace_id(field) == "req-000317"
+
+    def test_overlong_id_degrades_to_stable_hash(self):
+        long_id = "x" * 40
+        field = encode_trace_id(long_id)
+        assert len(field) == 32
+        assert field == encode_trace_id(long_id)  # stable grouping key
+        # Not reversible: the decoder returns the field itself.
+        assert decode_trace_id(field) == field
+
+    def test_foreign_trace_id_survives_decode(self):
+        # Random hex from another tracer: not UTF-8-round-trippable, so
+        # the field itself becomes the (stable) trace id.
+        foreign = "4bf92f3577b34da6a3ce929d0e0e4736"
+        assert decode_trace_id(foreign) == foreign
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "hello",
+            "00-zz-11-01",
+            "00-" + "0" * 32 + "-" + "1" * 16 + "-01",  # all-zero trace id
+            "00-" + "1" * 32 + "-" + "0" * 16 + "-01",  # all-zero span id
+            "ff-" + "1" * 32 + "-" + "2" * 16 + "-01",  # unknown version
+            "00-" + "1" * 31 + "-" + "2" * 16 + "-01",  # short trace id
+        ],
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(ObservabilityError):
+            parse_traceparent(bad)
+
+    def test_non_string_rejected(self):
+        with pytest.raises(ObservabilityError):
+            parse_traceparent(12345)
+
+    def test_context_validation(self):
+        with pytest.raises(ObservabilityError):
+            TraceContext(trace_id="", span_id=1)
+        with pytest.raises(ObservabilityError):
+            TraceContext(trace_id="req-000001", span_id=0)
+
+
+class TestEnvelopePropagation:
+    """The field travels inside the signed payload and is rewritten at
+    every hop — the tracing analogue of envelope nesting."""
+
+    @pytest.fixture()
+    def traced(self):
+        with spans.use_tracer() as tracer:
+            testbed = build_linear_testbed(["A", "B", "C", "D"])
+            user = testbed.add_user("A", "Alice")
+            outcome = testbed.reserve(
+                user, source="A", destination="D", bandwidth_mbps=10.0,
+            )
+        assert outcome.granted
+        return tracer, outcome, testbed
+
+    @staticmethod
+    def _peel_traceparents(rar):
+        """Outermost-first ``traceparent`` of every envelope layer."""
+        found = []
+        while rar is not None:
+            carried = rar.get(F_TRACEPARENT)
+            if carried is not None:
+                found.append(parse_traceparent(carried))
+            rar = rar.get("inner_rar")
+        return found
+
+    def test_every_layer_names_the_same_trace(self, traced):
+        _, outcome, _ = traced
+        contexts = self._peel_traceparents(outcome.final_rar)
+        # User layer + one per forwarding BB (A, B, C for an A->D path).
+        assert len(contexts) == 4
+        assert {c.trace_id for c in contexts} == {outcome.correlation_id}
+
+    def test_each_hop_rewrites_the_span_id(self, traced):
+        tracer, outcome, _ = traced
+        contexts = self._peel_traceparents(outcome.final_rar)
+        span_ids = [c.span_id for c in contexts]
+        assert len(set(span_ids)) == len(span_ids), "a hop forwarded its upstream context"
+        # Outermost layer was written by the last forwarder (C), then B,
+        # then A, and the innermost by the user agent (the root span).
+        chain = tracer.hop_chain(outcome.correlation_id)
+        by_domain = {s.attributes["domain"]: s.span_id for s in chain}
+        root = tracer.root(outcome.correlation_id)
+        assert span_ids == [by_domain["C"], by_domain["B"], by_domain["A"],
+                            root.span_id]
+
+    def test_downstream_parents_under_carried_context(self, traced):
+        tracer, outcome, _ = traced
+        chain = tracer.hop_chain(outcome.correlation_id)
+        contexts = self._peel_traceparents(outcome.final_rar)
+        carried_ids = {c.span_id for c in contexts}
+        # Every non-root hop's parent is a span id some envelope carried.
+        for hop in chain[1:]:
+            assert hop.parent_id in carried_ids
+
+    def test_tampered_traceparent_fails_signature(self, traced):
+        """The field lives inside the signed payload: flipping it breaks
+        the envelope like any other field."""
+        _, outcome, testbed = traced
+        rar = outcome.final_rar
+        forged = rar.with_tampered_field(
+            F_TRACEPARENT,
+            format_traceparent(TraceContext(trace_id="req-999999", span_id=99)),
+        )
+        signer_key = testbed.brokers["C"].keypair.public
+        assert rar.verify(signer_key)
+        assert not forged.verify(signer_key)
+
+    def test_no_traceparent_when_tracing_disabled(self):
+        testbed = build_linear_testbed(["A", "B"])
+        user = testbed.add_user("A", "Alice")
+        outcome = testbed.reserve(
+            user, source="A", destination="B", bandwidth_mbps=5.0,
+        )
+        assert outcome.granted
+        assert self._peel_traceparents(outcome.final_rar) == []

@@ -1,0 +1,186 @@
+"""Declarative SLOs: spec parsing, evaluation over the metrics registry
+and event log, burn rates, and the chaos harness's verdict table."""
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.events import EventKind, EventLog
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import (
+    SLO,
+    default_slos,
+    evaluate_slos,
+    parse_slo_spec,
+)
+
+
+class TestSLOValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ObservabilityError, match="unknown kind"):
+            SLO(name="x", kind="availability", threshold=0.1)
+
+    def test_latency_objective_needs_a_metric(self):
+        with pytest.raises(ObservabilityError, match="metric"):
+            SLO(name="x", kind="latency_quantile", threshold=0.5)
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ObservabilityError, match="threshold"):
+            SLO(name="x", kind="denial_rate", threshold=-0.1)
+
+    def test_quantile_bounds(self):
+        with pytest.raises(ObservabilityError, match="quantile"):
+            SLO(name="x", kind="latency_quantile", metric="m",
+                threshold=0.5, quantile=1.5)
+
+
+class TestSpecParsing:
+    def test_full_spec(self):
+        slos = parse_slo_spec("""
+        {"slos": [
+          {"name": "p95", "type": "latency_quantile",
+           "metric": "signalling_latency_seconds",
+           "quantile": 0.95, "threshold": 0.5},
+          {"name": "denials", "type": "denial_rate", "threshold": 0.1}
+        ]}
+        """)
+        assert [s.name for s in slos] == ["p95", "denials"]
+        assert slos[0].quantile == 0.95
+        assert slos[1].kind == "denial_rate"
+
+    @pytest.mark.parametrize(
+        "text, complaint",
+        [
+            ("not json", "not valid JSON"),
+            ("[]", "slos"),
+            ('{"slos": []}', "no objectives"),
+            ('{"slos": [42]}', "not an object"),
+            ('{"slos": [{"name": "x", "type": "denial_rate",'
+             ' "threshold": 0.1, "bogus": 1}]}', "unknown keys"),
+            ('{"slos": [{"name": "x", "type": "denial_rate"}]}',
+             "threshold"),
+        ],
+    )
+    def test_bad_specs_rejected(self, text, complaint):
+        with pytest.raises(ObservabilityError, match=complaint):
+            parse_slo_spec(text)
+
+
+class TestEvaluation:
+    def test_latency_quantile_against_histogram(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram(
+            "lat_seconds", buckets=(0.1, 1.0, 10.0),
+        )
+        for _ in range(95):
+            hist.observe(0.05)
+        for _ in range(5):
+            hist.observe(5.0)
+        slo = SLO(name="p50", kind="latency_quantile",
+                  metric="lat_seconds", quantile=0.5, threshold=0.2)
+        report = evaluate_slos((slo,), registry=registry, event_log=None)
+        result = report.results[0]
+        assert result.ok
+        assert result.actual < 0.2
+        assert "100 observations" in result.detail
+
+    def test_latency_quantile_failure_and_burn(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat_seconds", buckets=(0.1, 1.0))
+        for _ in range(10):
+            hist.observe(0.9)
+        slo = SLO(name="p95", kind="latency_quantile",
+                  metric="lat_seconds", quantile=0.95, threshold=0.2)
+        result = evaluate_slos(
+            (slo,), registry=registry, event_log=None
+        ).results[0]
+        assert not result.ok
+        assert result.burn_rate == pytest.approx(result.actual / 0.2)
+        assert result.burn_rate > 1.0
+
+    def test_denial_rate(self):
+        log = EventLog()
+        for _ in range(8):
+            log.emit(EventKind.ADMIT, domain="A")
+        for _ in range(2):
+            log.emit(EventKind.DENY, domain="B", reason="policy")
+        slo = SLO(name="denials", kind="denial_rate", threshold=0.1)
+        result = evaluate_slos(
+            (slo,), registry=None, event_log=log
+        ).results[0]
+        assert result.actual == pytest.approx(0.2)
+        assert not result.ok
+        assert result.burn_rate == pytest.approx(2.0)
+        assert "2 denials / 10 decisions" in result.detail
+
+    def test_breaker_open_rate_counts_only_opens(self):
+        log = EventLog()
+        for _ in range(10):
+            log.emit(EventKind.ADMIT, domain="A")
+        log.emit(EventKind.BREAKER, reason="closed -> open", link="A|B")
+        log.emit(EventKind.BREAKER, reason="open -> half_open", link="A|B")
+        log.emit(EventKind.BREAKER, reason="half_open -> closed", link="A|B")
+        slo = SLO(name="breakers", kind="breaker_open_rate", threshold=0.25)
+        result = evaluate_slos(
+            (slo,), registry=None, event_log=log
+        ).results[0]
+        assert result.actual == pytest.approx(0.1)
+        assert result.ok
+        assert "1 breaker opens" in result.detail
+
+    def test_no_data_passes_vacuously(self):
+        report = evaluate_slos(default_slos(), registry=None, event_log=None)
+        assert report.ok
+        assert all(r.actual == 0.0 for r in report.results)
+
+    def test_zero_threshold_burn_rate(self):
+        log = EventLog()
+        log.emit(EventKind.ADMIT, domain="A")
+        log.emit(EventKind.DENY, domain="A", reason="x")
+        slo = SLO(name="no-denials", kind="denial_rate", threshold=0.0)
+        result = evaluate_slos(
+            (slo,), registry=None, event_log=log
+        ).results[0]
+        assert not result.ok
+        assert result.burn_rate == float("inf")
+
+    def test_render_table(self):
+        log = EventLog()
+        log.emit(EventKind.ADMIT, domain="A")
+        report = evaluate_slos(
+            (SLO(name="denials", kind="denial_rate", threshold=0.1),),
+            registry=None, event_log=log,
+        )
+        text = report.render()
+        assert "OK" in text and "denials" in text
+        assert "all objectives met" in text
+
+
+class TestChaosIntegration:
+    def test_chaos_report_carries_slo_verdicts(self):
+        from repro.faults.chaos import run_chaos
+
+        report = run_chaos(seed=11, trials=6)
+        assert report.slo_report is not None
+        names = {r.slo.name for r in report.slo_report.results}
+        assert names == {s.name for s in default_slos()}
+        # Six faulty trials still produced decisions to judge.
+        assert any(
+            "decisions" in r.detail for r in report.slo_report.results
+        )
+        assert "SLO verdicts:" in report.summary()
+
+    def test_chaos_accepts_custom_slos(self):
+        from repro.faults.chaos import run_chaos
+
+        impossible = SLO(name="zero-latency", kind="latency_quantile",
+                         metric="signalling_latency_seconds",
+                         quantile=0.5, threshold=0.0)
+        report = run_chaos(seed=11, trials=6, slos=(impossible,))
+        assert [r.slo.name for r in report.slo_report.results] == [
+            "zero-latency"
+        ]
+        # Signalling always takes nonzero modelled time, so a zero
+        # budget must burn.
+        assert not report.slo_report.ok
+        # SLO verdicts are informational: invariants still decide health.
+        assert report.violations == []
