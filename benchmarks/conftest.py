@@ -14,6 +14,7 @@ import pathlib
 
 import pytest
 
+from repro.crypto import cache as verification_cache
 from repro.obs import export, metrics
 
 #: Where per-benchmark metrics snapshots land (git-ignored).
@@ -41,12 +42,18 @@ def metrics_snapshot(request):
     ``repro metrics --diff old.json new.json`` prints the delta.
     Timing-sensitive benchmarks that must measure the *disabled* path can
     opt out with ``@pytest.mark.no_metrics``.
+
+    Verification caches are enabled alongside the registry, so every
+    snapshot also carries ``verification_cache_events_total`` hit/miss
+    counters — the trajectory's record of how much crypto each
+    benchmark actually re-ran.
     """
     if request.node.get_closest_marker("no_metrics"):
         yield
         return
     with metrics.use_registry() as registry:
-        yield
+        with verification_cache.use_caches():
+            yield
     snapshot = export.json_snapshot(registry)
     if not snapshot:
         return

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import itertools
 import logging
+import threading
 from dataclasses import dataclass
 
 from repro.errors import AdmissionError, CapacityExceededError
@@ -43,27 +44,37 @@ class CapacitySchedule:
         self.capacity_mbps = capacity_mbps
         self._bookings: dict[int, Booking] = {}
         self._ids = itertools.count(1)
+        # Reentrant: ``book`` calls ``available`` -> ``peak_load`` ->
+        # ``load_at`` while already holding the lock.  Check-then-book
+        # must be one critical section or two concurrent signalling
+        # workers could both see the same spare capacity and
+        # oversubscribe the resource.
+        self._lock = threading.RLock()
 
     # -- queries -------------------------------------------------------------------
 
     def load_at(self, when: float) -> float:
         """Total booked rate at instant *when* (bookings are [start, end))."""
-        return sum(
-            b.rate_mbps for b in self._bookings.values() if b.start <= when < b.end
-        )
+        with self._lock:
+            return sum(
+                b.rate_mbps
+                for b in self._bookings.values()
+                if b.start <= when < b.end
+            )
 
     def peak_load(self, start: float, end: float) -> float:
         """Maximum total booked rate over [start, end)."""
-        peak = 0.0
-        # Load only changes at booking boundaries; sample each boundary
-        # inside the window plus the window start.
-        points = {start}
-        for b in self._bookings.values():
-            if b.end > start and b.start < end:
-                points.add(max(b.start, start))
-        for p in points:
-            peak = max(peak, self.load_at(p))
-        return peak
+        with self._lock:
+            peak = 0.0
+            # Load only changes at booking boundaries; sample each boundary
+            # inside the window plus the window start.
+            points = {start}
+            for b in self._bookings.values():
+                if b.end > start and b.start < end:
+                    points.add(max(b.start, start))
+            for p in points:
+                peak = max(peak, self.load_at(p))
+            return peak
 
     def available(self, start: float, end: float) -> float:
         """Worst-case spare capacity over [start, end)."""
@@ -76,7 +87,8 @@ class CapacitySchedule:
 
     @property
     def bookings(self) -> tuple[Booking, ...]:
-        return tuple(self._bookings.values())
+        with self._lock:
+            return tuple(self._bookings.values())
 
     # -- mutation --------------------------------------------------------------------
 
@@ -86,25 +98,28 @@ class CapacitySchedule:
         """Admit a booking or raise :class:`CapacityExceededError`."""
         if rate_mbps <= 0:
             raise AdmissionError("booked rate must be positive")
-        spare = self.available(start, end)
         registry = obs_metrics.get_registry()
-        if rate_mbps > spare + 1e-9:
-            if registry is not None:
-                registry.counter(
-                    "booking_failures_total",
-                    "Capacity bookings refused for lack of spare capacity",
-                ).inc(resource=self.name)
-            logger.debug(
-                "%s: booking of %.1f Mb/s refused (%.3f spare)",
-                self.name, rate_mbps, max(spare, 0.0),
-            )
-            raise CapacityExceededError(
-                f"{self.name}: requested {rate_mbps} Mb/s over [{start}, {end}) "
-                f"but only {max(spare, 0.0):.3f} Mb/s available "
-                f"(capacity {self.capacity_mbps})"
-            )
-        booking = Booking(next(self._ids), start, end, rate_mbps, tag)
-        self._bookings[booking.booking_id] = booking
+        with self._lock:
+            spare = self.available(start, end)
+            if rate_mbps > spare + 1e-9:
+                if registry is not None:
+                    registry.counter(
+                        "booking_failures_total",
+                        "Capacity bookings refused for lack of spare capacity",
+                    ).inc(resource=self.name)
+                logger.debug(
+                    "%s: booking of %.1f Mb/s refused (%.3f spare)",
+                    self.name, rate_mbps, max(spare, 0.0),
+                )
+                raise CapacityExceededError(
+                    f"{self.name}: requested {rate_mbps} Mb/s over "
+                    f"[{start}, {end}) "
+                    f"but only {max(spare, 0.0):.3f} Mb/s available "
+                    f"(capacity {self.capacity_mbps})"
+                )
+            booking = Booking(next(self._ids), start, end, rate_mbps, tag)
+            self._bookings[booking.booking_id] = booking
+            load_now = self.load_at(start)
         if registry is not None:
             registry.counter(
                 "bookings_total", "Capacity bookings admitted, by resource",
@@ -112,13 +127,16 @@ class CapacitySchedule:
             registry.gauge(
                 "booked_load_mbps",
                 "Total booked rate at the start of the latest booking",
-            ).set(self.load_at(start), resource=self.name)
+            ).set(load_now, resource=self.name)
         return booking
 
     def release(self, booking_id: int) -> None:
-        if booking_id not in self._bookings:
-            raise AdmissionError(f"{self.name}: unknown booking {booking_id}")
-        del self._bookings[booking_id]
+        with self._lock:
+            if booking_id not in self._bookings:
+                raise AdmissionError(
+                    f"{self.name}: unknown booking {booking_id}"
+                )
+            del self._bookings[booking_id]
 
 
 class AdmissionController:
@@ -126,22 +144,28 @@ class AdmissionController:
 
     def __init__(self) -> None:
         self._schedules: dict[str, CapacitySchedule] = {}
+        # Guards the schedule map *and* makes multi-resource book_all
+        # atomic against other book_all/release_all calls.
+        self._lock = threading.RLock()
 
     def add_resource(self, name: str, capacity_mbps: float) -> CapacitySchedule:
-        if name in self._schedules:
-            raise AdmissionError(f"duplicate resource {name!r}")
-        schedule = CapacitySchedule(name, capacity_mbps)
-        self._schedules[name] = schedule
-        return schedule
+        with self._lock:
+            if name in self._schedules:
+                raise AdmissionError(f"duplicate resource {name!r}")
+            schedule = CapacitySchedule(name, capacity_mbps)
+            self._schedules[name] = schedule
+            return schedule
 
     def schedule(self, name: str) -> CapacitySchedule:
-        try:
-            return self._schedules[name]
-        except KeyError:
-            raise AdmissionError(f"unknown resource {name!r}") from None
+        with self._lock:
+            try:
+                return self._schedules[name]
+            except KeyError:
+                raise AdmissionError(f"unknown resource {name!r}") from None
 
     def resources(self) -> tuple[str, ...]:
-        return tuple(self._schedules)
+        with self._lock:
+            return tuple(self._schedules)
 
     def available(self, names: list[str], start: float, end: float) -> float:
         """Bottleneck spare capacity across the named resources."""
@@ -162,16 +186,20 @@ class AdmissionController:
         failure, already-made bookings are rolled back and the error is
         re-raised.  Returns ``((resource, booking_id), ...)``."""
         made: list[tuple[str, int]] = []
-        try:
-            for name in names:
-                booking = self.schedule(name).book(start, end, rate_mbps, tag=tag)
-                made.append((name, booking.booking_id))
-        except AdmissionError:
-            for name, bid in made:
-                self.schedule(name).release(bid)
-            raise
+        with self._lock:
+            try:
+                for name in names:
+                    booking = self.schedule(name).book(
+                        start, end, rate_mbps, tag=tag
+                    )
+                    made.append((name, booking.booking_id))
+            except AdmissionError:
+                for name, bid in made:
+                    self.schedule(name).release(bid)
+                raise
         return tuple(made)
 
     def release_all(self, bookings: tuple[tuple[str, int], ...]) -> None:
-        for name, bid in bookings:
-            self.schedule(name).release(bid)
+        with self._lock:
+            for name, bid in bookings:
+                self.schedule(name).release(bid)

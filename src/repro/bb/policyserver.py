@@ -126,6 +126,10 @@ class PolicyServer:
         self.decisions = 0
         #: Optional deterministic fault injector (timeout/unavailable).
         self.injector: Any = None
+        #: Optional revocation oracle consulted on every delegation-chain
+        #: verification (cached *and* uncached paths) — typically the
+        #: community CA's ``is_revoked``.
+        self.revocation_checker: Callable[[Certificate], bool] | None = None
 
     def _check_up(self) -> None:
         """Deliver a pending injected outage before answering a query."""
@@ -191,6 +195,7 @@ class PolicyServer:
                     list(chain),
                     trusted_issuers=self._trusted_communities,
                     at_time=at_time,
+                    revocation_checker=self.revocation_checker,
                 )
             except DelegationError as exc:
                 rejected.append(f"capability chain rejected: {exc}")

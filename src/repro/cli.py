@@ -176,6 +176,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "BENCH_<n>.json trajectory")
     bench.add_argument("--keep-json", default=None, metavar="PATH",
                        help="also keep the raw pytest-benchmark JSON here")
+    bench.add_argument("--concurrency", type=int, default=None, metavar="N",
+                       help="worker threads for the concurrent-signalling "
+                            "benchmark (exported as REPRO_BENCH_CONCURRENCY "
+                            "to the pytest subprocess)")
 
     slo = sub.add_parser(
         "slo",
@@ -578,6 +582,13 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
     from repro.obs.perf import bench as perf_bench
 
+    env_overrides: dict[str, str] = {}
+    if args.concurrency is not None:
+        if args.concurrency < 1:
+            print(f"error: --concurrency must be >= 1, got {args.concurrency}",
+                  file=sys.stderr)
+            return 2
+        env_overrides["REPRO_BENCH_CONCURRENCY"] = str(args.concurrency)
     repo_root = Path(args.repo_root).resolve()
     baseline = None
     if args.compare:
@@ -604,7 +615,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
             else Path(tmp) / "benchmark.json"
         )
         doc = perf_bench.run_benchmarks(
-            repo_root, quick=args.quick, json_path=json_path
+            repo_root, quick=args.quick, json_path=json_path,
+            env_overrides=env_overrides,
         )
     entry = perf_bench.build_entry(
         repo_root=repo_root,

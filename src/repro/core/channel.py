@@ -25,6 +25,7 @@ Endpoints are duck-typed: anything with ``dn``, ``certificate`` and
 
 from __future__ import annotations
 
+import threading
 from typing import TYPE_CHECKING, Any, Callable, Protocol
 
 from repro.crypto.dn import DistinguishedName
@@ -101,6 +102,9 @@ class SecureChannel:
         self.tamper_hook: Callable[[Any], Any] | None = None
         #: Optional deterministic fault injector (set registry-wide).
         self.injector: FaultInjector | None = None
+        # Guards the accounting counters: two concurrent senders of the
+        # same link must not tear messages/bytes read-modify-writes.
+        self._lock = threading.Lock()
 
     @property
     def endpoints(self) -> tuple[DistinguishedName, ...]:
@@ -137,7 +141,8 @@ class SecureChannel:
         if self.tamper_hook is not None:
             message = self.tamper_hook(message)
             if message is None:
-                self.drops += 1
+                with self._lock:
+                    self.drops += 1
                 raise MessageDroppedError(
                     f"message from {sender} dropped on link {self.link} "
                     "by the tamper hook"
@@ -148,11 +153,13 @@ class SecureChannel:
                     self.link, message
                 )
             except MessageDroppedError:
-                self.drops += 1
+                with self._lock:
+                    self.drops += 1
                 raise
-        self.messages += 1
         size = getattr(message, "wire_size", None)
-        self.bytes += size() if callable(size) else 0
+        with self._lock:
+            self.messages += 1
+            self.bytes += size() if callable(size) else 0
         return message
 
 
@@ -164,44 +171,53 @@ class ChannelRegistry:
         #: Registry-wide fault injector; seeded into every channel (also
         #: channels opened after it is set).
         self.injector: FaultInjector | None = None
+        self._lock = threading.RLock()
 
     def set_injector(self, injector: FaultInjector | None) -> None:
         """Attach (or with ``None`` detach) a fault injector to every
         channel, present and future."""
-        self.injector = injector
-        for channel in self._channels.values():
-            channel.injector = injector
+        with self._lock:
+            self.injector = injector
+            for channel in self._channels.values():
+                channel.injector = injector
 
     def add(self, channel: SecureChannel) -> None:
         key = frozenset(channel.endpoints)
-        channel.injector = self.injector
-        self._channels[key] = channel
+        with self._lock:
+            channel.injector = self.injector
+            self._channels[key] = channel
 
     def connect(self, a: Any, b: Any, *, latency_s: float = 0.005,
                 at_time: float = 0.0) -> SecureChannel:
         """Open (or return the existing) channel between *a* and *b*."""
         key = frozenset({a.dn, b.dn})
-        existing = self._channels.get(key)
-        if existing is not None:
-            return existing
-        channel = SecureChannel(a, b, latency_s=latency_s, at_time=at_time)
-        channel.injector = self.injector
-        self._channels[key] = channel
-        return channel
+        with self._lock:
+            existing = self._channels.get(key)
+            if existing is not None:
+                return existing
+            channel = SecureChannel(a, b, latency_s=latency_s, at_time=at_time)
+            channel.injector = self.injector
+            self._channels[key] = channel
+            return channel
 
     def between(
         self, a: DistinguishedName, b: DistinguishedName
     ) -> SecureChannel:
-        try:
-            return self._channels[frozenset({a, b})]
-        except KeyError:
-            raise ChannelError(f"no channel between {a} and {b}") from None
+        with self._lock:
+            try:
+                return self._channels[frozenset({a, b})]
+            except KeyError:
+                raise ChannelError(
+                    f"no channel between {a} and {b}"
+                ) from None
 
     def has(self, a: DistinguishedName, b: DistinguishedName) -> bool:
-        return frozenset({a, b}) in self._channels
+        with self._lock:
+            return frozenset({a, b}) in self._channels
 
     def all(self) -> tuple[SecureChannel, ...]:
-        return tuple(self._channels.values())
+        with self._lock:
+            return tuple(self._channels.values())
 
     def total_messages(self) -> int:
         return sum(c.messages for c in self._channels.values())

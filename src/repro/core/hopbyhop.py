@@ -42,6 +42,7 @@ these along the actual message trajectory.
 from __future__ import annotations
 
 import logging
+import threading
 import random
 import zlib
 from dataclasses import dataclass, field
@@ -233,6 +234,7 @@ class HopByHopProtocol:
         #: One circuit breaker per channel link, persisting across
         #: requests so a proven-dead link fails fast.
         self._breakers: dict[str, CircuitBreaker] = {}
+        self._breakers_lock = threading.Lock()
 
     # -- helpers -----------------------------------------------------------------
 
@@ -243,11 +245,12 @@ class HopByHopProtocol:
             raise SignallingError(f"no bandwidth broker for domain {domain!r}") from None
 
     def _breaker_for(self, link: str) -> CircuitBreaker:
-        breaker = self._breakers.get(link)
-        if breaker is None:
-            breaker = CircuitBreaker(link, self.breaker_policy)
-            self._breakers[link] = breaker
-        return breaker
+        with self._breakers_lock:
+            breaker = self._breakers.get(link)
+            if breaker is None:
+                breaker = CircuitBreaker(link, self.breaker_policy)
+                self._breakers[link] = breaker
+            return breaker
 
     def _note_retry(
         self, *, outcome: SignallingOutcome, what: str, target: str,
@@ -978,6 +981,9 @@ class HopByHopProtocol:
                                 possession_nonce=b"hop-by-hop-final",
                                 possession_prover=lambda nonce: prove_possession(
                                     bb.keypair.private, nonce
+                                ),
+                                revocation_checker=(
+                                    bb.policy_server.revocation_checker
                                 ),
                             )
                         )

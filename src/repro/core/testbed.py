@@ -32,13 +32,14 @@ from repro.bb.reservations import Reservation, ReservationRequest
 from repro.bb.sla import SLA, SLS
 from repro.core.agent import UserAgent
 from repro.core.channel import ChannelRegistry
+from repro.core.concurrent import ConcurrentSignaller
 from repro.core.hopbyhop import HopByHopProtocol, SignallingOutcome
 from repro.core.sourcedomain import EndToEndAgent
 from repro.core.stars import ReservationCoordinator
 from repro.core.tunnels import TunnelService
 from repro.crypto.dn import DN
 from repro.crypto.truststore import TrustPolicy, TrustStore
-from repro.crypto.x509 import CertificateAuthority
+from repro.crypto.x509 import Certificate, CertificateAuthority
 from repro.errors import SignallingError
 from repro.net.diffserv import ExceedAction, NetworkModel, TrafficProfile
 from repro.net.packet import DSCP
@@ -174,6 +175,12 @@ class Testbed:
         )
         self.tunnels = TunnelService(self.hop_by_hop, self.channels)
         self._coordinators: dict[str, ReservationCoordinator] = {}
+
+    def concurrent_signaller(self, concurrency: int = 4) -> ConcurrentSignaller:
+        """A concurrent engine over this testbed's hop-by-hop protocol
+        (brokers, channels and tables are lock-safe; see
+        docs/CONCURRENCY.md for the ordering guarantees)."""
+        return ConcurrentSignaller(self.hop_by_hop, concurrency=concurrency)
 
     # -- construction ------------------------------------------------------------
 
@@ -336,10 +343,17 @@ class Testbed:
         )
         self.cas_servers[community] = cas
         for domain in domains if domains is not None else self.brokers:
-            self.brokers[domain].policy_server.trust_community(
-                cas.name, cas.public_key
-            )
+            server = self.brokers[domain].policy_server
+            server.trust_community(cas.name, cas.public_key)
+            server.revocation_checker = self._capability_revoked
         return cas
+
+    def _capability_revoked(self, cert: Certificate) -> bool:
+        """Aggregate revocation oracle over every CAS this testbed runs:
+        a capability is revoked when any community authority says so."""
+        return any(
+            cas.is_revoked(cert) for cas in self.cas_servers.values()
+        )
 
     def add_group_server(
         self, name: str, *, domains: Iterable[str] | None = None

@@ -30,6 +30,7 @@ from dataclasses import dataclass
 from typing import Callable, TypeVar
 
 from repro.bb.reservations import ReservationRequest
+from repro.crypto import cache as verification_cache
 from repro.crypto.dn import DistinguishedName
 from repro.crypto.repository import CertificateRepository
 from repro.crypto.truststore import TrustStore
@@ -145,8 +146,32 @@ def verify_rar(
     introductions or path inconsistencies, and
     :class:`~repro.errors.ChainTooDeepError` when the verifier's trust
     policy rejects the introduction depth.
+
+    When verification caching is enabled (:mod:`repro.crypto.cache`), a
+    previously verified identical envelope is served from cache — but
+    only after the time/policy-dependent guards (certificate validity,
+    revocation, direct trust of the peer, depth and scheme policy) are
+    re-checked against the *current* truststore and clock, so a hit can
+    never admit what a fresh verification would reject.
     """
-    return _meter_verification(
+    caches = verification_cache.get_caches()
+    key: tuple[object, ...] | None = None
+    if caches is not None:
+        key = (
+            verification_cache.digest(rar.cbe_bytes()),
+            str(verifier),
+            peer_certificate.fingerprint,
+        )
+        entry = caches.get_verdict("rar", key)
+        if entry is not None and _rar_hit_valid(
+            entry,
+            peer_certificate=peer_certificate,
+            truststore=truststore,
+            at_time=at_time,
+        ):
+            verdict: VerifiedRAR = entry[0]
+            return verdict
+    verified = _meter_verification(
         lambda: _verify_rar_impl(
             rar,
             verifier=verifier,
@@ -156,6 +181,44 @@ def verify_rar(
         ),
         "introduction",
     )
+    if caches is not None and key is not None:
+        dependencies = (peer_certificate, *verified.introduced)
+        caches.put_verdict(
+            "rar", key, (verified, dependencies),
+            tuple(cert.fingerprint for cert in dependencies),
+        )
+    return verified
+
+
+def _rar_hit_valid(
+    entry: tuple[VerifiedRAR, tuple[Certificate, ...]],
+    *,
+    peer_certificate: Certificate,
+    truststore: TrustStore,
+    at_time: float,
+) -> bool:
+    """Re-run every cheap, mutable-state-dependent check of
+    :func:`_verify_rar_impl` against the current truststore and clock.
+
+    The cached part is exactly the immutable remainder: signature math
+    over fixed bytes and the structural layer/path checks.  Returning
+    ``False`` falls back to full verification, which raises the precise
+    error a cold call would have raised.
+    """
+    verdict, dependencies = entry
+    if not truststore.accepts_directly(peer_certificate, at_time=at_time):
+        return False
+    for depth in range(verdict.depth + 1):
+        if not truststore.depth_acceptable(depth):
+            return False
+    for cert in dependencies:
+        if not cert.valid_at(at_time):
+            return False
+        if truststore.is_revoked(cert):
+            return False
+        if not truststore.scheme_acceptable(cert.public_key):
+            return False
+    return True
 
 
 def _verify_rar_impl(
@@ -205,6 +268,10 @@ def _verify_rar_impl(
         if not signer_cert.valid_at(at_time):
             raise IntroductionError(
                 f"certificate for {signer_cert.subject} not valid at t={at_time}"
+            )
+        if truststore.is_revoked(signer_cert):
+            raise IntroductionError(
+                f"certificate for {signer_cert.subject} has been revoked"
             )
         layer.require_valid(signer_cert.public_key)
 
@@ -334,6 +401,10 @@ def _verify_rar_with_repository_impl(
         if not signer_cert.valid_at(at_time):
             raise IntroductionError(
                 f"certificate for {signer_cert.subject} not valid at t={at_time}"
+            )
+        if truststore.is_revoked(signer_cert):
+            raise IntroductionError(
+                f"certificate for {signer_cert.subject} has been revoked"
             )
         layer.require_valid(signer_cert.public_key)
         capability_chain[:0] = list(layer.get(F_CAPABILITY_CERTS, ()))

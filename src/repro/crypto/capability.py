@@ -30,6 +30,7 @@ import random
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
+from repro.crypto import cache as verification_cache
 from repro.crypto import canonical
 from repro.crypto.dn import DistinguishedName
 from repro.crypto.keys import KeyPair, PrivateKey, PublicKey, get_scheme
@@ -45,6 +46,7 @@ __all__ = [
     "issue_capability",
     "delegate",
     "DelegationResult",
+    "RevocationOracle",
     "verify_delegation_chain",
     "split_capability_chains",
     "prove_possession",
@@ -241,6 +243,11 @@ class DelegationResult:
 
 PossessionProver = Callable[[bytes], bytes]
 
+#: Oracle answering "is this certificate revoked right now?" — typically
+#: a CA's :meth:`~repro.crypto.x509.CertificateAuthority.is_revoked` or a
+#: truststore's aggregate checker.
+RevocationOracle = Callable[[Certificate], bool]
+
 
 def verify_delegation_chain(
     chain: Sequence[Certificate],
@@ -249,6 +256,7 @@ def verify_delegation_chain(
     at_time: float = 0.0,
     possession_nonce: bytes | None = None,
     possession_prover: PossessionProver | None = None,
+    revocation_checker: RevocationOracle | None = None,
 ) -> DelegationResult:
     """Verify a capability delegation chain, root (CAS-issued) first.
 
@@ -265,8 +273,88 @@ def verify_delegation_chain(
     6. the capability payload was never widened and restrictions were
        never removed along the chain.
 
+    *revocation_checker*, when supplied, additionally rejects any chain
+    element the oracle reports as revoked.
+
     Raises :class:`~repro.errors.DelegationError` on any violation.
+
+    With verification caching enabled (:mod:`repro.crypto.cache`), a
+    chain already verified under the same trusted issuer key is served
+    from cache; validity windows, the revocation oracle, and the
+    proof-of-possession exchange (check 5 needs a live nonce) are always
+    re-run on the hit path.
     """
+    caches = verification_cache.get_caches()
+    cache_key: tuple[object, ...] | None = None
+    if caches is not None and chain:
+        issuer_key_for_cache = trusted_issuers.get(chain[0].issuer)
+        if issuer_key_for_cache is not None:
+            cache_key = (
+                tuple(cert.fingerprint for cert in chain),
+                str(chain[0].issuer),
+                issuer_key_for_cache.key_id,
+            )
+            entry = caches.get_verdict("delegation", cache_key)
+            if entry is not None and _delegation_hit_valid(
+                entry,
+                at_time=at_time,
+                possession_nonce=possession_nonce,
+                possession_prover=possession_prover,
+                revocation_checker=revocation_checker,
+            ):
+                cached_result: DelegationResult = entry[0]
+                return cached_result
+    result = _verify_delegation_chain_metered(
+        chain,
+        trusted_issuers=trusted_issuers,
+        at_time=at_time,
+        possession_nonce=possession_nonce,
+        possession_prover=possession_prover,
+        revocation_checker=revocation_checker,
+    )
+    if caches is not None and cache_key is not None:
+        caches.put_verdict(
+            "delegation", cache_key, (result, tuple(chain)),
+            tuple(cert.fingerprint for cert in chain),
+        )
+    return result
+
+
+def _delegation_hit_valid(
+    entry: tuple[DelegationResult, tuple[Certificate, ...]],
+    *,
+    at_time: float,
+    possession_nonce: bytes | None,
+    possession_prover: PossessionProver | None,
+    revocation_checker: RevocationOracle | None,
+) -> bool:
+    """Re-run the time/revocation/possession-dependent subset of the §6.5
+    checks on a cache hit; signature math and narrowing are immutable
+    facts of the (content-addressed) chain and stay cached."""
+    _, chain = entry
+    for cert in chain:
+        if not cert.valid_at(at_time):
+            return False
+        if revocation_checker is not None and revocation_checker(cert):
+            return False
+    if possession_nonce is not None:
+        if possession_prover is None:
+            return False
+        proof = possession_prover(possession_nonce)
+        if not check_possession(chain[-1], possession_nonce, proof):
+            return False
+    return True
+
+
+def _verify_delegation_chain_metered(
+    chain: Sequence[Certificate],
+    *,
+    trusted_issuers: dict[DistinguishedName, PublicKey],
+    at_time: float,
+    possession_nonce: bytes | None,
+    possession_prover: PossessionProver | None,
+    revocation_checker: RevocationOracle | None,
+) -> DelegationResult:
     registry = obs_metrics.get_registry()
     if registry is None:
         return _verify_delegation_chain_impl(
@@ -275,6 +363,7 @@ def verify_delegation_chain(
             at_time=at_time,
             possession_nonce=possession_nonce,
             possession_prover=possession_prover,
+            revocation_checker=revocation_checker,
         )
     timer = registry.histogram(
         "delegation_chain_verify_seconds",
@@ -288,6 +377,7 @@ def verify_delegation_chain(
                 at_time=at_time,
                 possession_nonce=possession_nonce,
                 possession_prover=possession_prover,
+                revocation_checker=revocation_checker,
             )
     except DelegationError as exc:
         registry.counter(
@@ -315,9 +405,18 @@ def _verify_delegation_chain_impl(
     at_time: float = 0.0,
     possession_nonce: bytes | None = None,
     possession_prover: PossessionProver | None = None,
+    revocation_checker: RevocationOracle | None = None,
 ) -> DelegationResult:
     if not chain:
         raise DelegationError("empty delegation chain")
+
+    if revocation_checker is not None:
+        for idx, cert in enumerate(chain):
+            if revocation_checker(cert):
+                raise DelegationError(
+                    f"chain element {idx} ({cert.subject}, serial "
+                    f"{cert.serial}) has been revoked"
+                )
 
     root = chain[0]
     if not is_capability_certificate(root):

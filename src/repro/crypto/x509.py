@@ -18,6 +18,7 @@ from dataclasses import dataclass, field, replace
 from hashlib import sha256 as hashlib_sha256
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
+from repro.crypto import cache as verification_cache
 from repro.crypto import canonical
 from repro.crypto.dn import DN, DistinguishedName
 from repro.crypto.keys import KeyPair, PrivateKey, PublicKey, get_scheme
@@ -129,7 +130,14 @@ class Certificate:
     def verify_signature(self, issuer_public: PublicKey) -> bool:
         """True iff this certificate's signature verifies under *issuer_public*."""
         scheme = get_scheme(self.signature_scheme)
-        return scheme.verify(issuer_public, self.tbs_bytes(), self.signature)
+        caches = verification_cache.get_caches()
+        if caches is None:
+            return scheme.verify(issuer_public, self.tbs_bytes(), self.signature)
+        return caches.verify_signature(
+            self.signature_scheme, issuer_public.key_id,
+            self.tbs_bytes(), self.signature,
+            lambda: scheme.verify(issuer_public, self.tbs_bytes(), self.signature),
+        )
 
     def check_validity(self, when: float) -> None:
         """Raise :class:`CertificateExpiredError` unless valid at *when*."""
@@ -282,6 +290,9 @@ class CertificateAuthority:
         if serial not in self._issued:
             raise CertificateError(f"serial {serial} was not issued by {self.name}")
         self._revoked.add(serial)
+        # A revoked certificate must also stop admitting *from cache*:
+        # drop every memoized verdict that depended on it.
+        verification_cache.notify_revoked(self._issued[serial].fingerprint)
 
     def is_revoked(self, cert: Certificate) -> bool:
         return cert.issuer == self.name and cert.serial in self._revoked

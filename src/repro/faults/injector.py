@@ -24,6 +24,7 @@ in :attr:`triggered` and emitted as a ``FAULT`` event plus a
 from __future__ import annotations
 
 import logging
+import threading
 from typing import Any
 
 from repro.errors import (
@@ -59,13 +60,17 @@ class FaultInjector:
         self._op_counts: dict[tuple[TargetKind, str], int] = {}
         #: Every fault actually delivered, as ``(spec, op_index)``.
         self.triggered: list[tuple[FaultSpec, int]] = []
+        # Concurrent signalling workers share one injector; the op
+        # counters are read-modify-write, so they take a lock.
+        self._lock = threading.Lock()
 
     # -- bookkeeping -------------------------------------------------------------
 
     def _next_op(self, target_kind: TargetKind, target: str) -> int:
         key = (target_kind, target)
-        op = self._op_counts.get(key, 0)
-        self._op_counts[key] = op + 1
+        with self._lock:
+            op = self._op_counts.get(key, 0)
+            self._op_counts[key] = op + 1
         return op
 
     def _active(
@@ -77,7 +82,8 @@ class FaultInjector:
         )
 
     def _record(self, spec: FaultSpec, op: int) -> None:
-        self.triggered.append((spec, op))
+        with self._lock:
+            self.triggered.append((spec, op))
         logger.info("fault injected: %s (op %d)", spec.describe(), op)
         registry = obs_metrics.get_registry()
         if registry is not None:

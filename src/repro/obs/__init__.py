@@ -90,6 +90,28 @@ _LOG_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
 _handler: logging.Handler | None = None
 
 
+class _CurrentStderrHandler(logging.StreamHandler):
+    """A stream handler that always writes to the *current*
+    ``sys.stderr``.  A plain ``StreamHandler`` captures the stderr
+    object at construction; when that object is a test harness's (or
+    any redirector's) capture stream, the handler keeps a closed file
+    after teardown and every later log record raises.  Late binding
+    keeps the handler valid for the life of the process."""
+
+    def __init__(self) -> None:
+        logging.Handler.__init__(self)
+
+    @property
+    def stream(self) -> IO[str]:
+        return sys.stderr
+
+    @stream.setter
+    def stream(self, value: IO[str]) -> None:
+        # StreamHandler.setStream compatibility; the handler is
+        # permanently bound to whatever sys.stderr currently is.
+        pass
+
+
 def configure_logging(
     verbosity: int = 0,
     *,
@@ -113,7 +135,10 @@ def configure_logging(
     logger = logging.getLogger("repro")
     if _handler is not None:
         logger.removeHandler(_handler)
-    _handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    _handler = (
+        logging.StreamHandler(stream) if stream is not None
+        else _CurrentStderrHandler()
+    )
     _handler.setFormatter(logging.Formatter(fmt))
     logger.addHandler(_handler)
     logger.setLevel(level)

@@ -45,12 +45,16 @@ __all__ = [
 #: Schema identifier stamped into (and required of) every entry.
 BENCH_SCHEMA = "repro-bench-trajectory/1"
 
-#: The subset ``--quick`` runs: the two end-to-end signalling benchmarks
-#: (the paper's headline cost) — enough signal for a CI regression gate
+#: The subset ``--quick`` runs: the end-to-end signalling benchmarks
+#: (the paper's headline cost), the crypto-cost claim, and the
+#: concurrent-batch claim — enough signal for a CI regression gate
 #: without the half-hour full sweep.
 QUICK_BENCHMARKS: tuple[str, ...] = (
     "bench_fig2_multidomain.py",
     "bench_fig5_hopbyhop.py",
+    "bench_claim_signalling_latency.py",
+    "bench_claim_crypto_cost.py",
+    "bench_claim_concurrency.py",
 )
 
 _ENTRY_RE = re.compile(r"^BENCH_(\d+)\.json$")
@@ -90,6 +94,7 @@ def run_benchmarks(
     quick: bool = False,
     json_path: pathlib.Path,
     extra_args: Sequence[str] = (),
+    env_overrides: Mapping[str, str] | None = None,
 ) -> dict[str, object]:
     """Run the benchmark suite in a pytest subprocess.
 
@@ -116,6 +121,8 @@ def run_benchmarks(
     env["PYTHONPATH"] = (
         f"{src_dir}{os.pathsep}{existing}" if existing else str(src_dir)
     )
+    if env_overrides:
+        env.update(env_overrides)
     cmd = [
         sys.executable,
         "-m",

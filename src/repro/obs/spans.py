@@ -137,9 +137,13 @@ class Tracer:
         return span
 
     def end(self, span: Span, *, status: str = "ok", **attributes: object) -> Span:
-        span.end_wall = time.perf_counter()
-        span.status = status
-        span.attributes.update(attributes)
+        # Span mutation takes the tracer lock: concurrent signalling
+        # workers may end sibling spans while a reader renders the trace,
+        # and an unlocked dict.update would be a torn write.
+        with self._lock:
+            span.end_wall = time.perf_counter()
+            span.status = status
+            span.attributes.update(attributes)
         return span
 
     def record(
@@ -155,7 +159,8 @@ class Tracer:
         (a ``time.perf_counter`` reading) and closes now."""
         span = self.begin(name, trace_id=parent.trace_id, parent=parent,
                           **attributes)
-        span.start_wall = start_wall
+        with self._lock:
+            span.start_wall = start_wall
         return self.end(span, status=status)
 
     # -- queries -----------------------------------------------------------------

@@ -14,9 +14,16 @@ import itertools
 import random
 from typing import Iterable
 
-from repro.crypto.capability import ProxyCredential, issue_capability
+from repro.crypto import cache as verification_cache
+from repro.crypto.capability import (
+    ProxyCredential,
+    capability_set,
+    is_capability_certificate,
+    issue_capability,
+)
 from repro.crypto.dn import DN, DistinguishedName
 from repro.crypto.keys import KeyPair, PublicKey, get_scheme
+from repro.crypto.x509 import Certificate
 from repro.errors import PolicyError
 
 __all__ = ["CommunityAuthorizationServer"]
@@ -46,6 +53,11 @@ class CommunityAuthorizationServer:
         self._grants: dict[DistinguishedName, set[str]] = {}
         self._serials = itertools.count(1)
         self.logins = 0
+        #: Capability certificates issued at grid-login, by serial.
+        self._issued: dict[int, Certificate] = {}
+        #: Serials whose capability (and every delegation of it — a
+        #: delegation keeps its parent's serial) has been withdrawn.
+        self._revoked_serials: set[int] = set()
 
     @property
     def public_key(self) -> PublicKey:
@@ -60,6 +72,33 @@ class CommunityAuthorizationServer:
 
     def revoke_user(self, user: DistinguishedName) -> None:
         self._grants.pop(user, None)
+
+    def revoke_credential(self, certificate: Certificate) -> None:
+        """Withdraw an issued capability certificate (and, because a
+        delegation inherits its parent's serial, every delegation made
+        from it).  Cached verification verdicts that depended on it are
+        invalidated immediately."""
+        if certificate.serial not in self._issued:
+            raise PolicyError(
+                f"serial {certificate.serial} was not issued by "
+                f"community {self.community!r}"
+            )
+        self._revoked_serials.add(certificate.serial)
+        verification_cache.notify_revoked(certificate.fingerprint)
+
+    def is_revoked(self, cert: Certificate) -> bool:
+        """Revocation oracle for this community's capability chains.
+
+        Matches any capability certificate carrying a revoked serial
+        whose capability strings all belong to this community (chains
+        keep the root serial, so one revocation covers the cascade)."""
+        if cert.serial not in self._revoked_serials:
+            return False
+        if not is_capability_certificate(cert):
+            return False
+        caps = capability_set(cert)
+        prefix = f"{self.community}:"
+        return bool(caps) and all(c.startswith(prefix) for c in caps)
 
     def capabilities_of(self, user: DistinguishedName) -> frozenset[str]:
         return frozenset(self._grants.get(user, set()))
@@ -91,6 +130,17 @@ class CommunityAuthorizationServer:
                 f"{user} holds no capabilities in community {self.community!r}"
             )
         self.logins += 1
+        credential = self._issue(user, sorted(caps), at_time, validity_s)
+        self._issued[credential.certificate.serial] = credential.certificate
+        return credential
+
+    def _issue(
+        self,
+        user: DistinguishedName,
+        caps: list[str],
+        at_time: float,
+        validity_s: float,
+    ) -> ProxyCredential:
         return issue_capability(
             issuer=self.name,
             issuer_signing_key=self.keypair.private,

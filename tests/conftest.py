@@ -6,11 +6,50 @@ and most tests default to 512-bit keys (plenty for tamper-evidence tests,
 fast to mint).  All randomness is seeded for reproducibility.
 """
 
+import logging
 import random
+import zlib
 
 import pytest
 
 from repro.crypto.keys import RSAScheme, SimulatedScheme
+
+
+@pytest.fixture(autouse=True)
+def _isolate_repro_logging():
+    """Undo any ``repro.obs.configure_logging`` a test (usually via the
+    CLI entry point) performed: a leaked INFO level puts log formatting
+    on the signalling hot path of every later test, which the shuffled
+    runs surface as timing-sensitive failures."""
+    logger = logging.getLogger("repro")
+    saved = (logger.level, list(logger.handlers), logger.propagate)
+    yield
+    logger.setLevel(saved[0])
+    logger.handlers[:] = saved[1]
+    logger.propagate = saved[2]
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--shuffle-seed",
+        type=int,
+        default=None,
+        help="shuffle test collection order with this seed (flushes "
+             "hidden inter-test order dependence; same seed = same order)",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    seed = config.getoption("--shuffle-seed")
+    if seed is None:
+        return
+    # Keyed by nodeid through crc32 so the order is stable across runs
+    # and machines for a given seed (hash() is salted per process).
+    rng = random.Random(seed)
+    salt = rng.getrandbits(32)
+    items.sort(
+        key=lambda item: zlib.crc32(f"{salt}:{item.nodeid}".encode())
+    )
 
 
 @pytest.fixture(scope="session")

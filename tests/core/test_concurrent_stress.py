@@ -1,0 +1,174 @@
+"""Stress and differential tests for the concurrent signalling engine.
+
+Larger-scale companions of ``tests/proptest/test_concurrent_props.py``:
+fixed (but contended) workloads at N threads x M reservations, checked
+against a serial run of the same jobs on a structurally identical
+testbed, plus soft-state lease integrity and cancel-all cleanup under
+parallel callers.
+"""
+
+import threading
+
+import pytest
+
+from repro.core.concurrent import ConcurrentSignaller, ReservationJob, run_serial
+from repro.core.testbed import build_linear_testbed
+from repro.faults.chaos import _check_invariants
+
+DOMAINS = ["A", "B", "C", "D", "E", "F"]
+
+
+def build_world(*, soft_state_ttl_s=None):
+    tb = build_linear_testbed(DOMAINS, soft_state_ttl_s=soft_state_ttl_s)
+    users = {d: tb.add_user(d, f"user-{d}") for d in DOMAINS}
+    return tb, users
+
+
+def make_jobs(tb, users, m):
+    """M reservations criss-crossing the chain; 60 Mb/s each against
+    155 Mb/s links forces denials once paths contend."""
+    jobs = []
+    for i in range(m):
+        src = DOMAINS[i % len(DOMAINS)]
+        dst = DOMAINS[(i * 3 + 1) % len(DOMAINS)]
+        if src == dst:
+            dst = DOMAINS[(DOMAINS.index(src) + 1) % len(DOMAINS)]
+        jobs.append(
+            ReservationJob(
+                user=users[src],
+                request=tb.make_request(
+                    source=src, destination=dst, bandwidth_mbps=60.0,
+                    start=0.0, duration=3600.0,
+                ),
+            )
+        )
+    return jobs
+
+
+def ledger(tb):
+    state = {}
+    for name, broker in tb.brokers.items():
+        rows = []
+        for resource in broker.admission.resources():
+            for b in broker.admission.schedule(resource).bookings:
+                rows.append((resource, b.start, b.end, b.rate_mbps))
+        state[name] = sorted(rows)
+    return state
+
+
+@pytest.mark.parametrize("threads,m", [(2, 12), (4, 24), (8, 40)])
+def test_matrix_matches_serial(threads, m):
+    """N threads x M contended reservations: decisions, denial domains
+    and every capacity ledger match the serial run exactly."""
+    tb_serial, users_serial = build_world()
+    tb_conc, users_conc = build_world()
+    serial = run_serial(
+        tb_serial.hop_by_hop, make_jobs(tb_serial, users_serial, m)
+    )
+    batch = ConcurrentSignaller(tb_conc.hop_by_hop, concurrency=threads).run(
+        make_jobs(tb_conc, users_conc, m)
+    )
+    assert len(batch.scheduled) == m
+    assert [s.granted for s in batch.scheduled] == [
+        s.granted for s in serial.scheduled
+    ]
+    # The workload must actually contend, or the test proves nothing.
+    assert 0 < batch.granted_count < m
+    assert ledger(tb_conc) == ledger(tb_serial)
+    # No link oversubscribed by any interleaving.
+    for broker in tb_conc.brokers.values():
+        for resource in broker.admission.resources():
+            schedule = broker.admission.schedule(resource)
+            assert (
+                schedule.peak_load(0.0, 7200.0)
+                <= schedule.capacity_mbps + 1e-9
+            )
+
+
+def test_handles_unique_at_scale():
+    tb, users = build_world()
+    batch = ConcurrentSignaller(tb.hop_by_hop, concurrency=8).run(
+        make_jobs(tb, users, 40)
+    )
+    handles = [
+        (domain, handle)
+        for item in batch.scheduled if item.granted and item.outcome
+        for domain, handle in item.outcome.handles.items()
+    ]
+    assert len(handles) == len(set(handles))
+
+
+def test_no_lost_or_duplicated_leases():
+    """Concurrent refreshes: every granted reservation keeps exactly one
+    live lease, every lease lands at now + TTL, and the sweep reclaims
+    each reservation exactly once after expiry."""
+    ttl = 60.0
+    tb, users = build_world(soft_state_ttl_s=ttl)
+    batch = ConcurrentSignaller(tb.hop_by_hop, concurrency=8).run(
+        make_jobs(tb, users, 24)
+    )
+    granted = [s.outcome for s in batch.scheduled if s.granted and s.outcome]
+    assert granted
+
+    # Hammer refresh from 8 threads, several rounds each.
+    errors = []
+
+    def refresher(outcomes):
+        try:
+            for _ in range(5):
+                for outcome in outcomes:
+                    tb.hop_by_hop.refresh(outcome)
+        except Exception as exc:  # noqa: BLE001 - surfaced below
+            errors.append(exc)
+
+    workers = [
+        threading.Thread(target=refresher, args=(granted,)) for _ in range(8)
+    ]
+    for w in workers:
+        w.start()
+    for w in workers:
+        w.join()
+    assert errors == []
+
+    now = tb.sim.now
+    live = 0
+    for outcome in granted:
+        for domain in outcome.path:
+            resv = tb.brokers[domain].reservations.get(
+                outcome.handles[domain]
+            )
+            assert resv.expires_at == pytest.approx(now + ttl)
+            live += 1
+    # One lease per (reservation, domain) — nothing lost, nothing doubled.
+    assert live == sum(len(o.path) for o in granted)
+    assert tb.sweep_soft_state(now + ttl / 2) == 0
+    assert tb.sweep_soft_state(now + ttl + 1.0) == live
+    # A second sweep finds nothing: no duplicated reclamation.
+    assert tb.sweep_soft_state(now + ttl + 2.0) == 0
+
+
+def test_cancel_all_restores_clean_state():
+    """Cancelling every grant from parallel threads leaves the chaos
+    harness's invariants intact: no capacity leak, no stuck
+    reservations, no leftover bookings."""
+    tb, users = build_world()
+    batch = ConcurrentSignaller(tb.hop_by_hop, concurrency=8).run(
+        make_jobs(tb, users, 24)
+    )
+    granted = [s.outcome for s in batch.scheduled if s.granted and s.outcome]
+    assert granted
+
+    def cancel(outcomes):
+        for outcome in outcomes:
+            tb.hop_by_hop.cancel(outcome)
+
+    # Partition the grants across threads (each cancelled exactly once).
+    workers = [
+        threading.Thread(target=cancel, args=(granted[i::4],))
+        for i in range(4)
+    ]
+    for w in workers:
+        w.start()
+    for w in workers:
+        w.join()
+    assert _check_invariants(tb) == []

@@ -1,0 +1,250 @@
+"""Cache-correctness suite: a hit is never a security downgrade.
+
+The verification caches memoize the expensive crypto, but every hit
+re-runs the cheap guards (validity window, revocation, trust policy),
+and revocation events invalidate dependent entries outright.  These
+tests pin the security-critical behaviours end to end:
+
+* a capability revoked at the CAS never admits a reservation from
+  cache (the §6.5 checks fail on the next request, hit or miss);
+* a certificate revoked at its CA stops verifying RARs from cache;
+* an expired chain stops verifying from cache without any explicit
+  invalidation event;
+* the LRU bound holds under churn (no unbounded memory), with the
+  eviction counter moving while correctness is preserved;
+* hit/miss/invalidation counters surface through the obs layer.
+"""
+
+import random
+
+import pytest
+
+from repro.bb.reservations import ReservationRequest
+from repro.core.messages import make_bb_rar, make_user_rar
+from repro.core.testbed import build_linear_testbed
+from repro.core.trust import verify_rar
+from repro.crypto import cache as verification_cache
+from repro.crypto.cache import LRUCache, VerificationCaches
+from repro.crypto.dn import DN
+from repro.crypto.truststore import TrustPolicy, TrustStore
+from repro.crypto.x509 import CertificateAuthority
+from repro.errors import TrustError
+from repro.obs import metrics as obs_metrics
+
+FIG6_C = (
+    "If Issued_by(Capability) = ESnet\n"
+    "    Return GRANT\n"
+    "Return DENY"
+)
+
+
+@pytest.fixture()
+def caches():
+    with verification_cache.use_caches() as active:
+        yield active
+
+
+@pytest.fixture()
+def capability_world():
+    """A three-domain testbed whose destination policy requires an ESnet
+    capability, with Alice logged in."""
+    tb = build_linear_testbed(["A", "B", "C"])
+    tb.set_policy("C", FIG6_C)
+    cas = tb.add_cas("ESnet")
+    alice = tb.add_user("A", "Alice")
+    cas.grant(alice.dn, ["member"])
+    alice.grid_login(cas, validity_s=10 * 24 * 3600.0)
+    return tb, cas, alice
+
+
+class TestRevokedCapabilityNeverAdmits:
+    def test_cas_revocation_denies_after_cache_hit(
+        self, caches, capability_world
+    ):
+        tb, cas, alice = capability_world
+        # First reservation primes the delegation cache; the second is
+        # served from it.  Both must be granted.
+        first = tb.reserve(alice, source="A", destination="C",
+                           bandwidth_mbps=10.0)
+        assert first.granted
+        hits_before = caches.stats("delegation").hits
+        second = tb.reserve(alice, source="A", destination="C",
+                            bandwidth_mbps=10.0)
+        assert second.granted
+        assert caches.stats("delegation").hits > hits_before
+
+        # Revoke the capability credential Alice got at grid-login.
+        cert = alice.credentials["ESnet"].certificate
+        cas.revoke_credential(cert)
+
+        third = tb.reserve(alice, source="A", destination="C",
+                           bandwidth_mbps=10.0)
+        assert not third.granted, (
+            "revoked capability admitted from cache"
+        )
+        # Cleanup so later assertions in this world see a clean ledger.
+        for outcome in (first, second):
+            tb.hop_by_hop.cancel(outcome)
+
+    def test_revocation_invalidates_dependent_entries(
+        self, caches, capability_world
+    ):
+        tb, cas, alice = capability_world
+        outcome = tb.reserve(alice, source="A", destination="C",
+                             bandwidth_mbps=10.0)
+        assert outcome.granted
+        assert len(caches.delegation) > 0
+        cert = alice.credentials["ESnet"].certificate
+        cas.revoke_credential(cert)
+        # The dependent delegation verdict is gone, not merely guarded.
+        assert caches.stats("delegation").invalidations >= 1
+        tb.hop_by_hop.cancel(outcome)
+
+    def test_unrelated_user_unaffected_by_revocation(
+        self, caches, capability_world
+    ):
+        tb, cas, alice = capability_world
+        bob = tb.add_user("A", "Bob")
+        cas.grant(bob.dn, ["member"])
+        bob.grid_login(cas, validity_s=10 * 24 * 3600.0)
+        a = tb.reserve(alice, source="A", destination="C", bandwidth_mbps=5.0)
+        b = tb.reserve(bob, source="A", destination="C", bandwidth_mbps=5.0)
+        assert a.granted and b.granted
+        cas.revoke_credential(alice.credentials["ESnet"].certificate)
+        assert not tb.reserve(alice, source="A", destination="C",
+                              bandwidth_mbps=5.0).granted
+        still = tb.reserve(bob, source="A", destination="C",
+                           bandwidth_mbps=5.0)
+        assert still.granted, "revocation of Alice must not touch Bob"
+        for outcome in (a, b, still):
+            tb.hop_by_hop.cancel(outcome)
+
+
+def build_rar_world(hops=3, seed=11):
+    rng = random.Random(seed)
+    ca = CertificateAuthority(
+        DN.make("Grid", "Root", "CA"), rng=rng, scheme="simulated"
+    )
+    user_dn = DN.make("Grid", "D0", "Alice")
+    user_kp, user_cert = ca.issue_keypair(user_dn, rng=rng)
+    bbs = []
+    for i in range(hops):
+        dn = DN.make("Grid", f"D{i}", f"BB-D{i}")
+        kp, cert = ca.issue_keypair(dn, rng=rng)
+        bbs.append((dn, kp, cert))
+    request = ReservationRequest(
+        source_host="h0.D0", destination_host=f"h0.D{hops - 1}",
+        source_domain="D0", destination_domain=f"D{hops - 1}",
+        rate_mbps=10.0, start=0.0, end=3600.0,
+    )
+    rar = make_user_rar(
+        request=request, source_bb=bbs[0][0], user=user_dn,
+        user_key=user_kp.private,
+    )
+    prev_cert = user_cert
+    for i in range(len(bbs) - 1):
+        dn, kp, cert = bbs[i]
+        rar = make_bb_rar(
+            inner=rar, introduced_cert=prev_cert, downstream=bbs[i + 1][0],
+            bb=dn, bb_key=kp.private,
+        )
+        prev_cert = cert
+    store = TrustStore(TrustPolicy(max_introduction_depth=32,
+                                   require_ca_issued_peers=False))
+    store.add_introduced_peer(bbs[-2][2])
+    store.add_revocation_checker(ca.is_revoked)
+    return ca, rar, bbs, store, user_cert
+
+
+class TestCARevocationAndExpiry:
+    def test_ca_revocation_stops_cached_rar_verdict(self, caches):
+        ca, rar, bbs, store, user_cert = build_rar_world()
+        verifier, peer_cert = bbs[-1][0], bbs[-2][2]
+        verify_rar(rar, verifier=verifier, peer_certificate=peer_cert,
+                   truststore=store)
+        hit = verify_rar(rar, verifier=verifier, peer_certificate=peer_cert,
+                         truststore=store)
+        assert hit.user == user_cert.subject
+        assert caches.stats("rar").hits >= 1
+
+        # Revoke the user's identity certificate at the issuing CA: the
+        # cached chain verdict depends on it and must stop verifying.
+        ca.revoke(user_cert.serial)
+        with pytest.raises(TrustError):
+            verify_rar(rar, verifier=verifier, peer_certificate=peer_cert,
+                       truststore=store)
+
+    def test_ca_revocation_purges_dependents(self, caches):
+        ca, rar, bbs, store, user_cert = build_rar_world()
+        verifier, peer_cert = bbs[-1][0], bbs[-2][2]
+        verify_rar(rar, verifier=verifier, peer_certificate=peer_cert,
+                   truststore=store)
+        assert len(caches.rar) == 1
+        ca.revoke(user_cert.serial)
+        assert len(caches.rar) == 0
+        assert caches.stats("rar").invalidations >= 1
+
+    def test_expired_chain_fails_from_cache(self, caches):
+        """No revocation event at all: the clock alone invalidates — a
+        hit re-checks every dependent certificate's validity window."""
+        ca, rar, bbs, store, user_cert = build_rar_world()
+        verifier, peer_cert = bbs[-1][0], bbs[-2][2]
+        ok = verify_rar(rar, verifier=verifier, peer_certificate=peer_cert,
+                        truststore=store, at_time=0.0)
+        assert ok.user == user_cert.subject
+        beyond = user_cert.not_after + 1.0
+        with pytest.raises(TrustError):
+            verify_rar(rar, verifier=verifier, peer_certificate=peer_cert,
+                       truststore=store, at_time=beyond)
+
+
+class TestLRUBoundUnderChurn:
+    def test_rar_cache_stays_bounded(self):
+        with verification_cache.use_caches(
+            VerificationCaches(rar_size=4)
+        ) as caches:
+            worlds = [build_rar_world(seed=s) for s in range(10)]
+            for _, rar, bbs, store, _ in worlds:
+                verify_rar(rar, verifier=bbs[-1][0],
+                           peer_certificate=bbs[-2][2], truststore=store)
+            assert len(caches.rar) == 4
+            assert caches.rar.evictions == 6
+            # Still correct after churn: both evicted and resident
+            # entries verify, and the survivors are genuine hits.
+            for _, rar, bbs, store, user_cert in worlds:
+                got = verify_rar(rar, verifier=bbs[-1][0],
+                                 peer_certificate=bbs[-2][2],
+                                 truststore=store)
+                assert got.user == user_cert.subject
+            assert len(caches.rar) == 4
+
+    def test_signature_cache_bounded(self):
+        cache = LRUCache(8)
+        for i in range(1000):
+            cache.put(("k", i), (True,))
+        assert len(cache) == 8
+        assert cache.evictions == 992
+
+
+class TestObservability:
+    def test_cache_events_counter_exposed(self, capability_world):
+        tb, cas, alice = capability_world
+        with obs_metrics.use_registry() as registry:
+            with verification_cache.use_caches():
+                first = tb.reserve(alice, source="A", destination="C",
+                                   bandwidth_mbps=10.0)
+                second = tb.reserve(alice, source="A", destination="C",
+                                    bandwidth_mbps=10.0)
+        assert first.granted and second.granted
+        counter = registry.counter(
+            "verification_cache_events_total",
+            "Verification cache lookups by cache and result",
+        )
+        series = counter.series()
+        hits = {
+            labels for labels in series
+            if ("result", "hit") in labels
+        }
+        assert hits, f"no cache hits recorded: {series}"
+        for outcome in (first, second):
+            tb.hop_by_hop.cancel(outcome)

@@ -1,0 +1,169 @@
+"""Hammer tests: obs instruments stay exact under concurrent writers.
+
+The concurrent signaller meters from every worker thread, so counters,
+gauges, histograms and the tracer must not tear: N threads x M
+operations must land on exactly N*M — a single lost read-modify-write
+makes these totals drift.  Each test drives a shared instrument from
+many threads and asserts the *exact* expected value, which fails with
+high probability under any unlocked update.
+"""
+
+import threading
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import Tracer
+
+THREADS = 8
+OPS = 2_000
+
+
+def hammer(worker):
+    """Run *worker(thread_index)* on THREADS threads; re-raise failures."""
+    errors = []
+
+    def call(i):
+        try:
+            worker(i)
+        except Exception as exc:  # noqa: BLE001 - surfaced below
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=call, args=(i,)) for i in range(THREADS)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert errors == []
+
+
+class TestCounters:
+    def test_exact_total_under_hammer(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hammered_total", "hammer target")
+        hammer(lambda i: [counter.inc() for _ in range(OPS)])
+        assert counter.value() == THREADS * OPS
+
+    def test_labelled_series_do_not_tear(self):
+        """Every thread hits its own label set AND one shared set: both
+        the per-thread and the contended series must be exact."""
+        registry = MetricsRegistry()
+        counter = registry.counter("labelled_total", "hammer target")
+
+        def worker(i):
+            for _ in range(OPS):
+                counter.inc(worker=str(i))
+                counter.inc(worker="shared")
+
+        hammer(worker)
+        for i in range(THREADS):
+            assert counter.value(worker=str(i)) == OPS
+        assert counter.value(worker="shared") == THREADS * OPS
+        assert counter.total() == 2 * THREADS * OPS
+
+    def test_concurrent_instrument_creation_is_single(self):
+        """All threads race registry.counter() for the same name: they
+        must all receive the SAME instrument (no lost increments into
+        an orphaned duplicate)."""
+        registry = MetricsRegistry()
+
+        def worker(i):
+            c = registry.counter("raced_total", "hammer target")
+            for _ in range(OPS):
+                c.inc()
+
+        hammer(worker)
+        assert registry.counter("raced_total").value() == THREADS * OPS
+
+
+class TestGaugesAndHistograms:
+    def test_gauge_inc_dec_balance(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("inflight", "hammer target")
+
+        def worker(i):
+            for _ in range(OPS):
+                gauge.inc(2.0)
+                gauge.dec(2.0)
+
+        hammer(worker)
+        assert gauge.value() == 0.0
+
+    def test_histogram_count_and_sum_exact(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram(
+            "latencies", "hammer target", buckets=(0.1, 1.0, 10.0)
+        )
+
+        # Dyadic values: their float sums are exact, so any drift in the
+        # total is a lost update, not rounding.
+        def worker(i):
+            for _ in range(OPS):
+                hist.observe(0.0625)
+                hist.observe(4.0)
+
+        hammer(worker)
+        assert hist.count() == 2 * THREADS * OPS
+        assert hist.sum() == (0.0625 + 4.0) * THREADS * OPS
+        cumulative = dict(hist.cumulative_buckets())
+        assert cumulative[0.1] == THREADS * OPS
+        assert cumulative[10.0] == 2 * THREADS * OPS
+
+
+class TestTracer:
+    def test_span_ids_unique_and_all_finished(self):
+        tracer = Tracer()
+        root = tracer.begin("batch", trace_id="trace-1")
+
+        def worker(i):
+            for n in range(200):
+                span = tracer.begin(
+                    f"job-{i}", trace_id="trace-1", parent=root, n=n
+                )
+                tracer.end(span, result="ok")
+
+        hammer(worker)
+        tracer.end(root)
+        spans = tracer.spans_for("trace-1")
+        assert len(spans) == THREADS * 200 + 1
+        ids = [s.span_id for s in spans]
+        assert len(ids) == len(set(ids))
+        assert all(s.finished for s in spans)
+        # end() merged the attribute under the lock: nothing torn away.
+        children = [s for s in spans if s.parent_id == root.span_id]
+        assert all(s.attributes.get("result") == "ok" for s in children)
+        assert all(s.status == "ok" for s in children)
+
+    def test_record_backdates_safely_under_hammer(self):
+        from repro.obs.spans import phase_clock
+
+        tracer = Tracer()
+        root = tracer.begin("batch", trace_id="trace-2")
+
+        def worker(i):
+            for _ in range(200):
+                t0 = phase_clock()
+                tracer.record(
+                    "phase", parent=root, start_wall=t0, worker=i
+                )
+
+        hammer(worker)
+        phases = [
+            s for s in tracer.spans_for("trace-2") if s.name == "phase"
+        ]
+        assert len(phases) == THREADS * 200
+        assert all(s.finished and s.wall_duration_s >= 0.0 for s in phases)
+
+    def test_concurrent_traces_stay_separate(self):
+        tracer = Tracer()
+
+        def worker(i):
+            trace = f"trace-{i}"
+            for n in range(200):
+                span = tracer.begin("op", trace_id=trace, n=n)
+                tracer.end(span)
+
+        hammer(worker)
+        assert len(tracer.traces()) == THREADS
+        for i in range(THREADS):
+            assert len(tracer.spans_for(f"trace-{i}")) == 200

@@ -1,0 +1,306 @@
+"""Property suite: the verification cache is semantically invisible.
+
+Caching a verification verdict must never change what verifies — only
+how fast.  Hypothesis generates random envelopes, RAR hop counts,
+delegation chains, revocation points and clock positions, and asserts
+that the cached path (primed, so the second call is a **hit**) returns
+byte-for-byte the verdict the uncached path computes — including every
+failure: a revoked or expired certificate denies from cache exactly as
+it denies without one.
+
+The LRU primitive itself is model-checked against a plain dict.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.bb.reservations import ReservationRequest
+from repro.core.messages import make_bb_rar, make_user_rar
+from repro.core.trust import verify_rar
+from repro.crypto import cache as verification_cache
+from repro.crypto.capability import (
+    delegate,
+    issue_capability,
+    verify_delegation_chain,
+)
+from repro.crypto.cache import LRUCache, VerificationCaches
+from repro.crypto.dn import DN
+from repro.crypto.keys import get_scheme
+from repro.crypto.truststore import TrustPolicy, TrustStore
+from repro.crypto.x509 import CertificateAuthority
+from repro.errors import DelegationError
+
+SETTINGS = settings(
+    max_examples=200,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+# ---------------------------------------------------------------------------
+# Signature cache transparency
+# ---------------------------------------------------------------------------
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**31),
+    payload=st.binary(min_size=0, max_size=64),
+    tamper=st.booleans(),
+)
+@SETTINGS
+def test_signature_cache_transparent(seed, payload, tamper):
+    """P6: cached signature verification equals direct verification for
+    random payloads, including tampered ones — and the second call is
+    answered from cache with the same verdict."""
+    scheme = get_scheme("simulated")
+    kp = scheme.generate(random.Random(seed))
+    signature = scheme.sign(kp.private, payload)
+    if tamper:
+        signature = bytes([signature[0] ^ 0x01]) + signature[1:]
+    expected = scheme.verify(kp.public, payload, signature)
+
+    caches = VerificationCaches()
+    verify = lambda: scheme.verify(kp.public, payload, signature)  # noqa: E731
+    first = caches.verify_signature(
+        "simulated", kp.public.key_id, payload, signature, verify
+    )
+    second = caches.verify_signature(
+        "simulated", kp.public.key_id, payload, signature, verify
+    )
+    assert first == second == expected
+    stats = caches.stats("signature")
+    assert stats.hits == 1 and stats.misses == 1
+
+
+# ---------------------------------------------------------------------------
+# RAR (trust-chain) cache
+# ---------------------------------------------------------------------------
+
+
+def build_rar_world(hops, seed):
+    rng = random.Random(seed)
+    ca = CertificateAuthority(
+        DN.make("Grid", "Root", "CA"), rng=rng, scheme="simulated"
+    )
+    user_dn = DN.make("Grid", "D0", "Alice")
+    user_kp, user_cert = ca.issue_keypair(user_dn, rng=rng)
+    bbs = []
+    for i in range(hops):
+        dn = DN.make("Grid", f"D{i}", f"BB-D{i}")
+        kp, cert = ca.issue_keypair(dn, rng=rng)
+        bbs.append((dn, kp, cert))
+    request = ReservationRequest(
+        source_host="h0.D0", destination_host=f"h0.D{hops - 1}",
+        source_domain="D0", destination_domain=f"D{hops - 1}",
+        rate_mbps=10.0, start=0.0, end=3600.0,
+    )
+    rar = make_user_rar(
+        request=request, source_bb=bbs[0][0], user=user_dn,
+        user_key=user_kp.private,
+    )
+    prev_cert = user_cert
+    for i in range(len(bbs) - 1):
+        dn, kp, cert = bbs[i]
+        rar = make_bb_rar(
+            inner=rar, introduced_cert=prev_cert, downstream=bbs[i + 1][0],
+            bb=dn, bb_key=kp.private,
+        )
+        prev_cert = cert
+    store = TrustStore(TrustPolicy(max_introduction_depth=32,
+                                   require_ca_issued_peers=False))
+    store.add_introduced_peer(bbs[-2][2])
+    return rar, bbs[-1][0], bbs[-2][2], store, user_dn
+
+
+@given(
+    hops=st.integers(min_value=2, max_value=5),
+    seed=st.integers(min_value=0, max_value=2**20),
+)
+@SETTINGS
+def test_rar_cache_transparent(hops, seed):
+    """P7: a cache-hit ``verify_rar`` returns the verdict the uncached
+    path computes (user, depth, path, introduced set)."""
+    rar, verifier, peer_cert, store, user_dn = build_rar_world(hops, seed)
+    uncached = verify_rar(
+        rar, verifier=verifier, peer_certificate=peer_cert, truststore=store
+    )
+    with verification_cache.use_caches() as caches:
+        primed = verify_rar(
+            rar, verifier=verifier, peer_certificate=peer_cert,
+            truststore=store,
+        )
+        hit = verify_rar(
+            rar, verifier=verifier, peer_certificate=peer_cert,
+            truststore=store,
+        )
+        assert caches.stats("rar").hits >= 1
+    for got in (primed, hit):
+        assert got.user == uncached.user == user_dn
+        assert got.depth == uncached.depth
+        assert got.path == uncached.path
+        assert [c.fingerprint for c in got.introduced] == [
+            c.fingerprint for c in uncached.introduced
+        ]
+
+
+# ---------------------------------------------------------------------------
+# Delegation (capability) cache
+# ---------------------------------------------------------------------------
+
+
+def build_chain(length, seed, validity_s=3600.0):
+    """A CAS-rooted delegation chain of *length* certificates."""
+    rng = random.Random(seed)
+    scheme = get_scheme("simulated")
+    cas_dn = DN.make("Grid", "ESnet", "CAS")
+    cas_kp = scheme.generate(rng)
+    holder = issue_capability(
+        issuer=cas_dn, issuer_signing_key=cas_kp.private,
+        subject=DN.make("Grid", "D0", "Alice"),
+        capabilities=["ESnet:member", "ESnet:admin"],
+        serial=1, rng=rng, scheme="simulated",
+        not_before=0.0, not_after=validity_s,
+    )
+    chain = [holder.certificate]
+    from repro.crypto.capability import ProxyCredential
+
+    for i in range(length - 1):
+        delegate_kp = scheme.generate(rng)
+        cert = delegate(
+            holder,
+            delegate_subject=DN.make("Grid", f"D{i + 1}", f"BB-D{i + 1}"),
+            delegate_public_key=delegate_kp.public,
+            drop_capabilities=["ESnet:admin"] if i == 0 else [],
+        )
+        chain.append(cert)
+        holder = ProxyCredential(certificate=cert, private_key=delegate_kp.private)
+    return chain, {cas_dn: cas_kp.public}
+
+
+@given(
+    length=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=2**20),
+)
+@SETTINGS
+def test_delegation_cache_transparent(length, seed):
+    """P8: a cache-hit delegation verification returns the verdict the
+    uncached path computes (effective capabilities, restrictions,
+    holders)."""
+    chain, issuers = build_chain(length, seed)
+    uncached = verify_delegation_chain(chain, trusted_issuers=issuers)
+    with verification_cache.use_caches() as caches:
+        primed = verify_delegation_chain(chain, trusted_issuers=issuers)
+        hit = verify_delegation_chain(chain, trusted_issuers=issuers)
+        assert caches.stats("delegation").hits >= 1
+    for got in (primed, hit):
+        assert got.capabilities == uncached.capabilities
+        assert got.restrictions == uncached.restrictions
+        assert got.holders == uncached.holders
+
+
+@given(
+    length=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=2**20),
+    revoke_at=st.integers(min_value=0, max_value=3),
+)
+@SETTINGS
+def test_revocation_never_admits_from_cache(length, seed, revoke_at):
+    """P9: revoking any certificate of a chain AFTER its verdict was
+    cached makes the next (cache-hit) verification deny, exactly like
+    the uncached path — a hit is never a security downgrade."""
+    chain, issuers = build_chain(length, seed)
+    revoke_at = min(revoke_at, length - 1)
+    revoked = set()
+    checker = lambda cert: cert.fingerprint in revoked  # noqa: E731
+    with verification_cache.use_caches():
+        verify_delegation_chain(
+            chain, trusted_issuers=issuers, revocation_checker=checker
+        )
+        revoked.add(chain[revoke_at].fingerprint)
+        verification_cache.notify_revoked(chain[revoke_at].fingerprint)
+        with pytest.raises(DelegationError, match="revoked"):
+            verify_delegation_chain(
+                chain, trusted_issuers=issuers, revocation_checker=checker
+            )
+    with pytest.raises(DelegationError, match="revoked"):
+        verify_delegation_chain(
+            chain, trusted_issuers=issuers, revocation_checker=checker
+        )
+
+
+@given(
+    length=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=2**20),
+    after_s=st.floats(min_value=1.0, max_value=10_000.0),
+)
+@SETTINGS
+def test_expiry_never_admits_from_cache(length, seed, after_s):
+    """P10: a verdict cached while the chain was valid is not served once
+    the clock passes ``not_after`` — cached and uncached agree at every
+    query time."""
+    validity_s = 3600.0
+    chain, issuers = build_chain(length, seed, validity_s=validity_s)
+    at_time = validity_s + after_s  # strictly past expiry
+    with pytest.raises(DelegationError):
+        verify_delegation_chain(
+            chain, trusted_issuers=issuers, at_time=at_time
+        )
+    with verification_cache.use_caches():
+        verify_delegation_chain(chain, trusted_issuers=issuers, at_time=0.0)
+        with pytest.raises(DelegationError):
+            verify_delegation_chain(
+                chain, trusted_issuers=issuers, at_time=at_time
+            )
+
+
+# ---------------------------------------------------------------------------
+# LRU model check
+# ---------------------------------------------------------------------------
+
+
+@given(
+    maxsize=st.integers(min_value=1, max_value=8),
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(("get", "put", "discard")),
+            st.integers(min_value=0, max_value=12),
+        ),
+        max_size=200,
+    ),
+)
+@SETTINGS
+def test_lru_matches_model(maxsize, ops):
+    """P11: LRUCache behaves like a recency-ordered dict bounded at
+    ``maxsize``, and never exceeds the bound."""
+    cache = LRUCache(maxsize)
+    model: dict[int, int] = {}
+    order: list[int] = []  # least-recently-used first
+    evicted = 0
+    for op, key in ops:
+        if op == "put":
+            if key in model:
+                order.remove(key)
+            model[key] = key * 7
+            order.append(key)
+            cache.put(key, key * 7)
+            while len(model) > maxsize:
+                oldest = order.pop(0)
+                del model[oldest]
+                evicted += 1
+        elif op == "get":
+            expected = model.get(key)
+            assert cache.get(key) == expected
+            if expected is not None:
+                order.remove(key)
+                order.append(key)
+        else:
+            model.pop(key, None)
+            if key in order:
+                order.remove(key)
+            cache.discard(key)
+        assert len(cache) == len(model) <= maxsize
+    assert cache.evictions == evicted
+    assert set(cache.keys()) == set(model)

@@ -1,0 +1,184 @@
+"""Property suite: concurrent signalling is serial-equivalent.
+
+Hypothesis drives random topologies, random reservation batches and
+random worker counts through :class:`repro.core.concurrent.ConcurrentSignaller`
+and checks the contract the engine documents: grants/denials, capacity
+ledgers and envelope chains are **identical** to a serial run of the
+same jobs, and no interleaving can oversubscribe a link.
+
+Two structurally identical testbeds (same names, same seed — all
+randomness in testbed construction is seeded) host the serial and
+concurrent runs, so the comparison covers the complete admission state,
+not just the boolean outcomes.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.concurrent import ConcurrentSignaller, ReservationJob, run_serial
+from repro.core.testbed import build_linear_testbed
+from repro.core.tracing import trace_request_path
+
+#: Small but contended worlds: a 155 Mb/s inter-domain link and rates up
+#: to 100 Mb/s force admission denials in most generated batches.
+RATES = (10.0, 40.0, 60.0, 100.0)
+
+SETTINGS = settings(
+    max_examples=200,
+    deadline=None,  # thread scheduling makes per-example timing noisy
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def worlds(draw):
+    """(domain names, job specs, concurrency) for one example."""
+    n_domains = draw(st.integers(min_value=2, max_value=4))
+    domains = [f"D{i}" for i in range(n_domains)]
+    n_jobs = draw(st.integers(min_value=1, max_value=8))
+    jobs = []
+    for _ in range(n_jobs):
+        src = draw(st.integers(min_value=0, max_value=n_domains - 1))
+        dst = draw(
+            st.integers(min_value=0, max_value=n_domains - 1).filter(
+                lambda d: d != src
+            )
+        )
+        rate = draw(st.sampled_from(RATES))
+        start = draw(st.sampled_from((0.0, 1800.0)))
+        jobs.append((domains[src], domains[dst], rate, start))
+    concurrency = draw(st.integers(min_value=1, max_value=4))
+    return domains, jobs, concurrency
+
+
+def build_world(domains, specs):
+    """A testbed plus the ReservationJobs for *specs* (deterministic:
+    same inputs produce byte-identical certificates and requests)."""
+    tb = build_linear_testbed(list(domains))
+    users = {d: tb.add_user(d, f"user-{d}") for d in domains}
+    jobs = [
+        ReservationJob(
+            user=users[src],
+            request=tb.make_request(
+                source=src, destination=dst, bandwidth_mbps=rate,
+                start=start, duration=3600.0,
+            ),
+        )
+        for src, dst, rate, start in specs
+    ]
+    return tb, jobs
+
+
+def ledger(tb):
+    """Every domain's admission bookings as a canonical comparable set."""
+    state = {}
+    for name, broker in tb.brokers.items():
+        rows = []
+        for resource in broker.admission.resources():
+            for b in broker.admission.schedule(resource).bookings:
+                rows.append((resource, b.start, b.end, b.rate_mbps))
+        state[name] = sorted(rows)
+    return state
+
+
+@given(worlds())
+@SETTINGS
+def test_decisions_match_serial(world):
+    """P1: the concurrent engine admits and denies exactly the
+    reservations a serial loop would, in submission order."""
+    domains, specs, concurrency = world
+    tb_serial, jobs_serial = build_world(domains, specs)
+    tb_conc, jobs_conc = build_world(domains, specs)
+
+    serial = run_serial(tb_serial.hop_by_hop, jobs_serial)
+    batch = ConcurrentSignaller(
+        tb_conc.hop_by_hop, concurrency=concurrency
+    ).run(jobs_conc)
+
+    assert [s.granted for s in batch.scheduled] == [
+        s.granted for s in serial.scheduled
+    ]
+    for mine, theirs in zip(batch.scheduled, serial.scheduled):
+        if mine.outcome is not None and theirs.outcome is not None:
+            assert mine.outcome.denial_domain == theirs.outcome.denial_domain
+            assert mine.outcome.path == theirs.outcome.path
+
+
+@given(worlds())
+@SETTINGS
+def test_ledgers_match_serial(world):
+    """P2: after the batch, every domain's capacity ledger (the booked
+    intervals and rates) is identical to the serial run's."""
+    domains, specs, concurrency = world
+    tb_serial, jobs_serial = build_world(domains, specs)
+    tb_conc, jobs_conc = build_world(domains, specs)
+
+    run_serial(tb_serial.hop_by_hop, jobs_serial)
+    ConcurrentSignaller(
+        tb_conc.hop_by_hop, concurrency=concurrency
+    ).run(jobs_conc)
+
+    assert ledger(tb_conc) == ledger(tb_serial)
+
+
+@given(worlds())
+@SETTINGS
+def test_no_oversubscription(world):
+    """P3: no interleaving books past a link's capacity — the peak load
+    of every schedule stays within its configured Mb/s."""
+    domains, specs, concurrency = world
+    tb, jobs = build_world(domains, specs)
+    ConcurrentSignaller(tb.hop_by_hop, concurrency=concurrency).run(jobs)
+    for broker in tb.brokers.values():
+        for resource in broker.admission.resources():
+            schedule = broker.admission.schedule(resource)
+            peak = schedule.peak_load(0.0, 24 * 3600.0)
+            assert peak <= schedule.capacity_mbps + 1e-9, (
+                f"{resource} oversubscribed: {peak} > {schedule.capacity_mbps}"
+            )
+
+
+@given(worlds())
+@SETTINGS
+def test_handles_complete_and_unique(world):
+    """P4: every grant carries one live reservation handle per domain on
+    its path, and no handle is shared between reservations."""
+    domains, specs, concurrency = world
+    tb, jobs = build_world(domains, specs)
+    batch = ConcurrentSignaller(
+        tb.hop_by_hop, concurrency=concurrency
+    ).run(jobs)
+    seen = set()
+    for item in batch.scheduled:
+        if not item.granted or item.outcome is None:
+            continue
+        outcome = item.outcome
+        assert set(outcome.handles) == set(outcome.path)
+        for domain, handle in outcome.handles.items():
+            assert (domain, handle) not in seen
+            seen.add((domain, handle))
+            assert handle in tb.brokers[domain].reservations
+
+
+@given(worlds())
+@SETTINGS
+def test_envelope_chains_consistent(world):
+    """P5: the nested-signature envelope each destination verified names
+    the traversed path in order (user first, then each BB), regardless
+    of which worker carried the request."""
+    domains, specs, concurrency = world
+    tb, jobs = build_world(domains, specs)
+    batch = ConcurrentSignaller(
+        tb.hop_by_hop, concurrency=concurrency
+    ).run(jobs)
+    for item in batch.scheduled:
+        if not item.granted or item.outcome is None:
+            continue
+        outcome = item.outcome
+        assert outcome.final_rar is not None
+        trace = trace_request_path(outcome.final_rar)
+        assert trace.consistent
+        assert trace.signers[0] == item.job.user.dn
+        bb_signers = tuple(str(dn) for dn in trace.signers[1:])
+        expected = tuple(str(tb.brokers[d].dn) for d in outcome.path[:-1])
+        assert bb_signers == expected
