@@ -9,12 +9,15 @@ printed via the ``report`` fixture (visible with ``-s`` and in the
 captured output summary).
 """
 
+import contextlib
 import json
+import os
 import pathlib
 
 import pytest
 
 from repro.crypto import cache as verification_cache
+from repro.obs import audit as obs_audit
 from repro.obs import export, metrics
 
 #: Where per-benchmark metrics snapshots land (git-ignored).
@@ -47,12 +50,21 @@ def metrics_snapshot(request):
     snapshot also carries ``verification_cache_events_total`` hit/miss
     counters — the trajectory's record of how much crypto each
     benchmark actually re-ran.
+
+    ``repro bench --audit`` (env ``REPRO_BENCH_AUDIT=1``) additionally
+    runs every benchmark under a decision-provenance ledger, so the
+    trajectory can price the ledger's overhead on the signalling path.
     """
     if request.node.get_closest_marker("no_metrics"):
         yield
         return
+    ledger_scope = (
+        obs_audit.use_ledger()
+        if os.environ.get("REPRO_BENCH_AUDIT") == "1"
+        else contextlib.nullcontext()
+    )
     with metrics.use_registry() as registry:
-        with verification_cache.use_caches():
+        with verification_cache.use_caches(), ledger_scope:
             yield
     snapshot = export.json_snapshot(registry)
     if not snapshot:

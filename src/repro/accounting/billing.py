@@ -57,6 +57,9 @@ class BillingRun:
     path: tuple[str, ...]
     usage_mbps_hours: float
     invoices: tuple[Invoice, ...] = ()
+    #: Correlation id of the signalling run billed, for audit
+    #: reconciliation against the decision ledger ("" pre-ISSUE-6).
+    correlation_id: str = ""
 
     def invoice_to_user(self) -> Invoice:
         for inv in self.invoices:
@@ -139,6 +142,7 @@ class TransitiveBilling:
             path=path,
             usage_mbps_hours=usage_mbps_hours,
             invoices=tuple(invoices),
+            correlation_id=outcome.correlation_id or "",
         )
         self.ledger.append(run)
         return run

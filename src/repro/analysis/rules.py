@@ -31,6 +31,11 @@ Each rule encodes an invariant the reproduction depends on:
   bypass the timing helpers (``Histogram.time()``, spans,
   ``obs_spans.phase_clock()``), so the cost they measure never reaches
   the metrics registry or a trace.
+* ``REP111`` — every function in the broker/signalling layer that mints
+  an admission or denial (``AdmitOutcome(...)``, ``make_denial(...)``)
+  must also talk to the decision-provenance recorder
+  (:mod:`repro.obs.audit`); a decision path with no recorder call is
+  invisible to ``repro audit --reconcile``.
 """
 
 from __future__ import annotations
@@ -50,6 +55,7 @@ __all__ = [
     "StrictAnnotationsRule",
     "UnboundedRetryRule",
     "RawTimerRule",
+    "ProvenanceBypassRule",
 ]
 
 #: Packages whose behaviour must be driven by the simulation clock.
@@ -525,4 +531,74 @@ class RawTimerRule(_ImportAwareRule):
                 "Histogram.time(), phases with Tracer spans or "
                 "repro.obs.spans.phase_clock()",
             )
+        self.generic_visit(node)
+
+
+#: Calls that mint an admission/denial decision.
+_DECISION_CONSTRUCTORS = frozenset({"AdmitOutcome", "make_denial"})
+
+#: Call names that prove the function talks to the provenance recorder
+#: (the broker's ``_audit``, the :mod:`repro.obs.audit` module helpers,
+#: or a ledger handle used directly).
+_PROVENANCE_RECORDERS = frozenset(
+    {
+        "_audit",
+        "record_decision",
+        "record_revocation",
+        "record",
+        "note_check",
+        "note_retry",
+        "note_recovery",
+        "get_ledger",
+    }
+)
+
+
+def _call_basename(node: ast.Call) -> str | None:
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+@register
+class ProvenanceBypassRule(Rule):
+    id = "REP111"
+    title = "admissions/denials must reach the decision-provenance ledger"
+    severity = Severity.ERROR
+    packages = ("repro.bb", "repro.core.hopbyhop")
+
+    def _check_function(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        decisions: list[ast.Call] = []
+        has_recorder = False
+        for sub in ast.walk(node):
+            if not isinstance(sub, ast.Call):
+                continue
+            name = _call_basename(sub)
+            if name in _DECISION_CONSTRUCTORS:
+                decisions.append(sub)
+            elif name in _PROVENANCE_RECORDERS:
+                has_recorder = True
+        if has_recorder:
+            return
+        for call in decisions:
+            name = _call_basename(call)
+            self.report(
+                call,
+                f"{name}() mints an admission/denial in a function that "
+                "never talks to the decision-provenance recorder; record "
+                "it (broker _audit / repro.obs.audit.record_decision) or "
+                "the decision is invisible to repro audit --reconcile",
+            )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_function(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_function(node)
         self.generic_visit(node)

@@ -48,7 +48,8 @@ from repro.errors import AdmissionError, SLAError, SLAViolationError
 from repro.obs import events as obs_events
 from repro.obs import metrics as obs_metrics
 from repro.obs import spans as obs_spans
-from repro.obs.events import EventKind
+from repro.obs.audit import ledger as obs_audit
+from repro.obs.events import EventKind, ReasonCode
 from repro.policy.engine import PolicyDecision
 
 __all__ = ["EdgeConfigurator", "BandwidthBroker", "AdmitOutcome", "AuditEntry"]
@@ -301,8 +302,17 @@ class BandwidthBroker:
         if self.injector is not None:
             self.injector.broker_op(self.domain)
 
+    #: Audit events → decision-ledger record kinds.
+    _LEDGER_KINDS = {
+        "claim": obs_audit.RecordKind.CLAIM,
+        "cancel": obs_audit.RecordKind.CANCEL,
+        "expire": obs_audit.RecordKind.EXPIRE,
+    }
+
     def _audit(self, event: str, resv: Reservation, *, granted: bool,
-               reason: str = "", at_time: float = 0.0) -> None:
+               reason: str = "", at_time: float = 0.0,
+               reason_code: str | ReasonCode = "",
+               decision: PolicyDecision | None = None) -> None:
         self.audit_log.append(
             AuditEntry(
                 at_time=at_time,
@@ -343,6 +353,7 @@ class BandwidthBroker:
                     kind, at_time=at_time, domain=self.domain,
                     user=str(resv.owner) if resv.owner else "",
                     handle=resv.handle, reason=reason,
+                    reason_code=reason_code,
                     # Fall back to the stashed admission-time ID so events
                     # emitted outside the request scope (the soft-state
                     # sweep) still join the originating trace.
@@ -351,6 +362,36 @@ class BandwidthBroker:
                         or resv.correlation_id
                     ),
                     rate_mbps=resv.request.rate_mbps,
+                )
+        ledger = obs_audit.get_ledger()
+        if ledger is not None:
+            if event == "admit":
+                record_kind = (obs_audit.RecordKind.ADMIT if granted
+                               else obs_audit.RecordKind.DENY)
+            else:
+                record_kind = self._LEDGER_KINDS.get(event)
+            if record_kind is not None:
+                ledger.record(
+                    record_kind,
+                    at_time=at_time,
+                    domain=self.domain,
+                    handle=resv.handle,
+                    user=str(resv.owner) if resv.owner else "",
+                    correlation_id=(
+                        obs_events.current_correlation_id()
+                        or resv.correlation_id
+                    ),
+                    granted=granted and event == "admit",
+                    reason=reason,
+                    reason_code=(reason_code.value
+                                 if isinstance(reason_code, ReasonCode)
+                                 else reason_code),
+                    rate_mbps=resv.request.rate_mbps,
+                    window=(resv.request.start, resv.request.end),
+                    upstream=resv.upstream,
+                    downstream=resv.downstream,
+                    matched_rule=decision.matched_rule if decision else "",
+                    rules_fired=decision.rules_fired if decision else (),
                 )
         if event == "admit" and not granted:
             logger.info("%s: denied %s: %s", self.domain, resv.handle, reason)
@@ -411,7 +452,8 @@ class BandwidthBroker:
             resv.denial_reason = str(exc)
             self.reservations.transition(resv.handle, ReservationState.DENIED)
             self._audit("admit", resv, granted=False, reason=str(exc),
-                        at_time=at_time)
+                        at_time=at_time,
+                        reason_code=ReasonCode.SLA_VIOLATION)
             return AdmitOutcome(False, resv, reason=str(exc))
 
         decision = self.decide_policy(
@@ -422,7 +464,9 @@ class BandwidthBroker:
             resv.denial_reason = decision.reason
             self.reservations.transition(resv.handle, ReservationState.DENIED)
             self._audit("admit", resv, granted=False, reason=decision.reason,
-                        at_time=at_time)
+                        at_time=at_time,
+                        reason_code=ReasonCode.POLICY_DENIED,
+                        decision=decision)
             return AdmitOutcome(False, resv, decision=decision,
                                 reason=decision.reason)
 
@@ -437,7 +481,9 @@ class BandwidthBroker:
                 resv.denial_reason = str(exc)
                 self.reservations.transition(resv.handle, ReservationState.DENIED)
                 self._audit("admit", resv, granted=False, reason=str(exc),
-                            at_time=at_time)
+                            at_time=at_time,
+                            reason_code=ReasonCode.CAPACITY_EXCEEDED,
+                            decision=decision)
                 return AdmitOutcome(False, resv, decision=decision,
                                     reason=str(exc))
             resv.bookings = tuple(b for _, b in bookings)
@@ -446,7 +492,7 @@ class BandwidthBroker:
             resv.expires_at = at_time + self.soft_state_ttl_s
         self.reservations.transition(resv.handle, ReservationState.GRANTED)
         self._audit("admit", resv, granted=True, reason=decision.reason,
-                    at_time=at_time)
+                    at_time=at_time, decision=decision)
         return AdmitOutcome(True, resv, decision=decision, reason=decision.reason)
 
     # -- lifecycle ----------------------------------------------------------------------
@@ -468,7 +514,17 @@ class BandwidthBroker:
                 self._refresh_ingress(resv.request.service_class)
             return resv
 
-    def cancel(self, handle: str) -> Reservation:
+    def cancel(
+        self,
+        handle: str,
+        *,
+        reason: str = "",
+        reason_code: str | ReasonCode = ReasonCode.USER_REQUESTED,
+    ) -> Reservation:
+        """Cancel a reservation.  *reason_code* distinguishes an
+        operator/user cancellation (the default) from an unwind release
+        balancing a downstream denial, so the audit ledger and event
+        log agree on why the capacity came back."""
         self._check_up()
         with self._lock:
             resv = self.reservations.get(handle)
@@ -476,7 +532,8 @@ class BandwidthBroker:
             resv = self.reservations.transition(
                 handle, ReservationState.CANCELLED
             )
-            self._audit("cancel", resv, granted=True)
+            self._audit("cancel", resv, granted=True, reason=reason,
+                        reason_code=reason_code)
             bookings = self._booking_map.pop(handle, ())
             if bookings:
                 self.admission.release_all(bookings)
@@ -533,6 +590,7 @@ class BandwidthBroker:
                 self._audit(
                     "expire", resv, granted=True,
                     reason="soft-state lease expired", at_time=now,
+                    reason_code=ReasonCode.SOFT_STATE_EXPIRED,
                 )
         if tracer is not None and sweep_span is not None:
             tracer.end(sweep_span, reclaimed=len(lapsed))

@@ -21,7 +21,7 @@ The policy server owns:
 from __future__ import annotations
 
 import logging
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from repro.analysis.policycheck import verify_policy
@@ -31,6 +31,7 @@ from repro.crypto.keys import PublicKey
 from repro.crypto.x509 import Certificate
 from repro.errors import DelegationError
 from repro.obs import metrics as obs_metrics
+from repro.obs.audit import ledger as obs_audit
 from repro.policy.engine import (
     Decision,
     PolicyDecision,
@@ -175,16 +176,32 @@ class PolicyServer:
             server = self._group_servers.get(assertion.issuer)
             if server is None:
                 rejected.append(f"assertion from unknown issuer {assertion.issuer}")
+                obs_audit.note_check(
+                    "assertion", subject=str(assertion.issuer),
+                    verdict="rejected", detail="unknown issuer",
+                )
                 continue
             if assertion.subject != user:
                 rejected.append(f"assertion subject {assertion.subject} is not the requestor")
+                obs_audit.note_check(
+                    "assertion", subject=str(assertion.issuer),
+                    verdict="rejected", detail="subject mismatch",
+                )
                 continue
             if not server.verify_assertion(assertion, at_time=at_time):
                 rejected.append(f"assertion by {assertion.issuer} failed verification")
+                obs_audit.note_check(
+                    "assertion", subject=str(assertion.issuer),
+                    verdict="rejected", detail="signature/vouching failed",
+                )
                 continue
             group = assertion.get("group")
             if group:
                 groups.add(group)
+            obs_audit.note_check(
+                "assertion", subject=str(assertion.issuer),
+                detail=f"group {group!r}" if group else "",
+            )
 
         capabilities: set[str] = set()
         issuers: set[str] = set()
@@ -274,9 +291,10 @@ class PolicyServer:
         )
         decision = self.engine.evaluate(ctx)
         if decision.decision is Decision.GRANT and self.domain_attributes:
-            decision = PolicyDecision(
-                decision.decision,
-                reason=decision.reason,
+            # replace() keeps the provenance fields (matched_rule,
+            # rules_fired) the engine stamped on the decision.
+            decision = replace(
+                decision,
                 modifications=tuple(sorted(self.domain_attributes.items())),
             )
         _record_decision(self.domain, decision)
@@ -321,8 +339,12 @@ class AkentiPolicyServer(PolicyServer):
     ) -> PolicyDecision:
         self._check_up()
         self.decisions += 1
+        rule_id = f"akenti:{self.domain}/{self.resource}"
         if verified.user is None:
-            decision = PolicyDecision(Decision.DENY, reason="akenti: no user")
+            decision = PolicyDecision(
+                Decision.DENY, reason="akenti: no user",
+                matched_rule=rule_id, rules_fired=(rule_id,),
+            )
         elif self.akenti.authorize(
             self.resource,
             verified.user,
@@ -333,11 +355,13 @@ class AkentiPolicyServer(PolicyServer):
                 Decision.GRANT,
                 reason=f"akenti: use conditions on {self.resource!r} satisfied",
                 modifications=tuple(sorted(self.domain_attributes.items())),
+                matched_rule=rule_id, rules_fired=(rule_id,),
             )
         else:
             decision = PolicyDecision(
                 Decision.DENY,
                 reason=f"akenti: use conditions on {self.resource!r} not satisfied",
+                matched_rule=rule_id, rules_fired=(rule_id,),
             )
         _record_decision(self.domain, decision)
         return decision

@@ -180,6 +180,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker threads for the concurrent-signalling "
                             "benchmark (exported as REPRO_BENCH_CONCURRENCY "
                             "to the pytest subprocess)")
+    bench.add_argument("--audit", action="store_true",
+                       help="run the benchmarks with the decision-provenance "
+                            "ledger enabled (exported as REPRO_BENCH_AUDIT "
+                            "to the pytest subprocess) to measure its "
+                            "overhead")
 
     slo = sub.add_parser(
         "slo",
@@ -239,6 +244,55 @@ def build_parser() -> argparse.ArgumentParser:
                        help="soft-state lease length, seconds")
     chaos.add_argument("--show-trials", action="store_true",
                        help="print one line per trial")
+    chaos.add_argument("--audit", action="store_true",
+                       help="keep a decision-provenance ledger for the "
+                            "campaign and reconcile it (violations also "
+                            "fail the run)")
+    chaos.add_argument("--save-ledger", default=None, metavar="PATH",
+                       help="with --audit: write the campaign ledger JSON "
+                            "here (for repro audit --ledger)")
+
+    audit = sub.add_parser(
+        "audit",
+        help="decision-provenance ledger: query records, explain one "
+             "reservation's per-hop chain, or reconcile",
+    )
+    audit.add_argument("mode", nargs="?", choices=("query", "explain"),
+                       help="query records or explain one reservation "
+                            "(omit when using --reconcile)")
+    audit.add_argument("target", nargs="?",
+                       help="explain: reservation handle or correlation id "
+                            "(default: the demo reservation just signalled)")
+    audit.add_argument("--ledger", default=None, metavar="PATH",
+                       help="ledger JSON to read (from chaos --save-ledger "
+                            "or audit --save); explain without it signals "
+                            "one fresh reservation over --domains")
+    audit.add_argument("--reconcile", action="store_true",
+                       help="check the audit invariants; without --ledger, "
+                            "first run the seeded chaos campaign under a "
+                            "ledger; exit 1 on violations")
+    audit.add_argument("--seed", type=int, default=7,
+                       help="chaos schedule seed for --reconcile")
+    audit.add_argument("--trials", type=int, default=200,
+                       help="chaos trials for --reconcile")
+    audit.add_argument("--domains", default="A,B,C,D",
+                       help="comma-separated chain of domains")
+    audit.add_argument("--save", default=None, metavar="PATH",
+                       help="write the resulting ledger JSON here")
+    audit.add_argument("--json", action="store_true", dest="as_json",
+                       help="machine-readable output")
+    audit.add_argument("--kind", default=None,
+                       help="query: filter by record kind (admit, deny, "
+                            "claim, cancel, expire, unwind_failed, "
+                            "fallback, revoke, outcome)")
+    audit.add_argument("--domain", default=None,
+                       help="query: filter by domain")
+    audit.add_argument("--correlation", default=None,
+                       help="query: filter by correlation id")
+    audit.add_argument("--handle", default=None,
+                       help="query: filter by reservation handle")
+    audit.add_argument("--user", default=None,
+                       help="query: filter by user DN")
 
     return parser
 
@@ -589,6 +643,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
                   file=sys.stderr)
             return 2
         env_overrides["REPRO_BENCH_CONCURRENCY"] = str(args.concurrency)
+    if args.audit:
+        env_overrides["REPRO_BENCH_AUDIT"] = "1"
     repo_root = Path(args.repo_root).resolve()
     baseline = None
     if args.compare:
@@ -694,15 +750,182 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         rate_mbps=args.rate,
         deadline_s=args.deadline,
         soft_state_ttl_s=args.ttl,
+        audit=args.audit,
     )
     if args.show_trials:
         for trial in report.trials:
             verdict = "granted" if trial.granted else "denied "
-            health = "ok" if not trial.violations else "VIOLATION"
+            health = "ok" if not (trial.violations or trial.audit_violations) \
+                else "VIOLATION"
             print(f"  [{trial.index:4d}] {verdict} inj={trial.injected} "
                   f"retry={trial.retries} {health}  {trial.spec.describe()}")
+    if args.save_ledger and report.ledger is not None:
+        try:
+            with open(args.save_ledger, "w", encoding="utf-8") as fh:
+                fh.write(report.ledger.to_json())
+        except OSError as exc:
+            print(f"error: {args.save_ledger}: {exc}", file=sys.stderr)
+            return 2
+        print(f"wrote {args.save_ledger} ({len(report.ledger)} records)")
     print(report.summary())
-    return 1 if report.violations else 0
+    return 1 if (report.violations or report.audit_violations) else 0
+
+
+def cmd_audit(args: argparse.Namespace) -> int:
+    import json as json_mod
+
+    from repro.obs import audit as obs_audit
+
+    domains = [d.strip() for d in args.domains.split(",") if d.strip()]
+    if len(domains) < 2:
+        print("error: audit needs at least two domains", file=sys.stderr)
+        return 2
+
+    def load_ledger(path: str) -> obs_audit.DecisionLedger | None:
+        try:
+            with open(path, encoding="utf-8") as fh:
+                return obs_audit.DecisionLedger.from_json(fh.read())
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            print(f"error: {path}: {exc}", file=sys.stderr)
+            return None
+
+    def save_ledger(ledger: obs_audit.DecisionLedger) -> bool:
+        if not args.save:
+            return True
+        try:
+            with open(args.save, "w", encoding="utf-8") as fh:
+                fh.write(ledger.to_json())
+        except OSError as exc:
+            print(f"error: {args.save}: {exc}", file=sys.stderr)
+            return False
+        print(f"wrote {args.save} ({len(ledger)} records)", file=sys.stderr)
+        return True
+
+    if args.reconcile:
+        if args.mode is not None:
+            print("error: --reconcile takes no query/explain mode",
+                  file=sys.stderr)
+            return 2
+        extra_violations: list[str] = []
+        if args.ledger is not None:
+            ledger = load_ledger(args.ledger)
+            if ledger is None:
+                return 2
+            report = obs_audit.reconcile(ledger)
+        else:
+            # No saved ledger: run the seeded chaos campaign under one.
+            # Brokers are reconciled per trial (while they exist), the
+            # whole ledger once at the end.
+            from repro.faults import run_chaos
+
+            print(f"running {args.trials} chaos trials (seed {args.seed}) "
+                  "under the decision ledger...", file=sys.stderr)
+            chaos = run_chaos(
+                seed=args.seed, trials=args.trials, domains=domains,
+                audit=True,
+            )
+            ledger = chaos.ledger
+            assert ledger is not None and chaos.audit_report is not None
+            report = chaos.audit_report
+            extra_violations = [
+                v for trial in chaos.trials
+                for v in (
+                    f"trial {trial.index} [{trial.spec.describe()}]: {x}"
+                    for x in trial.audit_violations
+                )
+            ]
+        if not save_ledger(ledger):
+            return 2
+        ok = report.ok and not extra_violations
+        if args.as_json:
+            doc = report.to_dict()
+            doc["broker_violations"] = extra_violations
+            doc["ok"] = ok
+            print(json_mod.dumps(doc, indent=2))
+        else:
+            print(report.render())
+            for violation in extra_violations:
+                print(f"  VIOLATION broker: {violation}")
+        return 0 if ok else 1
+
+    if args.mode == "query":
+        if args.ledger is None:
+            print("error: query needs --ledger PATH", file=sys.stderr)
+            return 2
+        ledger = load_ledger(args.ledger)
+        if ledger is None:
+            return 2
+        kind = None
+        if args.kind is not None:
+            try:
+                kind = obs_audit.RecordKind(args.kind.lower())
+            except ValueError:
+                valid = ", ".join(k.value for k in obs_audit.RecordKind)
+                print(f"error: unknown record kind {args.kind!r} "
+                      f"(one of: {valid})", file=sys.stderr)
+                return 2
+        records = ledger.records(
+            kind, domain=args.domain, correlation_id=args.correlation,
+            handle=args.handle, user=args.user,
+        )
+        if args.as_json:
+            print(json_mod.dumps([r.to_dict() for r in records], indent=2))
+        else:
+            for record in records:
+                verdict = "granted" if record.granted else "denied"
+                extras = []
+                if record.handle:
+                    extras.append(record.handle)
+                if record.matched_rule:
+                    extras.append(f"rule={record.matched_rule}")
+                if record.reason_code:
+                    extras.append(record.reason_code)
+                print(f"[{record.seq:4d}] {record.kind.value:13s} "
+                      f"{record.domain or '-':8s} {verdict:7s} "
+                      f"{record.correlation_id or '-':12s} "
+                      + " ".join(extras))
+            print(f"{len(records)} record(s)", file=sys.stderr)
+        return 0
+
+    if args.mode == "explain":
+        target = args.target
+        if args.ledger is not None:
+            ledger = load_ledger(args.ledger)
+            if ledger is None:
+                return 2
+            if target is None:
+                print("error: explain --ledger needs a handle or "
+                      "correlation id", file=sys.stderr)
+                return 2
+        else:
+            # Live demo: signal one reservation across --domains under a
+            # fresh ledger, then explain it.
+            with obs_audit.use_ledger() as ledger:
+                testbed = build_linear_testbed(domains)
+                user = testbed.add_user(domains[0], "Alice")
+                outcome = testbed.reserve(
+                    user, source=domains[0], destination=domains[-1],
+                    bandwidth_mbps=10.0, duration=3600.0,
+                )
+            if target is None:
+                target = outcome.correlation_id
+        if not save_ledger(ledger):
+            return 2
+        correlation_id = obs_audit.resolve_correlation(ledger, target)
+        if correlation_id is None:
+            print(f"error: nothing in the ledger matches {target!r}",
+                  file=sys.stderr)
+            return 1
+        chain = obs_audit.stitch(ledger, correlation_id)
+        if args.as_json:
+            print(json_mod.dumps(obs_audit.chain_to_dict(chain), indent=2))
+        else:
+            print(obs_audit.render_chain(chain))
+        return 0
+
+    print("error: choose a mode (query, explain) or --reconcile",
+          file=sys.stderr)
+    return 2
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -735,6 +958,8 @@ def main(argv: list[str] | None = None) -> int:
             return cmd_lint_policy(args)
         if args.command == "chaos":
             return cmd_chaos(args)
+        if args.command == "audit":
+            return cmd_audit(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -104,7 +104,8 @@ from repro.errors import (
 from repro.obs import events as obs_events
 from repro.obs import metrics as obs_metrics
 from repro.obs import spans as obs_spans
-from repro.obs.events import EventKind
+from repro.obs.audit import ledger as obs_audit
+from repro.obs.events import EventKind, ReasonCode, reason_code_for
 from repro.obs.propagation import (
     TraceContext,
     format_traceparent,
@@ -257,6 +258,7 @@ class HopByHopProtocol:
         attempt: int, at_time: float, reason: str,
     ) -> None:
         outcome.retries += 1
+        obs_audit.note_retry(target=target, reason=reason)
         logger.info("retry %d of %s (%s): %s", attempt, what, target, reason)
         registry = obs_metrics.get_registry()
         if registry is not None:
@@ -386,7 +388,7 @@ class HopByHopProtocol:
         while granted:
             bb, handle = granted.pop()
             try:
-                bb.cancel(handle)
+                bb.cancel(handle, reason=reason, reason_code=ReasonCode.UNWOUND)
             except ReproError as exc:
                 logger.warning(
                     "%s: unwind of %s failed (%s); soft state must reclaim",
@@ -402,7 +404,14 @@ class HopByHopProtocol:
                     event_log.emit(
                         EventKind.UNWIND_FAILED, at_time=at_time,
                         domain=bb.domain, handle=handle, reason=str(exc),
+                        reason_code=ReasonCode.UNWIND_RELEASE_FAILED,
                     )
+                obs_audit.record_decision(
+                    obs_audit.RecordKind.UNWIND_FAILED,
+                    at_time=at_time, domain=bb.domain, handle=handle,
+                    reason=str(exc),
+                    reason_code=ReasonCode.UNWIND_RELEASE_FAILED.value,
+                )
                 continue
             logger.info("%s: released %s (%s)", bb.domain, handle, reason)
             if registry is not None:
@@ -415,6 +424,7 @@ class HopByHopProtocol:
                 event_log.emit(
                     EventKind.RELEASE, at_time=at_time, domain=bb.domain,
                     handle=handle, reason=reason,
+                    reason_code=ReasonCode.UNWOUND,
                 )
 
     def _bb_credentials(
@@ -477,6 +487,9 @@ class HopByHopProtocol:
         nest it.
         """
         correlation_id = obs_spans.mint_correlation_id()
+        # Worker threads are reused across requests: start the audit
+        # pending-check buffer from a clean slate for this one.
+        obs_audit.discard_pending()
         tracer = obs_spans.get_tracer()
         root = None
         if tracer is not None:
@@ -500,6 +513,25 @@ class HopByHopProtocol:
                 deadline_s=deadline_s,
             )
         outcome.correlation_id = correlation_id
+        ledger = obs_audit.get_ledger()
+        if ledger is not None:
+            # The terminal record of the decision chain: what the source
+            # domain told the user.  Drains any checks still pending
+            # (e.g. the destination's §6.5 delegation verification).
+            ledger.record(
+                obs_audit.RecordKind.OUTCOME,
+                at_time=self.clock(),
+                domain=outcome.denial_domain or "",
+                user=str(user.dn),
+                correlation_id=correlation_id,
+                granted=outcome.granted,
+                reason=outcome.denial_reason or "",
+                rate_mbps=request.rate_mbps,
+                window=(request.start, request.end),
+                path=">".join(outcome.path),
+                messages=outcome.messages,
+                latency_s=f"{outcome.latency_s:.6f}",
+            )
         if tracer is not None and root is not None:
             tracer.end(
                 root,
@@ -659,6 +691,13 @@ class HopByHopProtocol:
                 )
             outcome.denial_domain = path[0]
             outcome.denial_reason = f"source broker unreachable: {exc}"
+            obs_audit.record_decision(
+                obs_audit.RecordKind.DENY,
+                at_time=at_time, domain=path[0], user=str(user.dn),
+                reason=outcome.denial_reason,
+                reason_code=reason_code_for(exc).value,
+                rate_mbps=request.rate_mbps,
+            )
             return outcome
         if tracer is not None and root is not None:
             tracer.record(
@@ -696,6 +735,17 @@ class HopByHopProtocol:
             carried_deadline = rar.get(F_DEADLINE)
             if carried_deadline is not None:
                 deadline = Deadline(float(carried_deadline))
+            if obs_audit.get_ledger() is not None:
+                # Recovery context for this hop's decision record: the
+                # inbound link's breaker state and the end-to-end budget
+                # left when the hop started working.
+                obs_audit.note_recovery(
+                    breaker_state=self._breaker_for(inbound_channel.link).state,
+                    deadline_remaining_s=(
+                        deadline.expires_at - (at_time + outcome.latency_s)
+                        if deadline is not None else None
+                    ),
+                )
             outcome.latency_s += self.processing_delay_s
             hop_sim_latency_s = inbound_latency_s + self.processing_delay_s
             upstream = path[index - 1] if index > 0 else None
@@ -833,6 +883,16 @@ class HopByHopProtocol:
                         EventKind.TRUST_FAILURE, at_time=at_time,
                         domain=domain, reason=str(exc),
                     )
+                obs_audit.record_decision(
+                    obs_audit.RecordKind.DENY,
+                    at_time=at_time, domain=domain, user=str(user.dn),
+                    reason=reason,
+                    reason_code=(
+                        reason_code_for(exc) if exc is not None
+                        else ReasonCode.TRUST_FAILURE
+                    ).value,
+                    rate_mbps=request.rate_mbps,
+                )
                 denial = make_denial(
                     domain=domain, reason=reason,
                     bb=bb.dn, bb_key=bb.keypair.private,
@@ -902,6 +962,13 @@ class HopByHopProtocol:
                     if tracer is not None and hop_span is not None:
                         tracer.end(hop_span, status="failed", error=str(exc))
                     channels_walked.pop()
+                    obs_audit.record_decision(
+                        obs_audit.RecordKind.DENY,
+                        at_time=at_time, domain=domain, user=str(user.dn),
+                        reason=str(exc),
+                        reason_code=ReasonCode.BROKER_UNREACHABLE.value,
+                        rate_mbps=request.rate_mbps,
+                    )
                     if index == 0:
                         outcome.denial_domain = domain
                         outcome.denial_reason = str(exc)
@@ -914,6 +981,13 @@ class HopByHopProtocol:
                 else:
                     # Policy server / repository stayed down, or the
                     # deadline passed: this hop is alive and denies.
+                    obs_audit.record_decision(
+                        obs_audit.RecordKind.DENY,
+                        at_time=at_time, domain=domain, user=str(user.dn),
+                        reason=str(exc),
+                        reason_code=reason_code_for(exc).value,
+                        rate_mbps=request.rate_mbps,
+                    )
                     denial = make_denial(
                         domain=domain, reason=str(exc),
                         bb=bb.dn, bb_key=bb.keypair.private,
@@ -951,15 +1025,26 @@ class HopByHopProtocol:
                 if sla is not None:
                     accumulated_cost += sla.price_per_mbps_hour * usage_mbps_hours
             if accumulated_cost > request.cost_ceiling:
-                bb.cancel(admit.reservation.handle)
+                bb.cancel(
+                    admit.reservation.handle,
+                    reason="cost ceiling exceeded",
+                    reason_code=ReasonCode.UNWOUND,
+                )
                 granted_so_far.pop()
+                reason = (
+                    f"cost ceiling exceeded: path costs "
+                    f"{accumulated_cost:.2f} so far, user accepts at most "
+                    f"{request.cost_ceiling:.2f}"
+                )
+                obs_audit.record_decision(
+                    obs_audit.RecordKind.DENY,
+                    at_time=at_time, domain=domain, user=str(user.dn),
+                    reason=reason,
+                    reason_code=ReasonCode.COST_CEILING.value,
+                    rate_mbps=request.rate_mbps,
+                )
                 denial = make_denial(
-                    domain=domain,
-                    reason=(
-                        f"cost ceiling exceeded: path costs "
-                        f"{accumulated_cost:.2f} so far, user accepts at most "
-                        f"{request.cost_ceiling:.2f}"
-                    ),
+                    domain=domain, reason=reason,
                     bb=bb.dn, bb_key=bb.keypair.private,
                 )
                 break
@@ -1051,6 +1136,13 @@ class HopByHopProtocol:
                     what=f"forward to {downstream}",
                 )
             except _DELIVERY_FAILURES as exc:
+                obs_audit.record_decision(
+                    obs_audit.RecordKind.DENY,
+                    at_time=at_time, domain=downstream, user=str(user.dn),
+                    reason=f"domain {downstream} unreachable: {exc}",
+                    reason_code=reason_code_for(exc).value,
+                    rate_mbps=request.rate_mbps,
+                )
                 denial = make_denial(
                     domain=downstream,
                     reason=f"domain {downstream} unreachable: {exc}",
@@ -1167,6 +1259,13 @@ class HopByHopProtocol:
                 outcome.denial_domain = domain
                 outcome.denial_reason = f"approval could not be delivered: {exc}"
                 outcome.approval = None
+                obs_audit.record_decision(
+                    obs_audit.RecordKind.DENY,
+                    at_time=at_time, domain=domain, user=str(user.dn),
+                    reason=outcome.denial_reason,
+                    reason_code=reason_code_for(exc).value,
+                    rate_mbps=request.rate_mbps,
+                )
                 if tracer is not None:
                     if reply_parent is not None:
                         tracer.record(

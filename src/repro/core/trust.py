@@ -52,6 +52,7 @@ from repro.errors import (
     TamperedMessageError,
 )
 from repro.obs import metrics as obs_metrics
+from repro.obs.audit import ledger as obs_audit
 from repro.policy.attributes import SignedAssertion
 
 __all__ = ["VerifiedRAR", "verify_rar", "verify_rar_with_repository"]
@@ -104,6 +105,30 @@ def _meter_verification(fn: Callable[[], _V], mode: str) -> _V:
         buckets=_DEPTH_BUCKETS,
     ).observe(verified.depth)
     return result
+
+
+def _note_rar_checks(
+    verified: "VerifiedRAR", peer_certificate: Certificate, source: str
+) -> None:
+    """Note every certificate this verification vouched for, plus a
+    summary trust check, into the audit pending buffer.  The *source*
+    records verdict provenance: ``fresh`` (full signature math) or
+    ``cache:rar`` (PR-5 cache hit after the validity/revocation
+    guards)."""
+    for cert in (peer_certificate, *verified.introduced):
+        obs_audit.note_check(
+            "certificate",
+            subject=str(cert.subject),
+            fingerprint=cert.fingerprint,
+            source=source,
+        )
+    obs_audit.note_check(
+        "rar_trust",
+        subject=str(verified.user),
+        fingerprint=peer_certificate.fingerprint,
+        source=source,
+        detail=f"depth {verified.depth}",
+    )
 
 
 @dataclass(frozen=True)
@@ -170,17 +195,31 @@ def verify_rar(
             at_time=at_time,
         ):
             verdict: VerifiedRAR = entry[0]
+            if obs_audit.get_ledger() is not None:
+                _note_rar_checks(verdict, peer_certificate, "cache:rar")
             return verdict
-    verified = _meter_verification(
-        lambda: _verify_rar_impl(
-            rar,
-            verifier=verifier,
-            peer_certificate=peer_certificate,
-            truststore=truststore,
-            at_time=at_time,
-        ),
-        "introduction",
-    )
+    try:
+        verified = _meter_verification(
+            lambda: _verify_rar_impl(
+                rar,
+                verifier=verifier,
+                peer_certificate=peer_certificate,
+                truststore=truststore,
+                at_time=at_time,
+            ),
+            "introduction",
+        )
+    except ReproError as exc:
+        obs_audit.note_check(
+            "rar_trust",
+            fingerprint=peer_certificate.fingerprint,
+            verdict="rejected",
+            source="fresh",
+            detail=str(exc),
+        )
+        raise
+    if obs_audit.get_ledger() is not None:
+        _note_rar_checks(verified, peer_certificate, "fresh")
     if caches is not None and key is not None:
         dependencies = (peer_certificate, *verified.introduced)
         caches.put_verdict(
@@ -349,17 +388,30 @@ def verify_rar_with_repository(
     Returns ``(verified, lookups)`` where *lookups* is the number of
     repository queries this verification performed.
     """
-    return _meter_verification(
-        lambda: _verify_rar_with_repository_impl(
-            rar,
-            verifier=verifier,
-            peer_certificate=peer_certificate,
-            truststore=truststore,
-            repository=repository,
-            at_time=at_time,
-        ),
-        "repository",
-    )
+    try:
+        result = _meter_verification(
+            lambda: _verify_rar_with_repository_impl(
+                rar,
+                verifier=verifier,
+                peer_certificate=peer_certificate,
+                truststore=truststore,
+                repository=repository,
+                at_time=at_time,
+            ),
+            "repository",
+        )
+    except ReproError as exc:
+        obs_audit.note_check(
+            "rar_trust",
+            fingerprint=peer_certificate.fingerprint,
+            verdict="rejected",
+            source="fresh",
+            detail=f"repository: {exc}",
+        )
+        raise
+    if obs_audit.get_ledger() is not None:
+        _note_rar_checks(result[0], peer_certificate, "fresh")
+    return result
 
 
 def _verify_rar_with_repository_impl(

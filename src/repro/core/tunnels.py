@@ -32,7 +32,8 @@ from repro.errors import ChannelError, TunnelError
 from repro.obs import events as obs_events
 from repro.obs import metrics as obs_metrics
 from repro.obs import spans as obs_spans
-from repro.obs.events import EventKind
+from repro.obs.audit import ledger as obs_audit
+from repro.obs.events import EventKind, ReasonCode
 
 __all__ = ["Tunnel", "FlowAllocation", "TunnelService"]
 
@@ -366,7 +367,16 @@ class TunnelService:
                 event_log.emit(
                     EventKind.FALLBACK, reason=str(cause),
                     target=tunnel.tunnel_id,
+                    reason_code=ReasonCode.TUNNEL_DIRECT_FAILED,
                 )
+            obs_audit.record_decision(
+                obs_audit.RecordKind.FALLBACK,
+                domain=tunnel.source_domain, user=str(user.dn),
+                reason=str(cause),
+                reason_code=ReasonCode.TUNNEL_DIRECT_FAILED.value,
+                rate_mbps=rate_mbps,
+                tunnel=tunnel.tunnel_id,
+            )
             outcome = self.protocol.reserve(user, request)
         if not outcome.granted:
             if tracer is not None and fallback_span is not None:

@@ -37,6 +37,7 @@ from repro.crypto.keys import KeyPair, PrivateKey, PublicKey, get_scheme
 from repro.crypto.x509 import Certificate, sign_certificate
 from repro.errors import DelegationError
 from repro.obs import metrics as obs_metrics
+from repro.obs.audit import ledger as obs_audit
 
 __all__ = [
     "EXT_CAPABILITY_FLAG",
@@ -241,6 +242,29 @@ class DelegationResult:
     issuer: DistinguishedName
 
 
+def _note_chain_checks(
+    chain: Sequence[Certificate], source: str, *, detail: str = ""
+) -> None:
+    """Note each chain certificate plus a summary delegation check into
+    the audit pending buffer, tagged with the verdict *source*."""
+    for cert in chain:
+        obs_audit.note_check(
+            "capability_certificate",
+            subject=str(cert.subject),
+            fingerprint=cert.fingerprint,
+            source=source,
+        )
+    obs_audit.note_check(
+        "delegation",
+        subject=(
+            f"{chain[0].issuer} -> {chain[-1].subject}" if chain else ""
+        ),
+        fingerprint=chain[-1].fingerprint if chain else "",
+        source=source,
+        detail=detail or f"chain length {len(chain)}",
+    )
+
+
 PossessionProver = Callable[[bytes], bytes]
 
 #: Oracle answering "is this certificate revoked right now?" — typically
@@ -303,15 +327,29 @@ def verify_delegation_chain(
                 revocation_checker=revocation_checker,
             ):
                 cached_result: DelegationResult = entry[0]
+                if obs_audit.get_ledger() is not None:
+                    _note_chain_checks(chain, "cache:delegation")
                 return cached_result
-    result = _verify_delegation_chain_metered(
-        chain,
-        trusted_issuers=trusted_issuers,
-        at_time=at_time,
-        possession_nonce=possession_nonce,
-        possession_prover=possession_prover,
-        revocation_checker=revocation_checker,
-    )
+    try:
+        result = _verify_delegation_chain_metered(
+            chain,
+            trusted_issuers=trusted_issuers,
+            at_time=at_time,
+            possession_nonce=possession_nonce,
+            possession_prover=possession_prover,
+            revocation_checker=revocation_checker,
+        )
+    except DelegationError as exc:
+        obs_audit.note_check(
+            "delegation",
+            fingerprint=chain[-1].fingerprint if chain else "",
+            verdict="rejected",
+            source="fresh",
+            detail=str(exc),
+        )
+        raise
+    if obs_audit.get_ledger() is not None:
+        _note_chain_checks(chain, "fresh")
     if caches is not None and cache_key is not None:
         caches.put_verdict(
             "delegation", cache_key, (result, tuple(chain)),

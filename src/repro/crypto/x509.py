@@ -20,6 +20,7 @@ from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from repro.crypto import cache as verification_cache
 from repro.crypto import canonical
+from repro.obs.audit import ledger as obs_audit
 from repro.crypto.dn import DN, DistinguishedName
 from repro.crypto.keys import KeyPair, PrivateKey, PublicKey, get_scheme
 from repro.errors import (
@@ -292,7 +293,13 @@ class CertificateAuthority:
         self._revoked.add(serial)
         # A revoked certificate must also stop admitting *from cache*:
         # drop every memoized verdict that depended on it.
-        verification_cache.notify_revoked(self._issued[serial].fingerprint)
+        cert = self._issued[serial]
+        verification_cache.notify_revoked(cert.fingerprint)
+        obs_audit.record_revocation(
+            fingerprint=cert.fingerprint,
+            subject=str(cert.subject),
+            authority=str(self.name),
+        )
 
     def is_revoked(self, cert: Certificate) -> bool:
         return cert.issuer == self.name and cert.serial in self._revoked

@@ -18,6 +18,7 @@ the reproducibility receipt.
 
 from __future__ import annotations
 
+import contextlib
 import logging
 import random
 from dataclasses import dataclass, field
@@ -34,8 +35,10 @@ from repro.faults.plan import (
     TargetKind,
     single_fault_matrix,
 )
+from repro.obs import audit as obs_audit
 from repro.obs import events as obs_events
 from repro.obs import metrics as obs_metrics
+from repro.obs.audit import DecisionLedger, ReconciliationReport
 from repro.obs.slo import SLO, SLOReport, default_slos, evaluate_slos
 
 __all__ = ["TrialResult", "ChaosReport", "run_chaos"]
@@ -68,6 +71,9 @@ class TrialResult:
     retries: int
     #: Invariant violations found after recovery (empty = healthy).
     violations: tuple[str, ...]
+    #: Ledger-vs-broker reconciliation violations for this trial, when
+    #: the run kept a decision ledger (``run_chaos(audit=True)``).
+    audit_violations: tuple[str, ...] = ()
 
 
 @dataclass
@@ -80,6 +86,10 @@ class ChaosReport:
     #: SLO verdicts over the whole campaign's metrics + events (the
     #: harness runs every trial under a scoped registry and event log).
     slo_report: SLOReport | None = None
+    #: The campaign's decision ledger (``audit=True`` runs only).
+    ledger: DecisionLedger | None = None
+    #: Ledger-internal reconciliation over the whole campaign.
+    audit_report: ReconciliationReport | None = None
 
     @property
     def violations(self) -> list[str]:
@@ -89,6 +99,19 @@ class ChaosReport:
                 f"trial {trial.index} [{trial.spec.describe()}]: {v}"
                 for v in trial.violations
             )
+        return out
+
+    @property
+    def audit_violations(self) -> list[str]:
+        """Per-trial broker reconciliation + campaign ledger invariants."""
+        out = []
+        for trial in self.trials:
+            out.extend(
+                f"trial {trial.index} [{trial.spec.describe()}]: {v}"
+                for v in trial.audit_violations
+            )
+        if self.audit_report is not None:
+            out.extend(v.render() for v in self.audit_report.violations)
         return out
 
     @property
@@ -116,6 +139,15 @@ class ChaosReport:
         lines.extend(f"    {v}" for v in self.violations[:20])
         if len(self.violations) > 20:
             lines.append(f"    ... and {len(self.violations) - 20} more")
+        if self.ledger is not None:
+            audit = self.audit_violations
+            lines.append(
+                f"  audit           : {len(self.ledger)} ledger records, "
+                f"{len(audit)} violation(s)"
+            )
+            lines.extend(f"    {v}" for v in audit[:20])
+            if len(audit) > 20:
+                lines.append(f"    ... and {len(audit) - 20} more")
         if self.slo_report is not None:
             lines.append("  SLO verdicts:")
             lines.extend(
@@ -212,6 +244,15 @@ def _run_trial(
     testbed.detach_injector()
     testbed.sweep_soft_state(_SWEEP_AT)
     violations = _check_invariants(testbed)
+    # Ledger-vs-broker reconciliation must run per trial, while the
+    # trial's testbed (reservation tables, bookings) still exists.
+    audit_violations: tuple[str, ...] = ()
+    ledger = obs_audit.get_ledger()
+    if ledger is not None:
+        audit_violations = tuple(
+            v.render()
+            for v in obs_audit.reconcile_brokers(ledger, testbed.brokers)
+        )
     return TrialResult(
         index=index,
         spec=spec,
@@ -220,6 +261,7 @@ def _run_trial(
         injected=len(injector.triggered),
         retries=retries,
         violations=tuple(violations),
+        audit_violations=audit_violations,
     )
 
 
@@ -234,6 +276,7 @@ def run_chaos(
     repository_name: str = "ldap.grid",
     progress: Callable[[int, int], None] | None = None,
     slos: Sequence[SLO] | None = None,
+    audit: bool = False,
 ) -> ChaosReport:
     """Run *trials* single-fault chaos trials; the schedule (and every
     backoff-jitter draw downstream of it) is determined by *seed*.
@@ -243,6 +286,12 @@ def run_chaos(
     :func:`~repro.obs.slo.default_slos`) — so a run answers "did
     recovery keep us inside the objectives?" as well as "did the
     invariants hold?".
+
+    With ``audit=True`` the campaign also keeps a decision-provenance
+    ledger: every trial is reconciled against its brokers while they
+    still exist, the whole ledger is reconciled at the end, and the
+    report carries both the ledger and the
+    :class:`~repro.obs.audit.ReconciliationReport`.
     """
     user_link = "|".join(sorted((domains[0], "Alice")))
     inter_links = [
@@ -275,8 +324,12 @@ def run_chaos(
         "chaos: %d trials over %d matrix cases (digest %s)",
         trials, len(matrix), report.schedule_digest,
     )
+    ledger_scope: contextlib.AbstractContextManager[DecisionLedger | None] = (
+        obs_audit.use_ledger() if audit else contextlib.nullcontext()
+    )
     with obs_metrics.use_registry() as registry, \
-            obs_events.use_event_log() as event_log:
+            obs_events.use_event_log() as event_log, \
+            ledger_scope as ledger:
         for index, spec in enumerate(schedule):
             report.trials.append(
                 _run_trial(
@@ -291,6 +344,9 @@ def run_chaos(
             )
             if progress is not None:
                 progress(index + 1, trials)
+    if ledger is not None:
+        report.ledger = ledger
+        report.audit_report = obs_audit.reconcile(ledger)
     report.slo_report = evaluate_slos(
         tuple(slos) if slos is not None else default_slos(),
         registry=registry,

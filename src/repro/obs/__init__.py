@@ -46,6 +46,7 @@ import sys
 from typing import IO, Iterator
 
 from repro.obs import events, export, metrics, perf, propagation, slo, spans
+from repro.obs import audit
 from repro.obs.events import EventLog
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.spans import Tracer
@@ -58,6 +59,7 @@ __all__ = [
     "perf",
     "propagation",
     "slo",
+    "audit",
     "enable_all",
     "disable_all",
     "observed",

@@ -1,0 +1,176 @@
+"""Stitch per-hop DecisionRecords into one end-to-end decision chain.
+
+Every record carries the correlation id minted when the user agent
+signed ``RAR_U`` (PR 4), so "explain this reservation" is a pure ledger
+query: collect the correlation's records, order them by sequence
+number, and split them into the admission chain (the hop-by-hop
+admit/deny records, in travel order) and the later lifecycle
+(claim / cancel / expire / unwind / fallback).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.obs.audit.ledger import DecisionLedger, DecisionRecord, RecordKind
+
+__all__ = [
+    "DecisionChain",
+    "resolve_correlation",
+    "stitch",
+    "render_chain",
+    "chain_to_dict",
+]
+
+#: Records that are part of the admission leg proper.
+_HOP_KINDS = frozenset({RecordKind.ADMIT, RecordKind.DENY})
+
+#: Post-admission lifecycle records.
+_LIFECYCLE_KINDS = frozenset({
+    RecordKind.CLAIM,
+    RecordKind.CANCEL,
+    RecordKind.EXPIRE,
+    RecordKind.UNWIND_FAILED,
+    RecordKind.FALLBACK,
+})
+
+
+@dataclass(frozen=True)
+class DecisionChain:
+    """Everything the ledger knows about one end-to-end request."""
+
+    correlation_id: str
+    #: Per-hop admit/deny records, in sequence (= travel) order.
+    hops: tuple[DecisionRecord, ...] = ()
+    #: Claim / cancel / expire / unwind / fallback records, in order.
+    lifecycle: tuple[DecisionRecord, ...] = ()
+    #: The terminal OUTCOME record the source domain wrote, if any.
+    outcome: DecisionRecord | None = None
+
+    @property
+    def granted(self) -> bool:
+        if self.outcome is not None:
+            return self.outcome.granted
+        return bool(self.hops) and all(h.granted for h in self.hops)
+
+    @property
+    def path(self) -> tuple[str, ...]:
+        """The domains the admission leg touched, in travel order."""
+        seen: list[str] = []
+        for hop in self.hops:
+            if hop.domain and hop.domain not in seen:
+                seen.append(hop.domain)
+        return tuple(seen)
+
+    def complete_for(self, path: tuple[str, ...]) -> bool:
+        """True when every domain on *path* has an admit record in
+        travel order — the "complete per-hop provenance chain"
+        invariant for granted reservations."""
+        admitted = [h.domain for h in self.hops if h.kind is RecordKind.ADMIT]
+        return list(path) == admitted[: len(path)] and len(admitted) >= len(path)
+
+
+def resolve_correlation(ledger: DecisionLedger, target: str) -> str | None:
+    """Map *target* — a correlation id or a reservation handle — to a
+    correlation id present in the ledger."""
+    for record in ledger:
+        if record.correlation_id == target:
+            return target
+    for record in ledger:
+        if record.handle == target and record.correlation_id:
+            return record.correlation_id
+    return None
+
+
+def stitch(ledger: DecisionLedger, correlation_id: str) -> DecisionChain:
+    """Assemble the :class:`DecisionChain` for one correlation id."""
+    records = sorted(
+        ledger.records(correlation_id=correlation_id), key=lambda r: r.seq
+    )
+    hops = tuple(r for r in records if r.kind in _HOP_KINDS)
+    lifecycle = tuple(r for r in records if r.kind in _LIFECYCLE_KINDS)
+    outcome = next(
+        (r for r in records if r.kind is RecordKind.OUTCOME), None
+    )
+    return DecisionChain(
+        correlation_id=correlation_id,
+        hops=hops,
+        lifecycle=lifecycle,
+        outcome=outcome,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Rendering
+# ---------------------------------------------------------------------------
+
+
+def _render_checks(record: DecisionRecord, lines: list[str]) -> None:
+    for check in record.checks:
+        verdict = check.verdict
+        label = f"{check.kind}"
+        if check.subject:
+            label += f" {check.subject}"
+        source = f" [{check.source}]" if check.source else ""
+        detail = f" — {check.detail}" if check.detail else ""
+        lines.append(f"      check: {label}: {verdict}{source}{detail}")
+
+
+def _render_record(record: DecisionRecord, lines: list[str]) -> None:
+    verdict = "GRANT" if record.granted else record.kind.value.upper()
+    head = f"  [{record.seq:04d}] {record.domain or '-'}: {verdict}"
+    if record.handle:
+        head += f" {record.handle}"
+    if record.reason:
+        head += f" — {record.reason}"
+    if record.reason_code:
+        head += f" ({record.reason_code})"
+    lines.append(head)
+    if record.matched_rule:
+        lines.append(f"      rule: {record.matched_rule}")
+    if record.rules_fired and record.rules_fired != (record.matched_rule,):
+        lines.append("      rules fired: " + " -> ".join(record.rules_fired))
+    _render_checks(record, lines)
+    extras = []
+    if record.retries:
+        extras.append(f"retries={record.retries}")
+    if record.breaker_state:
+        extras.append(f"breaker={record.breaker_state}")
+    if record.deadline_remaining_s is not None:
+        extras.append(f"deadline_remaining={record.deadline_remaining_s:.3f}s")
+    if extras:
+        lines.append("      recovery: " + " ".join(extras))
+
+
+def render_chain(chain: DecisionChain) -> str:
+    """Human-readable "explain this decision" output."""
+    lines: list[str] = []
+    verdict = "GRANTED" if chain.granted else "DENIED"
+    path = " -> ".join(chain.path) or "(no hops recorded)"
+    lines.append(f"decision chain {chain.correlation_id or '(uncorrelated)'}")
+    lines.append(f"  verdict: {verdict}   path: {path}")
+    if chain.hops:
+        lines.append("  admission leg:")
+        for hop in chain.hops:
+            _render_record(hop, lines)
+    if chain.outcome is not None:
+        lines.append("  outcome:")
+        _render_record(chain.outcome, lines)
+    if chain.lifecycle:
+        lines.append("  lifecycle:")
+        for record in chain.lifecycle:
+            _render_record(record, lines)
+    return "\n".join(lines)
+
+
+def chain_to_dict(chain: DecisionChain) -> dict[str, Any]:
+    """JSON form of the chain (``repro audit explain --json``)."""
+    return {
+        "correlation_id": chain.correlation_id,
+        "granted": chain.granted,
+        "path": list(chain.path),
+        "hops": [r.to_dict() for r in chain.hops],
+        "outcome": None if chain.outcome is None else chain.outcome.to_dict(),
+        "lifecycle": [r.to_dict() for r in chain.lifecycle],
+    }

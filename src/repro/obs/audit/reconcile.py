@@ -1,0 +1,414 @@
+"""Cross-check the decision ledger against the fabric's ground truth.
+
+The ledger claims to be a faithful account of every decision; the
+reconciler *proves* it (or produces a violation list) by checking four
+families of invariants:
+
+**Ledger-internal** (:func:`reconcile_ledger`):
+
+* ``policy-evaluation`` — no admission without a matching policy
+  evaluation: every ADMIT record names the rule that granted it.
+* ``provenance-chain`` — every granted outcome has a complete per-hop
+  admission chain, one ADMIT per path domain, in travel order; every
+  denied outcome with a denying domain has that hop's DENY record.
+* ``unwind-balance`` — in any denied run, every hop admission is
+  balanced by a cancel, an expiry, or an explicit unwind-failure
+  record (soft state reclaims the latter).
+* ``cache-revocation`` — no cache-sourced verdict postdates the
+  revocation of the certificate it vouches for (sequence order; the
+  PR-5 caches invalidate synchronously, so a violation here means the
+  revocation hook was bypassed).
+* ``claim-provenance`` — nothing is claimed that was never admitted.
+
+**Broker state** (:func:`reconcile_brokers`): the reservation tables
+and capacity bookings of live brokers agree with the ledger — granted
+state has an unbalanced ADMIT, denied state a DENY, expired state an
+EXPIRE, and every capacity booking is tagged by a still-admitted
+handle.
+
+**Accounting** (:func:`reconcile_accounting`): every billing run's
+path is fully covered by admissions of the billed signalling run.
+
+Brokers and billing are duck-typed (the module imports nothing from
+``repro.bb``/``repro.accounting``), so the reconciler also works on
+ledgers imported from JSON long after the testbed is gone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+from repro.obs.audit.ledger import DecisionLedger, DecisionRecord, RecordKind
+
+__all__ = [
+    "AuditViolation",
+    "ReconciliationReport",
+    "reconcile",
+    "reconcile_ledger",
+    "reconcile_brokers",
+    "reconcile_accounting",
+]
+
+#: Record kinds that balance (tear down) an earlier admission.
+_BALANCING = (RecordKind.CANCEL, RecordKind.EXPIRE, RecordKind.UNWIND_FAILED)
+
+
+@dataclass(frozen=True)
+class AuditViolation:
+    """One broken invariant."""
+
+    invariant: str
+    detail: str
+    correlation_id: str = ""
+    handle: str = ""
+
+    def render(self) -> str:
+        where = self.handle or self.correlation_id
+        suffix = f" [{where}]" if where else ""
+        return f"{self.invariant}: {self.detail}{suffix}"
+
+
+@dataclass
+class ReconciliationReport:
+    """The outcome of one reconciliation pass."""
+
+    violations: list[AuditViolation] = field(default_factory=list)
+    checked_records: int = 0
+    checked_reservations: int = 0
+    checked_bookings: int = 0
+    checked_billing_runs: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def render(self) -> str:
+        lines = [
+            "audit reconciliation: "
+            + ("OK" if self.ok else f"{len(self.violations)} violation(s)"),
+            f"  records checked:      {self.checked_records}",
+            f"  reservations checked: {self.checked_reservations}",
+            f"  bookings checked:     {self.checked_bookings}",
+            f"  billing runs checked: {self.checked_billing_runs}",
+        ]
+        for violation in self.violations:
+            lines.append(f"  VIOLATION {violation.render()}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "checked_records": self.checked_records,
+            "checked_reservations": self.checked_reservations,
+            "checked_bookings": self.checked_bookings,
+            "checked_billing_runs": self.checked_billing_runs,
+            "violations": [
+                {
+                    "invariant": v.invariant,
+                    "detail": v.detail,
+                    "correlation_id": v.correlation_id,
+                    "handle": v.handle,
+                }
+                for v in self.violations
+            ],
+        }
+
+
+# ---------------------------------------------------------------------------
+# Ledger-internal invariants
+# ---------------------------------------------------------------------------
+
+
+def _admits_by_handle(
+    records: tuple[DecisionRecord, ...]
+) -> dict[str, DecisionRecord]:
+    return {
+        r.handle: r
+        for r in records
+        if r.kind is RecordKind.ADMIT and r.handle
+    }
+
+
+def reconcile_ledger(ledger: DecisionLedger) -> list[AuditViolation]:
+    violations: list[AuditViolation] = []
+    records = tuple(ledger)
+
+    # policy-evaluation: every admission names the rule that granted it.
+    for record in records:
+        if record.kind is RecordKind.ADMIT and not record.matched_rule:
+            violations.append(AuditViolation(
+                "policy-evaluation",
+                f"admission at {record.domain} (seq {record.seq}) carries "
+                "no matched policy rule",
+                correlation_id=record.correlation_id,
+                handle=record.handle,
+            ))
+
+    # claim-provenance: nothing claimed that was never admitted.
+    admits = _admits_by_handle(records)
+    for record in records:
+        if record.kind is RecordKind.CLAIM and record.handle not in admits:
+            violations.append(AuditViolation(
+                "claim-provenance",
+                f"claim of {record.handle} at {record.domain} has no "
+                "admission record",
+                correlation_id=record.correlation_id,
+                handle=record.handle,
+            ))
+
+    # provenance-chain + unwind-balance, per correlation.
+    by_correlation: dict[str, list[DecisionRecord]] = {}
+    for record in records:
+        if record.correlation_id:
+            by_correlation.setdefault(record.correlation_id, []).append(record)
+
+    for cid, group in by_correlation.items():
+        group.sort(key=lambda r: r.seq)
+        outcome = next(
+            (r for r in group if r.kind is RecordKind.OUTCOME), None
+        )
+        admitted = [r for r in group if r.kind is RecordKind.ADMIT]
+        denied = [r for r in group if r.kind is RecordKind.DENY]
+
+        if outcome is not None and outcome.granted:
+            path = tuple(
+                p for p in outcome.attribute("path").split(">") if p
+            )
+            admit_domains = [r.domain for r in admitted]
+            for domain in path:
+                if domain not in admit_domains:
+                    violations.append(AuditViolation(
+                        "provenance-chain",
+                        f"granted outcome traversed {domain} but the hop "
+                        "has no admission record",
+                        correlation_id=cid,
+                    ))
+            on_path = [d for d in admit_domains if d in path]
+            if tuple(on_path[: len(path)]) != path[: len(on_path)]:
+                violations.append(AuditViolation(
+                    "provenance-chain",
+                    f"admissions {on_path} out of travel order vs path "
+                    f"{list(path)}",
+                    correlation_id=cid,
+                ))
+        if outcome is not None and not outcome.granted and outcome.domain:
+            if not any(r.domain == outcome.domain for r in denied):
+                violations.append(AuditViolation(
+                    "provenance-chain",
+                    f"denied outcome blames {outcome.domain} but the hop "
+                    "has no denial record",
+                    correlation_id=cid,
+                ))
+
+        run_denied = denied or (outcome is not None and not outcome.granted)
+        if run_denied:
+            for admit in admitted:
+                balanced = any(
+                    r.kind in _BALANCING
+                    and r.handle == admit.handle
+                    and r.seq > admit.seq
+                    for r in group
+                )
+                if not balanced:
+                    violations.append(AuditViolation(
+                        "unwind-balance",
+                        f"denied run left admission at {admit.domain} "
+                        "unbalanced (no cancel/expire/unwind record)",
+                        correlation_id=cid,
+                        handle=admit.handle,
+                    ))
+
+    # cache-revocation: sequence order — a cache-sourced verdict for a
+    # fingerprint revoked at an earlier seq is a stale-cache escape.
+    revoked: set[str] = set()
+    for record in records:
+        if record.kind is RecordKind.REVOKE:
+            for check in record.checks:
+                if check.fingerprint:
+                    revoked.add(check.fingerprint)
+            continue
+        for check in record.checks:
+            if (
+                check.source.startswith("cache")
+                and check.verdict == "ok"
+                and check.fingerprint
+                and check.fingerprint in revoked
+            ):
+                violations.append(AuditViolation(
+                    "cache-revocation",
+                    f"cache-sourced verdict for {check.subject or 'cert'} "
+                    f"({check.fingerprint[:12]}…) postdates its revocation",
+                    correlation_id=record.correlation_id,
+                    handle=record.handle,
+                ))
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# Broker reservation tables, capacity bookings, soft-state leases
+# ---------------------------------------------------------------------------
+
+
+def _is_live(
+    ledger_records: tuple[DecisionRecord, ...], handle: str
+) -> bool:
+    """True when *handle* has an admission not balanced by teardown."""
+    admit_seq = None
+    for r in ledger_records:
+        if r.kind is RecordKind.ADMIT and r.handle == handle:
+            admit_seq = r.seq
+            break
+    if admit_seq is None:
+        return False
+    return not any(
+        r.kind in _BALANCING and r.handle == handle and r.seq > admit_seq
+        for r in ledger_records
+    )
+
+
+def reconcile_brokers(
+    ledger: DecisionLedger,
+    brokers: Mapping[str, Any],
+    *,
+    report: ReconciliationReport | None = None,
+) -> list[AuditViolation]:
+    """Check broker reservation tables and bookings against the ledger.
+
+    *brokers* is duck-typed: each value needs ``.reservations.all()``
+    and ``.admission`` with ``resources()`` / ``schedule(r).bookings``.
+    """
+    violations: list[AuditViolation] = []
+    records = tuple(ledger)
+    admits = _admits_by_handle(records)
+    by_kind_handle: dict[tuple[RecordKind, str], DecisionRecord] = {}
+    for r in records:
+        if r.handle:
+            by_kind_handle.setdefault((r.kind, r.handle), r)
+
+    for domain, broker in brokers.items():
+        for resv in broker.reservations.all():
+            if report is not None:
+                report.checked_reservations += 1
+            state = resv.state.value
+            handle = resv.handle
+            if state in ("granted", "active"):
+                if handle not in admits:
+                    violations.append(AuditViolation(
+                        "table-ledger",
+                        f"{state} reservation in {domain} has no "
+                        "admission record",
+                        handle=handle,
+                    ))
+                elif not _is_live(records, handle):
+                    violations.append(AuditViolation(
+                        "table-ledger",
+                        f"ledger shows {handle} torn down but {domain} "
+                        f"still holds it {state}",
+                        handle=handle,
+                    ))
+            elif state == "denied":
+                if (RecordKind.DENY, handle) not in by_kind_handle:
+                    violations.append(AuditViolation(
+                        "table-ledger",
+                        f"denied reservation in {domain} has no denial "
+                        "record",
+                        handle=handle,
+                    ))
+            elif state == "expired":
+                if handle in admits and (
+                    (RecordKind.EXPIRE, handle) not in by_kind_handle
+                ):
+                    violations.append(AuditViolation(
+                        "table-ledger",
+                        f"expired reservation in {domain} was admitted "
+                        "but never recorded an expiry",
+                        handle=handle,
+                    ))
+            elif state == "cancelled":
+                if handle in admits and not any(
+                    (k, handle) in by_kind_handle
+                    for k in _BALANCING
+                ):
+                    violations.append(AuditViolation(
+                        "table-ledger",
+                        f"cancelled reservation in {domain} was admitted "
+                        "but never recorded a teardown",
+                        handle=handle,
+                    ))
+
+        for resource in broker.admission.resources():
+            for booking in broker.admission.schedule(resource).bookings:
+                if report is not None:
+                    report.checked_bookings += 1
+                tag = booking.tag
+                if not tag:
+                    continue
+                if not _is_live(records, tag):
+                    violations.append(AuditViolation(
+                        "booking-ledger",
+                        f"capacity booking on {resource} tagged {tag} "
+                        "has no live admission in the ledger",
+                        handle=tag,
+                    ))
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# Accounting
+# ---------------------------------------------------------------------------
+
+
+def reconcile_accounting(
+    ledger: DecisionLedger,
+    billing_runs: Iterable[Any],
+    *,
+    report: ReconciliationReport | None = None,
+) -> list[AuditViolation]:
+    """Every billing run bills a signalling run the ledger admitted on
+    every domain of the billed path."""
+    violations: list[AuditViolation] = []
+    for run in billing_runs:
+        if report is not None:
+            report.checked_billing_runs += 1
+        cid = getattr(run, "correlation_id", "") or ""
+        if not cid:
+            continue  # pre-ISSUE-6 runs carry no correlation id
+        admit_domains = {
+            r.domain
+            for r in ledger.records(RecordKind.ADMIT, correlation_id=cid)
+        }
+        for domain in run.path:
+            if domain not in admit_domains:
+                violations.append(AuditViolation(
+                    "accounting",
+                    f"billing run charges for {domain} but the ledger "
+                    "has no admission there",
+                    correlation_id=cid,
+                ))
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# Front door
+# ---------------------------------------------------------------------------
+
+
+def reconcile(
+    ledger: DecisionLedger,
+    *,
+    brokers: Mapping[str, Any] | None = None,
+    billing_runs: Iterable[Any] | None = None,
+) -> ReconciliationReport:
+    """Run every applicable invariant family and return one report."""
+    report = ReconciliationReport(checked_records=len(ledger))
+    report.violations.extend(reconcile_ledger(ledger))
+    if brokers is not None:
+        report.violations.extend(
+            reconcile_brokers(ledger, brokers, report=report)
+        )
+    if billing_runs is not None:
+        report.violations.extend(
+            reconcile_accounting(ledger, billing_runs, report=report)
+        )
+    return report

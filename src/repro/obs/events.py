@@ -27,12 +27,14 @@ from typing import Iterator
 
 __all__ = [
     "EventKind",
+    "ReasonCode",
     "Event",
     "EventLog",
     "enable",
     "disable",
     "get_event_log",
     "use_event_log",
+    "reason_code_for",
     "correlation_scope",
     "current_correlation_id",
 ]
@@ -62,6 +64,74 @@ class EventKind(str, enum.Enum):
     FALLBACK = "fallback"
 
 
+class ReasonCode(str, enum.Enum):
+    """Machine-readable *why* for lifecycle events and audit records.
+
+    The free-form ``reason`` string stays human-facing; the code is the
+    stable vocabulary the audit reconciler and alerting match on, so the
+    event log and the decision ledger agree on why state was torn down.
+    """
+
+    #: Local policy returned DENY.
+    POLICY_DENIED = "policy_denied"
+    #: The request violates the SLA with the upstream domain.
+    SLA_VIOLATION = "sla_violation"
+    #: Admission control found no capacity in some time slot.
+    CAPACITY_EXCEEDED = "capacity_exceeded"
+    #: Signature / certificate / delegation verification failed.
+    TRUST_FAILURE = "trust_failure"
+    #: A bandwidth broker on the path crashed or is not answering.
+    BROKER_UNREACHABLE = "broker_unreachable"
+    #: The inter-broker channel dropped/timed out beyond the retry budget.
+    LINK_UNREACHABLE = "link_unreachable"
+    #: The policy server (or certificate repository) is unreachable.
+    POLICY_UNAVAILABLE = "policy_unavailable"
+    #: The end-to-end signalling deadline passed.
+    DEADLINE_EXCEEDED = "deadline_exceeded"
+    #: The accumulated cost offers exceeded the user's ceiling.
+    COST_CEILING = "cost_ceiling"
+    #: A soft-state lease lapsed without refresh.
+    SOFT_STATE_EXPIRED = "soft_state_expired"
+    #: Torn down to balance a partial-path admission after a denial.
+    UNWOUND = "unwound"
+    #: Explicit release during unwind failed; soft state will reclaim.
+    UNWIND_RELEASE_FAILED = "unwind_release_failed"
+    #: Tunnel-level allocation failed; degraded to per-flow signalling.
+    TUNNEL_DIRECT_FAILED = "tunnel_direct_failed"
+    #: The caller cancelled or modified the reservation.
+    USER_REQUESTED = "user_requested"
+
+
+def reason_code_for(exc: BaseException) -> ReasonCode:
+    """Classify an exception into the :class:`ReasonCode` vocabulary.
+
+    Local import: :mod:`repro.errors` is a leaf module, but deferring
+    keeps this module importable before the package is fully wired.
+    """
+    from repro import errors
+
+    if isinstance(exc, errors.DeadlineExceededError):
+        return ReasonCode.DEADLINE_EXCEEDED
+    if isinstance(exc, errors.BrokerUnavailableError):
+        return ReasonCode.BROKER_UNREACHABLE
+    if isinstance(exc, (errors.CircuitOpenError, errors.RetryExhaustedError,
+                        errors.ChannelError)):
+        return ReasonCode.LINK_UNREACHABLE
+    if isinstance(exc, (errors.PolicyUnavailableError,
+                        errors.RepositoryUnavailableError)):
+        return ReasonCode.POLICY_UNAVAILABLE
+    if isinstance(exc, (errors.CryptoError, errors.TrustError,
+                        errors.TamperedMessageError)):
+        return ReasonCode.TRUST_FAILURE
+    if isinstance(exc, errors.SLAError):
+        return ReasonCode.SLA_VIOLATION
+    if isinstance(exc, errors.AdmissionError):
+        return ReasonCode.CAPACITY_EXCEEDED
+    if isinstance(exc, errors.PolicyError):
+        return ReasonCode.POLICY_DENIED
+    return ReasonCode.LINK_UNREACHABLE
+
+
 @dataclass(frozen=True)
 class Event:
     """One structured record."""
@@ -73,6 +143,8 @@ class Event:
     user: str = ""
     handle: str = ""
     reason: str = ""
+    #: Stable machine-readable cause (a :class:`ReasonCode` value), or "".
+    reason_code: str = ""
     attributes: tuple[tuple[str, str], ...] = ()
 
     def to_dict(self) -> dict[str, object]:
@@ -84,6 +156,7 @@ class Event:
             "user": self.user,
             "handle": self.handle,
             "reason": self.reason,
+            "reason_code": self.reason_code,
             "attributes": dict(self.attributes),
         }
 
@@ -109,6 +182,7 @@ class EventLog:
         user: str = "",
         handle: str = "",
         reason: str = "",
+        reason_code: str | ReasonCode = "",
         correlation_id: str | None = None,
         **attributes: object,
     ) -> Event:
@@ -122,6 +196,9 @@ class EventLog:
             user=user,
             handle=handle,
             reason=reason,
+            reason_code=(reason_code.value
+                         if isinstance(reason_code, ReasonCode)
+                         else reason_code),
             attributes=tuple(sorted((k, str(v)) for k, v in attributes.items())),
         )
         with self._lock:

@@ -25,6 +25,7 @@ from repro.crypto.dn import DN, DistinguishedName
 from repro.crypto.keys import KeyPair, PublicKey, get_scheme
 from repro.crypto.x509 import Certificate
 from repro.errors import PolicyError
+from repro.obs.audit import ledger as obs_audit
 
 __all__ = ["CommunityAuthorizationServer"]
 
@@ -85,6 +86,11 @@ class CommunityAuthorizationServer:
             )
         self._revoked_serials.add(certificate.serial)
         verification_cache.notify_revoked(certificate.fingerprint)
+        obs_audit.record_revocation(
+            fingerprint=certificate.fingerprint,
+            subject=str(certificate.subject),
+            authority=f"CAS:{self.community}",
+        )
 
     def is_revoked(self, cert: Certificate) -> bool:
         """Revocation oracle for this community's capability chains.

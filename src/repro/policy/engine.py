@@ -143,6 +143,13 @@ class PolicyDecision:
     decision: Decision
     reason: str = ""
     modifications: tuple[tuple[str, Any], ...] = ()
+    #: Provenance: the id of the ``Return`` node that produced the
+    #: verdict (``<policy>/<path>``, e.g. ``gold/1.then.0``; the
+    #: fall-off default is ``<policy>/default``).
+    matched_rule: str = ""
+    #: Every node visited on the way, in evaluation order — ``If``
+    #: nodes appear with the branch taken (``…?cond=y``).
+    rules_fired: tuple[str, ...] = ()
 
     @property
     def granted(self) -> bool:
@@ -198,18 +205,42 @@ class PolicyEngine:
         self.name = name
 
     def evaluate(self, ctx: RequestContext) -> PolicyDecision:
-        result = self._eval_block(self.nodes, ctx)
+        """Evaluate, tracing the node path for decision provenance: the
+        returned decision names the ``Return`` node that fired
+        (``matched_rule``) and every node visited (``rules_fired``) as
+        stable ``<policy>/<index-path>`` ids, so audit records can
+        answer "which rule admitted this?" without re-evaluating."""
+        trace: list[str] = []
+        result = self._eval_block(self.nodes, ctx, f"{self.name}/", trace)
         if result is not None:
             return result
-        return PolicyDecision(self.default, reason=f"{self.name}: default")
+        default_id = f"{self.name}/default"
+        trace.append(default_id)
+        return PolicyDecision(
+            self.default,
+            reason=f"{self.name}: default",
+            matched_rule=default_id,
+            rules_fired=tuple(trace),
+        )
 
     def _eval_block(
-        self, nodes: Sequence[PolicyNode], ctx: RequestContext
+        self,
+        nodes: Sequence[PolicyNode],
+        ctx: RequestContext,
+        prefix: str,
+        trace: list[str],
     ) -> PolicyDecision | None:
-        for node in nodes:
+        for index, node in enumerate(nodes):
+            node_id = f"{prefix}{index}"
             if isinstance(node, Return):
+                trace.append(node_id)
                 reason = node.reason or f"{self.name}: explicit {node.decision.value}"
-                return PolicyDecision(node.decision, reason=reason)
+                return PolicyDecision(
+                    node.decision,
+                    reason=reason,
+                    matched_rule=node_id,
+                    rules_fired=tuple(trace),
+                )
             if isinstance(node, If):
                 try:
                     taken = node.condition.holds(ctx)
@@ -219,8 +250,13 @@ class PolicyEngine:
                     raise PolicyEvaluationError(
                         f"condition {node.condition.describe()} raised: {exc}"
                     ) from exc
+                trace.append(
+                    f"{node_id}?{node.condition.describe()}"
+                    f"={'y' if taken else 'n'}"
+                )
                 branch = node.then if taken else node.orelse
-                result = self._eval_block(branch, ctx)
+                branch_prefix = f"{node_id}.{'then' if taken else 'else'}."
+                result = self._eval_block(branch, ctx, branch_prefix, trace)
                 if result is not None:
                     return result
                 continue

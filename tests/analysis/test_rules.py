@@ -8,6 +8,7 @@ from repro.analysis.rules import (
     GlobalRandomRule,
     MutableDefaultRule,
     ObsGuardRule,
+    ProvenanceBypassRule,
     RawTimerRule,
     SaltedHashSeedRule,
     SecretExposureRule,
@@ -505,3 +506,96 @@ class TestRawTimer:
             module="repro.core.hopbyhop",
         )
         assert findings == []
+
+
+class TestProvenanceBypass:
+    def test_flags_unrecorded_admit_outcome(self):
+        findings = lint(
+            """
+            def admit(self, resv):
+                return AdmitOutcome(True, resv)
+            """,
+            ProvenanceBypassRule,
+            module="repro.bb.broker",
+        )
+        assert len(findings) == 1
+        assert "AdmitOutcome" in findings[0].message
+        assert "repro audit --reconcile" in findings[0].message
+
+    def test_flags_unrecorded_make_denial(self):
+        findings = lint(
+            """
+            from repro.core.messages import make_denial
+            def deny(domain, reason, bb):
+                return make_denial(
+                    domain=domain, reason=reason,
+                    bb=bb.dn, bb_key=bb.keypair.private,
+                )
+            """,
+            ProvenanceBypassRule,
+            module="repro.core.hopbyhop",
+        )
+        assert len(findings) == 1
+        assert "make_denial" in findings[0].message
+
+    def test_broker_audit_call_satisfies_the_rule(self):
+        findings = lint(
+            """
+            def admit(self, resv):
+                self._audit("admit", resv, granted=True)
+                return AdmitOutcome(True, resv)
+            """,
+            ProvenanceBypassRule,
+            module="repro.bb.broker",
+        )
+        assert findings == []
+
+    def test_record_decision_satisfies_the_rule(self):
+        findings = lint(
+            """
+            from repro.obs.audit import ledger as obs_audit
+            def deny(domain, reason, bb):
+                obs_audit.record_decision(
+                    obs_audit.RecordKind.DENY, domain=domain, reason=reason,
+                )
+                return make_denial(domain=domain, reason=reason)
+            """,
+            ProvenanceBypassRule,
+            module="repro.core.hopbyhop",
+        )
+        assert findings == []
+
+    def test_out_of_scope_modules_exempt(self):
+        source = """
+            def helper():
+                return make_denial(domain="A", reason="test fixture")
+        """
+        assert lint(
+            source, ProvenanceBypassRule, module="repro.core.testbed"
+        ) == []
+        assert lint(
+            source, ProvenanceBypassRule, module="repro.core.hopbyhop"
+        ) != []
+
+    def test_noqa_escape(self):
+        findings = lint(
+            """
+            def synthesize(domain, reason):
+                return make_denial(domain=domain, reason=reason)  # repro: noqa[REP111] probe
+            """,
+            ProvenanceBypassRule,
+            module="repro.core.hopbyhop",
+        )
+        assert findings == []
+
+    def test_shipping_code_is_clean(self):
+        import pathlib
+
+        import repro.bb.broker
+        import repro.core.hopbyhop
+
+        for mod in (repro.bb.broker, repro.core.hopbyhop):
+            source = pathlib.Path(mod.__file__).read_text()
+            assert check_source(
+                source, module=mod.__name__, rules=[ProvenanceBypassRule]
+            ) == []

@@ -69,3 +69,35 @@ class TestReport:
         assert "trials=6" in text
         assert report.schedule_digest in text
         assert "violations      : 0" in text
+
+
+class TestAudit:
+    def test_audit_off_by_default(self):
+        report = run_chaos(seed=5, trials=4)
+        assert report.ledger is None
+        assert report.audit_report is None
+        assert report.audit_violations == []
+        assert all(t.audit_violations == () for t in report.trials)
+
+    def test_audited_run_reconciles_clean(self):
+        report = run_chaos(seed=11, trials=30, audit=True)
+        assert report.ledger is not None and len(report.ledger) > 0
+        assert report.audit_report is not None
+        assert report.audit_violations == [], report.audit_violations
+        text = report.summary()
+        assert "audit" in text
+        # The campaign must exercise both outcomes for the ledger to
+        # prove anything.
+        assert 0 < report.granted_count < 30
+
+    def test_audited_run_is_ledger_deterministic(self):
+        first = run_chaos(seed=3, trials=10, audit=True)
+        second = run_chaos(seed=3, trials=10, audit=True)
+
+        def shape(ledger):
+            return [
+                (r.kind, r.domain, r.granted, r.reason_code, r.matched_rule)
+                for r in ledger
+            ]
+
+        assert shape(first.ledger) == shape(second.ledger)

@@ -1,0 +1,169 @@
+"""Property suite: the decision-provenance ledger is complete.
+
+Hypothesis drives random topologies and reservation batches through the
+hop-by-hop protocol — serially and through the concurrent engine — and
+checks the audit contract: every admitted reservation stitches into a
+complete per-hop chain (one admission per path domain, in travel
+order), the ledger-internal invariants reconcile clean, and the
+provenance a cache-hit run records is structurally identical to the
+fresh-verification run's (only the verdict ``source`` may differ).
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.concurrent import ConcurrentSignaller, ReservationJob
+from repro.core.testbed import build_linear_testbed
+from repro.crypto import cache as verification_cache
+from repro.obs import audit as obs_audit
+
+RATES = (10.0, 40.0, 60.0, 100.0)
+
+SETTINGS = settings(
+    max_examples=200,
+    deadline=None,  # thread scheduling makes per-example timing noisy
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def worlds(draw):
+    """(domain names, job specs, concurrency) for one example."""
+    n_domains = draw(st.integers(min_value=2, max_value=4))
+    domains = [f"D{i}" for i in range(n_domains)]
+    n_jobs = draw(st.integers(min_value=1, max_value=8))
+    jobs = []
+    for _ in range(n_jobs):
+        src = draw(st.integers(min_value=0, max_value=n_domains - 1))
+        dst = draw(
+            st.integers(min_value=0, max_value=n_domains - 1).filter(
+                lambda d: d != src
+            )
+        )
+        rate = draw(st.sampled_from(RATES))
+        start = draw(st.sampled_from((0.0, 1800.0)))
+        jobs.append((domains[src], domains[dst], rate, start))
+    concurrency = draw(st.integers(min_value=1, max_value=4))
+    return domains, jobs, concurrency
+
+
+def build_world(domains, specs):
+    """A testbed plus the ReservationJobs for *specs* (deterministic:
+    same inputs produce byte-identical certificates and requests)."""
+    tb = build_linear_testbed(list(domains))
+    users = {d: tb.add_user(d, f"user-{d}") for d in domains}
+    jobs = [
+        ReservationJob(
+            user=users[src],
+            request=tb.make_request(
+                source=src, destination=dst, bandwidth_mbps=rate,
+                start=start, duration=3600.0,
+            ),
+        )
+        for src, dst, rate, start in specs
+    ]
+    return tb, jobs
+
+
+def assert_complete_chains(ledger, outcomes):
+    """Every granted outcome stitches into a complete per-hop chain;
+    the whole ledger reconciles with zero violations."""
+    for outcome in outcomes:
+        chain = obs_audit.stitch(ledger, outcome.correlation_id)
+        if outcome.granted:
+            assert chain.granted
+            assert chain.complete_for(outcome.path), (
+                f"incomplete chain for {outcome.correlation_id}: "
+                f"hops {[h.domain for h in chain.hops]} vs path "
+                f"{list(outcome.path)}"
+            )
+            for hop in chain.hops:
+                assert hop.matched_rule, (
+                    f"{hop.domain} admitted without a policy rule"
+                )
+        assert chain.outcome is not None
+        assert chain.outcome.granted == outcome.granted
+    violations = obs_audit.reconcile_ledger(ledger)
+    assert not violations, [v.render() for v in violations]
+
+
+@given(worlds())
+@SETTINGS
+def test_serial_chains_complete(world):
+    """P1: a serial batch leaves one complete, stitchable chain per
+    reservation, and the ledger invariants reconcile clean."""
+    domains, specs, _ = world
+    tb, jobs = build_world(domains, specs)
+    with obs_audit.use_ledger() as ledger:
+        outcomes = [
+            tb.hop_by_hop.reserve(job.user, job.request) for job in jobs
+        ]
+    assert_complete_chains(ledger, outcomes)
+
+
+@given(worlds())
+@SETTINGS
+def test_concurrent_chains_complete(world):
+    """P2: interleaved workers never mix their chains — the contextvar
+    pending-check buffer keeps each reservation's provenance intact."""
+    domains, specs, concurrency = world
+    tb, jobs = build_world(domains, specs)
+    with obs_audit.use_ledger() as ledger:
+        batch = ConcurrentSignaller(
+            tb.hop_by_hop, concurrency=concurrency
+        ).run(jobs)
+    outcomes = [
+        item.outcome for item in batch.scheduled if item.outcome is not None
+    ]
+    assert_complete_chains(ledger, outcomes)
+
+
+def chain_shape(chain):
+    """A chain's provenance with verdict sources erased: what must be
+    identical between a fresh-verification run and a cache-hit run."""
+    return [
+        (
+            record.kind.value,
+            record.domain,
+            record.granted,
+            record.matched_rule,
+            tuple(
+                (check.kind, check.subject, check.verdict)
+                for check in record.checks
+                if check.kind != "retry"
+            ),
+        )
+        for record in [*chain.hops, *chain.lifecycle]
+    ]
+
+
+@given(worlds())
+@SETTINGS
+def test_cached_equals_uncached_provenance(world):
+    """P3: verification caches change only each check's ``source``
+    (``cache:<kind>`` vs ``fresh``) — never which rules fired, which
+    certificates were checked, or any verdict."""
+    domains, specs, _ = world
+    tb_fresh, jobs_fresh = build_world(domains, specs)
+    tb_cached, jobs_cached = build_world(domains, specs)
+
+    with obs_audit.use_ledger() as fresh_ledger:
+        fresh = [
+            tb_fresh.hop_by_hop.reserve(job.user, job.request)
+            for job in jobs_fresh
+        ]
+    with obs_audit.use_ledger() as cached_ledger:
+        with verification_cache.use_caches():
+            cached = [
+                tb_cached.hop_by_hop.reserve(job.user, job.request)
+                for job in jobs_cached
+            ]
+
+    for fresh_outcome, cached_outcome in zip(fresh, cached):
+        fresh_chain = obs_audit.stitch(
+            fresh_ledger, fresh_outcome.correlation_id
+        )
+        cached_chain = obs_audit.stitch(
+            cached_ledger, cached_outcome.correlation_id
+        )
+        assert chain_shape(fresh_chain) == chain_shape(cached_chain)

@@ -181,3 +181,100 @@ class TestWorkload:
         assert rc == 0
         assert "Erlang-B predicts" in out
         assert "rejections" in out
+
+
+class TestAudit:
+    def test_explain_live_demo_four_domains(self, capsys):
+        rc = main(["audit", "explain", "--domains", "A,B,C,D"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "decision chain" in out
+        assert "A -> B -> C -> D" in out
+        assert "rule:" in out
+        assert "check:" in out
+        assert "[fresh]" in out
+
+    def test_explain_save_then_query_and_reconcile(self, capsys, tmp_path):
+        ledger_path = str(tmp_path / "ledger.json")
+        rc = main(["audit", "explain", "--save", ledger_path])
+        assert rc == 0
+        capsys.readouterr()
+
+        rc = main(["audit", "query", "--ledger", ledger_path,
+                   "--kind", "admit"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert out.count("admit") == 4  # one admission per domain
+
+        rc = main(["audit", "--reconcile", "--ledger", ledger_path])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "audit reconciliation: OK" in out
+
+    def test_explain_resolves_handle_from_ledger(self, capsys, tmp_path):
+        ledger_path = str(tmp_path / "ledger.json")
+        main(["audit", "explain", "--save", ledger_path])
+        capsys.readouterr()
+        import json
+
+        with open(ledger_path, encoding="utf-8") as fh:
+            records = json.load(fh)["records"]
+        handle = next(r["handle"] for r in records if r["kind"] == "admit")
+        rc = main(["audit", "explain", handle, "--ledger", ledger_path])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert handle in out
+
+    def test_query_json_output(self, capsys, tmp_path):
+        ledger_path = str(tmp_path / "ledger.json")
+        main(["audit", "explain", "--save", ledger_path])
+        capsys.readouterr()
+        import json
+
+        rc = main(["audit", "query", "--ledger", ledger_path, "--json"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        docs = json.loads(out)
+        assert docs and all("kind" in d for d in docs)
+
+    def test_reconcile_runs_chaos_campaign(self, capsys):
+        rc = main(["audit", "--reconcile", "--trials", "5", "--seed", "3"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "audit reconciliation: OK" in out
+
+    def test_error_paths(self, capsys):
+        assert main(["audit", "query"]) == 2  # no --ledger
+        assert main(["audit"]) == 2  # no mode, no --reconcile
+        assert main(["audit", "query", "--reconcile"]) == 2
+        capsys.readouterr()
+
+    def test_unknown_target_fails(self, capsys, tmp_path):
+        ledger_path = str(tmp_path / "ledger.json")
+        main(["audit", "explain", "--save", ledger_path])
+        capsys.readouterr()
+        rc = main(["audit", "explain", "RES-Z-999999",
+                   "--ledger", ledger_path])
+        assert rc == 1
+
+    def test_bad_kind_rejected(self, capsys, tmp_path):
+        ledger_path = str(tmp_path / "ledger.json")
+        main(["audit", "explain", "--save", ledger_path])
+        capsys.readouterr()
+        assert main(["audit", "query", "--ledger", ledger_path,
+                     "--kind", "bogus"]) == 2
+
+
+class TestChaosAudit:
+    def test_chaos_audit_flag_and_ledger_save(self, capsys, tmp_path):
+        ledger_path = str(tmp_path / "chaos-ledger.json")
+        rc = main(["chaos", "--trials", "4", "--seed", "3", "--audit",
+                   "--save-ledger", ledger_path])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "audit" in out
+        capsys.readouterr()
+        rc = main(["audit", "--reconcile", "--ledger", ledger_path])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "audit reconciliation: OK" in out
