@@ -1,0 +1,204 @@
+"""Concurrency-soundness analysis: lock-order graph, deadlock
+detection, guarded-state inference, and a runtime lock witness.
+
+PR 5 made the signalling path concurrent; the broker-fleet roadmap item
+wants to shard it much further.  This package is the gate that makes
+those steps safe to take: it proves (to a documented approximation)
+that the repo's ~24 locks compose without deadlock and that the state
+they guard is not quietly touched lock-free.
+
+* :mod:`~repro.analysis.concurrency.extract` — AST/type extraction;
+* :mod:`~repro.analysis.concurrency.lockgraph` — the whole-program
+  may-acquire-while-holding graph and cycle detection (``REP120``);
+* :mod:`~repro.analysis.concurrency.guarded` — guarded-state inference
+  (``REP121``) with noqa + committed-baseline escape hatches;
+* :mod:`~repro.analysis.concurrency.witness` — an opt-in runtime lock
+  witness (``pytest --lock-witness``, ``repro chaos --witness``) that
+  records real acquisition orders and cross-checks the static graph.
+
+CLI: ``repro lint --concurrency`` and ``repro lockgraph [--dot|--json]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.concurrency.guarded import (
+    Baseline,
+    default_baseline_path,
+    guarded_state_findings,
+)
+from repro.analysis.concurrency.lockgraph import (
+    DEFAULT_MAX_DEPTH,
+    build_lock_graph,
+    lock_order_findings,
+)
+from repro.analysis.concurrency.model import LockNode, LockOrderGraph
+from repro.analysis.concurrency.extract import ProgramIndex, index_sources
+from repro.analysis.framework import (
+    Finding,
+    Rule,
+    Severity,
+    register,
+    suppressed_lines,
+)
+
+__all__ = [
+    "CONCURRENCY_RULE_IDS",
+    "ConcurrencyReport",
+    "analyze_sources",
+    "analyze_paths",
+    "Baseline",
+    "default_baseline_path",
+    "LockOrderGraph",
+    "LockNode",
+    "ProgramIndex",
+]
+
+CONCURRENCY_RULE_IDS = ("REP120", "REP121")
+
+
+@register
+class LockOrderCycleRule(Rule):
+    """Catalog entry for ``REP120``.
+
+    The analysis is whole-program (it needs every module's summaries at
+    once), so the per-file visitor is a no-op; findings are produced by
+    :func:`analyze_paths`, which ``repro lint --concurrency`` invokes.
+    """
+
+    id = "REP120"
+    title = ("lock-order cycle / non-reentrant self-acquisition "
+             "(potential deadlock; whole-program, via lint --concurrency)")
+    severity = Severity.ERROR
+    packages: tuple[str, ...] | None = None
+
+
+@register
+class UnguardedStateRule(Rule):
+    """Catalog entry for ``REP121`` (see :class:`LockOrderCycleRule`)."""
+
+    id = "REP121"
+    title = ("lock-guarded attribute accessed outside its lock "
+             "(whole-program, via lint --concurrency)")
+    severity = Severity.WARNING
+    packages: tuple[str, ...] | None = None
+
+
+@dataclass
+class ConcurrencyReport:
+    """Everything one concurrency-soundness run produced."""
+
+    graph: LockOrderGraph
+    index: ProgramIndex
+    #: Findings after noqa suppression *and* baseline filtering — what
+    #: ``repro lint --concurrency`` prints and gates on.
+    findings: list[Finding] = field(default_factory=list)
+    #: Unsuppressed REP121 fingerprints (pre-baseline), for
+    #: ``--write-baseline``.
+    rep121_fingerprints: list[str] = field(default_factory=list)
+    #: Unsuppressed cycles (pre-baseline), as baseline cycle keys.
+    cycle_keys: list[str] = field(default_factory=list)
+    suppressed: int = 0
+    baselined: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+
+def _apply_noqa(
+    findings: Sequence[Finding], source_by_path: dict[str, str]
+) -> tuple[list[int], int]:
+    """Indices of findings that survive ``# repro: noqa[...]`` lines."""
+    cache: dict[str, dict[int, frozenset[str]]] = {}
+    kept: list[int] = []
+    dropped = 0
+    for i, finding in enumerate(findings):
+        suppressions = cache.get(finding.path)
+        if suppressions is None:
+            source = source_by_path.get(finding.path)
+            if source is None:
+                try:
+                    source = Path(finding.path).read_text(encoding="utf-8")
+                except OSError:
+                    source = ""
+            suppressions = suppressed_lines(source)
+            cache[finding.path] = suppressions
+        rules = suppressions.get(finding.line)
+        if rules is not None and ("*" in rules or finding.rule in rules):
+            dropped += 1
+            continue
+        kept.append(i)
+    return kept, dropped
+
+
+def analyze_sources(
+    sources: Sequence[tuple[str, str, str]],
+    *,
+    baseline: Baseline | None = None,
+    max_depth: int = DEFAULT_MAX_DEPTH,
+    rules: Sequence[str] = CONCURRENCY_RULE_IDS,
+) -> ConcurrencyReport:
+    """Run the whole-program pass over ``(module, path, source)``
+    triples (the unit the synthetic-fixture tests drive directly)."""
+    baseline = baseline if baseline is not None else Baseline()
+    index = index_sources(sources)
+    graph = build_lock_graph(index, max_depth=max_depth)
+    report = ConcurrencyReport(graph=graph, index=index)
+    source_by_path = {path: source for _, path, source in sources}
+
+    if "REP120" in rules:
+        paired = lock_order_findings(graph)
+        kept, dropped = _apply_noqa(
+            [finding for _, finding in paired], source_by_path
+        )
+        report.suppressed += dropped
+        for i in kept:
+            cycle, finding = paired[i]
+            report.cycle_keys.append("|".join(sorted(cycle)))
+            if baseline.allows_cycle(cycle):
+                report.baselined += 1
+                continue
+            report.findings.append(finding)
+
+    if "REP121" in rules:
+        findings, fingerprints = guarded_state_findings(index)
+        kept, dropped = _apply_noqa(findings, source_by_path)
+        report.suppressed += dropped
+        for i in kept:
+            fingerprint = fingerprints[i]
+            report.rep121_fingerprints.append(fingerprint)
+            if baseline.allows_access(fingerprint):
+                report.baselined += 1
+                continue
+            report.findings.append(findings[i])
+
+    report.findings.sort(key=lambda f: (f.path, f.line, f.column, f.rule))
+    return report
+
+
+def analyze_paths(
+    paths: Sequence[Path] | None = None,
+    *,
+    baseline_path: Path | None = None,
+    max_depth: int = DEFAULT_MAX_DEPTH,
+    rules: Sequence[str] = CONCURRENCY_RULE_IDS,
+) -> ConcurrencyReport:
+    """Run the pass over files/directories (default: the installed
+    ``repro`` package, i.e. what CI gates on)."""
+    from repro.analysis.runner import default_root, iter_sources
+
+    targets = list(paths) if paths else [default_root()]
+    triples = [
+        (module, str(file), file.read_text(encoding="utf-8"))
+        for file, module in iter_sources(targets)
+    ]
+    baseline = Baseline.load(
+        baseline_path if baseline_path is not None else default_baseline_path()
+    )
+    return analyze_sources(
+        triples, baseline=baseline, max_depth=max_depth, rules=rules
+    )

@@ -1,0 +1,293 @@
+"""Guarded-state inference (rule ``REP121``).
+
+For every class that owns a lock, infer which of its attributes the
+code treats as *lock-guarded state*, then flag accesses that bypass the
+guard.  The inference is deliberately evidence-driven rather than
+annotation-driven:
+
+* an attribute is a **candidate** when it is rebound or mutated in
+  place somewhere outside ``__init__`` (an attribute only ever read
+  after construction cannot race with itself);
+* a candidate is **guarded state** when at least
+  :data:`MIN_GUARDED_ACCESSES` of its accesses happen under one of the
+  owner's locks and guarded accesses form a strict majority
+  ("predominantly accessed under that lock");
+* every remaining unguarded access to guarded state — reads included,
+  and accesses from *other* classes reaching in (``registry`` code
+  poking a channel's counters) — is a ``REP121`` finding.
+
+Two escape hatches, both requiring an explicit artifact in the tree:
+``# repro: noqa[REP121] why`` on the access line, or an entry in the
+committed baseline file for intentional lock-free reads
+(``src/repro/analysis/concurrency/baseline.json``).  Baseline entries
+are keyed by ``class.attr`` + accessing function, not line numbers, so
+unrelated edits do not churn the file.
+
+Accesses inside ``__init__`` are exempt (the object is not shared yet),
+as are accesses in underscore-private methods whose *every* intra-class
+call site holds the lock — the broker's ``_audit`` pattern, propagated
+to a fixpoint over the call summaries.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from repro.analysis.concurrency.extract import AttrAccess, ProgramIndex
+from repro.analysis.framework import Finding, Severity
+from repro.errors import AnalysisError
+
+__all__ = [
+    "GuardedAttr",
+    "infer_guarded_state",
+    "guarded_state_findings",
+    "finding_fingerprint",
+    "Baseline",
+    "default_baseline_path",
+]
+
+#: Minimum locked accesses before an attribute counts as guarded state.
+MIN_GUARDED_ACCESSES = 2
+
+
+@dataclass(frozen=True)
+class GuardedAttr:
+    """One inferred guarded attribute of one class."""
+
+    owner: str            # class key
+    attr: str
+    lock: str             # the guarding lock's node key
+    guarded: int          # accesses under the lock
+    unguarded: int        # accesses outside it (pre-exemptions)
+
+
+def _guarded_context_methods(index: ProgramIndex) -> dict[str, frozenset[str]]:
+    """Method key -> locks that are *always* held when it runs.
+
+    Seeds with nothing and iterates: an underscore-private method whose
+    every intra-program call site either holds lock L or is itself a
+    method always-under-L is treated as running under L.  Methods that
+    are never called, or are called from another class, or are public,
+    get no context (a public method must guard for itself).
+    """
+    # Collect call sites per callee: (caller_key, held_locks).
+    sites: dict[str, list[tuple[str, tuple[str, ...]]]] = {}
+    for summary in index.functions.values():
+        for call in summary.calls:
+            if call.target is not None:
+                sites.setdefault(call.target, []).append(
+                    (summary.key, call.held)
+                )
+
+    context: dict[str, frozenset[str]] = {}
+    for _ in range(8):  # fixpoint; tiny graphs converge in 2-3 rounds
+        changed = False
+        for key, summary in index.functions.items():
+            if summary.cls is None:
+                continue
+            name = summary.name
+            if not name.startswith("_") or name.startswith("__"):
+                continue
+            callers = sites.get(key)
+            if not callers:
+                continue
+            held_sets: list[set[str]] = []
+            ok = True
+            for caller_key, held in callers:
+                caller = index.functions.get(caller_key)
+                if caller is None or caller.cls != summary.cls:
+                    ok = False
+                    break
+                effective = set(held) | set(context.get(caller_key, frozenset()))
+                held_sets.append(effective)
+            if not ok or not held_sets:
+                continue
+            common = frozenset(set.intersection(*held_sets))
+            if common and context.get(key, frozenset()) != common:
+                context[key] = common
+                changed = True
+        if not changed:
+            break
+    return context
+
+
+def infer_guarded_state(
+    index: ProgramIndex,
+) -> tuple[dict[tuple[str, str], GuardedAttr], list[AttrAccess]]:
+    """-> (guarded attrs by (owner, attr), all relevant accesses)."""
+    context = _guarded_context_methods(index)
+
+    accesses: list[AttrAccess] = []
+    for summary in index.functions.values():
+        extra = context.get(summary.key, frozenset())
+        for access in summary.accesses:
+            if extra and not access.guarded_by:
+                # Running in an always-under-lock private method: count
+                # the context locks owned by the accessed class.
+                inherited = tuple(
+                    lock for lock in sorted(extra)
+                    if lock.rsplit(".", 1)[0] == access.owner
+                )
+                if inherited:
+                    access = AttrAccess(
+                        owner=access.owner, attr=access.attr,
+                        kind=access.kind, guarded_by=inherited,
+                        line=access.line, col=access.col,
+                        function=access.function, in_init=access.in_init,
+                        cross_class=access.cross_class,
+                    )
+            accesses.append(access)
+
+    per_attr: dict[tuple[str, str], list[AttrAccess]] = {}
+    for access in accesses:
+        if access.in_init:
+            continue
+        per_attr.setdefault((access.owner, access.attr), []).append(access)
+
+    guarded_attrs: dict[tuple[str, str], GuardedAttr] = {}
+    for (owner, attr), attr_accesses in per_attr.items():
+        if not any(a.kind in ("rebind", "mutate") for a in attr_accesses):
+            continue  # read-only after construction: cannot race
+        by_lock: dict[str, int] = {}
+        unguarded = 0
+        for a in attr_accesses:
+            if a.guarded_by:
+                for lock in a.guarded_by:
+                    by_lock[lock] = by_lock.get(lock, 0) + 1
+            else:
+                unguarded += 1
+        if not by_lock:
+            continue
+        lock, guarded = max(by_lock.items(), key=lambda kv: (kv[1], kv[0]))
+        if guarded < MIN_GUARDED_ACCESSES or guarded <= unguarded:
+            continue
+        guarded_attrs[(owner, attr)] = GuardedAttr(
+            owner=owner, attr=attr, lock=lock,
+            guarded=guarded, unguarded=unguarded,
+        )
+    return guarded_attrs, accesses
+
+
+def finding_fingerprint(access: AttrAccess) -> str:
+    """Line-independent identity of one unguarded access, for baselines."""
+    return f"{access.owner}.{access.attr}:{access.function}:{access.kind}"
+
+
+def guarded_state_findings(
+    index: ProgramIndex,
+) -> tuple[list[Finding], list[str]]:
+    """-> (REP121 findings, their fingerprints, aligned by position)."""
+    guarded_attrs, accesses = infer_guarded_state(index)
+    findings: list[Finding] = []
+    fingerprints: list[str] = []
+    for access in accesses:
+        if access.in_init or access.guarded_by:
+            continue
+        info = guarded_attrs.get((access.owner, access.attr))
+        if info is None:
+            continue
+        owner_short = access.owner.removeprefix("repro.")
+        lock_short = info.lock.removeprefix("repro.")
+        verb = {
+            "read": "read", "rebind": "written", "mutate": "mutated",
+        }[access.kind]
+        where = (
+            f"from {access.function.removeprefix('repro.')} "
+            if access.cross_class else ""
+        )
+        findings.append(Finding(
+            path=_function_path(index, access.function),
+            line=access.line,
+            column=access.col,
+            rule="REP121",
+            severity=Severity.WARNING,
+            message=(
+                f"{owner_short}.{access.attr} is guarded state "
+                f"({info.guarded} of {info.guarded + info.unguarded} "
+                f"accesses hold {lock_short}) but is {verb} here "
+                f"{where}without the lock; guard it, or suppress with "
+                f"noqa[REP121] / the concurrency baseline if the "
+                f"lock-free access is intentional"
+            ),
+        ))
+        fingerprints.append(finding_fingerprint(access))
+    order = sorted(
+        range(len(findings)),
+        key=lambda i: (findings[i].path, findings[i].line, findings[i].column),
+    )
+    return [findings[i] for i in order], [fingerprints[i] for i in order]
+
+
+def _function_path(index: ProgramIndex, function_key: str) -> str:
+    summary = index.functions.get(function_key)
+    return summary.path if summary is not None else "<unknown>"
+
+
+# ---------------------------------------------------------------------------
+# Baseline
+# ---------------------------------------------------------------------------
+
+
+def default_baseline_path() -> Path:
+    return Path(__file__).resolve().parent / "baseline.json"
+
+
+class Baseline:
+    """The committed set of accepted concurrency findings.
+
+    ``REP121`` entries are access fingerprints; ``REP120`` entries are
+    cycle keys (sorted node keys joined with ``|``) — expected to stay
+    empty, but the mechanism is uniform so a temporarily-accepted cycle
+    is an explicit, reviewable artifact rather than a skipped CI job.
+    """
+
+    def __init__(
+        self, entries: Mapping[str, Sequence[str]] | None = None
+    ) -> None:
+        entries = entries or {}
+        self.rep121: frozenset[str] = frozenset(entries.get("REP121", ()))
+        self.rep120: frozenset[str] = frozenset(entries.get("REP120", ()))
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        if not path.exists():
+            return cls()
+        try:
+            raw = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise AnalysisError(f"{path}: unreadable baseline: {exc}") from exc
+        if not isinstance(raw, dict) or "baselines" not in raw:
+            raise AnalysisError(
+                f"{path}: expected a JSON object with a 'baselines' key"
+            )
+        return cls(raw["baselines"])
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "comment": (
+                    "Accepted concurrency-soundness findings "
+                    "(repro lint --concurrency).  REP121 keys are "
+                    "class.attr:function:kind fingerprints of "
+                    "intentional lock-free accesses; keep each one "
+                    "justified in docs/STATIC_ANALYSIS.md."
+                ),
+                "baselines": {
+                    "REP120": sorted(self.rep120),
+                    "REP121": sorted(self.rep121),
+                },
+            },
+            indent=2,
+        ) + "\n"
+
+    def save(self, path: Path) -> None:
+        path.write_text(self.to_json(), encoding="utf-8")
+
+    def allows_access(self, fingerprint: str) -> bool:
+        return fingerprint in self.rep121
+
+    def allows_cycle(self, cycle: Sequence[str]) -> bool:
+        return "|".join(sorted(cycle)) in self.rep120

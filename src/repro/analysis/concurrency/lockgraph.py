@@ -1,0 +1,230 @@
+"""Whole-program lock-order analysis (rule ``REP120``).
+
+Assembles the per-function summaries from
+:mod:`repro.analysis.concurrency.extract` into the global
+may-acquire-while-holding graph:
+
+* a nested ``with`` inside a function adds a direct edge held -> inner;
+* a call made while holding a lock adds edges from every held lock to
+  every lock the callee may transitively acquire (bounded-depth closure
+  over the call-graph approximation);
+* a lock passed into a constructor is unified with the attribute that
+  stores it (union-find), so shared locks never fabricate edges;
+* re-acquiring the *same* node is legal for an ``RLock`` (recorded as a
+  re-entry, not an edge) and an immediate self-deadlock for a plain
+  ``Lock`` (reported even without a cycle partner).
+
+Cycles in the resulting graph are reported as ``REP120`` findings with
+one witness call chain per edge.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.analysis.concurrency.extract import FunctionSummary, ProgramIndex
+from repro.analysis.concurrency.model import (
+    EdgeWitness,
+    KIND_LOCK,
+    LockOrderGraph,
+)
+from repro.analysis.framework import Finding, Severity
+
+__all__ = ["build_lock_graph", "lock_order_findings", "DEFAULT_MAX_DEPTH"]
+
+#: How many call-graph levels the transitive may-acquire closure follows
+#: before giving up on a path (deep recursion is cut, not explored).
+DEFAULT_MAX_DEPTH = 8
+
+
+def _unify_aliases(index: ProgramIndex, graph: LockOrderGraph) -> None:
+    """Fold constructor-injected locks onto the caller's declaration.
+
+    For every constructor call that passes one of the caller's locks,
+    find which parameter received it and whether some class in the
+    constructed class's MRO stores that parameter in a ``param``-kind
+    lock attribute; if so the two keys are one runtime lock.
+    """
+    for summary in index.functions.values():
+        for call in summary.calls:
+            if not call.lock_args or call.target is None:
+                continue
+            if not call.target.endswith(".__init__"):
+                continue
+            class_key = call.target.rsplit(".", 1)[0]
+            for param, fresh_key in call.lock_args:
+                for mro_key in index.mro(class_key):
+                    cls = index.classes.get(mro_key)
+                    if cls is None:
+                        continue
+                    for decl in cls.lock_decls.values():
+                        if decl.source_param == param:
+                            graph.aliases.union(fresh_key, decl.key)
+
+
+class _Closure:
+    """Bounded transitive may-acquire sets over the call graph.
+
+    Computed as an iterative fixpoint: each round propagates callees'
+    sets one call level outward, so ``max_depth`` rounds give exactly
+    the locks reachable through chains of at most ``max_depth`` calls
+    (the documented call-graph depth bound).
+    """
+
+    def __init__(
+        self,
+        functions: Mapping[str, FunctionSummary],
+        canon,
+        max_depth: int,
+    ) -> None:
+        self.functions = functions
+        self.canon = canon
+        self.max_depth = max_depth
+        self._sets: dict[str, frozenset[str]] = {
+            key: frozenset(canon(a.lock) for a in summary.acquisitions)
+            for key, summary in functions.items()
+        }
+        for _ in range(max_depth):
+            changed = False
+            for key, summary in functions.items():
+                merged = set(self._sets[key])
+                for call in summary.calls:
+                    if call.target is not None:
+                        merged |= self._sets.get(call.target, frozenset())
+                if len(merged) != len(self._sets[key]):
+                    self._sets[key] = frozenset(merged)
+                    changed = True
+            if not changed:
+                break
+
+    def may_acquire(self, key: str) -> frozenset[str]:
+        return self._sets.get(key, frozenset())
+
+    def witness_chain(
+        self, key: str, target_lock: str
+    ) -> tuple[str, ...] | None:
+        """A call chain from *key* to a function that directly acquires
+        *target_lock* (canonical), for edge reports.  BFS, shortest
+        chain first, each function visited once."""
+        seen: set[str] = {key}
+        queue: list[tuple[str, ...]] = [(key,)]
+        while queue:
+            chain = queue.pop(0)
+            if len(chain) > self.max_depth + 1:
+                continue
+            summary = self.functions.get(chain[-1])
+            if summary is None:
+                continue
+            for acq in summary.acquisitions:
+                if self.canon(acq.lock) == target_lock:
+                    return chain
+            for call in summary.calls:
+                if call.target is not None and call.target not in seen:
+                    seen.add(call.target)
+                    queue.append((*chain, call.target))
+        return None
+
+
+def build_lock_graph(
+    index: ProgramIndex, *, max_depth: int = DEFAULT_MAX_DEPTH
+) -> LockOrderGraph:
+    """The whole-program lock-order graph for an indexed source set."""
+    graph = LockOrderGraph()
+    _unify_aliases(index, graph)
+    canon = graph.aliases.find
+
+    # Nodes: every fresh declaration (param aliases fold onto their
+    # creating declaration; unresolved param locks stay as nodes of
+    # their own so acquisitions through them are still tracked).
+    for decl in index.lock_decls.values():
+        if canon(decl.key) == decl.key:
+            graph.add_node(decl.node())
+
+    closure = _Closure(index.functions, canon, max_depth)
+
+    for summary in index.functions.values():
+        for acq in summary.acquisitions:
+            inner = canon(acq.lock)
+            for held in acq.held:
+                outer = canon(held)
+                witness = EdgeWitness(
+                    function=summary.key, path=summary.path, line=acq.line
+                )
+                if outer == inner:
+                    node = graph.node(inner)
+                    if node is not None and node.kind == KIND_LOCK:
+                        # Non-reentrant self-acquisition: guaranteed
+                        # self-deadlock, keep the self-edge.
+                        graph.add_edge(outer, inner, witness)
+                    else:
+                        graph.note_reentry(inner, witness)
+                    continue
+                graph.add_edge(outer, inner, witness)
+        for call in summary.calls:
+            if call.target is None or not call.held:
+                continue
+            acquired = closure.may_acquire(call.target)
+            if not acquired:
+                continue
+            for inner in sorted(acquired):
+                chain = closure.witness_chain(call.target, inner) or (
+                    call.target,
+                )
+                witness = EdgeWitness(
+                    function=summary.key, path=summary.path,
+                    line=call.line, chain=chain,
+                )
+                for held in call.held:
+                    outer = canon(held)
+                    if outer == inner:
+                        node = graph.node(inner)
+                        if node is not None and node.kind == KIND_LOCK:
+                            graph.add_edge(outer, inner, witness)
+                        else:
+                            graph.note_reentry(inner, witness)
+                        continue
+                    graph.add_edge(outer, inner, witness)
+    return graph
+
+
+def lock_order_findings(
+    graph: LockOrderGraph,
+) -> list[tuple[tuple[str, ...], Finding]]:
+    """``REP120`` findings, one per potential-deadlock cycle, paired
+    with the cycle that produced each (for baseline keying)."""
+    findings: list[tuple[tuple[str, ...], Finding]] = []
+    for cycle in graph.cycles():
+        witnesses = graph.cycle_witnesses(cycle)
+        if not witnesses:  # pragma: no cover - cycles come from edges
+            continue
+        anchor = min(witnesses, key=lambda w: (w[2].path, w[2].line))
+        _, _, anchor_witness = anchor
+        pretty = " -> ".join(
+            (graph.node(k).short() if graph.node(k) else k)
+            for k in (*cycle, cycle[0])
+        )
+        details = "; ".join(
+            f"{graph.node(src).short() if graph.node(src) else src}->"
+            f"{graph.node(dst).short() if graph.node(dst) else dst} "
+            f"in {w.describe()}"
+            for src, dst, w in witnesses
+        )
+        if len(cycle) == 1:
+            message = (
+                f"non-reentrant lock {pretty.split(' -> ')[0]} may be "
+                f"re-acquired while already held (self-deadlock): {details}"
+            )
+        else:
+            message = (
+                f"lock-order cycle (potential deadlock): {pretty} — {details}"
+            )
+        findings.append((cycle, Finding(
+            path=anchor_witness.path,
+            line=anchor_witness.line,
+            column=0,
+            rule="REP120",
+            severity=Severity.ERROR,
+            message=message,
+        )))
+    findings.sort(key=lambda cf: (cf[1].path, cf[1].line, cf[1].message))
+    return findings

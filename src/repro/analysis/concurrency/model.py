@@ -1,0 +1,367 @@
+"""Data model of the concurrency-soundness pass.
+
+The unit of reasoning is the **static lock node**: one `threading.Lock`
+/ ``threading.RLock`` *declaration site*, identified by the attribute it
+is stored in (``repro.bb.broker.BandwidthBroker._lock``) or the
+module-global name that binds it (``repro.obs.metrics._global_lock``).
+All runtime instances of a class share one node — the discipline we are
+checking ("never acquire a broker lock while holding a reservation-table
+lock") is a property of the *code*, not of individual objects.
+
+The :class:`LockOrderGraph` holds the may-acquire-while-holding
+relation: an edge ``A -> B`` means some code path acquires ``B`` (maybe
+through a chain of calls) while already holding ``A``.  A cycle in this
+graph is a potential deadlock (rule ``REP120``): two threads entering
+the cycle from different nodes can each hold the lock the other needs.
+
+A lock passed into a constructor rather than freshly created (the
+metrics instruments share their registry's ``RLock``) is the *same*
+runtime object under a second name; :class:`LockAliases` is the
+union-find that folds such aliases onto the declaration that actually
+created the lock, so sharing a lock never fabricates an ordering edge.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+__all__ = [
+    "LockNode",
+    "EdgeWitness",
+    "LockEdge",
+    "LockAliases",
+    "LockOrderGraph",
+]
+
+#: Lock flavours, as discovered at the declaration site.
+KIND_LOCK = "lock"
+KIND_RLOCK = "rlock"
+#: The attribute stores a lock received from a constructor parameter:
+#: an alias of whatever its callers pass in, not a lock of its own.
+KIND_PARAM = "param"
+
+
+@dataclass(frozen=True)
+class LockNode:
+    """One static lock declaration."""
+
+    #: Stable identity: ``module.Class.attr`` or ``module.NAME``.
+    key: str
+    kind: str
+    #: File and line of the ``threading.Lock()`` / ``RLock()`` call (or
+    #: of the aliasing assignment for ``param`` locks).  The runtime
+    #: witness maps real lock objects back to nodes through this site.
+    path: str = ""
+    line: int = 0
+
+    @property
+    def reentrant(self) -> bool:
+        return self.kind == KIND_RLOCK
+
+    def short(self) -> str:
+        """Drop the common ``repro.`` prefix for human output."""
+        return self.key.removeprefix("repro.")
+
+
+@dataclass(frozen=True)
+class EdgeWitness:
+    """Why one may-acquire-while-holding edge exists: the function whose
+    body induces it, and the call chain (empty for a direct nested
+    ``with``) through which the inner acquisition is reached."""
+
+    function: str
+    path: str
+    line: int
+    chain: tuple[str, ...] = ()
+
+    def describe(self) -> str:
+        via = f" via {' -> '.join(self.chain)}" if self.chain else ""
+        return f"{self.function} ({self.path}:{self.line}){via}"
+
+
+class LockAliases:
+    """Union-find over lock node keys (constructor-injected locks)."""
+
+    def __init__(self) -> None:
+        self._parent: dict[str, str] = {}
+        #: Which key of each alias class owns a *fresh* declaration;
+        #: canonicalization prefers it so merged nodes keep the real
+        #: creation site and kind.
+        self._fresh: dict[str, str] = {}
+
+    def find(self, key: str) -> str:
+        root = key
+        while self._parent.get(root, root) != root:
+            root = self._parent[root]
+        # Path compression.
+        while self._parent.get(key, key) != root:
+            self._parent[key], key = root, self._parent[key]
+        return root
+
+    def union(self, fresh_key: str, alias_key: str) -> None:
+        """Declare *alias_key* to be the same runtime lock as
+        *fresh_key* (the declaration that created it)."""
+        fresh_root = self.find(fresh_key)
+        alias_root = self.find(alias_key)
+        if fresh_root == alias_root:
+            return
+        self._parent[alias_root] = fresh_root
+        self._fresh.setdefault(fresh_root, fresh_key)
+
+    def classes(self) -> Mapping[str, tuple[str, ...]]:
+        """root -> members, for reporting."""
+        out: dict[str, list[str]] = {}
+        for key in self._parent:
+            out.setdefault(self.find(key), []).append(key)
+        return {root: tuple(sorted(members)) for root, members in out.items()}
+
+
+class LockOrderGraph:
+    """The may-acquire-while-holding digraph over canonical lock nodes."""
+
+    def __init__(self) -> None:
+        self._nodes: dict[str, LockNode] = {}
+        self._edges: dict[tuple[str, str], list[EdgeWitness]] = {}
+        #: Re-entrant self-acquisitions we deliberately did not turn
+        #: into self-edges (an RLock taken while already held by the
+        #: same thread), kept for reporting and witness cross-checks.
+        self.reentries: dict[str, list[EdgeWitness]] = {}
+        self.aliases = LockAliases()
+
+    # -- construction ------------------------------------------------------------
+
+    def add_node(self, node: LockNode) -> None:
+        existing = self._nodes.get(node.key)
+        if existing is None or existing.kind == KIND_PARAM:
+            self._nodes[node.key] = node
+
+    def add_edge(self, src: str, dst: str, witness: EdgeWitness) -> None:
+        witnesses = self._edges.setdefault((src, dst), [])
+        if len(witnesses) < 8:  # keep reports bounded
+            witnesses.append(witness)
+
+    def note_reentry(self, key: str, witness: EdgeWitness) -> None:
+        entries = self.reentries.setdefault(key, [])
+        if len(entries) < 8:
+            entries.append(witness)
+
+    # -- queries ------------------------------------------------------------------
+
+    def node(self, key: str) -> LockNode | None:
+        return self._nodes.get(key)
+
+    def nodes(self) -> tuple[LockNode, ...]:
+        return tuple(self._nodes[k] for k in sorted(self._nodes))
+
+    def edges(self) -> Mapping[tuple[str, str], tuple[EdgeWitness, ...]]:
+        return {pair: tuple(w) for pair, w in sorted(self._edges.items())}
+
+    def successors(self, key: str) -> tuple[str, ...]:
+        return tuple(
+            sorted(dst for (src, dst) in self._edges if src == key)
+        )
+
+    def has_edge(self, src: str, dst: str) -> bool:
+        return (src, dst) in self._edges
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._nodes
+
+    # -- cycle detection ----------------------------------------------------------
+
+    def cycles(self) -> list[tuple[str, ...]]:
+        """Potential-deadlock cycles, one representative per strongly
+        connected component (plus every self-loop), deterministically
+        ordered.  A cycle is reported starting from its smallest key.
+        """
+        adj: dict[str, list[str]] = {}
+        for (src, dst) in self._edges:
+            adj.setdefault(src, []).append(dst)
+        for outs in adj.values():
+            outs.sort()
+
+        sccs = _tarjan_sccs(sorted(self._nodes), adj)
+        found: list[tuple[str, ...]] = []
+        for scc in sccs:
+            members = set(scc)
+            if len(scc) == 1:
+                key = scc[0]
+                if key in adj and key in adj[key]:
+                    found.append((key,))
+                continue
+            start = min(scc)
+            cycle = _cycle_through(start, adj, members)
+            if cycle:
+                found.append(tuple(cycle))
+        found.sort()
+        return found
+
+    def cycle_witnesses(
+        self, cycle: tuple[str, ...]
+    ) -> list[tuple[str, str, EdgeWitness]]:
+        """One witness per edge of *cycle* (closing edge included)."""
+        out: list[tuple[str, str, EdgeWitness]] = []
+        for i, src in enumerate(cycle):
+            dst = cycle[(i + 1) % len(cycle)]
+            witnesses = self._edges.get((src, dst), ())
+            if witnesses:
+                out.append((src, dst, witnesses[0]))
+        return out
+
+    # -- rendering ----------------------------------------------------------------
+
+    def to_dot(self) -> str:
+        """Graphviz rendering; cycle edges are drawn red and bold."""
+        cyclic_edges: set[tuple[str, str]] = set()
+        for cycle in self.cycles():
+            for i, src in enumerate(cycle):
+                cyclic_edges.add((src, cycle[(i + 1) % len(cycle)]))
+        lines = [
+            "digraph lockorder {",
+            "  rankdir=LR;",
+            '  node [shape=box, fontname="monospace", fontsize=10];',
+        ]
+        for node in self.nodes():
+            shape = "box" if node.kind == KIND_LOCK else "ellipse"
+            lines.append(
+                f'  "{node.short()}" [shape={shape}, '
+                f'tooltip="{node.path}:{node.line} ({node.kind})"];'
+            )
+        for (src, dst), witnesses in sorted(self._edges.items()):
+            src_node = self._nodes.get(src)
+            dst_node = self._nodes.get(dst)
+            src_label = src_node.short() if src_node else src
+            dst_label = dst_node.short() if dst_node else dst
+            style = (
+                ' [color=red, penwidth=2.0]'
+                if (src, dst) in cyclic_edges else ""
+            )
+            first = witnesses[0].describe() if witnesses else ""
+            lines.append(
+                f'  "{src_label}" -> "{dst_label}"'
+                f'{style or f" [tooltip={json.dumps(first)}]"};'
+            )
+        lines.append("}")
+        return "\n".join(lines)
+
+    def to_json(self) -> dict[str, object]:
+        return {
+            "nodes": [
+                {
+                    "key": n.key,
+                    "kind": n.kind,
+                    "path": n.path,
+                    "line": n.line,
+                }
+                for n in self.nodes()
+            ],
+            "edges": [
+                {
+                    "src": src,
+                    "dst": dst,
+                    "witnesses": [w.describe() for w in witnesses],
+                }
+                for (src, dst), witnesses in sorted(self._edges.items())
+            ],
+            "aliases": {
+                root: list(members)
+                for root, members in sorted(self.aliases.classes().items())
+            },
+            "cycles": [list(c) for c in self.cycles()],
+        }
+
+    def summary(self) -> str:
+        cycles = self.cycles()
+        lines = [
+            f"lock-order graph: {len(self._nodes)} lock(s), "
+            f"{len(self._edges)} may-acquire-while-holding edge(s), "
+            f"{len(cycles)} cycle(s)"
+        ]
+        for node in self.nodes():
+            succ = self.successors(node.key)
+            arrow = f" -> {', '.join(self._short(s) for s in succ)}" if succ else ""
+            lines.append(f"  [{node.kind:<5s}] {node.short()}{arrow}")
+        for cycle in cycles:
+            pretty = " -> ".join(self._short(k) for k in (*cycle, cycle[0]))
+            lines.append(f"  CYCLE: {pretty}")
+        return "\n".join(lines)
+
+    def _short(self, key: str) -> str:
+        node = self._nodes.get(key)
+        return node.short() if node else key
+
+
+def _tarjan_sccs(
+    nodes: Iterable[str], adj: Mapping[str, list[str]]
+) -> list[list[str]]:
+    """Iterative Tarjan strongly-connected components (stable order)."""
+    index: dict[str, int] = {}
+    lowlink: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    sccs: list[list[str]] = []
+    counter = iter(range(1 << 30))
+
+    for root in nodes:
+        if root in index:
+            continue
+        work: list[tuple[str, Iterator[str]]] = [(root, iter(adj.get(root, ())))]
+        index[root] = lowlink[root] = next(counter)
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            v, successors = work[-1]
+            advanced = False
+            for w in successors:
+                if w not in index:
+                    index[w] = lowlink[w] = next(counter)
+                    stack.append(w)
+                    on_stack.add(w)
+                    work.append((w, iter(adj.get(w, ()))))
+                    advanced = True
+                    break
+                if w in on_stack:
+                    lowlink[v] = min(lowlink[v], index[w])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[v])
+            if lowlink[v] == index[v]:
+                scc: list[str] = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    scc.append(w)
+                    if w == v:
+                        break
+                sccs.append(sorted(scc))
+    return sccs
+
+
+def _cycle_through(
+    start: str, adj: Mapping[str, list[str]], members: set[str]
+) -> list[str] | None:
+    """A simple cycle from *start* back to itself inside *members*."""
+    path: list[str] = [start]
+    seen: set[str] = {start}
+
+    def dfs(v: str) -> bool:
+        for w in adj.get(v, ()):
+            if w not in members:
+                continue
+            if w == start:
+                return True
+            if w in seen:
+                continue
+            seen.add(w)
+            path.append(w)
+            if dfs(w):
+                return True
+            path.pop()
+        return False
+
+    return path if dfs(start) else None

@@ -22,7 +22,14 @@ from __future__ import annotations
 
 import logging
 from dataclasses import dataclass, field, replace
-from typing import Any, Callable, Iterable, Mapping, Sequence
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Iterable,
+    Mapping,
+    Sequence,
+)
 
 from repro.analysis.policycheck import verify_policy
 from repro.crypto.capability import verify_delegation_chain
@@ -41,6 +48,9 @@ from repro.policy.engine import (
 from repro.policy.groupserver import GroupServer
 from repro.policy.attributes import SignedAssertion
 from repro.bb.reservations import ReservationRequest
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults.injector import FaultInjector
 
 __all__ = ["VerifiedInfo", "PolicyServer", "AkentiPolicyServer"]
 
@@ -126,7 +136,7 @@ class PolicyServer:
         #: Counters for the benchmark harness.
         self.decisions = 0
         #: Optional deterministic fault injector (timeout/unavailable).
-        self.injector: Any = None
+        self.injector: FaultInjector | None = None
         #: Optional revocation oracle consulted on every delegation-chain
         #: verification (cached *and* uncached paths) — typically the
         #: community CA's ``is_revoked``.

@@ -21,14 +21,21 @@ Subcommands:
 * ``slo`` — run reservations under observability and evaluate the
   declarative SLOs (latency quantiles, denial rate, breaker opens),
   printing per-objective burn rates;
-* ``lint`` — run the repo's custom AST lint rules (REP101..REP110) over
-  the ``repro`` package (or given paths); exits nonzero on findings;
+* ``lint`` — run the repo's custom AST lint rules (REP101..REP111) over
+  the ``repro`` package (or given paths); ``--select``/``--ignore``
+  filter rules; ``--concurrency`` runs the whole-program concurrency
+  pass instead (REP120 lock-order cycles, REP121 unguarded guarded-state
+  access).  Exit codes: 0 clean, 1 findings, 2 analyzer crash/usage;
+* ``lockgraph`` — print the may-acquire-while-holding lock graph the
+  concurrency pass inferred (``--dot`` for Graphviz, ``--json``);
 * ``lint-policy`` — statically verify policy files in the paper's
   syntax: unreachable branches, contradictory conditions, non-exhaustive
   chains, always-DENY subtrees;
 * ``chaos`` — run the seeded single-fault chaos matrix against fresh
   testbeds and report invariant violations (capacity leaks, stuck
-  reservations, unreleased channels); exits nonzero on any violation.
+  reservations, unreleased channels); exits nonzero on any violation;
+  ``--witness`` additionally records real lock acquisition orders and
+  cross-checks them against the static lock-order graph.
 
 ``-v`` / ``-vv`` (before the subcommand) raises logging to INFO / DEBUG.
 
@@ -44,8 +51,11 @@ Examples::
     python -m repro bench --quick --compare
     python -m repro slo --runs 20 --spec objectives.json
     python -m repro lint --format json
+    python -m repro lint --concurrency
+    python -m repro lockgraph --dot
     python -m repro lint-policy examples/policies/*.policy
     python -m repro chaos --seed 7 --trials 200
+    python -m repro chaos --seed 7 --trials 50 --witness
 """
 
 from __future__ import annotations
@@ -204,16 +214,49 @@ def build_parser() -> argparse.ArgumentParser:
     lint = sub.add_parser(
         "lint",
         help="run the repo's AST lint rules; nonzero exit on findings",
+        description="Run the repo's AST lint rules. Exit codes: "
+                    "0 = clean, 1 = findings, 2 = analyzer crash or "
+                    "bad usage (unknown rule, unreadable baseline).",
     )
     lint.add_argument("paths", nargs="*",
                       help="files/directories to lint (default: the "
                            "installed repro package)")
     lint.add_argument("--format", choices=("human", "json"), default="human",
                       help="output format")
-    lint.add_argument("--rule", action="append", default=[],
+    lint.add_argument("--rule", "--select", action="append", default=[],
+                      dest="select", metavar="RULE",
                       help="only run this rule id (repeatable)")
+    lint.add_argument("--ignore", action="append", default=[],
+                      metavar="RULE",
+                      help="skip this rule id (repeatable; applied "
+                           "after --select)")
     lint.add_argument("--list-rules", action="store_true",
                       help="print the rule catalog and exit")
+    lint.add_argument("--concurrency", action="store_true",
+                      help="run the whole-program concurrency pass "
+                           "(REP120 lock-order cycles, REP121 unguarded "
+                           "guarded-state access) instead of the "
+                           "per-file rules")
+    lint.add_argument("--baseline", default=None, metavar="PATH",
+                      help="with --concurrency: baseline file of "
+                           "accepted findings (default: the committed "
+                           "src/repro/analysis/concurrency/baseline.json)")
+    lint.add_argument("--write-baseline", action="store_true",
+                      help="with --concurrency: accept all current "
+                           "findings into the baseline file and exit 0")
+
+    lockgraph = sub.add_parser(
+        "lockgraph",
+        help="print the whole-program lock-order graph "
+             "(informational; exit 2 only on analyzer crash)",
+    )
+    lockgraph.add_argument("paths", nargs="*",
+                           help="files/directories to analyze (default: "
+                                "the installed repro package)")
+    lockgraph.add_argument("--dot", action="store_true",
+                           help="emit Graphviz DOT (cycle edges in red)")
+    lockgraph.add_argument("--json", action="store_true",
+                           help="emit the graph as JSON")
 
     lint_policy = sub.add_parser(
         "lint-policy",
@@ -251,6 +294,11 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--save-ledger", default=None, metavar="PATH",
                        help="with --audit: write the campaign ledger JSON "
                             "here (for repro audit --ledger)")
+    chaos.add_argument("--witness", action="store_true",
+                       help="record real lock acquisition orders during "
+                            "the campaign and cross-check them against "
+                            "the static lock-order graph (inconsistency "
+                            "fails the run)")
 
     audit = sub.add_parser(
         "audit",
@@ -576,23 +624,114 @@ def cmd_lint(args: argparse.Namespace) -> int:
 
     from repro.analysis import lint_paths, registered_rules, render_findings
     from repro.analysis.runner import describe_rules
+    from repro.errors import AnalysisError
 
     if args.list_rules:
         print(describe_rules())
         return 0
     registry = registered_rules()
-    rules = None
-    if args.rule:
-        unknown = [r for r in args.rule if r not in registry]
-        if unknown:
-            print(f"error: unknown rule(s): {', '.join(unknown)}",
-                  file=sys.stderr)
-            return 2
-        rules = [registry[r] for r in args.rule]
+    unknown = [
+        r for r in (*args.select, *args.ignore) if r not in registry
+    ]
+    if unknown:
+        print(f"error: unknown rule(s): {', '.join(unknown)}",
+              file=sys.stderr)
+        return 2
     paths = [Path(p) for p in args.paths] or None
-    findings = lint_paths(paths, rules=rules)
+
+    if args.concurrency:
+        return _lint_concurrency(args, paths)
+    if args.baseline or args.write_baseline:
+        print("error: --baseline/--write-baseline need --concurrency",
+              file=sys.stderr)
+        return 2
+
+    selected = set(args.select) or set(registry)
+    selected -= set(args.ignore)
+    rules = [registry[r] for r in sorted(selected)]
+    try:
+        findings = lint_paths(paths, rules=rules)
+    except AnalysisError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     print(render_findings(findings, output_format=args.format))
     return 1 if findings else 0
+
+
+def _lint_concurrency(args: argparse.Namespace, paths) -> int:
+    from pathlib import Path
+
+    from repro.analysis import render_findings
+    from repro.analysis.concurrency import (
+        CONCURRENCY_RULE_IDS,
+        analyze_paths,
+    )
+    from repro.analysis.concurrency.guarded import (
+        Baseline,
+        default_baseline_path,
+    )
+    from repro.errors import AnalysisError
+
+    rules = [
+        r for r in CONCURRENCY_RULE_IDS
+        if (not args.select or r in args.select) and r not in args.ignore
+    ]
+    baseline_path = (
+        Path(args.baseline) if args.baseline else default_baseline_path()
+    )
+    try:
+        report = analyze_paths(
+            paths, baseline_path=baseline_path, rules=rules
+        )
+    except (AnalysisError, SyntaxError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.write_baseline:
+        baseline = Baseline({
+            "REP120": report.cycle_keys,
+            "REP121": report.rep121_fingerprints,
+        })
+        try:
+            baseline.save(baseline_path)
+        except OSError as exc:
+            print(f"error: {baseline_path}: {exc}", file=sys.stderr)
+            return 2
+        print(f"wrote {baseline_path} ({len(report.cycle_keys)} cycle(s), "
+              f"{len(report.rep121_fingerprints)} access(es))")
+        return 0
+    print(render_findings(report.findings, output_format=args.format))
+    if args.format == "human":
+        extras = []
+        if report.suppressed:
+            extras.append(f"{report.suppressed} noqa-suppressed")
+        if report.baselined:
+            extras.append(f"{report.baselined} baselined")
+        tail = f" ({', '.join(extras)})" if extras else ""
+        print(report.graph.summary().splitlines()[0] + tail,
+              file=sys.stderr)
+    return 1 if report.findings else 0
+
+
+def cmd_lockgraph(args: argparse.Namespace) -> int:
+    import json as json_mod
+    from pathlib import Path
+
+    from repro.analysis.concurrency import analyze_paths
+    from repro.errors import AnalysisError
+
+    paths = [Path(p) for p in args.paths] or None
+    try:
+        report = analyze_paths(paths, rules=())
+    except (AnalysisError, SyntaxError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.dot:
+        print(report.graph.to_dot())
+    elif args.json:
+        print(json_mod.dumps(report.graph.to_json(), indent=2))
+    else:
+        print(report.graph.summary())
+    return 0
 
 
 def cmd_lint_policy(args: argparse.Namespace) -> int:
@@ -743,15 +882,34 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     if args.trials < 1:
         print("error: --trials must be >= 1", file=sys.stderr)
         return 2
-    report = run_chaos(
-        seed=args.seed,
-        trials=args.trials,
-        domains=domains,
-        rate_mbps=args.rate,
-        deadline_s=args.deadline,
-        soft_state_ttl_s=args.ttl,
-        audit=args.audit,
-    )
+    witness = None
+    if args.witness:
+        from repro.analysis.concurrency.witness import LockWitness
+
+        witness = LockWitness().install()
+    try:
+        report = run_chaos(
+            seed=args.seed,
+            trials=args.trials,
+            domains=domains,
+            rate_mbps=args.rate,
+            deadline_s=args.deadline,
+            soft_state_ttl_s=args.ttl,
+            audit=args.audit,
+        )
+    finally:
+        if witness is not None:
+            witness.uninstall()
+    if witness is not None:
+        from repro.analysis.concurrency import analyze_paths
+
+        static = analyze_paths(rules=())
+        problems = witness.check_against(static.graph)
+        print(witness.summary())
+        for problem in problems:
+            print(f"witness: {problem}", file=sys.stderr)
+        if problems:
+            return 1
     if args.show_trials:
         for trial in report.trials:
             verdict = "granted" if trial.granted else "denied "
@@ -954,6 +1112,8 @@ def main(argv: list[str] | None = None) -> int:
             return cmd_slo(args)
         if args.command == "lint":
             return cmd_lint(args)
+        if args.command == "lockgraph":
+            return cmd_lockgraph(args)
         if args.command == "lint-policy":
             return cmd_lint_policy(args)
         if args.command == "chaos":

@@ -135,32 +135,59 @@ class SecureChannel:
         timeout/retry machinery sees the loss instead of a silent
         ``None`` flowing downstream.
         """
+        return self.transmit_timed(sender, message)[0]
+
+    def transmit_timed(
+        self, sender: DistinguishedName, message: Any
+    ) -> tuple[Any, float]:
+        """:meth:`transmit`, also returning the injected extra delay of
+        *this* delivery.
+
+        The returned delay is the race-free way to read it: with two
+        concurrent senders on one link, ``last_delay_s`` may already
+        belong to the other sender's delivery by the time it is read.
+        """
         if sender not in self._ends:
             raise ChannelError(f"{sender} is not an endpoint of this channel")
-        self.last_delay_s = 0.0
+        delay_s = 0.0
         if self.tamper_hook is not None:
             message = self.tamper_hook(message)
             if message is None:
                 with self._lock:
                     self.drops += 1
+                    self.last_delay_s = delay_s
                 raise MessageDroppedError(
                     f"message from {sender} dropped on link {self.link} "
                     "by the tamper hook"
                 )
         if self.injector is not None:
             try:
-                message, self.last_delay_s = self.injector.channel_transmit(
+                message, delay_s = self.injector.channel_transmit(
                     self.link, message
                 )
             except MessageDroppedError:
                 with self._lock:
                     self.drops += 1
+                    self.last_delay_s = delay_s
                 raise
         size = getattr(message, "wire_size", None)
         with self._lock:
             self.messages += 1
             self.bytes += size() if callable(size) else 0
-        return message
+            self.last_delay_s = delay_s
+        return message, delay_s
+
+    def counter_snapshot(self) -> tuple[int, int, int]:
+        """A consistent ``(messages, bytes, drops)`` snapshot."""
+        with self._lock:
+            return self.messages, self.bytes, self.drops
+
+    def reset_counters(self) -> None:
+        with self._lock:
+            self.messages = 0
+            self.bytes = 0
+            self.drops = 0
+            self.last_delay_s = 0.0
 
 
 class ChannelRegistry:
@@ -220,13 +247,11 @@ class ChannelRegistry:
             return tuple(self._channels.values())
 
     def total_messages(self) -> int:
-        return sum(c.messages for c in self._channels.values())
+        return sum(c.counter_snapshot()[0] for c in self.all())
 
     def total_bytes(self) -> int:
-        return sum(c.bytes for c in self._channels.values())
+        return sum(c.counter_snapshot()[1] for c in self.all())
 
     def reset_counters(self) -> None:
-        for c in self._channels.values():
-            c.messages = 0
-            c.bytes = 0
-            c.drops = 0
+        for c in self.all():
+            c.reset_counters()

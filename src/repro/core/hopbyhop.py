@@ -301,11 +301,10 @@ class HopByHopProtocol:
                 deadline.check(now, what=what)
             breaker.check(now)
             try:
-                received = channel.transmit(sender, message)
+                received, extra = channel.transmit_timed(sender, message)
             except MessageDroppedError as exc:
                 last_exc = exc
             else:
-                extra = channel.last_delay_s
                 if extra > 0.0 and extra >= self.hop_timeout_s:
                     # Delivered, but after the sender's timeout fired; the
                     # receiver discards the stale copy as a duplicate.

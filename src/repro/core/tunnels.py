@@ -286,9 +286,9 @@ class TunnelService:
         )
         try:
             for channel, sender, payload in legs:
-                channel.transmit(sender, payload)
+                _, extra_delay = channel.transmit_timed(sender, payload)
                 messages += 1
-                latency += channel.latency_s + channel.last_delay_s
+                latency += channel.latency_s + extra_delay
         except ChannelError as exc:
             # Graceful degradation (§1): when the direct end-domain
             # exchange fails — a tunnel end-domain unreachable — the flow

@@ -101,7 +101,8 @@ class FaultInjector:
 
     def op_count(self, target_kind: TargetKind, target: str) -> int:
         """Operations seen so far against one target (test hook)."""
-        return self._op_counts.get((target_kind, target), 0)
+        with self._lock:
+            return self._op_counts.get((target_kind, target), 0)
 
     # -- injection points --------------------------------------------------------
 

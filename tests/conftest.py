@@ -37,6 +37,44 @@ def pytest_addoption(parser):
         help="shuffle test collection order with this seed (flushes "
              "hidden inter-test order dependence; same seed = same order)",
     )
+    parser.addoption(
+        "--lock-witness",
+        action="store_true",
+        default=False,
+        help="wrap every lock created during the session in the runtime "
+             "lock witness and fail at the end if the observed "
+             "acquisition orders contradict the static lock-order graph "
+             "(repro lint --concurrency)",
+    )
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _session_lock_witness(request):
+    """Opt-in ThreadSanitizer-lite: ``pytest --lock-witness``.
+
+    Locks created at import time (module globals) predate the patch and
+    are not observed; every broker/registry/cache the tests construct is.
+    """
+    if not request.config.getoption("--lock-witness"):
+        yield None
+        return
+    from repro.analysis.concurrency.witness import LockWitness
+
+    witness = LockWitness().install()
+    try:
+        yield witness
+    finally:
+        witness.uninstall()
+    from repro.analysis.concurrency import analyze_paths
+
+    static = analyze_paths(rules=())
+    problems = witness.check_against(static.graph)
+    print(f"\n{witness.summary()}")
+    if problems:
+        pytest.fail(
+            "lock witness saw acquisition orders the static graph "
+            "does not model:\n  " + "\n  ".join(problems)
+        )
 
 
 def pytest_collection_modifyitems(config, items):
