@@ -36,6 +36,12 @@ Each rule encodes an invariant the reproduction depends on:
   must also talk to the decision-provenance recorder
   (:mod:`repro.obs.audit`); a decision path with no recorder call is
   invisible to ``repro audit --reconcile``.
+* ``REP112`` — every function in the broker/signalling layer that mints
+  a *denial* must attach a :class:`~repro.obs.events.ReasonCode`
+  (a ``reason_code=`` keyword, a ``ReasonCode.X`` member, or
+  ``reason_code_for(exc)``); an uncoded denial cannot be bucketed by
+  the SLO denial-rate machinery, the audit ledger, or an operator
+  grepping the event stream.
 """
 
 from __future__ import annotations
@@ -56,6 +62,7 @@ __all__ = [
     "UnboundedRetryRule",
     "RawTimerRule",
     "ProvenanceBypassRule",
+    "UncodedDenialRule",
 ]
 
 #: Packages whose behaviour must be driven by the simulation clock.
@@ -593,6 +600,84 @@ class ProvenanceBypassRule(Rule):
                 "never talks to the decision-provenance recorder; record "
                 "it (broker _audit / repro.obs.audit.record_decision) or "
                 "the decision is invisible to repro audit --reconcile",
+            )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_function(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_function(node)
+        self.generic_visit(node)
+
+
+#: Evidence that a denial carries a reason code: the broker/audit
+#: keyword, the enum itself, or the exception-to-code mapper.
+_REASON_CODE_MARKERS = frozenset({"ReasonCode", "reason_code_for"})
+
+
+def _is_denial_call(node: ast.Call) -> bool:
+    """A call that mints a denial: ``make_denial(...)``, an
+    ``AdmitOutcome``/``IngressReport`` whose granted/accepted flag is
+    literally false, or one passing ``granted=False``/``accepted=False``."""
+    name = _call_basename(node)
+    if name == "make_denial":
+        return True
+    if name not in {"AdmitOutcome", "IngressReport"}:
+        return False
+    if node.args:
+        first = node.args[0]
+        if isinstance(first, ast.Constant) and first.value is False:
+            return True
+    for keyword in node.keywords:
+        if (
+            keyword.arg in {"granted", "accepted"}
+            and isinstance(keyword.value, ast.Constant)
+            and keyword.value.value is False
+        ):
+            return True
+    return False
+
+
+@register
+class UncodedDenialRule(Rule):
+    id = "REP112"
+    title = "denial sites must attach a ReasonCode"
+    severity = Severity.ERROR
+    packages = ("repro.bb", "repro.core.hopbyhop")
+
+    def _check_function(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        denials: list[ast.Call] = []
+        has_reason_code = False
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Call):
+                if _is_denial_call(sub):
+                    denials.append(sub)
+                if any(kw.arg == "reason_code" for kw in sub.keywords):
+                    has_reason_code = True
+                name = _call_basename(sub)
+                if name in _REASON_CODE_MARKERS:
+                    has_reason_code = True
+            elif isinstance(sub, ast.Attribute):
+                if isinstance(sub.value, ast.Name) and (
+                    sub.value.id == "ReasonCode"
+                ):
+                    has_reason_code = True
+            elif isinstance(sub, ast.Name):
+                if sub.id in _REASON_CODE_MARKERS:
+                    has_reason_code = True
+        if has_reason_code:
+            return
+        for call in denials:
+            name = _call_basename(call)
+            self.report(
+                call,
+                f"{name}() mints a denial in a function that never "
+                "attaches a ReasonCode; pass reason_code= (or derive one "
+                "with repro.obs.events.reason_code_for) so the denial can "
+                "be bucketed by SLOs, audit, and operators",
             )
 
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Protocol
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.bb.defense import DomainDefense
     from repro.faults.injector import FaultInjector
 
 from repro.bb.admission import AdmissionController
@@ -44,7 +45,12 @@ from repro.crypto.dn import DN, DistinguishedName
 from repro.crypto.keys import KeyPair, get_scheme
 from repro.crypto.truststore import TrustStore
 from repro.crypto.x509 import Certificate
-from repro.errors import AdmissionError, SLAError, SLAViolationError
+from repro.errors import (
+    AdmissionError,
+    QuotaExceededError,
+    SLAError,
+    SLAViolationError,
+)
 from repro.obs import events as obs_events
 from repro.obs import metrics as obs_metrics
 from repro.obs import spans as obs_spans
@@ -175,6 +181,9 @@ class BandwidthBroker:
         self.soft_state_ttl_s = soft_state_ttl_s
         #: Optional deterministic fault injector (crash windows).
         self.injector: FaultInjector | None = None
+        #: Optional admission-plane defenses (rate limits live in the
+        #: signalling engine; this broker consults the quota half).
+        self.defense: DomainDefense | None = None
         # One reentrant lock serializes every state-mutating broker
         # operation (admit / claim / cancel / refresh / sweep).  The
         # concurrent signaller already orders whole reservations per
@@ -446,6 +455,26 @@ class BandwidthBroker:
         upstream: str | None,
         downstream: str | None,
     ) -> AdmitOutcome:
+        # Reservation quotas run first: they are the cheapest check and
+        # the one a flooding persona hits, so a quota'd user never costs
+        # this broker an SLA/policy/capacity evaluation.
+        if self.defense is not None:
+            user_count, ingress_count = self._live_counts(resv)
+            try:
+                self.defense.check_quota(
+                    user=str(resv.owner) if resv.owner else "",
+                    upstream=upstream,
+                    user_count=user_count,
+                    ingress_count=ingress_count,
+                )
+            except QuotaExceededError as exc:
+                resv.denial_reason = str(exc)
+                self.reservations.transition(resv.handle, ReservationState.DENIED)
+                self._audit("admit", resv, granted=False, reason=str(exc),
+                            at_time=at_time,
+                            reason_code=ReasonCode.QUOTA_EXCEEDED)
+                return AdmitOutcome(False, resv, reason=str(exc))
+
         try:
             self.check_sla(request, upstream=upstream, downstream=downstream)
         except SLAViolationError as exc:
@@ -494,6 +523,24 @@ class BandwidthBroker:
         self._audit("admit", resv, granted=True, reason=decision.reason,
                     at_time=at_time, decision=decision)
         return AdmitOutcome(True, resv, decision=decision, reason=decision.reason)
+
+    def _live_counts(self, resv: Reservation) -> tuple[int, int]:
+        """Live (pending/granted/active) reservations held by the same
+        owner and arriving over the same ingress, excluding *resv* itself
+        (it was just created PENDING by :meth:`admit`)."""
+        user = str(resv.owner) if resv.owner else ""
+        user_count = 0
+        ingress_count = 0
+        for state in (ReservationState.PENDING, ReservationState.GRANTED,
+                      ReservationState.ACTIVE):
+            for other in self.reservations.in_state(state):
+                if other.handle == resv.handle:
+                    continue
+                if user and str(other.owner) == user:
+                    user_count += 1
+                if resv.upstream is not None and other.upstream == resv.upstream:
+                    ingress_count += 1
+        return user_count, ingress_count
 
     # -- lifecycle ----------------------------------------------------------------------
 

@@ -7,8 +7,13 @@ Subcommands:
 * ``policy-check`` — parse a policy file in the paper's syntax and
   evaluate it against request parameters given as flags (a policy
   linter/debugger for domain administrators);
-* ``attack`` — run the Figure 4 misreservation scenario on the DiffServ
-  simulator and print the damage report;
+* ``attack`` — adversarial scenarios: with no flags, the Figure 4
+  misreservation replay on the DiffServ simulator; with ``--persona``,
+  a seeded survivability run mixing honest load with one attack persona
+  (flood, revocation-storm, byzantine-broker, tunnel-squatter) and
+  reporting what honest traffic retains with defenses off vs on;
+  ``--gate`` exits nonzero on honest-SLO violations or audit
+  reconciliation failures;
 * ``metrics`` — run reservations with the observability substrate
   enabled and dump the metrics registry (Prometheus text or JSON);
   ``--diff A.json B.json`` instead diffs two saved JSON snapshots;
@@ -21,7 +26,7 @@ Subcommands:
 * ``slo`` — run reservations under observability and evaluate the
   declarative SLOs (latency quantiles, denial rate, breaker opens),
   printing per-objective burn rates;
-* ``lint`` — run the repo's custom AST lint rules (REP101..REP111) over
+* ``lint`` — run the repo's custom AST lint rules (REP101..REP112) over
   the ``repro`` package (or given paths); ``--select``/``--ignore``
   filter rules; ``--concurrency`` runs the whole-program concurrency
   pass instead (REP120 lock-order cycles, REP121 unguarded guarded-state
@@ -44,6 +49,7 @@ Examples::
     python -m repro reserve --domains A,B,C --source A --dest C --rate 10
     python -m repro policy-check policy.txt --user Alice --bw 8 --time 14
     python -m repro attack
+    python -m repro attack --persona flood --seed 2001 --gate
     python -m repro metrics --domains A,B,C --runs 5 --format prom
     python -m repro metrics --diff before.json after.json
     python -m repro -v trace --domains A,B,C,D
@@ -116,7 +122,40 @@ def build_parser() -> argparse.ArgumentParser:
                        help="linked reservation as kind=handle (repeatable)")
     check.add_argument("--reservation-type", default="Network")
 
-    sub.add_parser("attack", help="run the Figure 4 misreservation scenario")
+    attack = sub.add_parser(
+        "attack",
+        help="adversarial scenarios: the Figure 4 misreservation replay "
+             "(no flags) or a survivability run against one attack "
+             "persona (--persona)",
+    )
+    attack.add_argument(
+        "--persona", default=None,
+        choices=("flood", "revocation-storm", "byzantine-broker",
+                 "tunnel-squatter"),
+        help="attack persona for a mixed honest+attack survivability "
+             "run; omit for the legacy Figure 4 scenario")
+    attack.add_argument("--seed", type=int, default=2001)
+    attack.add_argument(
+        "--attack-fraction", type=float, default=None,
+        help="attack signals as a fraction of all signals, in (0,1); "
+             "default is the persona's own intensity")
+    attack.add_argument("--horizon", type=float, default=120.0,
+                        help="simulated seconds of mixed load")
+    attack.add_argument(
+        "--defenses", choices=("off", "on", "both"), default="both",
+        help="run with admission-plane defenses off, on, or both "
+             "(the off/on pair is the survivability experiment)")
+    attack.add_argument(
+        "--slo-spec", default=None, metavar="FILE",
+        help="JSON SLO spec evaluated over honest traffic "
+             "(default: the harness honest SLOs)")
+    attack.add_argument("--json", action="store_true",
+                        help="emit the report(s) as JSON")
+    attack.add_argument(
+        "--gate", action="store_true",
+        help="exit non-zero unless honest traffic meets its SLOs with "
+             "defenses on; also reconciles the attack run's audit "
+             "ledger")
 
     workload = sub.add_parser(
         "workload",
@@ -447,7 +486,104 @@ def cmd_policy_check(args: argparse.Namespace) -> int:
     return 0 if decision.granted else 1
 
 
-def cmd_attack(_: argparse.Namespace) -> int:
+def _render_survivability(report) -> str:
+    state = "ON " if report.defenses_on else "OFF"
+    lines = [
+        f"defenses {state}: honest admission "
+        f"{report.honest_admitted}/{report.honest_offered} "
+        f"({report.honest_admission_rate * 100:.1f}%), "
+        f"p99 latency {report.honest_p99_latency_s:.2f}s, "
+        f"{report.breaker_opens} breaker open(s), "
+        f"peak victim backlog {report.max_backlog_s:.1f}s",
+        f"  attacker: " + ", ".join(
+            f"{k}={v}" for k, v in report.attacker.items() if v
+        ),
+    ]
+    if report.defense_rejections:
+        lines.append("  defense rejections: " + ", ".join(
+            f"{k}={v}" for k, v in sorted(report.defense_rejections.items())
+        ))
+    if report.slo_report is not None:
+        lines.append(
+            "  honest SLOs: "
+            + ("OK" if report.slo_report.ok else "VIOLATED — " + "; ".join(
+                r.slo.name for r in report.slo_report.failing))
+        )
+    return "\n".join(lines)
+
+
+def cmd_attack_survivability(args: argparse.Namespace) -> int:
+    import json as json_mod
+
+    from repro.errors import SimulationError
+    from repro.obs import audit as obs_audit
+    from repro.obs.slo import parse_slo_spec
+    from repro.workloads.survivability import (
+        SurvivabilitySpec, run_survivability,
+    )
+
+    slos = None
+    if args.slo_spec is not None:
+        try:
+            with open(args.slo_spec, encoding="utf-8") as fh:
+                slos = tuple(parse_slo_spec(fh.read()))
+        except OSError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    try:
+        spec = SurvivabilitySpec(
+            persona=args.persona,
+            seed=args.seed,
+            attack_fraction=args.attack_fraction,
+            horizon_s=args.horizon,
+        )
+    except SimulationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    modes = {"off": (False,), "on": (True,), "both": (False, True)}
+    reports = [
+        run_survivability(spec, defenses_on=on, slos=slos)
+        for on in modes[args.defenses]
+    ]
+    if args.json:
+        print(json_mod.dumps([r.to_dict() for r in reports], indent=2))
+    else:
+        print(f"persona {spec.persona!r}, seed {spec.seed}, "
+              f"attack fraction {spec.fraction:.2f}, "
+              f"horizon {spec.horizon_s:.0f}s")
+        for report in reports:
+            print(_render_survivability(report))
+    if not args.gate:
+        return 0
+    # Gate: honest traffic must meet its SLOs with defenses on, and the
+    # attack run's decision ledger must reconcile clean.
+    failures = 0
+    for report in reports:
+        if report.defenses_on and (
+            report.slo_report is None or not report.slo_report.ok
+        ):
+            print("GATE: honest SLOs violated with defenses on",
+                  file=sys.stderr)
+            failures += 1
+        audit_report = obs_audit.reconcile(report.ledger)
+        if not audit_report.ok:
+            state = "on" if report.defenses_on else "off"
+            print(f"GATE: audit reconciliation (defenses {state}):",
+                  file=sys.stderr)
+            print(audit_report.render(), file=sys.stderr)
+            failures += 1
+    if not any(r.defenses_on for r in reports):
+        print("GATE: --gate needs a defenses-on run (--defenses on|both)",
+              file=sys.stderr)
+        failures += 1
+    if failures == 0:
+        print("GATE: ok")
+    return 1 if failures else 0
+
+
+def cmd_attack(args: argparse.Namespace) -> int:
+    if getattr(args, "persona", None) is not None:
+        return cmd_attack_survivability(args)
     from repro.net.flows import FlowSpec
     from repro.net.packet import DSCP
     from repro.net.trafficgen import PoissonSource

@@ -52,6 +52,7 @@ from repro.bb.broker import BandwidthBroker
 from repro.bb.reservations import ReservationRequest
 from repro.core.agent import UserAgent
 from repro.core.channel import ChannelRegistry, SecureChannel
+from repro.core.codec import from_wire
 from repro.crypto.dn import DistinguishedName
 from repro.core.envelope import SignedEnvelope
 from repro.core.messages import (
@@ -63,6 +64,7 @@ from repro.core.messages import (
     make_bb_rar,
     make_denial,
     make_user_rar,
+    unwrap_rar_layers,
 )
 from repro.core.recovery import (
     BreakerPolicy,
@@ -84,13 +86,17 @@ from repro.crypto.capability import (
 )
 from repro.crypto.repository import CertificateRepository
 from repro.crypto.x509 import Certificate
+from repro.crypto.cache import digest as _envelope_digest
 from repro.errors import (
     BrokerUnavailableError,
     CertificateError,
     ChannelTimeoutError,
     CircuitOpenError,
     DeadlineExceededError,
+    DefenseError,
     DelegationError,
+    EncodingError,
+    MalformedMessageError,
     MessageDroppedError,
     ObservabilityError,
     PolicyUnavailableError,
@@ -113,7 +119,7 @@ from repro.obs.propagation import (
 )
 from repro.policy.attributes import SignedAssertion, make_assertion
 
-__all__ = ["SignallingOutcome", "HopByHopProtocol"]
+__all__ = ["SignallingOutcome", "IngressReport", "HopByHopProtocol"]
 
 logger = logging.getLogger(__name__)
 
@@ -133,6 +139,16 @@ _DELIVERY_FAILURES = (
     CircuitOpenError,
     DeadlineExceededError,
 )
+
+#: Relative processing cost (in multiples of one full per-hop
+#: verification) that each stage of ingress handling charges the
+#: receiving broker.  The whole point of the pre-verification defense
+#: gate is the two-orders-of-magnitude gap between the first row and the
+#: last: a rejected abuse signal costs the victim a dict lookup, an
+#: accepted one costs the full nested-envelope signature walk.
+WORK_GATE = 0.02
+WORK_DECODE = 0.15
+WORK_VERIFY = 1.0
 
 
 def _carried_parent_span_id(rar: SignedEnvelope) -> int | None:
@@ -191,6 +207,25 @@ class SignallingOutcome:
     correlation_id: str = ""
 
 
+@dataclass(frozen=True)
+class IngressReport:
+    """What one inbound signalling message cost the receiving broker.
+
+    ``work_units`` is the processing the broker actually spent, in
+    multiples of one full verification (:data:`WORK_VERIFY`); the
+    survivability harness integrates it into the victim's modelled work
+    queue.  ``verified`` is True only when signature verification ran —
+    the replay-guard acceptance test asserts it stays False for every
+    replayed envelope.
+    """
+
+    accepted: bool
+    work_units: float
+    verified: bool = False
+    reason: str = ""
+    reason_code: str = ""
+
+
 class HopByHopProtocol:
     """Drives hop-by-hop signalling across a set of peered brokers."""
 
@@ -236,6 +271,10 @@ class HopByHopProtocol:
         #: requests so a proven-dead link fails fast.
         self._breakers: dict[str, CircuitBreaker] = {}
         self._breakers_lock = threading.Lock()
+        #: Signature-verification walks performed by :meth:`process_ingress`
+        #: (the replay-guard acceptance test asserts replayed envelopes
+        #: never move this counter).
+        self.ingress_verifications = 0
 
     # -- helpers -----------------------------------------------------------------
 
@@ -272,6 +311,30 @@ class HopByHopProtocol:
                 EventKind.RETRY, at_time=at_time, reason=reason,
                 target=target, what=what, attempt=attempt,
             )
+
+    @staticmethod
+    def _decode_received(received: object, *, what: str) -> SignedEnvelope:
+        """Structural validation of a delivered message.
+
+        Wire bytes are decoded through the canonical codec; anything that
+        is not (or does not decode to) a :class:`SignedEnvelope` raises a
+        typed :class:`MalformedMessageError` — the found failure paths
+        (truncated payload, unknown field tag) used to escape as raw
+        :class:`EncodingError` / ``AttributeError``.
+        """
+        if isinstance(received, (bytes, bytearray)):
+            try:
+                received = from_wire(bytes(received))
+            except EncodingError as exc:
+                raise MalformedMessageError(
+                    f"{what}: undecodable message: {exc}"
+                ) from exc
+        if not isinstance(received, SignedEnvelope):
+            raise MalformedMessageError(
+                f"{what}: expected a signed envelope, got "
+                f"{type(received).__name__}"
+            )
+        return received
 
     def _deliver(
         self,
@@ -314,6 +377,11 @@ class HopByHopProtocol:
                         "hop timeout"
                     )
                 else:
+                    # Structural validation before anything touches the
+                    # payload: a truncated or junk delivery becomes a
+                    # typed MalformedMessageError, never a raw decode
+                    # exception escaping the protocol.
+                    received = self._decode_received(received, what=what)
                     outcome.latency_s += channel.latency_s + extra
                     outcome.messages += 1
                     outcome.bytes += received.wire_size()
@@ -698,6 +766,31 @@ class HopByHopProtocol:
                 rate_mbps=request.rate_mbps,
             )
             return outcome
+        except MalformedMessageError as exc:
+            # The copy that reached the source broker was structurally
+            # broken (truncated payload, unknown field tag, junk bytes):
+            # a typed denial, not a raw decode exception.
+            if tracer is not None and root is not None:
+                tracer.record(
+                    "submit", parent=root, start_wall=phase_t0,
+                    status="error", error=str(exc),
+                )
+            outcome.denial_domain = path[0]
+            outcome.denial_reason = f"malformed envelope: {exc}"
+            if event_log is not None:
+                event_log.emit(
+                    EventKind.TRUST_FAILURE, at_time=at_time,
+                    domain=path[0], reason=str(exc),
+                    reason_code=ReasonCode.TRUST_FAILURE,
+                )
+            obs_audit.record_decision(
+                obs_audit.RecordKind.DENY,
+                at_time=at_time, domain=path[0], user=str(user.dn),
+                reason=outcome.denial_reason,
+                reason_code=ReasonCode.TRUST_FAILURE.value,
+                rate_mbps=request.rate_mbps,
+            )
+            return outcome
         if tracer is not None and root is not None:
             tracer.record(
                 "submit", parent=root, start_wall=phase_t0,
@@ -779,6 +872,51 @@ class HopByHopProtocol:
                 hop_spans.append(hop_span)
                 span_parent = hop_span
 
+            # Admission-plane defense gate, BEFORE any signature work:
+            # the per-peer token bucket, the replay guard (keyed on the
+            # envelope's canonical-bytes digest), and the overload shed
+            # all run for the cost of a few dict operations, so abusive
+            # signalling never reaches the expensive verification below.
+            if bb.defense is not None:
+                try:
+                    bb.defense.admit_signal(
+                        peer=(upstream if upstream is not None
+                              else str(user.dn)),
+                        peer_kind=("domain" if upstream is not None
+                                   else "user"),
+                        now=at_time + outcome.latency_s,
+                        operation="reserve",
+                        envelope_digest=_envelope_digest(rar.cbe_bytes()),
+                    )
+                except DefenseError as exc:
+                    reason = str(exc)
+                    code = reason_code_for(exc)
+                    logger.warning(
+                        "%s: defense gate rejected signal: %s", domain, reason
+                    )
+                    if tracer is not None:
+                        tracer.record(
+                            "defense", parent=hop_span, start_wall=hop_t0,
+                            status="rejected", error=reason,
+                        )
+                    if event_log is not None:
+                        event_log.emit(
+                            EventKind.DENY, at_time=at_time, domain=domain,
+                            user=str(user.dn), reason=reason,
+                            reason_code=code,
+                        )
+                    obs_audit.record_decision(
+                        obs_audit.RecordKind.DENY,
+                        at_time=at_time, domain=domain, user=str(user.dn),
+                        reason=reason, reason_code=code.value,
+                        rate_mbps=request.rate_mbps,
+                    )
+                    denial = make_denial(
+                        domain=domain, reason=reason,
+                        bb=bb.dn, bb_key=bb.keypair.private,
+                    )
+                    break
+
             # Verification, with recovery: a tampered copy triggers a
             # bounded retransmission request upstream; a repository
             # outage triggers backoff-and-retry; genuine trust failures
@@ -840,7 +978,7 @@ class HopByHopProtocol:
                             deadline=deadline,
                             what=f"retransmission to {domain}",
                         )
-                    except _DELIVERY_FAILURES as exc2:
+                    except (*_DELIVERY_FAILURES, MalformedMessageError) as exc2:
                         verify_exc = exc2
                         break
                 except RepositoryUnavailableError as exc:
@@ -861,7 +999,11 @@ class HopByHopProtocol:
                 except DeadlineExceededError as exc:
                     verify_exc = exc
                     break
-                except (TrustError, SignallingError, CertificateError) as exc:
+                except (TrustError, SignallingError, CertificateError,
+                        EncodingError) as exc:
+                    # EncodingError: a malformed inner layer surfaced
+                    # during verification — denied like any other trust
+                    # failure instead of escaping as a raw decode error.
                     verify_exc = exc
                     break
             if verified is None:
@@ -1148,6 +1290,28 @@ class HopByHopProtocol:
                     bb=bb.dn, bb_key=bb.keypair.private,
                 )
                 break
+            except MalformedMessageError as exc:
+                # The forwarded copy arrived structurally broken at the
+                # downstream hop: a typed denial from there, upstream.
+                reason = f"malformed envelope at {downstream}: {exc}"
+                if event_log is not None:
+                    event_log.emit(
+                        EventKind.TRUST_FAILURE, at_time=at_time,
+                        domain=downstream, reason=str(exc),
+                        reason_code=ReasonCode.TRUST_FAILURE,
+                    )
+                obs_audit.record_decision(
+                    obs_audit.RecordKind.DENY,
+                    at_time=at_time, domain=downstream, user=str(user.dn),
+                    reason=reason,
+                    reason_code=ReasonCode.TRUST_FAILURE.value,
+                    rate_mbps=request.rate_mbps,
+                )
+                denial = make_denial(
+                    domain=downstream, reason=reason,
+                    bb=bb.dn, bb_key=bb.keypair.private,
+                )
+                break
             if tracer is not None:
                 tracer.record(
                     "forward", parent=hop_span, start_wall=phase_t0,
@@ -1289,6 +1453,122 @@ class HopByHopProtocol:
         outcome.granted = True
         granted_so_far.clear()
         return outcome
+
+    # -- ingress processing (defense gate for unsolicited traffic) ----------------------
+
+    def process_ingress(
+        self,
+        domain: str,
+        message: object,
+        *,
+        peer: str,
+        peer_certificate: Certificate | None = None,
+        peer_kind: str = "user",
+        at_time: float | None = None,
+        operation: str = "reserve",
+    ) -> IngressReport:
+        """Process one unsolicited inbound signalling message at *domain*.
+
+        The reservation path (:meth:`reserve`) drives brokers from the
+        sender's side; a byzantine peer, by contrast, just *sends* — so
+        the receiving side needs an explicit entry point that runs the
+        same three stages the per-hop loop applies, cheapest first:
+
+        1. the defense gate (per-peer token bucket, replay guard, shed) —
+           cost :data:`WORK_GATE`;
+        2. structural decode into a signed envelope — :data:`WORK_DECODE`;
+        3. transitive-trust verification (when *peer_certificate* is
+           supplied; plain nested-layer unwrapping otherwise) —
+           :data:`WORK_VERIFY`.
+
+        Returns an :class:`IngressReport`; never raises for a rejected
+        message.  ``report.work_units`` is what the message actually cost
+        this broker, which the survivability harness integrates into the
+        victim's modelled work queue — with defenses off every junk or
+        replayed envelope costs the full verification walk, with defenses
+        on it costs a dict lookup.
+        """
+        now = at_time if at_time is not None else self.clock()
+        bb = self._broker(domain)
+        registry = obs_metrics.get_registry()
+        event_log = obs_events.get_event_log()
+
+        def reject(
+            exc: Exception, work_units: float, *, verified: bool = False
+        ) -> IngressReport:
+            code = reason_code_for(exc)
+            if registry is not None:
+                registry.counter(
+                    "ingress_messages_total",
+                    "Unsolicited inbound signalling messages by domain "
+                    "and outcome",
+                ).inc(domain=domain, outcome="rejected")
+            if event_log is not None:
+                event_log.emit(
+                    EventKind.DENY, at_time=now, domain=domain,
+                    user=peer, reason=str(exc), reason_code=code,
+                )
+            obs_audit.record_decision(
+                obs_audit.RecordKind.DENY,
+                at_time=now, domain=domain, user=peer,
+                reason=str(exc), reason_code=code.value,
+            )
+            return IngressReport(
+                accepted=False, work_units=work_units, verified=verified,
+                reason=str(exc), reason_code=code.value,
+            )
+
+        if isinstance(message, (bytes, bytearray)):
+            message_digest = _envelope_digest(bytes(message))
+        elif isinstance(message, SignedEnvelope):
+            message_digest = _envelope_digest(message.cbe_bytes())
+        else:
+            message_digest = None
+        if bb.defense is not None:
+            try:
+                bb.defense.admit_signal(
+                    peer=peer, peer_kind=peer_kind, now=now,
+                    operation=operation, envelope_digest=message_digest,
+                )
+            except DefenseError as exc:
+                return reject(exc, WORK_GATE)
+        try:
+            envelope = self._decode_received(
+                message, what=f"ingress at {domain}"
+            )
+        except MalformedMessageError as exc:
+            return reject(exc, WORK_DECODE)
+        if peer_certificate is None:
+            try:
+                unwrap_rar_layers(envelope)
+            except SignallingError as exc:
+                return reject(exc, WORK_DECODE)
+            work_units = WORK_DECODE
+            verified = False
+        else:
+            self.ingress_verifications += 1
+            try:
+                verify_rar(
+                    envelope,
+                    verifier=bb.dn,
+                    peer_certificate=peer_certificate,
+                    truststore=bb.truststore,
+                    at_time=now,
+                )
+            except (TrustError, SignallingError, CertificateError,
+                    EncodingError) as exc:
+                return reject(exc, WORK_VERIFY, verified=True)
+            work_units = WORK_VERIFY
+            verified = True
+        if registry is not None:
+            registry.counter(
+                "ingress_messages_total",
+                "Unsolicited inbound signalling messages by domain "
+                "and outcome",
+            ).inc(domain=domain, outcome="accepted")
+        return IngressReport(
+            accepted=True, work_units=work_units, verified=verified,
+        )
 
     # -- lifecycle helpers --------------------------------------------------------------
 

@@ -56,6 +56,7 @@ from repro.policy.groupserver import GroupServer
 from repro.policy.language import compile_policy
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.bb.defense import DefensePolicy, DomainDefense
     from repro.faults.injector import FaultInjector
 
 __all__ = [
@@ -273,6 +274,32 @@ class Testbed:
                 self.brokers[da], self.brokers[db],
                 latency_s=self.channel_latency_s,
             )
+
+    # -- admission-plane defenses ------------------------------------------------
+
+    def arm_defenses(
+        self,
+        policy: "DefensePolicy | None" = None,
+        *,
+        domains: Iterable[str] | None = None,
+    ) -> "dict[str, DomainDefense]":
+        """Attach admission-plane defenses (rate limits, quotas, replay
+        guard, shedding) to every broker (or just *domains*); returns the
+        per-domain defense states for inspection.  One shared policy, one
+        independent state per domain."""
+        from repro.bb.defense import DomainDefense
+
+        armed: dict[str, DomainDefense] = {}
+        for domain in (domains if domains is not None else self.brokers):
+            defense = DomainDefense(policy, domain=domain)
+            self.brokers[domain].defense = defense
+            armed[domain] = defense
+        return armed
+
+    def disarm_defenses(self) -> None:
+        """Detach every broker's defenses (back to the open fabric)."""
+        for broker in self.brokers.values():
+            broker.defense = None
 
     # -- fault injection ---------------------------------------------------------
 

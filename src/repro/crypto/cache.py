@@ -73,7 +73,10 @@ class LRUCache:
     concurrent signalling workers can share one instance.
     """
 
-    def __init__(self, maxsize: int) -> None:
+    def __init__(
+        self, maxsize: int, *,
+        on_evict: Any | None = None,
+    ) -> None:
         if maxsize < 1:
             raise CryptoError(f"cache maxsize must be >= 1, got {maxsize}")
         self.maxsize = maxsize
@@ -82,6 +85,9 @@ class LRUCache:
         #: Entries evicted by the size bound (the churn regression test
         #: asserts this moves while ``len`` stays pinned at ``maxsize``).
         self.evictions = 0
+        #: Called with each size-evicted key, *after* the internal lock
+        #: is released (so the callback may take other locks freely).
+        self._on_evict = on_evict
 
     def get(self, key: Hashable) -> Any | None:
         with self._lock:
@@ -91,12 +97,17 @@ class LRUCache:
             return self._data[key]
 
     def put(self, key: Hashable, value: Any) -> None:
+        evicted: list[Hashable] = []
         with self._lock:
             self._data[key] = value
             self._data.move_to_end(key)
             while len(self._data) > self.maxsize:
-                self._data.popitem(last=False)
+                old_key, _ = self._data.popitem(last=False)
                 self.evictions += 1
+                evicted.append(old_key)
+        if self._on_evict is not None:
+            for old_key in evicted:
+                self._on_evict(old_key)
 
     def discard(self, key: Hashable) -> bool:
         with self._lock:
@@ -165,11 +176,24 @@ class VerificationCaches:
         delegation_size: int = 1024,
     ) -> None:
         self.signature = LRUCache(signature_size)
-        self.rar = LRUCache(rar_size)
-        self.delegation = LRUCache(delegation_size)
+        # Verdict stores report size-evictions back so the revocation
+        # reverse-index never outlives the entries it points at — a
+        # revocation *storm* (10^4 revoke/re-issue cycles) must leave
+        # the index bounded by the live entries, not by history.
+        self.rar = LRUCache(
+            rar_size,
+            on_evict=lambda key: self._forget_entry("rar", key),
+        )
+        self.delegation = LRUCache(
+            delegation_size,
+            on_evict=lambda key: self._forget_entry("delegation", key),
+        )
         self._lock = threading.RLock()
         #: cert fingerprint -> {(cache_name, key), ...} of dependent verdicts.
         self._dependents: dict[str, set[tuple[str, Hashable]]] = {}
+        #: (cache_name, key) -> the fingerprints it registered under
+        #: (the forward map that makes reverse-index pruning exact).
+        self._entry_deps: dict[tuple[str, Hashable], tuple[str, ...]] = {}
         self._stats = {
             "signature": _StatCell(),
             "rar": _StatCell(),
@@ -233,9 +257,24 @@ class VerificationCaches:
     ) -> None:
         store = self.rar if cache == "rar" else self.delegation
         with self._lock:
+            # Re-registering a key under different dependencies must not
+            # leave the old fingerprints pointing at it.
+            self._forget_entry(cache, key)
             store.put(key, entry)
+            self._entry_deps[(cache, key)] = tuple(dependency_fingerprints)
             for fingerprint in dependency_fingerprints:
                 self._dependents.setdefault(fingerprint, set()).add((cache, key))
+
+    def _forget_entry(self, cache: str, key: Hashable) -> None:
+        """Erase one verdict's reverse-index registrations (entry gone:
+        evicted, invalidated, or about to be overwritten)."""
+        with self._lock:
+            for fingerprint in self._entry_deps.pop((cache, key), ()):
+                dependents = self._dependents.get(fingerprint)
+                if dependents is not None:
+                    dependents.discard((cache, key))
+                    if not dependents:
+                        del self._dependents[fingerprint]
 
     def invalidate_certificate(self, fingerprint: str) -> int:
         """Drop every verdict that depended on *fingerprint*.
@@ -243,6 +282,8 @@ class VerificationCaches:
         Called by :meth:`CertificateAuthority.revoke`; returns how many
         entries were dropped.  A revoked certificate can therefore never
         admit from cache even before the hit-time revocation guard runs.
+        Dropped entries are also erased from every *other* fingerprint's
+        dependent set, so storms of revocations cannot grow the index.
         """
         with self._lock:
             dependents = self._dependents.pop(fingerprint, set())
@@ -252,7 +293,17 @@ class VerificationCaches:
                 if store.discard(key):
                     dropped += 1
                     self._count(cache, "invalidate")
+                self._forget_entry(cache, key)
         return dropped
+
+    def reverse_index_size(self) -> tuple[int, int]:
+        """(fingerprints tracked, total dependent pairs) — both bounded
+        by the live verdict entries."""
+        with self._lock:
+            return (
+                len(self._dependents),
+                sum(len(deps) for deps in self._dependents.values()),
+            )
 
     def clear(self) -> None:
         with self._lock:
@@ -260,6 +311,7 @@ class VerificationCaches:
             self.rar.clear()
             self.delegation.clear()
             self._dependents.clear()
+            self._entry_deps.clear()
 
     def render(self) -> str:
         lines = ["verification caches:"]

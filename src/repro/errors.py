@@ -34,6 +34,12 @@ __all__ = [
     "MessageDroppedError",
     "ChannelTimeoutError",
     "TamperedMessageError",
+    "MalformedMessageError",
+    "DefenseError",
+    "RateLimitedError",
+    "QuotaExceededError",
+    "ReplayRejectedError",
+    "OverloadShedError",
     "BrokerUnavailableError",
     "DeadlineExceededError",
     "CircuitOpenError",
@@ -180,6 +186,46 @@ class ChannelTimeoutError(ChannelError):
 
 class TamperedMessageError(SignallingError):
     """A received message failed integrity verification."""
+
+
+class MalformedMessageError(SignallingError):
+    """A received message could not be decoded into a signed envelope
+    (truncated payload, unknown field tag, wrong object kind).
+
+    Unlike :class:`TamperedMessageError` — a well-formed envelope whose
+    signature does not verify — this is a *structural* failure detected
+    before any cryptographic work, so it is denied upstream rather than
+    retransmitted."""
+
+
+# ---------------------------------------------------------------------------
+# admission-plane defenses (rate limits, quotas, replay, shedding)
+# ---------------------------------------------------------------------------
+
+class DefenseError(SignallingError):
+    """Base class for admission-plane defense rejections.
+
+    Raised *before* the expensive parts of per-hop processing (signature
+    verification, policy evaluation, capacity search), so a flood of
+    abusive signalling costs the victim broker almost nothing."""
+
+
+class RateLimitedError(DefenseError):
+    """The per-peer signalling token bucket is empty (rate limit)."""
+
+
+class QuotaExceededError(DefenseError):
+    """Admitting would exceed the per-user or per-ingress reservation quota."""
+
+
+class ReplayRejectedError(DefenseError):
+    """An envelope with this digest was already processed inside the
+    replay window (rejected before signature verification)."""
+
+
+class OverloadShedError(DefenseError):
+    """The broker shed a new admission to protect refresh/teardown work
+    while its pending queue is past the overload watermark."""
 
 
 class BrokerUnavailableError(SignallingError):

@@ -100,6 +100,15 @@ class ReasonCode(str, enum.Enum):
     TUNNEL_DIRECT_FAILED = "tunnel_direct_failed"
     #: The caller cancelled or modified the reservation.
     USER_REQUESTED = "user_requested"
+    #: The per-peer signalling token bucket was empty.
+    RATE_LIMITED = "rate_limited"
+    #: The per-user / per-ingress reservation quota was exhausted.
+    QUOTA_EXCEEDED = "quota_exceeded"
+    #: The envelope digest was already seen inside the replay window.
+    REPLAY_REJECTED = "replay_rejected"
+    #: A new admission was shed while the pending queue was past the
+    #: overload watermark (refresh/teardown still serviced).
+    SHED_OVERLOAD = "shed_overload"
 
 
 def reason_code_for(exc: BaseException) -> ReasonCode:
@@ -110,6 +119,18 @@ def reason_code_for(exc: BaseException) -> ReasonCode:
     """
     from repro import errors
 
+    # Defense rejections first: they subclass SignallingError, so they
+    # must be recognised before the broader transport buckets below.
+    if isinstance(exc, errors.RateLimitedError):
+        return ReasonCode.RATE_LIMITED
+    if isinstance(exc, errors.QuotaExceededError):
+        return ReasonCode.QUOTA_EXCEEDED
+    if isinstance(exc, errors.ReplayRejectedError):
+        return ReasonCode.REPLAY_REJECTED
+    if isinstance(exc, errors.OverloadShedError):
+        return ReasonCode.SHED_OVERLOAD
+    if isinstance(exc, errors.MalformedMessageError):
+        return ReasonCode.TRUST_FAILURE
     if isinstance(exc, errors.DeadlineExceededError):
         return ReasonCode.DEADLINE_EXCEEDED
     if isinstance(exc, errors.BrokerUnavailableError):

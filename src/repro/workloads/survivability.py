@@ -1,0 +1,442 @@
+"""Survivability harness: honest traffic under attack, defenses off vs on.
+
+The question this module answers is the one the admission-plane
+defenses exist for: **when an adversary runs one of the attack personas
+at a given attack fraction, how much of the honest workload survives?**
+One run interleaves, on the shared simulation clock:
+
+* an honest Poisson workload (several users, small short reservations
+  from the source to the destination domain), and
+* one :mod:`~repro.workloads.attackers` persona aimed at a victim
+  domain on the honest path, firing at
+  ``attack_fraction / (1 - attack_fraction)`` times the honest rate.
+
+The victim's *processing* is modelled as a fluid work queue: every
+attack signal charges the work units the victim actually spent on it
+(:class:`~repro.core.hopbyhop.IngressReport` work accounting — a full
+signature walk with defenses off, a dict lookup when the gate rejects),
+scaled by ``work_unit_s`` seconds per unit, and the queue drains in
+real (modelled) time.  An honest request arriving to a backlog longer
+than its signalling deadline times out — which is exactly how
+queue-drain attacks kill honest traffic without ever being *granted*
+anything.
+
+The report carries the three survivability signals the SLO gate
+evaluates — honest admission rate, honest p99 signalling latency, and
+breaker-open rate — plus the persona's own counters (including the
+replay-guard proof: with defenses on, 100% of replayed envelopes must
+be rejected *before* signature verification).  ``repro attack
+--persona <p>`` prints the off/on pair;
+``benchmarks/bench_attack_survivability.py`` lands the numbers in the
+BENCH trajectory.
+
+Everything is deterministic under ``spec.seed`` (REP102/REP108): the
+testbed, the honest arrivals, and the persona each derive an
+independent ``random.Random`` from it via crc32.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass, field
+
+from repro.bb.defense import DefensePolicy
+from repro.core.testbed import build_linear_testbed
+from repro.errors import SimulationError
+from repro.obs import events as obs_events
+from repro.obs import metrics as obs_metrics
+from repro.obs.audit import ledger as obs_audit
+from repro.obs.events import EventKind, EventLog, ReasonCode
+from repro.obs.slo import SLO, SLOReport, evaluate_slos
+from repro.workloads.attackers import AttackPersona, PERSONAS, make_persona
+
+__all__ = [
+    "SurvivabilitySpec",
+    "SurvivabilityReport",
+    "harness_defense_policy",
+    "honest_slos",
+    "run_survivability",
+    "run_survivability_pair",
+]
+
+#: Histogram the harness observes honest end-to-end latency into
+#: (queueing wait at the victim + protocol signalling latency).
+HONEST_LATENCY_METRIC = "honest_signalling_latency_seconds"
+
+
+@dataclass(frozen=True)
+class SurvivabilitySpec:
+    """One mixed honest+attack scenario."""
+
+    persona: str
+    seed: int = 2001
+    #: Attack signals as a fraction of all signals; ``None`` uses the
+    #: persona's :attr:`~repro.workloads.attackers.AttackPersona.
+    #: default_attack_fraction` (each persona needs a different
+    #: intensity to express its harm).
+    attack_fraction: float | None = None
+    horizon_s: float = 120.0
+    #: Honest Poisson arrival intensity (requests per modelled second).
+    honest_rate_per_s: float = 0.4
+    #: Honest requests arriving to a victim backlog beyond this time
+    #: out (and count as denied).
+    honest_deadline_s: float = 2.5
+    #: Modelled seconds one unit of victim work (= one full envelope
+    #: verification) takes; scales attack work into queueing delay.
+    work_unit_s: float = 0.25
+    domains: tuple[str, ...] = ("A", "B", "C")
+    victim: str = "B"
+    honest_users: int = 8
+    honest_rate_choices_mbps: tuple[float, ...] = (2.0, 3.0)
+    honest_mean_duration_s: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.persona not in PERSONAS:
+            raise SimulationError(
+                f"unknown persona {self.persona!r} "
+                f"(expected one of {', '.join(sorted(PERSONAS))})"
+            )
+        if self.attack_fraction is not None and not (
+            0.0 < self.attack_fraction < 1.0
+        ):
+            raise SimulationError("attack_fraction must be in (0, 1)")
+        if self.victim not in self.domains:
+            raise SimulationError(
+                f"victim {self.victim!r} not on the honest path"
+            )
+        if self.victim == self.domains[0]:
+            raise SimulationError(
+                "the victim must be downstream of the honest source"
+            )
+
+    @property
+    def fraction(self) -> float:
+        if self.attack_fraction is not None:
+            return self.attack_fraction
+        return PERSONAS[self.persona].default_attack_fraction
+
+    @property
+    def attack_rate_per_s(self) -> float:
+        f = self.fraction
+        return self.honest_rate_per_s * f / (1.0 - f)
+
+
+@dataclass
+class SurvivabilityReport:
+    """What honest traffic retained under one attack run."""
+
+    persona: str
+    seed: int
+    attack_fraction: float
+    defenses_on: bool
+    honest_offered: int = 0
+    honest_admitted: int = 0
+    honest_timed_out: int = 0
+    honest_denied: int = 0
+    honest_p99_latency_s: float = 0.0
+    breaker_opens: int = 0
+    max_backlog_s: float = 0.0
+    attacker: dict[str, int] = field(default_factory=dict)
+    defense_rejections: dict[str, int] = field(default_factory=dict)
+    slo_report: SLOReport | None = None
+    #: The run's decision-provenance ledger (for audit reconciliation).
+    ledger: object | None = None
+
+    @property
+    def honest_admission_rate(self) -> float:
+        return (
+            self.honest_admitted / self.honest_offered
+            if self.honest_offered else 0.0
+        )
+
+    @property
+    def breaker_open_rate(self) -> float:
+        return (
+            self.breaker_opens / self.honest_offered
+            if self.honest_offered else 0.0
+        )
+
+    def to_dict(self) -> dict[str, object]:
+        slos: dict[str, object] = {}
+        if self.slo_report is not None:
+            slos = {
+                r.slo.name: {
+                    "actual": round(r.actual, 6),
+                    "threshold": r.slo.threshold,
+                    "ok": r.ok,
+                    "burn_rate": round(r.burn_rate, 4),
+                }
+                for r in self.slo_report.results
+            }
+        return {
+            "persona": self.persona,
+            "seed": self.seed,
+            "attack_fraction": round(self.attack_fraction, 4),
+            "defenses_on": self.defenses_on,
+            "honest_offered": self.honest_offered,
+            "honest_admitted": self.honest_admitted,
+            "honest_timed_out": self.honest_timed_out,
+            "honest_denied": self.honest_denied,
+            "honest_admission_rate": round(self.honest_admission_rate, 4),
+            "honest_p99_latency_s": round(self.honest_p99_latency_s, 4),
+            "breaker_opens": self.breaker_opens,
+            "max_backlog_s": round(self.max_backlog_s, 4),
+            "attacker": dict(self.attacker),
+            "defense_rejections": dict(self.defense_rejections),
+            "slos": slos,
+        }
+
+
+def harness_defense_policy() -> DefensePolicy:
+    """The defense knobs the survivability harness arms.
+
+    Tighter than the :class:`DefensePolicy` defaults: user-class peers
+    get a small bucket (one identity cannot spray), domain-class peers
+    a loose one (the honest aggregate through a contracted neighbour
+    must never throttle), and the per-user quota clamps flooding well
+    below the interdomain capacity while staying above any honest
+    user's worst-case concurrency.
+    """
+    return DefensePolicy(
+        peer_burst=4.0,
+        peer_rate_per_s=0.5,
+        domain_peer_burst=16.0,
+        domain_peer_rate_per_s=4.0,
+        per_user_quota=3,
+        per_ingress_quota=64,
+        replay_window_s=300.0,
+        replay_capacity=8192,
+        pending_watermark=32,
+        shed_window_s=1.0,
+    )
+
+
+def honest_slos(spec: SurvivabilitySpec) -> tuple[SLO, ...]:
+    """The survivability objectives for *honest* traffic.
+
+    Evaluated against honest-only telemetry (the harness keeps a
+    separate event log for honest admit/deny), so attack denials —
+    which defenses-on produces by the hundreds, correctly — never burn
+    the honest error budget.
+    """
+    return (
+        SLO(
+            name="honest-latency-p99",
+            kind="latency_quantile",
+            metric=HONEST_LATENCY_METRIC,
+            quantile=0.99,
+            threshold=spec.honest_deadline_s,
+        ),
+        SLO(name="honest-denial-rate", kind="denial_rate", threshold=0.10),
+        SLO(
+            name="honest-breaker-open-rate",
+            kind="breaker_open_rate",
+            threshold=0.25,
+        ),
+    )
+
+
+class _WorkQueue:
+    """Fluid model of the victim's signalling work backlog."""
+
+    def __init__(self) -> None:
+        self.backlog_s = 0.0
+        self.max_backlog_s = 0.0
+        self._at = 0.0
+
+    def drain(self, now: float) -> float:
+        if now > self._at:
+            self.backlog_s = max(0.0, self.backlog_s - (now - self._at))
+            self._at = now
+        return self.backlog_s
+
+    def charge(self, now: float, seconds: float) -> None:
+        self.drain(now)
+        self.backlog_s += seconds
+        self.max_backlog_s = max(self.max_backlog_s, self.backlog_s)
+
+
+def _percentile(values: list[float], q: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, max(0, int(round(q * (len(ordered) - 1)))))
+    return ordered[index]
+
+
+def run_survivability(
+    spec: SurvivabilitySpec,
+    *,
+    defenses_on: bool,
+    policy: DefensePolicy | None = None,
+    slos: tuple[SLO, ...] | None = None,
+) -> SurvivabilityReport:
+    """Run one mixed honest+attack scenario and measure what survived."""
+    report = SurvivabilityReport(
+        persona=spec.persona,
+        seed=spec.seed,
+        attack_fraction=spec.fraction,
+        defenses_on=defenses_on,
+    )
+    honest_rng = random.Random(
+        zlib.crc32(f"honest-{spec.seed}".encode())
+    )
+    attack_rng = random.Random(
+        zlib.crc32(f"attack-{spec.persona}-{spec.seed}".encode())
+    )
+    #: Honest-only lifecycle events, so the SLO denominator is honest
+    #: decisions and not the attack storm.
+    honest_log = EventLog()
+    queue = _WorkQueue()
+    honest_latencies: list[float] = []
+
+    with obs_metrics.use_registry() as registry, \
+            obs_events.use_event_log() as event_log, \
+            obs_audit.use_ledger() as ledger:
+        testbed = build_linear_testbed(list(spec.domains))
+        if defenses_on:
+            testbed.arm_defenses(
+                policy if policy is not None else harness_defense_policy()
+            )
+        source, destination = spec.domains[0], spec.domains[-1]
+        users = [
+            testbed.add_user(source, f"honest-{i}")
+            for i in range(spec.honest_users)
+        ]
+        persona: AttackPersona = make_persona(
+            spec.persona, testbed,
+            victim=spec.victim, source=source, rng=attack_rng,
+        )
+        persona.prepare(testbed.sim.now)
+        sim = testbed.sim
+
+        def honest_arrival() -> None:
+            now = sim.now
+            if now < spec.horizon_s:
+                gap = honest_rng.expovariate(spec.honest_rate_per_s)
+                if now + gap < spec.horizon_s:
+                    sim.schedule(gap, honest_arrival)
+                wait = queue.drain(now)
+                report.honest_offered += 1
+                user = honest_rng.choice(users)
+                rate = honest_rng.choice(spec.honest_rate_choices_mbps)
+                duration = max(
+                    1.0,
+                    honest_rng.expovariate(
+                        1.0 / spec.honest_mean_duration_s
+                    ),
+                )
+                if wait > spec.honest_deadline_s:
+                    # The victim's work queue is longer than the
+                    # signalling deadline: the request dies waiting.
+                    report.honest_timed_out += 1
+                    honest_latencies.append(wait)
+                    registry.histogram(
+                        HONEST_LATENCY_METRIC,
+                        "Honest end-to-end signalling latency (victim "
+                        "queueing + protocol)",
+                    ).observe(wait)
+                    honest_log.emit(
+                        EventKind.DENY, at_time=now, domain=spec.victim,
+                        user=str(user.dn), reason="signalling timed out "
+                        "behind the victim's work queue",
+                        reason_code=ReasonCode.DEADLINE_EXCEEDED,
+                    )
+                    return
+                outcome = testbed.reserve(
+                    user, source=source, destination=destination,
+                    bandwidth_mbps=rate, start=now, duration=duration,
+                )
+                latency = wait + outcome.latency_s
+                honest_latencies.append(latency)
+                registry.histogram(
+                    HONEST_LATENCY_METRIC,
+                    "Honest end-to-end signalling latency (victim "
+                    "queueing + protocol)",
+                ).observe(latency)
+                if outcome.granted and latency <= spec.honest_deadline_s:
+                    report.honest_admitted += 1
+                    honest_log.emit(
+                        EventKind.ADMIT, at_time=now, domain=destination,
+                        user=str(user.dn),
+                    )
+                    testbed.schedule_activation(outcome)
+                else:
+                    report.honest_denied += 1
+                    honest_log.emit(
+                        EventKind.DENY, at_time=now,
+                        domain=outcome.denial_domain or spec.victim,
+                        user=str(user.dn), reason=outcome.denial_reason,
+                    )
+
+        def attack_arrival() -> None:
+            now = sim.now
+            if now < spec.horizon_s:
+                gap = attack_rng.expovariate(spec.attack_rate_per_s)
+                if now + gap < spec.horizon_s:
+                    sim.schedule(gap, attack_arrival)
+                work_units = persona.fire(now)
+                queue.charge(now, work_units * spec.work_unit_s)
+
+        sim.schedule(
+            honest_rng.expovariate(spec.honest_rate_per_s), honest_arrival
+        )
+        sim.schedule(
+            attack_rng.expovariate(spec.attack_rate_per_s), attack_arrival
+        )
+        sim.run()
+
+        # Breaker opens affect honest traffic no matter who tripped
+        # them: fold them into the honest event log for the SLO.
+        for breaker_event in event_log.events(EventKind.BREAKER):
+            if breaker_event.reason.endswith("-> open"):
+                report.breaker_opens += 1
+                honest_log.emit(
+                    EventKind.BREAKER,
+                    at_time=breaker_event.at_time,
+                    domain=breaker_event.domain,
+                    reason=breaker_event.reason,
+                )
+        report.honest_p99_latency_s = _percentile(honest_latencies, 0.99)
+        report.max_backlog_s = queue.max_backlog_s
+        report.attacker = persona.stats.to_dict()
+        for domain_defense in (
+            b.defense for b in testbed.brokers.values()
+            if b.defense is not None
+        ):
+            stats = domain_defense.stats
+            for kind, count in (
+                ("rate_limited", stats.rate_limited),
+                ("quota_exceeded", stats.quota_exceeded),
+                ("replay_rejected", stats.replay_rejected),
+                ("shed_overload", stats.shed_overload),
+            ):
+                if count:
+                    report.defense_rejections[kind] = (
+                        report.defense_rejections.get(kind, 0) + count
+                    )
+        report.slo_report = evaluate_slos(
+            slos if slos is not None else honest_slos(spec),
+            registry=registry,
+            event_log=honest_log,
+        )
+    report.ledger = ledger
+    return report
+
+
+def run_survivability_pair(
+    spec: SurvivabilitySpec,
+    *,
+    policy: DefensePolicy | None = None,
+    slos: tuple[SLO, ...] | None = None,
+) -> tuple[SurvivabilityReport, SurvivabilityReport]:
+    """The headline experiment: the same seeded scenario with the
+    admission-plane defenses off, then on."""
+    off = run_survivability(
+        spec, defenses_on=False, policy=policy, slos=slos
+    )
+    on = run_survivability(
+        spec, defenses_on=True, policy=policy, slos=slos
+    )
+    return off, on

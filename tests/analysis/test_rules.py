@@ -14,6 +14,7 @@ from repro.analysis.rules import (
     SecretExposureRule,
     StrictAnnotationsRule,
     UnboundedRetryRule,
+    UncodedDenialRule,
     WallClockRule,
 )
 
@@ -598,4 +599,119 @@ class TestProvenanceBypass:
             source = pathlib.Path(mod.__file__).read_text()
             assert check_source(
                 source, module=mod.__name__, rules=[ProvenanceBypassRule]
+            ) == []
+
+
+class TestUncodedDenial:
+    def test_flags_denial_without_reason_code(self):
+        findings = lint(
+            """
+            def deny(domain, reason, bb):
+                return make_denial(
+                    domain=domain, reason=reason,
+                    bb=bb.dn, bb_key=bb.keypair.private,
+                )
+            """,
+            UncodedDenialRule,
+            module="repro.core.hopbyhop",
+        )
+        assert len(findings) == 1
+        assert "ReasonCode" in findings[0].message
+
+    def test_flags_false_admit_outcome_without_code(self):
+        findings = lint(
+            """
+            def admit(self, resv, exc):
+                return AdmitOutcome(False, resv, reason=str(exc))
+            """,
+            UncodedDenialRule,
+            module="repro.bb.broker",
+        )
+        assert len(findings) == 1
+
+    def test_flags_rejected_ingress_report_without_code(self):
+        findings = lint(
+            """
+            def reject(exc):
+                return IngressReport(accepted=False, work_units=0.02)
+            """,
+            UncodedDenialRule,
+            module="repro.core.hopbyhop",
+        )
+        assert len(findings) == 1
+
+    def test_granted_outcomes_are_not_denials(self):
+        findings = lint(
+            """
+            def admit(self, resv):
+                return AdmitOutcome(True, resv)
+            """,
+            UncodedDenialRule,
+            module="repro.bb.broker",
+        )
+        assert findings == []
+
+    def test_reason_code_keyword_satisfies_the_rule(self):
+        findings = lint(
+            """
+            def admit(self, resv, exc):
+                self._audit("admit", resv, granted=False, reason=str(exc),
+                            reason_code=ReasonCode.QUOTA_EXCEEDED)
+                return AdmitOutcome(False, resv, reason=str(exc))
+            """,
+            UncodedDenialRule,
+            module="repro.bb.broker",
+        )
+        assert findings == []
+
+    def test_reason_code_for_satisfies_the_rule(self):
+        findings = lint(
+            """
+            from repro.obs.events import reason_code_for
+            def reject(exc):
+                code = reason_code_for(exc)
+                return IngressReport(
+                    accepted=False, work_units=0.02,
+                    reason=str(exc), reason_code=code.value,
+                )
+            """,
+            UncodedDenialRule,
+            module="repro.core.hopbyhop",
+        )
+        assert findings == []
+
+    def test_out_of_scope_modules_exempt(self):
+        source = """
+            def helper():
+                return make_denial(domain="A", reason="test fixture")
+        """
+        assert lint(
+            source, UncodedDenialRule, module="repro.core.testbed"
+        ) == []
+        assert lint(
+            source, UncodedDenialRule, module="repro.bb.broker"
+        ) != []
+
+    def test_noqa_escape(self):
+        findings = lint(
+            """
+            def synthesize(domain, reason):
+                return make_denial(domain=domain, reason=reason)  # repro: noqa[REP112] probe
+            """,
+            UncodedDenialRule,
+            module="repro.core.hopbyhop",
+        )
+        assert findings == []
+
+    def test_shipping_code_is_clean(self):
+        import pathlib
+
+        import repro.bb.broker
+        import repro.bb.defense
+        import repro.core.hopbyhop
+
+        for mod in (repro.bb.broker, repro.bb.defense, repro.core.hopbyhop):
+            source = pathlib.Path(mod.__file__).read_text()
+            assert check_source(
+                source, module=mod.__name__, rules=[UncodedDenialRule]
             ) == []

@@ -1,0 +1,201 @@
+"""Integration tests: the ingress defense gate and malformed envelopes.
+
+Covers the two ingress-facing robustness guarantees:
+
+* a byzantine peer's malformed deliveries (truncated payload, corrupted
+  field tag, garbage bytes, non-envelope objects) come back as *typed
+  denials* with a ReasonCode — never as a raw decode exception escaping
+  :meth:`HopByHopProtocol.process_ingress`;
+* the replay guard rejects a replayed signed envelope **before**
+  signature verification spends anything (``verified`` stays False and
+  the protocol's verification counter does not move).
+"""
+
+import pytest
+
+from repro.bb.defense import DefensePolicy
+from repro.core.codec import to_wire
+from repro.core.hopbyhop import WORK_DECODE, WORK_GATE, WORK_VERIFY
+from repro.core.messages import make_user_rar
+from repro.core.testbed import build_linear_testbed
+from repro.obs.events import ReasonCode
+
+
+@pytest.fixture()
+def testbed():
+    return build_linear_testbed(["A", "B"])
+
+
+@pytest.fixture()
+def captured_wire(testbed):
+    """One well-formed signed user RAR, as wire bytes, entering at B.
+
+    The signer is one of B's own users (directly trusted at the source
+    hop), so the original verifies and is accepted — which is exactly
+    the envelope a replay attack captures.
+    """
+    user = testbed.add_user("B", "Bob")
+    request = testbed.make_request(
+        source="B", destination="A", bandwidth_mbps=5.0,
+        start=0.0, duration=60.0,
+    )
+    envelope = make_user_rar(
+        request=request,
+        source_bb=testbed.brokers["B"].dn,
+        user=user.dn,
+        user_key=user.keypair.private,
+    )
+    return to_wire(envelope), user
+
+
+class TestMalformedIngress:
+    """Satellite (b): malformed envelopes produce typed denials."""
+
+    @pytest.mark.parametrize("mutate", [
+        pytest.param(lambda wire: wire[:12], id="truncated-payload"),
+        pytest.param(
+            lambda wire: bytes([wire[0] ^ 0xFF]) + wire[1:],
+            id="corrupted-field-tag",
+        ),
+        pytest.param(lambda wire: b"\x00" * 64, id="garbage-bytes"),
+    ])
+    def test_malformed_wire_is_typed_denial(
+        self, testbed, captured_wire, mutate
+    ):
+        wire, _ = captured_wire
+        report = testbed.hop_by_hop.process_ingress(
+            "B", mutate(wire), peer="CN=BB-evil", at_time=0.0,
+        )
+        assert not report.accepted
+        assert not report.verified
+        assert report.reason_code == ReasonCode.TRUST_FAILURE.value
+        assert report.reason
+        assert report.work_units == WORK_DECODE
+
+    def test_non_envelope_object_is_typed_denial(self, testbed):
+        report = testbed.hop_by_hop.process_ingress(
+            "B", {"not": "an envelope"}, peer="CN=BB-evil", at_time=0.0,
+        )
+        assert not report.accepted
+        assert report.reason_code == ReasonCode.TRUST_FAILURE.value
+
+    def test_malformed_never_reaches_verification(
+        self, testbed, captured_wire
+    ):
+        wire, _ = captured_wire
+        before = testbed.hop_by_hop.ingress_verifications
+        testbed.hop_by_hop.process_ingress(
+            "B", wire[:10], peer="CN=BB-evil",
+            peer_certificate=testbed.brokers["A"].certificate,
+            at_time=0.0,
+        )
+        assert testbed.hop_by_hop.ingress_verifications == before
+
+    def test_well_formed_wire_is_accepted(self, testbed, captured_wire):
+        wire, user = captured_wire
+        report = testbed.hop_by_hop.process_ingress(
+            "B", wire, peer=str(user.dn),
+            peer_certificate=user.certificate, at_time=0.0,
+        )
+        assert report.accepted
+        assert report.verified
+        assert report.work_units == WORK_VERIFY
+
+
+class TestReplayGuardAtIngress:
+    """Acceptance: 100% of replays rejected before verification."""
+
+    def test_replays_rejected_before_any_verification(
+        self, testbed, captured_wire
+    ):
+        wire, user = captured_wire
+        testbed.arm_defenses(DefensePolicy(
+            peer_burst=1000.0, peer_rate_per_s=1000.0,
+            replay_window_s=600.0,
+        ))
+        protocol = testbed.hop_by_hop
+        original = protocol.process_ingress(
+            "B", wire, peer=str(user.dn),
+            peer_certificate=user.certificate, at_time=0.0,
+        )
+        assert original.accepted and original.verified
+        verifications_after_original = protocol.ingress_verifications
+        rejected = 0
+        for i in range(50):
+            report = protocol.process_ingress(
+                "B", wire, peer=str(user.dn),
+                peer_certificate=user.certificate, at_time=0.1 + i * 0.1,
+            )
+            assert not report.accepted
+            assert not report.verified, (
+                "a replayed envelope reached signature verification"
+            )
+            assert report.reason_code == ReasonCode.REPLAY_REJECTED.value
+            assert report.work_units == WORK_GATE
+            rejected += 1
+        assert rejected == 50
+        # The verification walk never ran again: the whole point.
+        assert protocol.ingress_verifications == verifications_after_original
+        assert (
+            testbed.brokers["B"].defense.stats.replay_rejected == 50
+        )
+
+    def test_rate_limit_rejects_with_reason_code(
+        self, testbed, captured_wire
+    ):
+        wire, user = captured_wire
+        testbed.arm_defenses(DefensePolicy(
+            peer_burst=1.0, peer_rate_per_s=0.0,
+        ))
+        protocol = testbed.hop_by_hop
+        first = protocol.process_ingress(
+            "B", wire, peer=str(user.dn),
+            peer_certificate=user.certificate, at_time=0.0,
+        )
+        assert first.accepted
+        limited = protocol.process_ingress(
+            "B", wire + b"x", peer=str(user.dn),
+            peer_certificate=user.certificate, at_time=0.0,
+        )
+        assert not limited.accepted
+        assert limited.reason_code == ReasonCode.RATE_LIMITED.value
+        assert limited.work_units == WORK_GATE
+
+    def test_defenses_off_replay_costs_full_verification(
+        self, testbed, captured_wire
+    ):
+        # The contrast the defenses exist for: with no gate armed, every
+        # replayed copy costs the victim another full signature walk.
+        wire, user = captured_wire
+        protocol = testbed.hop_by_hop
+        before = protocol.ingress_verifications
+        for i in range(3):
+            report = protocol.process_ingress(
+                "B", wire, peer=str(user.dn),
+                peer_certificate=user.certificate, at_time=float(i),
+            )
+            assert report.verified
+            assert report.work_units == WORK_VERIFY
+        assert protocol.ingress_verifications == before + 3
+
+
+class TestQuotaIntegration:
+    """The broker's admission pipeline enforces reservation quotas."""
+
+    def test_per_user_quota_denies_with_reason_code(self, testbed):
+        testbed.arm_defenses(DefensePolicy(
+            peer_burst=1000.0, peer_rate_per_s=1000.0, per_user_quota=2,
+        ))
+        user = testbed.add_user("A", "Hog")
+        # Distinct requests (varying start), so the replay guard sees
+        # fresh envelopes and the *quota* is what denies the third.
+        outcomes = [
+            testbed.reserve(
+                user, source="A", destination="B",
+                bandwidth_mbps=1.0, start=float(i), duration=600.0,
+            )
+            for i in range(3)
+        ]
+        assert outcomes[0].granted and outcomes[1].granted
+        assert not outcomes[2].granted
+        assert testbed.brokers["A"].defense.stats.quota_exceeded >= 1

@@ -1,0 +1,148 @@
+"""Revocation-storm regression: the verification caches' reverse index
+stays correct and bounded under sustained revoke/re-issue churn.
+
+The :class:`~repro.workloads.attackers.RevocationStormAttacker` models
+an adversary cycling grid-login → reserve → revoke as fast as the gate
+allows.  Each cycle registers fresh verdict entries under fresh
+credential fingerprints *plus* long-lived shared fingerprints (CA and
+broker certificates appear in every verdict's dependency set).  Before
+the reverse-index pruning fix, those shared fingerprints accumulated one
+stale ``(cache, key)`` pair per cycle forever; 10^4 cycles must now
+leave the index bounded by the live entries, with no stale positive
+verdicts for anything revoked.
+"""
+
+import pytest
+
+from repro.crypto import cache as verification_cache
+from repro.crypto.cache import VerificationCaches
+
+CYCLES = 10_000
+SHARED = ("fp:ca-root", "fp:bb-victim")
+
+
+def storm(caches: VerificationCaches, cycles: int = CYCLES) -> None:
+    """Drive *cycles* revoke/re-issue rounds against the verdict caches,
+    the access pattern the storm persona produces at the victim."""
+    for i in range(cycles):
+        fingerprint = f"fp:cred-{i}"
+        caches.put_verdict(
+            "rar", ("rar-key", i), {"verdict": "ok", "cycle": i},
+            SHARED + (fingerprint,),
+        )
+        caches.put_verdict(
+            "delegation", ("del-key", i), {"verdict": "ok", "cycle": i},
+            SHARED + (fingerprint,),
+        )
+        # The re-issue is immediately revoked (the storm's whole point).
+        caches.invalidate_certificate(fingerprint)
+
+
+class TestRevocationStormBounds:
+    def test_reverse_index_bounded_under_storm(self):
+        caches = VerificationCaches(rar_size=256, delegation_size=256)
+        storm(caches)
+        fingerprints, pairs = caches.reverse_index_size()
+        live = len(caches.rar) + len(caches.delegation)
+        # Every cycle's entries were invalidated, so nothing is live and
+        # the index is empty — bounded by live entries, not by history.
+        assert live == 0
+        assert fingerprints == 0
+        assert pairs == 0
+
+    def test_reverse_index_tracks_only_live_entries_with_survivors(self):
+        caches = VerificationCaches(rar_size=64, delegation_size=64)
+        # Interleave: every 4th credential survives (never revoked).
+        for i in range(CYCLES):
+            fingerprint = f"fp:cred-{i}"
+            caches.put_verdict(
+                "rar", ("rar-key", i), {"cycle": i},
+                SHARED + (fingerprint,),
+            )
+            if i % 4:
+                caches.invalidate_certificate(fingerprint)
+        live = len(caches.rar)
+        assert live <= 64
+        fingerprints, pairs = caches.reverse_index_size()
+        # Each live entry registers len(SHARED) + 1 fingerprints.
+        assert pairs == live * (len(SHARED) + 1)
+        assert fingerprints <= live + len(SHARED)
+
+    def test_lru_eviction_prunes_reverse_index(self):
+        caches = VerificationCaches(rar_size=8, delegation_size=8)
+        for i in range(100):
+            caches.put_verdict(
+                "rar", ("rar-key", i), {"cycle": i},
+                SHARED + (f"fp:cred-{i}",),
+            )
+        assert caches.rar.evictions == 92
+        fingerprints, pairs = caches.reverse_index_size()
+        assert pairs == 8 * (len(SHARED) + 1)
+        # Evicted entries' private fingerprints are gone from the index.
+        assert fingerprints == 8 + len(SHARED)
+
+    def test_no_stale_positive_verdict_after_revocation(self):
+        caches = VerificationCaches(rar_size=256, delegation_size=256)
+        hits = 0
+        for i in range(1000):
+            fingerprint = f"fp:cred-{i}"
+            caches.put_verdict(
+                "rar", ("rar-key", i), {"cycle": i},
+                SHARED + (fingerprint,),
+            )
+            caches.invalidate_certificate(fingerprint)
+            if caches.get_verdict("rar", ("rar-key", i)) is not None:
+                hits += 1
+        assert hits == 0, "a revoked credential admitted from cache"
+
+    def test_shared_fingerprint_revocation_still_sweeps_everything(self):
+        # Pruning must not break the broad sweep: revoking a *shared*
+        # dependency (the CA) drops every live verdict at once.
+        caches = VerificationCaches(rar_size=256, delegation_size=256)
+        for i in range(50):
+            caches.put_verdict(
+                "rar", ("rar-key", i), {"cycle": i},
+                SHARED + (f"fp:cred-{i}",),
+            )
+        dropped = caches.invalidate_certificate("fp:ca-root")
+        assert dropped == 50
+        assert len(caches.rar) == 0
+        fingerprints, pairs = caches.reverse_index_size()
+        assert fingerprints == 0 and pairs == 0
+
+    def test_overwrite_reregisters_dependencies(self):
+        caches = VerificationCaches(rar_size=16, delegation_size=16)
+        caches.put_verdict("rar", "k", {"v": 1}, ("fp:old",))
+        caches.put_verdict("rar", "k", {"v": 2}, ("fp:new",))
+        # The old fingerprint no longer reaches the entry...
+        assert caches.invalidate_certificate("fp:old") == 0
+        assert caches.get_verdict("rar", "k") == {"v": 2}
+        # ...and the new one does.
+        assert caches.invalidate_certificate("fp:new") == 1
+        assert caches.get_verdict("rar", "k") is None
+
+
+class TestStormEndToEnd:
+    def test_storm_persona_leaves_caches_bounded(self):
+        """A real (short) storm through the testbed under live caches."""
+        import random
+        import zlib
+
+        from repro.core.testbed import build_linear_testbed
+        from repro.workloads.attackers import RevocationStormAttacker
+
+        with verification_cache.use_caches() as caches:
+            testbed = build_linear_testbed(["A", "B"])
+            persona = RevocationStormAttacker(
+                testbed, victim="B", source="A",
+                rng=random.Random(zlib.crc32(b"storm-cache")),
+            )
+            persona.prepare(0.0)
+            for i in range(40):
+                persona.fire(i * 2.0)
+            assert persona.stats.admitted == 40
+            _, pairs = caches.reverse_index_size()
+            live = len(caches.rar) + len(caches.delegation)
+            # The index never exceeds what the live entries explain
+            # (each entry registers a handful of fingerprints).
+            assert pairs <= live * 16
