@@ -23,6 +23,10 @@ from repro.obs import export, metrics
 #: Where per-benchmark metrics snapshots land (git-ignored).
 SNAPSHOT_DIR = pathlib.Path(__file__).parent / ".metrics"
 
+#: Where per-benchmark telemetry recordings land (git-ignored;
+#: ``REPRO_BENCH_RECORD=1`` / ``repro bench --record``).
+TELEMETRY_DIR = pathlib.Path(__file__).parent / ".telemetry"
+
 
 @pytest.fixture()
 def report():
@@ -54,6 +58,12 @@ def metrics_snapshot(request):
     ``repro bench --audit`` (env ``REPRO_BENCH_AUDIT=1``) additionally
     runs every benchmark under a decision-provenance ledger, so the
     trajectory can price the ledger's overhead on the signalling path.
+
+    ``repro bench --record`` (env ``REPRO_BENCH_RECORD=1``) additionally
+    samples one telemetry frame of the benchmark's registry into a
+    ``.tsrec`` under ``benchmarks/.telemetry/`` — every benchmark run
+    then leaves a flight recording that ``repro top --replay`` and
+    ``repro slo --record`` can read.
     """
     if request.node.get_closest_marker("no_metrics"):
         yield
@@ -66,10 +76,19 @@ def metrics_snapshot(request):
     with metrics.use_registry() as registry:
         with verification_cache.use_caches(), ledger_scope:
             yield
+    safe = request.node.name.replace("/", "_").replace("::", "-")
+    if os.environ.get("REPRO_BENCH_RECORD") == "1":
+        from repro.obs.telemetry import FlightRecorder, RecordingWriter
+
+        TELEMETRY_DIR.mkdir(exist_ok=True)
+        with RecordingWriter.open(
+            TELEMETRY_DIR / f"{safe}.tsrec",
+            meta={"benchmark": request.node.name},
+        ) as writer:
+            FlightRecorder(writer=writer).sample(1.0, registry=registry)
     snapshot = export.json_snapshot(registry)
     if not snapshot:
         return
     SNAPSHOT_DIR.mkdir(exist_ok=True)
-    safe = request.node.name.replace("/", "_").replace("::", "-")
     path = SNAPSHOT_DIR / f"{safe}.json"
     path.write_text(json.dumps(snapshot, indent=2, sort_keys=True))

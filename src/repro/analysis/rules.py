@@ -42,6 +42,12 @@ Each rule encodes an invariant the reproduction depends on:
   ``reason_code_for(exc)``); an uncoded denial cannot be bucketed by
   the SLO denial-rate machinery, the audit ledger, or an operator
   grepping the event stream.
+* ``REP113`` — the telemetry/health/alert layer
+  (:mod:`repro.obs.telemetry`) must not read *any* clock, calendar or
+  monotonic: every verdict is a pure function of (recorded frames,
+  supplied ``now``), which is what makes ``repro top --replay``
+  reproduce a live incident bit-for-bit.  REP110's ``repro.obs``
+  exemption does not extend here.
 """
 
 from __future__ import annotations
@@ -63,6 +69,7 @@ __all__ = [
     "RawTimerRule",
     "ProvenanceBypassRule",
     "UncodedDenialRule",
+    "TelemetryClockRule",
 ]
 
 #: Packages whose behaviour must be driven by the simulation clock.
@@ -686,6 +693,30 @@ class UncodedDenialRule(Rule):
 
     def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
         self._check_function(node)
+        self.generic_visit(node)
+
+
+@register
+class TelemetryClockRule(_ImportAwareRule):
+    id = "REP113"
+    title = "no clock reads in telemetry/health/alert code"
+    severity = Severity.ERROR
+    #: The replay-identity guarantee: health verdicts and alert
+    #: transitions are pure functions of (recorded frames, supplied
+    #: ``now``).  One clock read anywhere in this package and a replayed
+    #: recording could diverge from the live incident it captured.
+    packages = ("repro.obs.telemetry",)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        target = self.resolve(node.func)
+        if target in _WALL_CLOCK or target in _RAW_TIMERS:
+            self.report(
+                node,
+                f"{target}() reads a clock inside repro.obs.telemetry; "
+                "telemetry is replayable only if every verdict is a pure "
+                "function of the recorded frames and the caller-supplied "
+                "now — take time from sample timestamps instead",
+            )
         self.generic_visit(node)
 
 

@@ -228,10 +228,21 @@ class DomainDefense:
     def _meter(self, kind: str) -> None:
         registry = obs_metrics.get_registry()
         if registry is not None:
+            # ``kind`` doubles as the stable ReasonCode value
+            # (rate_limited / quota_exceeded / replay_rejected /
+            # shed_overload); exporting it under both labels keeps the
+            # legacy ``kind`` selector working while per-attack
+            # breakdowns join against event/audit reason codes.
             registry.counter(
                 "defense_rejections_total",
                 "Admission-plane defense rejections by domain and kind",
-            ).inc(domain=self.domain, kind=kind)
+            ).inc(domain=self.domain, kind=kind, reason_code=kind)
+            if kind == "replay_rejected":
+                registry.counter(
+                    "replay_guard_rejections_total",
+                    "Envelopes rejected by the replay guard before "
+                    "signature verification",
+                ).inc(domain=self.domain, reason_code=kind)
 
     def _bucket_for(self, peer: str, now: float, kind: str) -> TokenBucket:
         bucket = self._buckets.get(peer)

@@ -40,7 +40,20 @@ Subcommands:
   testbeds and report invariant violations (capacity leaks, stuck
   reservations, unreleased channels); exits nonzero on any violation;
   ``--witness`` additionally records real lock acquisition orders and
-  cross-checks them against the static lock-order graph.
+  cross-checks them against the static lock-order graph; ``--record``
+  samples campaign telemetry per trial into an append-only ``.tsrec``
+  and steps the chaos alert profile over it (``--fail-on-critical``
+  gates on zero CRITICAL firings);
+* ``top`` — the fleet health dashboard: per-broker health badges,
+  utilization sparklines, admission/denial rates, backlog, and the
+  alert table; live over a fresh workload, or ``--replay FILE.tsrec``
+  over a saved recording (``--follow`` re-renders frame by frame as
+  the incident unfolded; ``--fail-on-critical`` / ``--expect-firing``
+  are CI gates over the replayed alert stream);
+* ``timeline`` — one merged, time-ordered view of obs events, alert
+  transitions, audit decision records, and spans, filtered to a
+  correlation id or a ``START:END`` window; reads a recording via
+  ``--replay`` and/or a saved ledger via ``--ledger``.
 
 ``-v`` / ``-vv`` (before the subcommand) raises logging to INFO / DEBUG.
 
@@ -62,6 +75,10 @@ Examples::
     python -m repro lint-policy examples/policies/*.policy
     python -m repro chaos --seed 7 --trials 200
     python -m repro chaos --seed 7 --trials 50 --witness
+    python -m repro chaos --seed 7 --trials 50 --record chaos.tsrec
+    python -m repro attack --persona flood --defenses off --record f.tsrec
+    python -m repro top --replay f.tsrec --expect-firing
+    python -m repro timeline 40:80 --replay f.tsrec
 """
 
 from __future__ import annotations
@@ -156,6 +173,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit non-zero unless honest traffic meets its SLOs with "
              "defenses on; also reconciles the attack run's audit "
              "ledger")
+    attack.add_argument(
+        "--record", default=None, metavar="FILE.tsrec",
+        help="flight-record the survivability run (telemetry frames, "
+             "events, alert transitions) and report time-to-detect: "
+             "attack onset vs the first CRITICAL alert; with "
+             "--defenses both the defenses state is suffixed into the "
+             "file name")
 
     workload = sub.add_parser(
         "workload",
@@ -234,6 +258,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "ledger enabled (exported as REPRO_BENCH_AUDIT "
                             "to the pytest subprocess) to measure its "
                             "overhead")
+    bench.add_argument("--record", action="store_true",
+                       help="run the benchmarks with the telemetry flight "
+                            "recorder sampling (exported as "
+                            "REPRO_BENCH_RECORD to the pytest subprocess) "
+                            "to measure its overhead")
 
     slo = sub.add_parser(
         "slo",
@@ -249,6 +278,12 @@ def build_parser() -> argparse.ArgumentParser:
     slo.add_argument("--user", default="Alice")
     slo.add_argument("--runs", type=int, default=5,
                      help="how many reservations to signal")
+    slo.add_argument("--record", default=None, metavar="FILE.tsrec",
+                     help="evaluate the objectives over a saved telemetry "
+                          "recording instead of signalling fresh "
+                          "reservations (latency quantiles from recorded "
+                          "histogram gauges, rates from recorded events "
+                          "or counters)")
 
     lint = sub.add_parser(
         "lint",
@@ -338,6 +373,68 @@ def build_parser() -> argparse.ArgumentParser:
                             "the campaign and cross-check them against "
                             "the static lock-order graph (inconsistency "
                             "fails the run)")
+    chaos.add_argument("--record", default=None, metavar="FILE.tsrec",
+                       help="flight-record campaign telemetry (one frame "
+                            "per trial) and step the chaos alert profile "
+                            "over it")
+    chaos.add_argument("--fail-on-critical", action="store_true",
+                       help="with --record: exit non-zero if any CRITICAL "
+                            "alert fired during the campaign (the honest-"
+                            "run telemetry gate)")
+
+    top = sub.add_parser(
+        "top",
+        help="fleet health dashboard (live run or --replay over a "
+             "saved .tsrec recording)",
+    )
+    top.add_argument("--replay", default=None, metavar="FILE.tsrec",
+                     help="render a saved recording instead of running a "
+                          "fresh workload")
+    top.add_argument("--at", type=float, default=None,
+                     help="with --replay: render the dashboard at this "
+                          "recorded instant (default: the final frame)")
+    top.add_argument("--follow", action="store_true",
+                     help="re-render the dashboard as samples arrive (the "
+                          "incident as it unfolded) instead of only the "
+                          "final frame")
+    top.add_argument("--interval", type=float, default=10.0,
+                     help="with --follow: recorded seconds between "
+                          "rendered frames (default: 10)")
+    top.add_argument("--domains", default="A,B,C",
+                     help="live mode: comma-separated chain of domains")
+    top.add_argument("--rate", type=float, default=10.0,
+                     help="live mode: bandwidth per reservation, Mb/s")
+    top.add_argument("--runs", type=int, default=20,
+                     help="live mode: reservations to signal (one "
+                          "telemetry frame each)")
+    top.add_argument("--user", default="Alice",
+                     help="live mode: requesting user")
+    top.add_argument("--fail-on-critical", action="store_true",
+                     help="exit non-zero if any CRITICAL alert fired "
+                          "(telemetry gate for honest recordings)")
+    top.add_argument("--expect-firing", action="store_true",
+                     help="exit non-zero unless at least one alert fired "
+                          "(telemetry gate for attack recordings)")
+
+    timeline = sub.add_parser(
+        "timeline",
+        help="merged alerts+events+audit+spans timeline for a "
+             "correlation id or a START:END window",
+    )
+    timeline.add_argument(
+        "target", nargs="?", default=None,
+        help="correlation id, or a START:END window in recorded "
+             "seconds (omit for everything)")
+    timeline.add_argument("--replay", default=None, metavar="FILE.tsrec",
+                          help="read events and alert transitions from "
+                               "this recording")
+    timeline.add_argument("--ledger", default=None, metavar="PATH",
+                          help="also merge decision records from this "
+                               "ledger JSON (chaos --save-ledger / "
+                               "audit --save)")
+    timeline.add_argument("--domains", default="A,B,C",
+                          help="live mode (no --replay): domains for the "
+                               "demo reservation")
 
     audit = sub.add_parser(
         "audit",
@@ -486,6 +583,20 @@ def cmd_policy_check(args: argparse.Namespace) -> int:
     return 0 if decision.granted else 1
 
 
+def _render_detection(report) -> str:
+    """The time-to-detect line for a flight-recorded survivability run."""
+    onset = (f"{report.attack_onset_s:.1f}s"
+             if report.attack_onset_s is not None else "n/a")
+    first = (f"{report.first_critical_alert_s:.1f}s"
+             if report.first_critical_alert_s is not None
+             else "never (no CRITICAL alert)")
+    ttd = (f"{report.time_to_detect_s:.1f}s"
+           if report.time_to_detect_s is not None else "inf")
+    return (f"detection: onset {onset}, first CRITICAL {first}, "
+            f"time-to-detect {ttd}, "
+            f"{report.alert_transitions} alert transition(s)")
+
+
 def _render_survivability(report) -> str:
     state = "ON " if report.defenses_on else "OFF"
     lines = [
@@ -541,10 +652,39 @@ def cmd_attack_survivability(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     modes = {"off": (False,), "on": (True,), "both": (False, True)}
-    reports = [
-        run_survivability(spec, defenses_on=on, slos=slos)
-        for on in modes[args.defenses]
-    ]
+    states = modes[args.defenses]
+    record_paths: dict[bool, str] = {}
+    if getattr(args, "record", None):
+        import os.path
+
+        for on in states:
+            if len(states) == 1:
+                record_paths[on] = args.record
+            else:
+                root, ext = os.path.splitext(args.record)
+                record_paths[on] = f"{root}.{'on' if on else 'off'}" \
+                                   f"{ext or '.tsrec'}"
+    reports = []
+    for on in states:
+        recorder = writer = None
+        if record_paths:
+            from repro.obs.telemetry import FlightRecorder, RecordingWriter
+
+            try:
+                writer = RecordingWriter.open(record_paths[on])
+            except OSError as exc:
+                print(f"error: {record_paths[on]}: {exc}", file=sys.stderr)
+                return 2
+            recorder = FlightRecorder(writer=writer)
+        try:
+            reports.append(
+                run_survivability(
+                    spec, defenses_on=on, slos=slos, recorder=recorder
+                )
+            )
+        finally:
+            if writer is not None:
+                writer.close()
     if args.json:
         print(json_mod.dumps([r.to_dict() for r in reports], indent=2))
     else:
@@ -553,6 +693,10 @@ def cmd_attack_survivability(args: argparse.Namespace) -> int:
               f"horizon {spec.horizon_s:.0f}s")
         for report in reports:
             print(_render_survivability(report))
+            if record_paths:
+                print("  " + _render_detection(report))
+    for path in record_paths.values():
+        print(f"wrote {path}", file=sys.stderr)
     if not args.gate:
         return 0
     # Gate: honest traffic must meet its SLOs with defenses on, and the
@@ -920,6 +1064,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
         env_overrides["REPRO_BENCH_CONCURRENCY"] = str(args.concurrency)
     if args.audit:
         env_overrides["REPRO_BENCH_AUDIT"] = "1"
+    if args.record:
+        env_overrides["REPRO_BENCH_RECORD"] = "1"
     repo_root = Path(args.repo_root).resolve()
     baseline = None
     if args.compare:
@@ -980,7 +1126,10 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
 def cmd_slo(args: argparse.Namespace) -> int:
     from repro import obs
-    from repro.obs.slo import default_slos, evaluate_slos, parse_slo_spec
+    from repro.obs.slo import (
+        default_slos, evaluate_slos, evaluate_slos_from_recording,
+        parse_slo_spec,
+    )
 
     if args.spec is not None:
         try:
@@ -991,6 +1140,20 @@ def cmd_slo(args: argparse.Namespace) -> int:
             return 2
     else:
         slos = default_slos()
+    if args.record is not None:
+        from repro.obs.telemetry import Recording
+
+        try:
+            recording = Recording.load(args.record)
+        except OSError as exc:
+            print(f"error: {args.record}: {exc}", file=sys.stderr)
+            return 2
+        report = evaluate_slos_from_recording(slos, recording)
+        print(f"objectives over {args.record} "
+              f"({len(recording.frames)} frame(s), "
+              f"t={recording.start:.1f}..{recording.end:.1f}s)")
+        print(report.render())
+        return 0 if report.ok else 1
     domains = [d.strip() for d in args.domains.split(",") if d.strip()]
     if not domains:
         print("error: need at least one domain", file=sys.stderr)
@@ -1018,6 +1181,23 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     if args.trials < 1:
         print("error: --trials must be >= 1", file=sys.stderr)
         return 2
+    if args.fail_on_critical and not args.record:
+        print("error: --fail-on-critical needs --record FILE.tsrec",
+              file=sys.stderr)
+        return 2
+    recorder = writer = engine = None
+    if args.record:
+        from repro.obs.telemetry import (
+            AlertEngine, FlightRecorder, RecordingWriter, chaos_rules,
+        )
+
+        try:
+            writer = RecordingWriter.open(args.record)
+        except OSError as exc:
+            print(f"error: {args.record}: {exc}", file=sys.stderr)
+            return 2
+        recorder = FlightRecorder(writer=writer)
+        engine = AlertEngine(chaos_rules())
     witness = None
     if args.witness:
         from repro.analysis.concurrency.witness import LockWitness
@@ -1032,10 +1212,14 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             deadline_s=args.deadline,
             soft_state_ttl_s=args.ttl,
             audit=args.audit,
+            recorder=recorder,
+            alert_engine=engine,
         )
     finally:
         if witness is not None:
             witness.uninstall()
+        if writer is not None:
+            writer.close()
     if witness is not None:
         from repro.analysis.concurrency import analyze_paths
 
@@ -1061,8 +1245,223 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             print(f"error: {args.save_ledger}: {exc}", file=sys.stderr)
             return 2
         print(f"wrote {args.save_ledger} ({len(report.ledger)} records)")
+    telemetry_failures = 0
+    if engine is not None:
+        from repro.obs.telemetry import AlertSeverity, AlertState
+
+        fired = [t for t in engine.transitions
+                 if t.to_state == AlertState.FIRING]
+        critical = [t for t in fired
+                    if t.severity == AlertSeverity.CRITICAL]
+        print(f"telemetry: {recorder.frames} frame(s), "
+              f"{len(engine.transitions)} alert transition(s), "
+              f"{len(critical)} critical firing(s)")
+        print(f"wrote {args.record}")
+        if args.fail_on_critical and critical:
+            for t in critical:
+                print(f"GATE: CRITICAL {t.rule}[{t.group}] fired at "
+                      f"trial {t.at_time:.0f} (value {t.value:.3f})",
+                      file=sys.stderr)
+            telemetry_failures = len(critical)
     print(report.summary())
-    return 1 if (report.violations or report.audit_violations) else 0
+    failed = (report.violations or report.audit_violations
+              or telemetry_failures)
+    return 1 if failed else 0
+
+
+def _top_gates(args: argparse.Namespace, rules, transitions) -> int:
+    """Apply the --fail-on-critical / --expect-firing CI gates to a
+    stream of alert transitions; returns the number of failures."""
+    from repro.obs.telemetry import AlertSeverity, AlertState
+
+    fired = [t for t in transitions if t.to_state == AlertState.FIRING]
+    critical = [t for t in fired if t.severity == AlertSeverity.CRITICAL]
+    failures = 0
+    if args.fail_on_critical and critical:
+        for t in critical:
+            print(f"GATE: CRITICAL {t.rule}[{t.group}] fired at "
+                  f"t={t.at_time:.1f}s (value {t.value:.3f})",
+                  file=sys.stderr)
+        failures += 1
+    if args.expect_firing and not fired:
+        print("GATE: expected at least one firing alert, saw none",
+              file=sys.stderr)
+        failures += 1
+    return failures
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    from repro.obs.telemetry import (
+        AlertEngine, Recording, chaos_rules, default_rules, render_top,
+    )
+
+    if args.replay is not None:
+        try:
+            recording = Recording.load(args.replay)
+        except OSError as exc:
+            print(f"error: {args.replay}: {exc}", file=sys.stderr)
+            return 2
+        if not recording.frames:
+            print(f"error: {args.replay} has no telemetry frames",
+                  file=sys.stderr)
+            return 1
+        # Chaos recordings were monitored live by the campaign alert
+        # profile; everything else by the fleet profile.  Re-stepping
+        # the same rules over the replayed frames reproduces the live
+        # incident exactly (the engine reads no clock).
+        rules = (chaos_rules()
+                 if recording.meta.get("campaign") == "chaos"
+                 else default_rules())
+        engine = AlertEngine(rules)
+        target = args.at if args.at is not None else recording.end
+        title = f"repro top — replay {args.replay}"
+        next_render = recording.start
+        final = None
+        for t, snapshot in recording.replay():
+            if t > target + 1e-9:
+                break
+            engine.step(snapshot, t)
+            final = (t, snapshot)
+            if args.follow and t + 1e-9 >= next_render:
+                print(render_top(snapshot, now=t,
+                                 alerts=engine.transitions, title=title))
+                print()
+                next_render = t + max(args.interval, 1e-9)
+        if final is None:
+            print(f"error: no frames at or before t={target}",
+                  file=sys.stderr)
+            return 1
+        t, snapshot = final
+        if not args.follow:
+            print(render_top(snapshot, now=t, alerts=engine.transitions,
+                             title=title))
+        interesting = {
+            k: recording.meta[k]
+            for k in ("campaign", "persona", "seed", "defenses_on",
+                      "attack_onset_s", "victim")
+            if k in recording.meta
+        }
+        if interesting:
+            print("meta: " + ", ".join(
+                f"{k}={v}" for k, v in sorted(interesting.items())))
+        return 1 if _top_gates(args, rules, engine.transitions) else 0
+
+    # Live mode: signal --runs reservations under observability, sample
+    # a telemetry frame after each, and render the resulting dashboard.
+    from repro import obs
+    from repro.obs.telemetry import FlightRecorder, testbed_probes
+
+    domains = [d.strip() for d in args.domains.split(",") if d.strip()]
+    if not domains:
+        print("error: need at least one domain", file=sys.stderr)
+        return 2
+    rules = default_rules()
+    engine = AlertEngine(rules)
+    recorder = FlightRecorder()
+    with obs.observed() as (registry, _tracer, event_log):
+        testbed = build_linear_testbed(domains)
+        for probe in testbed_probes(testbed):
+            recorder.add_probe(probe)
+        user = testbed.add_user(domains[0], args.user)
+        for index in range(max(args.runs, 1)):
+            testbed.reserve(
+                user, source=domains[0], destination=domains[-1],
+                bandwidth_mbps=args.rate, duration=3600.0,
+            )
+            now = float(index + 1)
+            recorder.sample(now, registry=registry)
+            engine.step(recorder.store, now, event_log=event_log)
+    now = float(max(args.runs, 1))
+    print(render_top(recorder.store, now=now, alerts=engine.transitions,
+                     domains=domains, title="repro top — live"))
+    return 1 if _top_gates(args, rules, engine.transitions) else 0
+
+
+def cmd_timeline(args: argparse.Namespace) -> int:
+    from repro.obs.telemetry import merge_timeline, render_timeline
+
+    correlation = window = None
+    if args.target:
+        head, sep, tail = args.target.partition(":")
+        if sep:
+            try:
+                window = (float(head), float(tail))
+            except ValueError:
+                correlation = args.target
+        else:
+            correlation = args.target
+
+    audit_records = ()
+    if args.ledger is not None:
+        from repro.obs import audit as obs_audit
+
+        try:
+            with open(args.ledger, encoding="utf-8") as fh:
+                ledger = obs_audit.DecisionLedger.from_json(fh.read())
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            print(f"error: {args.ledger}: {exc}", file=sys.stderr)
+            return 2
+        audit_records = ledger.records(None)
+
+    if args.replay is not None:
+        from repro.obs.telemetry import Recording
+
+        try:
+            recording = Recording.load(args.replay)
+        except OSError as exc:
+            print(f"error: {args.replay}: {exc}", file=sys.stderr)
+            return 2
+        entries = merge_timeline(
+            events=recording.events, alerts=recording.alerts,
+            audit_records=audit_records,
+            correlation=correlation, window=window,
+        )
+        scope = correlation or (
+            f"{window[0]:.1f}..{window[1]:.1f}s" if window else "all")
+        print(render_timeline(
+            entries, title=f"timeline [{scope}] — {args.replay}"))
+        return 0
+
+    if args.ledger is not None:
+        entries = merge_timeline(
+            audit_records=audit_records,
+            correlation=correlation, window=window,
+        )
+        scope = correlation or (
+            f"{window[0]:.1f}..{window[1]:.1f}s" if window else "all")
+        print(render_timeline(
+            entries, title=f"timeline [{scope}] — {args.ledger}"))
+        return 0
+
+    # Live demo: one reservation under all three pillars plus the
+    # decision ledger, stitched into a single timeline.
+    from repro import obs
+    from repro.obs import audit as obs_audit
+
+    domains = [d.strip() for d in args.domains.split(",") if d.strip()]
+    if not domains:
+        print("error: need at least one domain", file=sys.stderr)
+        return 2
+    with obs.observed() as (_registry, tracer, event_log):
+        with obs_audit.use_ledger() as ledger:
+            testbed = build_linear_testbed(domains)
+            user = testbed.add_user(domains[0], "Alice")
+            outcome = testbed.reserve(
+                user, source=domains[0], destination=domains[-1],
+                bandwidth_mbps=10.0, duration=3600.0,
+            )
+    if correlation is None and window is None:
+        correlation = outcome.correlation_id
+    spans = (tracer.spans_for(correlation) if correlation else ())
+    entries = merge_timeline(
+        events=[e.to_dict() for e in event_log.events()],
+        audit_records=ledger.records(None),
+        spans=spans,
+        correlation=correlation, window=window,
+    )
+    scope = correlation or f"{window[0]:.1f}..{window[1]:.1f}s"
+    print(render_timeline(entries, title=f"timeline [{scope}] — live"))
+    return 0
 
 
 def cmd_audit(args: argparse.Namespace) -> int:
@@ -1254,6 +1653,10 @@ def main(argv: list[str] | None = None) -> int:
             return cmd_lint_policy(args)
         if args.command == "chaos":
             return cmd_chaos(args)
+        if args.command == "top":
+            return cmd_top(args)
+        if args.command == "timeline":
+            return cmd_timeline(args)
         if args.command == "audit":
             return cmd_audit(args)
     except ReproError as exc:

@@ -176,6 +176,25 @@ class ConcurrentSignaller:
             (None, "") for _ in jobs
         ]
 
+        depth_registry = obs_metrics.get_registry()
+
+        def publish_depths() -> None:
+            # Per-domain turnstile depth: tickets issued minus tickets
+            # served.  Called with the turnstile held (or before the
+            # pool starts), so reads of now_serving are consistent.
+            if depth_registry is None:
+                return
+            gauge = depth_registry.gauge(
+                "concurrent_queue_depth",
+                "Jobs queued at the per-domain signalling turnstile",
+            )
+            for domain, issued in next_ticket.items():
+                gauge.set(
+                    float(issued - now_serving[domain]), domain=domain
+                )
+
+        publish_depths()
+
         def ready(index: int) -> bool:
             return all(
                 now_serving[d] == t for d, t in tickets[index].items()
@@ -200,6 +219,7 @@ class ConcurrentSignaller:
                 with turnstile:
                     for domain in tickets[index]:
                         now_serving[domain] += 1
+                    publish_depths()
                     turnstile.notify_all()
 
         tracer = obs_spans.get_tracer()

@@ -292,6 +292,16 @@ class HopByHopProtocol:
                 self._breakers[link] = breaker
             return breaker
 
+    def breaker_snapshot(self) -> dict[str, str]:
+        """Current state of every per-link circuit breaker, keyed by
+        the canonical ``a|b`` link label — the telemetry probe's view
+        (the flight recorder samples it each frame)."""
+        with self._breakers_lock:
+            return {
+                link: breaker.state
+                for link, breaker in sorted(self._breakers.items())
+            }
+
     def _note_retry(
         self, *, outcome: SignallingOutcome, what: str, target: str,
         attempt: int, at_time: float, reason: str,
@@ -573,12 +583,22 @@ class HopByHopProtocol:
             correlation_id, request.source_domain,
             request.destination_domain, request.rate_mbps, user.dn,
         )
-        with obs_events.correlation_scope(correlation_id):
-            outcome = self._signal(
-                user, request, assertions=assertions,
-                restrictions=restrictions, tracer=tracer, root=root,
-                deadline_s=deadline_s,
-            )
+        registry = obs_metrics.get_registry()
+        if registry is not None:
+            registry.gauge(
+                "signalling_inflight",
+                "Reservations currently in hop-by-hop signalling",
+            ).inc()
+        try:
+            with obs_events.correlation_scope(correlation_id):
+                outcome = self._signal(
+                    user, request, assertions=assertions,
+                    restrictions=restrictions, tracer=tracer, root=root,
+                    deadline_s=deadline_s,
+                )
+        finally:
+            if registry is not None:
+                registry.gauge("signalling_inflight").dec()
         outcome.correlation_id = correlation_id
         ledger = obs_audit.get_ledger()
         if ledger is not None:

@@ -22,7 +22,10 @@ import contextlib
 import logging
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.telemetry import AlertEngine, FlightRecorder
 
 from repro.bb.reservations import ReservationState
 from repro.core.testbed import Testbed, build_linear_testbed
@@ -277,6 +280,8 @@ def run_chaos(
     progress: Callable[[int, int], None] | None = None,
     slos: Sequence[SLO] | None = None,
     audit: bool = False,
+    recorder: "FlightRecorder | None" = None,
+    alert_engine: "AlertEngine | None" = None,
 ) -> ChaosReport:
     """Run *trials* single-fault chaos trials; the schedule (and every
     backoff-jitter draw downstream of it) is determined by *seed*.
@@ -292,6 +297,14 @@ def run_chaos(
     still exist, the whole ledger is reconciled at the end, and the
     report carries both the ledger and the
     :class:`~repro.obs.audit.ReconciliationReport`.
+
+    With a *recorder* the campaign is also flight-recorded: each trial's
+    per-domain testbed clock restarts at zero, so the recorder samples
+    the campaign registry once per trial with the **trial index** as the
+    time axis, and the alert engine (defaulting to the tuned
+    :func:`~repro.obs.telemetry.alerts.chaos_rules` profile) steps after
+    each frame — the CI telemetry job gates zero CRITICAL alerts on
+    the honest campaign this produces.
     """
     user_link = "|".join(sorted((domains[0], "Alice")))
     inter_links = [
@@ -327,9 +340,18 @@ def run_chaos(
     ledger_scope: contextlib.AbstractContextManager[DecisionLedger | None] = (
         obs_audit.use_ledger() if audit else contextlib.nullcontext()
     )
+    engine = alert_engine
+    if recorder is not None and engine is None:
+        from repro.obs.telemetry import AlertEngine, chaos_rules
+        engine = AlertEngine(chaos_rules())
     with obs_metrics.use_registry() as registry, \
             obs_events.use_event_log() as event_log, \
             ledger_scope as ledger:
+        if recorder is not None:
+            recorder.record_meta(
+                campaign="chaos", seed=seed, trials=trials,
+                schedule_digest=report.schedule_digest,
+            )
         for index, spec in enumerate(schedule):
             report.trials.append(
                 _run_trial(
@@ -342,6 +364,13 @@ def run_chaos(
                     repository_name=repository_name,
                 )
             )
+            if recorder is not None:
+                recorder.sample(float(index + 1), registry=registry)
+                if engine is not None:
+                    engine.step(
+                        recorder.store, float(index + 1),
+                        event_log=event_log, recorder=recorder,
+                    )
             if progress is not None:
                 progress(index + 1, trials)
     if ledger is not None:

@@ -62,6 +62,9 @@ class EventKind(str, enum.Enum):
     UNWIND_FAILED = "unwind_failed"
     #: Graceful degradation engaged (e.g. tunnel -> per-flow signalling).
     FALLBACK = "fallback"
+    #: An alert-engine lifecycle transition (pending/firing/resolved);
+    #: the correlation id is the incident id minted at first firing.
+    ALERT = "alert"
 
 
 class ReasonCode(str, enum.Enum):

@@ -150,21 +150,33 @@ def json_text(registry: MetricsRegistry, *, indent: int = 2) -> str:
 # ---------------------------------------------------------------------------
 
 
-def _series_values(metric: dict[str, object]) -> dict[str, float]:
+def _series_values(metric: object) -> dict[str, float]:
     """Flatten one snapshot metric into ``label-string -> scalar``.
 
     Counters and gauges contribute their value; histograms contribute
     their ``count`` (the scalar most useful for "did this run do more or
-    less work" comparisons).
+    less work" comparisons).  Snapshots come off disk, so malformed
+    entries (non-dict metrics, non-list series, unparsable values) are
+    skipped rather than raised — the diff reports what it can read.
     """
     out: dict[str, float] = {}
-    for entry in metric.get("series", []):  # type: ignore[union-attr]
-        labels = entry.get("labels", {})
+    if not isinstance(metric, dict):
+        return out
+    series = metric.get("series")
+    if not isinstance(series, list):
+        return out
+    for entry in series:
+        if not isinstance(entry, dict):
+            continue
+        labels = entry.get("labels")
+        if not isinstance(labels, dict):
+            labels = {}
         key = ",".join(f"{k}={v}" for k, v in sorted(labels.items())) or "-"
-        if "value" in entry:
-            out[key] = float(entry["value"])
-        else:
-            out[key] = float(entry.get("count", 0))
+        raw = entry["value"] if "value" in entry else entry.get("count", 0)
+        try:
+            out[key] = float(raw)  # type: ignore[arg-type]
+        except (TypeError, ValueError):
+            continue
     return out
 
 
@@ -175,22 +187,33 @@ def diff_snapshots(
 
     Reports metrics and series present on only one side, and value
     deltas for series present on both; an empty list means the
-    snapshots agree.  This replaces the "diff the JSON by hand"
-    workflow the benchmark fixtures used to suggest.
+    snapshots agree.  One-sided keys — a metric or label set that
+    exists in only one snapshot, the normal case when a change adds or
+    retires an instrument — are reported as ``+``/``-`` lines, never
+    raised.  This replaces the "diff the JSON by hand" workflow the
+    benchmark fixtures used to suggest.
     """
     lines: list[str] = []
+    if not isinstance(before, dict) or not isinstance(after, dict):
+        lines.append("~ snapshot is not a JSON object on "
+                     + ("both sides" if not isinstance(before, dict)
+                        and not isinstance(after, dict)
+                        else ("side A" if not isinstance(before, dict)
+                              else "side B")))
+        before = before if isinstance(before, dict) else {}
+        after = after if isinstance(after, dict) else {}
     names = sorted(set(before) | set(after))
     for name in names:
         a = before.get(name)
         b = after.get(name)
-        if a is None:
+        if name not in before:
             lines.append(f"+ metric {name} (only in B)")
             continue
-        if b is None:
+        if name not in after:
             lines.append(f"- metric {name} (only in A)")
             continue
-        series_a = _series_values(a)  # type: ignore[arg-type]
-        series_b = _series_values(b)  # type: ignore[arg-type]
+        series_a = _series_values(a)
+        series_b = _series_values(b)
         for key in sorted(set(series_a) | set(series_b)):
             va, vb = series_a.get(key), series_b.get(key)
             if va is None:

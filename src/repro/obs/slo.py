@@ -50,6 +50,7 @@ __all__ = [
     "default_slos",
     "parse_slo_spec",
     "evaluate_slos",
+    "evaluate_slos_from_recording",
 ]
 
 SLO_KINDS = ("latency_quantile", "denial_rate", "breaker_open_rate")
@@ -258,5 +259,81 @@ def evaluate_slos(
         results=tuple(
             _evaluate_one(slo, registry=registry, event_log=event_log)
             for slo in slos
+        )
+    )
+
+
+def _evaluate_one_recorded(slo: SLO, recording) -> SLOResult:
+    """One objective over a telemetry recording (``.tsrec``).
+
+    A recording is not a registry: histograms arrive as their scraped
+    ``<name>:pNN`` quantile gauges and ``<name>:count`` counters, and
+    events are plain dicts (or absent — chaos recordings sample on a
+    trial-index clock and skip obs events entirely, so the rate
+    objectives fall back to the recorded admission counters)."""
+    store = recording.store
+    if slo.kind == "latency_quantile":
+        gauge = f"{slo.metric}:p{int(slo.quantile * 100)}"
+        actual = 0.0
+        detail = f"recorded gauge {gauge!r} has no data"
+        if store.select(gauge):
+            actual = store.last_value(gauge)
+            count = store.last_value(f"{slo.metric}:count")
+            detail = (f"recorded p{int(slo.quantile * 100)} "
+                      f"of {count:.0f} observations")
+    else:
+        admits = sum(
+            1 for e in recording.events
+            if e.get("kind") == EventKind.ADMIT.value
+        )
+        denies = sum(
+            1 for e in recording.events
+            if e.get("kind") == EventKind.DENY.value
+        )
+        opens = sum(
+            1 for e in recording.events
+            if e.get("kind") == EventKind.BREAKER.value
+            and str(e.get("reason", "")).endswith("-> open")
+        )
+        source = "recorded events"
+        if admits + denies == 0:
+            admits = int(store.last_value(
+                "admissions_total", {"granted": "true"}))
+            denies = int(store.last_value(
+                "admissions_total", {"granted": "false"}))
+            opens = int(store.last_value(
+                "breaker_transitions_total", {"to": "open"}))
+            source = "recorded counters"
+        decisions = admits + denies
+        if slo.kind == "denial_rate":
+            actual = denies / decisions if decisions else 0.0
+            detail = f"{denies} denials / {decisions} decisions ({source})"
+        else:  # breaker_open_rate
+            actual = opens / decisions if decisions else float(opens)
+            detail = (f"{opens} breaker opens / {decisions} decisions "
+                      f"({source})")
+    if slo.threshold > 0:
+        burn = actual / slo.threshold
+    else:
+        burn = 0.0 if actual == 0.0 else float("inf")
+    return SLOResult(
+        slo=slo,
+        actual=actual,
+        burn_rate=burn,
+        ok=actual <= slo.threshold,
+        detail=detail,
+    )
+
+
+def evaluate_slos_from_recording(
+    slos: tuple[SLO, ...] | list[SLO],
+    recording,
+) -> SLOReport:
+    """Evaluate every objective over a loaded
+    :class:`~repro.obs.telemetry.Recording` — the after-the-fact twin
+    of :func:`evaluate_slos` for ``repro slo --record FILE.tsrec``."""
+    return SLOReport(
+        results=tuple(
+            _evaluate_one_recorded(slo, recording) for slo in slos
         )
     )

@@ -1,0 +1,311 @@
+"""Rendering for ``repro top`` and ``repro timeline``.
+
+Pure string builders over the telemetry substrate: given a
+:class:`~repro.obs.telemetry.series.SeriesStore` (live or loaded from a
+``.tsrec`` recording) plus the health and alert layers, :func:`render_top`
+draws the fleet dashboard — one row per broker with its verdict,
+utilization sparkline, admission/denial rates, backlog, cache hit
+ratio, defense rejections — and the firing-alert table.
+
+:func:`merge_timeline` is the incident-forensics view: obs events,
+alert transitions, audit :class:`DecisionRecord`\\ s, and trace spans
+are normalised into one time-sorted stream, filterable by correlation
+id (an incident's ``alert-…`` id or a request's ``req-…`` id) or a
+time window — the "what happened around t=40s" question answered in
+one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.obs.telemetry.alerts import AlertState, AlertTransition
+from repro.obs.telemetry.health import (
+    HealthPolicy,
+    HealthStatus,
+    HealthVerdict,
+    evaluate_fleet,
+)
+from repro.obs.telemetry.series import SeriesStore
+
+__all__ = [
+    "sparkline",
+    "render_top",
+    "TimelineEntry",
+    "merge_timeline",
+    "render_timeline",
+]
+
+_SPARK_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+_STATUS_BADGES = {
+    HealthStatus.GREEN: "green   ",
+    HealthStatus.DEGRADED: "DEGRADED",
+    HealthStatus.CRITICAL: "CRITICAL",
+}
+
+
+def sparkline(values: Sequence[float], *, width: int = 16,
+              lo: float | None = None, hi: float | None = None) -> str:
+    """A unicode block-height sketch of the series' recent shape."""
+    if not values:
+        return " " * width
+    tail = list(values)[-width:]
+    lo = min(tail) if lo is None else lo
+    hi = max(tail) if hi is None else hi
+    span = hi - lo
+    out = []
+    for v in tail:
+        frac = 0.0 if span <= 0 else (v - lo) / span
+        frac = min(max(frac, 0.0), 1.0)
+        out.append(_SPARK_BLOCKS[round(frac * (len(_SPARK_BLOCKS) - 1))])
+    return "".join(out).rjust(width)
+
+
+# ---------------------------------------------------------------------------
+# repro top
+# ---------------------------------------------------------------------------
+
+
+def _domains_of(store: SeriesStore) -> tuple[str, ...]:
+    found = set()
+    for key in store.keys():
+        domain = key.label("domain")
+        if domain:
+            found.add(domain)
+    return tuple(sorted(found))
+
+
+def _cache_hit_ratio(store: SeriesStore, *, now: float, window_s: float) -> float:
+    hits = store.delta(
+        "verification_cache_events_total", now=now, window_s=window_s,
+        where={"result": "hit"},
+    )
+    misses = store.delta(
+        "verification_cache_events_total", now=now, window_s=window_s,
+        where={"result": "miss"},
+    )
+    total = hits + misses
+    return hits / total if total > 0 else 0.0
+
+
+def render_top(
+    store: SeriesStore,
+    *,
+    now: float,
+    domains: Iterable[str] | None = None,
+    policy: HealthPolicy | None = None,
+    alerts: Sequence[AlertTransition] = (),
+    verdicts: Mapping[str, HealthVerdict] | None = None,
+    window_s: float = 30.0,
+    title: str = "repro top",
+) -> str:
+    """The fleet dashboard at instant *now*, as one printable block."""
+    domains = tuple(domains) if domains else _domains_of(store)
+    if verdicts is None:
+        verdicts = evaluate_fleet(store, domains, now=now, policy=policy)
+
+    lines: list[str] = []
+    lines.append(f"{title} — t={now:.1f}s  brokers={len(domains)}")
+    lines.append("")
+    header = (
+        f"{'broker':<8} {'health':<8} {'util':>5} {'utilization':>16} "
+        f"{'adm/s':>6} {'den/s':>6} {'pend':>5} {'backlog':>8} "
+        f"{'rejects':>7}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for domain in domains:
+        verdict = verdicts.get(domain)
+        status = verdict.status if verdict else HealthStatus.GREEN
+        util_series = store.series("domain_utilization", {"domain": domain})
+        util_points = [v for _, v in util_series.points()] if util_series else []
+        util = util_points[-1] if util_points else 0.0
+        admit_rate = store.rate(
+            "admissions_total", now=now, window_s=window_s,
+            where={"domain": domain},
+        )
+        deny_rate = store.rate(
+            "admissions_total", now=now, window_s=window_s,
+            where={"domain": domain, "granted": "false"},
+        )
+        pending = store.last_value(
+            "reservation_table_size", {"domain": domain}
+        )
+        backlog = store.last_value(
+            "work_queue_backlog_s", {"domain": domain}
+        )
+        rejects = store.delta(
+            "defense_rejections_total", now=now, window_s=window_s,
+            where={"domain": domain},
+        )
+        lines.append(
+            f"{domain:<8} {_STATUS_BADGES[status]:<8} {util:>4.0%} "
+            f"{sparkline(util_points, lo=0.0, hi=1.0):>16} "
+            f"{admit_rate:>6.2f} {deny_rate:>6.2f} {pending:>5.0f} "
+            f"{backlog:>7.2f}s {rejects:>7.0f}"
+        )
+
+    hit_ratio = _cache_hit_ratio(store, now=now, window_s=window_s)
+    pending_events = store.last_value("sim_pending_events")
+    lines.append("")
+    lines.append(
+        f"verification-cache hit ratio {hit_ratio:.0%}   "
+        f"sim pending events {pending_events:.0f}"
+    )
+
+    # Per-domain non-green detail.
+    for domain in domains:
+        verdict = verdicts.get(domain)
+        if verdict and verdict.status > HealthStatus.GREEN:
+            for reason in verdict.reasons():
+                lines.append(f"  {domain}: {reason}")
+
+    # Alerts table (firing first, then most recent transitions).  An
+    # incident is *currently* firing only if its latest transition is
+    # the FIRING edge — a later RESOLVED edge retires it.
+    latest: dict[tuple[str, str], Any] = {}
+    for a in alerts:
+        latest[(a.rule, a.group)] = a
+    firing = [a for a in latest.values()
+              if a.to_state == AlertState.FIRING]
+    resolved = [a for a in alerts if a.to_state == AlertState.RESOLVED]
+    lines.append("")
+    if firing or resolved:
+        lines.append(f"alerts: {len(firing)} firing, {len(resolved)} resolved")
+        for a in firing:
+            lines.append(
+                f"  [{a.severity.value.upper():>8}] {a.rule}"
+                f"{'/' + a.group if a.group else ''} FIRING since "
+                f"t={a.at_time:.1f}s (value {a.value:.2f})  "
+                f"{a.correlation_id}"
+            )
+        for a in resolved[-5:]:
+            lines.append(
+                f"  [resolved] {a.rule}"
+                f"{'/' + a.group if a.group else ''} at t={a.at_time:.1f}s  "
+                f"{a.correlation_id}"
+            )
+    else:
+        lines.append("alerts: none")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# repro timeline
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, order=True)
+class TimelineEntry:
+    """One normalised line of the merged incident timeline."""
+
+    at_time: float
+    source: str  # "event" | "alert" | "audit" | "span"
+    text: str = field(compare=False)
+    correlation_id: str = field(default="", compare=False)
+
+    def render(self) -> str:
+        tag = f"[{self.source:<5}]"
+        corr = f"  ({self.correlation_id})" if self.correlation_id else ""
+        return f"t={self.at_time:9.3f}s {tag} {self.text}{corr}"
+
+
+def _event_entry(event: Mapping[str, Any]) -> TimelineEntry:
+    kind = str(event.get("kind", "?"))
+    domain = str(event.get("domain", ""))
+    reason = str(event.get("reason", ""))
+    code = str(event.get("reason_code", ""))
+    bits = [kind.upper()]
+    if domain:
+        bits.append(f"@{domain}")
+    if code:
+        bits.append(f"[{code}]")
+    if reason:
+        bits.append(reason)
+    return TimelineEntry(
+        at_time=float(event.get("at_time", 0.0)),
+        source="event",
+        text=" ".join(bits),
+        correlation_id=str(event.get("correlation_id", "")),
+    )
+
+
+def _alert_entry(alert: Mapping[str, Any]) -> TimelineEntry:
+    rule = str(alert.get("rule", "?"))
+    group = str(alert.get("group", ""))
+    state = str(alert.get("state", "?"))
+    severity = str(alert.get("severity", ""))
+    value = alert.get("value", 0.0)
+    name = f"{rule}/{group}" if group else rule
+    return TimelineEntry(
+        at_time=float(alert.get("at_time", 0.0)),
+        source="alert",
+        text=f"{name} -> {state.upper()} ({severity}, value {value})",
+        correlation_id=str(alert.get("correlation_id", "")),
+    )
+
+
+def _audit_entry(record: Any) -> TimelineEntry:
+    kind = getattr(record.kind, "value", record.kind)
+    bits = [str(kind).upper()]
+    if record.domain:
+        bits.append(f"@{record.domain}")
+    if record.handle:
+        bits.append(str(record.handle))
+    if record.reason_code:
+        bits.append(f"[{record.reason_code}]")
+    if record.reason:
+        bits.append(record.reason)
+    return TimelineEntry(
+        at_time=float(record.at_time),
+        source="audit",
+        text=" ".join(bits),
+        correlation_id=record.correlation_id,
+    )
+
+
+def _span_entries(span: Any) -> TimelineEntry:
+    duration = (
+        f" ({span.sim_latency_s * 1000:.1f} ms sim)"
+        if span.sim_latency_s else ""
+    )
+    return TimelineEntry(
+        at_time=float(span.attributes.get("sim_start_s", 0.0)),
+        source="span",
+        text=f"{span.name} [{span.status}]{duration}",
+        correlation_id=span.trace_id,
+    )
+
+
+def merge_timeline(
+    *,
+    events: Iterable[Mapping[str, Any]] = (),
+    alerts: Iterable[Mapping[str, Any]] = (),
+    audit_records: Iterable[Any] = (),
+    spans: Iterable[Any] = (),
+    correlation: str | None = None,
+    window: tuple[float, float] | None = None,
+) -> list[TimelineEntry]:
+    """Normalise and merge the four streams, then filter and sort."""
+    entries: list[TimelineEntry] = []
+    entries.extend(_event_entry(e) for e in events)
+    entries.extend(_alert_entry(a) for a in alerts)
+    entries.extend(_audit_entry(r) for r in audit_records)
+    entries.extend(_span_entries(s) for s in spans)
+    if correlation is not None:
+        entries = [e for e in entries if e.correlation_id == correlation]
+    if window is not None:
+        start, end = window
+        entries = [e for e in entries if start <= e.at_time <= end]
+    entries.sort()
+    return entries
+
+
+def render_timeline(
+    entries: Sequence[TimelineEntry], *, title: str = "timeline"
+) -> str:
+    lines = [f"{title}: {len(entries)} entries"]
+    lines.extend(e.render() for e in entries)
+    return "\n".join(lines)

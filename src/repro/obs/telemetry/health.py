@@ -1,0 +1,274 @@
+"""Per-broker health verdicts: green / degraded / critical.
+
+The verdict for a domain is a **pure function** of a
+:class:`~repro.obs.telemetry.series.SeriesStore` and an instant of
+simulated time — no hidden state, no clock reads — so replaying a
+``.tsrec`` recording through :func:`evaluate_health` reproduces the
+live run's verdicts exactly (the Hypothesis property test pins this).
+
+Signals folded into one verdict, worst wins:
+
+* **Denial burn rate**, multi-window.  Burn is the windowed denial
+  ratio (``admissions_total{granted=false}`` over all admissions for
+  the domain) divided by the SLO target.  The classic fast/slow pairing
+  applies: a short window that confirms the problem is happening *now*
+  and a long window that confirms it is *sustained*; CRITICAL requires
+  both to exceed the critical burn, which filters one-sample blips
+  without missing real incidents.
+* **Work-queue backlog** (``work_queue_backlog_s``): the victim's
+  modelled verification backlog; beyond the honest deadline every
+  arriving honest request is already late → CRITICAL.
+* **Resource utilization** (``domain_utilization``): sustained
+  saturation is DEGRADED — it is only an incident when denials or
+  backlog confirm it, which the other signals do.
+* **Breaker state and flapping**: any open breaker on a link touching
+  the domain is CRITICAL (the fabric has amputated a path); more than
+  ``flap_threshold`` state changes inside the flap window is DEGRADED
+  (the link is oscillating — recovery is not holding).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.obs.telemetry.series import SeriesStore
+
+__all__ = [
+    "HealthStatus",
+    "HealthPolicy",
+    "HealthSignal",
+    "HealthVerdict",
+    "denial_burn",
+    "breaker_flaps",
+    "evaluate_health",
+    "evaluate_fleet",
+]
+
+
+class HealthStatus(enum.IntEnum):
+    """Ordered so ``max()`` folds signals into the worst verdict."""
+
+    GREEN = 0
+    DEGRADED = 1
+    CRITICAL = 2
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+@dataclass(frozen=True)
+class HealthPolicy:
+    """Thresholds for the health model (defaults match the harness
+    SLOs: denial target 0.5, honest deadline 2.5 s)."""
+
+    fast_window_s: float = 10.0
+    slow_window_s: float = 60.0
+    #: SLO target for the denial ratio; burn = actual / target.
+    denial_slo: float = 0.5
+    #: Slow-window burn beyond this is DEGRADED.
+    burn_degraded: float = 1.0
+    #: Fast *and* slow burn beyond this is CRITICAL.
+    burn_critical: float = 2.0
+    backlog_degraded_s: float = 1.0
+    backlog_critical_s: float = 2.5
+    utilization_degraded: float = 0.9
+    flap_window_s: float = 30.0
+    #: Breaker state changes inside the flap window before DEGRADED.
+    flap_threshold: int = 3
+
+
+@dataclass(frozen=True)
+class HealthSignal:
+    """One contributing measurement and the status it argues for."""
+
+    name: str
+    value: float
+    status: HealthStatus
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class HealthVerdict:
+    domain: str
+    at_time: float
+    status: HealthStatus
+    signals: tuple[HealthSignal, ...] = ()
+
+    def reasons(self) -> tuple[str, ...]:
+        """The non-green signals, worst first."""
+        bad = [s for s in self.signals if s.status > HealthStatus.GREEN]
+        bad.sort(key=lambda s: (-s.status, s.name))
+        return tuple(s.detail or s.name for s in bad)
+
+    def to_dict(self) -> dict:
+        return {
+            "domain": self.domain,
+            "at_time": self.at_time,
+            "status": self.status.name,
+            "signals": [
+                {
+                    "name": s.name,
+                    "value": round(s.value, 6),
+                    "status": s.status.name,
+                    "detail": s.detail,
+                }
+                for s in self.signals
+            ],
+        }
+
+
+# ---------------------------------------------------------------------------
+# Signal arithmetic (each a pure function of the store)
+# ---------------------------------------------------------------------------
+
+
+def denial_burn(
+    store: SeriesStore, domain: str, *, now: float, window_s: float,
+    slo: float,
+) -> float:
+    """Windowed denial ratio over the SLO target for one domain."""
+    denied = store.delta(
+        "admissions_total", now=now, window_s=window_s,
+        where={"domain": domain, "granted": "false"},
+    )
+    total = store.delta(
+        "admissions_total", now=now, window_s=window_s,
+        where={"domain": domain},
+    )
+    if total <= 0:
+        return 0.0
+    return (denied / total) / slo if slo > 0 else 0.0
+
+
+def _domain_links(store: SeriesStore, domain: str) -> tuple[str, ...]:
+    """Links (``a|b`` labels) with *domain* as an endpoint."""
+    links = set()
+    for key in store.keys():
+        if key.name != "breaker_state":
+            continue
+        link = key.label("link")
+        if domain in link.split("|"):
+            links.add(link)
+    return tuple(sorted(links))
+
+
+def breaker_flaps(
+    store: SeriesStore, domain: str, *, now: float, window_s: float,
+) -> tuple[int, float]:
+    """``(state_changes_in_window, worst_current_state)`` across the
+    domain's links.  State values: closed 0, half-open 1, open 2."""
+    changes = 0
+    worst = 0.0
+    for link in _domain_links(store, domain):
+        series = store.series("breaker_state", {"link": link})
+        if series is None:
+            continue
+        points = series.window(now - window_s, now)
+        for (_, prev), (_, cur) in zip(points, points[1:]):
+            if cur != prev:
+                changes += 1
+        last = series.last()
+        if last is not None:
+            worst = max(worst, last[1])
+    return changes, worst
+
+
+# ---------------------------------------------------------------------------
+# The verdict
+# ---------------------------------------------------------------------------
+
+
+def evaluate_health(
+    store: SeriesStore, domain: str, *, now: float,
+    policy: HealthPolicy | None = None,
+) -> HealthVerdict:
+    """Fold every signal into one verdict for *domain* at *now*."""
+    policy = policy or HealthPolicy()
+    signals: list[HealthSignal] = []
+
+    # Multi-window denial burn.
+    fast = denial_burn(
+        store, domain, now=now, window_s=policy.fast_window_s,
+        slo=policy.denial_slo,
+    )
+    slow = denial_burn(
+        store, domain, now=now, window_s=policy.slow_window_s,
+        slo=policy.denial_slo,
+    )
+    if fast >= policy.burn_critical and slow >= policy.burn_critical:
+        burn_status = HealthStatus.CRITICAL
+    elif slow >= policy.burn_degraded or fast >= policy.burn_critical:
+        burn_status = HealthStatus.DEGRADED
+    else:
+        burn_status = HealthStatus.GREEN
+    signals.append(HealthSignal(
+        "denial_burn", max(fast, slow), burn_status,
+        f"denial burn fast={fast:.2f} slow={slow:.2f} "
+        f"(target ratio {policy.denial_slo})",
+    ))
+
+    # Verification-work backlog (recorded by the survivability probe).
+    backlog = store.last_value(
+        "work_queue_backlog_s", {"domain": domain}, default=0.0
+    )
+    if backlog >= policy.backlog_critical_s:
+        backlog_status = HealthStatus.CRITICAL
+    elif backlog >= policy.backlog_degraded_s:
+        backlog_status = HealthStatus.DEGRADED
+    else:
+        backlog_status = HealthStatus.GREEN
+    signals.append(HealthSignal(
+        "backlog", backlog, backlog_status,
+        f"work backlog {backlog:.2f}s "
+        f"(critical at {policy.backlog_critical_s:.2f}s)",
+    ))
+
+    # Sustained saturation.
+    utilization = store.last_value(
+        "domain_utilization", {"domain": domain}, default=0.0
+    )
+    util_status = (
+        HealthStatus.DEGRADED
+        if utilization >= policy.utilization_degraded
+        else HealthStatus.GREEN
+    )
+    signals.append(HealthSignal(
+        "utilization", utilization, util_status,
+        f"utilization {utilization:.0%}",
+    ))
+
+    # Breaker state + flap detection.
+    flaps, worst_state = breaker_flaps(
+        store, domain, now=now, window_s=policy.flap_window_s
+    )
+    if worst_state >= 2.0:
+        breaker_status = HealthStatus.CRITICAL
+        breaker_detail = "breaker OPEN on a domain link"
+    elif flaps > policy.flap_threshold:
+        breaker_status = HealthStatus.DEGRADED
+        breaker_detail = (
+            f"breaker flapping: {flaps} transitions in "
+            f"{policy.flap_window_s:.0f}s"
+        )
+    else:
+        breaker_status = HealthStatus.GREEN
+        breaker_detail = f"breakers quiet ({flaps} transitions)"
+    signals.append(HealthSignal(
+        "breakers", float(max(flaps, worst_state)), breaker_status,
+        breaker_detail,
+    ))
+
+    status = max((s.status for s in signals), default=HealthStatus.GREEN)
+    return HealthVerdict(domain, now, status, tuple(signals))
+
+
+def evaluate_fleet(
+    store: SeriesStore, domains: Iterable[str], *, now: float,
+    policy: HealthPolicy | None = None,
+) -> dict[str, HealthVerdict]:
+    return {
+        d: evaluate_health(store, d, now=now, policy=policy)
+        for d in sorted(domains)
+    }

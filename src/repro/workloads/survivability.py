@@ -40,6 +40,10 @@ from __future__ import annotations
 import random
 import zlib
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.telemetry import AlertEngine, FlightRecorder
 
 from repro.bb.defense import DefensePolicy
 from repro.core.testbed import build_linear_testbed
@@ -142,6 +146,14 @@ class SurvivabilityReport:
     slo_report: SLOReport | None = None
     #: The run's decision-provenance ledger (for audit reconciliation).
     ledger: object | None = None
+    #: Modelled time of the first attack signal (None: attack never
+    #: started inside the horizon).
+    attack_onset_s: float | None = None
+    #: When the first CRITICAL alert fired, and the detection latency
+    #: relative to the onset — the telemetry plane's headline number.
+    first_critical_alert_s: float | None = None
+    time_to_detect_s: float | None = None
+    alert_transitions: int = 0
 
     @property
     def honest_admission_rate(self) -> float:
@@ -185,6 +197,10 @@ class SurvivabilityReport:
             "attacker": dict(self.attacker),
             "defense_rejections": dict(self.defense_rejections),
             "slos": slos,
+            "attack_onset_s": self.attack_onset_s,
+            "first_critical_alert_s": self.first_critical_alert_s,
+            "time_to_detect_s": self.time_to_detect_s,
+            "alert_transitions": self.alert_transitions,
         }
 
 
@@ -271,8 +287,19 @@ def run_survivability(
     defenses_on: bool,
     policy: DefensePolicy | None = None,
     slos: tuple[SLO, ...] | None = None,
+    recorder: "FlightRecorder | None" = None,
+    alert_engine: "AlertEngine | None" = None,
+    sample_interval_s: float = 1.0,
 ) -> SurvivabilityReport:
-    """Run one mixed honest+attack scenario and measure what survived."""
+    """Run one mixed honest+attack scenario and measure what survived.
+
+    With a *recorder*, the run becomes a monitored incident: the flight
+    recorder samples registry + fabric probes every
+    ``sample_interval_s`` of modelled time, the alert engine (defaulting
+    to the fleet profile) steps after each frame, and the report gains
+    the attack onset, the first CRITICAL firing, and their difference —
+    **time-to-detect**, the number the ISSUE's acceptance gate reads.
+    """
     report = SurvivabilityReport(
         persona=spec.persona,
         seed=spec.seed,
@@ -376,8 +403,45 @@ def run_survivability(
                 gap = attack_rng.expovariate(spec.attack_rate_per_s)
                 if now + gap < spec.horizon_s:
                     sim.schedule(gap, attack_arrival)
+                if report.attack_onset_s is None:
+                    report.attack_onset_s = now
+                    if recorder is not None:
+                        recorder.record_meta(attack_onset_s=now)
                 work_units = persona.fire(now)
                 queue.charge(now, work_units * spec.work_unit_s)
+
+        engine = alert_engine
+        if recorder is not None:
+            from repro.obs.telemetry import (
+                AlertEngine, SeriesKey, default_rules, testbed_probes,
+            )
+            if engine is None:
+                engine = AlertEngine(default_rules())
+            for probe in testbed_probes(testbed):
+                recorder.add_probe(probe)
+            backlog_key = SeriesKey.make(
+                "work_queue_backlog_s", {"domain": spec.victim}
+            )
+            recorder.add_probe(
+                lambda now: {backlog_key: queue.drain(now)}
+            )
+            recorder.record_meta(
+                persona=spec.persona, seed=spec.seed,
+                defenses_on=defenses_on, victim=spec.victim,
+                horizon_s=spec.horizon_s,
+            )
+
+            def telemetry_tick() -> None:
+                now = sim.now
+                recorder.sample(now, registry=registry)
+                engine.step(
+                    recorder.store, now,
+                    event_log=event_log, recorder=recorder,
+                )
+                if now + sample_interval_s <= spec.horizon_s:
+                    sim.schedule(sample_interval_s, telemetry_tick)
+
+            sim.schedule(sample_interval_s, telemetry_tick)
 
         sim.schedule(
             honest_rng.expovariate(spec.honest_rate_per_s), honest_arrival
@@ -386,6 +450,21 @@ def run_survivability(
             attack_rng.expovariate(spec.attack_rate_per_s), attack_arrival
         )
         sim.run()
+
+        if recorder is not None and engine is not None:
+            from repro.obs.telemetry import AlertSeverity
+            report.alert_transitions = len(engine.transitions)
+            first = engine.first_firing(AlertSeverity.CRITICAL)
+            if first is not None:
+                report.first_critical_alert_s = first.at_time
+                if report.attack_onset_s is not None:
+                    report.time_to_detect_s = (
+                        first.at_time - report.attack_onset_s
+                    )
+            # Persist the run's obs events so `repro timeline --replay`
+            # can merge them with the recorded alert transitions.
+            for event in event_log:
+                recorder.record_event(event)
 
         # Breaker opens affect honest traffic no matter who tripped
         # them: fold them into the honest event log for the SLO.

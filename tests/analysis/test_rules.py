@@ -13,6 +13,7 @@ from repro.analysis.rules import (
     SaltedHashSeedRule,
     SecretExposureRule,
     StrictAnnotationsRule,
+    TelemetryClockRule,
     UnboundedRetryRule,
     UncodedDenialRule,
     WallClockRule,
@@ -714,4 +715,64 @@ class TestUncodedDenial:
             source = pathlib.Path(mod.__file__).read_text()
             assert check_source(
                 source, module=mod.__name__, rules=[UncodedDenialRule]
+            ) == []
+
+
+class TestTelemetryClock:
+    """REP113: the telemetry plane must take time from the caller."""
+
+    SOURCE = """
+    import time
+    def sample():
+        return time.time()
+    """
+
+    def test_flags_wall_clock_inside_telemetry(self):
+        findings = lint(
+            self.SOURCE,
+            TelemetryClockRule,
+            module="repro.obs.telemetry.recorder",
+        )
+        assert len(findings) == 1
+        assert findings[0].rule == "REP113"
+        assert "repro.obs.telemetry" in findings[0].message
+
+    def test_flags_raw_timers_too(self):
+        findings = lint(
+            """
+            from time import perf_counter
+            def sample():
+                return perf_counter()
+            """,
+            TelemetryClockRule,
+            module="repro.obs.telemetry.health",
+        )
+        assert len(findings) == 1
+
+    def test_quiet_outside_the_telemetry_package(self):
+        # REP110 exempts repro.obs generally; REP113 narrows the ban
+        # back onto the telemetry plane only.
+        for module in ("repro.obs.perf.bench", "repro.core.hopbyhop"):
+            assert lint(self.SOURCE, TelemetryClockRule,
+                        module=module) == []
+
+    def test_shipping_telemetry_code_is_clean(self):
+        import pathlib
+
+        import repro.obs.telemetry.alerts
+        import repro.obs.telemetry.dashboard
+        import repro.obs.telemetry.health
+        import repro.obs.telemetry.recorder
+        import repro.obs.telemetry.series
+
+        for mod in (
+            repro.obs.telemetry.series,
+            repro.obs.telemetry.recorder,
+            repro.obs.telemetry.health,
+            repro.obs.telemetry.alerts,
+            repro.obs.telemetry.dashboard,
+        ):
+            source = pathlib.Path(mod.__file__).read_text()
+            assert check_source(
+                source, module=mod.__name__, rules=[TelemetryClockRule]
             ) == []

@@ -92,7 +92,9 @@ class TestAdmitSignal:
             with pytest.raises(RateLimitedError):
                 defense.admit_signal(peer="mallory", now=0.0)
             counter = registry.get("defense_rejections_total")
-            assert counter.value(domain="B", kind="rate_limited") == 1
+            assert counter.value(
+                domain="B", kind="rate_limited", reason_code="rate_limited"
+            ) == 1
         assert defense.stats.rate_limited == 1
         assert defense.stats.total == 1
 

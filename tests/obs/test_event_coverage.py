@@ -155,6 +155,28 @@ def scenario_tunnel_fallback():
     assert alloc.via == "per-flow"
 
 
+def scenario_alert_firing():
+    """A monitored backlog breach walks the full alert lifecycle; every
+    transition is an ALERT event carrying the incident correlation id
+    (minted at PENDING, so even a blip's events stitch)."""
+    from repro.obs.telemetry import AlertEngine, AlertRule, AlertSeverity
+    from repro.obs.telemetry.series import SeriesStore
+
+    engine = AlertEngine([AlertRule(
+        name="backlog", kind="threshold",
+        metric="work_queue_backlog_s",
+        severity=AlertSeverity.CRITICAL,
+        group_by="domain", threshold=2.0, for_s=0.0,
+    )])
+    store = SeriesStore()
+    store.record("work_queue_backlog_s", 1.0, 5.0,
+                 labels={"domain": "A"})
+    engine.step(store, 1.0)
+    store.record("work_queue_backlog_s", 2.0, 0.1,
+                 labels={"domain": "A"})
+    engine.step(store, 2.0)
+
+
 #: Which scenario produces each kind.  A kind missing here makes the
 #: parametrized test fail with a KeyError — the desired tripwire.
 SCENARIOS = {
@@ -170,6 +192,7 @@ SCENARIOS = {
     EventKind.UNWIND_FAILED: scenario_unwind_failure,
     EventKind.EXPIRE: scenario_soft_state_expiry,
     EventKind.FALLBACK: scenario_tunnel_fallback,
+    EventKind.ALERT: scenario_alert_firing,
 }
 
 

@@ -1,0 +1,142 @@
+"""Exporter-format regression tests (satellites 1 and 2).
+
+The exact Prometheus text lines for the admission-plane defense
+counters are pinned here: dashboards and the attack harness join
+``reason_code`` against event/audit reason codes, so a renamed label or
+a dropped series is a silent breakage this test turns loud.  The
+snapshot-diff half pins the "snapshots come off disk" hardening:
+one-sided metrics and malformed entries are reported, never raised.
+"""
+
+import pytest
+
+from repro.bb.defense import DefensePolicy, DomainDefense
+from repro.errors import RateLimitedError, ReplayRejectedError
+from repro.obs import metrics as obs_metrics
+from repro.obs.export import diff_snapshots, json_snapshot, prometheus_text
+
+
+@pytest.fixture()
+def rejecting_registry():
+    """A registry that has seen one rate-limit and one replay rejection
+    on domain B, produced through the real defense path."""
+    defense = DomainDefense(
+        DefensePolicy(peer_burst=1.0, peer_rate_per_s=0.0,
+                      replay_window_s=60.0),
+        domain="B",
+    )
+    with obs_metrics.use_registry() as registry:
+        defense.admit_signal(peer="mallory", now=0.0,
+                             envelope_digest=b"d1")
+        with pytest.raises(RateLimitedError):
+            defense.admit_signal(peer="mallory", now=0.0,
+                                 envelope_digest=b"d2")
+        with pytest.raises(ReplayRejectedError):
+            defense.admit_signal(peer="alice", now=1.0,
+                                 envelope_digest=b"d1")
+        yield registry
+
+
+class TestPrometheusDefenseLines:
+    def test_exact_defense_rejection_lines(self, rejecting_registry):
+        text = prometheus_text(rejecting_registry)
+        lines = text.splitlines()
+        assert "# TYPE defense_rejections_total counter" in lines
+        assert (
+            'defense_rejections_total{domain="B",kind="rate_limited",'
+            'reason_code="rate_limited"} 1'
+        ) in lines
+        assert (
+            'defense_rejections_total{domain="B",kind="replay_rejected",'
+            'reason_code="replay_rejected"} 1'
+        ) in lines
+
+    def test_exact_replay_guard_lines(self, rejecting_registry):
+        lines = prometheus_text(rejecting_registry).splitlines()
+        assert "# TYPE replay_guard_rejections_total counter" in lines
+        assert (
+            'replay_guard_rejections_total{domain="B",'
+            'reason_code="replay_rejected"} 1'
+        ) in lines
+
+    def test_replay_guard_counts_only_replays(self, rejecting_registry):
+        """The rate-limit rejection must not leak into the replay-guard
+        counter: its total is exactly the replay count."""
+        counter = rejecting_registry.get("replay_guard_rejections_total")
+        assert sum(counter.series().values()) == 1
+
+    def test_json_snapshot_carries_the_same_labels(self, rejecting_registry):
+        snapshot = json_snapshot(rejecting_registry)
+        series = snapshot["defense_rejections_total"]["series"]
+        labels = [entry["labels"] for entry in series]
+        assert {"domain": "B", "kind": "rate_limited",
+                "reason_code": "rate_limited"} in labels
+        assert {"domain": "B", "kind": "replay_rejected",
+                "reason_code": "replay_rejected"} in labels
+
+
+def _metric(series):
+    return {"kind": "counter", "help": "", "series": series}
+
+
+class TestDiffSnapshots:
+    def test_identical_snapshots_diff_clean(self):
+        snap = {"m": _metric([{"labels": {"d": "A"}, "value": 1}])}
+        assert diff_snapshots(snap, snap) == []
+
+    def test_one_sided_metric_reported_not_raised(self):
+        before = {"old_total": _metric([{"labels": {}, "value": 1}])}
+        after = {"new_total": _metric([{"labels": {}, "value": 2}])}
+        lines = diff_snapshots(before, after)
+        assert "- metric old_total (only in A)" in lines
+        assert "+ metric new_total (only in B)" in lines
+
+    def test_one_sided_series_reported_with_value(self):
+        before = {"m": _metric([{"labels": {"d": "A"}, "value": 1}])}
+        after = {"m": _metric([
+            {"labels": {"d": "A"}, "value": 1},
+            {"labels": {"d": "B"}, "value": 4},
+        ])}
+        assert diff_snapshots(before, after) \
+            == ["+ m{d=B} = 4 (only in B)"]
+
+    def test_value_delta_reported(self):
+        before = {"m": _metric([{"labels": {}, "value": 3}])}
+        after = {"m": _metric([{"labels": {}, "value": 8}])}
+        assert diff_snapshots(before, after) == ["~ m{-}: 3 -> 8 (+5)"]
+
+    def test_histograms_compare_by_count(self):
+        before = {"h": {"kind": "histogram", "series": [
+            {"labels": {}, "count": 2, "sum": 1.0}]}}
+        after = {"h": {"kind": "histogram", "series": [
+            {"labels": {}, "count": 5, "sum": 9.0}]}}
+        assert diff_snapshots(before, after) == ["~ h{-}: 2 -> 5 (+3)"]
+
+    def test_malformed_entries_skipped_not_raised(self):
+        before = {
+            "bad_metric": "not a dict",
+            "bad_series": _metric("not a list"),
+            "bad_rows": _metric([
+                "not a dict",
+                {"labels": "not a dict", "value": 1},
+                {"labels": {}, "value": "unparsable"},
+            ]),
+        }
+        after = {
+            "bad_metric": _metric([{"labels": {}, "value": 1}]),
+            "bad_series": _metric([]),
+            "bad_rows": _metric([{"labels": {}, "value": 2}]),
+        }
+        lines = diff_snapshots(before, after)
+        # The readable pieces still diff: the bad rows collapsed to the
+        # unlabelled entry on side A (labels fall back to {}).
+        assert "+ bad_metric{-} = 1 (only in B)" in lines
+        assert any(line.startswith("~ bad_rows") for line in lines)
+
+    def test_non_object_snapshot_sides_flagged(self):
+        assert diff_snapshots("junk", {}) \
+            == ["~ snapshot is not a JSON object on side A"]
+        assert diff_snapshots({}, 7) \
+            == ["~ snapshot is not a JSON object on side B"]
+        assert diff_snapshots(None, []) \
+            == ["~ snapshot is not a JSON object on both sides"]

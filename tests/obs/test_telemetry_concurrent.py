@@ -1,0 +1,119 @@
+"""Sampler soundness under concurrent writers (satellite 3).
+
+Eight threads hammer one :class:`SeriesStore` while a reader takes
+consistent snapshots.  Pins the three store guarantees the flight
+recorder depends on: nothing is lost (exact per-thread sums), frames
+are atomic (a snapshot never sees half of a ``record_frame``), and the
+ring bound holds under churn.
+"""
+
+import threading
+
+from repro.obs.telemetry.series import SeriesKey, SeriesStore
+
+THREADS = 8
+FRAMES = 300
+
+
+class TestConcurrentWriters:
+    def test_exact_sums_no_lost_appends(self):
+        store = SeriesStore(capacity=FRAMES + 8)
+        barrier = threading.Barrier(THREADS)
+
+        def writer(w: int) -> None:
+            barrier.wait()
+            for i in range(1, FRAMES + 1):
+                store.record("thread_total", float(i), float(i),
+                             kind="counter", labels={"writer": str(w)})
+
+        threads = [threading.Thread(target=writer, args=(w,))
+                   for w in range(THREADS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        expected = FRAMES * (FRAMES + 1) / 2
+        for w in range(THREADS):
+            series = store.series("thread_total", {"writer": str(w)})
+            points = series.points()
+            assert len(points) == FRAMES
+            assert sum(v for _, v in points) == expected
+        # And the scrape-level aggregation sums across all writers.
+        assert store.last_value("thread_total") == FRAMES * THREADS
+
+    def test_frames_are_atomic_no_torn_reads(self):
+        """Each writer records (left, right) pairs summing to zero in
+        one frame; a concurrent reader snapshotting via last_points()
+        must never observe a writer's pair mid-frame (differing times
+        or a non-zero sum)."""
+        store = SeriesStore(capacity=FRAMES + 8)
+        stop = threading.Event()
+        torn: list[object] = []
+        barrier = threading.Barrier(THREADS + 1)
+
+        def writer(w: int) -> None:
+            left = SeriesKey.make(
+                "pair", {"writer": str(w), "side": "l"})
+            right = SeriesKey.make(
+                "pair", {"writer": str(w), "side": "r"})
+            barrier.wait()
+            for i in range(1, FRAMES + 1):
+                store.record_frame(
+                    float(i), {left: float(i), right: float(-i)})
+
+        def reader() -> None:
+            barrier.wait()
+            while not stop.is_set():
+                snapshot = store.last_points("pair")
+                pairs: dict[str, list[tuple[float, float]]] = {}
+                for key, point in snapshot.items():
+                    pairs.setdefault(key.label("writer"), []).append(point)
+                for w, points in pairs.items():
+                    if len(points) != 2:
+                        continue  # writer hasn't produced both yet
+                    (t1, v1), (t2, v2) = points
+                    if t1 != t2 or v1 + v2 != 0.0:
+                        torn.append((w, points))
+
+        threads = [threading.Thread(target=writer, args=(w,))
+                   for w in range(THREADS)]
+        reading = threading.Thread(target=reader)
+        reading.start()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        stop.set()
+        reading.join()
+
+        assert torn == []
+        for w in range(THREADS):
+            for side in ("l", "r"):
+                series = store.series(
+                    "pair", {"writer": str(w), "side": side})
+                assert len(series.points()) == FRAMES
+
+    def test_ring_bound_holds_under_churn(self):
+        capacity = 32
+        appends = 1000
+        store = SeriesStore(capacity=capacity)
+
+        def writer(w: int) -> None:
+            for i in range(1, appends + 1):
+                store.record("churn", float(i), float(i),
+                             labels={"writer": str(w)})
+
+        threads = [threading.Thread(target=writer, args=(w,))
+                   for w in range(THREADS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        for w in range(THREADS):
+            points = store.series("churn", {"writer": str(w)}).points()
+            assert len(points) == capacity
+            assert points[-1] == (float(appends), float(appends))
+            assert points[0] == (float(appends - capacity + 1),
+                                 float(appends - capacity + 1))

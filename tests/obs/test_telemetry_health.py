@@ -1,0 +1,162 @@
+"""Health verdicts: burn math, multi-window filtering, worst-wins."""
+
+import pytest
+
+from repro.obs.telemetry.health import (
+    HealthPolicy,
+    HealthStatus,
+    breaker_flaps,
+    denial_burn,
+    evaluate_fleet,
+    evaluate_health,
+)
+from repro.obs.telemetry.series import SeriesStore
+
+
+def _admit(store, t, *, granted, denied, domain="A"):
+    """Record cumulative admission counters at *t* for one domain."""
+    store.record(
+        "admissions_total", t, granted, kind="counter",
+        labels={"domain": domain, "granted": "true"},
+    )
+    store.record(
+        "admissions_total", t, denied, kind="counter",
+        labels={"domain": domain, "granted": "false"},
+    )
+
+
+class TestDenialBurn:
+    def test_burn_is_windowed_ratio_over_slo(self):
+        store = SeriesStore()
+        # 3 denied of 12 total in the window: ratio 0.25, burn 0.5.
+        for t in range(5):
+            _admit(store, float(t), granted=float(t * 9) / 4.0,
+                   denied=float(t * 3) / 4.0)
+        burn = denial_burn(store, "A", now=4.0, window_s=10.0, slo=0.5)
+        assert burn == pytest.approx(0.5)
+
+    def test_no_traffic_reads_zero_burn(self):
+        assert denial_burn(
+            SeriesStore(), "A", now=1.0, window_s=10.0, slo=0.5
+        ) == 0.0
+
+
+class TestBurnVerdict:
+    def test_sustained_full_denial_is_critical(self):
+        store = SeriesStore()
+        for t in range(61):
+            _admit(store, float(t), granted=0.0, denied=float(t))
+        verdict = evaluate_health(store, "A", now=60.0)
+        assert verdict.status is HealthStatus.CRITICAL
+        assert "denial burn" in verdict.reasons()[0]
+
+    def test_fast_only_blip_is_filtered_to_degraded(self):
+        """The slow window must confirm: a 10 s full-denial burst after
+        a long healthy history is DEGRADED, not CRITICAL."""
+        store = SeriesStore()
+        for t in range(61):
+            _admit(store, float(t),
+                   granted=float(min(t, 50)),
+                   denied=float(max(t - 50, 0)))
+        verdict = evaluate_health(store, "A", now=60.0)
+        assert verdict.status is HealthStatus.DEGRADED
+
+    def test_half_denial_is_degraded(self):
+        store = SeriesStore()
+        for t in range(61):
+            _admit(store, float(t), granted=float(t), denied=float(t))
+        verdict = evaluate_health(store, "A", now=60.0)
+        assert verdict.status is HealthStatus.DEGRADED
+
+    def test_light_denial_is_green(self):
+        store = SeriesStore()
+        for t in range(61):
+            _admit(store, float(t), granted=float(t * 9), denied=float(t))
+        verdict = evaluate_health(store, "A", now=60.0)
+        assert verdict.status is HealthStatus.GREEN
+
+
+class TestOtherSignals:
+    def test_backlog_thresholds(self):
+        store = SeriesStore()
+        store.record("work_queue_backlog_s", 1.0, 3.0,
+                     labels={"domain": "A"})
+        verdict = evaluate_health(store, "A", now=1.0)
+        assert verdict.status is HealthStatus.CRITICAL
+        assert any("backlog" in r for r in verdict.reasons())
+
+        store = SeriesStore()
+        store.record("work_queue_backlog_s", 1.0, 1.5,
+                     labels={"domain": "A"})
+        assert evaluate_health(store, "A", now=1.0).status \
+            is HealthStatus.DEGRADED
+
+    def test_saturation_alone_is_only_degraded(self):
+        store = SeriesStore()
+        store.record("domain_utilization", 1.0, 0.95,
+                     labels={"domain": "A"})
+        verdict = evaluate_health(store, "A", now=1.0)
+        assert verdict.status is HealthStatus.DEGRADED
+
+    def test_open_breaker_on_domain_link_is_critical(self):
+        store = SeriesStore()
+        store.record("breaker_state", 1.0, 2.0, labels={"link": "A|B"})
+        for domain in ("A", "B"):
+            verdict = evaluate_health(store, domain, now=1.0)
+            assert verdict.status is HealthStatus.CRITICAL
+        # C is not an endpoint of A|B.
+        assert evaluate_health(store, "C", now=1.0).status \
+            is HealthStatus.GREEN
+
+    def test_breaker_flapping_is_degraded(self):
+        store = SeriesStore()
+        for t, state in enumerate([0.0, 1.0, 0.0, 1.0, 0.0]):
+            store.record("breaker_state", float(t), state,
+                         labels={"link": "A|B"})
+        changes, worst = breaker_flaps(store, "A", now=4.0, window_s=30.0)
+        assert changes == 4
+        assert worst == 0.0  # current state, and the link is closed now
+        verdict = evaluate_health(store, "A", now=4.0)
+        assert verdict.status is HealthStatus.DEGRADED
+        assert any("flapping" in r for r in verdict.reasons())
+
+
+class TestVerdictFolding:
+    def test_worst_signal_wins_and_reasons_sort_worst_first(self):
+        store = SeriesStore()
+        store.record("domain_utilization", 1.0, 0.95,
+                     labels={"domain": "A"})
+        store.record("work_queue_backlog_s", 1.0, 5.0,
+                     labels={"domain": "A"})
+        verdict = evaluate_health(store, "A", now=1.0)
+        assert verdict.status is HealthStatus.CRITICAL
+        assert "backlog" in verdict.reasons()[0]
+        assert any("utilization" in r for r in verdict.reasons()[1:])
+
+    def test_policy_overrides_thresholds(self):
+        store = SeriesStore()
+        store.record("work_queue_backlog_s", 1.0, 0.5,
+                     labels={"domain": "A"})
+        strict = HealthPolicy(backlog_degraded_s=0.25,
+                              backlog_critical_s=0.4)
+        assert evaluate_health(store, "A", now=1.0).status \
+            is HealthStatus.GREEN
+        assert evaluate_health(store, "A", now=1.0, policy=strict).status \
+            is HealthStatus.CRITICAL
+
+    def test_to_dict_round_trips_status_names(self):
+        verdict = evaluate_health(SeriesStore(), "A", now=1.0)
+        payload = verdict.to_dict()
+        assert payload["status"] == "GREEN"
+        assert {s["name"] for s in payload["signals"]} == {
+            "denial_burn", "backlog", "utilization", "breakers",
+        }
+
+    def test_evaluate_fleet_covers_sorted_domains(self):
+        store = SeriesStore()
+        store.record("work_queue_backlog_s", 1.0, 5.0,
+                     labels={"domain": "B"})
+        fleet = evaluate_fleet(store, ["B", "A"], now=1.0)
+        assert list(fleet) == ["A", "B"]
+        assert fleet["A"].status is HealthStatus.GREEN
+        assert fleet["B"].status is HealthStatus.CRITICAL

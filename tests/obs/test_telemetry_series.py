@@ -1,0 +1,146 @@
+"""Ring-buffer time series and the store (repro.obs.telemetry.series)."""
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.telemetry.series import (
+    DEFAULT_CAPACITY,
+    SeriesKey,
+    SeriesStore,
+    TimeSeries,
+    ewm_stats,
+    ewma,
+)
+
+
+class TestSeriesKey:
+    def test_labels_are_sorted_and_hashable(self):
+        a = SeriesKey.make("m", {"b": "2", "a": "1"})
+        b = SeriesKey.make("m", {"a": "1", "b": "2"})
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a.labels == (("a", "1"), ("b", "2"))
+
+    def test_render_parse_round_trip(self):
+        key = SeriesKey.make("admissions_total",
+                             {"domain": "A", "granted": "true"})
+        rendered = key.render()
+        assert rendered == "admissions_total{domain=A,granted=true}"
+        assert SeriesKey.parse(rendered) == key
+
+    def test_parse_bare_name(self):
+        key = SeriesKey.parse("sim_pending_events")
+        assert key.name == "sim_pending_events"
+        assert key.labels == ()
+
+    def test_label_lookup_and_matches(self):
+        key = SeriesKey.make("m", {"domain": "B"})
+        assert key.label("domain") == "B"
+        assert key.label("missing") == ""
+        assert key.matches("m", {"domain": "B"})
+        assert not key.matches("m", {"domain": "C"})
+        assert not key.matches("other", None)
+
+
+KEY = SeriesKey.make("m")
+
+
+class TestTimeSeries:
+    def test_append_and_window(self):
+        s = TimeSeries(KEY)
+        for t in range(5):
+            s.append(float(t), float(t * 10))
+        assert s.last() == (4.0, 40.0)
+        assert s.window(1.0, 3.0) == ((1.0, 10.0), (2.0, 20.0), (3.0, 30.0))
+
+    def test_backwards_time_rejected(self):
+        s = TimeSeries(KEY)
+        s.append(5.0, 1.0)
+        with pytest.raises(ObservabilityError):
+            s.append(4.0, 2.0)
+
+    def test_ring_bound(self):
+        s = TimeSeries(KEY, capacity=8)
+        for t in range(100):
+            s.append(float(t), float(t))
+        points = s.points()
+        assert len(points) == 8
+        assert points[0] == (92.0, 92.0)
+        assert points[-1] == (99.0, 99.0)
+
+    def test_default_capacity(self):
+        s = TimeSeries(KEY)
+        for t in range(DEFAULT_CAPACITY + 50):
+            s.append(float(t), 0.0)
+        assert len(s.points()) == DEFAULT_CAPACITY
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ObservabilityError):
+            TimeSeries(KEY, capacity=0)
+
+
+class TestSeriesStore:
+    def test_record_frame_and_select(self):
+        store = SeriesStore()
+        ka = SeriesKey.make("denials_total", {"domain": "A"})
+        kb = SeriesKey.make("denials_total", {"domain": "B"})
+        store.record_frame(1.0, {ka: 3.0, kb: 1.0},
+                           {ka: "counter", kb: "counter"})
+        assert store.last_value("denials_total") == 4.0
+        assert store.last_value("denials_total", {"domain": "A"}) == 3.0
+        assert len(store.select("denials_total")) == 2
+        assert store.select("denials_total", {"domain": "B"})[0].last() \
+            == (1.0, 1.0)
+
+    def test_delta_ignores_counter_resets(self):
+        store = SeriesStore()
+        for t, v in [(1.0, 10.0), (2.0, 14.0), (3.0, 2.0), (4.0, 5.0)]:
+            store.record("requests_total", t, v, kind="counter")
+        # +4 (10->14), reset ignored (14->2 reads as no traffic), +3.
+        assert store.delta("requests_total", now=4.0, window_s=10.0) == 7.0
+
+    def test_rate_is_delta_over_covered_seconds(self):
+        store = SeriesStore()
+        for t in range(11):
+            store.record("requests_total", float(t), float(t * 2),
+                         kind="counter")
+        assert store.rate("requests_total", now=10.0, window_s=5.0) \
+            == pytest.approx(2.0)
+
+    def test_ratio(self):
+        store = SeriesStore()
+        denied = SeriesKey.make("denials_total")
+        granted = SeriesKey.make("grants_total")
+        for t in range(5):
+            store.record_frame(
+                float(t),
+                {denied: float(t), granted: float(t * 3)},
+                {denied: "counter", granted: "counter"},
+            )
+        burn = store.ratio(
+            "denials_total", ["denials_total", "grants_total"],
+            now=4.0, window_s=10.0,
+        )
+        assert burn == pytest.approx(4.0 / 16.0)
+
+    def test_empty_store_reads_zero(self):
+        store = SeriesStore()
+        assert store.last_value("nothing") == 0.0
+        assert store.delta("nothing", now=1.0, window_s=1.0) == 0.0
+        assert store.rate("nothing", now=1.0, window_s=1.0) == 0.0
+
+
+class TestEwma:
+    def test_ewma_converges_to_constant(self):
+        assert ewma([5.0] * 20, 0.3) == pytest.approx(5.0)
+
+    def test_ewm_stats_flat_series_has_zero_std(self):
+        mean, std, count = ewm_stats([2.0] * 10, 0.3)
+        assert mean == pytest.approx(2.0)
+        assert std == pytest.approx(0.0)
+        assert count == 10
+
+    def test_ewm_stats_weighs_recent_samples(self):
+        mean, std, _ = ewm_stats([0.0] * 20 + [10.0] * 5, 0.5)
+        assert mean > 5.0
+        assert std > 0.0

@@ -278,3 +278,78 @@ class TestChaosAudit:
         out = capsys.readouterr().out
         assert rc == 0
         assert "audit reconciliation: OK" in out
+
+
+class TestTelemetryCLI:
+    """PR 9 surface: attack --record, top, timeline, chaos/slo --record."""
+
+    def test_attack_record_then_replay_top_and_timeline(
+        self, tmp_path, capsys
+    ):
+        recording = tmp_path / "flood.tsrec"
+        main([
+            "attack", "--persona", "flood", "--defenses", "off",
+            "--horizon", "60", "--record", str(recording),
+        ])
+        out = capsys.readouterr().out
+        assert recording.exists()
+        assert "detection" in out
+        assert "time-to-detect" in out
+        assert "never" not in out  # flood without defenses is caught
+
+    # The replay side: the incident renders and the gates see it.
+        rc = main(["top", "--replay", str(recording), "--expect-firing"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "persona=flood" in out
+        assert "FIRING" in out or "firing" in out
+
+        rc = main(["top", "--replay", str(recording), "--at", "10"])
+        capsys.readouterr()
+        assert rc == 0
+
+        rc = main(["timeline", "40:60", "--replay", str(recording)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "alert" in out or "deny" in out
+
+    def test_top_live_renders_fleet(self, capsys):
+        rc = main(["top", "--runs", "5", "--domains", "A,B,C"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        for domain in ("A", "B", "C"):
+            assert domain in out
+
+    def test_top_missing_recording_is_usage_error(self, capsys):
+        rc = main(["top", "--replay", "/nonexistent/x.tsrec"])
+        capsys.readouterr()
+        assert rc == 2
+
+    def test_timeline_live(self, capsys):
+        rc = main(["timeline"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "admit" in out or "grant" in out or "timeline" in out
+
+    def test_chaos_record_gates_clean_and_slo_replays(
+        self, tmp_path, capsys
+    ):
+        recording = tmp_path / "chaos.tsrec"
+        rc = main([
+            "chaos", "--seed", "7", "--trials", "20",
+            "--record", str(recording), "--fail-on-critical",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "telemetry:" in out
+        assert "0 critical firing(s)" in out
+
+        rc = main(["slo", "--record", str(recording)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "frame" in out
+
+    def test_chaos_fail_on_critical_requires_record(self, capsys):
+        rc = main(["chaos", "--trials", "5", "--fail-on-critical"])
+        capsys.readouterr()
+        assert rc == 2

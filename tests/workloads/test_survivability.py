@@ -103,3 +103,57 @@ class TestRuns:
         policy = harness_defense_policy()
         assert policy.domain_peer_rate_per_s > policy.peer_rate_per_s
         assert policy.domain_peer_burst > policy.peer_burst
+
+
+class TestTimeToDetect:
+    """The monitored-incident fields (PR 9's telemetry tentpole)."""
+
+    def test_unmonitored_run_has_no_detection_fields(self):
+        spec = SurvivabilitySpec(persona="flood", seed=7, horizon_s=20.0)
+        report = run_survivability(spec, defenses_on=True)
+        # Onset is a fact about the workload, known with or without a
+        # recorder; the alert-derived fields need the telemetry plane.
+        assert report.attack_onset_s is not None
+        assert report.first_critical_alert_s is None
+        assert report.time_to_detect_s is None
+        assert report.alert_transitions == 0
+
+    def test_flood_with_defenses_off_detected_in_finite_time(self):
+        from repro.obs.telemetry import FlightRecorder
+
+        spec = SurvivabilitySpec(
+            persona="flood", seed=2001, horizon_s=60.0
+        )
+        report = run_survivability(
+            spec, defenses_on=False, recorder=FlightRecorder()
+        )
+        assert report.attack_onset_s is not None
+        assert report.first_critical_alert_s is not None
+        assert report.time_to_detect_s is not None
+        assert 0.0 < report.time_to_detect_s < spec.horizon_s
+        assert report.first_critical_alert_s == pytest.approx(
+            report.attack_onset_s + report.time_to_detect_s
+        )
+        assert report.alert_transitions > 0
+        # The fields survive into the serialized report.
+        payload = report.to_dict()
+        assert payload["time_to_detect_s"] == report.time_to_detect_s
+
+    def test_monitored_run_streams_frames_into_recording(self, tmp_path):
+        from repro.obs.telemetry import (
+            FlightRecorder,
+            Recording,
+            RecordingWriter,
+        )
+
+        path = tmp_path / "attack.tsrec"
+        spec = SurvivabilitySpec(persona="flood", seed=7, horizon_s=20.0)
+        with RecordingWriter.open(path, meta={"persona": "flood"}) as writer:
+            run_survivability(
+                spec, defenses_on=True,
+                recorder=FlightRecorder(writer=writer),
+            )
+        recording = Recording.load(path)
+        assert recording.meta["persona"] == "flood"
+        assert len(recording.frames) >= int(spec.horizon_s) - 1
+        assert recording.meta.get("attack_onset_s") is not None
