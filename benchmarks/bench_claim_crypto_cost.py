@@ -10,23 +10,27 @@ alternatives).
 """
 
 import random
+import time
 
 import pytest
 
 from repro.bb.reservations import ReservationRequest
 from repro.core.messages import make_bb_rar, make_user_rar
 from repro.core.trust import verify_rar
+from repro.crypto import canonical
+from repro.crypto import cache as verification_cache
+from repro.crypto.batch import BatchItem, verify_rar_batch
 from repro.crypto.dn import DN
 from repro.crypto.keys import RSAScheme, SimulatedScheme
 from repro.crypto.truststore import TrustPolicy, TrustStore
 from repro.crypto.x509 import CertificateAuthority
 
 
-def request():
+def request(rate_mbps=10.0):
     return ReservationRequest(
         source_host="h0.D0", destination_host="h0.DN",
         source_domain="D0", destination_domain="DN",
-        rate_mbps=10.0, start=0.0, end=3600.0,
+        rate_mbps=rate_mbps, start=0.0, end=3600.0,
     )
 
 
@@ -45,9 +49,10 @@ def build_world(scheme_name, hops):
     return user_dn, user_kp, user_cert, bbs
 
 
-def build_rar(user_dn, user_kp, user_cert, bbs):
+def build_chain(user_dn, user_kp, user_cert, bbs, *, append=False,
+                rate_mbps=10.0):
     rar = make_user_rar(
-        request=request(), source_bb=bbs[0][0], user=user_dn,
+        request=request(rate_mbps), source_bb=bbs[0][0], user=user_dn,
         user_key=user_kp.private,
     )
     prev_cert = user_cert
@@ -55,10 +60,14 @@ def build_rar(user_dn, user_kp, user_cert, bbs):
         dn, kp, cert = bbs[i]
         rar = make_bb_rar(
             inner=rar, introduced_cert=prev_cert, downstream=bbs[i + 1][0],
-            bb=dn, bb_key=kp.private,
+            bb=dn, bb_key=kp.private, append=append,
         )
         prev_cert = cert
     return rar
+
+
+def build_rar(user_dn, user_kp, user_cert, bbs):
+    return build_chain(user_dn, user_kp, user_cert, bbs)
 
 
 @pytest.mark.parametrize("scheme_name", ["simulated", "rsa"])
@@ -103,6 +112,128 @@ def test_c4_wire_size_linear(benchmark, report):
     growth_a = sizes[4] - sizes[2]
     growth_b = sizes[8] - sizes[4]
     assert growth_b == pytest.approx(2 * growth_a, rel=0.25)
+
+
+def test_c4_misspath_batched_verification(benchmark, report):
+    """Miss path, amortized (ISSUE 10): a 48-item burst of six-hop RSA
+    chains — two distinct request contents, as a ConcurrentSignaller
+    fan-out produces — verified item-by-item with cold caches versus one
+    ``verify_rar_batch`` pass.  Content-digest dedup plus the shared
+    cache scope must make the batch at least 10x cheaper, with verdicts
+    identical to the sequential baseline."""
+    user_dn, user_kp, user_cert, bbs = build_world("rsa", 6)
+    verifier_dn, _, _ = bbs[-1]
+    _, _, peer_cert = bbs[-2]
+    store = TrustStore(TrustPolicy(max_introduction_depth=32,
+                                   require_ca_issued_peers=False))
+    store.add_introduced_peer(peer_cert)
+    distinct = [
+        build_chain(user_dn, user_kp, user_cert, bbs, rate_mbps=rate)
+        for rate in (10.0, 20.0)
+    ]
+    items = [
+        BatchItem(rar=distinct[i % len(distinct)], verifier=verifier_dn,
+                  peer_certificate=peer_cert)
+        for i in range(48)
+    ]
+
+    def run_pair():
+        # The miss path proper: every arrival verified in isolation,
+        # nothing warm (the benchmark harness keeps a process-scoped
+        # cache installed, so scope each item to a fresh set).
+        t0 = time.perf_counter()
+        sequential = []
+        for item in items:
+            with verification_cache.use_caches(
+                verification_cache.VerificationCaches()
+            ):
+                sequential.append(
+                    verify_rar(item.rar, verifier=item.verifier,
+                               peer_certificate=item.peer_certificate,
+                               truststore=store)
+                )
+        t1 = time.perf_counter()
+        batched = verify_rar_batch(
+            items, truststore=store,
+            caches=verification_cache.VerificationCaches(),
+        )
+        t2 = time.perf_counter()
+        return sequential, batched, t1 - t0, t2 - t1
+
+    sequential, batched, seq_s, batch_s = benchmark.pedantic(
+        run_pair, rounds=1, iterations=1
+    )
+    assert all(result.ok for result in batched)
+    assert [r.require().user for r in batched] == \
+        [v.user for v in sequential]
+    assert [r.require().depth for r in batched] == \
+        [v.depth for v in sequential]
+    # Only the first occurrence of each distinct content is verified.
+    assert [r.deduplicated for r in batched[:len(distinct)]] == \
+        [False] * len(distinct)
+    assert all(r.deduplicated for r in batched[len(distinct):])
+    ratio = seq_s / batch_s
+    report.append(
+        f"C4 miss-path batch: 48 items ({len(distinct)} distinct, "
+        f"6 RSA hops) sequential {seq_s * 1e3:.2f} ms, "
+        f"batched {batch_s * 1e3:.2f} ms -> {ratio:.1f}x"
+    )
+    assert ratio >= 10.0, (
+        f"batched verification only {ratio:.1f}x faster than the "
+        f"sequential miss path (need >= 10x)"
+    )
+
+
+def test_c4_misspath_append_chain_signed_bytes(benchmark, report):
+    """Append-only chains bound the per-hop signature input (ISSUE 10).
+
+    A nested chain signs the *whole* accumulated envelope at every hop,
+    so the bytes under the final signature grow linearly with the path;
+    an append chain signs a fixed-size digest link instead.  At 16 hops
+    the final wrap's signed bytes must shrink by at least 10x, while the
+    total wire stays within a few percent (each hop adds one 32-byte
+    link) and verification still accepts both chains."""
+    user_dn, user_kp, user_cert, bbs = build_world("simulated", 16)
+    verifier_dn, _, _ = bbs[-1]
+    _, _, peer_cert = bbs[-2]
+    store = TrustStore(TrustPolicy(max_introduction_depth=32,
+                                   require_ca_issued_peers=False))
+    store.add_introduced_peer(peer_cert)
+
+    def measure():
+        out = {}
+        for mode, append in (("nested", False), ("append", True)):
+            rar = build_chain(
+                user_dn, user_kp, user_cert, bbs, append=append,
+            )
+            verified = verify_rar(
+                rar, verifier=verifier_dn, peer_certificate=peer_cert,
+                truststore=store,
+            )
+            out[mode] = (
+                len(canonical.encode(rar.body_cbe())),
+                rar.wire_size(),
+                verified.user,
+                verified.depth,
+            )
+        return out
+
+    sizes = benchmark.pedantic(measure, rounds=1, iterations=1)
+    nested_signed, nested_wire, nested_user, nested_depth = sizes["nested"]
+    append_signed, append_wire, append_user, append_depth = sizes["append"]
+    assert nested_user == append_user == user_dn
+    assert nested_depth == append_depth == len(bbs) - 1
+    ratio = nested_signed / append_signed
+    report.append(
+        f"C4 miss-path append chain, 16 hops: final-wrap signed bytes "
+        f"nested {nested_signed} B vs append {append_signed} B "
+        f"({ratio:.1f}x), wire {nested_wire} B vs {append_wire} B"
+    )
+    assert ratio >= 10.0, (
+        f"append chain only shrinks the signed bytes {ratio:.1f}x "
+        f"(need >= 10x at 16 hops)"
+    )
+    assert append_wire <= nested_wire * 1.10
 
 
 def test_c4_rsa_sign_vs_simulated(benchmark, report):

@@ -14,9 +14,23 @@ Asserted shape: concurrent < hop-by-hop for every path length >= 3, and
 the hop-by-hop latency grows linearly while concurrent stays flat.
 """
 
+import random
+import time
+
 import pytest
 
+from repro.bb.reservations import ReservationRequest
+from repro.core.codec import WireView, from_wire, to_wire
+from repro.core.messages import (
+    F_DEADLINE,
+    F_TRACEPARENT,
+    F_TYPE,
+    make_bb_rar,
+    make_user_rar,
+)
 from repro.core.testbed import build_linear_testbed
+from repro.crypto.dn import DN
+from repro.crypto.x509 import CertificateAuthority
 
 PATH_LENGTHS = [2, 4, 6, 8, 10]
 
@@ -98,3 +112,86 @@ def test_c1_hop_by_hop_wallclock(benchmark):
         return outcome
 
     assert benchmark(run).granted
+
+
+def _eight_hop_append_wire():
+    """A realistic ingress payload: an 8-hop append-chain RAR (~9 kB)
+    with trace context on the outer layer and a deadline on the inner
+    user request."""
+    rng = random.Random(21)
+    ca = CertificateAuthority(
+        DN.make("Grid", "Root", "CA"), rng=rng, scheme="simulated"
+    )
+    user_dn = DN.make("Grid", "D0", "Alice")
+    user_kp, user_cert = ca.issue_keypair(user_dn, rng=rng)
+    bbs = []
+    for i in range(8):
+        dn = DN.make("Grid", f"D{i}", f"BB-D{i}")
+        kp, cert = ca.issue_keypair(dn, rng=rng)
+        bbs.append((dn, kp, cert))
+    request = ReservationRequest(
+        source_host="h0.D0", destination_host="h0.D7",
+        source_domain="D0", destination_domain="D7",
+        rate_mbps=10.0, start=0.0, end=3600.0,
+    )
+    rar = make_user_rar(
+        request=request, source_bb=bbs[0][0], user=user_dn,
+        user_key=user_kp.private, deadline=30.0,
+    )
+    prev_cert = user_cert
+    for i in range(len(bbs) - 1):
+        dn, kp, cert = bbs[i]
+        last = i == len(bbs) - 2
+        rar = make_bb_rar(
+            inner=rar, introduced_cert=prev_cert,
+            downstream=bbs[i + 1][0], bb=dn, bb_key=kp.private,
+            append=True,
+            traceparent="00-0123456789abcdef-89abcdef-01" if last else None,
+        )
+        prev_cert = cert
+    return to_wire(rar)
+
+
+def test_c1_misspath_zero_copy_metadata(benchmark, report):
+    """Zero-copy ingress gating (ISSUE 10): before a hop commits any
+    crypto work it needs only the message kind, trace context and
+    deadline.  Extracting them through :class:`WireView`'s frame-skipping
+    ``kind()``/``peek()`` must beat a full eager decode of the 8-hop
+    wire by at least 10x — and return exactly the same metadata."""
+    wire = _eight_hop_append_wire()
+    reps = 20
+
+    def eager_metadata():
+        envelope = from_wire(wire)
+        return (envelope.get(F_TYPE), envelope.get(F_TRACEPARENT),
+                envelope.get(F_DEADLINE))
+
+    def zero_copy_metadata():
+        view = WireView.parse(wire)
+        return (view.peek(F_TYPE), view.peek(F_TRACEPARENT),
+                view.peek(F_DEADLINE))
+
+    def run_pair():
+        t0 = time.perf_counter()
+        eager = [eager_metadata() for _ in range(reps)]
+        t1 = time.perf_counter()
+        peeked = [zero_copy_metadata() for _ in range(reps)]
+        t2 = time.perf_counter()
+        return eager, peeked, (t1 - t0) / reps, (t2 - t1) / reps
+
+    eager, peeked, eager_s, peek_s = benchmark.pedantic(
+        run_pair, rounds=1, iterations=1
+    )
+    assert peeked == eager
+    assert peeked[0][0] == "rar"
+    assert peeked[0][1] == "00-0123456789abcdef-89abcdef-01"
+    ratio = eager_s / peek_s
+    report.append(
+        f"C1 miss-path zero-copy gate on {len(wire)} B wire: eager "
+        f"{eager_s * 1e6:.1f} us vs peek {peek_s * 1e6:.1f} us "
+        f"-> {ratio:.1f}x"
+    )
+    assert ratio >= 10.0, (
+        f"zero-copy metadata extraction only {ratio:.1f}x faster than "
+        f"an eager decode (need >= 10x)"
+    )

@@ -24,6 +24,7 @@ the byte layer — and it is asserted by the test suite.
 
 from __future__ import annotations
 
+import struct
 from typing import Any
 
 from repro.bb.reservations import ReservationRequest
@@ -36,7 +37,18 @@ from repro.errors import EncodingError
 from repro.net.packet import DSCP
 from repro.policy.attributes import SignedAssertion
 
-__all__ = ["pack", "unpack", "to_wire", "from_wire"]
+__all__ = [
+    "pack",
+    "unpack",
+    "to_wire",
+    "from_wire",
+    "WireView",
+    "WireCodecError",
+    "TruncatedWireError",
+    "WireDepthError",
+    "WireTagError",
+    "WireValueError",
+]
 
 _KIND = "__kind__"
 
@@ -211,3 +223,633 @@ def to_wire(value: Any) -> bytes:
 def from_wire(data: bytes) -> Any:
     """Parse bytes produced by :func:`to_wire` back into protocol objects."""
     return unpack(canonical.decode(data))
+
+
+# ---------------------------------------------------------------------------
+# Zero-copy wire views (the fast miss path's decoder)
+# ---------------------------------------------------------------------------
+#
+# :func:`from_wire` builds an intermediate plain-value tree
+# (``canonical.decode``) and then walks it again (``unpack``).  On the
+# ingress path that double walk — plus the copies it implies — is pure
+# overhead: the PR-8 defense gate only needs the message *kind* and a
+# couple of scalar payload fields (traceparent, deadline) to classify a
+# message, and a rejected message should never pay for a full decode.
+#
+# :class:`WireView` is a sliced decoder over the received buffer:
+# ``parse`` checks only the outer frame, ``kind``/``peek`` skip across
+# the tag+length frames (O(1) per skipped field, no payload copies) to
+# extract single fields, and ``materialize`` runs one fused
+# decode+unpack pass that builds the final protocol objects directly —
+# no intermediate tree.  The accept-set is identical to
+# ``from_wire``: every byte string either parses to an equal value
+# under both decoders or is rejected by both (the golden-vector corpus,
+# the Hypothesis round-trip suite and the bit-flip fuzz tests in
+# ``tests/`` enforce this).  All failures raise
+# :class:`WireCodecError` subclasses (never bare ``KeyError`` /
+# ``ValueError``) at cost bounded by the buffer length and the
+# canonical depth bound.
+
+_MAX_DEPTH = 200
+
+_T_NONE = 0x4E   # N
+_T_TRUE = 0x54   # T
+_T_FALSE = 0x46  # F
+_T_INT = 0x49    # I
+_T_FLOAT = 0x44  # D
+_T_STR = 0x53    # S
+_T_BYTES = 0x42  # B
+_T_SEQ = 0x4C    # L
+_T_MAP = 0x4D    # M
+
+
+class WireCodecError(EncodingError):
+    """A zero-copy decode failure (malformed, truncated, non-canonical)."""
+
+
+class TruncatedWireError(WireCodecError):
+    """The buffer ends before a frame's declared payload does."""
+
+
+class WireDepthError(WireCodecError):
+    """Nesting beyond the canonical depth bound (depth-bomb defense)."""
+
+
+class WireTagError(WireCodecError):
+    """An unknown type tag or an unexpected frame type."""
+
+
+class WireValueError(WireCodecError):
+    """A structurally framed but non-canonical or ill-typed payload."""
+
+
+def _frame(buf: memoryview, pos: int, data_end: int) -> tuple[int, int, int]:
+    """Read one ``tag + length`` frame header at *pos*.
+
+    Returns ``(tag, payload_start, payload_end)``.  Bounds are checked
+    against the whole buffer (like :func:`canonical.decode`); containment
+    within the *enclosing* frame is the caller's length-mismatch check,
+    so error messages match the eager decoder's exactly.
+    """
+    if pos + 5 > data_end:
+        raise TruncatedWireError("truncated encoding (missing tag/length)")
+    tag = buf[pos]
+    (length,) = struct.unpack_from(">I", buf, pos + 1)
+    start = pos + 5
+    stop = start + length
+    if stop > data_end:
+        raise TruncatedWireError(
+            "truncated encoding (payload shorter than length)"
+        )
+    return tag, start, stop
+
+
+def _scalar(buf: memoryview, tag: int, start: int, stop: int) -> Any:
+    """Decode one scalar frame with the canonical strictness rules."""
+    if tag == _T_NONE:
+        if stop != start:
+            raise WireValueError("None payload must be empty")
+        return None
+    if tag == _T_TRUE:
+        return True
+    if tag == _T_FALSE:
+        return False
+    payload = bytes(buf[start:stop])
+    if tag == _T_INT:
+        try:
+            value = int(payload.decode("ascii"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise WireValueError("malformed integer payload") from exc
+        if str(value).encode("ascii") != payload:
+            raise WireValueError("non-canonical integer payload")
+        return value
+    if tag == _T_FLOAT:
+        try:
+            value_f = float.fromhex(payload.decode("ascii"))
+        except (UnicodeDecodeError, ValueError, OverflowError) as exc:
+            raise WireValueError("malformed float payload") from exc
+        if value_f != value_f or value_f in (float("inf"), float("-inf")):
+            raise WireValueError("non-finite float payload")
+        if value_f.hex().encode("ascii") != payload:
+            raise WireValueError("non-canonical float payload")
+        return value_f
+    if tag == _T_STR:
+        try:
+            return payload.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise WireValueError("malformed utf-8 string payload") from exc
+    if tag == _T_BYTES:
+        return payload
+    raise WireTagError(f"unknown type tag {bytes((tag,))!r}")
+
+
+def _plain(
+    buf: memoryview, pos: int, data_end: int, depth: int
+) -> tuple[Any, int]:
+    """Strict canonical decode of one value (lists stay lists — exactly
+    :func:`canonical.decode`'s result shape)."""
+    if depth > _MAX_DEPTH:
+        raise WireDepthError("encoded nesting exceeds maximum depth 200")
+    tag, start, stop = _frame(buf, pos, data_end)
+    if tag == _T_SEQ:
+        items: list[Any] = []
+        inner = start
+        while inner < stop:
+            item, inner = _plain(buf, inner, data_end, depth + 1)
+            items.append(item)
+        if inner != stop:
+            raise WireValueError("sequence payload length mismatch")
+        return items, stop
+    if tag == _T_MAP:
+        mapping: dict[str, Any] = {}
+        inner = start
+        previous: str | None = None
+        while inner < stop:
+            key, inner = _plain(buf, inner, data_end, depth + 1)
+            if not isinstance(key, str):
+                raise WireValueError("mapping key is not a string")
+            if previous is not None and key <= previous:
+                raise WireValueError(
+                    "non-canonical mapping (duplicate or unsorted keys)"
+                )
+            previous = key
+            value, inner = _plain(buf, inner, data_end, depth + 1)
+            mapping[key] = value
+        if inner != stop:
+            raise WireValueError("mapping payload length mismatch")
+        return mapping, stop
+    return _scalar(buf, tag, start, stop), stop
+
+
+def _map_spans(
+    buf: memoryview, start: int, stop: int, data_end: int, depth: int
+) -> dict[str, tuple[int, int]]:
+    """Scan a map frame's entries into ``{key: (value_pos, value_end)}``
+    without decoding the values (skips are O(1) per frame)."""
+    spans: dict[str, tuple[int, int]] = {}
+    inner = start
+    previous: str | None = None
+    while inner < stop:
+        key, inner = _plain(buf, inner, data_end, depth + 1)
+        if not isinstance(key, str):
+            raise WireValueError("mapping key is not a string")
+        if previous is not None and key <= previous:
+            raise WireValueError(
+                "non-canonical mapping (duplicate or unsorted keys)"
+            )
+        previous = key
+        _, _, value_end = _frame(buf, inner, data_end)
+        spans[key] = (inner, value_end)
+        inner = value_end
+    if inner != stop:
+        raise WireValueError("mapping payload length mismatch")
+    return spans
+
+
+def _require(
+    spans: dict[str, tuple[int, int]], key: str, kind: str
+) -> tuple[int, int]:
+    span = spans.get(key)
+    if span is None:
+        raise WireValueError(f"{kind} wire value lacks key {key!r}")
+    return span
+
+
+def _pair_spans(
+    buf: memoryview, pos: int, end: int, data_end: int
+) -> "tuple[int, int] | None":
+    """Positions of the two elements of a ``[key, value]`` pair frame, or
+    ``None`` when the frame is not a two-item sequence (caller falls back
+    to the eager decoder's permissive semantics)."""
+    tag, start, stop = _frame(buf, pos, data_end)
+    if tag != _T_SEQ or stop != end or start == stop:
+        return None
+    _, _, first_end = _frame(buf, start, data_end)
+    if first_end >= stop:
+        return None
+    _, _, second_end = _frame(buf, first_end, data_end)
+    if second_end != stop:
+        return None
+    return start, first_end
+
+
+def _legacy_pairs(container: Any) -> tuple[tuple[Any, Any], ...]:
+    """:func:`unpack`'s exact pair semantics for non-standard shapes —
+    anything iterable yielding length-2 items is accepted, exactly like
+    ``tuple((k, unpack(v)) for k, v in container)``."""
+    out: list[tuple[Any, Any]] = []
+    try:
+        for element in container:
+            k, v = element
+            out.append((k, unpack(v)))
+    except (TypeError, ValueError) as exc:
+        raise WireValueError(str(exc)) from exc
+    return tuple(out)
+
+
+def _packed_pairs(
+    buf: memoryview, pos: int, data_end: int, depth: int
+) -> tuple[tuple[Any, Any], ...]:
+    """Decode a ``[[key, packed-value], ...]`` field into key/value pairs
+    (the shape :func:`pack` uses for payloads, extensions, attributes).
+
+    The common frame shape — a sequence of two-item sequences — is
+    decoded fused, one pass, zero copies.  Any other shape the eager
+    decoder would tolerate is plain-decoded and run through its exact
+    pair semantics so the accept-sets stay identical.
+    """
+    if depth > _MAX_DEPTH:
+        raise WireDepthError("encoded nesting exceeds maximum depth 200")
+    tag, start, stop = _frame(buf, pos, data_end)
+    if tag != _T_SEQ:
+        container, _ = _plain(buf, pos, data_end, depth)
+        return _legacy_pairs(container)
+    out: list[tuple[Any, Any]] = []
+    inner = start
+    while inner < stop:
+        _, _, item_end = _frame(buf, inner, data_end)
+        spans = _pair_spans(buf, inner, item_end, data_end)
+        if spans is None:
+            element, _ = _plain(buf, inner, data_end, depth + 1)
+            out.extend(_legacy_pairs((element,)))
+        else:
+            key_pos, value_pos = spans
+            key, _ = _plain(buf, key_pos, data_end, depth + 2)
+            value, _ = _packed(buf, value_pos, data_end, depth + 2)
+            out.append((key, value))
+        inner = item_end
+    if inner != stop:
+        raise WireValueError("sequence payload length mismatch")
+    return tuple(out)
+
+
+def _packed(
+    buf: memoryview, pos: int, data_end: int, depth: int
+) -> tuple[Any, int]:
+    """One fused decode+unpack step: the zero-copy equivalent of
+    ``unpack(canonical.decode(...))`` for the value at *pos*."""
+    if depth > _MAX_DEPTH:
+        raise WireDepthError("encoded nesting exceeds maximum depth 200")
+    tag, start, stop = _frame(buf, pos, data_end)
+    if tag == _T_SEQ:
+        # Bare lists only appear inside known structures; like unpack(),
+        # decode to a tuple.
+        items: list[Any] = []
+        inner = start
+        while inner < stop:
+            item, inner = _packed(buf, inner, data_end, depth + 1)
+            items.append(item)
+        if inner != stop:
+            raise WireValueError("sequence payload length mismatch")
+        return tuple(items), stop
+    if tag != _T_MAP:
+        return _scalar(buf, tag, start, stop), stop
+
+    spans = _map_spans(buf, start, stop, data_end, depth)
+    kind_span = spans.get(_KIND)
+    if kind_span is None:
+        raise WireValueError("mapping without __kind__ tag")
+    kind, _ = _plain(buf, kind_span[0], data_end, depth + 1)
+    value = _packed_tagged(buf, spans, str(kind), data_end, depth)
+    # Parity with the eager decoder: every entry of the map is decoded
+    # (a malformed value hiding under an ignored key must still reject).
+    for key, (value_pos, _) in spans.items():
+        if key != _KIND and key not in _CONSUMED_KEYS.get(str(kind), ()):
+            _plain(buf, value_pos, data_end, depth + 1)
+    return value, stop
+
+
+#: Keys each ``__kind__`` dispatch actually decodes (everything else is
+#: validated canonically and then ignored, matching :func:`unpack`).
+_CONSUMED_KEYS: dict[str, tuple[str, ...]] = {
+    "+inf": (),
+    "-inf": (),
+    "seq": ("items",),
+    "map": ("items",),
+    "dn": ("rdns",),
+    "dscp": ("value",),
+    "pubkey": ("scheme", "material"),
+    "certificate": (
+        "serial", "issuer", "subject", "public_key", "not_before",
+        "not_after", "extensions", "signature", "signature_scheme",
+    ),
+    "assertion": (
+        "issuer", "subject", "attributes", "signature",
+        "signature_scheme", "valid_from", "valid_until",
+    ),
+    "res_spec": (
+        "source_host", "destination_host", "source_domain",
+        "destination_domain", "rate_mbps", "start", "end",
+        "service_class", "burst_bits", "cost_ceiling",
+        "linked_reservations", "attributes",
+    ),
+    "envelope": ("payload", "signer", "signature", "scheme"),
+}
+
+
+def _packed_tagged(
+    buf: memoryview,
+    spans: dict[str, tuple[int, int]],
+    kind: str,
+    data_end: int,
+    depth: int,
+) -> Any:
+    def plain(key: str) -> Any:
+        return _plain(
+            buf, _require(spans, key, kind)[0], data_end, depth + 1
+        )[0]
+
+    def packed(key: str) -> Any:
+        return _packed(
+            buf, _require(spans, key, kind)[0], data_end, depth + 1
+        )[0]
+
+    def pairs(key: str) -> tuple[tuple[Any, Any], ...]:
+        return _packed_pairs(
+            buf, _require(spans, key, kind)[0], data_end, depth + 1
+        )
+
+    if kind == "+inf":
+        return float("inf")
+    if kind == "-inf":
+        return float("-inf")
+    if kind == "seq":
+        pos, _ = _require(spans, "items", kind)
+        return _packed_seq(buf, pos, data_end, depth + 1)
+    if kind == "map":
+        pos, _ = _require(spans, "items", kind)
+        tag, istart, istop = _frame(buf, pos, data_end)
+        if tag != _T_MAP:
+            # unpack() calls .items() on whatever decoded; only a plain
+            # mapping survives that, so any other frame type rejects.
+            raise WireTagError("map wire items is not a mapping")
+        if depth + 1 > _MAX_DEPTH:
+            raise WireDepthError("encoded nesting exceeds maximum depth 200")
+        items = _map_spans(buf, istart, istop, data_end, depth + 1)
+        return {
+            k: _packed(buf, vpos, data_end, depth + 2)[0]
+            for k, (vpos, _) in items.items()
+        }
+    if kind == "dn":
+        rdns = plain("rdns")
+        try:
+            out = tuple((a, v) for a, v in rdns)
+        except (TypeError, ValueError) as exc:
+            raise WireValueError(str(exc)) from exc
+        return DistinguishedName(out)
+    if kind == "dscp":
+        try:
+            return DSCP(plain("value"))
+        except (TypeError, ValueError) as exc:
+            raise WireValueError(str(exc)) from exc
+    if kind == "pubkey":
+        raw = plain("material")
+        material: list[Any] = []
+        try:
+            for t, v in raw:
+                material.append(int(v) if t == "int" else v)
+        except (TypeError, ValueError) as exc:
+            raise WireValueError(str(exc)) from exc
+        return PublicKey(plain("scheme"), tuple(material))
+    if kind == "certificate":
+        return Certificate(
+            serial=plain("serial"),
+            issuer=packed("issuer"),
+            subject=packed("subject"),
+            public_key=packed("public_key"),
+            not_before=plain("not_before"),
+            not_after=plain("not_after"),
+            extensions=pairs("extensions"),
+            signature=plain("signature"),
+            signature_scheme=plain("signature_scheme"),
+        )
+    if kind == "assertion":
+        return SignedAssertion(
+            issuer=packed("issuer"),
+            subject=packed("subject"),
+            attributes=pairs("attributes"),
+            signature=plain("signature"),
+            signature_scheme=plain("signature_scheme"),
+            valid_from=plain("valid_from"),
+            valid_until=packed("valid_until"),
+        )
+    if kind == "res_spec":
+        linked = plain("linked_reservations")
+        try:
+            linked_pairs = tuple((k, v) for k, v in linked)
+        except (TypeError, ValueError) as exc:
+            raise WireValueError(str(exc)) from exc
+        try:
+            service_class = DSCP(plain("service_class"))
+        except (TypeError, ValueError) as exc:
+            raise WireValueError(str(exc)) from exc
+        return ReservationRequest(
+            source_host=plain("source_host"),
+            destination_host=plain("destination_host"),
+            source_domain=plain("source_domain"),
+            destination_domain=plain("destination_domain"),
+            rate_mbps=plain("rate_mbps"),
+            start=plain("start"),
+            end=plain("end"),
+            service_class=service_class,
+            burst_bits=plain("burst_bits"),
+            cost_ceiling=packed("cost_ceiling"),
+            linked_reservations=linked_pairs,
+            attributes=pairs("attributes"),
+        )
+    if kind == "envelope":
+        return SignedEnvelope(
+            payload=pairs("payload"),
+            signer=packed("signer"),
+            signature=plain("signature"),
+            scheme=plain("scheme"),
+        )
+    raise WireValueError(f"unknown __kind__ tag {kind!r}")
+
+
+def _packed_seq(
+    buf: memoryview, pos: int, data_end: int, depth: int
+) -> tuple[Any, ...]:
+    """The ``seq`` kind's items: fused when the frame is a sequence,
+    legacy-iterated otherwise (``unpack`` tolerates any iterable)."""
+    if depth > _MAX_DEPTH:
+        raise WireDepthError("encoded nesting exceeds maximum depth 200")
+    tag, start, stop = _frame(buf, pos, data_end)
+    if tag != _T_SEQ:
+        container, _ = _plain(buf, pos, data_end, depth)
+        try:
+            return tuple(unpack(v) for v in container)
+        except (TypeError, ValueError) as exc:
+            raise WireValueError(str(exc)) from exc
+    items: list[Any] = []
+    inner = start
+    while inner < stop:
+        item, inner = _packed(buf, inner, data_end, depth + 1)
+        items.append(item)
+    if inner != stop:
+        raise WireValueError("sequence payload length mismatch")
+    return tuple(items)
+
+
+class WireView:
+    """A zero-copy, lazily materialized view over one wire message.
+
+    ``parse`` validates only the outer frame; ``kind``/``peek`` skip
+    across inner frames to answer single-field questions without
+    decoding (the PR-8 gate's pre-verification needs); ``materialize``
+    runs the fused single-pass decode and caches the result.  Behaviour
+    is byte-for-byte equivalent to :func:`from_wire`; every failure is a
+    :class:`WireCodecError` (an :class:`~repro.errors.EncodingError`).
+    """
+
+    __slots__ = (
+        "_buf", "_tag", "_start", "_stop", "_value", "_decoded",
+        "_kind", "_kind_known", "_field_spans",
+    )
+
+    def __init__(
+        self, buf: memoryview, tag: int, start: int, stop: int
+    ) -> None:
+        self._buf = buf
+        self._tag = tag
+        self._start = start
+        self._stop = stop
+        self._value: Any = None
+        self._decoded = False
+        self._kind: "str | None" = None
+        self._kind_known = False
+        self._field_spans: "dict[str, int] | None" = None
+
+    @classmethod
+    def parse(cls, data: "bytes | bytearray | memoryview") -> "WireView":
+        """Frame-validate *data* (outer tag, length, no trailing bytes)
+        and return a view.  No payload bytes are copied or decoded."""
+        buf = memoryview(data)
+        if buf.ndim != 1 or buf.itemsize != 1:
+            raise WireTagError("wire buffer must be a flat byte buffer")
+        tag, start, stop = _frame(buf, 0, len(buf))
+        # Trailing bytes are rejected by materialize(), *after* the
+        # decode — the same error order as the eager decoder.
+        return cls(buf, tag, start, stop)
+
+    def wire_size(self) -> int:
+        """Bytes this message occupies on the wire."""
+        return len(self._buf)
+
+    def __len__(self) -> int:
+        return len(self._buf)
+
+    def kind(self) -> "str | None":
+        """The ``__kind__`` tag of a packed object (``"envelope"`` for
+        protocol messages) — found by skipping frames, not by decoding
+        the message.  Total: returns ``None`` for scalars, sequences and
+        anything malformed; :meth:`materialize` is the authority on
+        rejects, so a malformed message fails identically on the fast
+        and the slow path.  Memoized: the buffer is immutable, and the
+        ingress gate asks several times per message."""
+        if self._kind_known:
+            return self._kind
+        value = self._kind_uncached()
+        self._kind = value
+        self._kind_known = True
+        return value
+
+    def _kind_uncached(self) -> "str | None":
+        if self._tag != _T_MAP:
+            return None
+        buf = self._buf
+        data_end = len(buf)
+        inner = self._start
+        try:
+            while inner < self._stop:
+                key, inner = _plain(buf, inner, data_end, 1)
+                if not isinstance(key, str):
+                    return None
+                tag, vstart, vstop = _frame(buf, inner, data_end)
+                if key == _KIND:
+                    if tag != _T_STR:
+                        return None
+                    value = _scalar(buf, tag, vstart, vstop)
+                    return value if isinstance(value, str) else None
+                if key > _KIND:
+                    # Keys are sorted on a canonical wire; no tag follows.
+                    return None
+                inner = vstop
+        except WireCodecError:
+            return None
+        return None
+
+    def peek(self, field: str, default: Any = None) -> Any:
+        """The scalar payload field *field* of an envelope message,
+        extracted by skipping frames (no materialization, no copies of
+        anything but the returned scalar).  Total like :meth:`kind`:
+        returns *default* when the message is not an envelope, the field
+        is absent or non-scalar, or the buffer is malformed.
+
+        The field->offset walk is memoized (one frame-skipping pass over
+        the payload, first occurrence wins — identical to the linear
+        scan it replaces, including on malformed buffers: pairs after a
+        framing error are simply absent, exactly the pairs the scan
+        could never have reached)."""
+        position = self._payload_field_spans().get(field)
+        if position is None:
+            return default
+        buf = self._buf
+        try:
+            vtag, vstart, vstop = _frame(buf, position, len(buf))
+            if vtag in (_T_SEQ, _T_MAP):
+                return default
+            return _scalar(buf, vtag, vstart, vstop)
+        except WireCodecError:
+            return default
+
+    def _payload_field_spans(self) -> "dict[str, int]":
+        """First occurrence of each payload field -> value offset."""
+        if self._field_spans is not None:
+            return self._field_spans
+        spans: "dict[str, int]" = {}
+        if self.kind() == "envelope":
+            buf = self._buf
+            data_end = len(buf)
+            try:
+                outer = _map_spans(
+                    buf, self._start, self._stop, data_end, 0
+                )
+                payload_span = outer.get("payload")
+                if payload_span is not None:
+                    tag, start, stop = _frame(
+                        buf, payload_span[0], data_end
+                    )
+                    if tag == _T_SEQ:
+                        inner = start
+                        while inner < stop:
+                            _, _, item_end = _frame(buf, inner, data_end)
+                            pair = _pair_spans(
+                                buf, inner, item_end, data_end
+                            )
+                            inner = item_end
+                            if pair is None:
+                                continue
+                            key_pos, value_pos = pair
+                            key, _ = _plain(buf, key_pos, data_end, 3)
+                            if isinstance(key, str):
+                                spans.setdefault(key, value_pos)
+            except WireCodecError:
+                pass
+        self._field_spans = spans
+        return spans
+
+    def materialize(self) -> Any:
+        """Decode the full message into protocol objects (one fused
+        pass, cached).  Equal to ``from_wire(bytes(view))`` by the
+        differential property suite."""
+        if not self._decoded:
+            data_end = len(self._buf)
+            value, end = _packed(self._buf, 0, data_end, 0)
+            if end != data_end:
+                raise WireValueError(
+                    f"{data_end - end} trailing bytes after value"
+                )
+            self._value = value
+            self._decoded = True
+        return self._value

@@ -44,6 +44,7 @@ from typing import Callable, Sequence
 from repro.bb.reservations import ReservationRequest
 from repro.core.agent import UserAgent
 from repro.core.hopbyhop import HopByHopProtocol, SignallingOutcome
+from repro.crypto import batch as batch_verification
 from repro.errors import ReproError, SignallingError
 from repro.obs import metrics as obs_metrics
 from repro.obs import spans as obs_spans
@@ -232,13 +233,22 @@ class ConcurrentSignaller:
                 concurrency=self.concurrency,
             )
         try:
-            with ThreadPoolExecutor(
-                max_workers=self.concurrency,
-                thread_name_prefix="signaller",
-            ) as pool:
-                futures = [pool.submit(work, i) for i in range(len(jobs))]
-                for future in futures:
-                    future.result()
+            # The whole burst shares one verification-cache scope
+            # (repro.crypto.batch): inner RAR layers, introduced
+            # certificates and delegation links repeated across jobs are
+            # each verified once instead of once per job.  No-op when
+            # batched verification is disabled or global caches already
+            # feed every hop.
+            with batch_verification.use_batch_caches():
+                with ThreadPoolExecutor(
+                    max_workers=self.concurrency,
+                    thread_name_prefix="signaller",
+                ) as pool:
+                    futures = [
+                        pool.submit(work, i) for i in range(len(jobs))
+                    ]
+                    for future in futures:
+                        future.result()
         finally:
             if tracer is not None and span is not None:
                 tracer.end(span)

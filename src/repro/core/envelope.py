@@ -18,6 +18,7 @@ enclosing signatures exactly as it would on the wire.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, replace
 from typing import Any, Mapping
 
@@ -27,11 +28,44 @@ from repro.crypto.dn import DistinguishedName
 from repro.crypto.keys import PrivateKey, PublicKey, get_scheme
 from repro.errors import TamperedMessageError
 
-__all__ = ["SignedEnvelope", "seal"]
+__all__ = [
+    "SignedEnvelope",
+    "seal",
+    "chain_link_digest",
+    "LINKED_FIELD",
+    "LINK_DIGEST_FIELD",
+]
+
+#: The nested-message payload field (``messages.F_INNER`` re-exports it).
+LINKED_FIELD = "inner_rar"
+#: Append-only chain link: the SHA-256 of the inner envelope's canonical
+#: bytes.  When a payload carries this field, the *signature* covers the
+#: digest instead of the inner envelope itself (which stays in the
+#: payload for the wire and for provenance walks) — so a forwarding hop
+#: signs O(own fields) bytes, yet any tampering below still breaks the
+#: chain: the inner layer's bytes no longer hash to the signed link
+#: (``messages.unwrap_rar_layers`` enforces this before any signature
+#: is checked).
+LINK_DIGEST_FIELD = "inner_digest"
+
+
+def chain_link_digest(inner: "SignedEnvelope") -> bytes:
+    """The append-chain commitment to *inner*: SHA-256 of its canonical
+    bytes (the exact bytes a nested-mode signature would have covered)."""
+    return hashlib.sha256(inner.cbe_bytes()).digest()
 
 
 def _to_cbe_value(value: Any) -> Any:
-    """Recursively render payload values canonically encodable."""
+    """Recursively render payload values canonically encodable.
+
+    Objects that memoize their canonical bytes (``cbe_bytes``) are passed
+    through untouched: :func:`repro.crypto.canonical.encode` splices the
+    cached bytes directly, which is what keeps sealing and verifying a
+    deeply nested chain linear — eagerly calling ``to_cbe()`` here would
+    re-encode every certificate and inner envelope at every layer.
+    """
+    if hasattr(value, "cbe_bytes"):
+        return value
     if hasattr(value, "to_cbe"):
         return value.to_cbe()
     if isinstance(value, (tuple, list)):
@@ -70,14 +104,33 @@ class SignedEnvelope:
     # -- encoding ------------------------------------------------------------------
 
     def body_cbe(self) -> dict:
-        """The signed portion (payload + signer identity)."""
+        """The signed portion (payload + signer identity).
+
+        In an append-only chain layer (payload carries
+        :data:`LINK_DIGEST_FIELD`) the inner envelope is *excluded* from
+        the signed bytes — the signature covers its digest link instead,
+        so signing/verifying one layer costs O(that layer), not
+        O(whole chain).  The mode is self-describing and itself signed:
+        an attacker can neither add nor strip the link field without
+        breaking this layer's signature.
+        """
+        linked = LINKED_FIELD if self.get(LINK_DIGEST_FIELD) is not None else None
         return {
-            "payload": {k: _to_cbe_value(v) for k, v in self.payload},
+            "payload": {
+                k: _to_cbe_value(v)
+                for k, v in self.payload
+                if k != linked
+            },
             "signer": self.signer.to_cbe(),
         }
 
     def to_cbe(self) -> dict:
-        data = self.body_cbe()
+        """The full envelope (always includes the inner message: the wire
+        representation is identical in both chain modes' shape)."""
+        data = {
+            "payload": {k: _to_cbe_value(v) for k, v in self.payload},
+            "signer": self.signer.to_cbe(),
+        }
         data["signature"] = self.signature
         data["scheme"] = self.scheme
         return data

@@ -1,0 +1,112 @@
+"""Process-wide configuration of the verification fast path.
+
+PR-4's critical-path traces showed the signalling *miss path* — the work
+PR-5's verdict caches cannot skip — dominated by canonical re-encoding
+of nested envelopes and by repeated per-hop decode/verify work.  Three
+coordinated optimisations close that gap (docs/PERFORMANCE.md, "The
+verification miss path"):
+
+* **append-only envelope chains** — a forwarding BB signs a digest link
+  over the received layer's canonical bytes instead of re-signing the
+  whole re-encoded chain (:mod:`repro.core.envelope`);
+* **zero-copy ingress decode** — :class:`repro.core.codec.WireView`
+  peeks the defense-gate fields out of received bytes without
+  materializing the envelope tree;
+* **batched verification** — :func:`repro.crypto.batch.verify_rar_batch`
+  and the batch-scoped memo the concurrent signaller installs.
+
+Each is independently toggleable so the differential harness
+(``tests/differential/``) can run every scenario through the legacy
+path and assert identical decisions; ``pytest --slow-path`` flips the
+whole suite to the legacy configuration.  The module-global
+pattern mirrors :mod:`repro.crypto.cache`.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, replace
+from typing import Iterator
+
+from repro.errors import SignallingError
+
+__all__ = [
+    "FastPathConfig",
+    "get_config",
+    "configure",
+    "reset",
+    "use_config",
+]
+
+_MODES = ("append", "nested")
+
+
+@dataclass(frozen=True)
+class FastPathConfig:
+    """Which fast-path features are armed (all on by default)."""
+
+    #: ``"append"`` — BBs forward RARs as append-only chains (digest
+    #: link signed, O(layer) signature bodies).  ``"nested"`` — the
+    #: original §6.4 shape: every hop re-signs the full nested chain.
+    envelope_mode: str = "append"
+    #: Serve ``process_ingress`` gate/peek stages from a
+    #: :class:`~repro.core.codec.WireView` over the received bytes
+    #: instead of eagerly decoding the whole message.
+    zero_copy_ingress: bool = True
+    #: Let the concurrent signaller and the source-domain agent install
+    #: a batch-scoped verification memo for the duration of a batch.
+    batch_verification: bool = True
+
+    def __post_init__(self) -> None:
+        if self.envelope_mode not in _MODES:
+            raise SignallingError(
+                f"envelope_mode must be one of {_MODES}, "
+                f"got {self.envelope_mode!r}"
+            )
+
+    def slow(self) -> "FastPathConfig":
+        """The all-legacy configuration (the differential baseline)."""
+        return replace(
+            self,
+            envelope_mode="nested",
+            zero_copy_ingress=False,
+            batch_verification=False,
+        )
+
+
+_default = FastPathConfig()
+_active = _default
+_lock = threading.Lock()
+
+
+def get_config() -> FastPathConfig:
+    """The active fast-path configuration."""
+    return _active
+
+
+def configure(config: FastPathConfig) -> FastPathConfig:
+    """Install *config* process-wide; returns it."""
+    global _active
+    with _lock:
+        _active = config
+    return config
+
+
+def reset() -> None:
+    """Restore the all-on default configuration."""
+    configure(_default)
+
+
+@contextmanager
+def use_config(config: FastPathConfig) -> Iterator[FastPathConfig]:
+    """Scope-install *config*, restoring the previous one on exit."""
+    global _active
+    with _lock:
+        previous = _active
+        _active = config
+    try:
+        yield config
+    finally:
+        with _lock:
+            _active = previous

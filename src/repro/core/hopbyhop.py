@@ -52,7 +52,8 @@ from repro.bb.broker import BandwidthBroker
 from repro.bb.reservations import ReservationRequest
 from repro.core.agent import UserAgent
 from repro.core.channel import ChannelRegistry, SecureChannel
-from repro.core.codec import from_wire
+from repro.core import fastpath
+from repro.core.codec import WireView, from_wire
 from repro.crypto.dn import DistinguishedName
 from repro.core.envelope import SignedEnvelope
 from repro.core.messages import (
@@ -86,6 +87,7 @@ from repro.crypto.capability import (
 )
 from repro.crypto.repository import CertificateRepository
 from repro.crypto.x509 import Certificate
+from repro.crypto import batch as batch_verification
 from repro.crypto.cache import digest as _envelope_digest
 from repro.errors import (
     BrokerUnavailableError,
@@ -224,6 +226,13 @@ class IngressReport:
     verified: bool = False
     reason: str = ""
     reason_code: str = ""
+    #: Trace context of the outermost decoded layer (scalar string only),
+    #: for stitching ingress decisions into distributed traces.  ``None``
+    #: when the message never decoded or carried none.
+    traceparent: str | None = None
+    #: End-to-end signalling deadline claimed by the message (scalar
+    #: numeric only); ``None`` when absent or undecoded.
+    deadline: float | None = None
 
 
 class HopByHopProtocol:
@@ -242,12 +251,28 @@ class HopByHopProtocol:
         breaker_policy: BreakerPolicy | None = None,
         hop_timeout_s: float = 0.25,
         rng: random.Random | None = None,
+        envelope_mode: str | None = None,
     ) -> None:
         self.brokers = dict(brokers)
         self.channels = channels
         self.domain_path = domain_path
         self.processing_delay_s = processing_delay_s
         self.clock = clock
+        #: ``"append"`` (default via :mod:`repro.core.fastpath`) — BBs
+        #: forward append-only chain layers whose signatures cover a
+        #: digest link to the received bytes; ``"nested"`` — the original
+        #: re-sign-the-whole-chain shape.  The differential harness runs
+        #: every scenario both ways and asserts identical decisions.
+        self.envelope_mode = (
+            envelope_mode
+            if envelope_mode is not None
+            else fastpath.get_config().envelope_mode
+        )
+        if self.envelope_mode not in ("append", "nested"):
+            raise SignallingError(
+                f"envelope_mode must be 'append' or 'nested', "
+                f"got {self.envelope_mode!r}"
+            )
         #: Optional trusted certificate repository (§6.4 alternative 2).
         #: When set, BBs do NOT carry introduced certificates in the RAR;
         #: every verifier resolves inner-signer keys by DN instead, paying
@@ -326,16 +351,31 @@ class HopByHopProtocol:
     def _decode_received(received: object, *, what: str) -> SignedEnvelope:
         """Structural validation of a delivered message.
 
-        Wire bytes are decoded through the canonical codec; anything that
-        is not (or does not decode to) a :class:`SignedEnvelope` raises a
-        typed :class:`MalformedMessageError` — the found failure paths
-        (truncated payload, unknown field tag) used to escape as raw
-        :class:`EncodingError` / ``AttributeError``.
+        Wire bytes are decoded through the zero-copy codec
+        (:class:`~repro.core.codec.WireView`, one fused pass) or — under
+        ``envelope_mode``-independent :mod:`~repro.core.fastpath` config
+        with ``zero_copy_ingress`` off — the eager two-pass codec.  Both
+        decoders accept exactly the same byte strings (the differential
+        suite's guarantee); anything that is not (or does not decode to)
+        a :class:`SignedEnvelope` raises a typed
+        :class:`MalformedMessageError`.  The catch is deliberately broad:
+        the eager decoder leaks ``KeyError``/``ValueError``/
+        ``AttributeError`` on exotic crafted inputs where the zero-copy
+        decoder raises typed :class:`~repro.core.codec.WireCodecError`s,
+        both decoders re-run protocol-object validators (a crafted
+        ``res_spec`` raises :class:`ReservationStateError`, a
+        :class:`~repro.errors.ReproError` outside the crypto branch —
+        the fuzz sweep found exactly this escape), and all of it must
+        classify as malformed, never crash the protocol.
         """
-        if isinstance(received, (bytes, bytearray)):
+        if isinstance(received, (bytes, bytearray, memoryview)):
             try:
-                received = from_wire(bytes(received))
-            except EncodingError as exc:
+                if fastpath.get_config().zero_copy_ingress:
+                    received = WireView.parse(received).materialize()
+                else:
+                    received = from_wire(bytes(received))
+            except (ReproError, KeyError, ValueError, TypeError,
+                    AttributeError, OverflowError) as exc:
                 raise MalformedMessageError(
                     f"{what}: undecodable message: {exc}"
                 ) from exc
@@ -1276,6 +1316,7 @@ class HopByHopProtocol:
                 assertions=added_assertions,
                 bb=bb.dn,
                 bb_key=bb.keypair.private,
+                append=self.envelope_mode == "append",
                 # Rewrite the trace context: the downstream hop's spans
                 # hang under THIS hop's span, mirroring how this layer
                 # wraps the upstream RAR.
@@ -1514,7 +1555,10 @@ class HopByHopProtocol:
         event_log = obs_events.get_event_log()
 
         def reject(
-            exc: Exception, work_units: float, *, verified: bool = False
+            exc: Exception, work_units: float, *,
+            verified: bool = False,
+            traceparent: str | None = None,
+            deadline: float | None = None,
         ) -> IngressReport:
             code = reason_code_for(exc)
             if registry is not None:
@@ -1536,9 +1580,10 @@ class HopByHopProtocol:
             return IngressReport(
                 accepted=False, work_units=work_units, verified=verified,
                 reason=str(exc), reason_code=code.value,
+                traceparent=traceparent, deadline=deadline,
             )
 
-        if isinstance(message, (bytes, bytearray)):
+        if isinstance(message, (bytes, bytearray, memoryview)):
             message_digest = _envelope_digest(bytes(message))
         elif isinstance(message, SignedEnvelope):
             message_digest = _envelope_digest(message.cbe_bytes())
@@ -1558,11 +1603,26 @@ class HopByHopProtocol:
             )
         except MalformedMessageError as exc:
             return reject(exc, WORK_DECODE)
+        # Trace/deadline metadata of the outer layer, for the report.
+        # Scalar-filtered so both codecs (and crafted non-scalar fields)
+        # report identically; no re-parse — the envelope is materialized.
+        raw_tp = envelope.get(F_TRACEPARENT)
+        traceparent = raw_tp if isinstance(raw_tp, str) else None
+        raw_dl = envelope.get(F_DEADLINE)
+        deadline = (
+            float(raw_dl)
+            if isinstance(raw_dl, (int, float))
+            and not isinstance(raw_dl, bool)
+            else None
+        )
         if peer_certificate is None:
             try:
                 unwrap_rar_layers(envelope)
             except SignallingError as exc:
-                return reject(exc, WORK_DECODE)
+                return reject(
+                    exc, WORK_DECODE,
+                    traceparent=traceparent, deadline=deadline,
+                )
             work_units = WORK_DECODE
             verified = False
         else:
@@ -1577,7 +1637,10 @@ class HopByHopProtocol:
                 )
             except (TrustError, SignallingError, CertificateError,
                     EncodingError) as exc:
-                return reject(exc, WORK_VERIFY, verified=True)
+                return reject(
+                    exc, WORK_VERIFY, verified=True,
+                    traceparent=traceparent, deadline=deadline,
+                )
             work_units = WORK_VERIFY
             verified = True
         if registry is not None:
@@ -1588,7 +1651,44 @@ class HopByHopProtocol:
             ).inc(domain=domain, outcome="accepted")
         return IngressReport(
             accepted=True, work_units=work_units, verified=verified,
+            traceparent=traceparent, deadline=deadline,
         )
+
+    def process_ingress_batch(
+        self,
+        domain: str,
+        messages: Sequence[object],
+        *,
+        peer: str,
+        peer_certificate: Certificate | None = None,
+        peer_kind: str = "user",
+        at_time: float | None = None,
+        operation: str = "reserve",
+    ) -> list[IngressReport]:
+        """Process a burst of inbound messages at *domain*, amortized.
+
+        Per-message semantics are *identical* to calling
+        :meth:`process_ingress` in a loop — same gate decisions, same
+        reports, same ledger records, in order — but all verifications
+        run under one shared verification-cache scope
+        (:func:`repro.crypto.batch.use_batch_caches`): signatures, trust
+        chains and delegation links repeated across the burst are checked
+        once and reused, with the PR-5 hit-time guards re-validating
+        every reuse, so a revocation landing mid-burst still rejects
+        exactly as it would sequentially.  A no-op scope (and therefore
+        literally the sequential loop) when batched verification is
+        disabled via :mod:`repro.core.fastpath`.
+        """
+        with batch_verification.use_batch_caches():
+            return [
+                self.process_ingress(
+                    domain, message, peer=peer,
+                    peer_certificate=peer_certificate,
+                    peer_kind=peer_kind, at_time=at_time,
+                    operation=operation,
+                )
+                for message in messages
+            ]
 
     # -- lifecycle helpers --------------------------------------------------------------
 

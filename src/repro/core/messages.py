@@ -25,8 +25,13 @@ from repro.bb.reservations import ReservationRequest
 from repro.crypto.dn import DistinguishedName
 from repro.crypto.keys import PrivateKey
 from repro.crypto.x509 import Certificate
-from repro.core.envelope import SignedEnvelope, seal
-from repro.errors import SignallingError
+from repro.core.envelope import (
+    LINK_DIGEST_FIELD,
+    SignedEnvelope,
+    chain_link_digest,
+    seal,
+)
+from repro.errors import SignallingError, TamperedMessageError
 from repro.policy.attributes import SignedAssertion
 
 __all__ = [
@@ -36,6 +41,7 @@ __all__ = [
     "F_CAPABILITY_CERTS",
     "F_ASSERTIONS",
     "F_INNER",
+    "F_INNER_DIGEST",
     "F_INTRODUCED_CERT",
     "F_HANDLE",
     "F_HANDLES",
@@ -61,6 +67,13 @@ F_DOWNSTREAM = "downstream_dn"
 F_CAPABILITY_CERTS = "capability_certs"
 F_ASSERTIONS = "assertions"
 F_INNER = "inner_rar"
+#: Append-only chain link (:data:`repro.core.envelope.LINK_DIGEST_FIELD`):
+#: SHA-256 of the inner envelope's canonical bytes.  Present iff the
+#: wrapping BB forwarded in append mode; the wrapper's signature then
+#: covers this digest instead of the re-encoded inner chain.
+#: :func:`unwrap_rar_layers` re-derives and checks the link on every
+#: unwrap, so tampering any inner byte still voids the chain.
+F_INNER_DIGEST = LINK_DIGEST_FIELD
 F_INTRODUCED_CERT = "introduced_cert"
 F_HANDLE = "handle"
 F_HANDLES = "handles"
@@ -130,6 +143,7 @@ def make_bb_rar(
     bb: DistinguishedName,
     bb_key: PrivateKey,
     traceparent: str | None = None,
+    append: bool = False,
 ) -> SignedEnvelope:
     """``RAR_{N+1}``: a BB wraps the received RAR, introduces the upstream
     signer's certificate (learned in the SSL handshake), names the next
@@ -142,6 +156,13 @@ def make_bb_rar(
     ``traceparent`` names *this* hop's span (not the upstream one — the
     trace context is rewritten at every hop, unlike the deadline, which
     is copied verbatim from the inner layer).
+
+    ``append=True`` forwards as an append-only chain layer: the payload
+    additionally carries :data:`F_INNER_DIGEST` and this BB's signature
+    covers that digest *instead of* the inner envelope, so wrapping costs
+    O(this layer) signature work rather than O(chain).  Verification
+    semantics are unchanged — :func:`unwrap_rar_layers` checks the link
+    digest, and each layer's own signature is still checked as before.
     """
     if inner.get(F_TYPE) != MSG_RAR:
         raise SignallingError("inner message is not a RAR")
@@ -157,6 +178,8 @@ def make_bb_rar(
         F_CAPABILITY_CERTS: tuple(capability_certs),
         F_ASSERTIONS: tuple(assertions),
     }
+    if append:
+        payload[F_INNER_DIGEST] = chain_link_digest(inner)
     deadline = inner.get(F_DEADLINE)
     if deadline is not None:
         payload[F_DEADLINE] = deadline
@@ -212,7 +235,15 @@ def make_denial(
 
 def unwrap_rar_layers(rar: SignedEnvelope) -> list[SignedEnvelope]:
     """Return the layers of a nested RAR, outermost first (the user's
-    original request last)."""
+    original request last).
+
+    Append-mode layers (:data:`F_INNER_DIGEST` present) additionally get
+    their chain link verified here: the inner envelope's canonical bytes
+    must hash to the signed digest.  This runs *before* any signature
+    check in the trust verifiers, so a tampered inner layer fails the
+    chain exactly as it would have failed the enclosing signature in
+    nested mode.
+    """
     layers = []
     current: SignedEnvelope | None = rar
     while current is not None:
@@ -224,6 +255,19 @@ def unwrap_rar_layers(rar: SignedEnvelope) -> list[SignedEnvelope]:
         inner = current.get(F_INNER)
         if inner is not None and not isinstance(inner, SignedEnvelope):
             raise SignallingError("inner RAR field holds a non-envelope")
+        link = current.get(F_INNER_DIGEST)
+        if link is not None:
+            if not isinstance(inner, SignedEnvelope):
+                raise TamperedMessageError(
+                    f"append-chain layer signed by {current.signer} carries "
+                    f"a link digest but no inner envelope"
+                )
+            if not isinstance(link, bytes) or link != chain_link_digest(inner):
+                raise TamperedMessageError(
+                    f"append-chain link broken below layer signed by "
+                    f"{current.signer}: inner bytes do not match the "
+                    f"signed digest"
+                )
         current = inner
         if len(layers) > 64:
             raise SignallingError("RAR nesting exceeds maximum depth 64")

@@ -181,10 +181,21 @@ def _decode_at(data: bytes, pos: int, depth: int) -> tuple[Any, int]:
     if tag == _TAG_MAP:
         mapping: dict[str, Any] = {}
         inner = start
+        previous_key: str | None = None
         while inner < end:
             key, inner = _decode_at(data, inner, depth + 1)
             if not isinstance(key, str):
                 raise EncodingError("mapping key is not a string")
+            # Strict canonical form: encode() emits keys in sorted order
+            # exactly once, so out-of-order or duplicate keys cannot be
+            # the output of encode() and must be rejected (otherwise two
+            # distinct byte strings could decode to the same value —
+            # the injectivity the signatures rely on, in reverse).
+            if previous_key is not None and key <= previous_key:
+                raise EncodingError(
+                    "non-canonical mapping (duplicate or unsorted keys)"
+                )
+            previous_key = key
             value, inner = _decode_at(data, inner, depth + 1)
             mapping[key] = value
         if inner != end:

@@ -55,6 +55,16 @@ class SignedAssertion:
         data["signature_scheme"] = self.signature_scheme
         return data
 
+    def cbe_bytes(self) -> bytes:
+        """Canonical bytes, memoized (the assertion is immutable and is
+        re-encoded inside every envelope layer that carries it; the
+        canonical encoder splices these bytes directly)."""
+        cached = getattr(self, "_cbe_bytes_cache", None)
+        if cached is None:
+            cached = canonical.encode(self.to_cbe())
+            object.__setattr__(self, "_cbe_bytes_cache", cached)
+        return cached
+
     def verify(self, issuer_public: PublicKey, *, at_time: float = 0.0) -> bool:
         """True iff the signature verifies and the assertion is in validity."""
         if not (self.valid_from <= at_time <= self.valid_until):

@@ -1,0 +1,238 @@
+"""Property suite: batched verification == sequential verification.
+
+Hypothesis draws arbitrary batch compositions — valid users, a second
+valid user, a revoked signer, an expired certificate, a forged
+signature, duplicates of any of them — and asserts that
+:func:`repro.crypto.batch.verify_rar_batch` produces, for every item,
+exactly the verdict (or exactly the error, by type *and* message) that
+a sequential cold-cache :func:`repro.core.trust.verify_rar` produces.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.messages import make_user_rar
+from repro.core.testbed import build_linear_testbed
+from repro.core.trust import verify_rar
+from repro.crypto.batch import BatchItem, verify_rar_batch
+from repro.crypto.dn import DN
+from repro.errors import ReproError
+
+AT_TIME = 100.0
+
+SETTINGS = settings(
+    max_examples=200,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+MEMBER_NAMES = ("alice", "carol", "revoked", "expired", "forged")
+
+
+class World:
+    """One domain's BB plus five member kinds, two RAR variants each."""
+
+    def __init__(self):
+        self.testbed = build_linear_testbed(["A", "B"])
+        self.bb = self.testbed.brokers["A"]
+        ca = self.testbed.domain_cas["A"]
+        self.bb.truststore.add_revocation_checker(ca.is_revoked)
+
+        alice = self.testbed.add_user("A", "Alice")
+        carol = self.testbed.add_user("A", "Carol")
+        bob = self.testbed.add_user("A", "Bob")
+        ca.revoke(bob.certificate.serial)
+        eve_keys, eve_cert = ca.issue_keypair(
+            DN.make("Grid", "A", "Eve"),
+            rng=self.testbed.rng,
+            not_after=AT_TIME - 1.0,
+        )
+
+        def rars(dn, key, rates=(10.0, 20.0)):
+            return tuple(
+                make_user_rar(
+                    request=self.testbed.make_request(
+                        source="A", destination="B", bandwidth_mbps=rate,
+                    ),
+                    source_bb=self.bb.dn,
+                    user=dn,
+                    user_key=key,
+                )
+                for rate in rates
+            )
+
+        # name -> (rar variants, certificate presented by the peer)
+        self.members = {
+            "alice": (rars(alice.dn, alice.keypair.private),
+                      alice.certificate),
+            "carol": (rars(carol.dn, carol.keypair.private),
+                      carol.certificate),
+            "revoked": (rars(bob.dn, bob.keypair.private),
+                        bob.certificate),
+            "expired": (rars(eve_cert.subject, eve_keys.private),
+                        eve_cert),
+            # Claims to be Alice but is signed with Carol's key.
+            "forged": (rars(alice.dn, carol.keypair.private),
+                       alice.certificate),
+        }
+
+    def item(self, name, variant):
+        variants, certificate = self.members[name]
+        return BatchItem(
+            rar=variants[variant],
+            verifier=self.bb.dn,
+            peer_certificate=certificate,
+        )
+
+
+@pytest.fixture(scope="module")
+def world():
+    return World()
+
+
+def sequential_verdict(world, item):
+    """One cold verify_rar call, as (ok, type name, message, summary)."""
+    try:
+        verified = verify_rar(
+            item.rar,
+            verifier=item.verifier,
+            peer_certificate=item.peer_certificate,
+            truststore=world.bb.truststore,
+            at_time=AT_TIME,
+        )
+    except ReproError as exc:
+        return (False, type(exc).__name__, str(exc), None)
+    return (True, "", "", verified_summary(verified))
+
+
+def batch_verdict(result):
+    if result.error is not None:
+        return (False, type(result.error).__name__, str(result.error), None)
+    return (True, "", "", verified_summary(result.verified))
+
+
+def verified_summary(verified):
+    return (
+        str(verified.user),
+        verified.request,
+        tuple(str(dn) for dn in verified.path),
+        verified.depth,
+        len(verified.assertions),
+        len(verified.introduced),
+    )
+
+
+@st.composite
+def batches(draw):
+    size = draw(st.integers(min_value=1, max_value=8))
+    return [
+        (draw(st.sampled_from(MEMBER_NAMES)),
+         draw(st.integers(min_value=0, max_value=1)))
+        for _ in range(size)
+    ]
+
+
+@SETTINGS
+@given(spec=batches())
+def test_batch_matches_sequential(world, spec):
+    items = [world.item(name, variant) for name, variant in spec]
+
+    expected = [sequential_verdict(world, item) for item in items]
+    results = verify_rar_batch(
+        items, truststore=world.bb.truststore, at_time=AT_TIME,
+    )
+
+    assert [batch_verdict(r) for r in results] == expected
+
+    # Dedup bookkeeping: an item is marked deduplicated exactly when an
+    # identical (rar, verifier, peer cert) triple appeared earlier.
+    seen = set()
+    for (name, variant), result in zip(spec, results):
+        assert result.deduplicated == ((name, variant) in seen)
+        seen.add((name, variant))
+
+    # The revoked / expired / forged members never verify; the valid
+    # members never fail (the strategy guarantees nothing else).
+    for (name, _), result in zip(spec, results):
+        assert result.ok == (name in ("alice", "carol"))
+
+
+def test_require_reraises_the_item_error(world):
+    results = verify_rar_batch(
+        [world.item("forged", 0), world.item("alice", 0)],
+        truststore=world.bb.truststore,
+        at_time=AT_TIME,
+    )
+    with pytest.raises(ReproError):
+        results[0].require()
+    assert results[1].require() is results[1].verified
+
+
+def test_explicit_shared_caches_do_not_change_verdicts(world):
+    from repro.crypto import cache as verification_cache
+
+    items = [world.item(name, 0) for name in MEMBER_NAMES]
+    baseline = [
+        batch_verdict(r) for r in verify_rar_batch(
+            items, truststore=world.bb.truststore, at_time=AT_TIME,
+        )
+    ]
+    caches = verification_cache.VerificationCaches()
+    for _ in range(2):  # second pass answers from the shared caches
+        again = [
+            batch_verdict(r) for r in verify_rar_batch(
+                items, truststore=world.bb.truststore, at_time=AT_TIME,
+                caches=caches,
+            )
+        ]
+        assert again == baseline
+
+
+def test_mid_batch_revocation_is_not_papered_over(world):
+    """A verdict cached by an earlier batch must be re-guarded: once the
+    signer is revoked, the same bytes stop verifying even with the same
+    warm caches."""
+    from repro.crypto import cache as verification_cache
+
+    testbed = build_linear_testbed(["A", "B"])
+    bb = testbed.brokers["A"]
+    ca = testbed.domain_cas["A"]
+    bb.truststore.add_revocation_checker(ca.is_revoked)
+    user = testbed.add_user("A", "Uma")
+    rar = make_user_rar(
+        request=testbed.make_request(
+            source="A", destination="B", bandwidth_mbps=5.0,
+        ),
+        source_bb=bb.dn,
+        user=user.dn,
+        user_key=user.keypair.private,
+    )
+    item = BatchItem(
+        rar=rar, verifier=bb.dn, peer_certificate=user.certificate,
+    )
+    caches = verification_cache.VerificationCaches()
+
+    first = verify_rar_batch(
+        [item], truststore=bb.truststore, at_time=AT_TIME, caches=caches,
+    )
+    assert first[0].ok
+
+    ca.revoke(user.certificate.serial)
+    second = verify_rar_batch(
+        [item], truststore=bb.truststore, at_time=AT_TIME, caches=caches,
+    )
+    assert not second[0].ok
+    # The post-revocation batch error must equal a cold sequential call.
+    fresh = []
+    try:
+        verify_rar(
+            item.rar, verifier=item.verifier,
+            peer_certificate=item.peer_certificate,
+            truststore=bb.truststore, at_time=AT_TIME,
+        )
+    except ReproError as exc:
+        fresh = [type(exc).__name__, str(exc)]
+    assert fresh == [
+        type(second[0].error).__name__, str(second[0].error),
+    ]

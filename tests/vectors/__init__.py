@@ -1,0 +1,8 @@
+"""Golden wire-vector corpus (``*.bin``) plus its deterministic builder.
+
+The binaries are committed; ``python tests/vectors/build_vectors.py``
+regenerates them bit-for-bit (seeded RNG, simulated signature scheme).
+``tests/differential/test_golden_vectors.py`` asserts that both codecs
+parse every vector identically and re-encode it byte-for-byte — any
+accidental wire-format change fails against this corpus.
+"""
